@@ -1,0 +1,121 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "io/table.hpp"
+
+namespace divbench {
+
+using namespace divlib;
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+}  // namespace
+
+int scale() {
+  const auto value = env_u64("DIV_BENCH_SCALE", 1);
+  return value < 1 ? 1 : static_cast<int>(value);
+}
+
+MonteCarloOptions mc_options(std::uint64_t experiment_salt) {
+  MonteCarloOptions options;
+  options.master_seed = env_u64("DIV_BENCH_SEED", 0x5eedc0deULL) ^
+                        (experiment_salt * 0x9e3779b97f4a7c15ULL);
+  options.num_threads = static_cast<unsigned>(env_u64("DIV_BENCH_THREADS", 0));
+  return options;
+}
+
+namespace {
+
+struct ReplicaOutcome {
+  bool completed = false;
+  Opinion winner = 0;
+  std::uint64_t steps = 0;
+};
+
+std::vector<ReplicaOutcome> run_all(const Graph& graph,
+                                    const ProcessFactory& make_process,
+                                    const ConfigFactory& make_config,
+                                    std::size_t replicas,
+                                    std::uint64_t max_steps, StopKind stop,
+                                    std::uint64_t experiment_salt) {
+  return run_replicas<ReplicaOutcome>(
+      replicas,
+      [&](std::size_t, Rng& rng) {
+        OpinionState state(graph, make_config(rng));
+        const auto process = make_process(graph);
+        RunOptions options;
+        options.stop = stop;
+        options.max_steps = max_steps;
+        const RunResult result = run(*process, state, rng, options);
+        ReplicaOutcome outcome;
+        outcome.completed = result.completed;
+        outcome.steps = result.steps;
+        outcome.winner = result.winner.value_or(state.min_active());
+        return outcome;
+      },
+      mc_options(experiment_salt));
+}
+
+}  // namespace
+
+ConsensusStats run_to_consensus(const Graph& graph,
+                                const ProcessFactory& make_process,
+                                const ConfigFactory& make_config,
+                                std::size_t replicas, std::uint64_t max_steps,
+                                std::uint64_t experiment_salt) {
+  ConsensusStats stats;
+  stats.replicas = replicas;
+  for (const auto& outcome :
+       run_all(graph, make_process, make_config, replicas, max_steps,
+               StopKind::kConsensus, experiment_salt)) {
+    if (!outcome.completed) {
+      ++stats.incomplete;
+      continue;
+    }
+    stats.winners.add(outcome.winner);
+    stats.steps_to_finish.add(static_cast<double>(outcome.steps));
+  }
+  return stats;
+}
+
+ReductionStats run_to_two_adjacent(const Graph& graph,
+                                   const ProcessFactory& make_process,
+                                   const ConfigFactory& make_config,
+                                   std::size_t replicas, std::uint64_t max_steps,
+                                   std::uint64_t experiment_salt) {
+  ReductionStats stats;
+  stats.replicas = replicas;
+  for (const auto& outcome :
+       run_all(graph, make_process, make_config, replicas, max_steps,
+               StopKind::kTwoAdjacent, experiment_salt)) {
+    if (!outcome.completed) {
+      ++stats.incomplete;
+      continue;
+    }
+    stats.steps_to_two_adjacent.add(static_cast<double>(outcome.steps));
+  }
+  return stats;
+}
+
+std::string fraction_with_ci(std::uint64_t successes, std::uint64_t trials) {
+  const ProportionEstimate estimate = wilson_interval(successes, trials);
+  std::ostringstream out;
+  out << format_double(estimate.p_hat, 4) << " ["
+      << format_double(estimate.lower, 3) << ", "
+      << format_double(estimate.upper, 3) << "]";
+  return out.str();
+}
+
+}  // namespace divbench

@@ -1,0 +1,71 @@
+// Shared infrastructure for the experiment binaries (EXP-1 .. EXP-12).
+//
+// Every binary prints one or more aligned ASCII tables comparing the paper's
+// prediction with the measured value.  Replication counts scale with the
+// DIV_BENCH_SCALE environment variable (default 1); DIV_BENCH_SEED overrides
+// the master seed and DIV_BENCH_THREADS the worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/opinion_state.hpp"
+#include "core/process.hpp"
+#include "engine/engine.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/graph.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace divbench {
+
+// DIV_BENCH_SCALE (>= 1); multiplies replica counts.
+int scale();
+
+// Monte-Carlo options honoring DIV_BENCH_SEED / DIV_BENCH_THREADS.
+divlib::MonteCarloOptions mc_options(std::uint64_t experiment_salt);
+
+// Builds a process for a replica (thread-local construction).
+using ProcessFactory =
+    std::function<std::unique_ptr<divlib::Process>(const divlib::Graph&)>;
+// Draws a fresh initial opinion vector for a replica.
+using ConfigFactory = std::function<std::vector<divlib::Opinion>(divlib::Rng&)>;
+
+struct ConsensusStats {
+  divlib::IntCounter winners;        // final opinion per completed replica
+  divlib::Summary steps_to_finish;   // steps of completed replicas
+  std::uint64_t incomplete = 0;      // replicas that hit the step cap
+  std::uint64_t replicas = 0;
+
+  double win_fraction(divlib::Opinion value) const {
+    return winners.fraction(value);
+  }
+};
+
+// Runs `replicas` independent runs to consensus and aggregates the outcome.
+ConsensusStats run_to_consensus(const divlib::Graph& graph,
+                                const ProcessFactory& make_process,
+                                const ConfigFactory& make_config,
+                                std::size_t replicas, std::uint64_t max_steps,
+                                std::uint64_t experiment_salt);
+
+struct ReductionStats {
+  divlib::Summary steps_to_two_adjacent;
+  std::uint64_t incomplete = 0;
+  std::uint64_t replicas = 0;
+};
+
+// Runs to the "two consecutive opinions" milestone of Theorem 1.
+ReductionStats run_to_two_adjacent(const divlib::Graph& graph,
+                                   const ProcessFactory& make_process,
+                                   const ConfigFactory& make_config,
+                                   std::size_t replicas, std::uint64_t max_steps,
+                                   std::uint64_t experiment_salt);
+
+// Formats "0.8123 [0.79, 0.84]" Wilson interval strings for tables.
+std::string fraction_with_ci(std::uint64_t successes, std::uint64_t trials);
+
+}  // namespace divbench

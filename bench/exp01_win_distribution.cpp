@@ -1,0 +1,112 @@
+// EXP-1 -- Theorem 2: the DIV consensus value is floor(c) with probability
+// ~ ceil(c) - c and ceil(c) with probability ~ c - floor(c), where c is the
+// initial (weighted) average.
+//
+// Sweeps graph families x opinion counts x both selection schemes.  For each
+// cell the table reports the predicted (p, q) and the measured win
+// frequencies with Wilson 95% intervals, plus the total mass landing outside
+// {floor(c), ceil(c)} (the paper predicts o(1)).
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common.hpp"
+#include "core/div_process.hpp"
+#include "core/theory.hpp"
+#include "engine/initial_config.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+#include "io/table.hpp"
+#include "stats/chi_square.hpp"
+
+namespace {
+
+using namespace divlib;
+
+struct GraphCase {
+  std::string name;
+  Graph graph;
+};
+
+}  // namespace
+
+int main() {
+  const int scale = divbench::scale();
+  Rng graph_rng(0xe1);
+
+  std::vector<GraphCase> cases;
+  cases.push_back({"complete n=256", make_complete(256)});
+  cases.push_back(
+      {"random-regular n=256 d=16", make_connected_random_regular(256, 16, graph_rng)});
+  cases.push_back({"gnp n=256 p=0.1", make_connected_gnp(256, 0.1, graph_rng)});
+  cases.push_back(
+      {"random-regular n=256 d=32", make_connected_random_regular(256, 32, graph_rng)});
+
+  print_banner(std::cout,
+               "EXP-1  Theorem 2: win distribution vs initial average c");
+  std::cout << "replicas per cell: " << 400 * scale
+            << " (DIV_BENCH_SCALE=" << scale << ")\n";
+
+  Table table({"graph", "scheme", "k", "c", "P(floor) paper", "P(floor) measured",
+               "P(ceil) paper", "P(ceil) measured", "P(off) measured",
+               "chi2 p-value"});
+
+  std::uint64_t salt = 1;
+  for (const auto& graph_case : cases) {
+    const Graph& g = graph_case.graph;
+    const VertexId n = g.num_vertices();
+    for (const int k : {3, 5, 9}) {
+      // Target average c = (1 + k)/2 + 0.3: strictly fractional.
+      const double c = (1.0 + k) / 2.0 + 0.3;
+      const auto target_sum = static_cast<std::int64_t>(c * n);
+      const double actual_c = static_cast<double>(target_sum) / n;
+      const auto prediction = theory::win_distribution(actual_c);
+
+      for (const auto scheme :
+           {SelectionScheme::kEdge, SelectionScheme::kVertex}) {
+        const auto stats = divbench::run_to_consensus(
+            g,
+            [scheme](const Graph& graph) {
+              return std::make_unique<DivProcess>(graph, scheme);
+            },
+            [n, k, target_sum](Rng& rng) {
+              return opinions_with_sum(n, 1, static_cast<Opinion>(k),
+                                       target_sum, rng);
+            },
+            static_cast<std::size_t>(400 * scale),
+            /*max_steps=*/static_cast<std::uint64_t>(n) * n * 200, salt++);
+
+        const std::uint64_t completed = stats.winners.total();
+        const std::uint64_t low_wins = stats.winners.count(prediction.low);
+        const std::uint64_t high_wins = stats.winners.count(prediction.high);
+        table.row()
+            .cell(graph_case.name)
+            .cell(std::string(to_string(scheme)))
+            .cell(k)
+            .cell(actual_c, 3)
+            .cell(prediction.p_low, 4)
+            .cell(divbench::fraction_with_ci(low_wins, completed))
+            .cell(prediction.p_high, 4)
+            .cell(divbench::fraction_with_ci(high_wins, completed))
+            .cell(static_cast<double>(completed - low_wins - high_wins) /
+                      static_cast<double>(completed),
+                  4)
+            .cell(chi_square_test(
+                      std::vector<std::uint64_t>{low_wins, high_wins},
+                      std::vector<double>{prediction.p_low, prediction.p_high})
+                      .p_value,
+                  4);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: measured columns track the paper columns "
+               "within CI;\nP(off) stays near zero on all four expander "
+               "families, for both schemes.\nThe chi2 p-value tests the "
+               "{floor, ceil} split against (p, q): most cells\nshould be "
+               "unremarkable (p >> 0.01); systematically tiny values would "
+               "signal a\nreal deviation, and mild smallness reflects the "
+               "finite-n drift that EXP-12\nshows vanishing with n.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// EXP-2 -- Theorem 1: the time T to reduce to two consecutive opinions is
+// o(n^2) on expanders, with E[T] bounded by eq. (4):
+//   E[T] = O(k n log n + n^{5/3} log n + lambda k n^2 + sqrt(lambda) n^2).
+//
+// Sweeps n on complete and random-regular graphs at fixed k, reporting
+// E[T], E[T]/n^2 (must decrease), the eq. (4) scale value, and the fitted
+// log-log growth exponent of E[T] in n (must be < 2).
+#include <iostream>
+#include <memory>
+
+#include "common.hpp"
+#include "core/div_process.hpp"
+#include "core/theory.hpp"
+#include "engine/initial_config.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+#include "io/table.hpp"
+#include "spectral/lambda.hpp"
+#include "stats/regression.hpp"
+
+namespace {
+
+using namespace divlib;
+
+constexpr int kOpinions = 5;
+
+void sweep(const std::string& family, const std::vector<VertexId>& sizes,
+           const std::function<Graph(VertexId, Rng&)>& make_family,
+           int replicas, std::uint64_t salt_base) {
+  Rng graph_rng(0xe2);
+  Table table({"n", "lambda", "E[T] measured", "stderr", "E[T]/n^2",
+               "eq.(4) scale", "capped"});
+  std::vector<double> ns;
+  std::vector<double> times;
+  for (const VertexId n : sizes) {
+    const Graph g = make_family(n, graph_rng);
+    const double lambda = second_eigenvalue(g);
+    const auto stats = divbench::run_to_two_adjacent(
+        g,
+        [](const Graph& graph) {
+          return std::make_unique<DivProcess>(graph, SelectionScheme::kVertex);
+        },
+        [n](Rng& rng) {
+          return uniform_random_opinions(n, 1, kOpinions, rng);
+        },
+        static_cast<std::size_t>(replicas),
+        /*max_steps=*/static_cast<std::uint64_t>(n) * n * 50, salt_base + n);
+    const double mean_t = stats.steps_to_two_adjacent.mean();
+    ns.push_back(static_cast<double>(n));
+    times.push_back(mean_t);
+    table.row()
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(lambda, 4)
+        .cell(mean_t, 1)
+        .cell(stats.steps_to_two_adjacent.stderror(), 1)
+        .cell(mean_t / (static_cast<double>(n) * n), 5)
+        .cell(theory::expected_reduction_time_scale(n, kOpinions, lambda), 0)
+        .cell(static_cast<std::uint64_t>(stats.incomplete));
+  }
+  print_banner(std::cout, "EXP-2  " + family + " (k=" + std::to_string(kOpinions) +
+                              ", vertex process)");
+  table.print(std::cout);
+  const LinearFit fit = fit_loglog(ns, times);
+  std::cout << "log-log fit: E[T] ~ n^" << format_double(fit.slope, 3)
+            << " (R^2 = " << format_double(fit.r_squared, 4)
+            << "); paper requires exponent < 2 (T = o(n^2)).\n";
+}
+
+}  // namespace
+
+int main() {
+  const int scale = divbench::scale();
+  const int replicas = 30 * scale;
+  std::cout << "replicas per size: " << replicas << "\n";
+
+  sweep("complete K_n", {64, 128, 256, 512},
+        [](VertexId n, Rng&) { return make_complete(n); }, replicas, 0x100);
+  sweep("random d-regular (d=16)", {64, 128, 256, 512},
+        [](VertexId n, Rng& rng) {
+          return make_connected_random_regular(n, 16, rng);
+        },
+        replicas, 0x200);
+  std::cout << "\nExpected shape: E[T]/n^2 strictly decreasing in n; fitted "
+               "exponent\nbetween 1 and 2 on both families.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// EXP-3 -- eq. (4): at fixed n the k-dependent terms of E[T] are
+// k n log n + lambda k n^2, i.e. E[T] grows (at most) linearly in k.
+//
+// Sweeps k on a complete graph and a random-regular graph at fixed n and
+// fits E[T] against k; the fit should be close to linear (R^2 high) and the
+// growth modest.
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "common.hpp"
+#include "core/div_process.hpp"
+#include "engine/initial_config.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+#include "io/table.hpp"
+#include "spectral/lambda.hpp"
+#include "stats/regression.hpp"
+
+namespace {
+
+using namespace divlib;
+
+void sweep(const std::string& family, const Graph& g, int replicas,
+           std::uint64_t salt_base) {
+  const VertexId n = g.num_vertices();
+  Table table({"k", "E[T] measured", "stderr", "E[T]/(k n log n)", "capped"});
+  std::vector<double> ks;
+  std::vector<double> times;
+  const double n_log_n = static_cast<double>(n) * std::log(static_cast<double>(n));
+  // k = 2 is excluded: two adjacent opinions are already the final stage
+  // (T = 0 identically).
+  for (const int k : {3, 4, 8, 16, 32}) {
+    const auto stats = divbench::run_to_two_adjacent(
+        g,
+        [](const Graph& graph) {
+          return std::make_unique<DivProcess>(graph, SelectionScheme::kVertex);
+        },
+        [n, k](Rng& rng) {
+          return uniform_random_opinions(n, 1, static_cast<Opinion>(k), rng);
+        },
+        static_cast<std::size_t>(replicas),
+        /*max_steps=*/static_cast<std::uint64_t>(n) * n * 100,
+        salt_base + static_cast<std::uint64_t>(k));
+    const double mean_t = stats.steps_to_two_adjacent.mean();
+    ks.push_back(static_cast<double>(k));
+    times.push_back(mean_t);
+    table.row()
+        .cell(k)
+        .cell(mean_t, 1)
+        .cell(stats.steps_to_two_adjacent.stderror(), 1)
+        .cell(mean_t / (static_cast<double>(k) * n_log_n), 3)
+        .cell(static_cast<std::uint64_t>(stats.incomplete));
+  }
+  print_banner(std::cout, "EXP-3  " + family + " (n=" + std::to_string(n) +
+                              ", vertex process)");
+  table.print(std::cout);
+  const LinearFit linear = fit_linear(ks, times);
+  const LinearFit powerlaw = fit_loglog(ks, times);
+  std::cout << "linear fit: E[T] ~ " << format_double(linear.slope, 1)
+            << " * k + " << format_double(linear.intercept, 1)
+            << " (R^2 = " << format_double(linear.r_squared, 4) << ")\n"
+            << "power-law fit: E[T] ~ k^" << format_double(powerlaw.slope, 3)
+            << " -- paper predicts (sub)linear growth in k.\n";
+}
+
+}  // namespace
+
+int main() {
+  const int scale = divbench::scale();
+  const int replicas = 30 * scale;
+  std::cout << "replicas per k: " << replicas << "\n";
+  Rng graph_rng(0xe3);
+  sweep("complete K_n", make_complete(256), replicas, 0x300);
+  sweep("random d-regular (d=16)",
+        make_connected_random_regular(256, 16, graph_rng), replicas, 0x400);
+  std::cout << "\nExpected shape: E[T]/(k n log n) roughly flat or falling; "
+               "power-law\nexponent about 1 or below on both families.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// EXP-10 -- Lemma 10: while at least four opinions remain, the product of the
+// extreme stationary masses pi(A_s(t)) * pi(A_l(t)) is a supermartingale
+// decaying by a factor <= (1 - 1/2n) per step (vertex process); in the
+// three-opinion case the factor is (1 - eps2/2n) with eps2 = pi-mass floor.
+//
+// Tracks the ORIGINAL extremes s and l and fits the per-step decay factor of
+// the replica-averaged product; the fitted factor must not exceed the bound.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/div_process.hpp"
+#include "core/theory.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+#include "io/table.hpp"
+#include "stats/regression.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace divlib;
+
+struct DecayFit {
+  double measured_factor = 1.0;
+  double r_squared = 0.0;
+  std::size_t points = 0;
+};
+
+DecayFit measure_decay(const Graph& g, Opinion k, std::size_t replicas,
+                       std::uint64_t steps, std::uint64_t stride,
+                       std::uint64_t salt) {
+  const VertexId n = g.num_vertices();
+  const auto trajectories = run_replicas<std::vector<double>>(
+      replicas,
+      [&g, n, k, steps, stride](std::size_t, Rng& rng) {
+        OpinionState state(g, uniform_random_opinions(n, 1, k, rng));
+        DivProcess process(g, SelectionScheme::kVertex);
+        std::vector<double> values;
+        values.reserve(steps / stride + 1);
+        for (std::uint64_t step = 0; step <= steps; ++step) {
+          if (step % stride == 0) {
+            values.push_back(state.pi_mass(1) * state.pi_mass(k));
+          }
+          process.step(state, rng);
+        }
+        return values;
+      },
+      divbench::mc_options(salt));
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (std::size_t i = 0; i <= steps / stride; ++i) {
+    Summary s;
+    for (const auto& trajectory : trajectories) {
+      s.add(trajectory[i]);
+    }
+    if (s.mean() <= 1e-12) {
+      break;  // extremes eliminated in (essentially) every replica
+    }
+    xs.push_back(static_cast<double>(i * stride));
+    ys.push_back(s.mean());
+  }
+  DecayFit fit;
+  fit.points = xs.size();
+  if (xs.size() >= 3) {
+    const LinearFit exponential = fit_exponential(xs, ys);
+    fit.measured_factor = std::exp(exponential.slope);
+    fit.r_squared = exponential.r_squared;
+  }
+  return fit;
+}
+
+}  // namespace
+
+int main() {
+  const int scale = divbench::scale();
+  const std::size_t replicas = static_cast<std::size_t>(150 * scale);
+
+  print_banner(std::cout,
+               "EXP-10  Lemma 10: decay of pi(A_s(t)) * pi(A_l(t)), vertex process");
+  std::cout << "replicas per row: " << replicas << "\n";
+
+  Rng graph_rng(0xea);
+  Table table({"graph", "n", "k", "paper factor (1 - 1/2n)",
+               "measured factor/step", "R^2", "bound holds"});
+  std::uint64_t salt = 0xa0;
+  struct Case {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"complete", make_complete(128)});
+  cases.push_back({"complete", make_complete(256)});
+  cases.push_back({"random-regular d=16",
+                   make_connected_random_regular(256, 16, graph_rng)});
+  for (const auto& graph_case : cases) {
+    const VertexId n = graph_case.graph.num_vertices();
+    for (const Opinion k : {6, 10}) {
+      const std::uint64_t steps = static_cast<std::uint64_t>(n) * 25;
+      const DecayFit fit =
+          measure_decay(graph_case.graph, k, replicas, steps, n / 8, salt++);
+      const double paper = theory::lemma10_decay_factor_four_plus(n);
+      table.row()
+          .cell(graph_case.name)
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<int>(k))
+          .cell(paper, 6)
+          .cell(fit.measured_factor, 6)
+          .cell(fit.r_squared, 4)
+          .cell(fit.measured_factor <= paper + 1e-4 ? "yes" : "NO");
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: measured per-step factor at or below the "
+               "paper's\n(1 - 1/2n) supermartingale bound, with a clean "
+               "exponential fit (high R^2).\n";
+  return 0;
+}

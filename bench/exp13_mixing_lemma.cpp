@@ -1,0 +1,115 @@
+// EXP-13 -- Lemma 9 (the expander mixing lemma), the analytic engine behind
+// Lemma 10: for all S, U
+//
+//   |Q(S,U) - pi(S)pi(U)| <= lambda sqrt(pi(S)pi(S^C)pi(U)pi(U^C)).
+//
+// For each graph we evaluate the ratio LHS/RHS exactly over many random set
+// pairs plus designed adversarial cuts (BFS balls, bottleneck halves) and
+// report the maximum -- it must never exceed 1, and bottleneck graphs should
+// come close to saturating it.
+#include <algorithm>
+#include <iostream>
+
+#include "common.hpp"
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+#include "io/table.hpp"
+#include "spectral/lambda.hpp"
+
+namespace {
+
+using namespace divlib;
+
+struct RatioScan {
+  double max_ratio = 0.0;
+  int pairs = 0;
+};
+
+RatioScan scan(const Graph& g, double lambda, Rng& rng, int random_pairs) {
+  RatioScan result;
+  const VertexId n = g.num_vertices();
+  const auto consider = [&](const std::vector<bool>& s,
+                            const std::vector<bool>& u) {
+    result.max_ratio = std::max(result.max_ratio, mixing_lemma_ratio(g, s, u, lambda));
+    ++result.pairs;
+  };
+  // Random pairs at several densities.
+  for (int i = 0; i < random_pairs; ++i) {
+    const double p_s = rng.uniform_real(0.1, 0.9);
+    const double p_u = rng.uniform_real(0.1, 0.9);
+    std::vector<bool> s(n);
+    std::vector<bool> u(n);
+    for (VertexId v = 0; v < n; ++v) {
+      s[v] = rng.bernoulli(p_s);
+      u[v] = rng.bernoulli(p_u);
+    }
+    consider(s, u);
+  }
+  // BFS balls against their complements (bottleneck-style cuts).
+  const auto distance = bfs_distances(g, 0);
+  std::uint32_t radius = 0;
+  for (const std::uint32_t d : distance) {
+    if (d != kUnreachable) {
+      radius = std::max(radius, d);
+    }
+  }
+  for (std::uint32_t r = 0; r < radius; ++r) {
+    std::vector<bool> ball(n, false);
+    std::vector<bool> complement(n, false);
+    for (VertexId v = 0; v < n; ++v) {
+      const bool inside = distance[v] != kUnreachable && distance[v] <= r;
+      ball[v] = inside;
+      complement[v] = !inside;
+    }
+    consider(ball, ball);
+    consider(ball, complement);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const int scale = divbench::scale();
+  const int random_pairs = 300 * scale;
+  Rng graph_rng(0xed);
+
+  print_banner(std::cout,
+               "EXP-13  Lemma 9 (expander mixing lemma): max |Q(S,U) - "
+               "pi(S)pi(U)| / (lambda sqrt(...))");
+  std::cout << "random (S, U) pairs per graph: " << random_pairs
+            << " plus BFS-ball cuts\n";
+
+  struct Case {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"complete n=128", make_complete(128)});
+  cases.push_back({"hypercube d=7", make_hypercube(7)});
+  cases.push_back({"random-regular n=128 d=8",
+                   make_connected_random_regular(128, 8, graph_rng)});
+  cases.push_back({"gnp n=128 p=0.15", make_connected_gnp(128, 0.15, graph_rng)});
+  cases.push_back({"barbell 32+32", make_barbell(32)});
+  cases.push_back({"cycle n=129", make_cycle(129)});
+
+  Table table({"graph", "lambda", "max ratio (<= 1)", "pairs tested", "holds"});
+  Rng set_rng(0x13);
+  for (const auto& graph_case : cases) {
+    const double lambda = second_eigenvalue(graph_case.graph);
+    const RatioScan result =
+        scan(graph_case.graph, lambda, set_rng, random_pairs);
+    table.row()
+        .cell(graph_case.name)
+        .cell(lambda, 5)
+        .cell(result.max_ratio, 5)
+        .cell(result.pairs)
+        .cell(result.max_ratio <= 1.0 + 1e-9 ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: every ratio <= 1 (the lemma is a theorem); "
+               "bottleneck cuts\n(barbell halves, cycle arcs) approach 1, "
+               "random sets on good expanders sit\nwell below it.\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// EXP-17 -- design ablations of the DIV rule.
+//
+// (a) Increment size: generalize eq. (1) to clamped steps of size m
+//     (m = 1 is DIV, m -> inf is pull voting).  The move magnitude is
+//     symmetric in the pair, so the edge-process weight stays a martingale
+//     for every m; the table shows what the +-1 choice actually buys --
+//     BOTH faster reduction (the extremes drift inward deterministically)
+//     AND a winner concentrated on {floor(c), ceil(c)}.
+// (b) Fault tolerance: the introduction touts voting dynamics as
+//     fault-tolerant.  With i.i.d. message loss at rate p the jump chain is
+//     unchanged: the win distribution is invariant and time stretches by
+//     exactly 1/(1-p).
+#include <iostream>
+#include <memory>
+
+#include "common.hpp"
+#include "core/div_process.hpp"
+#include "core/faulty_process.hpp"
+#include "core/step_size.hpp"
+#include "core/theory.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "io/table.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace divlib;
+
+}  // namespace
+
+int main() {
+  const int scale = divbench::scale();
+  const std::size_t replicas = static_cast<std::size_t>(400 * scale);
+  const VertexId n = 128;
+  const Graph g = make_complete(n);
+  const auto target_sum = static_cast<std::int64_t>(4.5 * n);  // c = 4.5, k = 8
+
+  print_banner(std::cout,
+               "EXP-17a  Increment-size ablation on K_128 (k=8, c=4.5, edge "
+               "process)");
+  std::cout << "replicas per row: " << replicas << "\n";
+  Table step_table({"max step", "equivalent", "E[T] reduction", "E[T] consensus",
+                    "P(winner in {4,5})", "E[winner]"});
+  std::uint64_t salt = 0x170;
+  for (const Opinion max_step : {1, 2, 3, 7, 100}) {
+    struct Outcome {
+      double reduction = 0.0;
+      double consensus = 0.0;
+      Opinion winner = -1;
+    };
+    const auto outcomes = run_replicas<Outcome>(
+        replicas,
+        [&g, n, target_sum, max_step](std::size_t, Rng& rng) {
+          OpinionState state(g, opinions_with_sum(n, 1, 8, target_sum, rng));
+          SteppedIncrementalProcess process(g, SelectionScheme::kEdge, max_step);
+          RunOptions options;
+          options.stop = StopKind::kTwoAdjacent;
+          options.max_steps = 100'000'000;
+          const RunResult reduction = run(process, state, rng, options);
+          options.stop = StopKind::kConsensus;
+          const RunResult consensus = run(process, state, rng, options);
+          return Outcome{static_cast<double>(reduction.steps),
+                         static_cast<double>(reduction.steps + consensus.steps),
+                         consensus.winner.value_or(-1)};
+        },
+        divbench::mc_options(salt++));
+    Summary reduction;
+    Summary consensus;
+    IntCounter winners;
+    double mean_winner = 0.0;
+    for (const Outcome& outcome : outcomes) {
+      reduction.add(outcome.reduction);
+      consensus.add(outcome.consensus);
+      winners.add(outcome.winner);
+      mean_winner += static_cast<double>(outcome.winner) /
+                     static_cast<double>(replicas);
+    }
+    step_table.row()
+        .cell(static_cast<int>(max_step))
+        .cell(max_step == 1 ? "DIV (the paper)"
+                            : (max_step >= 7 ? "~ pull voting" : "hybrid"))
+        .cell(reduction.mean(), 1)
+        .cell(consensus.mean(), 1)
+        .cell(winners.fraction(4) + winners.fraction(5), 4)
+        .cell(mean_winner, 3);
+  }
+  step_table.print(std::cout);
+  std::cout << "Expected shape: E[winner] ~ 4.5 in EVERY row (the martingale "
+               "survives all step\nsizes), but only step 1 concentrates the "
+               "winner AND minimizes the reduction\ntime -- the paper's rule "
+               "dominates, it is not a trade-off.\n";
+
+  print_banner(std::cout,
+               "EXP-17b  Message-loss fault injection (DIV edge, K_128, "
+               "c = 2.5 over {1..4})");
+  Table fault_table({"drop rate", "E[T] measured", "E[T] x (1-p)",
+                     "P(floor)", "P(ceil)", "P(off)"});
+  const auto fault_target = static_cast<std::int64_t>(2.5 * n);
+  for (const double drop : {0.0, 0.25, 0.5, 0.75}) {
+    const auto stats = divbench::run_to_consensus(
+        g,
+        [drop](const Graph& graph) {
+          return std::make_unique<FaultyProcess>(
+              std::make_unique<DivProcess>(graph, SelectionScheme::kEdge), drop);
+        },
+        [n, fault_target](Rng& rng) {
+          return opinions_with_sum(n, 1, 4, fault_target, rng);
+        },
+        replicas, /*max_steps=*/400'000'000, salt++);
+    fault_table.row()
+        .cell(drop, 2)
+        .cell(stats.steps_to_finish.mean(), 1)
+        .cell(stats.steps_to_finish.mean() * (1.0 - drop), 1)
+        .cell(stats.win_fraction(2), 4)
+        .cell(stats.win_fraction(3), 4)
+        .cell(1.0 - stats.win_fraction(2) - stats.win_fraction(3), 4);
+  }
+  fault_table.print(std::cout);
+  std::cout << "Expected shape: the 'E[T] x (1-p)' column is constant (time "
+               "stretches by\nexactly 1/(1-p)) and the win columns are "
+               "identical across drop rates --\nmessage loss does not move "
+               "the outcome.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// EXP-19 -- the baseline's own law: Berenbrink et al. [5] prove that the
+// asynchronous edge load-balancing process reaches a state of at most three
+// consecutive values around the average within O(n log n + n log k) steps
+// w.h.p. (complete-graph-style expanders).
+//
+// We verify the shape on K_n: E[T_3] / (n log n + n log k) stays bounded
+// (roughly constant) across a joint sweep of n and k.
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/load_balancing.hpp"
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "io/table.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace divlib;
+
+double steps_to_three_values(const Graph& g, Opinion k, Rng& rng) {
+  OpinionState state(g, uniform_random_opinions(g.num_vertices(), 1, k, rng));
+  LoadBalancing process(g);
+  std::uint64_t step = 0;
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(g.num_vertices()) * g.num_vertices() * 100;
+  while (state.max_active() - state.min_active() > 2 && step < cap) {
+    process.step(state, rng);
+    ++step;
+  }
+  return static_cast<double>(step);
+}
+
+}  // namespace
+
+int main() {
+  const int scale = divbench::scale();
+  const std::size_t replicas = static_cast<std::size_t>(100 * scale);
+
+  print_banner(std::cout,
+               "EXP-19  Load balancing [5]: E[steps to <= 3 consecutive "
+               "values] vs n log n + n log k");
+  std::cout << "replicas per cell: " << replicas << "\n";
+
+  Table table({"n", "k", "E[T_3]", "stderr", "n log n + n log k",
+               "ratio (should be ~constant)"});
+  std::uint64_t salt = 0x190;
+  for (const VertexId n : {64u, 128u, 256u, 512u}) {
+    const Graph g = make_complete(n);
+    for (const Opinion k : {8, 64}) {
+      const auto times = run_replicas<double>(
+          replicas,
+          [&g, k](std::size_t, Rng& rng) {
+            return steps_to_three_values(g, k, rng);
+          },
+          divbench::mc_options(salt++));
+      const Summary summary = Summary::of(times);
+      const double reference =
+          static_cast<double>(n) * std::log(static_cast<double>(n)) +
+          static_cast<double>(n) * std::log(static_cast<double>(k));
+      table.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<int>(k))
+          .cell(summary.mean(), 1)
+          .cell(summary.stderror(), 1)
+          .cell(reference, 1)
+          .cell(summary.mean() / reference, 4);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the last column stays within a narrow "
+               "constant band as n\ngrows 8x and k grows 8x -- the "
+               "O(n log n + n log k) law of [5].\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// EXP-20 -- Lemmas 11 and 12: the linear-voting time bound that powers the
+// stage analysis of Theorem 1.
+//
+// Lemma 11 ([14]): two-opinion pull voting started from a set B(0) of small
+// stationary mass reaches consensus within
+//     T_p * sqrt(min(pi(B), pi(B^C))),   T_p = 64 n / (sqrt(2)(1-lambda) pi_min),
+// with probability >= 1/2.
+//
+// Lemma 12 transfers the same bound to DIV via the Lemma 13 coupling: one
+// of the ORIGINAL extreme opinions vanishes within the same deadline with
+// probability >= 1/2.
+//
+// We sweep the initial extreme mass eps and report P[tau <= deadline] for
+// both processes -- every row must clear 1/2 (the bound is loose; the
+// measured probabilities are near 1) -- plus the median tau as a fraction
+// of the deadline.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/div_process.hpp"
+#include "core/pull_voting.hpp"
+#include "core/theory.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "io/table.hpp"
+#include "spectral/lambda.hpp"
+#include "stats/ecdf.hpp"
+
+namespace {
+
+using namespace divlib;
+
+}  // namespace
+
+int main() {
+  const int scale = divbench::scale();
+  const std::size_t replicas = static_cast<std::size_t>(400 * scale);
+
+  const VertexId n = 128;
+  const Graph g = make_complete(n);
+  const double lambda = second_eigenvalue(g);
+  const double pi_min = g.min_stationary();
+  const double t_p = theory::stage_time_Tp(n, lambda, pi_min);
+
+  print_banner(std::cout,
+               "EXP-20  Lemmas 11/12: elimination within T_p sqrt(eps), "
+               "T_p = 64n/(sqrt(2)(1-lambda)pi_min)");
+  std::cout << "graph: " << g.summary() << ", lambda = " << format_double(lambda, 4)
+            << ", T_p = " << format_double(t_p, 0)
+            << ", replicas per cell: " << replicas << "\n";
+
+  Table table({"eps = pi(B(0))", "process", "deadline T_p sqrt(eps)",
+               "P[tau <= deadline]", "median tau / deadline", "paper bound"});
+  std::uint64_t salt = 0x200;
+  for (const double eps : {0.25, 0.125, 0.0625, 0.03125}) {
+    const auto minority = static_cast<VertexId>(eps * n);
+    const double deadline = t_p * std::sqrt(eps);
+
+    // Lemma 11: two-opinion pull voting, B(0) = `minority` vertices.
+    {
+      const auto taus = run_replicas<double>(
+          replicas,
+          [&g, n, minority](std::size_t, Rng& rng) {
+            OpinionState state(g, two_value_opinions(n, 0, 1, minority, rng));
+            PullVoting process(g, SelectionScheme::kVertex);
+            std::uint64_t step = 0;
+            while (!state.is_consensus() && step < 100'000'000) {
+              process.step(state, rng);
+              ++step;
+            }
+            return static_cast<double>(step);
+          },
+          divbench::mc_options(salt++));
+      const Ecdf ecdf(taus);
+      table.row()
+          .cell(eps, 5)
+          .cell("pull (Lemma 11)")
+          .cell(deadline, 0)
+          .cell(1.0 - ecdf.tail_at_least(deadline + 0.5), 4)
+          .cell(ecdf.quantile(0.5) / deadline, 4)
+          .cell(">= 0.5");
+    }
+
+    // Lemma 12: DIV with opinions {1..4}; the minority holds the extreme 1,
+    // the rest splits over {2,3,4}.  tau = first time an ORIGINAL extreme
+    // (1 or 4) has vanished.
+    {
+      const auto taus = run_replicas<double>(
+          replicas,
+          [&g, n, minority](std::size_t, Rng& rng) {
+            const VertexId rest = n - minority;
+            OpinionState state(
+                g, opinions_with_counts(
+                       n, 1, {minority, rest / 3, rest / 3, rest - 2 * (rest / 3)},
+                       rng));
+            DivProcess process(g, SelectionScheme::kVertex);
+            std::uint64_t step = 0;
+            while (state.count(1) > 0 && state.count(4) > 0 &&
+                   step < 100'000'000) {
+              process.step(state, rng);
+              ++step;
+            }
+            return static_cast<double>(step);
+          },
+          divbench::mc_options(salt++));
+      const Ecdf ecdf(taus);
+      table.row()
+          .cell(eps, 5)
+          .cell("DIV (Lemma 12)")
+          .cell(deadline, 0)
+          .cell(1.0 - ecdf.tail_at_least(deadline + 0.5), 4)
+          .cell(ecdf.quantile(0.5) / deadline, 4)
+          .cell(">= 0.5");
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: every P[tau <= deadline] >= 0.5 (in fact "
+               "close to 1: the\nconstant 64 is generous), and the median tau "
+               "sits at a small fraction of the\ndeadline that shrinks with "
+               "eps -- the sqrt(eps) scaling has slack exactly as\na "
+               "probability-1/2 bound should.\n";
+  return 0;
+}

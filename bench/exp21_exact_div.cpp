@@ -1,0 +1,105 @@
+// EXP-21 -- the FULL DIV process solved exactly on tiny graphs (k^n-state
+// absorption analysis), complementing EXP-16's two-opinion chain.
+//
+// (a) The [13] counterexample at exactly computable size: the blocked
+//     {0,1,2} configuration on small paths has exact extreme-opinion win
+//     probabilities bounded away from 0 that do NOT decay with n, while
+//     the same counts on K_n decay visibly -- Theorem 2's dichotomy with
+//     zero Monte-Carlo error.
+// (b) The Lemma 3 martingale, exactly: max over ALL k^n initial states of
+//     |E[winner] - average| is ~1e-12 for the edge process (plain average)
+//     and the vertex process (degree-weighted average), on every graph
+//     tried -- including strongly irregular ones.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "common.hpp"
+#include "exact/div_chain.hpp"
+#include "graph/generators.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+using namespace divlib;
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "EXP-21a  Exact counterexample: blocked {0,1,2}, exact win "
+               "probabilities (edge process)");
+  Table path_table({"graph", "states", "P(0)", "P(1)", "P(2)",
+                    "extremes win (exact)", "E[tau]"});
+  struct Case {
+    std::string name;
+    Graph graph;
+    std::vector<Opinion> start;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"path n=6 (blocked)", make_path(6), {0, 0, 1, 1, 2, 2}});
+  cases.push_back({"path n=7 (blocked)", make_path(7), {0, 0, 1, 1, 1, 2, 2}});
+  cases.push_back(
+      {"cycle n=6 (blocked)", make_cycle(6), {0, 0, 1, 1, 2, 2}});
+  cases.push_back({"complete n=6 (same counts)", make_complete(6),
+                   {0, 0, 1, 1, 2, 2}});
+  cases.push_back({"complete n=7 (same counts)", make_complete(7),
+                   {0, 0, 1, 1, 1, 2, 2}});
+  for (const auto& c : cases) {
+    const DivChain chain(c.graph, 3, SelectionScheme::kEdge);
+    const std::uint64_t state = chain.encode(c.start);
+    const auto d = chain.absorption_distribution(state);
+    path_table.row()
+        .cell(c.name)
+        .cell(chain.num_states())
+        .cell(d[0], 6)
+        .cell(d[1], 6)
+        .cell(d[2], 6)
+        .cell(d[0] + d[2], 6)
+        .cell(chain.expected_consensus_time(state), 2);
+  }
+  path_table.print(std::cout);
+  std::cout << "Expected shape: on paths/cycles the extremes hold a constant "
+               "share (the\ncounterexample is exact, not a sampling artifact); "
+               "on K_n with the same counts\nthe middle value dominates and "
+               "the extreme share falls with n.\n";
+
+  print_banner(std::cout,
+               "EXP-21b  Lemma 3 exactly: max over ALL initial states of "
+               "|E[winner] - average|");
+  Table martingale_table({"graph", "scheme", "states checked",
+                          "max |E[winner] - relevant average|"});
+  const Graph graphs[] = {make_path(5), make_star(5), make_complete(5),
+                          make_lollipop(3, 2)};
+  for (const Graph& g : graphs) {
+    for (const auto scheme : {SelectionScheme::kEdge, SelectionScheme::kVertex}) {
+      const DivChain chain(g, 3, scheme);
+      double worst = 0.0;
+      for (std::uint64_t state = 0; state < chain.num_states(); ++state) {
+        const auto opinions = chain.decode(state);
+        double reference = 0.0;
+        if (scheme == SelectionScheme::kEdge) {
+          reference = std::accumulate(opinions.begin(), opinions.end(), 0.0) /
+                      static_cast<double>(g.num_vertices());
+        } else {
+          for (VertexId v = 0; v < g.num_vertices(); ++v) {
+            reference += g.stationary(v) * static_cast<double>(opinions[v]);
+          }
+        }
+        worst = std::max(worst, std::abs(chain.expected_winner(state) - reference));
+      }
+      martingale_table.row()
+          .cell(g.summary())
+          .cell(std::string(to_string(scheme)))
+          .cell(chain.num_states())
+          .cell(worst, 14);
+    }
+  }
+  martingale_table.print(std::cout);
+  std::cout << "\nExpected shape: the last column is ~1e-12 in every row -- "
+               "E[winner] equals the\n(plain | degree-weighted) initial "
+               "average EXACTLY on arbitrary graphs, the\nLemma 3 martingale "
+               "in closed form.\n";
+  return 0;
+}

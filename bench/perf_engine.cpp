@@ -1,0 +1,151 @@
+// PERF-1 -- google-benchmark microbenchmarks of the simulation engine:
+// steps/second for every process under both selection schemes, the O(1)
+// aggregate bookkeeping (ablation: naive rescan), graph generation, and
+// lambda computation.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "core/best_of_two.hpp"
+#include "core/div_process.hpp"
+#include "core/load_balancing.hpp"
+#include "core/median_voting.hpp"
+#include "core/pull_voting.hpp"
+#include "engine/initial_config.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+#include "spectral/lambda.hpp"
+#include "spectral/power_iteration.hpp"
+
+namespace {
+
+using namespace divlib;
+
+const Graph& shared_regular_graph(VertexId n) {
+  static std::map<VertexId, Graph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Rng rng(0xbe7c);
+    it = cache.emplace(n, make_connected_random_regular(n, 16, rng)).first;
+  }
+  return it->second;
+}
+
+template <typename MakeProcess>
+void run_steps(benchmark::State& state, VertexId n, MakeProcess make_process) {
+  const Graph& g = shared_regular_graph(n);
+  Rng rng(42);
+  OpinionState opinions(g, uniform_random_opinions(n, 1, 8, rng));
+  auto process = make_process(g);
+  // Re-randomize occasionally so consensus never freezes the workload.
+  std::uint64_t executed = 0;
+  for (auto _ : state) {
+    if (opinions.is_consensus()) {
+      state.PauseTiming();
+      opinions = OpinionState(g, uniform_random_opinions(n, 1, 8, rng));
+      state.ResumeTiming();
+    }
+    process->step(opinions, rng);
+    ++executed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+}
+
+void BM_DivVertexStep(benchmark::State& state) {
+  run_steps(state, static_cast<VertexId>(state.range(0)), [](const Graph& g) {
+    return std::make_unique<DivProcess>(g, SelectionScheme::kVertex);
+  });
+}
+BENCHMARK(BM_DivVertexStep)->Arg(1024)->Arg(16384);
+
+void BM_DivEdgeStep(benchmark::State& state) {
+  run_steps(state, static_cast<VertexId>(state.range(0)), [](const Graph& g) {
+    return std::make_unique<DivProcess>(g, SelectionScheme::kEdge);
+  });
+}
+BENCHMARK(BM_DivEdgeStep)->Arg(1024)->Arg(16384);
+
+void BM_PullVertexStep(benchmark::State& state) {
+  run_steps(state, static_cast<VertexId>(state.range(0)), [](const Graph& g) {
+    return std::make_unique<PullVoting>(g, SelectionScheme::kVertex);
+  });
+}
+BENCHMARK(BM_PullVertexStep)->Arg(1024);
+
+void BM_MedianStep(benchmark::State& state) {
+  run_steps(state, static_cast<VertexId>(state.range(0)),
+            [](const Graph& g) { return std::make_unique<MedianVoting>(g); });
+}
+BENCHMARK(BM_MedianStep)->Arg(1024);
+
+void BM_LoadBalanceStep(benchmark::State& state) {
+  run_steps(state, static_cast<VertexId>(state.range(0)),
+            [](const Graph& g) { return std::make_unique<LoadBalancing>(g); });
+}
+BENCHMARK(BM_LoadBalanceStep)->Arg(1024);
+
+void BM_BestOfTwoStep(benchmark::State& state) {
+  run_steps(state, static_cast<VertexId>(state.range(0)),
+            [](const Graph& g) { return std::make_unique<BestOfTwo>(g); });
+}
+BENCHMARK(BM_BestOfTwoStep)->Arg(1024);
+
+// Ablation: aggregate lookup through the maintained O(1) counters vs a naive
+// O(n) rescan of the opinion vector (what the engine would pay per stop-
+// condition check without the bookkeeping).
+void BM_StopCheckMaintained(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const Graph& g = shared_regular_graph(n);
+  Rng rng(7);
+  const OpinionState opinions(g, uniform_random_opinions(n, 1, 8, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opinions.is_two_adjacent());
+    benchmark::DoNotOptimize(opinions.min_active());
+  }
+}
+BENCHMARK(BM_StopCheckMaintained)->Arg(16384);
+
+void BM_StopCheckNaiveRescan(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const Graph& g = shared_regular_graph(n);
+  Rng rng(7);
+  const OpinionState opinions(g, uniform_random_opinions(n, 1, 8, rng));
+  for (auto _ : state) {
+    const auto all = opinions.opinions();
+    const auto [lo, hi] = std::minmax_element(all.begin(), all.end());
+    benchmark::DoNotOptimize(*hi - *lo <= 1);
+  }
+}
+BENCHMARK(BM_StopCheckNaiveRescan)->Arg(16384);
+
+void BM_MakeRandomRegular(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_random_regular(n, 16, rng));
+  }
+}
+BENCHMARK(BM_MakeRandomRegular)->Arg(1024)->Arg(8192);
+
+void BM_SecondEigenvalueDense(benchmark::State& state) {
+  const Graph g = make_complete(static_cast<VertexId>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(second_eigenvalue(g));
+  }
+}
+BENCHMARK(BM_SecondEigenvalueDense)->Arg(128)->Arg(256);
+
+void BM_SecondEigenvaluePower(benchmark::State& state) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const Graph& g = shared_regular_graph(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(second_eigenvalue_power(g));
+  }
+}
+BENCHMARK(BM_SecondEigenvaluePower)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// When does DIV find the average?  The paper's answer: when the graph is an
+// expander (lambda * k = o(1)).  This example contrasts a random regular
+// expander with the path graph counterexample of [13]: identical opinion
+// *frequencies*, drastically different outcomes.
+//
+//   $ ./expander_vs_path [n] [runs] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/div_process.hpp"
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+#include "spectral/lambda.hpp"
+#include "stats/histogram.hpp"
+
+namespace {
+
+using namespace divlib;
+
+void report(const char* name, const Graph& graph,
+            const std::vector<Opinion>& opinions, int runs, Rng& rng) {
+  const double lambda = second_eigenvalue(graph);
+  const OpinionState initial(graph, opinions);
+  std::cout << name << ": " << graph.summary() << ", lambda = " << lambda
+            << ", lambda*k = " << lambda * 3 << "\n"
+            << "  initial counts 0:" << initial.count(0)
+            << " 1:" << initial.count(1) << " 2:" << initial.count(2)
+            << ", average = " << initial.average() << "\n";
+
+  IntCounter winners;
+  for (int repetition = 0; repetition < runs; ++repetition) {
+    OpinionState state(graph, opinions);
+    DivProcess process(graph, SelectionScheme::kEdge);
+    RunOptions options;
+    options.max_steps = static_cast<std::uint64_t>(graph.num_vertices()) *
+                        graph.num_vertices() * graph.num_vertices() * 50;
+    const RunResult result = run(process, state, rng, options);
+    winners.add(result.winner.value_or(-1));
+  }
+  std::cout << "  winners over " << runs << " runs: ";
+  for (const auto& [value, count] : winners.counts()) {
+    std::cout << value << " x" << count << "  ";
+  }
+  std::cout << "\n  P(average wins) = " << winners.fraction(1) << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 96;
+  const int runs = argc > 2 ? std::atoi(argv[2]) : 200;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 5;
+  Rng rng(seed);
+
+  const VertexId third = n / 3;
+  // Blocked opinions 0|1|2 along the path; the same counts shuffled on the
+  // expander.
+  const auto blocked = block_opinions(third * 3, 0, {third, third, third});
+  auto shuffled = blocked;
+  rng.shuffle(shuffled);
+
+  std::cout << "Discrete incremental voting with opinions {0,1,2}; the "
+               "average is exactly 1.\n\n";
+
+  const Graph expander = make_connected_random_regular(third * 3, 16, rng);
+  report("random 16-regular expander", expander, shuffled, runs, rng);
+
+  const Graph path = make_path(third * 3);
+  report("path graph (counterexample of [13])", path, blocked, runs, rng);
+
+  std::cout << "Takeaway: with lambda*k = o(1) the average wins essentially "
+               "always; on the\npath (lambda ~ 1) the extreme opinions 0 and 2 "
+               "win with constant probability.\n";
+  return 0;
+}

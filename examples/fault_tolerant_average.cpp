@@ -1,0 +1,85 @@
+// Fault-tolerant distributed averaging -- the introduction's claim that
+// voting dynamics are "simple, fault-tolerant, and easy to implement" made
+// concrete.  A sensor mesh runs DIV under two injected failure modes:
+//
+//   1. lossy links: half of all gossip interactions are dropped;
+//   2. a stuck sensor: one node crashes and keeps answering pulls with a
+//      frozen (wrong) reading.
+//
+//   $ ./fault_tolerant_average [n] [seed]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "core/div_process.hpp"
+#include "core/faulty_process.hpp"
+#include "engine/engine.hpp"
+#include "graph/random_graphs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace divlib;
+
+  const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 300;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+  Rng rng(seed);
+
+  const Graph mesh = make_connected_random_regular(n, 12, rng);
+  std::cout << "sensor mesh: " << mesh.summary() << "\n";
+
+  std::vector<Opinion> readings(n);
+  for (VertexId v = 0; v < n; ++v) {
+    readings[v] = 20 + static_cast<Opinion>(rng.uniform_below(7));  // 20..26
+  }
+  {
+    const OpinionState initial(mesh, readings);
+    std::cout << "true average reading: " << initial.average() << " C\n\n";
+  }
+
+  const auto run_case = [&](const char* label, double drop_rate,
+                            std::vector<VertexId> crashed,
+                            std::uint64_t max_steps) {
+    OpinionState state(mesh, readings);
+    FaultyProcess process(
+        std::make_unique<DivProcess>(mesh, SelectionScheme::kEdge), drop_rate,
+        std::move(crashed));
+    RunOptions options;
+    options.max_steps = max_steps;
+    const RunResult result = run(process, state, rng, options);
+    std::cout << label << ":\n";
+    if (result.completed) {
+      std::cout << "  consensus on " << *result.winner << " C after "
+                << result.steps << " ticks";
+      if (process.dropped_steps() > 0) {
+        std::cout << " (" << process.dropped_steps() << " interactions lost)";
+      }
+      std::cout << "\n";
+    } else {
+      std::cout << "  after " << result.steps
+                << " ticks (budget reached): readings in ["
+                << state.min_active() << ", " << state.max_active()
+                << "], network average " << state.average() << " C\n";
+    }
+    return result;
+  };
+
+  const std::uint64_t unlimited = static_cast<std::uint64_t>(n) * n * 1000;
+  const RunResult healthy = run_case("healthy network", 0.0, {}, unlimited);
+  run_case("50% message loss", 0.5, {}, unlimited);
+
+  // Crash sensor 0 at a *wrong* frozen value far from the average, and read
+  // the network out at a realistic budget (10x the healthy consensus time).
+  readings[0] = 99;
+  run_case("one sensor stuck at 99 C, readout at a 10x budget", 0.0, {0},
+           healthy.steps * 10);
+  run_case("one sensor stuck at 99 C, unlimited budget", 0.0, {0}, unlimited);
+
+  std::cout << "\nTakeaway: message loss is benign -- same answer, time "
+               "scaled by 1/(1-p).\nA stuck extremist is the serious fault: "
+               "within a normal time budget the live\nsensors still agree "
+               "near the true average, but on unbounded horizons the\n"
+               "frozen node drags the entire network to ITS value -- the "
+               "only absorbing state\nis agreement with the zealot.  "
+               "Deployments must bound the horizon or evict\nstuck nodes.\n";
+  return 0;
+}

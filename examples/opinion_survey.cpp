@@ -1,0 +1,88 @@
+// Opinion dynamics on a social network: the paper's Likert-scale motivation.
+//
+// Vertices hold opinions 1 ('disagree strongly') .. 5 ('agree strongly') on a
+// Watts-Strogatz small-world network.  We run the three dynamics the paper
+// situates itself among -- pull voting (mode), median voting (median), and
+// discrete incremental voting (mean) -- from the same initial survey and
+// report where each lands.
+//
+//   $ ./opinion_survey [n] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "core/div_process.hpp"
+#include "core/median_voting.hpp"
+#include "core/pull_voting.hpp"
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "graph/random_graphs.hpp"
+#include "stats/histogram.hpp"
+
+int main(int argc, char** argv) {
+  using namespace divlib;
+
+  const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 500;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+  Rng rng(seed);
+
+  const Graph network = make_watts_strogatz(n, 5, 0.2, rng);
+  std::cout << "social network (Watts-Strogatz): " << network.summary() << "\n";
+
+  // Polarized survey: many strong disagreers, a moderate middle, and a small
+  // enthusiastic group -- mode, median, and mean all differ.
+  //   40% -> 1, 15% -> 2, 15% -> 3, 10% -> 4, 20% -> 5
+  std::vector<VertexId> counts{
+      static_cast<VertexId>(n * 40 / 100), static_cast<VertexId>(n * 15 / 100),
+      static_cast<VertexId>(n * 15 / 100), static_cast<VertexId>(n * 10 / 100),
+      0};
+  counts[4] = n - counts[0] - counts[1] - counts[2] - counts[3];
+  const auto survey = opinions_with_counts(n, 1, counts, rng);
+
+  {
+    const OpinionState initial(network, survey);
+    std::cout << "initial survey: ";
+    for (Opinion v = 1; v <= 5; ++v) {
+      std::cout << v << ":" << initial.count(v) << "  ";
+    }
+    std::cout << "\n  mode = 1, median = 2, mean = " << initial.average()
+              << "\n\n";
+  }
+
+  struct Dynamics {
+    const char* name;
+    const char* statistic;
+    std::unique_ptr<Process> process;
+  };
+  Dynamics dynamics[] = {
+      {"pull voting  ", "mode-biased ",
+       std::make_unique<PullVoting>(network, SelectionScheme::kEdge)},
+      {"median voting", "median      ",
+       std::make_unique<MedianVoting>(network)},
+      {"DIV          ", "rounded mean",
+       std::make_unique<DivProcess>(network, SelectionScheme::kEdge)},
+  };
+
+  for (auto& dyn : dynamics) {
+    // A few repetitions to show the distribution of outcomes.
+    IntCounter winners;
+    for (int repetition = 0; repetition < 25; ++repetition) {
+      OpinionState state(network, survey);
+      RunOptions options;
+      options.max_steps = static_cast<std::uint64_t>(n) * n * 50;
+      const RunResult result = run(*dyn.process, state, rng, options);
+      winners.add(result.winner.value_or(-1));
+    }
+    std::cout << dyn.name << " (targets " << dyn.statistic << "): winners over "
+              << winners.total() << " runs -> ";
+    for (const auto& [value, count] : winners.counts()) {
+      std::cout << value << " x" << count << "  ";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\nTakeaway: from one survey, the three dynamics aggregate to "
+               "three different\nsocial choices -- the paper's mode/median/"
+               "mean trichotomy in action.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Distributed averaging of integer sensor readings -- the paper's "concrete
+// application": computing the integer average of integer weights held at the
+// vertices of a network using nothing but single-writer pull interactions.
+//
+// A fleet of temperature sensors is connected in an ad-hoc G(n,p) mesh; each
+// holds an integer reading.  DIV drives the network to a single value equal
+// to the rounded network-wide average, and we compare against the edge
+// load-balancing baseline which needs coordinated pairwise updates and stops
+// at a mixture.
+//
+//   $ ./sensor_average [n] [seed]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/div_process.hpp"
+#include "core/load_balancing.hpp"
+#include "engine/engine.hpp"
+#include "graph/random_graphs.hpp"
+#include "stats/histogram.hpp"
+
+int main(int argc, char** argv) {
+  using namespace divlib;
+
+  const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 400;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  Rng rng(seed);
+
+  // Ad-hoc mesh: G(n, p) just above the connectivity threshold times 4.
+  const double p = 8.0 * std::log(static_cast<double>(n)) / n;
+  const Graph mesh = make_connected_gnp(n, p, rng);
+  std::cout << "sensor mesh: " << mesh.summary() << "\n";
+
+  // Temperature readings: integers around 21 C with a warm cluster.
+  std::vector<Opinion> readings(n);
+  for (VertexId v = 0; v < n; ++v) {
+    readings[v] = 19 + static_cast<Opinion>(rng.uniform_below(5));  // 19..23
+  }
+  for (VertexId v = 0; v < n / 10; ++v) {
+    readings[v] = 28;  // a hot corner of the building
+  }
+
+  OpinionState state(mesh, readings);
+  const double true_average = state.average();
+  std::cout << "true average reading = " << true_average << " C over " << n
+            << " sensors, readings in [" << state.min_active() << ", "
+            << state.max_active() << "]\n";
+
+  // --- DIV: single-writer gossip ------------------------------------------
+  {
+    OpinionState div_state(mesh, readings);
+    DivProcess process(mesh, SelectionScheme::kEdge);
+    RunOptions options;
+    options.max_steps = static_cast<std::uint64_t>(n) * n * 100;
+    const RunResult result = run(process, div_state, rng, options);
+    if (result.completed) {
+      std::cout << "\nDIV (single-writer): every sensor now reports "
+                << *result.winner << " C after " << result.steps
+                << " interactions\n";
+      std::cout << "  error vs true average: "
+                << std::abs(static_cast<double>(*result.winner) - true_average)
+                << " C (rounded average is "
+                << (std::abs(std::round(true_average) - true_average) <= 0.5
+                        ? "the best any integer consensus can do"
+                        : "off")
+                << ")\n";
+    } else {
+      std::cout << "DIV did not converge within the cap\n";
+    }
+  }
+
+  // --- Load balancing: coordinated pairwise averaging ----------------------
+  {
+    OpinionState lb_state(mesh, readings);
+    LoadBalancing process(mesh);
+    RunOptions options;
+    options.stop = StopKind::kTwoAdjacent;
+    options.max_steps = static_cast<std::uint64_t>(n) * n * 100;
+    const RunResult result = run(process, lb_state, rng, options);
+    std::cout << "\nload balancing (two-writer baseline): after "
+              << result.steps << " interactions the sensors hold values in ["
+              << lb_state.min_active() << ", " << lb_state.max_active()
+              << "]\n  exact sum conserved (average still " << lb_state.average()
+              << " C), but " << (lb_state.is_consensus() ? "consensus reached"
+                                                         : "no single value")
+              << ": " << lb_state.count(lb_state.min_active()) << " sensors at "
+              << lb_state.min_active() << ", "
+              << lb_state.count(lb_state.max_active()) << " at "
+              << lb_state.max_active() << "\n";
+  }
+
+  std::cout << "\nTakeaway: DIV reaches one agreed integer (the rounded "
+               "average) using only\none-sided updates; load balancing "
+               "conserves the sum exactly but needs\ncoordinated pairwise "
+               "writes and generally cannot agree on a single value.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "cli/graph_spec.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+
+namespace divlib {
+namespace {
+
+std::vector<std::string> split_fields(const std::string& spec) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      fields.push_back(spec.substr(start));
+      return fields;
+    }
+    fields.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+}
+
+[[noreturn]] void fail(const std::string& spec, const std::string& reason) {
+  throw std::invalid_argument("graph spec '" + spec + "': " + reason);
+}
+
+std::uint64_t parse_u64(const std::string& spec, const std::string& field) {
+  try {
+    return std::stoull(field);
+  } catch (const std::exception&) {
+    fail(spec, "'" + field + "' is not a non-negative integer");
+  }
+}
+
+double parse_double(const std::string& spec, const std::string& field) {
+  try {
+    return std::stod(field);
+  } catch (const std::exception&) {
+    fail(spec, "'" + field + "' is not a number");
+  }
+}
+
+void require_arity(const std::string& spec, const std::vector<std::string>& fields,
+                   std::size_t args) {
+  if (fields.size() != args + 1) {
+    fail(spec, "expects " + std::to_string(args) + " argument(s), got " +
+                   std::to_string(fields.size() - 1));
+  }
+}
+
+}  // namespace
+
+Graph make_graph_from_spec(const std::string& spec, Rng& rng) {
+  const auto fields = split_fields(spec);
+  const std::string& family = fields[0];
+  if (family == "complete") {
+    require_arity(spec, fields, 1);
+    return make_complete(static_cast<VertexId>(parse_u64(spec, fields[1])));
+  }
+  if (family == "path") {
+    require_arity(spec, fields, 1);
+    return make_path(static_cast<VertexId>(parse_u64(spec, fields[1])));
+  }
+  if (family == "cycle") {
+    require_arity(spec, fields, 1);
+    return make_cycle(static_cast<VertexId>(parse_u64(spec, fields[1])));
+  }
+  if (family == "star") {
+    require_arity(spec, fields, 1);
+    return make_star(static_cast<VertexId>(parse_u64(spec, fields[1])));
+  }
+  if (family == "hypercube") {
+    require_arity(spec, fields, 1);
+    return make_hypercube(static_cast<unsigned>(parse_u64(spec, fields[1])));
+  }
+  if (family == "barbell") {
+    require_arity(spec, fields, 1);
+    return make_barbell(static_cast<VertexId>(parse_u64(spec, fields[1])));
+  }
+  if (family == "lollipop") {
+    require_arity(spec, fields, 2);
+    return make_lollipop(static_cast<VertexId>(parse_u64(spec, fields[1])),
+                         static_cast<VertexId>(parse_u64(spec, fields[2])));
+  }
+  if (family == "grid" || family == "torus") {
+    require_arity(spec, fields, 2);
+    return make_grid(static_cast<VertexId>(parse_u64(spec, fields[1])),
+                     static_cast<VertexId>(parse_u64(spec, fields[2])),
+                     family == "torus");
+  }
+  if (family == "tree") {
+    require_arity(spec, fields, 1);
+    return make_binary_tree(static_cast<VertexId>(parse_u64(spec, fields[1])));
+  }
+  if (family == "margulis") {
+    require_arity(spec, fields, 1);
+    return make_margulis(static_cast<VertexId>(parse_u64(spec, fields[1])));
+  }
+  if (family == "regular") {
+    require_arity(spec, fields, 2);
+    return make_connected_random_regular(
+        static_cast<VertexId>(parse_u64(spec, fields[1])),
+        static_cast<std::uint32_t>(parse_u64(spec, fields[2])), rng);
+  }
+  if (family == "gnp") {
+    require_arity(spec, fields, 2);
+    return make_connected_gnp(static_cast<VertexId>(parse_u64(spec, fields[1])),
+                              parse_double(spec, fields[2]), rng);
+  }
+  if (family == "ws") {
+    require_arity(spec, fields, 3);
+    return make_watts_strogatz(static_cast<VertexId>(parse_u64(spec, fields[1])),
+                               static_cast<std::uint32_t>(parse_u64(spec, fields[2])),
+                               parse_double(spec, fields[3]), rng);
+  }
+  if (family == "ba") {
+    require_arity(spec, fields, 2);
+    return make_barabasi_albert(static_cast<VertexId>(parse_u64(spec, fields[1])),
+                                static_cast<std::uint32_t>(parse_u64(spec, fields[2])),
+                                rng);
+  }
+  fail(spec, "unknown family (see graph_spec_help())");
+}
+
+std::string graph_spec_help() {
+  return "complete:N | path:N | cycle:N | star:N | hypercube:D | barbell:H | "
+         "lollipop:CLIQUE:TAIL | grid:R:C | torus:R:C | tree:N | margulis:M | "
+         "regular:N:D | gnp:N:P | ws:N:K:BETA | ba:N:ATTACH";
+}
+
+}  // namespace divlib

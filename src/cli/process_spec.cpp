@@ -1,0 +1,54 @@
+#include "cli/process_spec.hpp"
+
+#include <stdexcept>
+
+#include "core/best_of_two.hpp"
+#include "core/div_process.hpp"
+#include "core/load_balancing.hpp"
+#include "core/median_voting.hpp"
+#include "core/pull_voting.hpp"
+#include "core/push_voting.hpp"
+
+namespace divlib {
+
+std::unique_ptr<Process> make_process_from_spec(const std::string& name,
+                                                SelectionScheme scheme,
+                                                const Graph& graph) {
+  if (name == "div") {
+    return std::make_unique<DivProcess>(graph, scheme);
+  }
+  if (name == "pull") {
+    return std::make_unique<PullVoting>(graph, scheme);
+  }
+  if (name == "push") {
+    return std::make_unique<PushVoting>(graph, scheme);
+  }
+  if (name == "median") {
+    return std::make_unique<MedianVoting>(graph);
+  }
+  if (name == "loadbalance") {
+    return std::make_unique<LoadBalancing>(graph);
+  }
+  if (name == "best2") {
+    return std::make_unique<BestOfTwo>(graph);
+  }
+  throw std::invalid_argument("unknown process '" + name + "' (" +
+                              process_spec_help() + ")");
+}
+
+SelectionScheme parse_scheme(const std::string& text) {
+  if (text == "vertex") {
+    return SelectionScheme::kVertex;
+  }
+  if (text == "edge") {
+    return SelectionScheme::kEdge;
+  }
+  throw std::invalid_argument("unknown scheme '" + text +
+                              "' (expected vertex|edge)");
+}
+
+std::string process_spec_help() {
+  return "div | pull | push | median | loadbalance | best2";
+}
+
+}  // namespace divlib

@@ -1,0 +1,24 @@
+// Textual process specifications for the divsim CLI:
+//   div | pull | median | loadbalance | best2
+// combined with --scheme vertex|edge where applicable.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/process.hpp"
+#include "core/selection.hpp"
+#include "graph/graph.hpp"
+
+namespace divlib {
+
+// Throws std::invalid_argument on unknown names or inapplicable schemes.
+std::unique_ptr<Process> make_process_from_spec(const std::string& name,
+                                                SelectionScheme scheme,
+                                                const Graph& graph);
+
+SelectionScheme parse_scheme(const std::string& text);
+
+std::string process_spec_help();
+
+}  // namespace divlib

@@ -1,0 +1,48 @@
+#include "core/best_of_three.hpp"
+
+#include <stdexcept>
+
+namespace divlib {
+
+BestOfThree::BestOfThree(const Graph& graph) : graph_(&graph) {
+  if (graph.num_vertices() == 0 || graph.has_isolated_vertices()) {
+    throw std::invalid_argument("BestOfThree: min degree >= 1 required");
+  }
+}
+
+Opinion BestOfThree::resolve(Opinion a, Opinion b, Opinion c, int tiebreak) {
+  if (a == b || a == c) {
+    return a;
+  }
+  if (b == c) {
+    return b;
+  }
+  switch (tiebreak % 3) {
+    case 0:
+      return a;
+    case 1:
+      return b;
+    default:
+      return c;
+  }
+}
+
+void BestOfThree::step(OpinionState& state, Rng& rng) {
+  const auto v = static_cast<VertexId>(rng.uniform_below(graph_->num_vertices()));
+  const auto row = graph_->neighbors(v);
+  const auto sample = [&]() {
+    return state.opinion(row[static_cast<std::size_t>(rng.uniform_below(row.size()))]);
+  };
+  const Opinion a = sample();
+  const Opinion b = sample();
+  const Opinion c = sample();
+  const Opinion updated =
+      resolve(a, b, c, static_cast<int>(rng.uniform_below(3)));
+  if (updated != state.opinion(v)) {
+    state.set(v, updated);
+  }
+}
+
+std::string BestOfThree::name() const { return "best-of-three/vertex"; }
+
+}  // namespace divlib

@@ -1,0 +1,32 @@
+// Best-of-three ("3-majority") dynamics, from the plurality-consensus line
+// of work the paper surveys ([2, 3, 4, 16]): a uniform vertex samples three
+// neighbors independently; if some opinion appears at least twice among the
+// samples the vertex adopts it, otherwise it adopts one of the three
+// samples uniformly at random.
+//
+// Like best-of-two it is a plurality amplifier -- a mode-seeking contrast
+// to DIV's mean-seeking behaviour -- but unlike best-of-two it can leave
+// the current opinion even without a repeated sample, which breaks ties
+// faster on many-opinion configurations.
+#pragma once
+
+#include "core/process.hpp"
+
+namespace divlib {
+
+class BestOfThree final : public Process {
+ public:
+  explicit BestOfThree(const Graph& graph);
+
+  void step(OpinionState& state, Rng& rng) override;
+  std::string name() const override;
+
+  // The resolution rule on three sampled opinions; `tiebreak` in {0,1,2}
+  // picks the sample adopted when all three differ.
+  static Opinion resolve(Opinion a, Opinion b, Opinion c, int tiebreak);
+
+ private:
+  const Graph* graph_;
+};
+
+}  // namespace divlib

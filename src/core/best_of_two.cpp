@@ -1,0 +1,27 @@
+#include "core/best_of_two.hpp"
+
+#include <stdexcept>
+
+namespace divlib {
+
+BestOfTwo::BestOfTwo(const Graph& graph) : graph_(&graph) {
+  if (graph.num_vertices() == 0 || graph.has_isolated_vertices()) {
+    throw std::invalid_argument("BestOfTwo: min degree >= 1 required");
+  }
+}
+
+void BestOfTwo::step(OpinionState& state, Rng& rng) {
+  const auto v = static_cast<VertexId>(rng.uniform_below(graph_->num_vertices()));
+  const auto row = graph_->neighbors(v);
+  const Opinion first =
+      state.opinion(row[static_cast<std::size_t>(rng.uniform_below(row.size()))]);
+  const Opinion second =
+      state.opinion(row[static_cast<std::size_t>(rng.uniform_below(row.size()))]);
+  if (first == second && first != state.opinion(v)) {
+    state.set(v, first);
+  }
+}
+
+std::string BestOfTwo::name() const { return "best-of-two/vertex"; }
+
+}  // namespace divlib

@@ -1,0 +1,25 @@
+// Best-of-two ("2-choices") dynamics -- an extension baseline from the
+// best-of-k literature the paper surveys ([10, 15, 16]).
+//
+// A uniform vertex samples two neighbors independently; if both hold the
+// same opinion the vertex adopts it, otherwise it keeps its own.  Known to
+// amplify majorities (plurality-biased), so it contrasts with DIV's
+// mean-seeking behaviour in the comparison experiments.
+#pragma once
+
+#include "core/process.hpp"
+
+namespace divlib {
+
+class BestOfTwo final : public Process {
+ public:
+  explicit BestOfTwo(const Graph& graph);
+
+  void step(OpinionState& state, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  const Graph* graph_;
+};
+
+}  // namespace divlib

@@ -1,0 +1,61 @@
+#include "core/coupling.hpp"
+
+#include <stdexcept>
+
+#include "core/div_process.hpp"
+
+namespace divlib {
+
+CoupledDivPull::CoupledDivPull(OpinionState& state, SelectionScheme scheme,
+                               CoupledSide side)
+    : state_(&state), scheme_(scheme) {
+  validate_for_selection(state.graph(), scheme);
+  if (state.is_consensus()) {
+    throw std::invalid_argument(
+        "CoupledDivPull: need at least two distinct opinions");
+  }
+  const bool track_min = side == CoupledSide::kMin;
+  tracked_extreme_ = track_min ? state.min_active() : state.max_active();
+  opposite_extreme_ = track_min ? state.max_active() : state.min_active();
+  in_b_.assign(state.num_vertices(), false);
+  for (VertexId v = 0; v < state.num_vertices(); ++v) {
+    if (state.opinion(v) == tracked_extreme_) {
+      in_b_[v] = true;
+      ++b_size_;
+    }
+  }
+}
+
+void CoupledDivPull::step(Rng& rng) {
+  const SelectedPair pair = select_pair(state_->graph(), scheme_, rng);
+  // DIV side.
+  const Opinion own = state_->opinion(pair.updater);
+  const Opinion observed = state_->opinion(pair.observed);
+  const Opinion updated = DivProcess::updated_opinion(own, observed);
+  if (updated != own) {
+    state_->set(pair.updater, updated);
+  }
+  // Pull-voting side: the updater adopts the observed vertex's side.
+  const bool was_in_b = in_b_[pair.updater];
+  const bool now_in_b = in_b_[pair.observed];
+  if (was_in_b != now_in_b) {
+    in_b_[pair.updater] = now_in_b;
+    b_size_ += now_in_b ? 1 : std::size_t(-1);
+  }
+  ++steps_;
+}
+
+bool CoupledDivPull::invariant_holds() const {
+  for (VertexId v = 0; v < state_->num_vertices(); ++v) {
+    const Opinion o = state_->opinion(v);
+    if (o == tracked_extreme_ && !in_b_[v]) {
+      return false;  // A_tracked(t) must stay inside B(t)
+    }
+    if (o == opposite_extreme_ && in_b_[v]) {
+      return false;  // A_opposite(t) must stay outside B(t)
+    }
+  }
+  return true;
+}
+
+}  // namespace divlib

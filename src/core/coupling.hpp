@@ -1,0 +1,68 @@
+// The Lemma 13 coupling between DIV and two-opinion pull voting.
+//
+// Section 3.2 of the paper bounds the extreme-opinion elimination time of
+// DIV by the consensus time of two-opinion pull voting via a coupling: run
+// both processes with the SAME selected pair (v, w) at each step.  With
+// B(0) = A_s(0) (the pull-voting "opinion 1" set equal to DIV's minimum-
+// opinion set), the invariants
+//
+//   A_s(t) subset of B(t)      and      A_l(t) subset of V \ B(t)
+//
+// hold for all t (Lemma 13(i); part (ii) is the mirror image with
+// B(0) = A_l(0)).  Consequently pull voting reaching consensus forces one of
+// DIV's extreme opinions to be extinct.  This class realizes the coupling
+// and exposes the invariants for verification.
+#pragma once
+
+#include <vector>
+
+#include "core/opinion_state.hpp"
+#include "core/selection.hpp"
+
+namespace divlib {
+
+enum class CoupledSide {
+  kMin,  // B(0) = A_s(0): B tracks the minimum opinion (Lemma 13(i))
+  kMax,  // B(0) = A_l(0): B tracks the maximum opinion (Lemma 13(ii))
+};
+
+class CoupledDivPull {
+ public:
+  // `state` is the DIV state to advance; the pull-voting side is initialized
+  // from its current extreme-opinion set.  The state reference must outlive
+  // this object.
+  CoupledDivPull(OpinionState& state, SelectionScheme scheme, CoupledSide side);
+
+  // One coupled step: draws a single pair (v, w) and applies the DIV update
+  // to the opinion state and the pull update to the binary side.
+  void step(Rng& rng);
+
+  const OpinionState& div_state() const { return *state_; }
+
+  // Pull-voting side: true = vertex is in B(t).
+  const std::vector<bool>& pull_side() const { return in_b_; }
+  std::size_t pull_side_size() const { return b_size_; }
+  bool pull_consensus() const {
+    return b_size_ == 0 || b_size_ == state_->num_vertices();
+  }
+
+  // Lemma 13 invariants; used by tests and assertable by callers.
+  bool invariant_holds() const;
+
+  // The extreme opinion values the coupling tracks (fixed at construction).
+  Opinion tracked_extreme() const { return tracked_extreme_; }
+  Opinion opposite_extreme() const { return opposite_extreme_; }
+
+  std::uint64_t steps() const { return steps_; }
+
+ private:
+  OpinionState* state_;
+  SelectionScheme scheme_;
+  std::vector<bool> in_b_;
+  std::size_t b_size_ = 0;
+  Opinion tracked_extreme_ = 0;
+  Opinion opposite_extreme_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace divlib

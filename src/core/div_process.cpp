@@ -1,0 +1,34 @@
+#include "core/div_process.hpp"
+
+namespace divlib {
+
+DivProcess::DivProcess(const Graph& graph, SelectionScheme scheme)
+    : graph_(&graph), scheme_(scheme) {
+  validate_for_selection(graph, scheme);
+}
+
+Opinion DivProcess::updated_opinion(Opinion own, Opinion observed) {
+  if (own < observed) {
+    return own + 1;
+  }
+  if (own > observed) {
+    return own - 1;
+  }
+  return own;
+}
+
+void DivProcess::step(OpinionState& state, Rng& rng) {
+  const SelectedPair pair = select_pair(*graph_, scheme_, rng);
+  const Opinion own = state.opinion(pair.updater);
+  const Opinion observed = state.opinion(pair.observed);
+  const Opinion updated = updated_opinion(own, observed);
+  if (updated != own) {
+    state.set(pair.updater, updated);
+  }
+}
+
+std::string DivProcess::name() const {
+  return std::string("div/") + std::string(to_string(scheme_));
+}
+
+}  // namespace divlib

@@ -1,0 +1,53 @@
+#include "core/faulty_process.hpp"
+
+#include <stdexcept>
+
+namespace divlib {
+
+FaultyProcess::FaultyProcess(std::unique_ptr<Process> inner, double drop_rate,
+                             std::vector<VertexId> crashed)
+    : inner_(std::move(inner)), drop_rate_(drop_rate), crashed_(std::move(crashed)) {
+  if (!inner_) {
+    throw std::invalid_argument("FaultyProcess: null inner process");
+  }
+  if (drop_rate_ < 0.0 || drop_rate_ >= 1.0) {
+    throw std::invalid_argument("FaultyProcess: drop_rate in [0, 1) required");
+  }
+}
+
+void FaultyProcess::step(OpinionState& state, Rng& rng) {
+  if (!frozen_captured_) {
+    is_crashed_.assign(state.num_vertices(), false);
+    frozen_.assign(state.num_vertices(), 0);
+    for (const VertexId v : crashed_) {
+      if (v >= state.num_vertices()) {
+        throw std::invalid_argument("FaultyProcess: crashed vertex out of range");
+      }
+      is_crashed_[v] = true;
+      frozen_[v] = state.opinion(v);
+    }
+    frozen_captured_ = true;
+  }
+  if (drop_rate_ > 0.0 && rng.bernoulli(drop_rate_)) {
+    ++dropped_;
+    return;  // message lost: nothing happens this tick
+  }
+  inner_->step(state, rng);
+  // Crashed vertices ignore whatever the interaction told them to do.  We
+  // roll the write back rather than intercept the selection so that ANY
+  // inner process (two-writer load balancing included) is supported.
+  if (!crashed_.empty()) {
+    for (const VertexId v : crashed_) {
+      if (state.opinion(v) != frozen_[v]) {
+        state.set(v, frozen_[v]);
+        ++rollbacks_;
+      }
+    }
+  }
+}
+
+std::string FaultyProcess::name() const {
+  return "faulty(" + inner_->name() + ")";
+}
+
+}  // namespace divlib

@@ -1,0 +1,52 @@
+// Fault injection: the introduction motivates voting algorithms as "simple,
+// fault-tolerant, and easy to implement" [17, 18].  This decorator models
+// the two classic failure modes of asynchronous gossip:
+//
+//   * message loss   -- with probability drop_rate a selected interaction
+//                       is lost and the step becomes a no-op;
+//   * crashed nodes  -- a fixed set of vertices never updates (they still
+//                       answer pulls with their frozen opinion).
+//
+// Message loss merely thins the schedule: the embedded jump chain is
+// unchanged, so the final-opinion distribution is identical and only time
+// stretches by 1/(1 - drop_rate) (verified in EXP-17).  Crashed vertices,
+// by contrast, change the absorbing states themselves.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/process.hpp"
+
+namespace divlib {
+
+class FaultyProcess final : public Process {
+ public:
+  // Takes ownership of the inner process.  drop_rate in [0, 1).
+  // `crashed` lists vertex ids that must never change opinion.
+  FaultyProcess(std::unique_ptr<Process> inner, double drop_rate,
+                std::vector<VertexId> crashed = {});
+
+  void step(OpinionState& state, Rng& rng) override;
+  std::string name() const override;
+
+  double drop_rate() const { return drop_rate_; }
+  const std::vector<VertexId>& crashed() const { return crashed_; }
+
+  // Steps that were dropped / rolled back due to a crashed updater, for
+  // observability in experiments.
+  std::uint64_t dropped_steps() const { return dropped_; }
+  std::uint64_t crashed_rollbacks() const { return rollbacks_; }
+
+ private:
+  std::unique_ptr<Process> inner_;
+  double drop_rate_;
+  std::vector<VertexId> crashed_;
+  std::vector<bool> is_crashed_;  // lazily sized on first step
+  std::vector<Opinion> frozen_;   // opinions pinned for crashed vertices
+  bool frozen_captured_ = false;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t rollbacks_ = 0;
+};
+
+}  // namespace divlib

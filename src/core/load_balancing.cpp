@@ -1,0 +1,36 @@
+#include "core/load_balancing.hpp"
+
+#include <stdexcept>
+
+namespace divlib {
+
+LoadBalancing::LoadBalancing(const Graph& graph) : graph_(&graph) {
+  if (graph.num_edges() == 0) {
+    throw std::invalid_argument("LoadBalancing: graph has no edges");
+  }
+}
+
+void LoadBalancing::step(OpinionState& state, Rng& rng) {
+  const Edge& e = graph_->edges()[static_cast<std::size_t>(
+      rng.uniform_below(graph_->num_edges()))];
+  const Opinion a = state.opinion(e.u);
+  const Opinion b = state.opinion(e.v);
+  const Opinion total = a + b;
+  // floor/ceil of total/2 for possibly-negative totals.
+  const Opinion low = total >= 0 ? total / 2 : (total - 1) / 2;
+  const Opinion high = total - low;
+  if (low == a && high == b) {
+    return;  // already balanced with this orientation
+  }
+  if (rng.next() & 1u) {
+    state.set(e.u, low);
+    state.set(e.v, high);
+  } else {
+    state.set(e.u, high);
+    state.set(e.v, low);
+  }
+}
+
+std::string LoadBalancing::name() const { return "loadbalance/edge"; }
+
+}  // namespace divlib

@@ -1,0 +1,28 @@
+// Asynchronous edge load balancing (Berenbrink, Friedetzky, Kaaser, Kling,
+// IPDPS'19 [5]) -- the averaging baseline the paper contrasts DIV against.
+//
+// A uniform random edge {a, b} is selected and both endpoints update
+// simultaneously to floor((X_a+X_b)/2) and ceil((X_a+X_b)/2); which endpoint
+// receives the round-up is decided by a fair coin.  The total weight S(t) is
+// conserved *exactly* (not just in expectation), but unless the average is
+// an integer the process can never reach single-value consensus -- it stalls
+// at a mixture of values around the average ([5]: three consecutive values
+// within O(n log n + n log k) steps w.h.p.).
+#pragma once
+
+#include "core/process.hpp"
+
+namespace divlib {
+
+class LoadBalancing final : public Process {
+ public:
+  explicit LoadBalancing(const Graph& graph);
+
+  void step(OpinionState& state, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  const Graph* graph_;
+};
+
+}  // namespace divlib

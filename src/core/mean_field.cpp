@@ -1,0 +1,119 @@
+#include "core/mean_field.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace divlib {
+
+MeanFieldDiv::MeanFieldDiv(std::vector<double> fractions) : x_(std::move(fractions)) {
+  if (x_.empty()) {
+    throw std::invalid_argument("MeanFieldDiv: empty fraction vector");
+  }
+  double total = 0.0;
+  for (const double value : x_) {
+    if (value < 0.0) {
+      throw std::invalid_argument("MeanFieldDiv: negative fraction");
+    }
+    total += value;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("MeanFieldDiv: zero total mass");
+  }
+  for (double& value : x_) {
+    value /= total;
+  }
+}
+
+double MeanFieldDiv::mean_opinion() const {
+  double mean = 0.0;
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    mean += static_cast<double>(i + 1) * x_[i];
+  }
+  return mean;
+}
+
+double MeanFieldDiv::total_mass() const {
+  double total = 0.0;
+  for (const double value : x_) {
+    total += value;
+  }
+  return total;
+}
+
+double MeanFieldDiv::extreme_mass() const {
+  const double mean = mean_opinion();
+  const double lo = std::floor(mean);
+  const double hi = std::ceil(mean);
+  double outside = 0.0;
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    const double opinion = static_cast<double>(i + 1);
+    if (opinion < lo || opinion > hi) {
+      outside += x_[i];
+    }
+  }
+  return outside;
+}
+
+std::vector<double> MeanFieldDiv::drift(const std::vector<double>& x) {
+  const std::size_t k = x.size();
+  // Prefix sums: below[i] = sum_{m < i} x_m, above[i] = sum_{m > i} x_m.
+  std::vector<double> below(k, 0.0);
+  std::vector<double> above(k, 0.0);
+  for (std::size_t i = 1; i < k; ++i) {
+    below[i] = below[i - 1] + x[i - 1];
+  }
+  for (std::size_t i = k; i-- > 1;) {
+    above[i - 1] = above[i] + x[i];
+  }
+  std::vector<double> dx(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    double inflow = 0.0;
+    if (i > 0) {
+      inflow += x[i - 1] * above[i - 1];  // i-1 moving up into i
+    }
+    if (i + 1 < k) {
+      inflow += x[i + 1] * below[i + 1];  // i+1 moving down into i
+    }
+    const double outflow = x[i] * (above[i] + below[i]);
+    dx[i] = inflow - outflow;
+  }
+  return dx;
+}
+
+void MeanFieldDiv::integrate(double delta_tau, double step) {
+  if (delta_tau < 0.0 || step <= 0.0) {
+    throw std::invalid_argument("MeanFieldDiv::integrate: bad arguments");
+  }
+  const std::size_t k = x_.size();
+  double remaining = delta_tau;
+  std::vector<double> k1;
+  std::vector<double> k2;
+  std::vector<double> k3;
+  std::vector<double> k4;
+  std::vector<double> probe(k);
+  while (remaining > 0.0) {
+    const double h = remaining < step ? remaining : step;
+    k1 = drift(x_);
+    for (std::size_t i = 0; i < k; ++i) {
+      probe[i] = x_[i] + 0.5 * h * k1[i];
+    }
+    k2 = drift(probe);
+    for (std::size_t i = 0; i < k; ++i) {
+      probe[i] = x_[i] + 0.5 * h * k2[i];
+    }
+    k3 = drift(probe);
+    for (std::size_t i = 0; i < k; ++i) {
+      probe[i] = x_[i] + h * k3[i];
+    }
+    k4 = drift(probe);
+    for (std::size_t i = 0; i < k; ++i) {
+      x_[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+      if (x_[i] < 0.0 && x_[i] > -1e-12) {
+        x_[i] = 0.0;  // clip integration noise at the boundary
+      }
+    }
+    remaining -= h;
+  }
+}
+
+}  // namespace divlib

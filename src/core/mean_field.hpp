@@ -1,0 +1,53 @@
+// Mean-field (fluid-limit) approximation of asynchronous DIV on the
+// complete graph.
+//
+// Let x_i(tau) be the fraction of vertices holding opinion i, with time
+// rescaled as tau = t/n (one unit of tau ~ n asynchronous steps).  On K_n a
+// uniformly selected updater observes a uniformly random other vertex, so in
+// the n -> infinity limit the fractions follow the ODE system
+//
+//   dx_i/dtau = x_{i-1} G_{i-1} + x_{i+1} L_{i+1} - x_i (G_i + L_i)
+//
+// where G_j = sum_{m > j} x_m (mass strictly above j) and
+//       L_j = sum_{m < j} x_m (mass strictly below j).
+//
+// The flow conserves total mass and the mean sum_i i x_i (the martingale of
+// Lemma 3 in the limit), and contracts the support toward the two integers
+// bracketing the mean -- the deterministic skeleton of Theorems 1 and 2.
+// EXP-15 integrates this system with RK4 and overlays simulated K_n
+// trajectories on it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace divlib {
+
+class MeanFieldDiv {
+ public:
+  // `fractions` over opinions {1..k} (index 0 <-> opinion 1); must be
+  // non-negative and sum to ~1 (renormalized on construction).
+  explicit MeanFieldDiv(std::vector<double> fractions);
+
+  std::size_t num_opinions() const { return x_.size(); }
+  const std::vector<double>& fractions() const { return x_; }
+  double fraction(std::size_t index) const { return x_.at(index); }
+
+  // sum_i (i+1) x_i: the mean opinion (invariant of the flow).
+  double mean_opinion() const;
+  // Total mass (should stay 1 up to integration error).
+  double total_mass() const;
+  // Mass strictly below/above the support bracket [floor(mean), ceil(mean)].
+  double extreme_mass() const;
+
+  // Advances by `delta_tau` using RK4 with the given internal step.
+  void integrate(double delta_tau, double step = 1e-3);
+
+  // The raw vector field dx/dtau at a given state (exposed for tests).
+  static std::vector<double> drift(const std::vector<double>& x);
+
+ private:
+  std::vector<double> x_;
+};
+
+}  // namespace divlib

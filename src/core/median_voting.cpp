@@ -1,0 +1,33 @@
+#include "core/median_voting.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace divlib {
+
+MedianVoting::MedianVoting(const Graph& graph) : graph_(&graph) {
+  if (graph.num_vertices() == 0 || graph.has_isolated_vertices()) {
+    throw std::invalid_argument("MedianVoting: min degree >= 1 required");
+  }
+}
+
+Opinion MedianVoting::median3(Opinion a, Opinion b, Opinion c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+
+void MedianVoting::step(OpinionState& state, Rng& rng) {
+  const auto v = static_cast<VertexId>(rng.uniform_below(graph_->num_vertices()));
+  const auto row = graph_->neighbors(v);
+  const Opinion first =
+      state.opinion(row[static_cast<std::size_t>(rng.uniform_below(row.size()))]);
+  const Opinion second =
+      state.opinion(row[static_cast<std::size_t>(rng.uniform_below(row.size()))]);
+  const Opinion updated = median3(state.opinion(v), first, second);
+  if (updated != state.opinion(v)) {
+    state.set(v, updated);
+  }
+}
+
+std::string MedianVoting::name() const { return "median/vertex"; }
+
+}  // namespace divlib

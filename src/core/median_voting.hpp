@@ -1,0 +1,28 @@
+// Median voting (Doerr, Goldberg, Minder, Sauerwald, Scheideler, SPAA'11),
+// the paper's "median" point of the mode/median/mean trichotomy.
+//
+// At each asynchronous step a uniform vertex samples two neighbors
+// independently and replaces its opinion by the median of the three values
+// (its own plus the two observed).  On the complete graph the consensus
+// value is within O(sqrt(n log n)) ranks of the true median w.h.p.
+#pragma once
+
+#include "core/process.hpp"
+
+namespace divlib {
+
+class MedianVoting final : public Process {
+ public:
+  explicit MedianVoting(const Graph& graph);
+
+  void step(OpinionState& state, Rng& rng) override;
+  std::string name() const override;
+
+  // median(a, b, c), exposed for testing.
+  static Opinion median3(Opinion a, Opinion b, Opinion c);
+
+ private:
+  const Graph* graph_;
+};
+
+}  // namespace divlib

@@ -1,0 +1,125 @@
+#include "core/opinion_state.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace divlib {
+
+OpinionState::OpinionState(const Graph& graph, std::vector<Opinion> opinions)
+    : graph_(&graph), opinions_(std::move(opinions)) {
+  if (opinions_.size() != graph.num_vertices()) {
+    throw std::invalid_argument("OpinionState: opinion vector size != n");
+  }
+  if (opinions_.empty()) {
+    throw std::invalid_argument("OpinionState: empty graph");
+  }
+  const auto [lo_it, hi_it] = std::minmax_element(opinions_.begin(), opinions_.end());
+  range_lo_ = *lo_it;
+  range_hi_ = *hi_it;
+  const std::size_t width = static_cast<std::size_t>(range_hi_ - range_lo_) + 1;
+  counts_.assign(width, 0);
+  degree_masses_.assign(width, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const Opinion value = opinions_[v];
+    ++counts_[index_of(value)];
+    degree_masses_[index_of(value)] += graph.degree(v);
+    sum_ += value;
+    degree_weighted_sum_ += static_cast<std::int64_t>(graph.degree(v)) * value;
+  }
+  min_active_ = range_lo_;
+  max_active_ = range_hi_;
+  num_active_ = 0;
+  for (const std::int64_t c : counts_) {
+    if (c > 0) {
+      ++num_active_;
+    }
+  }
+}
+
+void OpinionState::set(VertexId v, Opinion value) {
+  if (value < range_lo_ || value > range_hi_) {
+    throw std::out_of_range("OpinionState::set: value outside initial range");
+  }
+  const Opinion old = opinions_[v];
+  if (old == value) {
+    return;
+  }
+  const auto deg = static_cast<std::int64_t>(graph_->degree(v));
+
+  opinions_[v] = value;
+  sum_ += value - old;
+  degree_weighted_sum_ += deg * (value - old);
+
+  const std::size_t old_idx = index_of(old);
+  const std::size_t new_idx = index_of(value);
+  --counts_[old_idx];
+  degree_masses_[old_idx] -= static_cast<std::uint64_t>(deg);
+  if (counts_[new_idx] == 0) {
+    ++num_active_;
+  }
+  ++counts_[new_idx];
+  degree_masses_[new_idx] += static_cast<std::uint64_t>(deg);
+
+  if (value < min_active_) {
+    min_active_ = value;
+  }
+  if (value > max_active_) {
+    max_active_ = value;
+  }
+  if (counts_[old_idx] == 0) {
+    --num_active_;
+    // Advance the active extremes past now-empty values.
+    if (old == min_active_) {
+      Opinion probe = min_active_;
+      while (counts_[index_of(probe)] == 0) {
+        ++probe;  // num_active_ >= 1, so a nonzero count exists
+      }
+      min_active_ = probe;
+    }
+    if (old == max_active_) {
+      Opinion probe = max_active_;
+      while (counts_[index_of(probe)] == 0) {
+        --probe;
+      }
+      max_active_ = probe;
+    }
+  }
+}
+
+std::int64_t OpinionState::count(Opinion value) const {
+  if (value < range_lo_ || value > range_hi_) {
+    return 0;
+  }
+  return counts_[index_of(value)];
+}
+
+std::uint64_t OpinionState::degree_mass(Opinion value) const {
+  if (value < range_lo_ || value > range_hi_) {
+    return 0;
+  }
+  return degree_masses_[index_of(value)];
+}
+
+double OpinionState::pi_mass(Opinion value) const {
+  return static_cast<double>(degree_mass(value)) /
+         static_cast<double>(graph_->total_degree());
+}
+
+double OpinionState::average() const {
+  return static_cast<double>(sum_) / static_cast<double>(num_vertices());
+}
+
+double OpinionState::z_total() const {
+  return static_cast<double>(num_vertices()) * weighted_average();
+}
+
+double OpinionState::weighted_average() const {
+  return static_cast<double>(degree_weighted_sum_) /
+         static_cast<double>(graph_->total_degree());
+}
+
+double OpinionState::extreme_mass_product() const {
+  return pi_mass(min_active_) * pi_mass(max_active_);
+}
+
+}  // namespace divlib

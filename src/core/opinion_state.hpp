@@ -1,0 +1,96 @@
+// Mutable opinion configuration over a fixed graph, with O(1) bookkeeping of
+// every aggregate the paper's analysis tracks:
+//
+//   N_i(t)  = |A_i(t)|          count of vertices holding opinion i
+//   d(A_i)  = sum of degrees    degree mass of opinion i
+//   pi(A_i) = d(A_i)/2m         stationary mass of opinion i (Lemma 10)
+//   S(t)    = sum_v X_v         total weight, edge process (Lemma 3 i)
+//   Z(t)    = n * sum_v pi_v X_v  degree-biased total weight (Lemma 3 ii)
+//   [min_active, max_active]    the active opinion range; the "final stage"
+//                               of the paper is max - min <= 1
+//
+// All processes implemented in this library keep opinions inside the initial
+// range [range_lo, range_hi]; set() enforces this invariant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace divlib {
+
+using Opinion = std::int32_t;
+
+class OpinionState {
+ public:
+  // Takes a reference to the graph; the graph must outlive the state.
+  OpinionState(const Graph& graph, std::vector<Opinion> opinions);
+
+  const Graph& graph() const { return *graph_; }
+  VertexId num_vertices() const { return graph_->num_vertices(); }
+
+  Opinion opinion(VertexId v) const { return opinions_[v]; }
+  std::span<const Opinion> opinions() const { return opinions_; }
+
+  // Reassigns vertex v; updates all aggregates.  `value` must lie within the
+  // initial range (checked; throws std::out_of_range otherwise).
+  void set(VertexId v, Opinion value);
+
+  // Initial (fixed) opinion range.
+  Opinion range_lo() const { return range_lo_; }
+  Opinion range_hi() const { return range_hi_; }
+
+  // Currently-held extreme opinions (the paper's s and l at time t).
+  Opinion min_active() const { return min_active_; }
+  Opinion max_active() const { return max_active_; }
+
+  // Number of distinct opinions currently held.
+  int num_active() const { return num_active_; }
+
+  bool is_consensus() const { return min_active_ == max_active_; }
+  // True when at most two consecutive opinions remain (the final stage).
+  bool is_two_adjacent() const { return max_active_ - min_active_ <= 1; }
+
+  // N_i(t); zero for values outside the initial range.
+  std::int64_t count(Opinion value) const;
+  // d(A_i(t)).
+  std::uint64_t degree_mass(Opinion value) const;
+  // pi(A_i(t)) = d(A_i)/2m.
+  double pi_mass(Opinion value) const;
+
+  // S(t) = sum of opinions.
+  std::int64_t sum() const { return sum_; }
+  // Plain average S(t)/n.
+  double average() const;
+
+  // n * sum_v pi_v X_v = (n/2m) * sum_v d(v) X_v.
+  double z_total() const;
+  // Degree-weighted average Z(t)/n = sum_v pi_v X_v.
+  double weighted_average() const;
+  // Exact integer numerator sum_v d(v) X_v (for martingale tests).
+  std::int64_t degree_weighted_sum() const { return degree_weighted_sum_; }
+
+  // pi(A_s(t)) * pi(A_l(t)), the Lemma 10 supermartingale payload.
+  double extreme_mass_product() const;
+
+ private:
+  std::size_t index_of(Opinion value) const {
+    return static_cast<std::size_t>(value - range_lo_);
+  }
+
+  const Graph* graph_;
+  std::vector<Opinion> opinions_;
+  Opinion range_lo_ = 0;
+  Opinion range_hi_ = 0;
+  Opinion min_active_ = 0;
+  Opinion max_active_ = 0;
+  int num_active_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t degree_weighted_sum_ = 0;
+  std::vector<std::int64_t> counts_;        // indexed by value - range_lo
+  std::vector<std::uint64_t> degree_masses_;  // same indexing
+};
+
+}  // namespace divlib

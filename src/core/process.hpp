@@ -1,0 +1,27 @@
+// Common interface of all asynchronous opinion dynamics in the library.
+//
+// A Process advances an OpinionState by exactly one asynchronous interaction
+// per step() call.  Processes are stateless apart from their configuration,
+// so a single instance can be shared across sequential runs; Monte-Carlo
+// replication constructs one per replica for thread safety.
+#pragma once
+
+#include <string>
+
+#include "core/opinion_state.hpp"
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  // Performs one asynchronous step.
+  virtual void step(OpinionState& state, Rng& rng) = 0;
+
+  // Human-readable identifier ("div/vertex", "pull/edge", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace divlib

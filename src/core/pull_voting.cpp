@@ -1,0 +1,22 @@
+#include "core/pull_voting.hpp"
+
+namespace divlib {
+
+PullVoting::PullVoting(const Graph& graph, SelectionScheme scheme)
+    : graph_(&graph), scheme_(scheme) {
+  validate_for_selection(graph, scheme);
+}
+
+void PullVoting::step(OpinionState& state, Rng& rng) {
+  const SelectedPair pair = select_pair(*graph_, scheme_, rng);
+  const Opinion observed = state.opinion(pair.observed);
+  if (state.opinion(pair.updater) != observed) {
+    state.set(pair.updater, observed);
+  }
+}
+
+std::string PullVoting::name() const {
+  return std::string("pull/") + std::string(to_string(scheme_));
+}
+
+}  // namespace divlib

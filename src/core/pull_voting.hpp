@@ -1,0 +1,29 @@
+// Classical pull voting (Hassin & Peleg): the updater adopts the observed
+// neighbor's opinion wholesale.
+//
+// With two opinions this is the paper's "final stage"; eq. (3) gives the win
+// probabilities  N_i/n (edge process)  and  d(A_i)/2m (vertex process).
+// With k incommensurate opinions the winner is mode-biased: opinion i wins
+// with probability proportional to its initial degree mass.
+#pragma once
+
+#include "core/process.hpp"
+#include "core/selection.hpp"
+
+namespace divlib {
+
+class PullVoting final : public Process {
+ public:
+  PullVoting(const Graph& graph, SelectionScheme scheme);
+
+  void step(OpinionState& state, Rng& rng) override;
+  std::string name() const override;
+
+  SelectionScheme scheme() const { return scheme_; }
+
+ private:
+  const Graph* graph_;
+  SelectionScheme scheme_;
+};
+
+}  // namespace divlib

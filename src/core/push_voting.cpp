@@ -1,0 +1,24 @@
+#include "core/push_voting.hpp"
+
+namespace divlib {
+
+PushVoting::PushVoting(const Graph& graph, SelectionScheme scheme)
+    : graph_(&graph), scheme_(scheme) {
+  validate_for_selection(graph, scheme);
+}
+
+void PushVoting::step(OpinionState& state, Rng& rng) {
+  const SelectedPair pair = select_pair(*graph_, scheme_, rng);
+  // The roles are swapped relative to pull voting: `updater` is the sender
+  // and `observed` the receiver.
+  const Opinion pushed = state.opinion(pair.updater);
+  if (state.opinion(pair.observed) != pushed) {
+    state.set(pair.observed, pushed);
+  }
+}
+
+std::string PushVoting::name() const {
+  return std::string("push/") + std::string(to_string(scheme_));
+}
+
+}  // namespace divlib

@@ -1,0 +1,27 @@
+// Push voting: the mirror image of pull voting -- the selected vertex v
+// PUSHES its opinion onto the randomly chosen neighbor w, which adopts it
+// wholesale.  A classical baseline in the push/pull gossip literature [17];
+// included to contrast its degree bias with pull voting's (under the vertex
+// scheme the recipient is degree-biased, inverting eq. (3)'s weighting).
+#pragma once
+
+#include "core/process.hpp"
+#include "core/selection.hpp"
+
+namespace divlib {
+
+class PushVoting final : public Process {
+ public:
+  PushVoting(const Graph& graph, SelectionScheme scheme);
+
+  void step(OpinionState& state, Rng& rng) override;
+  std::string name() const override;
+
+  SelectionScheme scheme() const { return scheme_; }
+
+ private:
+  const Graph* graph_;
+  SelectionScheme scheme_;
+};
+
+}  // namespace divlib

@@ -1,0 +1,54 @@
+#include "core/selection.hpp"
+
+#include <stdexcept>
+
+namespace divlib {
+
+std::string_view to_string(SelectionScheme scheme) {
+  switch (scheme) {
+    case SelectionScheme::kVertex:
+      return "vertex";
+    case SelectionScheme::kEdge:
+      return "edge";
+  }
+  return "unknown";
+}
+
+SelectedPair select_pair(const Graph& graph, SelectionScheme scheme, Rng& rng) {
+  SelectedPair pair;
+  switch (scheme) {
+    case SelectionScheme::kVertex: {
+      pair.updater = static_cast<VertexId>(rng.uniform_below(graph.num_vertices()));
+      const auto row = graph.neighbors(pair.updater);
+      pair.observed = row[static_cast<std::size_t>(rng.uniform_below(row.size()))];
+      break;
+    }
+    case SelectionScheme::kEdge: {
+      const Edge& e = graph.edges()[static_cast<std::size_t>(
+          rng.uniform_below(graph.num_edges()))];
+      if (rng.next() & 1u) {
+        pair.updater = e.u;
+        pair.observed = e.v;
+      } else {
+        pair.updater = e.v;
+        pair.observed = e.u;
+      }
+      break;
+    }
+  }
+  return pair;
+}
+
+void validate_for_selection(const Graph& graph, SelectionScheme scheme) {
+  if (graph.num_vertices() == 0) {
+    throw std::invalid_argument("selection: empty graph");
+  }
+  if (graph.num_edges() == 0) {
+    throw std::invalid_argument("selection: graph has no edges");
+  }
+  if (scheme == SelectionScheme::kVertex && graph.has_isolated_vertices()) {
+    throw std::invalid_argument("selection: vertex scheme requires min degree >= 1");
+  }
+}
+
+}  // namespace divlib

@@ -1,0 +1,38 @@
+// The paper's two asynchronous selection schemes (Section 1):
+//
+//   Vertex process:  P(v chooses w) = 1/(n d(v))   for {v,w} in E
+//   Edge process:    P(v chooses w) = 1/(2m)       for {v,w} in E
+//
+// Both return the ordered pair (updater v, observed neighbor w).  The edge
+// process is the vertex process with v drawn from the stationary
+// distribution pi_v = d(v)/2m instead of uniformly.
+#pragma once
+
+#include <string_view>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+enum class SelectionScheme {
+  kVertex,  // uniform vertex, then uniform neighbor
+  kEdge,    // uniform edge, then uniform endpoint as updater
+};
+
+std::string_view to_string(SelectionScheme scheme);
+
+struct SelectedPair {
+  VertexId updater = 0;
+  VertexId observed = 0;
+};
+
+// Samples one interaction.  The graph must have no isolated vertices for the
+// vertex scheme and at least one edge for the edge scheme (unchecked in
+// release paths; validated by validate_for_selection).
+SelectedPair select_pair(const Graph& graph, SelectionScheme scheme, Rng& rng);
+
+// Throws std::invalid_argument if the graph cannot support the scheme.
+void validate_for_selection(const Graph& graph, SelectionScheme scheme);
+
+}  // namespace divlib

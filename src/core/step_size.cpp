@@ -1,0 +1,44 @@
+#include "core/step_size.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace divlib {
+
+SteppedIncrementalProcess::SteppedIncrementalProcess(const Graph& graph,
+                                                     SelectionScheme scheme,
+                                                     Opinion max_step)
+    : graph_(&graph), scheme_(scheme), max_step_(max_step) {
+  validate_for_selection(graph, scheme);
+  if (max_step < 1) {
+    throw std::invalid_argument("SteppedIncrementalProcess: max_step >= 1");
+  }
+}
+
+Opinion SteppedIncrementalProcess::updated_opinion(Opinion own, Opinion observed,
+                                                   Opinion max_step) {
+  if (own < observed) {
+    return own + std::min(max_step, observed - own);
+  }
+  if (own > observed) {
+    return own - std::min(max_step, own - observed);
+  }
+  return own;
+}
+
+void SteppedIncrementalProcess::step(OpinionState& state, Rng& rng) {
+  const SelectedPair pair = select_pair(*graph_, scheme_, rng);
+  const Opinion own = state.opinion(pair.updater);
+  const Opinion observed = state.opinion(pair.observed);
+  const Opinion updated = updated_opinion(own, observed, max_step_);
+  if (updated != own) {
+    state.set(pair.updater, updated);
+  }
+}
+
+std::string SteppedIncrementalProcess::name() const {
+  return "div-step" + std::to_string(max_step_) + "/" +
+         std::string(to_string(scheme_));
+}
+
+}  // namespace divlib

@@ -1,0 +1,44 @@
+// Increment-size ablation of the DIV rule (DESIGN.md design-choice study).
+//
+// Generalizes eq. (1) to steps of size up to `max_step`, clamped so the
+// updater never overshoots the observed opinion:
+//
+//   X_v' = X_v + sign(X_w - X_v) * min(max_step, |X_w - X_v|).
+//
+// max_step = 1 is exactly DIV.  max_step = infinity is exactly pull voting.
+// Because the move magnitude min(max_step, |X_w - X_v|) is symmetric in the
+// pair, S(t) remains an edge-process martingale for EVERY step size (pull
+// voting included), so E[winner] = c throughout.  What changes -- and this
+// ablation shows it is one-sided in DIV's favor -- is everything else:
+// the +-1 rule both CONCENTRATES the winner on {floor(c), ceil(c)}
+// (Theorem 2) and REDUCES the opinion range faster (extremes drift inward
+// deterministically), while larger steps degenerate toward pull voting,
+// whose extremes die only by slow lineage coalescence.  Quantified in
+// EXP-17.
+#pragma once
+
+#include "core/process.hpp"
+#include "core/selection.hpp"
+
+namespace divlib {
+
+class SteppedIncrementalProcess final : public Process {
+ public:
+  // max_step >= 1; the graph reference must outlive the process.
+  SteppedIncrementalProcess(const Graph& graph, SelectionScheme scheme,
+                            Opinion max_step);
+
+  void step(OpinionState& state, Rng& rng) override;
+  std::string name() const override;
+
+  Opinion max_step() const { return max_step_; }
+
+  static Opinion updated_opinion(Opinion own, Opinion observed, Opinion max_step);
+
+ private:
+  const Graph* graph_;
+  SelectionScheme scheme_;
+  Opinion max_step_;
+};
+
+}  // namespace divlib

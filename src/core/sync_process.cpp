@@ -1,0 +1,82 @@
+#include "core/sync_process.hpp"
+
+#include <stdexcept>
+
+#include "core/div_process.hpp"
+#include "core/median_voting.hpp"
+
+namespace divlib {
+
+void SyncProcess::apply(OpinionState& state, const std::vector<Opinion>& next) {
+  for (VertexId v = 0; v < state.num_vertices(); ++v) {
+    if (state.opinion(v) != next[v]) {
+      state.set(v, next[v]);
+    }
+  }
+}
+
+namespace {
+
+void require_min_degree(const Graph& graph, const char* what) {
+  if (graph.num_vertices() == 0 || graph.has_isolated_vertices()) {
+    throw std::invalid_argument(std::string(what) + ": min degree >= 1 required");
+  }
+}
+
+Opinion sample_neighbor_opinion(const Graph& graph, const OpinionState& state,
+                                VertexId v, Rng& rng) {
+  const auto row = graph.neighbors(v);
+  return state.opinion(row[static_cast<std::size_t>(rng.uniform_below(row.size()))]);
+}
+
+}  // namespace
+
+SyncDivProcess::SyncDivProcess(const Graph& graph) : graph_(&graph) {
+  require_min_degree(graph, "SyncDivProcess");
+}
+
+void SyncDivProcess::round(OpinionState& state, Rng& rng) {
+  const VertexId n = state.num_vertices();
+  scratch_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    scratch_[v] = DivProcess::updated_opinion(
+        state.opinion(v), sample_neighbor_opinion(*graph_, state, v, rng));
+  }
+  apply(state, scratch_);
+}
+
+std::string SyncDivProcess::name() const { return "sync-div"; }
+
+SyncPullVoting::SyncPullVoting(const Graph& graph) : graph_(&graph) {
+  require_min_degree(graph, "SyncPullVoting");
+}
+
+void SyncPullVoting::round(OpinionState& state, Rng& rng) {
+  const VertexId n = state.num_vertices();
+  scratch_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    scratch_[v] = sample_neighbor_opinion(*graph_, state, v, rng);
+  }
+  apply(state, scratch_);
+}
+
+std::string SyncPullVoting::name() const { return "sync-pull"; }
+
+SyncMedianVoting::SyncMedianVoting(const Graph& graph) : graph_(&graph) {
+  require_min_degree(graph, "SyncMedianVoting");
+}
+
+void SyncMedianVoting::round(OpinionState& state, Rng& rng) {
+  const VertexId n = state.num_vertices();
+  scratch_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const Opinion first = sample_neighbor_opinion(*graph_, state, v, rng);
+    const Opinion second = sample_neighbor_opinion(*graph_, state, v, rng);
+    scratch_[v] = MedianVoting::median3(state.opinion(v), first, second);
+  }
+  apply(state, scratch_);
+}
+
+std::string SyncMedianVoting::name() const { return "sync-median"; }
+
+}  // namespace divlib

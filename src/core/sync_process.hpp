@@ -1,0 +1,71 @@
+// Synchronous-round counterparts of the asynchronous processes.
+//
+// The paper analyses the asynchronous model (one vertex per step); the
+// companion literature (and the full version [13]) also considers the
+// synchronous model where every vertex updates simultaneously based on the
+// previous round's opinions.  One synchronous round corresponds to ~n
+// asynchronous steps, which EXP-14 verifies empirically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/opinion_state.hpp"
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+class SyncProcess {
+ public:
+  virtual ~SyncProcess() = default;
+
+  // Executes one synchronous round: all vertices read the time-t state and
+  // write the time-(t+1) state simultaneously.
+  virtual void round(OpinionState& state, Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  // Applies a fully-computed next-opinion vector to the state.
+  static void apply(OpinionState& state, const std::vector<Opinion>& next);
+};
+
+// Synchronous DIV: every vertex observes one uniform neighbor and moves one
+// unit toward it (eq. (1) applied to all vertices at once).
+class SyncDivProcess final : public SyncProcess {
+ public:
+  explicit SyncDivProcess(const Graph& graph);
+  void round(OpinionState& state, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  const Graph* graph_;
+  std::vector<Opinion> scratch_;
+};
+
+// Synchronous pull voting: every vertex adopts a uniform neighbor's opinion.
+class SyncPullVoting final : public SyncProcess {
+ public:
+  explicit SyncPullVoting(const Graph& graph);
+  void round(OpinionState& state, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  const Graph* graph_;
+  std::vector<Opinion> scratch_;
+};
+
+// Synchronous median voting: every vertex takes the median of its own value
+// and two independently sampled neighbors (Doerr et al. [15]).
+class SyncMedianVoting final : public SyncProcess {
+ public:
+  explicit SyncMedianVoting(const Graph& graph);
+  void round(OpinionState& state, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  const Graph* graph_;
+  std::vector<Opinion> scratch_;
+};
+
+}  // namespace divlib

@@ -1,0 +1,87 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace divlib::theory {
+
+WinDistribution win_distribution(double average) {
+  WinDistribution dist;
+  const double floor_c = std::floor(average);
+  dist.low = static_cast<Opinion>(floor_c);
+  if (average == floor_c) {
+    dist.high = dist.low;
+    dist.p_low = 1.0;
+    dist.p_high = 0.0;
+    return dist;
+  }
+  dist.high = dist.low + 1;
+  dist.p_high = average - floor_c;  // q ~ c - i
+  dist.p_low = 1.0 - dist.p_high;   // p ~ i + 1 - c
+  return dist;
+}
+
+double relevant_average(const OpinionState& state, bool vertex_process) {
+  return vertex_process ? state.weighted_average() : state.average();
+}
+
+double pull_win_probability_edge(const OpinionState& state, Opinion value) {
+  return static_cast<double>(state.count(value)) /
+         static_cast<double>(state.num_vertices());
+}
+
+double pull_win_probability_vertex(const OpinionState& state, Opinion value) {
+  return state.pi_mass(value);
+}
+
+double expected_reduction_time_scale(std::uint64_t n, int k, double lambda) {
+  if (n < 2 || k < 1 || lambda < 0.0) {
+    throw std::invalid_argument("expected_reduction_time_scale: bad arguments");
+  }
+  const double dn = static_cast<double>(n);
+  const double dk = static_cast<double>(k);
+  const double log_n = std::log(dn);
+  return dk * dn * log_n + std::pow(dn, 5.0 / 3.0) * log_n +
+         lambda * dk * dn * dn + std::sqrt(lambda) * dn * dn;
+}
+
+double stage_time_T1(std::uint64_t n, double epsilon1) {
+  if (epsilon1 <= 0.0 || epsilon1 * epsilon1 >= 0.5) {
+    throw std::invalid_argument("stage_time_T1: need 0 < eps1 < sqrt(1/2)");
+  }
+  return std::ceil(2.0 * static_cast<double>(n) *
+                   std::log(1.0 / (2.0 * epsilon1 * epsilon1)));
+}
+
+double stage_time_T2(std::uint64_t n, double epsilon2) {
+  if (epsilon2 <= 0.0 || epsilon2 * epsilon2 >= 0.5) {
+    throw std::invalid_argument("stage_time_T2: need 0 < eps2 < sqrt(1/2)");
+  }
+  return std::ceil(2.0 * static_cast<double>(n) / epsilon2 *
+                   std::log(1.0 / (2.0 * epsilon2 * epsilon2)));
+}
+
+double stage_time_Tp(std::uint64_t n, double lambda, double pi_min) {
+  if (lambda < 0.0 || lambda >= 1.0 || pi_min <= 0.0) {
+    throw std::invalid_argument("stage_time_Tp: need lambda in [0,1), pi_min > 0");
+  }
+  return std::ceil(64.0 * static_cast<double>(n) /
+                   (std::sqrt(2.0) * (1.0 - lambda) * pi_min));
+}
+
+double azuma_tail_bound(double h, double t) {
+  if (t <= 0.0) {
+    return h > 0.0 ? 0.0 : 1.0;
+  }
+  return std::min(1.0, 2.0 * std::exp(-(h * h) / (2.0 * t)));
+}
+
+double lemma10_decay_factor_four_plus(std::uint64_t n) {
+  return 1.0 - 1.0 / (2.0 * static_cast<double>(n));
+}
+
+double lemma10_decay_factor_three(std::uint64_t n, double epsilon2) {
+  return 1.0 - epsilon2 / (2.0 * static_cast<double>(n));
+}
+
+}  // namespace divlib::theory

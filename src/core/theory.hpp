@@ -1,0 +1,50 @@
+// Closed-form predictions from the paper, used by tests and the benchmark
+// harness to print "paper" columns next to measured values.
+#pragma once
+
+#include <cstdint>
+
+#include "core/opinion_state.hpp"
+#include "graph/graph.hpp"
+
+namespace divlib::theory {
+
+// Lemma 5 (ii)/(iii): given the (weighted) average c at the start of the
+// final stage with opinions {floor(c), floor(c)+1}, opinion floor(c) wins
+// with probability p and floor(c)+1 with probability q = 1 - p.
+struct WinDistribution {
+  Opinion low = 0;       // floor(c)
+  Opinion high = 0;      // ceil(c); equals low when c is an integer
+  double p_low = 1.0;    // i + 1 - c
+  double p_high = 0.0;   // c - i
+};
+WinDistribution win_distribution(double average);
+
+// The relevant average for a process: plain S(0)/n for the edge process,
+// degree-weighted Z(0)/n for the vertex process (Remark 1: they coincide on
+// regular graphs).
+double relevant_average(const OpinionState& state, bool vertex_process);
+
+// Eq. (3): two-opinion pull voting win probability of the set currently
+// holding `value`.
+double pull_win_probability_edge(const OpinionState& state, Opinion value);
+double pull_win_probability_vertex(const OpinionState& state, Opinion value);
+
+// Eq. (4): the scale of E[T] (constant-free sum of the four terms)
+//   k n log n + n^{5/3} log n + lambda k n^2 + sqrt(lambda) n^2.
+double expected_reduction_time_scale(std::uint64_t n, int k, double lambda);
+
+// Eq. (18): the three per-stage time scales with explicit constants.
+double stage_time_T1(std::uint64_t n, double epsilon1);
+double stage_time_T2(std::uint64_t n, double epsilon2);
+double stage_time_Tp(std::uint64_t n, double lambda, double pi_min);
+
+// Eq. (5): Azuma tail bound P[|W(t) - W(0)| >= h] <= 2 exp(-h^2 / 2t).
+double azuma_tail_bound(double h, double t);
+
+// Lemma 10: per-step decay factor of pi(A_s) pi(A_l):
+//   (1 - 1/2n) with >= 4 active opinions, (1 - eps2/2n) with exactly 3.
+double lemma10_decay_factor_four_plus(std::uint64_t n);
+double lemma10_decay_factor_three(std::uint64_t n, double epsilon2);
+
+}  // namespace divlib::theory

@@ -1,0 +1,58 @@
+#include "engine/count_trace.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace divlib {
+
+CountTrace::CountTrace(const OpinionState& state, std::uint64_t stride)
+    : stride_(stride),
+      range_lo_(state.range_lo()),
+      range_hi_(state.range_hi()),
+      num_vertices_(state.num_vertices()) {
+  if (stride_ == 0) {
+    throw std::invalid_argument("CountTrace: stride must be positive");
+  }
+}
+
+void CountTrace::maybe_record(std::uint64_t step, const OpinionState& state) {
+  if (step % stride_ == 0) {
+    record(step, state);
+  }
+}
+
+void CountTrace::record(std::uint64_t step, const OpinionState& state) {
+  steps_.push_back(step);
+  for (Opinion value = range_lo_; value <= range_hi_; ++value) {
+    counts_.push_back(state.count(value));
+  }
+}
+
+std::int64_t CountTrace::count_at(std::size_t sample, std::size_t column) const {
+  if (sample >= steps_.size() || column >= num_opinions()) {
+    throw std::out_of_range("CountTrace: sample/column out of range");
+  }
+  return counts_[sample * num_opinions() + column];
+}
+
+double CountTrace::fraction_at(std::size_t sample, std::size_t column) const {
+  return static_cast<double>(count_at(sample, column)) /
+         static_cast<double>(num_vertices_);
+}
+
+void CountTrace::write_csv(std::ostream& out) const {
+  out << "step";
+  for (Opinion value = range_lo_; value <= range_hi_; ++value) {
+    out << ",N_" << value;
+  }
+  out << "\n";
+  for (std::size_t sample = 0; sample < steps_.size(); ++sample) {
+    out << steps_[sample];
+    for (std::size_t column = 0; column < num_opinions(); ++column) {
+      out << "," << counts_[sample * num_opinions() + column];
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace divlib

@@ -1,0 +1,49 @@
+// Full per-opinion count time series: records N_i(t) for every opinion in
+// the initial range at a fixed stride.  Heavier than Trace (k values per
+// sample) but exactly what the fluid-limit comparison (EXP-15) and the
+// `divsim trace` CSV export need.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/opinion_state.hpp"
+
+namespace divlib {
+
+class CountTrace {
+ public:
+  // Captures the state's initial opinion range as the column set.
+  CountTrace(const OpinionState& state, std::uint64_t stride);
+
+  std::uint64_t stride() const { return stride_; }
+  Opinion range_lo() const { return range_lo_; }
+  Opinion range_hi() const { return range_hi_; }
+  std::size_t num_opinions() const {
+    return static_cast<std::size_t>(range_hi_ - range_lo_) + 1;
+  }
+
+  void maybe_record(std::uint64_t step, const OpinionState& state);
+  void record(std::uint64_t step, const OpinionState& state);
+
+  std::size_t num_samples() const { return steps_.size(); }
+  std::uint64_t step_at(std::size_t sample) const { return steps_.at(sample); }
+  // N_{range_lo + column}(step_at(sample)).
+  std::int64_t count_at(std::size_t sample, std::size_t column) const;
+  // Count as a fraction of n.
+  double fraction_at(std::size_t sample, std::size_t column) const;
+
+  // CSV with header "step,N_<lo>,...,N_<hi>".
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::uint64_t stride_;
+  Opinion range_lo_;
+  Opinion range_hi_;
+  VertexId num_vertices_;
+  std::vector<std::uint64_t> steps_;
+  std::vector<std::int64_t> counts_;  // row-major, num_opinions per sample
+};
+
+}  // namespace divlib

@@ -1,0 +1,37 @@
+#include "engine/engine.hpp"
+
+namespace divlib {
+
+RunResult run(Process& process, OpinionState& state, Rng& rng,
+              const RunOptions& options) {
+  RunResult result;
+  result.trace = Trace(options.trace_stride);
+  result.trace.maybe_record(0, state);
+
+  std::uint64_t step = 0;
+  bool satisfied = is_satisfied(options.stop, state);
+  while (!satisfied && step < options.max_steps) {
+    process.step(state, rng);
+    ++step;
+    result.trace.maybe_record(step, state);
+    satisfied = is_satisfied(options.stop, state);
+  }
+
+  result.completed = satisfied;
+  result.steps = step;
+  result.min_active = state.min_active();
+  result.max_active = state.max_active();
+  result.num_active = state.num_active();
+  result.final_sum = state.sum();
+  result.final_z = state.z_total();
+  if (state.is_consensus()) {
+    result.winner = state.min_active();
+  }
+  if (result.trace.enabled() &&
+      (result.trace.empty() || result.trace.samples().back().step != step)) {
+    result.trace.record(step, state);
+  }
+  return result;
+}
+
+}  // namespace divlib

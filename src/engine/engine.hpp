@@ -1,0 +1,43 @@
+// The asynchronous run loop: advances a Process until a stopping rule or a
+// hard step cap is reached, optionally recording a Trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/opinion_state.hpp"
+#include "core/process.hpp"
+#include "engine/stop_condition.hpp"
+#include "engine/trace.hpp"
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+struct RunOptions {
+  StopKind stop = StopKind::kConsensus;
+  // Hard cap; a run that hits it reports completed = false.
+  std::uint64_t max_steps = 100'000'000;
+  // Trace sampling stride; 0 disables tracing.
+  std::uint64_t trace_stride = 0;
+};
+
+struct RunResult {
+  bool completed = false;       // stopping rule satisfied before the cap
+  std::uint64_t steps = 0;      // steps actually executed
+  Opinion min_active = 0;       // state at stop
+  Opinion max_active = 0;
+  int num_active = 0;
+  std::int64_t final_sum = 0;   // S at stop
+  double final_z = 0.0;         // Z at stop
+  // Consensus value when one opinion remains at stop, else nullopt.
+  std::optional<Opinion> winner;
+  Trace trace;
+};
+
+// Runs `process` on `state` until `options.stop` holds or the cap is hit.
+// The state is left at its stopping configuration (useful for phased runs:
+// first to two-adjacent, then on to consensus).
+RunResult run(Process& process, OpinionState& state, Rng& rng,
+              const RunOptions& options);
+
+}  // namespace divlib

@@ -1,0 +1,135 @@
+#include "engine/initial_config.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace divlib {
+
+std::vector<Opinion> uniform_random_opinions(VertexId n, Opinion lo, Opinion hi,
+                                             Rng& rng) {
+  if (lo > hi) {
+    throw std::invalid_argument("uniform_random_opinions: lo > hi");
+  }
+  std::vector<Opinion> opinions(n);
+  for (auto& value : opinions) {
+    value = static_cast<Opinion>(rng.uniform_int(lo, hi));
+  }
+  return opinions;
+}
+
+std::vector<Opinion> opinions_with_counts(VertexId n, Opinion lo,
+                                          const std::vector<VertexId>& counts,
+                                          Rng& rng) {
+  std::vector<Opinion> opinions = block_opinions(n, lo, counts);
+  rng.shuffle(opinions);
+  return opinions;
+}
+
+std::vector<Opinion> block_opinions(VertexId n, Opinion lo,
+                                    const std::vector<VertexId>& counts) {
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  if (total != n) {
+    throw std::invalid_argument("block_opinions: counts must sum to n");
+  }
+  std::vector<Opinion> opinions;
+  opinions.reserve(n);
+  Opinion value = lo;
+  for (const VertexId count : counts) {
+    opinions.insert(opinions.end(), count, value);
+    ++value;
+  }
+  return opinions;
+}
+
+std::vector<Opinion> two_value_opinions(VertexId n, Opinion lo, Opinion hi,
+                                        VertexId count_hi, Rng& rng) {
+  if (count_hi > n) {
+    throw std::invalid_argument("two_value_opinions: count_hi > n");
+  }
+  std::vector<Opinion> opinions(n, lo);
+  std::fill_n(opinions.begin(), count_hi, hi);
+  rng.shuffle(opinions);
+  return opinions;
+}
+
+std::vector<Opinion> ramp_opinions(VertexId n, Opinion lo, Opinion hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("ramp_opinions: lo > hi");
+  }
+  const auto width = static_cast<Opinion>(hi - lo + 1);
+  std::vector<Opinion> opinions(n);
+  for (VertexId v = 0; v < n; ++v) {
+    opinions[v] = lo + static_cast<Opinion>(v % static_cast<VertexId>(width));
+  }
+  return opinions;
+}
+
+std::vector<Opinion> binomial_opinions(VertexId n, Opinion lo, Opinion hi,
+                                       double p, Rng& rng) {
+  if (lo > hi || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("binomial_opinions: need lo <= hi, p in [0,1]");
+  }
+  const int trials = hi - lo;
+  std::vector<Opinion> opinions(n);
+  for (auto& value : opinions) {
+    int successes = 0;
+    for (int t = 0; t < trials; ++t) {
+      successes += rng.bernoulli(p) ? 1 : 0;
+    }
+    value = lo + static_cast<Opinion>(successes);
+  }
+  return opinions;
+}
+
+std::vector<Opinion> polarized_opinions(VertexId n, Opinion lo, Opinion hi,
+                                        double share_lo, double moderation,
+                                        Rng& rng) {
+  if (lo >= hi) {
+    throw std::invalid_argument("polarized_opinions: need lo < hi");
+  }
+  if (share_lo < 0.0 || share_lo > 1.0 || moderation < 0.0 || moderation > 1.0) {
+    throw std::invalid_argument(
+        "polarized_opinions: shares/probabilities in [0,1]");
+  }
+  std::vector<Opinion> opinions(n);
+  for (auto& value : opinions) {
+    const bool low_camp = rng.bernoulli(share_lo);
+    value = low_camp ? lo : hi;
+    if (rng.bernoulli(moderation)) {
+      value += low_camp ? 1 : -1;  // lo < hi guarantees this stays in range
+    }
+  }
+  return opinions;
+}
+
+std::vector<Opinion> opinions_with_sum(VertexId n, Opinion lo, Opinion hi,
+                                       std::int64_t target_sum, Rng& rng) {
+  if (lo > hi) {
+    throw std::invalid_argument("opinions_with_sum: lo > hi");
+  }
+  const std::int64_t min_sum = static_cast<std::int64_t>(n) * lo;
+  const std::int64_t max_sum = static_cast<std::int64_t>(n) * hi;
+  if (target_sum < min_sum || target_sum > max_sum) {
+    throw std::invalid_argument("opinions_with_sum: target unreachable");
+  }
+  std::vector<Opinion> opinions = uniform_random_opinions(n, lo, hi, rng);
+  std::int64_t current =
+      std::accumulate(opinions.begin(), opinions.end(), std::int64_t{0});
+  // Random single-vertex +/-1 adjustments; each accepted adjustment moves the
+  // sum one unit toward the target, so this terminates in |delta| accepted
+  // moves.
+  while (current != target_sum) {
+    const auto v = static_cast<VertexId>(rng.uniform_below(n));
+    if (current < target_sum && opinions[v] < hi) {
+      ++opinions[v];
+      ++current;
+    } else if (current > target_sum && opinions[v] > lo) {
+      --opinions[v];
+      --current;
+    }
+  }
+  return opinions;
+}
+
+}  // namespace divlib

@@ -1,0 +1,59 @@
+// Initial opinion configurations used by the experiments.
+//
+// All generators return an opinion vector of length n over a prescribed
+// integer range; the experiment harness then wraps it in an OpinionState.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/opinion_state.hpp"
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+// Each vertex draws uniformly from {lo, ..., hi}.
+std::vector<Opinion> uniform_random_opinions(VertexId n, Opinion lo, Opinion hi,
+                                             Rng& rng);
+
+// Exact counts: counts[j] vertices receive opinion lo + j; the assignment of
+// opinions to vertex ids is a uniform random permutation.
+// sum(counts) must equal n.
+std::vector<Opinion> opinions_with_counts(VertexId n, Opinion lo,
+                                          const std::vector<VertexId>& counts,
+                                          Rng& rng);
+
+// Contiguous blocks: the first counts[0] vertex ids get lo, the next
+// counts[1] get lo+1, ...  Used for the path-graph counterexample where the
+// *placement* (not just frequency) of opinions matters.
+std::vector<Opinion> block_opinions(VertexId n, Opinion lo,
+                                    const std::vector<VertexId>& counts);
+
+// Two-value split: `count_hi` random vertices get `hi`, the rest `lo`.
+std::vector<Opinion> two_value_opinions(VertexId n, Opinion lo, Opinion hi,
+                                        VertexId count_hi, Rng& rng);
+
+// Linear ramp lo..hi repeated cyclically over vertex ids (deterministic).
+std::vector<Opinion> ramp_opinions(VertexId n, Opinion lo, Opinion hi);
+
+// Binomial-shaped opinions: each vertex draws Binomial(hi - lo, p) + lo,
+// a discrete bell around lo + p*(hi-lo).  Models survey responses that
+// cluster around a consensus-ish view.
+std::vector<Opinion> binomial_opinions(VertexId n, Opinion lo, Opinion hi,
+                                       double p, Rng& rng);
+
+// Polarized opinions: a fraction `share_lo` of vertices at lo, the rest at
+// hi, then each vertex independently perturbed one step inward with
+// probability `moderation`.  Models a two-camp population with moderates.
+std::vector<Opinion> polarized_opinions(VertexId n, Opinion lo, Opinion hi,
+                                        double share_lo, double moderation,
+                                        Rng& rng);
+
+// Random opinions conditioned to have an exact plain average sum = target.
+// Draws uniformly, then applies +/-1 adjustment passes.  target_sum must be
+// achievable: n*lo <= target_sum <= n*hi.
+std::vector<Opinion> opinions_with_sum(VertexId n, Opinion lo, Opinion hi,
+                                       std::int64_t target_sum, Rng& rng);
+
+}  // namespace divlib

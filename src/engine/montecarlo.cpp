@@ -1,0 +1,69 @@
+#include "engine/montecarlo.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace divlib {
+
+unsigned resolve_thread_count(const MonteCarloOptions& options) {
+  if (options.num_threads > 0) {
+    return options.num_threads;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+void run_replicas_erased(std::size_t replicas,
+                         const std::function<void(std::size_t, Rng&)>& task,
+                         const MonteCarloOptions& options) {
+  if (replicas == 0) {
+    return;
+  }
+  const unsigned requested = resolve_thread_count(options);
+  const auto workers =
+      static_cast<unsigned>(std::min<std::size_t>(requested, replicas));
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker_loop = [&]() {
+    while (true) {
+      const std::size_t replica = next.fetch_add(1, std::memory_order_relaxed);
+      if (replica >= replicas) {
+        return;
+      }
+      try {
+        Rng rng(Rng::substream_seed(options.master_seed, replica));
+        task(replica, rng);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        return;
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker_loop();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      pool.emplace_back(worker_loop);
+    }
+    for (auto& thread : pool) {
+      thread.join();
+    }
+  }
+
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace divlib

@@ -1,0 +1,47 @@
+// Multi-threaded Monte-Carlo replication.
+//
+// Each replica receives its own Rng seeded deterministically from
+// (master_seed, replica_index), so results are bit-identical regardless of
+// the thread schedule or the number of workers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+struct MonteCarloOptions {
+  std::uint64_t master_seed = 0xd117ULL;  // "div"; overridden by most callers
+  // 0 = use hardware_concurrency (at least 1).
+  unsigned num_threads = 0;
+};
+
+// Returns the worker count that `options` resolves to.
+unsigned resolve_thread_count(const MonteCarloOptions& options);
+
+// Internal type-erased driver: invokes task(replica, rng) for each replica in
+// [0, replicas), distributing replicas across threads.  Exceptions thrown by
+// tasks are rethrown in the calling thread (first one wins).
+void run_replicas_erased(std::size_t replicas,
+                         const std::function<void(std::size_t, Rng&)>& task,
+                         const MonteCarloOptions& options);
+
+// Typed convenience wrapper: collects one Result per replica, in replica
+// order.  Result must be default-constructible and movable.
+template <typename Result, typename Task>
+std::vector<Result> run_replicas(std::size_t replicas, Task&& task,
+                                 const MonteCarloOptions& options = {}) {
+  std::vector<Result> results(replicas);
+  run_replicas_erased(
+      replicas,
+      [&results, &task](std::size_t replica, Rng& rng) {
+        results[replica] = task(replica, rng);
+      },
+      options);
+  return results;
+}
+
+}  // namespace divlib

@@ -1,0 +1,72 @@
+#include "engine/snapshot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/graph_io.hpp"
+
+namespace divlib {
+
+void write_snapshot(std::ostream& out, const OpinionState& state) {
+  out << "divsnapshot 1\n";
+  write_edge_list(out, state.graph());
+  out << "opinions " << state.num_vertices() << "\n";
+  for (VertexId v = 0; v < state.num_vertices(); ++v) {
+    out << state.opinion(v) << "\n";
+  }
+}
+
+std::string to_snapshot(const OpinionState& state) {
+  std::ostringstream out;
+  write_snapshot(out, state);
+  return out.str();
+}
+
+Snapshot read_snapshot(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "divsnapshot" || version != 1) {
+    throw std::invalid_argument("read_snapshot: bad header");
+  }
+  // The edge-list section runs until the "opinions" keyword; collect it and
+  // reparse with the graph reader.
+  std::string token;
+  std::ostringstream edge_section;
+  int tokens_on_line = 0;
+  while (in >> token) {
+    if (token == "opinions") {
+      break;
+    }
+    // The edge-list grammar is strictly token pairs ('n <count>', '<u> <v>');
+    // re-emit two tokens per line for the line-oriented graph reader.
+    edge_section << token << (++tokens_on_line % 2 == 0 ? "\n" : " ");
+  }
+  if (token != "opinions") {
+    throw std::invalid_argument("read_snapshot: missing opinions section");
+  }
+  std::uint64_t count = 0;
+  if (!(in >> count)) {
+    throw std::invalid_argument("read_snapshot: bad opinion count");
+  }
+  Snapshot snapshot;
+  snapshot.graph = graph_from_edge_list(edge_section.str());
+  if (count != snapshot.graph.num_vertices()) {
+    throw std::invalid_argument("read_snapshot: opinion count != n");
+  }
+  snapshot.opinions.resize(count);
+  for (std::uint64_t v = 0; v < count; ++v) {
+    std::int64_t value = 0;
+    if (!(in >> value)) {
+      throw std::invalid_argument("read_snapshot: truncated opinions");
+    }
+    snapshot.opinions[v] = static_cast<Opinion>(value);
+  }
+  return snapshot;
+}
+
+Snapshot snapshot_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_snapshot(in);
+}
+
+}  // namespace divlib

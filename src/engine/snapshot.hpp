@@ -1,0 +1,38 @@
+// Checkpointing: serialize a (graph, opinions) pair to a text stream and
+// restore it later.  Long sweeps can stop at a milestone (e.g. the Theorem 1
+// two-adjacent stage), persist, and resume the final stage in a separate
+// run; the format embeds the graph so a snapshot is self-contained.
+//
+// Format:
+//   divsnapshot 1
+//   <edge-list section, see graph_io.hpp>
+//   opinions <n>
+//   <opinion per line>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/opinion_state.hpp"
+#include "graph/graph.hpp"
+
+namespace divlib {
+
+struct Snapshot {
+  Graph graph;
+  std::vector<Opinion> opinions;
+
+  // Reconstructs the state (aggregates are recomputed from scratch).
+  OpinionState restore() const& { return OpinionState(graph, opinions); }
+};
+
+void write_snapshot(std::ostream& out, const OpinionState& state);
+std::string to_snapshot(const OpinionState& state);
+
+// Throws std::invalid_argument on malformed input.
+Snapshot read_snapshot(std::istream& in);
+Snapshot snapshot_from_string(const std::string& text);
+
+}  // namespace divlib

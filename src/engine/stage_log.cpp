@@ -1,0 +1,53 @@
+#include "engine/stage_log.hpp"
+
+#include <sstream>
+
+namespace divlib {
+
+StageLog::StageLog(const OpinionState& state)
+    : last_min_(state.min_active()),
+      last_max_(state.max_active()),
+      initial_min_(state.min_active()),
+      initial_max_(state.max_active()) {}
+
+void StageLog::observe(std::uint64_t step, const OpinionState& state) {
+  while (state.min_active() > last_min_) {
+    events_.push_back({StageEvent::Side::kMin, last_min_, step});
+    ++last_min_;
+  }
+  while (state.max_active() < last_max_) {
+    events_.push_back({StageEvent::Side::kMax, last_max_, step});
+    --last_max_;
+  }
+}
+
+std::vector<Opinion> StageLog::elimination_order() const {
+  std::vector<Opinion> order;
+  order.reserve(events_.size());
+  for (const StageEvent& event : events_) {
+    order.push_back(event.eliminated);
+  }
+  return order;
+}
+
+std::string StageLog::range_history() const {
+  std::ostringstream out;
+  Opinion lo = initial_min_;
+  Opinion hi = initial_max_;
+  const auto print_range = [&out](Opinion a, Opinion b) {
+    out << "[" << a << "," << b << "]";
+  };
+  print_range(lo, hi);
+  for (const StageEvent& event : events_) {
+    if (event.side == StageEvent::Side::kMin) {
+      ++lo;
+    } else {
+      --hi;
+    }
+    out << " -> ";
+    print_range(lo, hi);
+  }
+  return out.str();
+}
+
+}  // namespace divlib

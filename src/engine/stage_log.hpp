@@ -1,0 +1,56 @@
+// Stage decomposition of a DIV run -- the introduction's worked example
+//
+//   {1,2,5} -> {1,2,4} -> {1,2,3,4} -> {2,3,4} -> {2,4} -> {2,3} -> {3}
+//
+// made observable: "the only way to irreversibly eliminate an opinion is to
+// remove one of the two extreme opinions in the order".  A StageLog watches
+// an OpinionState between steps and records each extreme elimination (which
+// side, which value, at which step).  Interior values may vanish and
+// reappear; only the extremes shrink monotonically, which is exactly what
+// the log captures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/opinion_state.hpp"
+
+namespace divlib {
+
+struct StageEvent {
+  enum class Side { kMin, kMax };
+  Side side = Side::kMin;
+  Opinion eliminated = 0;    // the extreme value that just died
+  std::uint64_t step = 0;    // step count at which it was observed gone
+};
+
+class StageLog {
+ public:
+  explicit StageLog(const OpinionState& state);
+
+  // Call after each process step with the running step counter; records any
+  // extreme eliminations since the previous observation.  (Asynchronous
+  // steps change one vertex, so at most one extreme dies per call; the loop
+  // handles multi-value jumps from synchronous rounds too.)
+  void observe(std::uint64_t step, const OpinionState& state);
+
+  const std::vector<StageEvent>& events() const { return events_; }
+
+  // Values eliminated so far, in order -- the paper's "5, 1, 4, 2" list.
+  std::vector<Opinion> elimination_order() const;
+
+  // Human-readable " {1,2,5} -> {1,2,4} -> ..."-style summary built from the
+  // recorded events and the initial range (extreme view only; interior
+  // reappearances are not tracked).
+  std::string range_history() const;
+
+ private:
+  Opinion last_min_;
+  Opinion last_max_;
+  Opinion initial_min_;
+  Opinion initial_max_;
+  std::vector<StageEvent> events_;
+};
+
+}  // namespace divlib

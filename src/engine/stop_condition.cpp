@@ -1,0 +1,25 @@
+#include "engine/stop_condition.hpp"
+
+namespace divlib {
+
+std::string_view to_string(StopKind kind) {
+  switch (kind) {
+    case StopKind::kConsensus:
+      return "consensus";
+    case StopKind::kTwoAdjacent:
+      return "two-adjacent";
+  }
+  return "unknown";
+}
+
+bool is_satisfied(StopKind kind, const OpinionState& state) {
+  switch (kind) {
+    case StopKind::kConsensus:
+      return state.is_consensus();
+    case StopKind::kTwoAdjacent:
+      return state.is_two_adjacent();
+  }
+  return false;
+}
+
+}  // namespace divlib

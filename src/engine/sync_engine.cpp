@@ -1,0 +1,36 @@
+#include "engine/sync_engine.hpp"
+
+namespace divlib {
+
+SyncRunResult run_sync(SyncProcess& process, OpinionState& state, Rng& rng,
+                       const SyncRunOptions& options) {
+  SyncRunResult result;
+  result.trace = Trace(options.trace_stride);
+  result.trace.maybe_record(0, state);
+
+  std::uint64_t round = 0;
+  bool satisfied = is_satisfied(options.stop, state);
+  while (!satisfied && round < options.max_rounds) {
+    process.round(state, rng);
+    ++round;
+    result.trace.maybe_record(round, state);
+    satisfied = is_satisfied(options.stop, state);
+  }
+
+  result.completed = satisfied;
+  result.rounds = round;
+  result.min_active = state.min_active();
+  result.max_active = state.max_active();
+  result.num_active = state.num_active();
+  result.final_sum = state.sum();
+  if (state.is_consensus()) {
+    result.winner = state.min_active();
+  }
+  if (result.trace.enabled() &&
+      (result.trace.empty() || result.trace.samples().back().step != round)) {
+    result.trace.record(round, state);
+  }
+  return result;
+}
+
+}  // namespace divlib

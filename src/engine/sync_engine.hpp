@@ -1,0 +1,36 @@
+// Run loop for synchronous-round processes, mirroring engine.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/opinion_state.hpp"
+#include "core/sync_process.hpp"
+#include "engine/stop_condition.hpp"
+#include "engine/trace.hpp"
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+struct SyncRunOptions {
+  StopKind stop = StopKind::kConsensus;
+  std::uint64_t max_rounds = 10'000'000;
+  // Trace stride in rounds; 0 disables.
+  std::uint64_t trace_stride = 0;
+};
+
+struct SyncRunResult {
+  bool completed = false;
+  std::uint64_t rounds = 0;
+  Opinion min_active = 0;
+  Opinion max_active = 0;
+  int num_active = 0;
+  std::int64_t final_sum = 0;
+  std::optional<Opinion> winner;
+  Trace trace;  // sample.step holds the round number
+};
+
+SyncRunResult run_sync(SyncProcess& process, OpinionState& state, Rng& rng,
+                       const SyncRunOptions& options);
+
+}  // namespace divlib

@@ -1,0 +1,25 @@
+#include "engine/trace.hpp"
+
+namespace divlib {
+
+void Trace::maybe_record(std::uint64_t step, const OpinionState& state) {
+  if (!enabled() || step % stride_ != 0) {
+    return;
+  }
+  record(step, state);
+}
+
+void Trace::record(std::uint64_t step, const OpinionState& state) {
+  TraceSample sample;
+  sample.step = step;
+  sample.min_active = state.min_active();
+  sample.max_active = state.max_active();
+  sample.num_active = state.num_active();
+  sample.sum = state.sum();
+  sample.z_total = state.z_total();
+  sample.pi_mass_min = state.pi_mass(state.min_active());
+  sample.pi_mass_max = state.pi_mass(state.max_active());
+  samples_.push_back(sample);
+}
+
+}  // namespace divlib

@@ -1,0 +1,51 @@
+// Time-series recording of a run's aggregates, sampled every `stride` steps.
+//
+// Each sample captures exactly the quantities the paper's lemmas reason
+// about: the total weights S(t) / Z(t) (Lemma 3 martingales), the active
+// range (Theorem 1's reduction), and the extreme stationary masses
+// pi(A_s(t)), pi(A_l(t)) whose product is the Lemma 10 supermartingale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/opinion_state.hpp"
+
+namespace divlib {
+
+struct TraceSample {
+  std::uint64_t step = 0;
+  Opinion min_active = 0;
+  Opinion max_active = 0;
+  int num_active = 0;
+  std::int64_t sum = 0;           // S(t)
+  double z_total = 0.0;           // Z(t)
+  double pi_mass_min = 0.0;       // pi(A_s(t))
+  double pi_mass_max = 0.0;       // pi(A_l(t))
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::uint64_t stride) : stride_(stride) {}
+
+  std::uint64_t stride() const { return stride_; }
+  bool enabled() const { return stride_ > 0; }
+
+  // Records a sample if `step` is a sampling point (multiples of stride,
+  // always including step 0 when enabled).
+  void maybe_record(std::uint64_t step, const OpinionState& state);
+
+  // Unconditional record (used for the final state of a run).
+  void record(std::uint64_t step, const OpinionState& state);
+
+  const std::vector<TraceSample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+
+ private:
+  std::uint64_t stride_ = 0;
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace divlib

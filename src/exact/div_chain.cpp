@@ -1,0 +1,175 @@
+#include "exact/div_chain.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/div_process.hpp"
+#include "spectral/linear_solver.hpp"
+
+namespace divlib {
+
+DivChain::DivChain(const Graph& graph, int num_opinions, SelectionScheme scheme,
+                   std::uint64_t max_states)
+    : graph_(&graph), scheme_(scheme), n_(graph.num_vertices()), k_(num_opinions) {
+  validate_for_selection(graph, scheme);
+  if (k_ < 2) {
+    throw std::invalid_argument("DivChain: need at least 2 opinions");
+  }
+  num_states_ = 1;
+  for (VertexId v = 0; v < n_; ++v) {
+    num_states_ *= static_cast<std::uint64_t>(k_);
+    if (num_states_ > max_states) {
+      throw std::invalid_argument("DivChain: k^n exceeds the state guard");
+    }
+  }
+  solve();
+}
+
+std::uint64_t DivChain::encode(const std::vector<Opinion>& opinions) const {
+  if (opinions.size() != n_) {
+    throw std::invalid_argument("DivChain::encode: wrong vector length");
+  }
+  std::uint64_t state = 0;
+  for (VertexId v = n_; v-- > 0;) {
+    const Opinion o = opinions[v];
+    if (o < 0 || o >= k_) {
+      throw std::invalid_argument("DivChain::encode: opinion out of range");
+    }
+    state = state * static_cast<std::uint64_t>(k_) + static_cast<std::uint64_t>(o);
+  }
+  return state;
+}
+
+std::vector<Opinion> DivChain::decode(std::uint64_t state) const {
+  std::vector<Opinion> opinions(n_);
+  for (VertexId v = 0; v < n_; ++v) {
+    opinions[v] = static_cast<Opinion>(state % static_cast<std::uint64_t>(k_));
+    state /= static_cast<std::uint64_t>(k_);
+  }
+  return opinions;
+}
+
+void DivChain::solve() {
+  // Consensus (absorbing) states: all vertices hold j.
+  std::vector<std::uint64_t> consensus(static_cast<std::size_t>(k_));
+  for (int j = 0; j < k_; ++j) {
+    consensus[static_cast<std::size_t>(j)] =
+        encode(std::vector<Opinion>(n_, static_cast<Opinion>(j)));
+  }
+  const auto consensus_value = [&](std::uint64_t state) -> int {
+    for (int j = 0; j < k_; ++j) {
+      if (consensus[static_cast<std::size_t>(j)] == state) {
+        return j;
+      }
+    }
+    return -1;
+  };
+
+  // Index the transient states.
+  std::vector<std::uint64_t> transient;
+  std::vector<std::uint64_t> index_of(num_states_, 0);
+  transient.reserve(num_states_ - static_cast<std::uint64_t>(k_));
+  for (std::uint64_t state = 0; state < num_states_; ++state) {
+    if (consensus_value(state) < 0) {
+      index_of[state] = transient.size();
+      transient.push_back(state);
+    }
+  }
+  const std::size_t unknowns = transient.size();
+
+  // Build I - P_TT and the k+1 right-hand sides.
+  DenseMatrix system(unknowns, unknowns, 0.0);
+  std::vector<std::vector<double>> rhs_absorb(
+      static_cast<std::size_t>(k_), std::vector<double>(unknowns, 0.0));
+  for (std::size_t row = 0; row < unknowns; ++row) {
+    const std::uint64_t state = transient[row];
+    const std::vector<Opinion> opinions = decode(state);
+    system.at(row, row) = 1.0;
+    double stay = 1.0;
+    for (const Edge& e : graph_->edges()) {
+      for (const auto& [updater, observed] :
+           {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+        const Opinion own = opinions[updater];
+        const Opinion seen = opinions[observed];
+        const Opinion updated = DivProcess::updated_opinion(own, seen);
+        if (updated == own) {
+          continue;
+        }
+        const double pair_probability =
+            scheme_ == SelectionScheme::kEdge
+                ? 1.0 / (2.0 * static_cast<double>(graph_->num_edges()))
+                : 1.0 / (static_cast<double>(n_) *
+                         static_cast<double>(graph_->degree(updater)));
+        stay -= pair_probability;
+        // Next state: replace digit `updater`.
+        std::uint64_t weight = 1;
+        for (VertexId v = 0; v < updater; ++v) {
+          weight *= static_cast<std::uint64_t>(k_);
+        }
+        const std::uint64_t next =
+            state + weight * static_cast<std::uint64_t>(updated - own);
+        const int absorbed = consensus_value(next);
+        if (absorbed >= 0) {
+          rhs_absorb[static_cast<std::size_t>(absorbed)][row] += pair_probability;
+        } else {
+          system.at(row, index_of[next]) -= pair_probability;
+        }
+      }
+    }
+    system.at(row, row) -= stay;
+  }
+
+  const LuFactorization lu(std::move(system));
+  absorption_.assign(num_states_ * static_cast<std::uint64_t>(k_), 0.0);
+  time_.assign(num_states_, 0.0);
+  for (int j = 0; j < k_; ++j) {
+    absorption_[consensus[static_cast<std::size_t>(j)] *
+                    static_cast<std::uint64_t>(k_) +
+                static_cast<std::uint64_t>(j)] = 1.0;
+    const std::vector<double> probabilities =
+        lu.solve(rhs_absorb[static_cast<std::size_t>(j)]);
+    for (std::size_t row = 0; row < unknowns; ++row) {
+      absorption_[transient[row] * static_cast<std::uint64_t>(k_) +
+                  static_cast<std::uint64_t>(j)] = probabilities[row];
+    }
+  }
+  const std::vector<double> times = lu.solve(std::vector<double>(unknowns, 1.0));
+  for (std::size_t row = 0; row < unknowns; ++row) {
+    time_[transient[row]] = times[row];
+  }
+}
+
+double DivChain::absorption_probability(std::uint64_t state, Opinion value) const {
+  if (state >= num_states_ || value < 0 || value >= k_) {
+    throw std::invalid_argument("DivChain: state/value out of range");
+  }
+  return absorption_[state * static_cast<std::uint64_t>(k_) +
+                     static_cast<std::uint64_t>(value)];
+}
+
+std::vector<double> DivChain::absorption_distribution(std::uint64_t state) const {
+  std::vector<double> distribution(static_cast<std::size_t>(k_));
+  for (int j = 0; j < k_; ++j) {
+    distribution[static_cast<std::size_t>(j)] =
+        absorption_probability(state, static_cast<Opinion>(j));
+  }
+  return distribution;
+}
+
+double DivChain::expected_consensus_time(std::uint64_t state) const {
+  if (state >= num_states_) {
+    throw std::invalid_argument("DivChain: state out of range");
+  }
+  return time_[state];
+}
+
+double DivChain::expected_winner(std::uint64_t state) const {
+  double mean = 0.0;
+  for (int j = 0; j < k_; ++j) {
+    mean += static_cast<double>(j) *
+            absorption_probability(state, static_cast<Opinion>(j));
+  }
+  return mean;
+}
+
+}  // namespace divlib

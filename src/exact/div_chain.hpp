@@ -1,0 +1,67 @@
+// Exact Markov-chain analysis of the FULL discrete-incremental-voting
+// process on tiny graphs.
+//
+// The configuration space is {0..k-1}^V (k^n states, encoded base-k); the
+// absorbing states are the k consensus configurations.  For n*log(k) small
+// enough (a few thousand states) we solve, by dense linear algebra:
+//
+//   * the absorption distribution -- P[consensus value = j] from any start,
+//     the quantity Theorem 2 approximates asymptotically;
+//   * the expected consensus time -- the exact E[tau] behind Corollary 7.
+//
+// This makes the paper's examples fully checkable: e.g. the exact win
+// probabilities of the {0,1,2} blocked configuration on a small path (the
+// [13] counterexample) and the exact validity of E[winner] = c (edge
+// process) implied by the Lemma 3 martingale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/opinion_state.hpp"
+#include "core/selection.hpp"
+#include "graph/graph.hpp"
+
+namespace divlib {
+
+class DivChain {
+ public:
+  // Opinions take values in {0 .. num_opinions-1}.  Throws when
+  // num_opinions^n exceeds max_states (dense-solver guard) or the scheme
+  // cannot run on the graph.
+  DivChain(const Graph& graph, int num_opinions, SelectionScheme scheme,
+           std::uint64_t max_states = 4000);
+
+  VertexId num_vertices() const { return n_; }
+  int num_opinions() const { return k_; }
+  std::uint64_t num_states() const { return num_states_; }
+
+  // Encoding helpers: opinions[v] in {0..k-1} <-> base-k integer.
+  std::uint64_t encode(const std::vector<Opinion>& opinions) const;
+  std::vector<Opinion> decode(std::uint64_t state) const;
+
+  // Exact P[consensus value = j | start], j in {0..k-1}.
+  double absorption_probability(std::uint64_t state, Opinion value) const;
+  std::vector<double> absorption_distribution(std::uint64_t state) const;
+
+  // Exact E[steps to consensus | start].
+  double expected_consensus_time(std::uint64_t state) const;
+
+  // Exact E[winner | start] = sum_j j * P[j]; equals the initial (weighted)
+  // average under the martingale (edge process: plain, vertex: degree).
+  double expected_winner(std::uint64_t state) const;
+
+ private:
+  void solve();
+
+  const Graph* graph_;
+  SelectionScheme scheme_;
+  VertexId n_;
+  int k_;
+  std::uint64_t num_states_;
+  // absorption_[state * k + j] and time_[state].
+  std::vector<double> absorption_;
+  std::vector<double> time_;
+};
+
+}  // namespace divlib

@@ -1,0 +1,190 @@
+#include "exact/two_voting_chain.hpp"
+
+#include <stdexcept>
+
+#include "spectral/linear_solver.hpp"
+
+namespace divlib {
+
+TwoVotingChain::TwoVotingChain(const Graph& graph, SelectionScheme scheme,
+                               VertexId max_vertices)
+    : graph_(&graph), scheme_(scheme), n_(graph.num_vertices()) {
+  validate_for_selection(graph, scheme);
+  if (n_ > max_vertices || n_ >= 31) {
+    throw std::invalid_argument(
+        "TwoVotingChain: state space 2^n too large for the exact solver");
+  }
+  solve();
+}
+
+double TwoVotingChain::transition_probability(std::uint32_t from,
+                                              std::uint32_t to) const {
+  double probability = 0.0;
+  double stay = 1.0;
+  for (const Edge& e : graph_->edges()) {
+    for (const auto& [updater, observed] :
+         {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+      const double pair_probability =
+          scheme_ == SelectionScheme::kEdge
+              ? 1.0 / (2.0 * static_cast<double>(graph_->num_edges()))
+              : 1.0 / (static_cast<double>(n_) *
+                       static_cast<double>(graph_->degree(updater)));
+      const bool updater_side = (from >> updater) & 1u;
+      const bool observed_side = (from >> observed) & 1u;
+      if (updater_side == observed_side) {
+        continue;  // no change: contributes to the self-loop
+      }
+      stay -= pair_probability;
+      const std::uint32_t next = observed_side
+                                     ? (from | (1u << updater))
+                                     : (from & ~(1u << updater));
+      if (next == to) {
+        probability += pair_probability;
+      }
+    }
+  }
+  if (to == from) {
+    probability += stay;
+  }
+  return probability;
+}
+
+void TwoVotingChain::solve() {
+  const std::uint32_t states = num_states();
+  const std::uint32_t full = states - 1;
+  // Transient states are everything except 0 and full.
+  std::vector<std::uint32_t> transient;
+  transient.reserve(states - 2);
+  std::vector<std::uint32_t> index_of(states, 0);
+  for (std::uint32_t mask = 1; mask < full; ++mask) {
+    index_of[mask] = static_cast<std::uint32_t>(transient.size());
+    transient.push_back(mask);
+  }
+  const std::size_t unknowns = transient.size();
+
+  // Build I - P_TT and the two right-hand sides in one pass.
+  DenseMatrix system(unknowns, unknowns, 0.0);
+  std::vector<double> rhs_win(unknowns, 0.0);
+  const std::vector<double> rhs_time(unknowns, 1.0);
+  for (std::size_t row = 0; row < unknowns; ++row) {
+    const std::uint32_t mask = transient[row];
+    system.at(row, row) = 1.0;
+    double stay = 1.0;
+    for (const Edge& e : graph_->edges()) {
+      for (const auto& [updater, observed] :
+           {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+        const bool updater_side = (mask >> updater) & 1u;
+        const bool observed_side = (mask >> observed) & 1u;
+        if (updater_side == observed_side) {
+          continue;
+        }
+        const double pair_probability =
+            scheme_ == SelectionScheme::kEdge
+                ? 1.0 / (2.0 * static_cast<double>(graph_->num_edges()))
+                : 1.0 / (static_cast<double>(n_) *
+                         static_cast<double>(graph_->degree(updater)));
+        stay -= pair_probability;
+        const std::uint32_t next = observed_side
+                                       ? (mask | (1u << updater))
+                                       : (mask & ~(1u << updater));
+        if (next == full) {
+          rhs_win[row] += pair_probability;
+        } else if (next != 0) {
+          system.at(row, index_of[next]) -= pair_probability;
+        }
+      }
+    }
+    system.at(row, row) -= stay;
+  }
+
+  const std::vector<double> win = solve_linear_system(system, rhs_win);
+  // Rebuild: solve_linear_system consumed `system`, so reconstruct it for
+  // the time system.  (Cheaper than factor-once for these sizes and keeps
+  // the solver interface simple.)
+  DenseMatrix system2(unknowns, unknowns, 0.0);
+  for (std::size_t row = 0; row < unknowns; ++row) {
+    const std::uint32_t mask = transient[row];
+    system2.at(row, row) = 1.0;
+    double stay = 1.0;
+    for (const Edge& e : graph_->edges()) {
+      for (const auto& [updater, observed] :
+           {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+        const bool updater_side = (mask >> updater) & 1u;
+        const bool observed_side = (mask >> observed) & 1u;
+        if (updater_side == observed_side) {
+          continue;
+        }
+        const double pair_probability =
+            scheme_ == SelectionScheme::kEdge
+                ? 1.0 / (2.0 * static_cast<double>(graph_->num_edges()))
+                : 1.0 / (static_cast<double>(n_) *
+                         static_cast<double>(graph_->degree(updater)));
+        stay -= pair_probability;
+        const std::uint32_t next = observed_side
+                                       ? (mask | (1u << updater))
+                                       : (mask & ~(1u << updater));
+        if (next != full && next != 0) {
+          system2.at(row, index_of[next]) -= pair_probability;
+        }
+      }
+    }
+    system2.at(row, row) -= stay;
+  }
+  const std::vector<double> time = solve_linear_system(system2, rhs_time);
+
+  win_.assign(states, 0.0);
+  time_.assign(states, 0.0);
+  win_[full] = 1.0;
+  for (std::size_t i = 0; i < unknowns; ++i) {
+    win_[transient[i]] = win[i];
+    time_[transient[i]] = time[i];
+  }
+}
+
+double TwoVotingChain::win_probability(std::uint32_t mask) const {
+  if (mask >= num_states()) {
+    throw std::invalid_argument("TwoVotingChain: mask out of range");
+  }
+  return win_[mask];
+}
+
+double TwoVotingChain::win_probability_closed_form(std::uint32_t mask) const {
+  if (mask >= num_states()) {
+    throw std::invalid_argument("TwoVotingChain: mask out of range");
+  }
+  if (scheme_ == SelectionScheme::kEdge) {
+    std::uint32_t count = 0;
+    for (VertexId v = 0; v < n_; ++v) {
+      count += (mask >> v) & 1u;
+    }
+    return static_cast<double>(count) / static_cast<double>(n_);
+  }
+  std::uint64_t degree_mass = 0;
+  for (VertexId v = 0; v < n_; ++v) {
+    if ((mask >> v) & 1u) {
+      degree_mass += graph_->degree(v);
+    }
+  }
+  return static_cast<double>(degree_mass) /
+         static_cast<double>(graph_->total_degree());
+}
+
+double TwoVotingChain::expected_absorption_time(std::uint32_t mask) const {
+  if (mask >= num_states()) {
+    throw std::invalid_argument("TwoVotingChain: mask out of range");
+  }
+  return time_[mask];
+}
+
+TwoVotingChain::WorstCase TwoVotingChain::worst_case_time() const {
+  WorstCase worst;
+  for (std::uint32_t mask = 0; mask < num_states(); ++mask) {
+    if (time_[mask] > worst.time) {
+      worst.time = time_[mask];
+      worst.mask = mask;
+    }
+  }
+  return worst;
+}
+
+}  // namespace divlib

@@ -1,0 +1,69 @@
+// Exact Markov-chain analysis of two-opinion pull voting on small graphs.
+//
+// The configuration space is the set of vertex subsets B in {0,1}^V (B = the
+// set holding opinion 1); both the empty set and the full set are absorbing.
+// For n <= ~12 the chain is small enough (2^n states) to solve exactly:
+//
+//   * win probabilities -- P[B absorbs at V] from every initial state, which
+//     must equal eq. (3)'s closed forms N_1/n (edge process) and d(B)/2m
+//     (vertex process); this cross-validates the selection machinery and the
+//     paper's formula against brute-force linear algebra.
+//   * expected absorption times -- the quantity T_2vote of Lemma 6 and
+//     Corollary 7, including the exact worst case over all initial states.
+//
+// States are encoded as bitmasks over the vertex ids (bit v set <=> v in B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/selection.hpp"
+#include "graph/graph.hpp"
+
+namespace divlib {
+
+class TwoVotingChain {
+ public:
+  // Builds the exact chain; throws std::invalid_argument for graphs the
+  // scheme cannot run on or when n exceeds `max_vertices` (state-space
+  // guard; 2^n states with a dense 2^n x 2^n solve for the time system).
+  // The dense solve costs O(8^n) time; n = 10 (~1022 unknowns) runs in
+  // about a second, n = 12 in minutes.
+  TwoVotingChain(const Graph& graph, SelectionScheme scheme,
+                 VertexId max_vertices = 10);
+
+  VertexId num_vertices() const { return n_; }
+  std::uint32_t num_states() const { return static_cast<std::uint32_t>(1u << n_); }
+
+  // Exact probability that opinion 1 (the set `mask`) wins, computed by
+  // solving the harmonic system.  Matches eq. (3) for pull voting.
+  double win_probability(std::uint32_t mask) const;
+
+  // Closed-form eq. (3) value for comparison.
+  double win_probability_closed_form(std::uint32_t mask) const;
+
+  // Exact expected number of steps until consensus from `mask`.
+  double expected_absorption_time(std::uint32_t mask) const;
+
+  // max over initial states of the expected absorption time (the worst-case
+  // T_2vote of Corollary 7) and the argmax mask.
+  struct WorstCase {
+    double time = 0.0;
+    std::uint32_t mask = 0;
+  };
+  WorstCase worst_case_time() const;
+
+  // One-step transition probability between two masks (exposed for tests).
+  double transition_probability(std::uint32_t from, std::uint32_t to) const;
+
+ private:
+  void solve();
+
+  const Graph* graph_;
+  SelectionScheme scheme_;
+  VertexId n_;
+  std::vector<double> win_;   // harmonic: P[absorb at full set]
+  std::vector<double> time_;  // expected steps to absorption
+};
+
+}  // namespace divlib

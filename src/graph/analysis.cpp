@@ -1,0 +1,263 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace divlib {
+
+ComponentInfo connected_components(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  ComponentInfo info;
+  info.component_of.assign(n, kUnreachable);
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (info.component_of[start] != kUnreachable) {
+      continue;
+    }
+    const VertexId id = info.num_components++;
+    info.sizes.push_back(0);
+    stack.push_back(start);
+    info.component_of[start] = id;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      ++info.sizes[id];
+      for (const VertexId w : graph.neighbors(v)) {
+        if (info.component_of[w] == kUnreachable) {
+          info.component_of[w] = id;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& graph, VertexId source) {
+  if (source >= graph.num_vertices()) {
+    throw std::invalid_argument("bfs_distances: source out of range");
+  }
+  std::vector<std::uint32_t> distance(graph.num_vertices(), kUnreachable);
+  std::queue<VertexId> frontier;
+  distance[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (const VertexId w : graph.neighbors(v)) {
+      if (distance[w] == kUnreachable) {
+        distance[w] = distance[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return distance;
+}
+
+std::uint32_t eccentricity(const Graph& graph, VertexId source) {
+  std::uint32_t worst = 0;
+  for (const std::uint32_t d : bfs_distances(graph, source)) {
+    if (d == kUnreachable) {
+      throw std::invalid_argument("eccentricity: graph is disconnected");
+    }
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+std::uint32_t diameter(const Graph& graph) {
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    best = std::max(best, eccentricity(graph, v));
+  }
+  return best;
+}
+
+std::vector<VertexId> degree_histogram(const Graph& graph) {
+  std::vector<VertexId> histogram(graph.max_degree() + 1, 0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ++histogram[graph.degree(v)];
+  }
+  return histogram;
+}
+
+std::uint64_t triangle_count(const Graph& graph) {
+  // For each edge (u, v) with u < v, count common neighbors w > v: each
+  // triangle is counted exactly once at its lexicographically smallest edge.
+  std::uint64_t triangles = 0;
+  for (const Edge& e : graph.edges()) {
+    const auto row_u = graph.neighbors(e.u);
+    const auto row_v = graph.neighbors(e.v);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < row_u.size() && j < row_v.size()) {
+      if (row_u[i] == row_v[j]) {
+        if (row_u[i] > e.v) {
+          ++triangles;
+        }
+        ++i;
+        ++j;
+      } else if (row_u[i] < row_v[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  }
+  return triangles;
+}
+
+double global_clustering_coefficient(const Graph& graph) {
+  std::uint64_t wedges = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const std::uint64_t d = graph.degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) {
+    return 0.0;
+  }
+  return 3.0 * static_cast<double>(triangle_count(graph)) /
+         static_cast<double>(wedges);
+}
+
+double local_clustering_coefficient(const Graph& graph, VertexId v) {
+  const auto row = graph.neighbors(v);
+  if (row.size() < 2) {
+    return 0.0;
+  }
+  std::uint64_t closed = 0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    for (std::size_t j = i + 1; j < row.size(); ++j) {
+      closed += graph.has_edge(row[i], row[j]) ? 1 : 0;
+    }
+  }
+  const auto pairs = static_cast<double>(row.size() * (row.size() - 1) / 2);
+  return static_cast<double>(closed) / pairs;
+}
+
+namespace {
+
+void validate_mask(const Graph& graph, const std::vector<bool>& mask,
+                   const char* what) {
+  if (mask.size() != graph.num_vertices()) {
+    throw std::invalid_argument(std::string(what) + ": mask size != n");
+  }
+}
+
+double pi_of_mask(const Graph& graph, const std::vector<bool>& mask) {
+  std::uint64_t degree_sum = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (mask[v]) {
+      degree_sum += graph.degree(v);
+    }
+  }
+  return static_cast<double>(degree_sum) /
+         static_cast<double>(graph.total_degree());
+}
+
+}  // namespace
+
+double edge_measure(const Graph& graph, const std::vector<bool>& set_s,
+                    const std::vector<bool>& set_u) {
+  validate_mask(graph, set_s, "edge_measure S");
+  validate_mask(graph, set_u, "edge_measure U");
+  std::uint64_t ordered_pairs = 0;
+  for (const Edge& e : graph.edges()) {
+    if (set_s[e.u] && set_u[e.v]) {
+      ++ordered_pairs;
+    }
+    if (set_s[e.v] && set_u[e.u]) {
+      ++ordered_pairs;
+    }
+  }
+  return static_cast<double>(ordered_pairs) /
+         static_cast<double>(graph.total_degree());
+}
+
+double conductance(const Graph& graph, const std::vector<bool>& in_set) {
+  validate_mask(graph, in_set, "conductance");
+  const double pi_s = pi_of_mask(graph, in_set);
+  if (pi_s <= 0.0 || pi_s >= 1.0) {
+    throw std::invalid_argument("conductance: S must be a proper nonempty subset");
+  }
+  std::vector<bool> complement(in_set.size());
+  for (std::size_t v = 0; v < in_set.size(); ++v) {
+    complement[v] = !in_set[v];
+  }
+  const double boundary = edge_measure(graph, in_set, complement);
+  return boundary / std::min(pi_s, 1.0 - pi_s);
+}
+
+double estimate_graph_conductance(const Graph& graph, Rng& rng, int random_sets) {
+  const VertexId n = graph.num_vertices();
+  if (n < 2) {
+    throw std::invalid_argument("estimate_graph_conductance: need n >= 2");
+  }
+  double best = 1.0;
+  // Sweep BFS balls from a few sources (captures bottlenecks like barbells).
+  const int sources = std::min<int>(4, static_cast<int>(n));
+  for (int i = 0; i < sources; ++i) {
+    const auto source = static_cast<VertexId>(rng.uniform_below(n));
+    const auto distance = bfs_distances(graph, source);
+    std::uint32_t radius = 0;
+    for (const std::uint32_t d : distance) {
+      if (d != kUnreachable) {
+        radius = std::max(radius, d);
+      }
+    }
+    for (std::uint32_t r = 0; r < radius; ++r) {
+      std::vector<bool> ball(n, false);
+      VertexId count = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        if (distance[v] != kUnreachable && distance[v] <= r) {
+          ball[v] = true;
+          ++count;
+        }
+      }
+      if (count == 0 || count == n) {
+        continue;
+      }
+      best = std::min(best, conductance(graph, ball));
+    }
+  }
+  // Random balanced subsets.
+  for (int i = 0; i < random_sets; ++i) {
+    std::vector<bool> subset(n, false);
+    VertexId count = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (rng.bernoulli(0.5)) {
+        subset[v] = true;
+        ++count;
+      }
+    }
+    if (count == 0 || count == n) {
+      continue;
+    }
+    best = std::min(best, conductance(graph, subset));
+  }
+  return best;
+}
+
+double mixing_lemma_ratio(const Graph& graph, const std::vector<bool>& set_s,
+                          const std::vector<bool>& set_u, double lambda) {
+  validate_mask(graph, set_s, "mixing_lemma_ratio S");
+  validate_mask(graph, set_u, "mixing_lemma_ratio U");
+  if (lambda <= 0.0) {
+    throw std::invalid_argument("mixing_lemma_ratio: lambda must be positive");
+  }
+  const double pi_s = pi_of_mask(graph, set_s);
+  const double pi_u = pi_of_mask(graph, set_u);
+  const double q = edge_measure(graph, set_s, set_u);
+  const double denominator =
+      lambda * std::sqrt(pi_s * (1.0 - pi_s) * pi_u * (1.0 - pi_u));
+  if (denominator <= 0.0) {
+    // Degenerate S or U (empty/full): the lemma's RHS is 0 and the LHS is 0
+    // as well; report ratio 0.
+    return 0.0;
+  }
+  return std::abs(q - pi_s * pi_u) / denominator;
+}
+
+}  // namespace divlib

@@ -1,0 +1,74 @@
+// Structural graph analysis used by the experiments and the CLI:
+// connected components, BFS distances/diameter, degree histograms,
+// conductance, and an exact evaluator for the expander mixing lemma
+// (Lemma 9 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+// Component id per vertex (ids are 0-based, assigned in discovery order)
+// plus the number of components.
+struct ComponentInfo {
+  std::vector<VertexId> component_of;
+  VertexId num_components = 0;
+  // Size of each component, indexed by component id.
+  std::vector<VertexId> sizes;
+};
+ComponentInfo connected_components(const Graph& graph);
+
+// BFS distances from `source`; unreachable vertices get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+std::vector<std::uint32_t> bfs_distances(const Graph& graph, VertexId source);
+
+// Eccentricity of `source` (max finite BFS distance); throws if the graph is
+// disconnected from source.
+std::uint32_t eccentricity(const Graph& graph, VertexId source);
+
+// Exact diameter via all-sources BFS: O(n m).  Connected graphs only.
+std::uint32_t diameter(const Graph& graph);
+
+// Degree histogram: index d -> number of vertices with degree d.
+std::vector<VertexId> degree_histogram(const Graph& graph);
+
+// Conductance of a vertex set S:
+//   phi(S) = Q(S, S^C) / min(pi(S), pi(S^C))
+// with Q(S,U) = sum_{v in S} pi_v P(v, U) = |E(S, S^C)| / 2m.
+// S is given as a boolean membership mask of size n.
+double conductance(const Graph& graph, const std::vector<bool>& in_set);
+
+// Graph conductance estimated by sweeping BFS balls and random subsets:
+// an upper bound on the true conductance (useful as a bottleneck indicator;
+// exact minimization is NP-hard).
+double estimate_graph_conductance(const Graph& graph, Rng& rng,
+                                  int random_sets = 64);
+
+// Exact edge-measure Q(S, U) = (1/2m) * |{(v,u) : v in S, u in U, vu in E}|
+// counting ordered pairs, matching the paper's Q.
+double edge_measure(const Graph& graph, const std::vector<bool>& set_s,
+                    const std::vector<bool>& set_u);
+
+// Number of triangles in the graph (each counted once).
+std::uint64_t triangle_count(const Graph& graph);
+
+// Global clustering coefficient: 3 * triangles / #(open+closed wedges);
+// 0 when the graph has no wedge.  Distinguishes small-world rewirings from
+// G(n,p) at equal density.
+double global_clustering_coefficient(const Graph& graph);
+
+// Local clustering coefficient of v: fraction of neighbor pairs that are
+// themselves adjacent (0 when deg(v) < 2).
+double local_clustering_coefficient(const Graph& graph, VertexId v);
+
+// Checks the expander mixing lemma (Lemma 9) on a concrete pair (S, U):
+// returns the ratio |Q(S,U) - pi(S)pi(U)| / (lambda * sqrt(pi(S)pi(S^C)pi(U)pi(U^C))).
+// Values <= 1 confirm the bound; the denominator uses the caller's lambda.
+double mixing_lemma_ratio(const Graph& graph, const std::vector<bool>& set_s,
+                          const std::vector<bool>& set_u, double lambda);
+
+}  // namespace divlib

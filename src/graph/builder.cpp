@@ -1,0 +1,57 @@
+#include "graph/builder.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace divlib {
+
+GraphBuilder::GraphBuilder(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+std::uint64_t GraphBuilder::key(VertexId u, VertexId v) {
+  if (u > v) {
+    std::swap(u, v);
+  }
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+bool GraphBuilder::add_edge(VertexId u, VertexId v) {
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw std::invalid_argument("GraphBuilder: endpoint out of range");
+  }
+  if (u == v) {
+    throw std::invalid_argument("GraphBuilder: self-loop");
+  }
+  if (!seen_.insert(key(u, v)).second) {
+    return false;
+  }
+  edges_.push_back(u < v ? Edge{u, v} : Edge{v, u});
+  return true;
+}
+
+bool GraphBuilder::remove_edge(VertexId u, VertexId v) {
+  if (seen_.erase(key(u, v)) == 0) {
+    return false;
+  }
+  const Edge target = u < v ? Edge{u, v} : Edge{v, u};
+  for (auto& edge : edges_) {
+    if (edge == target) {
+      edge = edges_.back();
+      edges_.pop_back();
+      return true;
+    }
+  }
+  return true;  // unreachable: seen_ and edges_ are kept in sync
+}
+
+bool GraphBuilder::has_edge(VertexId u, VertexId v) const {
+  if (u >= num_vertices_ || v >= num_vertices_ || u == v) {
+    return false;
+  }
+  return seen_.contains(key(u, v));
+}
+
+Graph GraphBuilder::build() const {
+  return Graph(num_vertices_, edges_);
+}
+
+}  // namespace divlib

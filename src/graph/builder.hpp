@@ -1,0 +1,45 @@
+// Incremental construction of simple undirected graphs.
+//
+// GraphBuilder tolerates duplicate add_edge calls (they are ignored) and
+// reports attempted self-loops as errors, which makes the random-graph
+// generators straightforward to write.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace divlib {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices);
+
+  // Returns true if the edge was new, false if it already existed.
+  // Throws std::invalid_argument on self-loops or out-of-range endpoints.
+  bool add_edge(VertexId u, VertexId v);
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  // Removes an edge if present; returns whether it existed.  O(m) worst case
+  // (linear scan of the edge list); intended for occasional repair steps in
+  // random-graph generation, not hot loops.
+  bool remove_edge(VertexId u, VertexId v);
+
+  std::size_t num_edges() const { return edges_.size(); }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  // Finalizes into an immutable Graph.  The builder may be reused afterwards
+  // (it retains its contents).
+  Graph build() const;
+
+ private:
+  static std::uint64_t key(VertexId u, VertexId v);
+
+  VertexId num_vertices_;
+  std::vector<Edge> edges_;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace divlib

@@ -1,0 +1,59 @@
+// Deterministic graph families.
+//
+// These cover the graph classes the paper discusses directly (complete
+// graph K_n, path graph for the lambda*k = Omega(1) counterexample) plus the
+// standard families used as controls in the experiments: cycles, stars
+// (extreme degree irregularity for eq. (3)), barbells (bottlenecks),
+// hypercubes and tori (structured expanders / non-expanders).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace divlib {
+
+// K_n, n >= 1.  lambda = 1/(n-1).
+Graph make_complete(VertexId n);
+
+// Path P_n: 0-1-2-...-(n-1), n >= 1.  lambda = 1 - O(1/n^2): not an expander.
+Graph make_path(VertexId n);
+
+// Cycle C_n, n >= 3.  lambda = cos(2*pi/n): not an expander.
+Graph make_cycle(VertexId n);
+
+// Star S_n: center 0 with n-1 leaves, n >= 2.  Maximally irregular;
+// bipartite so lambda = 1 (periodic walk).
+Graph make_star(VertexId n);
+
+// Complete bipartite K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+Graph make_complete_bipartite(VertexId a, VertexId b);
+
+// Barbell: two K_h cliques joined by a single bridge edge; n = 2h, h >= 2.
+// Classic bottleneck graph: lambda -> 1.
+Graph make_barbell(VertexId half);
+
+// Lollipop: K_h clique with a path of `tail` extra vertices attached.
+Graph make_lollipop(VertexId clique, VertexId tail);
+
+// d-dimensional hypercube Q_d: n = 2^d vertices, lambda = 1 - 2/d but the
+// walk is periodic (bipartite); still useful as a structured test graph.
+Graph make_hypercube(unsigned dim);
+
+// rows x cols grid; `torus` wraps both dimensions (4-regular when wrapped
+// and rows,cols >= 3).
+Graph make_grid(VertexId rows, VertexId cols, bool torus);
+
+// Complete binary tree with n vertices (heap indexing), n >= 1.
+Graph make_binary_tree(VertexId n);
+
+// Two cliques of size `half` connected by `bridges` parallel vertex-disjoint
+// bridge edges (1 <= bridges <= half).  Interpolates the barbell bottleneck.
+Graph make_double_clique(VertexId half, VertexId bridges);
+
+// Margulis-Gabber-Galil expander on Z_m x Z_m (n = m^2): each vertex (x, y)
+// connects to (x +- 2y, y), (x +- (2y+1), y), (x, y +- 2x), (x, y +- (2x+1))
+// mod m.  The classical DETERMINISTIC expander family; after collapsing
+// parallel edges the graph is near-8-regular with lambda bounded away
+// from 1 uniformly in m.  Requires m >= 3.
+Graph make_margulis(VertexId m);
+
+}  // namespace divlib

@@ -1,0 +1,138 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace divlib {
+
+Graph::Graph(VertexId num_vertices, std::vector<Edge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  for (auto& e : edges_) {
+    if (e.u >= num_vertices_ || e.v >= num_vertices_) {
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    }
+    if (e.u == e.v) {
+      throw std::invalid_argument("Graph: self-loop");
+    }
+    if (e.u > e.v) {
+      std::swap(e.u, e.v);
+    }
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  if (std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end()) {
+    throw std::invalid_argument("Graph: duplicate edge");
+  }
+
+  offsets_.assign(num_vertices_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  std::partial_sum(offsets_.begin(), offsets_.end(), offsets_.begin());
+
+  adjacency_.resize(2 * edges_.size());
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    adjacency_[cursor[e.u]++] = e.v;
+    adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    std::sort(adjacency_.begin() + offsets_[v], adjacency_.begin() + offsets_[v + 1]);
+  }
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  if (u >= num_vertices_ || v >= num_vertices_ || u == v) {
+    return false;
+  }
+  // Probe the smaller adjacency row.
+  if (degree(u) > degree(v)) {
+    std::swap(u, v);
+  }
+  const auto row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+double Graph::stationary(VertexId v) const {
+  return static_cast<double>(degree(v)) / static_cast<double>(total_degree());
+}
+
+std::vector<double> Graph::stationary_distribution() const {
+  std::vector<double> pi(num_vertices_);
+  const auto two_m = static_cast<double>(total_degree());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    pi[v] = static_cast<double>(degree(v)) / two_m;
+  }
+  return pi;
+}
+
+double Graph::min_stationary() const {
+  return static_cast<double>(min_degree()) / static_cast<double>(total_degree());
+}
+
+double Graph::max_stationary() const {
+  return static_cast<double>(max_degree()) / static_cast<double>(total_degree());
+}
+
+std::uint32_t Graph::min_degree() const {
+  std::uint32_t best = num_vertices_ == 0 ? 0 : degree(0);
+  for (VertexId v = 1; v < num_vertices_; ++v) {
+    best = std::min(best, degree(v));
+  }
+  return best;
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+double Graph::average_degree() const {
+  if (num_vertices_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_degree()) / static_cast<double>(num_vertices_);
+}
+
+bool Graph::is_regular() const {
+  return num_vertices_ == 0 || min_degree() == max_degree();
+}
+
+bool Graph::is_connected() const {
+  if (num_vertices_ == 0) {
+    return true;
+  }
+  std::vector<bool> seen(num_vertices_, false);
+  std::vector<VertexId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const VertexId w : neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == num_vertices_;
+}
+
+bool Graph::has_isolated_vertices() const {
+  return num_vertices_ > 0 && min_degree() == 0;
+}
+
+std::string Graph::summary() const {
+  return "n=" + std::to_string(num_vertices_) + " m=" + std::to_string(num_edges()) +
+         " deg=[" + std::to_string(min_degree()) + "," + std::to_string(max_degree()) + "]";
+}
+
+}  // namespace divlib

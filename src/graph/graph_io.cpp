@@ -1,0 +1,86 @@
+#include "graph/graph_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace divlib {
+
+void write_edge_list(std::ostream& out, const Graph& graph) {
+  out << "n " << graph.num_vertices() << "\n";
+  for (const Edge& e : graph.edges()) {
+    out << e.u << " " << e.v << "\n";
+  }
+}
+
+std::string to_edge_list(const Graph& graph) {
+  std::ostringstream out;
+  write_edge_list(out, graph);
+  return out.str();
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  bool have_n = false;
+  VertexId n = 0;
+  std::vector<Edge> edges;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::string first;
+    if (!(fields >> first)) {
+      continue;  // blank / comment-only line
+    }
+    if (first == "n") {
+      std::uint64_t value = 0;
+      if (have_n || !(fields >> value)) {
+        throw std::invalid_argument("read_edge_list: bad 'n' header at line " +
+                                    std::to_string(line_no));
+      }
+      n = static_cast<VertexId>(value);
+      have_n = true;
+      continue;
+    }
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    try {
+      u = std::stoull(first);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("read_edge_list: bad token at line " +
+                                  std::to_string(line_no));
+    }
+    if (!(fields >> v)) {
+      throw std::invalid_argument("read_edge_list: missing endpoint at line " +
+                                  std::to_string(line_no));
+    }
+    edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
+  }
+  if (!have_n) {
+    throw std::invalid_argument("read_edge_list: missing 'n <count>' header");
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph graph_from_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+std::string to_dot(const Graph& graph, const std::string& name) {
+  std::ostringstream out;
+  out << "graph " << name << " {\n";
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    out << "  " << v << ";\n";
+  }
+  for (const Edge& e : graph.edges()) {
+    out << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace divlib

@@ -1,0 +1,29 @@
+// Serialization of graphs: a simple edge-list text format and Graphviz DOT
+// export for visual inspection of small instances.
+//
+// Edge-list format (whitespace/newline separated, '#' comments):
+//   n <num_vertices>
+//   <u> <v>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace divlib {
+
+// Writes the edge-list format.
+void write_edge_list(std::ostream& out, const Graph& graph);
+std::string to_edge_list(const Graph& graph);
+
+// Parses the edge-list format; throws std::invalid_argument on syntax errors
+// or invalid edges.
+Graph read_edge_list(std::istream& in);
+Graph graph_from_edge_list(const std::string& text);
+
+// Graphviz DOT (undirected).
+std::string to_dot(const Graph& graph, const std::string& name = "G");
+
+}  // namespace divlib

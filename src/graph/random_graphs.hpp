@@ -1,0 +1,44 @@
+// Random graph models.
+//
+// These are the expander families in the paper's "Graphs with small second
+// eigenvalue" section: random d-regular graphs (lambda = O(1/sqrt(d)) whp)
+// and Erdos-Renyi G(n,p) with np >= 2(1+o(1)) log n
+// (lambda <= (1+o(1)) 2/sqrt(np) whp).  Watts-Strogatz and Barabasi-Albert
+// are included as additional realistic network topologies for the examples.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+// Erdos-Renyi G(n,p): each of the C(n,2) pairs is an edge independently with
+// probability p.  Uses geometric skipping, so the cost is O(n + m).
+Graph make_gnp(VertexId n, double p, Rng& rng);
+
+// As make_gnp but resamples until the graph is connected (throws after
+// `max_attempts` failures).  Intended for p above the connectivity threshold.
+Graph make_connected_gnp(VertexId n, double p, Rng& rng, int max_attempts = 200);
+
+// Random d-regular graph via the configuration model, rejecting pairings
+// with self-loops or multi-edges (whp successful for d = O(n^{1/3})).
+// Requires n*d even, 1 <= d < n.  Throws after `max_attempts` rejections.
+Graph make_random_regular(VertexId n, std::uint32_t d, Rng& rng,
+                          int max_attempts = 5000);
+
+// As make_random_regular but additionally requires connectivity (whp
+// immediate for d >= 3).
+Graph make_connected_random_regular(VertexId n, std::uint32_t d, Rng& rng,
+                                    int max_attempts = 5000);
+
+// Watts-Strogatz small world: ring lattice with k nearest neighbors per side
+// (degree 2k), each edge rewired with probability beta.  Rewiring preserves
+// simplicity; the graph may become disconnected for large beta.
+Graph make_watts_strogatz(VertexId n, std::uint32_t k, double beta, Rng& rng);
+
+// Barabasi-Albert preferential attachment: start from a clique on
+// `attach + 1` vertices, then each new vertex attaches to `attach` distinct
+// existing vertices chosen proportionally to degree.
+Graph make_barabasi_albert(VertexId n, std::uint32_t attach, Rng& rng);
+
+}  // namespace divlib

@@ -1,0 +1,49 @@
+#include "io/csv.hpp"
+
+#include <ostream>
+
+#include "io/table.hpp"
+
+namespace divlib {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += "\"";
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      *out_ << ",";
+    }
+    *out_ << escape(fields[i]);
+  }
+  *out_ << "\n";
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& fields, int decimals) {
+  std::vector<std::string> text;
+  text.reserve(fields.size());
+  for (const double value : fields) {
+    text.push_back(format_double(value, decimals));
+  }
+  write_row(text);
+}
+
+}  // namespace divlib

@@ -1,0 +1,30 @@
+// Minimal RFC-4180-ish CSV writer for exporting experiment series.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace divlib {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out);
+
+  // Writes one row; fields containing commas, quotes, or newlines are quoted.
+  void write_row(const std::vector<std::string>& fields);
+
+  // Convenience for numeric rows.
+  void write_row(const std::vector<double>& fields, int decimals = 6);
+
+  std::size_t rows_written() const { return rows_; }
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace divlib

@@ -1,0 +1,45 @@
+// Aligned ASCII tables: the output format of every experiment binary.
+// Cells are strings; numeric convenience adders format with a fixed number
+// of significant/decimal digits.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace divlib {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Starts a new row; cell() appends to the current row.  Rows shorter than
+  // the header are padded with empty cells; longer rows throw.
+  Table& row();
+  Table& cell(std::string text);
+  Table& cell(const char* text);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+  // Fixed decimal places.
+  Table& cell(double value, int decimals = 4);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return headers_.size(); }
+
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `decimals` places (shared with Table::cell).
+std::string format_double(double value, int decimals);
+
+// Prints a section banner ("== title ==") used between experiment tables.
+void print_banner(std::ostream& out, const std::string& title);
+
+}  // namespace divlib

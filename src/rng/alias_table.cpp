@@ -1,0 +1,76 @@
+#include "rng/alias_table.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace divlib {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) {
+    throw std::invalid_argument("AliasTable: empty weight vector");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument("AliasTable: negative weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("AliasTable: all weights are zero");
+  }
+
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+  }
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's stable partition into "small" (< 1/n) and "large" columns.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers are exactly-1 columns up to floating-point noise.
+  for (const std::size_t l : large) {
+    probability_[l] = 1.0;
+  }
+  for (const std::size_t s : small) {
+    probability_[s] = 1.0;
+  }
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  const std::size_t column = static_cast<std::size_t>(
+      rng.uniform_below(static_cast<std::uint64_t>(probability_.size())));
+  return rng.uniform01() < probability_[column] ? column : alias_[column];
+}
+
+double AliasTable::probability_of(std::size_t i) const {
+  return i < normalized_.size() ? normalized_[i] : 0.0;
+}
+
+}  // namespace divlib

@@ -1,0 +1,40 @@
+// Walker/Vose alias method: O(1) sampling from an arbitrary discrete
+// distribution after O(n) preprocessing.
+//
+// Used to sample vertices proportionally to the stationary distribution
+// pi_v = d(v)/2m (degree-biased selection) and in initial-configuration
+// generators with prescribed opinion frequencies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  // Builds the table from non-negative weights (not necessarily normalized).
+  // At least one weight must be positive.
+  explicit AliasTable(std::span<const double> weights);
+
+  // Samples an index in [0, size()) with probability weight[i]/sum(weights).
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return probability_.size(); }
+  bool empty() const { return probability_.empty(); }
+
+  // Exact sampling probability of index i (for tests).
+  double probability_of(std::size_t i) const;
+
+ private:
+  std::vector<double> probability_;  // acceptance threshold per column
+  std::vector<std::size_t> alias_;   // fallback index per column
+  std::vector<double> normalized_;   // weight[i]/sum, kept for probability_of
+};
+
+}  // namespace divlib

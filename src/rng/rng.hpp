@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// The library deliberately avoids std::mt19937 / std::uniform_int_distribution
+// because their outputs are not guaranteed to be identical across standard
+// library implementations; reproducible Monte-Carlo experiments need
+// bit-identical streams everywhere.  We implement xoshiro256** (Blackman &
+// Vigna, 2018) seeded via splitmix64, together with the handful of
+// distributions the voting processes need.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace divlib {
+
+// splitmix64: used to expand a single 64-bit seed into generator state and to
+// derive independent substream seeds (one per Monte-Carlo replica).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality 256-bit-state generator.
+// Satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  // Seeds the full 256-bit state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  // Uniform integer in [0, bound), bound >= 1.  Unbiased (Lemire rejection).
+  std::uint64_t uniform_below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive, lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01();
+
+  // Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  // True with probability p (p clamped to [0,1]).
+  bool bernoulli(double p);
+
+  // Standard normal via Marsaglia polar method.
+  double normal();
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_below(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    shuffle(std::span<T>(items));
+  }
+
+  // Derives the seed of the `index`-th independent substream of `master`.
+  // Deterministic and collision-resistant for practical replica counts.
+  static std::uint64_t substream_seed(std::uint64_t master, std::uint64_t index);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  // Cached second normal deviate from the polar method.
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace divlib

@@ -1,0 +1,72 @@
+#include "spectral/dense_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace divlib {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+bool DenseMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) {
+    return false;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      if (std::abs(at(r, c) - at(c, r)) > tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> DenseMatrix::multiply(const std::vector<double>& x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("DenseMatrix::multiply: size mismatch");
+  }
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      acc += row[c] * x[c];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+DenseMatrix normalized_adjacency(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  if (graph.has_isolated_vertices()) {
+    throw std::invalid_argument("normalized_adjacency: isolated vertex");
+  }
+  DenseMatrix m(n, n);
+  std::vector<double> inv_sqrt_deg(n);
+  for (VertexId v = 0; v < n; ++v) {
+    inv_sqrt_deg[v] = 1.0 / std::sqrt(static_cast<double>(graph.degree(v)));
+  }
+  for (const Edge& e : graph.edges()) {
+    const double w = inv_sqrt_deg[e.u] * inv_sqrt_deg[e.v];
+    m.at(e.u, e.v) = w;
+    m.at(e.v, e.u) = w;
+  }
+  return m;
+}
+
+DenseMatrix transition_matrix(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  if (graph.has_isolated_vertices()) {
+    throw std::invalid_argument("transition_matrix: isolated vertex");
+  }
+  DenseMatrix m(n, n);
+  for (const Edge& e : graph.edges()) {
+    m.at(e.u, e.v) = 1.0 / static_cast<double>(graph.degree(e.u));
+    m.at(e.v, e.u) = 1.0 / static_cast<double>(graph.degree(e.v));
+  }
+  return m;
+}
+
+}  // namespace divlib

@@ -1,0 +1,46 @@
+// Minimal dense symmetric-matrix support for the exact (Jacobi) eigensolver.
+//
+// Only what the spectral analysis needs: storage, element access, and
+// construction of the symmetrically-normalized adjacency matrix
+// N = D^{-1/2} A D^{-1/2}, which shares its spectrum with the random-walk
+// transition matrix P = D^{-1} A of the paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace divlib {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  bool is_symmetric(double tol = 1e-12) const;
+
+  // y = M x
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// N(u,v) = A(u,v) / sqrt(d(u) d(v)); symmetric, same eigenvalues as P.
+// Requires the graph to have no isolated vertices.
+DenseMatrix normalized_adjacency(const Graph& graph);
+
+// P(u,v) = A(u,v)/d(u): the random-walk transition matrix itself
+// (not symmetric on irregular graphs; used in tests against N).
+DenseMatrix transition_matrix(const Graph& graph);
+
+}  // namespace divlib

@@ -1,0 +1,82 @@
+#include "spectral/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace divlib {
+namespace {
+
+double off_diagonal_norm(const DenseMatrix& m) {
+  double sum = 0.0;
+  const std::size_t n = m.rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r + 1; c < n; ++c) {
+      sum += 2.0 * m.at(r, c) * m.at(r, c);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+// Annihilates m(p,q) via a Givens rotation applied on both sides.
+void rotate(DenseMatrix& m, std::size_t p, std::size_t q) {
+  const double apq = m.at(p, q);
+  if (apq == 0.0) {
+    return;
+  }
+  const double app = m.at(p, p);
+  const double aqq = m.at(q, q);
+  const double theta = (aqq - app) / (2.0 * apq);
+  // Numerically-stable tangent of the rotation angle.
+  const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+  const double c = 1.0 / std::sqrt(t * t + 1.0);
+  const double s = t * c;
+
+  const std::size_t n = m.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == p || i == q) {
+      continue;
+    }
+    const double aip = m.at(i, p);
+    const double aiq = m.at(i, q);
+    m.at(i, p) = c * aip - s * aiq;
+    m.at(p, i) = m.at(i, p);
+    m.at(i, q) = s * aip + c * aiq;
+    m.at(q, i) = m.at(i, q);
+  }
+  m.at(p, p) = app - t * apq;
+  m.at(q, q) = aqq + t * apq;
+  m.at(p, q) = 0.0;
+  m.at(q, p) = 0.0;
+}
+
+}  // namespace
+
+std::vector<double> jacobi_eigenvalues(DenseMatrix matrix, const JacobiOptions& options) {
+  if (matrix.rows() != matrix.cols()) {
+    throw std::invalid_argument("jacobi_eigenvalues: matrix not square");
+  }
+  if (!matrix.is_symmetric(1e-9)) {
+    throw std::invalid_argument("jacobi_eigenvalues: matrix not symmetric");
+  }
+  const std::size_t n = matrix.rows();
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    if (off_diagonal_norm(matrix) <= options.tolerance) {
+      break;
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        rotate(matrix, p, q);
+      }
+    }
+  }
+  std::vector<double> eigenvalues(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    eigenvalues[i] = matrix.at(i, i);
+  }
+  std::sort(eigenvalues.rbegin(), eigenvalues.rend());
+  return eigenvalues;
+}
+
+}  // namespace divlib

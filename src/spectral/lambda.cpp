@@ -1,0 +1,94 @@
+#include "spectral/lambda.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "spectral/jacobi.hpp"
+#include "spectral/power_iteration.hpp"
+
+namespace divlib {
+
+std::vector<double> walk_spectrum(const Graph& graph) {
+  return jacobi_eigenvalues(normalized_adjacency(graph));
+}
+
+double second_eigenvalue(const Graph& graph, const LambdaOptions& options) {
+  if (graph.num_vertices() < 2) {
+    throw std::invalid_argument("second_eigenvalue: need n >= 2");
+  }
+  if (graph.num_vertices() <= options.dense_threshold) {
+    const std::vector<double> spectrum = walk_spectrum(graph);
+    // spectrum[0] == 1 (principal); lambda = max(|second|, |last|).
+    return std::max(std::abs(spectrum[1]), std::abs(spectrum.back()));
+  }
+  return second_eigenvalue_power(graph).lambda;
+}
+
+double lambda_complete(VertexId n) {
+  if (n < 2) {
+    throw std::invalid_argument("lambda_complete: n >= 2 required");
+  }
+  return 1.0 / static_cast<double>(n - 1);
+}
+
+double lambda_random_regular_guide(std::uint32_t d) {
+  if (d < 1) {
+    throw std::invalid_argument("lambda_random_regular_guide: d >= 1 required");
+  }
+  // Friedman: lambda ~ 2 sqrt(d-1)/d for random d-regular graphs.
+  return 2.0 * std::sqrt(static_cast<double>(d > 1 ? d - 1 : 1)) /
+         static_cast<double>(d);
+}
+
+double lambda_gnp_guide(VertexId n, double p) {
+  if (n < 1 || p <= 0.0) {
+    throw std::invalid_argument("lambda_gnp_guide: need n >= 1, p > 0");
+  }
+  return 2.0 / std::sqrt(static_cast<double>(n) * p);
+}
+
+double lambda_path_guide(VertexId n) {
+  if (n < 2) {
+    throw std::invalid_argument("lambda_path_guide: n >= 2 required");
+  }
+  return std::cos(std::numbers::pi / static_cast<double>(n));
+}
+
+double lambda_cycle_exact(VertexId n) {
+  if (n < 3) {
+    throw std::invalid_argument("lambda_cycle_exact: n >= 3 required");
+  }
+  // Eigenvalues of the cycle walk are cos(2 pi j / n); for even n the walk is
+  // bipartite and lambda = 1.
+  if (n % 2 == 0) {
+    return 1.0;
+  }
+  double lambda = 0.0;
+  for (VertexId j = 1; j < n; ++j) {
+    lambda = std::max(
+        lambda, std::abs(std::cos(2.0 * std::numbers::pi * j / static_cast<double>(n))));
+  }
+  return lambda;
+}
+
+ExpanderCheck check_theorem_conditions(const Graph& graph, int num_opinions,
+                                       double slack) {
+  if (num_opinions < 1) {
+    throw std::invalid_argument("check_theorem_conditions: k >= 1 required");
+  }
+  ExpanderCheck check;
+  check.lambda = second_eigenvalue(graph);
+  check.lambda_times_k = check.lambda * static_cast<double>(num_opinions);
+  // Finite-n proxies for the asymptotic conditions; `slack` loosens or
+  // tightens them uniformly.
+  check.lambda_k_small = check.lambda_times_k < 0.5 * slack;
+  const double n = static_cast<double>(graph.num_vertices());
+  check.k_small = static_cast<double>(num_opinions) < slack * n / std::log2(n + 1.0);
+  check.pi_min_ok = graph.min_stationary() * n > 0.1 / slack;
+  check.applicable = check.lambda_k_small && check.k_small && check.pi_min_ok;
+  return check;
+}
+
+}  // namespace divlib

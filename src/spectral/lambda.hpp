@@ -1,0 +1,52 @@
+// The paper's central spectral quantity:
+//   lambda = max(|lambda_2|, |lambda_n|) of the random-walk matrix P,
+// computed either exactly (dense Jacobi, small n) or by deflated power
+// iteration (large n).  Also exposes the reference values for the graph
+// classes discussed in the paper ("Graphs with small second eigenvalue").
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace divlib {
+
+struct LambdaOptions {
+  // Graphs with at most this many vertices use the exact dense solver
+  // (O(n^3) per sweep); larger graphs use deflated power iteration (O(m)
+  // per iteration).
+  VertexId dense_threshold = 320;
+};
+
+// max(|lambda_2|, |lambda_n|); throws on graphs with isolated vertices or
+// fewer than 2 vertices.
+double second_eigenvalue(const Graph& graph, const LambdaOptions& options = {});
+
+// Full spectrum of P (dense path only), descending.
+std::vector<double> walk_spectrum(const Graph& graph);
+
+// Reference values from the paper:
+//   K_n:            lambda = 1/(n-1)
+//   random d-reg:   lambda = O(1/sqrt(d))      (upper-bound guide value)
+//   G(n,p):         lambda <= (1+o(1)) 2/sqrt(np)
+//   path P_n:       lambda = 1 - O(1/n^2)      (guide value cos(pi/n))
+double lambda_complete(VertexId n);
+double lambda_random_regular_guide(std::uint32_t d);
+double lambda_gnp_guide(VertexId n, double p);
+double lambda_path_guide(VertexId n);
+double lambda_cycle_exact(VertexId n);
+
+// Theorem 1/2 applicability check: lambda * k small, k << n/log n,
+// pi_min = Theta(1/n).  `slack` scales the thresholds.
+struct ExpanderCheck {
+  double lambda = 0.0;
+  double lambda_times_k = 0.0;
+  bool lambda_k_small = false;
+  bool k_small = false;
+  bool pi_min_ok = false;
+  bool applicable = false;
+};
+ExpanderCheck check_theorem_conditions(const Graph& graph, int num_opinions,
+                                       double slack = 1.0);
+
+}  // namespace divlib

@@ -1,0 +1,125 @@
+#include "spectral/linear_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace divlib {
+
+std::vector<double> solve_linear_system(DenseMatrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+  }
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a.at(col, col));
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double candidate = std::abs(a.at(row, col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    if (best < 1e-14) {
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) {
+        std::swap(a.at(col, c), a.at(pivot, c));
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double diagonal = a.at(col, col);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a.at(row, col) / diagonal;
+      if (factor == 0.0) {
+        continue;
+      }
+      a.at(row, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        a.at(row, c) -= factor * a.at(col, c);
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) {
+      acc -= a.at(row, c) * x[c];
+    }
+    x[row] = acc / a.at(row, row);
+  }
+  return x;
+}
+
+LuFactorization::LuFactorization(DenseMatrix a) : lu_(std::move(a)) {
+  const std::size_t n = lu_.rows();
+  if (lu_.cols() != n) {
+    throw std::invalid_argument("LuFactorization: matrix not square");
+  }
+  pivots_.resize(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(lu_.at(col, col));
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double candidate = std::abs(lu_.at(row, col));
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    if (best < 1e-14) {
+      throw std::runtime_error("LuFactorization: singular matrix");
+    }
+    pivots_[col] = pivot;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_.at(col, c), lu_.at(pivot, c));
+      }
+    }
+    const double diagonal = lu_.at(col, col);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = lu_.at(row, col) / diagonal;
+      lu_.at(row, col) = factor;  // store L
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu_.at(row, c) -= factor * lu_.at(col, c);
+      }
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(std::vector<double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("LuFactorization::solve: size mismatch");
+  }
+  // Apply the row permutation, then forward/backward substitution.
+  for (std::size_t col = 0; col < n; ++col) {
+    if (pivots_[col] != col) {
+      std::swap(b[col], b[pivots_[col]]);
+    }
+  }
+  for (std::size_t row = 1; row < n; ++row) {
+    double acc = b[row];
+    for (std::size_t c = 0; c < row; ++c) {
+      acc -= lu_.at(row, c) * b[c];
+    }
+    b[row] = acc;
+  }
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) {
+      acc -= lu_.at(row, c) * b[c];
+    }
+    b[row] = acc / lu_.at(row, row);
+  }
+  return b;
+}
+
+}  // namespace divlib

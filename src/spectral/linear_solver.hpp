@@ -1,0 +1,34 @@
+// Dense linear-system solver (Gaussian elimination with partial pivoting),
+// used by the exact Markov-chain analyzer to solve absorption-time systems
+// (I - Q) t = 1 on small state spaces.
+#pragma once
+
+#include <vector>
+
+#include "spectral/dense_matrix.hpp"
+
+namespace divlib {
+
+// Solves A x = b; throws std::invalid_argument on shape mismatch and
+// std::runtime_error if A is (numerically) singular.  A is consumed by value
+// (the elimination works in place on the copy).
+std::vector<double> solve_linear_system(DenseMatrix a, std::vector<double> b);
+
+// LU factorization with partial pivoting: factor once, solve many
+// right-hand sides (the exact Markov analyzers solve k+1 systems against
+// the same transition matrix).
+class LuFactorization {
+ public:
+  // Factors in place; throws std::runtime_error on singular input.
+  explicit LuFactorization(DenseMatrix a);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  std::vector<double> solve(std::vector<double> b) const;
+
+ private:
+  DenseMatrix lu_;                    // L below diagonal (unit), U above
+  std::vector<std::size_t> pivots_;   // row permutation
+};
+
+}  // namespace divlib

@@ -1,0 +1,116 @@
+#include "spectral/power_iteration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace divlib {
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace
+
+void apply_normalized_adjacency(const Graph& graph, const std::vector<double>& x,
+                                std::vector<double>& y) {
+  const VertexId n = graph.num_vertices();
+  y.assign(n, 0.0);
+  std::vector<double> scaled(n);
+  for (VertexId v = 0; v < n; ++v) {
+    scaled[v] = x[v] / std::sqrt(static_cast<double>(graph.degree(v)));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    double acc = 0.0;
+    for (const VertexId w : graph.neighbors(v)) {
+      acc += scaled[w];
+    }
+    y[v] = acc / std::sqrt(static_cast<double>(graph.degree(v)));
+  }
+}
+
+PowerIterationResult second_eigenvalue_power(const Graph& graph,
+                                             const PowerIterationOptions& options) {
+  const VertexId n = graph.num_vertices();
+  if (n < 2) {
+    throw std::invalid_argument("second_eigenvalue_power: need n >= 2");
+  }
+  if (graph.has_isolated_vertices()) {
+    throw std::invalid_argument("second_eigenvalue_power: isolated vertex");
+  }
+
+  // Principal eigenvector of N: phi_v = sqrt(d(v)), normalized.
+  std::vector<double> phi(n);
+  for (VertexId v = 0; v < n; ++v) {
+    phi[v] = std::sqrt(static_cast<double>(graph.degree(v)));
+  }
+  const double phi_norm = norm(phi);
+  for (double& value : phi) {
+    value /= phi_norm;
+  }
+
+  Rng rng(options.seed);
+  std::vector<double> x(n);
+  for (double& value : x) {
+    value = rng.uniform_real(-1.0, 1.0);
+  }
+
+  const auto deflate = [&](std::vector<double>& vec) {
+    const double projection = dot(vec, phi);
+    for (VertexId v = 0; v < n; ++v) {
+      vec[v] -= projection * phi[v];
+    }
+  };
+
+  deflate(x);
+  double x_norm = norm(x);
+  if (x_norm == 0.0) {
+    // Random vector happened to be parallel to phi (practically impossible);
+    // perturb deterministically.
+    x[0] += 1.0;
+    deflate(x);
+    x_norm = norm(x);
+  }
+  for (double& value : x) {
+    value /= x_norm;
+  }
+
+  PowerIterationResult result;
+  std::vector<double> y;
+  double previous_estimate = -1.0;
+  for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    apply_normalized_adjacency(graph, x, y);
+    deflate(y);
+    const double y_norm = norm(y);
+    result.iterations = iteration;
+    if (y_norm <= 1e-300) {
+      // The deflated spectrum is (numerically) zero: e.g. complete graphs
+      // where all remaining eigenvalues coincide but are tiny, or K_2.
+      result.lambda = 0.0;
+      result.converged = true;
+      return result;
+    }
+    const double estimate = y_norm;  // ||N x|| with ||x|| = 1
+    for (VertexId v = 0; v < n; ++v) {
+      x[v] = y[v] / y_norm;
+    }
+    if (std::abs(estimate - previous_estimate) <= options.tolerance) {
+      result.lambda = estimate;
+      result.converged = true;
+      return result;
+    }
+    previous_estimate = estimate;
+  }
+  result.lambda = previous_estimate;
+  result.converged = false;
+  return result;
+}
+
+}  // namespace divlib

@@ -1,0 +1,138 @@
+#include "stats/chi_square.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace divlib {
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+
+// Series representation, good for x < s + 1.
+double gamma_p_series(double s, double x) {
+  double term = 1.0 / s;
+  double sum = term;
+  double a = s;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    a += 1.0;
+    term *= x / a;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * kEpsilon) {
+      break;
+    }
+  }
+  return sum * std::exp(-x + s * std::log(x) - std::lgamma(s));
+}
+
+// Continued-fraction representation of Q(s, x), good for x >= s + 1
+// (modified Lentz algorithm).
+double gamma_q_continued_fraction(double s, double x) {
+  const double tiny = std::numeric_limits<double>::min() / kEpsilon;
+  double b = x + 1.0 - s;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - s);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) {
+      d = tiny;
+    }
+    c = b + an / c;
+    if (std::abs(c) < tiny) {
+      c = tiny;
+    }
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEpsilon) {
+      break;
+    }
+  }
+  return h * std::exp(-x + s * std::log(x) - std::lgamma(s));
+}
+
+}  // namespace
+
+double regularized_gamma_p(double s, double x) {
+  if (s <= 0.0 || x < 0.0) {
+    throw std::invalid_argument("regularized_gamma_p: need s > 0, x >= 0");
+  }
+  if (x == 0.0) {
+    return 0.0;
+  }
+  if (x < s + 1.0) {
+    return gamma_p_series(s, x);
+  }
+  return 1.0 - gamma_q_continued_fraction(s, x);
+}
+
+double regularized_gamma_q(double s, double x) {
+  if (s <= 0.0 || x < 0.0) {
+    throw std::invalid_argument("regularized_gamma_q: need s > 0, x >= 0");
+  }
+  if (x == 0.0) {
+    return 1.0;
+  }
+  if (x < s + 1.0) {
+    return 1.0 - gamma_p_series(s, x);
+  }
+  return gamma_q_continued_fraction(s, x);
+}
+
+double chi_square_survival(double statistic, double dof) {
+  if (dof <= 0.0) {
+    throw std::invalid_argument("chi_square_survival: dof > 0 required");
+  }
+  if (statistic <= 0.0) {
+    return 1.0;
+  }
+  return regularized_gamma_q(dof / 2.0, statistic / 2.0);
+}
+
+ChiSquareResult chi_square_test(std::span<const std::uint64_t> observed,
+                                std::span<const double> expected_probabilities) {
+  if (observed.size() != expected_probabilities.size() || observed.size() < 2) {
+    throw std::invalid_argument("chi_square_test: need >= 2 matching categories");
+  }
+  double probability_total = 0.0;
+  std::uint64_t count_total = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected_probabilities[i] < 0.0) {
+      throw std::invalid_argument("chi_square_test: negative probability");
+    }
+    probability_total += expected_probabilities[i];
+    count_total += observed[i];
+  }
+  if (probability_total <= 0.0 || count_total == 0) {
+    throw std::invalid_argument("chi_square_test: empty expectation or sample");
+  }
+
+  ChiSquareResult result;
+  result.total = count_total;
+  std::size_t live_categories = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = static_cast<double>(count_total) *
+                            expected_probabilities[i] / probability_total;
+    if (expected == 0.0) {
+      if (observed[i] > 0) {
+        result.statistic = std::numeric_limits<double>::infinity();
+        result.p_value = 0.0;
+      }
+      continue;  // structurally impossible category: no dof contribution
+    }
+    ++live_categories;
+    const double delta = static_cast<double>(observed[i]) - expected;
+    result.statistic += delta * delta / expected;
+  }
+  result.dof = static_cast<double>(live_categories > 1 ? live_categories - 1 : 1);
+  if (std::isfinite(result.statistic)) {
+    result.p_value = chi_square_survival(result.statistic, result.dof);
+  }
+  return result;
+}
+
+}  // namespace divlib

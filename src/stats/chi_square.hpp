@@ -1,0 +1,38 @@
+// Pearson chi-square goodness-of-fit test, used by the experiment harness
+// to attach a p-value to "measured win distribution matches the Theorem 2
+// prediction" instead of eyeballing confidence intervals.
+//
+// Includes a from-scratch regularized incomplete gamma implementation
+// (series + continued fraction, Numerical-Recipes style) for the chi-square
+// survival function.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace divlib {
+
+// Regularized lower incomplete gamma P(s, x) = gamma(s, x)/Gamma(s),
+// s > 0, x >= 0.  Accurate to ~1e-12.
+double regularized_gamma_p(double s, double x);
+// Upper counterpart Q(s, x) = 1 - P(s, x).
+double regularized_gamma_q(double s, double x);
+
+// Survival function of the chi-square distribution with `dof` degrees of
+// freedom: P[X >= statistic].
+double chi_square_survival(double statistic, double dof);
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+  double p_value = 1.0;   // P[chi2 >= statistic] under H0
+  std::uint64_t total = 0;
+};
+
+// Tests observed counts against expected probabilities (renormalized).
+// Categories with zero expected probability must have zero observations
+// (else the statistic is infinite and p_value 0).  dof = #categories - 1.
+ChiSquareResult chi_square_test(std::span<const std::uint64_t> observed,
+                                std::span<const double> expected_probabilities);
+
+}  // namespace divlib

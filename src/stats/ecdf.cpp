@@ -1,0 +1,45 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace divlib {
+
+Ecdf::Ecdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("Ecdf: no samples");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::tail_at_least(double x) const {
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(sorted_.end() - it) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Ecdf::quantile: q in [0,1] required");
+  }
+  if (sorted_.size() == 1) {
+    return sorted_.front();
+  }
+  const double position = q * static_cast<double>(sorted_.size() - 1);
+  const auto lower = static_cast<std::size_t>(std::floor(position));
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= sorted_.size()) {
+    return sorted_.back();
+  }
+  return sorted_[lower] * (1.0 - fraction) + sorted_[lower + 1] * fraction;
+}
+
+}  // namespace divlib

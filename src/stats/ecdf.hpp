@@ -1,0 +1,27 @@
+// Empirical cumulative distribution function, used to compare measured tail
+// probabilities against the Azuma-Hoeffding bound of eq. (5).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace divlib {
+
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> samples);
+
+  // P[X <= x] under the empirical distribution.
+  double at(double x) const;
+  // P[X >= x] (the tail used by the Azuma comparison).
+  double tail_at_least(double x) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  // q in [0, 1]; linear-interpolated quantile of the samples.
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace divlib

@@ -1,0 +1,88 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace divlib {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (bins < 1 || !(lo < hi)) {
+    throw std::invalid_argument("Histogram: need bins >= 1 and lo < hi");
+  }
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double value) {
+  const double unit = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::int64_t>(
+      std::floor(unit * static_cast<double>(counts_.size())));
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::bin_fraction(std::size_t bin) const {
+  return total_ == 0
+             ? 0.0
+             : static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::ascii_sparkline() const {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kLevels = sizeof(kRamp) - 2;  // exclude NUL, index max
+  std::uint64_t peak = 0;
+  for (const std::uint64_t count : counts_) {
+    peak = std::max(peak, count);
+  }
+  std::string line;
+  line.reserve(counts_.size());
+  for (const std::uint64_t count : counts_) {
+    if (peak == 0) {
+      line.push_back(' ');
+      continue;
+    }
+    const auto level = static_cast<std::size_t>(std::llround(
+        static_cast<double>(count) / static_cast<double>(peak) * kLevels));
+    line.push_back(kRamp[level]);
+  }
+  return line;
+}
+
+void IntCounter::add(std::int64_t value) {
+  ++counts_[value];
+  ++total_;
+}
+
+std::uint64_t IntCounter::count(std::int64_t value) const {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double IntCounter::fraction(std::int64_t value) const {
+  return total_ == 0
+             ? 0.0
+             : static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+std::int64_t IntCounter::mode() const {
+  std::int64_t best_value = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [value, count] : counts_) {
+    if (count > best_count) {
+      best_count = count;
+      best_value = value;
+    }
+  }
+  return best_value;
+}
+
+}  // namespace divlib

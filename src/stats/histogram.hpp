@@ -1,0 +1,56 @@
+// Fixed-width binned histogram over a closed real interval, plus an exact
+// integer-valued counter for opinion-distribution reporting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace divlib {
+
+class Histogram {
+ public:
+  // `bins` uniform bins over [lo, hi]; values outside are clamped into the
+  // first/last bin.  Requires bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  // Fraction of mass in the bin (0 when empty).
+  double bin_fraction(std::size_t bin) const;
+
+  // Compact one-line ASCII sparkline ("▁▂▅█..." style using ASCII ramp).
+  std::string ascii_sparkline() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Exact frequency table over integer outcomes (e.g. winning opinions).
+class IntCounter {
+ public:
+  void add(std::int64_t value);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t count(std::int64_t value) const;
+  double fraction(std::int64_t value) const;
+  const std::map<std::int64_t, std::uint64_t>& counts() const { return counts_; }
+
+  // Value with the largest count (smallest value wins ties); 0 when empty.
+  std::int64_t mode() const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace divlib

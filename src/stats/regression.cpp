@@ -1,0 +1,69 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace divlib {
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_linear: need >= 2 paired points");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+  }
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    throw std::invalid_argument("fit_linear: constant x values");
+  }
+  LinearFit fit;
+  fit.n = xs.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+namespace {
+
+std::vector<double> log_all(std::span<const double> values, const char* what) {
+  std::vector<double> logs(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] <= 0.0) {
+      throw std::invalid_argument(std::string(what) + ": non-positive value");
+    }
+    logs[i] = std::log(values[i]);
+  }
+  return logs;
+}
+
+}  // namespace
+
+LinearFit fit_loglog(std::span<const double> xs, std::span<const double> ys) {
+  const std::vector<double> lx = log_all(xs, "fit_loglog x");
+  const std::vector<double> ly = log_all(ys, "fit_loglog y");
+  return fit_linear(lx, ly);
+}
+
+LinearFit fit_exponential(std::span<const double> xs, std::span<const double> ys) {
+  const std::vector<double> ly = log_all(ys, "fit_exponential y");
+  return fit_linear(xs, ly);
+}
+
+}  // namespace divlib

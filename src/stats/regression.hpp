@@ -1,0 +1,30 @@
+// Ordinary least squares for the scaling experiments: fitting E[T] against n
+// on log-log axes yields the empirical growth exponent compared against the
+// paper's o(n^2) guarantee, and fitting log(pi(A_s)pi(A_l)) against t yields
+// the Lemma 10 per-step decay factor.
+#pragma once
+
+#include <span>
+
+namespace divlib {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  std::size_t n = 0;
+};
+
+// Fits y = intercept + slope * x; requires xs.size() == ys.size() >= 2 and
+// non-constant xs (throws std::invalid_argument otherwise).
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+// Fits log(y) = intercept + slope * log(x); all xs, ys must be positive.
+// slope is the empirical power-law exponent.
+LinearFit fit_loglog(std::span<const double> xs, std::span<const double> ys);
+
+// Fits log(y) = intercept + slope * x (exponential decay/growth rate);
+// ys must be positive.  exp(slope) is the per-unit multiplicative factor.
+LinearFit fit_exponential(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace divlib

@@ -1,0 +1,86 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace divlib {
+
+void Summary::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = total;
+}
+
+double Summary::mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+double Summary::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::stderror() const {
+  return count_ > 0 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+double Summary::ci95_halfwidth() const { return 1.96 * stderror(); }
+
+double Summary::min() const { return count_ > 0 ? min_ : 0.0; }
+
+double Summary::max() const { return count_ > 0 ? max_ : 0.0; }
+
+Summary Summary::of(std::span<const double> values) {
+  Summary summary;
+  for (const double value : values) {
+    summary.add(value);
+  }
+  return summary;
+}
+
+ProportionEstimate wilson_interval(std::uint64_t successes, std::uint64_t trials) {
+  ProportionEstimate estimate;
+  if (trials == 0) {
+    return estimate;
+  }
+  const double z = 1.96;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  estimate.p_hat = p;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      (z / denom) * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  estimate.lower = std::max(0.0, center - margin);
+  estimate.upper = std::min(1.0, center + margin);
+  return estimate;
+}
+
+}  // namespace divlib

@@ -1,0 +1,47 @@
+// Streaming univariate summary statistics (Welford's algorithm) with
+// normal-approximation confidence intervals, used throughout the benchmark
+// harness to report Monte-Carlo estimates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace divlib {
+
+class Summary {
+ public:
+  void add(double value);
+  void merge(const Summary& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  // Unbiased sample variance / standard deviation (0 for < 2 samples).
+  double variance() const;
+  double stddev() const;
+  // Standard error of the mean.
+  double stderror() const;
+  // Half-width of the ~95% normal-approximation CI (1.96 * stderror).
+  double ci95_halfwidth() const;
+  double min() const;
+  double max() const;
+
+  static Summary of(std::span<const double> values);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Wilson score interval for a binomial proportion: successes/trials with
+// approximate 95% coverage.  Used for win-frequency experiments.
+struct ProportionEstimate {
+  double p_hat = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+ProportionEstimate wilson_interval(std::uint64_t successes, std::uint64_t trials);
+
+}  // namespace divlib

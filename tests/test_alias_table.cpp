@@ -1,0 +1,92 @@
+#include "rng/alias_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace divlib {
+namespace {
+
+TEST(AliasTable, RejectsEmptyAndInvalidWeights) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(AliasTable, SingletonAlwaysReturnsZero) {
+  AliasTable table(std::vector<double>{3.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.sample(rng), 0u);
+  }
+}
+
+TEST(AliasTable, NormalizesProbabilities) {
+  AliasTable table(std::vector<double>{1.0, 3.0});
+  EXPECT_DOUBLE_EQ(table.probability_of(0), 0.25);
+  EXPECT_DOUBLE_EQ(table.probability_of(1), 0.75);
+  EXPECT_DOUBLE_EQ(table.probability_of(99), 0.0);
+}
+
+TEST(AliasTable, ZeroWeightEntriesNeverSampled) {
+  AliasTable table(std::vector<double>{0.0, 1.0, 0.0, 2.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t index = table.sample(rng);
+    EXPECT_TRUE(index == 1 || index == 3);
+  }
+}
+
+TEST(AliasTable, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng rng(3);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[table.sample(rng)];
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 10.0;
+    const double observed = static_cast<double>(counts[i]) / kSamples;
+    EXPECT_NEAR(observed, expected, 0.01) << "index " << i;
+  }
+}
+
+TEST(AliasTable, UniformWeightsGiveUniformSamples) {
+  const std::vector<double> weights(10, 1.0);
+  AliasTable table(weights);
+  Rng rng(5);
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[table.sample(rng)];
+  }
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kSamples / 10.0, 5.0 * std::sqrt(kSamples / 10.0));
+  }
+}
+
+TEST(AliasTable, HandlesHighlySkewedWeights) {
+  AliasTable table(std::vector<double>{1e-9, 1.0});
+  Rng rng(7);
+  int zero_hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (table.sample(rng) == 0) {
+      ++zero_hits;
+    }
+  }
+  EXPECT_LT(zero_hits, 5);
+}
+
+TEST(AliasTable, SizeReportsNumberOfCategories) {
+  AliasTable table(std::vector<double>{1.0, 1.0, 1.0});
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_FALSE(table.empty());
+  EXPECT_TRUE(AliasTable().empty());
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,200 @@
+#include "graph/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+#include "spectral/lambda.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(Components, SingleComponent) {
+  const ComponentInfo info = connected_components(make_cycle(6));
+  EXPECT_EQ(info.num_components, 1u);
+  EXPECT_EQ(info.sizes[0], 6u);
+  for (const VertexId id : info.component_of) {
+    EXPECT_EQ(id, 0u);
+  }
+}
+
+TEST(Components, MultipleComponentsAndIsolates) {
+  const Graph g(6, {{0, 1}, {2, 3}});
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.num_components, 4u);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_EQ(info.component_of[0], info.component_of[1]);
+  EXPECT_NE(info.component_of[0], info.component_of[2]);
+  EXPECT_EQ(info.sizes[info.component_of[4]], 1u);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const auto distance = bfs_distances(make_path(5), 0);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(distance[v], v);
+  }
+  EXPECT_THROW(bfs_distances(make_path(5), 9), std::invalid_argument);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  const Graph g(4, {{0, 1}});
+  const auto distance = bfs_distances(g, 0);
+  EXPECT_EQ(distance[1], 1u);
+  EXPECT_EQ(distance[2], kUnreachable);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(make_path(10)), 9u);
+  EXPECT_EQ(diameter(make_cycle(10)), 5u);
+  EXPECT_EQ(diameter(make_complete(10)), 1u);
+  EXPECT_EQ(diameter(make_star(10)), 2u);
+  EXPECT_EQ(diameter(make_hypercube(4)), 4u);
+}
+
+TEST(Diameter, ThrowsOnDisconnected) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(diameter(g), std::invalid_argument);
+}
+
+TEST(DegreeHistogram, Star) {
+  const auto histogram = degree_histogram(make_star(6));
+  ASSERT_EQ(histogram.size(), 6u);
+  EXPECT_EQ(histogram[1], 5u);
+  EXPECT_EQ(histogram[5], 1u);
+  EXPECT_EQ(histogram[0], 0u);
+}
+
+TEST(EdgeMeasure, OrderedPairFractions) {
+  // Path 0-1-2: 2m = 4.
+  const Graph g = make_path(3);
+  const std::vector<bool> left{true, false, false};
+  const std::vector<bool> middle{false, true, false};
+  // Ordered pairs from {0} to {1}: exactly one (0,1) -> 1/4.
+  EXPECT_DOUBLE_EQ(edge_measure(g, left, middle), 0.25);
+  // Q is symmetric (detailed balance).
+  EXPECT_DOUBLE_EQ(edge_measure(g, middle, left), 0.25);
+  // No edge inside {0}.
+  EXPECT_DOUBLE_EQ(edge_measure(g, left, left), 0.0);
+}
+
+TEST(Conductance, BarbellBridgeIsTheBottleneck) {
+  const Graph g = make_barbell(8);
+  std::vector<bool> left(g.num_vertices(), false);
+  for (VertexId v = 0; v < 8; ++v) {
+    left[v] = true;
+  }
+  // One bridge edge out of m = 57: Q(S,S^C) = 1/114, pi(S) ~ 1/2.
+  const double phi = conductance(g, left);
+  EXPECT_NEAR(phi, (1.0 / 114.0) / (57.0 / 114.0), 1e-9);
+}
+
+TEST(Conductance, CompleteGraphIsHigh) {
+  const Graph g = make_complete(16);
+  std::vector<bool> half(16, false);
+  for (VertexId v = 0; v < 8; ++v) {
+    half[v] = true;
+  }
+  EXPECT_GT(conductance(g, half), 0.5);
+}
+
+TEST(Conductance, RejectsDegenerateSets) {
+  const Graph g = make_cycle(4);
+  EXPECT_THROW(conductance(g, std::vector<bool>(4, true)), std::invalid_argument);
+  EXPECT_THROW(conductance(g, std::vector<bool>(4, false)), std::invalid_argument);
+  EXPECT_THROW(conductance(g, std::vector<bool>(3, true)), std::invalid_argument);
+}
+
+TEST(Conductance, EstimateFindsBarbellBottleneck) {
+  const Graph g = make_barbell(10);
+  Rng rng(1);
+  const double estimate = estimate_graph_conductance(g, rng);
+  // The BFS-ball sweep must find (nearly) the bridge cut.
+  EXPECT_LT(estimate, 0.05);
+  Rng rng2(2);
+  EXPECT_GT(estimate_graph_conductance(make_complete(16), rng2), 0.3);
+}
+
+TEST(Triangles, KnownCounts) {
+  EXPECT_EQ(triangle_count(make_complete(4)), 4u);
+  EXPECT_EQ(triangle_count(make_complete(5)), 10u);
+  EXPECT_EQ(triangle_count(make_cycle(3)), 1u);
+  EXPECT_EQ(triangle_count(make_cycle(5)), 0u);
+  EXPECT_EQ(triangle_count(make_star(6)), 0u);
+  EXPECT_EQ(triangle_count(make_path(5)), 0u);
+  // Barbell: two K_4 = 2 * 4 triangles; the bridge adds none.
+  EXPECT_EQ(triangle_count(make_barbell(4)), 8u);
+}
+
+TEST(Clustering, GlobalCoefficientExtremes) {
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(make_complete(6)), 1.0);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(make_star(6)), 0.0);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(make_cycle(6)), 0.0);
+}
+
+TEST(Clustering, LocalCoefficient) {
+  const Graph g = make_barbell(4);
+  // Non-bridge clique vertices: all 3 neighbors mutually adjacent.
+  EXPECT_DOUBLE_EQ(local_clustering_coefficient(g, 1), 1.0);
+  // Bridge endpoint 0: neighbors {1,2,3,4}; 3 of 6 pairs adjacent.
+  EXPECT_DOUBLE_EQ(local_clustering_coefficient(g, 0), 0.5);
+  // Degree-1 vertices have coefficient 0.
+  EXPECT_DOUBLE_EQ(local_clustering_coefficient(make_star(4), 1), 0.0);
+}
+
+TEST(Clustering, SmallWorldBeatsGnpAtEqualDensity) {
+  Rng rng(9);
+  const Graph ws = make_watts_strogatz(200, 4, 0.1, rng);
+  const Graph gnp = make_connected_gnp(200, 8.0 / 199.0, rng);
+  EXPECT_GT(global_clustering_coefficient(ws),
+            5.0 * global_clustering_coefficient(gnp));
+}
+
+TEST(MixingLemma, HoldsOnExpanders) {
+  // Lemma 9: |Q(S,U) - pi(S)pi(U)| <= lambda sqrt(pi(S)pi(S^C)pi(U)pi(U^C)).
+  Rng rng(3);
+  const Graph graphs[] = {make_complete(32), make_hypercube(5),
+                          make_connected_random_regular(64, 8, rng),
+                          make_connected_gnp(64, 0.2, rng)};
+  for (const Graph& g : graphs) {
+    const double lambda = second_eigenvalue(g);
+    Rng set_rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<bool> s(g.num_vertices());
+      std::vector<bool> u(g.num_vertices());
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        s[v] = set_rng.bernoulli(0.4);
+        u[v] = set_rng.bernoulli(0.6);
+      }
+      const double ratio = mixing_lemma_ratio(g, s, u, lambda);
+      EXPECT_LE(ratio, 1.0 + 1e-9) << g.summary() << " trial " << trial;
+    }
+  }
+}
+
+TEST(MixingLemma, TightOnDesignedCut) {
+  // On the barbell the bridge cut nearly saturates the bound
+  // (lambda ~ 1, Q(S,S) far above pi(S)^2).
+  const Graph g = make_barbell(8);
+  const double lambda = second_eigenvalue(g);
+  std::vector<bool> left(g.num_vertices(), false);
+  for (VertexId v = 0; v < 8; ++v) {
+    left[v] = true;
+  }
+  const double ratio = mixing_lemma_ratio(g, left, left, lambda);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LE(ratio, 1.0 + 1e-9);
+}
+
+TEST(MixingLemma, DegenerateSetsGiveZero) {
+  const Graph g = make_cycle(4);
+  EXPECT_DOUBLE_EQ(
+      mixing_lemma_ratio(g, std::vector<bool>(4, false), std::vector<bool>(4, true), 0.5),
+      0.0);
+  EXPECT_THROW(
+      mixing_lemma_ratio(g, std::vector<bool>(4, true), std::vector<bool>(4, true), 0.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,82 @@
+#include "core/best_of_three.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(BestOfThree, ResolveMajorityRules) {
+  EXPECT_EQ(BestOfThree::resolve(1, 1, 2, 0), 1);
+  EXPECT_EQ(BestOfThree::resolve(2, 1, 1, 0), 1);
+  EXPECT_EQ(BestOfThree::resolve(1, 2, 1, 0), 1);
+  EXPECT_EQ(BestOfThree::resolve(3, 3, 3, 2), 3);
+}
+
+TEST(BestOfThree, ResolveTiebreakCyclesSamples) {
+  EXPECT_EQ(BestOfThree::resolve(1, 2, 3, 0), 1);
+  EXPECT_EQ(BestOfThree::resolve(1, 2, 3, 1), 2);
+  EXPECT_EQ(BestOfThree::resolve(1, 2, 3, 2), 3);
+}
+
+TEST(BestOfThree, NameAndValidation) {
+  const Graph g = make_cycle(4);
+  EXPECT_EQ(BestOfThree(g).name(), "best-of-three/vertex");
+  const Graph isolated(3, {{0, 1}});
+  EXPECT_THROW(BestOfThree{isolated}, std::invalid_argument);
+}
+
+TEST(BestOfThree, OnlySampledValuesEverAppear) {
+  const Graph g = make_complete(10);
+  OpinionState state(g, {1, 1, 1, 4, 4, 4, 9, 9, 9, 9});
+  BestOfThree process(g);
+  Rng rng(1);
+  for (int step = 0; step < 3000 && !state.is_consensus(); ++step) {
+    process.step(state, rng);
+    for (VertexId v = 0; v < 10; ++v) {
+      const Opinion o = state.opinion(v);
+      ASSERT_TRUE(o == 1 || o == 4 || o == 9);
+    }
+  }
+}
+
+TEST(BestOfThree, AmplifiesPlurality) {
+  // 60/25/15 split: the plurality should win nearly always on K_n.
+  const Graph g = make_complete(40);
+  constexpr int kReplicas = 300;
+  const auto wins = run_replicas<int>(
+      kReplicas,
+      [&g](std::size_t, Rng& rng) {
+        OpinionState state(g, opinions_with_counts(40, 1, {24, 10, 6}, rng));
+        BestOfThree process(g);
+        RunOptions options;
+        options.max_steps = 2'000'000;
+        const RunResult result = run(process, state, rng, options);
+        return result.winner.value_or(-1) == 1 ? 1 : 0;
+      },
+      {.master_seed = 17});
+  int plurality_wins = 0;
+  for (const int w : wins) {
+    plurality_wins += w;
+  }
+  EXPECT_GT(plurality_wins, kReplicas * 9 / 10);
+}
+
+TEST(BestOfThree, ReachesConsensus) {
+  const Graph g = make_complete(24);
+  Rng init(2);
+  OpinionState state(g, uniform_random_opinions(24, 1, 4, init));
+  BestOfThree process(g);
+  Rng rng(3);
+  RunOptions options;
+  options.max_steps = 2'000'000;
+  const RunResult result = run(process, state, rng, options);
+  EXPECT_TRUE(result.completed);
+}
+
+}  // namespace
+}  // namespace divlib

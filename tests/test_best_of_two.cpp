@@ -1,0 +1,83 @@
+#include "core/best_of_two.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(BestOfTwo, NameIsStable) {
+  const Graph g = make_cycle(4);
+  EXPECT_EQ(BestOfTwo(g).name(), "best-of-two/vertex");
+}
+
+TEST(BestOfTwo, RejectsIsolatedVertices) {
+  const Graph g(3, {{0, 1}});
+  EXPECT_THROW(BestOfTwo{g}, std::invalid_argument);
+}
+
+TEST(BestOfTwo, ConsensusIsAbsorbing) {
+  const Graph g = make_complete(6);
+  OpinionState state(g, std::vector<Opinion>(6, 2));
+  BestOfTwo process(g);
+  Rng rng(1);
+  for (int step = 0; step < 500; ++step) {
+    process.step(state, rng);
+    EXPECT_TRUE(state.is_consensus());
+  }
+}
+
+TEST(BestOfTwo, OnlyExistingValuesAppear) {
+  const Graph g = make_complete(8);
+  OpinionState state(g, {1, 1, 1, 5, 5, 5, 9, 9});
+  BestOfTwo process(g);
+  Rng rng(2);
+  for (int step = 0; step < 3000 && !state.is_consensus(); ++step) {
+    process.step(state, rng);
+    for (VertexId v = 0; v < 8; ++v) {
+      const Opinion o = state.opinion(v);
+      EXPECT_TRUE(o == 1 || o == 5 || o == 9);
+    }
+  }
+}
+
+TEST(BestOfTwo, AmplifiesClearMajorities) {
+  // 75% majority on a complete graph should win essentially always.
+  const Graph g = make_complete(40);
+  constexpr int kReplicas = 200;
+  const auto wins = run_replicas<int>(
+      kReplicas,
+      [&g](std::size_t, Rng& rng) {
+        OpinionState state(g, two_value_opinions(40, 1, 2, 10, rng));
+        BestOfTwo process(g);
+        RunOptions options;
+        options.max_steps = 2'000'000;
+        const RunResult result = run(process, state, rng, options);
+        return result.winner.value_or(-1) == 1 ? 1 : 0;
+      },
+      {.master_seed = 9});
+  int majority_wins = 0;
+  for (const int w : wins) {
+    majority_wins += w;
+  }
+  EXPECT_GT(majority_wins, kReplicas * 95 / 100);
+}
+
+TEST(BestOfTwo, ReachesConsensusOnExpanders) {
+  const Graph g = make_complete(30);
+  Rng init_rng(3);
+  OpinionState state(g, uniform_random_opinions(30, 1, 3, init_rng));
+  BestOfTwo process(g);
+  Rng rng(4);
+  RunOptions options;
+  options.max_steps = 2'000'000;
+  const RunResult result = run(process, state, rng, options);
+  EXPECT_TRUE(result.completed);
+}
+
+}  // namespace
+}  // namespace divlib

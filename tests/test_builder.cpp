@@ -1,0 +1,65 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace divlib {
+namespace {
+
+TEST(GraphBuilder, AddsEdgesOnce) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.add_edge(0, 1));
+  EXPECT_FALSE(builder.add_edge(0, 1));
+  EXPECT_FALSE(builder.add_edge(1, 0));
+  EXPECT_EQ(builder.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoopsAndRangeErrors) {
+  GraphBuilder builder(3);
+  EXPECT_THROW(builder.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(builder.add_edge(0, 3), std::invalid_argument);
+}
+
+TEST(GraphBuilder, HasEdgeIsSymmetric) {
+  GraphBuilder builder(4);
+  builder.add_edge(2, 3);
+  EXPECT_TRUE(builder.has_edge(2, 3));
+  EXPECT_TRUE(builder.has_edge(3, 2));
+  EXPECT_FALSE(builder.has_edge(0, 1));
+  EXPECT_FALSE(builder.has_edge(2, 2));
+  EXPECT_FALSE(builder.has_edge(2, 9));
+}
+
+TEST(GraphBuilder, BuildProducesEquivalentGraph) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 3);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(GraphBuilder, BuildIsRepeatable) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  const Graph first = builder.build();
+  builder.add_edge(1, 2);
+  const Graph second = builder.build();
+  EXPECT_EQ(first.num_edges(), 1u);
+  EXPECT_EQ(second.num_edges(), 2u);
+}
+
+TEST(GraphBuilder, EmptyBuildIsValid) {
+  GraphBuilder builder(5);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.has_isolated_vertices());
+}
+
+}  // namespace
+}  // namespace divlib

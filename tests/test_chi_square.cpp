@@ -1,0 +1,123 @@
+#include "stats/chi_square.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(Gamma, KnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-12) << x;
+  }
+  // P(0.5, x) = erf(sqrt(x)).
+  for (const double x : {0.25, 1.0, 4.0}) {
+    EXPECT_NEAR(regularized_gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-10) << x;
+  }
+}
+
+TEST(Gamma, PAndQComplement) {
+  for (const double s : {0.5, 1.0, 2.5, 10.0}) {
+    for (const double x : {0.1, 1.0, 3.0, 20.0}) {
+      EXPECT_NEAR(regularized_gamma_p(s, x) + regularized_gamma_q(s, x), 1.0,
+                  1e-12)
+          << "s=" << s << " x=" << x;
+    }
+  }
+}
+
+TEST(Gamma, BoundaryAndValidation) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(2.0, 0.0), 1.0);
+  EXPECT_THROW(regularized_gamma_p(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(regularized_gamma_q(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ChiSquare, SurvivalKnownValues) {
+  // dof = 2: survival = exp(-x/2).
+  for (const double x : {1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(chi_square_survival(x, 2.0), std::exp(-x / 2.0), 1e-12) << x;
+  }
+  // dof = 1 at the 95% critical value 3.841.
+  EXPECT_NEAR(chi_square_survival(3.841, 1.0), 0.05, 2e-4);
+  EXPECT_DOUBLE_EQ(chi_square_survival(0.0, 3.0), 1.0);
+  EXPECT_THROW(chi_square_survival(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ChiSquare, PerfectFitGivesHighPValue) {
+  const std::vector<std::uint64_t> observed{250, 250, 250, 250};
+  const std::vector<double> expected{0.25, 0.25, 0.25, 0.25};
+  const auto result = chi_square_test(observed, expected);
+  EXPECT_DOUBLE_EQ(result.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+  EXPECT_EQ(result.total, 1000u);
+  EXPECT_DOUBLE_EQ(result.dof, 3.0);
+}
+
+TEST(ChiSquare, GrossMismatchGivesTinyPValue) {
+  const std::vector<std::uint64_t> observed{900, 100};
+  const std::vector<double> expected{0.5, 0.5};
+  const auto result = chi_square_test(observed, expected);
+  EXPECT_GT(result.statistic, 100.0);
+  EXPECT_LT(result.p_value, 1e-10);
+}
+
+TEST(ChiSquare, UnnormalizedExpectationsAreRenormalized) {
+  const std::vector<std::uint64_t> observed{30, 70};
+  const std::vector<double> weights{3.0, 7.0};  // sums to 10, not 1
+  const auto result = chi_square_test(observed, weights);
+  EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+}
+
+TEST(ChiSquare, ZeroProbabilityCategoryRules) {
+  const std::vector<std::uint64_t> clean{50, 50, 0};
+  const std::vector<double> expected{0.5, 0.5, 0.0};
+  const auto ok = chi_square_test(clean, expected);
+  EXPECT_TRUE(std::isfinite(ok.statistic));
+  const std::vector<std::uint64_t> violating{50, 50, 5};
+  const auto bad = chi_square_test(violating, expected);
+  EXPECT_DOUBLE_EQ(bad.p_value, 0.0);
+}
+
+TEST(ChiSquare, Validation) {
+  EXPECT_THROW(chi_square_test(std::vector<std::uint64_t>{1},
+                               std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(chi_square_test(std::vector<std::uint64_t>{1, 2},
+                               std::vector<double>{0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(chi_square_test(std::vector<std::uint64_t>{0, 0},
+                               std::vector<double>{0.5, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(chi_square_test(std::vector<std::uint64_t>{1, 2},
+                               std::vector<double>{-0.5, 1.5}),
+               std::invalid_argument);
+}
+
+TEST(ChiSquare, CalibratedUnderTheNull) {
+  // Sample from the hypothesized distribution; p-values should be roughly
+  // uniform: count how often p < 0.05 over many repetitions.
+  Rng rng(5);
+  const std::vector<double> expected{0.2, 0.3, 0.5};
+  int rejections = 0;
+  constexpr int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<std::uint64_t> observed(3, 0);
+    for (int i = 0; i < 600; ++i) {
+      const double u = rng.uniform01();
+      ++observed[u < 0.2 ? 0 : (u < 0.5 ? 1 : 2)];
+    }
+    if (chi_square_test(observed, expected).p_value < 0.05) {
+      ++rejections;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(rejections) / kTrials, 0.05, 0.035);
+}
+
+}  // namespace
+}  // namespace divlib

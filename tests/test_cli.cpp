@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "cli/args.hpp"
+#include "cli/graph_spec.hpp"
+#include "cli/process_spec.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(Args, ParsesPositionalAndOptions) {
+  // Note the grammar: "--key value" binds a following non-option token, so
+  // flags must use "--flag" at the end, "--flag=1", or precede an option.
+  const Args args(std::vector<std::string>{"run", "--graph", "complete:8",
+                                           "--k=5", "tail", "--verbose"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "run");
+  EXPECT_EQ(args.positional()[1], "tail");
+  EXPECT_EQ(args.get("graph", ""), "complete:8");
+  EXPECT_EQ(args.get_int("k", 0), 5);
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_FALSE(args.flag("quiet"));
+}
+
+TEST(Args, TypedGettersWithDefaults) {
+  const Args args(std::vector<std::string>{"--n", "100", "--p", "0.25"});
+  EXPECT_EQ(args.get_int("n", 7), 100);
+  EXPECT_EQ(args.get_u64("n", 7), 100u);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.25);
+  EXPECT_EQ(args.get_int("missing", -3), -3);
+  EXPECT_EQ(args.get("missing", "x"), "x");
+}
+
+TEST(Args, RejectsMalformedNumbers) {
+  const Args args(std::vector<std::string>{"--n", "abc"});
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_u64("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("n", 0.0), std::invalid_argument);
+}
+
+TEST(Args, FlagFollowedByOption) {
+  const Args args(std::vector<std::string>{"--dot", "--seed", "4"});
+  EXPECT_TRUE(args.flag("dot"));
+  EXPECT_EQ(args.get_u64("seed", 0), 4u);
+}
+
+TEST(Args, UnusedKeysReportTypos) {
+  const Args args(std::vector<std::string>{"--graph", "x", "--shceme", "edge"});
+  (void)args.get("graph", "");
+  const auto unused = args.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "shceme");
+}
+
+TEST(Args, FromArgcArgv) {
+  const char* argv[] = {"prog", "cmd", "--x", "1"};
+  const Args args(4, argv);
+  EXPECT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.get_int("x", 0), 1);
+}
+
+TEST(GraphSpec, BuildsDeterministicFamilies) {
+  Rng rng(1);
+  EXPECT_EQ(make_graph_from_spec("complete:6", rng).num_edges(), 15u);
+  EXPECT_EQ(make_graph_from_spec("path:5", rng).num_edges(), 4u);
+  EXPECT_EQ(make_graph_from_spec("cycle:5", rng).num_edges(), 5u);
+  EXPECT_EQ(make_graph_from_spec("star:5", rng).num_edges(), 4u);
+  EXPECT_EQ(make_graph_from_spec("hypercube:3", rng).num_vertices(), 8u);
+  EXPECT_EQ(make_graph_from_spec("barbell:4", rng).num_vertices(), 8u);
+  EXPECT_EQ(make_graph_from_spec("lollipop:4:2", rng).num_vertices(), 6u);
+  EXPECT_EQ(make_graph_from_spec("grid:3:4", rng).num_vertices(), 12u);
+  EXPECT_EQ(make_graph_from_spec("torus:4:4", rng).num_edges(), 32u);
+  EXPECT_EQ(make_graph_from_spec("tree:7", rng).num_edges(), 6u);
+  EXPECT_EQ(make_graph_from_spec("margulis:5", rng).num_vertices(), 25u);
+}
+
+TEST(GraphSpec, BuildsRandomFamilies) {
+  Rng rng(2);
+  const Graph regular = make_graph_from_spec("regular:32:4", rng);
+  EXPECT_TRUE(regular.is_regular());
+  EXPECT_EQ(regular.min_degree(), 4u);
+  const Graph gnp = make_graph_from_spec("gnp:64:0.2", rng);
+  EXPECT_TRUE(gnp.is_connected());
+  const Graph ws = make_graph_from_spec("ws:40:2:0.1", rng);
+  EXPECT_EQ(ws.num_vertices(), 40u);
+  const Graph ba = make_graph_from_spec("ba:40:2", rng);
+  EXPECT_TRUE(ba.is_connected());
+}
+
+TEST(GraphSpec, RejectsBadSpecs) {
+  Rng rng(3);
+  EXPECT_THROW(make_graph_from_spec("klein:4", rng), std::invalid_argument);
+  EXPECT_THROW(make_graph_from_spec("complete", rng), std::invalid_argument);
+  EXPECT_THROW(make_graph_from_spec("complete:4:5", rng), std::invalid_argument);
+  EXPECT_THROW(make_graph_from_spec("complete:x", rng), std::invalid_argument);
+  EXPECT_THROW(make_graph_from_spec("gnp:64:high", rng), std::invalid_argument);
+}
+
+TEST(GraphSpec, HelpListsFamilies) {
+  const std::string help = graph_spec_help();
+  EXPECT_NE(help.find("complete:N"), std::string::npos);
+  EXPECT_NE(help.find("regular:N:D"), std::string::npos);
+}
+
+TEST(ProcessSpec, BuildsAllProcesses) {
+  const Graph g = make_complete(6);
+  for (const char* name : {"div", "pull", "push", "median", "loadbalance", "best2"}) {
+    const auto process =
+        make_process_from_spec(name, SelectionScheme::kEdge, g);
+    ASSERT_NE(process, nullptr) << name;
+    EXPECT_FALSE(process->name().empty());
+  }
+}
+
+TEST(ProcessSpec, SchemeParsingAndErrors) {
+  EXPECT_EQ(parse_scheme("vertex"), SelectionScheme::kVertex);
+  EXPECT_EQ(parse_scheme("edge"), SelectionScheme::kEdge);
+  EXPECT_THROW(parse_scheme("both"), std::invalid_argument);
+  const Graph g = make_complete(4);
+  EXPECT_THROW(make_process_from_spec("gossip", SelectionScheme::kEdge, g),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace divlib

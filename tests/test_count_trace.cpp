@@ -1,0 +1,94 @@
+#include "engine/count_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/div_process.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(CountTrace, RejectsZeroStride) {
+  const Graph g = make_cycle(3);
+  const OpinionState state(g, {1, 2, 3});
+  EXPECT_THROW(CountTrace(state, 0), std::invalid_argument);
+}
+
+TEST(CountTrace, CapturesRangeAndCounts) {
+  const Graph g = make_cycle(5);
+  const OpinionState state(g, {2, 2, 3, 5, 5});
+  CountTrace trace(state, 10);
+  EXPECT_EQ(trace.range_lo(), 2);
+  EXPECT_EQ(trace.range_hi(), 5);
+  EXPECT_EQ(trace.num_opinions(), 4u);
+  trace.record(0, state);
+  ASSERT_EQ(trace.num_samples(), 1u);
+  EXPECT_EQ(trace.count_at(0, 0), 2);  // opinion 2
+  EXPECT_EQ(trace.count_at(0, 1), 1);  // opinion 3
+  EXPECT_EQ(trace.count_at(0, 2), 0);  // opinion 4
+  EXPECT_EQ(trace.count_at(0, 3), 2);  // opinion 5
+  EXPECT_DOUBLE_EQ(trace.fraction_at(0, 0), 0.4);
+}
+
+TEST(CountTrace, MaybeRecordHonorsStride) {
+  const Graph g = make_cycle(3);
+  const OpinionState state(g, {1, 1, 2});
+  CountTrace trace(state, 5);
+  for (std::uint64_t step = 0; step <= 12; ++step) {
+    trace.maybe_record(step, state);
+  }
+  ASSERT_EQ(trace.num_samples(), 3u);  // 0, 5, 10
+  EXPECT_EQ(trace.step_at(2), 10u);
+}
+
+TEST(CountTrace, OutOfRangeAccessThrows) {
+  const Graph g = make_cycle(3);
+  const OpinionState state(g, {1, 1, 2});
+  CountTrace trace(state, 1);
+  trace.record(0, state);
+  EXPECT_THROW(trace.count_at(1, 0), std::out_of_range);
+  EXPECT_THROW(trace.count_at(0, 2), std::out_of_range);
+}
+
+TEST(CountTrace, CsvFormat) {
+  const Graph g = make_cycle(4);
+  OpinionState state(g, {1, 1, 2, 3});
+  CountTrace trace(state, 1);
+  trace.record(0, state);
+  state.set(0, 2);
+  trace.record(1, state);
+  std::ostringstream out;
+  trace.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "step,N_1,N_2,N_3\n"
+            "0,2,1,1\n"
+            "1,1,2,1\n");
+}
+
+TEST(CountTrace, TracksARunConsistently) {
+  const Graph g = make_complete(20);
+  Rng rng(1);
+  OpinionState state(g, {1, 1, 1, 1, 1, 2, 2, 2, 2, 2,
+                         3, 3, 3, 3, 3, 4, 4, 4, 4, 4});
+  CountTrace trace(state, 1);
+  DivProcess process(g, SelectionScheme::kEdge);
+  trace.maybe_record(0, state);
+  for (std::uint64_t step = 1; step <= 500; ++step) {
+    process.step(state, rng);
+    trace.maybe_record(step, state);
+  }
+  ASSERT_EQ(trace.num_samples(), 501u);
+  // Row sums always equal n.
+  for (std::size_t sample = 0; sample < trace.num_samples(); ++sample) {
+    std::int64_t total = 0;
+    for (std::size_t column = 0; column < trace.num_opinions(); ++column) {
+      total += trace.count_at(sample, column);
+    }
+    ASSERT_EQ(total, 20);
+  }
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,113 @@
+#include "core/coupling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/initial_config.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(Coupling, InitializesFromExtremeSets) {
+  const Graph g = make_complete(8);
+  OpinionState state(g, {1, 1, 3, 3, 3, 5, 5, 5});
+  const CoupledDivPull min_side(state, SelectionScheme::kEdge, CoupledSide::kMin);
+  EXPECT_EQ(min_side.tracked_extreme(), 1);
+  EXPECT_EQ(min_side.opposite_extreme(), 5);
+  EXPECT_EQ(min_side.pull_side_size(), 2u);
+  EXPECT_TRUE(min_side.invariant_holds());
+
+  OpinionState state2(g, {1, 1, 3, 3, 3, 5, 5, 5});
+  const CoupledDivPull max_side(state2, SelectionScheme::kEdge, CoupledSide::kMax);
+  EXPECT_EQ(max_side.tracked_extreme(), 5);
+  EXPECT_EQ(max_side.pull_side_size(), 3u);
+}
+
+TEST(Coupling, RejectsConsensusStart) {
+  const Graph g = make_complete(4);
+  OpinionState state(g, {2, 2, 2, 2});
+  EXPECT_THROW(
+      CoupledDivPull(state, SelectionScheme::kEdge, CoupledSide::kMin),
+      std::invalid_argument);
+}
+
+class CouplingInvariant
+    : public ::testing::TestWithParam<std::tuple<SelectionScheme, CoupledSide>> {
+};
+
+TEST_P(CouplingInvariant, Lemma13HoldsForManySteps) {
+  const auto [scheme, side] = GetParam();
+  Rng graph_rng(1);
+  const Graph graphs[] = {make_complete(20), make_cycle(20), make_barbell(10),
+                          make_connected_random_regular(20, 4, graph_rng),
+                          make_star(20)};
+  for (const Graph& g : graphs) {
+    Rng rng(42);
+    OpinionState state(
+        g, uniform_random_opinions(g.num_vertices(), 1, 5, rng));
+    if (state.is_consensus()) {
+      continue;
+    }
+    CoupledDivPull coupled(state, scheme, side);
+    for (int step = 0; step < 20000; ++step) {
+      coupled.step(rng);
+      ASSERT_TRUE(coupled.invariant_holds())
+          << g.summary() << " step " << step << " scheme "
+          << to_string(scheme);
+      if (coupled.pull_consensus()) {
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSides, CouplingInvariant,
+    ::testing::Combine(::testing::Values(SelectionScheme::kVertex,
+                                         SelectionScheme::kEdge),
+                       ::testing::Values(CoupledSide::kMin, CoupledSide::kMax)),
+    [](const ::testing::TestParamInfo<std::tuple<SelectionScheme, CoupledSide>>&
+           info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             (std::get<1>(info.param) == CoupledSide::kMin ? "min" : "max");
+    });
+
+TEST(Coupling, PullExtinctionForcesExtremeExtinction) {
+  // Lemma 13's payoff: when B(t) dies, the tracked extreme opinion is gone.
+  const Graph g = make_complete(16);
+  int observed_extinctions = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    Rng rng(1000 + trial);
+    OpinionState state(g, uniform_random_opinions(16, 1, 4, rng));
+    if (state.is_consensus()) {
+      continue;
+    }
+    const Opinion tracked = state.min_active();
+    CoupledDivPull coupled(state, SelectionScheme::kEdge, CoupledSide::kMin);
+    for (int step = 0; step < 200000 && !coupled.pull_consensus(); ++step) {
+      coupled.step(rng);
+    }
+    ASSERT_TRUE(coupled.pull_consensus());
+    if (coupled.pull_side_size() == 0) {
+      ++observed_extinctions;
+      EXPECT_EQ(state.count(tracked), 0)
+          << "B died but the tracked extreme survived";
+    }
+  }
+  EXPECT_GT(observed_extinctions, 0);
+}
+
+TEST(Coupling, StepCountsAdvance) {
+  const Graph g = make_complete(8);
+  OpinionState state(g, {1, 1, 1, 1, 2, 2, 3, 3});
+  CoupledDivPull coupled(state, SelectionScheme::kVertex, CoupledSide::kMin);
+  Rng rng(5);
+  for (int step = 0; step < 10; ++step) {
+    coupled.step(rng);
+  }
+  EXPECT_EQ(coupled.steps(), 10u);
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,49 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace divlib {
+namespace {
+
+TEST(Csv, WritesPlainFields) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesNumericRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row(std::vector<double>{1.5, 2.25}, 2);
+  EXPECT_EQ(out.str(), "1.50,2.25\n");
+}
+
+TEST(Csv, MultipleRowsAccumulate) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row(std::vector<std::string>{"h1", "h2"});
+  csv.write_row(std::vector<std::string>{"x", "y"});
+  EXPECT_EQ(out.str(), "h1,h2\nx,y\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EmptyRowProducesBlankLine) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row(std::vector<std::string>{});
+  EXPECT_EQ(out.str(), "\n");
+}
+
+}  // namespace
+}  // namespace divlib

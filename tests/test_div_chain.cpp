@@ -1,0 +1,177 @@
+#include "exact/div_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/div_process.hpp"
+#include "engine/engine.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "spectral/linear_solver.hpp"
+#include "stats/histogram.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(DivChain, GuardsStateSpace) {
+  const Graph g = make_complete(8);
+  EXPECT_THROW(DivChain(g, 5, SelectionScheme::kEdge), std::invalid_argument);
+  EXPECT_THROW(DivChain(g, 1, SelectionScheme::kEdge), std::invalid_argument);
+}
+
+TEST(DivChain, EncodeDecodeRoundTrip) {
+  const Graph g = make_path(4);
+  const DivChain chain(g, 3, SelectionScheme::kEdge);
+  for (std::uint64_t state = 0; state < chain.num_states(); ++state) {
+    EXPECT_EQ(chain.encode(chain.decode(state)), state);
+  }
+}
+
+TEST(DivChain, AbsorptionDistributionsAreProbabilities) {
+  const Graph g = make_cycle(4);
+  const DivChain chain(g, 3, SelectionScheme::kVertex);
+  for (std::uint64_t state = 0; state < chain.num_states(); ++state) {
+    const auto distribution = chain.absorption_distribution(state);
+    double total = 0.0;
+    for (const double p : distribution) {
+      EXPECT_GE(p, -1e-12);
+      EXPECT_LE(p, 1.0 + 1e-12);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "state " << state;
+  }
+}
+
+TEST(DivChain, ConsensusStatesAreAbsorbing) {
+  const Graph g = make_path(3);
+  const DivChain chain(g, 3, SelectionScheme::kEdge);
+  const auto all_two = chain.encode({2, 2, 2});
+  EXPECT_DOUBLE_EQ(chain.absorption_probability(all_two, 2), 1.0);
+  EXPECT_DOUBLE_EQ(chain.absorption_probability(all_two, 0), 0.0);
+  EXPECT_DOUBLE_EQ(chain.expected_consensus_time(all_two), 0.0);
+}
+
+TEST(DivChain, EdgeProcessExpectedWinnerIsTheAverageExactly) {
+  // The Lemma 3 martingale, exactly: E[winner] = S(0)/n for every initial
+  // state under the edge process, on ANY graph.
+  for (const Graph& g : {make_path(5), make_cycle(5), make_star(5),
+                         make_complete(5)}) {
+    const DivChain chain(g, 3, SelectionScheme::kEdge);
+    for (std::uint64_t state = 0; state < chain.num_states(); ++state) {
+      const auto opinions = chain.decode(state);
+      const double average =
+          std::accumulate(opinions.begin(), opinions.end(), 0.0) / 5.0;
+      ASSERT_NEAR(chain.expected_winner(state), average, 1e-9)
+          << g.summary() << " state " << state;
+    }
+  }
+}
+
+TEST(DivChain, VertexProcessExpectedWinnerIsTheWeightedAverage) {
+  // Z(t)/n martingale: E[winner] = sum pi_v X_v exactly, on irregular graphs.
+  const Graph g = make_star(5);
+  const DivChain chain(g, 3, SelectionScheme::kVertex);
+  for (std::uint64_t state = 0; state < chain.num_states(); ++state) {
+    const auto opinions = chain.decode(state);
+    double weighted = 0.0;
+    for (VertexId v = 0; v < 5; ++v) {
+      weighted += g.stationary(v) * static_cast<double>(opinions[v]);
+    }
+    ASSERT_NEAR(chain.expected_winner(state), weighted, 1e-9)
+        << "state " << state;
+  }
+}
+
+TEST(DivChain, PathCounterexampleExactProbabilities) {
+  // The [13] counterexample at exactly computable size: blocked 0|1|2 on
+  // P_6.  All three opinions must have strictly positive win probability,
+  // and by the left-right symmetry of the configuration P(0) = P(2).
+  const Graph g = make_path(6);
+  const DivChain chain(g, 3, SelectionScheme::kEdge);
+  const auto state = chain.encode({0, 0, 1, 1, 2, 2});
+  const auto distribution = chain.absorption_distribution(state);
+  // The exact values are clean rationals: P(0) = P(2) = 2/9, P(1) = 5/9.
+  EXPECT_NEAR(distribution[0], 2.0 / 9.0, 1e-9);
+  EXPECT_NEAR(distribution[1], 5.0 / 9.0, 1e-9);
+  EXPECT_NEAR(distribution[2], 2.0 / 9.0, 1e-9);
+  EXPECT_NEAR(chain.expected_winner(state), 1.0, 1e-9);
+}
+
+TEST(DivChain, MonteCarloMatchesExactDistribution) {
+  const Graph g = make_path(6);
+  const DivChain chain(g, 3, SelectionScheme::kEdge);
+  const std::vector<Opinion> start{0, 0, 1, 1, 2, 2};
+  const auto exact = chain.absorption_distribution(chain.encode(start));
+
+  constexpr int kReplicas = 6000;
+  const auto winners = run_replicas<Opinion>(
+      kReplicas,
+      [&g, &start](std::size_t, Rng& rng) {
+        OpinionState state(g, start);
+        DivProcess process(g, SelectionScheme::kEdge);
+        RunOptions options;
+        options.max_steps = 10'000'000;
+        return run(process, state, rng, options).winner.value_or(-1);
+      },
+      {.master_seed = 91});
+  IntCounter counter;
+  for (const Opinion w : winners) {
+    counter.add(w);
+  }
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(counter.fraction(j), exact[static_cast<std::size_t>(j)], 0.02)
+        << "opinion " << j;
+  }
+}
+
+TEST(DivChain, ExpectedTimeMatchesMonteCarlo) {
+  const Graph g = make_cycle(5);
+  const DivChain chain(g, 3, SelectionScheme::kVertex);
+  const std::vector<Opinion> start{0, 1, 2, 1, 0};
+  const double exact_time = chain.expected_consensus_time(chain.encode(start));
+
+  constexpr int kReplicas = 4000;
+  const auto steps = run_replicas<double>(
+      kReplicas,
+      [&g, &start](std::size_t, Rng& rng) {
+        OpinionState state(g, start);
+        DivProcess process(g, SelectionScheme::kVertex);
+        RunOptions options;
+        options.max_steps = 10'000'000;
+        return static_cast<double>(run(process, state, rng, options).steps);
+      },
+      {.master_seed = 92});
+  double mean = 0.0;
+  for (const double s : steps) {
+    mean += s / kReplicas;
+  }
+  EXPECT_NEAR(mean, exact_time, exact_time * 0.05);
+}
+
+TEST(LuFactorization, MatchesDirectSolver) {
+  DenseMatrix a(3, 3);
+  a.at(0, 0) = 4.0;
+  a.at(0, 1) = 1.0;
+  a.at(0, 2) = 2.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 5.0;
+  a.at(1, 2) = 1.0;
+  a.at(2, 0) = 2.0;
+  a.at(2, 1) = 1.0;
+  a.at(2, 2) = 6.0;
+  const LuFactorization lu(a);
+  const std::vector<double> b1{1.0, 2.0, 3.0};
+  const std::vector<double> b2{-1.0, 0.5, 4.0};
+  const auto x1 = lu.solve(b1);
+  const auto x2 = lu.solve(b2);
+  const auto y1 = solve_linear_system(a, b1);
+  const auto y2 = solve_linear_system(a, b2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x1[static_cast<std::size_t>(i)], y1[static_cast<std::size_t>(i)], 1e-12);
+    EXPECT_NEAR(x2[static_cast<std::size_t>(i)], y2[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace divlib

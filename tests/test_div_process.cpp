@@ -1,0 +1,133 @@
+#include "core/div_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/initial_config.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(DivProcess, UpdateRuleMatchesEquationOne) {
+  EXPECT_EQ(DivProcess::updated_opinion(3, 7), 4);   // X_v < X_w => +1
+  EXPECT_EQ(DivProcess::updated_opinion(3, 4), 4);
+  EXPECT_EQ(DivProcess::updated_opinion(5, 5), 5);   // equal => unchanged
+  EXPECT_EQ(DivProcess::updated_opinion(7, 3), 6);   // X_v > X_w => -1
+  EXPECT_EQ(DivProcess::updated_opinion(4, 3), 3);
+  EXPECT_EQ(DivProcess::updated_opinion(-2, 2), -1);
+}
+
+TEST(DivProcess, NameEncodesScheme) {
+  const Graph g = make_cycle(4);
+  EXPECT_EQ(DivProcess(g, SelectionScheme::kVertex).name(), "div/vertex");
+  EXPECT_EQ(DivProcess(g, SelectionScheme::kEdge).name(), "div/edge");
+}
+
+TEST(DivProcess, StepChangesAtMostOneVertexByOne) {
+  const Graph g = make_complete(8);
+  Rng rng(1);
+  OpinionState state(g, uniform_random_opinions(8, 1, 5, rng));
+  DivProcess process(g, SelectionScheme::kVertex);
+  for (int step = 0; step < 2000; ++step) {
+    const std::vector<Opinion> before(state.opinions().begin(),
+                                      state.opinions().end());
+    process.step(state, rng);
+    int changed = 0;
+    for (VertexId v = 0; v < 8; ++v) {
+      const int delta = std::abs(state.opinion(v) - before[v]);
+      EXPECT_LE(delta, 1);
+      changed += delta;
+    }
+    EXPECT_LE(changed, 1);
+  }
+}
+
+TEST(DivProcess, ConsensusIsAbsorbing) {
+  const Graph g = make_complete(6);
+  OpinionState state(g, std::vector<Opinion>(6, 3));
+  DivProcess process(g, SelectionScheme::kEdge);
+  Rng rng(2);
+  for (int step = 0; step < 1000; ++step) {
+    process.step(state, rng);
+  }
+  EXPECT_TRUE(state.is_consensus());
+  EXPECT_EQ(state.min_active(), 3);
+}
+
+TEST(DivProcess, TwoAdjacentOpinionsBehaveLikePullVoting) {
+  // With opinions {0, 1} the increment rule *is* the pull rule: the updater
+  // moves to the observed value in one step.
+  const Graph g = make_complete(4);
+  OpinionState state(g, {0, 0, 1, 1});
+  DivProcess process(g, SelectionScheme::kVertex);
+  Rng rng(3);
+  for (int step = 0; step < 200 && !state.is_consensus(); ++step) {
+    process.step(state, rng);
+    EXPECT_GE(state.min_active(), 0);
+    EXPECT_LE(state.max_active(), 1);
+  }
+  EXPECT_TRUE(state.is_consensus());
+}
+
+TEST(DivProcess, ActiveRangeNeverExpands) {
+  const Graph g = make_complete(10);
+  Rng rng(4);
+  OpinionState state(g, uniform_random_opinions(10, 1, 9, rng));
+  DivProcess process(g, SelectionScheme::kVertex);
+  Opinion lo = state.min_active();
+  Opinion hi = state.max_active();
+  for (int step = 0; step < 5000; ++step) {
+    process.step(state, rng);
+    EXPECT_GE(state.min_active(), lo);
+    EXPECT_LE(state.max_active(), hi);
+    lo = state.min_active();
+    hi = state.max_active();
+  }
+}
+
+TEST(DivProcess, EventuallyReachesConsensusOnSmallGraph) {
+  const Graph g = make_complete(6);
+  Rng rng(5);
+  OpinionState state(g, {1, 2, 3, 4, 5, 6});
+  DivProcess process(g, SelectionScheme::kEdge);
+  std::uint64_t steps = 0;
+  while (!state.is_consensus() && steps < 1'000'000) {
+    process.step(state, rng);
+    ++steps;
+  }
+  ASSERT_TRUE(state.is_consensus());
+  // Average is 3.5: the winner must be 3 or 4 on a complete graph...
+  // but on *any* graph the winner lies within the initial range.
+  EXPECT_GE(state.min_active(), 1);
+  EXPECT_LE(state.min_active(), 6);
+}
+
+TEST(DivProcess, RejectsUnusableGraphs) {
+  const Graph isolated(3, {{0, 1}});
+  EXPECT_THROW(DivProcess(isolated, SelectionScheme::kVertex),
+               std::invalid_argument);
+  const Graph edgeless(3, {});
+  EXPECT_THROW(DivProcess(edgeless, SelectionScheme::kEdge),
+               std::invalid_argument);
+}
+
+TEST(DivProcess, DeterministicGivenSeed) {
+  const Graph g = make_complete(8);
+  Rng seed_rng(6);
+  const auto initial = uniform_random_opinions(8, 1, 5, seed_rng);
+  OpinionState a(g, initial);
+  OpinionState b(g, initial);
+  DivProcess process(g, SelectionScheme::kVertex);
+  Rng rng_a(77);
+  Rng rng_b(77);
+  for (int step = 0; step < 1000; ++step) {
+    process.step(a, rng_a);
+    process.step(b, rng_b);
+  }
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(a.opinion(v), b.opinion(v));
+  }
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,127 @@
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/div_process.hpp"
+#include "core/pull_voting.hpp"
+#include "engine/initial_config.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(StopCondition, Names) {
+  EXPECT_EQ(to_string(StopKind::kConsensus), "consensus");
+  EXPECT_EQ(to_string(StopKind::kTwoAdjacent), "two-adjacent");
+}
+
+TEST(StopCondition, Satisfaction) {
+  const Graph g = make_cycle(4);
+  const OpinionState spread(g, {1, 2, 3, 4});
+  EXPECT_FALSE(is_satisfied(StopKind::kConsensus, spread));
+  EXPECT_FALSE(is_satisfied(StopKind::kTwoAdjacent, spread));
+  const OpinionState adjacent(g, {2, 3, 2, 3});
+  EXPECT_FALSE(is_satisfied(StopKind::kConsensus, adjacent));
+  EXPECT_TRUE(is_satisfied(StopKind::kTwoAdjacent, adjacent));
+  const OpinionState consensus(g, {2, 2, 2, 2});
+  EXPECT_TRUE(is_satisfied(StopKind::kConsensus, consensus));
+  EXPECT_TRUE(is_satisfied(StopKind::kTwoAdjacent, consensus));
+}
+
+TEST(Engine, ImmediateStopWhenAlreadySatisfied) {
+  const Graph g = make_complete(4);
+  OpinionState state(g, {3, 3, 3, 3});
+  DivProcess process(g, SelectionScheme::kVertex);
+  Rng rng(1);
+  const RunResult result = run(process, state, rng, {});
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.steps, 0u);
+  ASSERT_TRUE(result.winner.has_value());
+  EXPECT_EQ(*result.winner, 3);
+}
+
+TEST(Engine, StepCapReportsIncomplete) {
+  const Graph g = make_complete(16);
+  Rng init_rng(2);
+  OpinionState state(g, uniform_random_opinions(16, 1, 8, init_rng));
+  DivProcess process(g, SelectionScheme::kVertex);
+  Rng rng(3);
+  RunOptions options;
+  options.max_steps = 3;
+  const RunResult result = run(process, state, rng, options);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.steps, 3u);
+  EXPECT_FALSE(result.winner.has_value());
+}
+
+TEST(Engine, TwoAdjacentStopPrecedesConsensus) {
+  const Graph g = make_complete(20);
+  Rng init_rng(4);
+  OpinionState state(g, uniform_random_opinions(20, 1, 6, init_rng));
+  DivProcess process(g, SelectionScheme::kVertex);
+  Rng rng(5);
+  RunOptions options;
+  options.stop = StopKind::kTwoAdjacent;
+  options.max_steps = 10'000'000;
+  const RunResult first = run(process, state, rng, options);
+  ASSERT_TRUE(first.completed);
+  EXPECT_LE(first.max_active - first.min_active, 1);
+
+  // Continue the same state to consensus.
+  options.stop = StopKind::kConsensus;
+  const RunResult second = run(process, state, rng, options);
+  ASSERT_TRUE(second.completed);
+  ASSERT_TRUE(second.winner.has_value());
+  EXPECT_GE(*second.winner, first.min_active);
+  EXPECT_LE(*second.winner, first.max_active);
+}
+
+TEST(Engine, FinalAggregatesMatchState) {
+  const Graph g = make_complete(10);
+  Rng init_rng(6);
+  OpinionState state(g, uniform_random_opinions(10, 1, 4, init_rng));
+  PullVoting process(g, SelectionScheme::kEdge);
+  Rng rng(7);
+  RunOptions options;
+  options.max_steps = 1'000'000;
+  const RunResult result = run(process, state, rng, options);
+  EXPECT_EQ(result.final_sum, state.sum());
+  EXPECT_DOUBLE_EQ(result.final_z, state.z_total());
+  EXPECT_EQ(result.min_active, state.min_active());
+  EXPECT_EQ(result.num_active, state.num_active());
+}
+
+TEST(Engine, TraceRecordsStartAndEnd) {
+  const Graph g = make_complete(12);
+  Rng init_rng(8);
+  OpinionState state(g, uniform_random_opinions(12, 1, 4, init_rng));
+  DivProcess process(g, SelectionScheme::kVertex);
+  Rng rng(9);
+  RunOptions options;
+  options.trace_stride = 50;
+  options.max_steps = 1'000'000;
+  const RunResult result = run(process, state, rng, options);
+  ASSERT_TRUE(result.completed);
+  ASSERT_FALSE(result.trace.empty());
+  EXPECT_EQ(result.trace.samples().front().step, 0u);
+  EXPECT_EQ(result.trace.samples().back().step, result.steps);
+  // Samples are strictly increasing in step.
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_LT(result.trace.samples()[i - 1].step, result.trace.samples()[i].step);
+  }
+}
+
+TEST(Engine, NoTraceWhenStrideZero) {
+  const Graph g = make_complete(8);
+  OpinionState state(g, {1, 1, 1, 1, 2, 2, 2, 2});
+  DivProcess process(g, SelectionScheme::kVertex);
+  Rng rng(10);
+  RunOptions options;
+  options.max_steps = 1'000'000;
+  const RunResult result = run(process, state, rng, options);
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_FALSE(result.trace.enabled());
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,169 @@
+#include "exact/two_voting_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pull_voting.hpp"
+#include "engine/engine.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "spectral/linear_solver.hpp"
+#include "stats/summary.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(LinearSolver, SolvesKnownSystem) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const auto x = solve_linear_system(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinearSolver, PivotsOnZeroDiagonal) {
+  DenseMatrix a(2, 2);
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  const auto x = solve_linear_system(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LinearSolver, RejectsSingularAndMismatched) {
+  DenseMatrix singular(2, 2);
+  singular.at(0, 0) = 1.0;
+  singular.at(0, 1) = 2.0;
+  singular.at(1, 0) = 2.0;
+  singular.at(1, 1) = 4.0;
+  EXPECT_THROW(solve_linear_system(singular, {1.0, 2.0}), std::runtime_error);
+  DenseMatrix a(2, 2, 1.0);
+  EXPECT_THROW(solve_linear_system(a, {1.0}), std::invalid_argument);
+}
+
+TEST(TwoVotingChain, RejectsLargeStateSpaces) {
+  const Graph g = make_complete(16);
+  EXPECT_THROW(TwoVotingChain(g, SelectionScheme::kEdge, 10),
+               std::invalid_argument);
+}
+
+TEST(TwoVotingChain, TransitionProbabilitiesRowStochastic) {
+  const Graph g = make_path(4);
+  const TwoVotingChain chain(g, SelectionScheme::kVertex);
+  for (std::uint32_t from = 0; from < chain.num_states(); ++from) {
+    double total = 0.0;
+    for (std::uint32_t to = 0; to < chain.num_states(); ++to) {
+      const double p = chain.transition_probability(from, to);
+      EXPECT_GE(p, -1e-12);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "state " << from;
+  }
+}
+
+TEST(TwoVotingChain, K2IsASingleCoinFlip) {
+  const Graph g = make_complete(2);
+  const TwoVotingChain chain(g, SelectionScheme::kEdge);
+  // State 0b01: one vertex holds 1.
+  EXPECT_NEAR(chain.win_probability(0b01), 0.5, 1e-12);
+  // Every step resolves the disagreement: absorption in exactly 1 step.
+  EXPECT_NEAR(chain.expected_absorption_time(0b01), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(chain.expected_absorption_time(0b00), 0.0);
+  EXPECT_DOUBLE_EQ(chain.expected_absorption_time(0b11), 0.0);
+}
+
+TEST(TwoVotingChain, SolverMatchesClosedFormEdgeProcess) {
+  // Eq. (3), edge process: P(1 wins) = N_1/n on ANY graph.
+  for (const Graph& g : {make_star(6), make_path(6), make_barbell(3),
+                         make_complete(6), make_cycle(6)}) {
+    const TwoVotingChain chain(g, SelectionScheme::kEdge);
+    for (std::uint32_t mask = 0; mask < chain.num_states(); ++mask) {
+      ASSERT_NEAR(chain.win_probability(mask),
+                  chain.win_probability_closed_form(mask), 1e-9)
+          << g.summary() << " mask " << mask;
+    }
+  }
+}
+
+TEST(TwoVotingChain, SolverMatchesClosedFormVertexProcess) {
+  // Eq. (3), vertex process: P(1 wins) = d(A_1)/2m on ANY graph.
+  for (const Graph& g : {make_star(6), make_path(6), make_barbell(3),
+                         make_lollipop(4, 2)}) {
+    const TwoVotingChain chain(g, SelectionScheme::kVertex);
+    for (std::uint32_t mask = 0; mask < chain.num_states(); ++mask) {
+      ASSERT_NEAR(chain.win_probability(mask),
+                  chain.win_probability_closed_form(mask), 1e-9)
+          << g.summary() << " mask " << mask;
+    }
+  }
+}
+
+TEST(TwoVotingChain, AbsorptionTimeSymmetryOnCompleteGraph) {
+  // On K_n the expected time depends only on |B| and is symmetric in
+  // |B| <-> n - |B|.
+  const Graph g = make_complete(6);
+  const TwoVotingChain chain(g, SelectionScheme::kEdge);
+  const auto mask_of = [](std::uint32_t count) {
+    return static_cast<std::uint32_t>((1u << count) - 1);
+  };
+  EXPECT_NEAR(chain.expected_absorption_time(mask_of(1)),
+              chain.expected_absorption_time(0b111110u), 1e-9);
+  EXPECT_NEAR(chain.expected_absorption_time(mask_of(2)),
+              chain.expected_absorption_time(0b111100u), 1e-9);
+  // More disagreement takes longer in expectation.
+  EXPECT_GT(chain.expected_absorption_time(mask_of(3)),
+            chain.expected_absorption_time(mask_of(1)));
+}
+
+TEST(TwoVotingChain, WorstCaseIsBalancedOnCompleteGraph) {
+  const Graph g = make_complete(6);
+  const TwoVotingChain chain(g, SelectionScheme::kEdge);
+  const auto worst = chain.worst_case_time();
+  std::uint32_t bits = 0;
+  for (std::uint32_t m = worst.mask; m != 0; m >>= 1) {
+    bits += m & 1u;
+  }
+  EXPECT_EQ(bits, 3u);  // half/half split
+  EXPECT_GT(worst.time, 0.0);
+}
+
+TEST(TwoVotingChain, MonteCarloAgreesWithExactTime) {
+  const Graph g = make_star(6);
+  const TwoVotingChain chain(g, SelectionScheme::kVertex);
+  const std::uint32_t mask = 0b000001;  // opinion 1 on the center
+  const double exact_time = chain.expected_absorption_time(mask);
+  const double exact_win = chain.win_probability(mask);
+
+  constexpr int kReplicas = 4000;
+  struct Outcome {
+    double steps = 0.0;
+    int won = 0;
+  };
+  const auto outcomes = run_replicas<Outcome>(
+      kReplicas,
+      [&g](std::size_t, Rng& rng) {
+        std::vector<Opinion> opinions(6, 0);
+        opinions[0] = 1;
+        OpinionState state(g, std::move(opinions));
+        PullVoting process(g, SelectionScheme::kVertex);
+        RunOptions options;
+        options.max_steps = 10'000'000;
+        const RunResult result = run(process, state, rng, options);
+        return Outcome{static_cast<double>(result.steps),
+                       result.winner.value_or(-1) == 1 ? 1 : 0};
+      },
+      {.master_seed = 55});
+  Summary steps;
+  int wins = 0;
+  for (const Outcome& outcome : outcomes) {
+    steps.add(outcome.steps);
+    wins += outcome.won;
+  }
+  EXPECT_NEAR(steps.mean(), exact_time, 5.0 * steps.stderror());
+  EXPECT_NEAR(static_cast<double>(wins) / kReplicas, exact_win, 0.02);
+}
+
+}  // namespace
+}  // namespace divlib

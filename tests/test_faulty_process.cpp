@@ -1,0 +1,152 @@
+#include "core/faulty_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/div_process.hpp"
+#include "core/load_balancing.hpp"
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace divlib {
+namespace {
+
+std::unique_ptr<Process> make_div(const Graph& g) {
+  return std::make_unique<DivProcess>(g, SelectionScheme::kEdge);
+}
+
+TEST(FaultyProcess, ValidatesConstruction) {
+  const Graph g = make_complete(4);
+  EXPECT_THROW(FaultyProcess(nullptr, 0.1), std::invalid_argument);
+  EXPECT_THROW(FaultyProcess(make_div(g), -0.1), std::invalid_argument);
+  EXPECT_THROW(FaultyProcess(make_div(g), 1.0), std::invalid_argument);
+}
+
+TEST(FaultyProcess, NameWrapsInner) {
+  const Graph g = make_complete(4);
+  const FaultyProcess faulty(make_div(g), 0.2);
+  EXPECT_EQ(faulty.name(), "faulty(div/edge)");
+}
+
+TEST(FaultyProcess, ZeroDropRateMatchesInnerExactly) {
+  const Graph g = make_complete(8);
+  Rng init(1);
+  const auto initial = uniform_random_opinions(8, 1, 5, init);
+  OpinionState plain_state(g, initial);
+  OpinionState faulty_state(g, initial);
+  DivProcess plain(g, SelectionScheme::kEdge);
+  FaultyProcess faulty(make_div(g), 0.0);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  for (int step = 0; step < 2000; ++step) {
+    plain.step(plain_state, rng_a);
+    faulty.step(faulty_state, rng_b);
+  }
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(plain_state.opinion(v), faulty_state.opinion(v));
+  }
+  EXPECT_EQ(faulty.dropped_steps(), 0u);
+}
+
+TEST(FaultyProcess, DropRateCountsDrops) {
+  const Graph g = make_complete(8);
+  OpinionState state(g, {1, 1, 1, 1, 5, 5, 5, 5});
+  FaultyProcess faulty(make_div(g), 0.5);
+  Rng rng(3);
+  constexpr int kSteps = 20000;
+  for (int step = 0; step < kSteps; ++step) {
+    faulty.step(state, rng);
+  }
+  EXPECT_NEAR(static_cast<double>(faulty.dropped_steps()) / kSteps, 0.5, 0.02);
+}
+
+TEST(FaultyProcess, MessageLossPreservesWinnerDistribution) {
+  // The jump chain is unchanged: P(winner) identical, time stretched.
+  const Graph g = make_complete(40);
+  constexpr int kReplicas = 800;
+  const auto measure = [&](double drop_rate, std::uint64_t salt) {
+    IntCounter winners;
+    Summary steps;
+    const auto results = run_replicas<RunResult>(
+        kReplicas,
+        [&g, drop_rate](std::size_t, Rng& rng) {
+          OpinionState state(g, opinions_with_sum(40, 1, 4, 100, rng));  // c=2.5
+          FaultyProcess faulty(
+              std::make_unique<DivProcess>(g, SelectionScheme::kEdge), drop_rate);
+          RunOptions options;
+          options.max_steps = 50'000'000;
+          return run(faulty, state, rng, options);
+        },
+        {.master_seed = salt});
+    for (const RunResult& result : results) {
+      winners.add(result.winner.value_or(-1));
+      steps.add(static_cast<double>(result.steps));
+    }
+    return std::pair{winners.fraction(2) + winners.fraction(3), steps.mean()};
+  };
+  const auto [clean_target, clean_time] = measure(0.0, 61);
+  const auto [lossy_target, lossy_time] = measure(0.5, 62);
+  EXPECT_NEAR(clean_target, lossy_target, 0.03);
+  // Time stretches by 1/(1 - 0.5) = 2.
+  EXPECT_NEAR(lossy_time / clean_time, 2.0, 0.25);
+}
+
+TEST(FaultyProcess, CrashedVerticesNeverChange) {
+  const Graph g = make_complete(10);
+  Rng init(5);
+  auto initial = uniform_random_opinions(10, 1, 9, init);
+  initial[3] = 7;
+  initial[6] = 2;
+  OpinionState state(g, initial);
+  FaultyProcess faulty(make_div(g), 0.0, {3, 6});
+  Rng rng(6);
+  for (int step = 0; step < 20000; ++step) {
+    faulty.step(state, rng);
+    ASSERT_EQ(state.opinion(3), 7);
+    ASSERT_EQ(state.opinion(6), 2);
+  }
+  EXPECT_GT(faulty.crashed_rollbacks(), 0u);
+}
+
+TEST(FaultyProcess, CrashedVertexOutOfRangeThrows) {
+  const Graph g = make_complete(4);
+  OpinionState state(g, {1, 2, 3, 4});
+  FaultyProcess faulty(make_div(g), 0.0, {9});
+  Rng rng(7);
+  EXPECT_THROW(faulty.step(state, rng), std::invalid_argument);
+}
+
+TEST(FaultyProcess, WorksWithTwoWriterInnerProcess) {
+  const Graph g = make_complete(6);
+  OpinionState state(g, {1, 9, 5, 5, 5, 5});
+  FaultyProcess faulty(std::make_unique<LoadBalancing>(g), 0.0, {0});
+  Rng rng(8);
+  for (int step = 0; step < 5000; ++step) {
+    faulty.step(state, rng);
+    ASSERT_EQ(state.opinion(0), 1);  // pinned despite pairwise writes
+  }
+}
+
+TEST(FaultyProcess, DivergentOpinionsOfCrashedVerticesPreventConsensus) {
+  // Two crashed vertices with different opinions: the network can never
+  // fully agree -- a designed negative control.
+  const Graph g = make_complete(8);
+  std::vector<Opinion> initial(8, 3);
+  initial[0] = 1;
+  initial[1] = 5;
+  OpinionState state(g, initial);
+  FaultyProcess faulty(make_div(g), 0.0, {0, 1});
+  Rng rng(9);
+  RunOptions options;
+  options.max_steps = 100'000;
+  const RunResult result = run(faulty, state, rng, options);
+  EXPECT_FALSE(result.completed);
+}
+
+}  // namespace
+}  // namespace divlib

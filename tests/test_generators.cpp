@@ -1,0 +1,141 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace divlib {
+namespace {
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = make_complete(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 4u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_THROW(make_complete(0), std::invalid_argument);
+}
+
+TEST(Generators, CompleteSingletonAndPair) {
+  EXPECT_EQ(make_complete(1).num_edges(), 0u);
+  const Graph k2 = make_complete(2);
+  EXPECT_EQ(k2.num_edges(), 1u);
+  EXPECT_TRUE(k2.has_edge(0, 1));
+}
+
+TEST(Generators, PathGraph) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 4));
+}
+
+TEST(Generators, CycleGraph) {
+  const Graph g = make_cycle(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 2u);
+  EXPECT_TRUE(g.has_edge(5, 0));
+  EXPECT_THROW(make_cycle(2), std::invalid_argument);
+}
+
+TEST(Generators, StarGraph) {
+  const Graph g = make_star(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 5u);
+  for (VertexId v = 1; v < 6; ++v) {
+    EXPECT_EQ(g.degree(v), 1u);
+  }
+  EXPECT_THROW(make_star(1), std::invalid_argument);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(2, 3);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_FALSE(g.has_edge(0, 1));  // within part A
+  EXPECT_FALSE(g.has_edge(2, 3));  // within part B
+  EXPECT_TRUE(g.has_edge(1, 4));
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = make_barbell(4);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  // Two K_4 (6 edges each) plus one bridge.
+  EXPECT_EQ(g.num_edges(), 13u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(1, 5));
+}
+
+TEST(Generators, DoubleCliqueBridges) {
+  const Graph g = make_double_clique(4, 3);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_TRUE(g.has_edge(2, 6));
+  EXPECT_THROW(make_double_clique(4, 0), std::invalid_argument);
+  EXPECT_THROW(make_double_clique(4, 5), std::invalid_argument);
+}
+
+TEST(Generators, Lollipop) {
+  const Graph g = make_lollipop(4, 3);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(6), 1u);  // end of the tail
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = make_hypercube(3);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 3u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(0, 3));  // differs in two bits
+  EXPECT_THROW(make_hypercube(0), std::invalid_argument);
+}
+
+TEST(Generators, GridPlain) {
+  const Graph g = make_grid(3, 4, /*torus=*/false);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 17u);  // 3*3 horizontal + 2*4 vertical
+  EXPECT_EQ(g.degree(0), 2u);     // corner
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, GridTorusIsFourRegular) {
+  const Graph g = make_grid(4, 5, /*torus=*/true);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u * 20u);
+  EXPECT_THROW(make_grid(2, 5, true), std::invalid_argument);
+}
+
+TEST(Generators, MargulisIsAConnectedNearRegularGraph) {
+  const Graph g = make_margulis(8);
+  EXPECT_EQ(g.num_vertices(), 64u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_LE(g.max_degree(), 8u);
+  EXPECT_GE(g.min_degree(), 3u);
+  EXPECT_THROW(make_margulis(2), std::invalid_argument);
+}
+
+TEST(Generators, BinaryTree) {
+  const Graph g = make_binary_tree(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(6), 1u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+}  // namespace
+}  // namespace divlib

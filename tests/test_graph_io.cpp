@@ -1,0 +1,75 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(GraphIo, RoundTripsThroughEdgeList) {
+  const Graph original = make_cycle(6);
+  const std::string text = to_edge_list(original);
+  const Graph parsed = graph_from_edge_list(text);
+  EXPECT_EQ(parsed.num_vertices(), original.num_vertices());
+  ASSERT_EQ(parsed.num_edges(), original.num_edges());
+  for (std::size_t i = 0; i < original.num_edges(); ++i) {
+    EXPECT_EQ(parsed.edges()[i], original.edges()[i]);
+  }
+}
+
+TEST(GraphIo, ParsesCommentsAndBlankLines) {
+  const std::string text =
+      "# a comment\n"
+      "n 3\n"
+      "\n"
+      "0 1  # trailing comment\n"
+      "1 2\n";
+  const Graph g = graph_from_edge_list(text);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphIo, RejectsMissingHeader) {
+  EXPECT_THROW(graph_from_edge_list("0 1\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsDuplicateHeader) {
+  EXPECT_THROW(graph_from_edge_list("n 3\nn 4\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsMalformedTokens) {
+  EXPECT_THROW(graph_from_edge_list("n 3\nzero 1\n"), std::invalid_argument);
+  EXPECT_THROW(graph_from_edge_list("n 3\n0\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsInvalidEdges) {
+  EXPECT_THROW(graph_from_edge_list("n 3\n0 5\n"), std::invalid_argument);
+  EXPECT_THROW(graph_from_edge_list("n 3\n1 1\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, EmptyGraphRoundTrips) {
+  const Graph g = graph_from_edge_list("n 4\n");
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphIo, DotContainsAllEdges) {
+  const Graph g = make_path(3);
+  const std::string dot = to_dot(g, "P3");
+  EXPECT_NE(dot.find("graph P3 {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+}
+
+TEST(GraphIo, WriteEdgeListFormat) {
+  std::ostringstream out;
+  write_edge_list(out, make_path(3));
+  EXPECT_EQ(out.str(), "n 3\n0 1\n1 2\n");
+}
+
+}  // namespace
+}  // namespace divlib

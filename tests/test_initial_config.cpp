@@ -1,0 +1,141 @@
+#include "engine/initial_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace divlib {
+namespace {
+
+TEST(InitialConfig, UniformRandomStaysInRange) {
+  Rng rng(1);
+  const auto opinions = uniform_random_opinions(1000, 2, 7, rng);
+  ASSERT_EQ(opinions.size(), 1000u);
+  for (const Opinion o : opinions) {
+    EXPECT_GE(o, 2);
+    EXPECT_LE(o, 7);
+  }
+  EXPECT_THROW(uniform_random_opinions(10, 5, 4, rng), std::invalid_argument);
+}
+
+TEST(InitialConfig, UniformRandomCoversAllValues) {
+  Rng rng(2);
+  const auto opinions = uniform_random_opinions(2000, 1, 5, rng);
+  for (Opinion value = 1; value <= 5; ++value) {
+    EXPECT_GT(std::count(opinions.begin(), opinions.end(), value), 0);
+  }
+}
+
+TEST(InitialConfig, CountsAreExact) {
+  Rng rng(3);
+  const auto opinions = opinions_with_counts(10, 1, {3, 0, 7}, rng);
+  EXPECT_EQ(std::count(opinions.begin(), opinions.end(), 1), 3);
+  EXPECT_EQ(std::count(opinions.begin(), opinions.end(), 2), 0);
+  EXPECT_EQ(std::count(opinions.begin(), opinions.end(), 3), 7);
+}
+
+TEST(InitialConfig, CountsMustSumToN) {
+  Rng rng(4);
+  EXPECT_THROW(opinions_with_counts(10, 1, {3, 3}, rng), std::invalid_argument);
+}
+
+TEST(InitialConfig, BlocksAreContiguous) {
+  const auto opinions = block_opinions(6, 5, {2, 1, 3});
+  const std::vector<Opinion> expected{5, 5, 6, 7, 7, 7};
+  EXPECT_EQ(opinions, expected);
+}
+
+TEST(InitialConfig, TwoValueSplit) {
+  Rng rng(5);
+  const auto opinions = two_value_opinions(20, 0, 9, 6, rng);
+  EXPECT_EQ(std::count(opinions.begin(), opinions.end(), 9), 6);
+  EXPECT_EQ(std::count(opinions.begin(), opinions.end(), 0), 14);
+  EXPECT_THROW(two_value_opinions(5, 0, 1, 6, rng), std::invalid_argument);
+}
+
+TEST(InitialConfig, RampCyclesThroughRange) {
+  const auto opinions = ramp_opinions(7, 1, 3);
+  const std::vector<Opinion> expected{1, 2, 3, 1, 2, 3, 1};
+  EXPECT_EQ(opinions, expected);
+}
+
+TEST(InitialConfig, BinomialOpinionsShape) {
+  Rng rng(9);
+  const auto opinions = binomial_opinions(20000, 1, 9, 0.5, rng);
+  double mean = 0.0;
+  for (const Opinion o : opinions) {
+    ASSERT_GE(o, 1);
+    ASSERT_LE(o, 9);
+    mean += o;
+  }
+  mean /= opinions.size();
+  EXPECT_NEAR(mean, 5.0, 0.05);  // lo + p*(hi-lo) = 1 + 4
+  // The center outweighs the extremes heavily.
+  const auto count = [&](Opinion v) {
+    return std::count(opinions.begin(), opinions.end(), v);
+  };
+  EXPECT_GT(count(5), 10 * count(1));
+  EXPECT_THROW(binomial_opinions(10, 1, 5, 1.5, rng), std::invalid_argument);
+}
+
+TEST(InitialConfig, BinomialDegenerateP) {
+  Rng rng(10);
+  const auto all_low = binomial_opinions(50, 2, 7, 0.0, rng);
+  EXPECT_TRUE(std::all_of(all_low.begin(), all_low.end(),
+                          [](Opinion o) { return o == 2; }));
+  const auto all_high = binomial_opinions(50, 2, 7, 1.0, rng);
+  EXPECT_TRUE(std::all_of(all_high.begin(), all_high.end(),
+                          [](Opinion o) { return o == 7; }));
+}
+
+TEST(InitialConfig, PolarizedOpinions) {
+  Rng rng(11);
+  const auto opinions = polarized_opinions(20000, 1, 5, 0.7, 0.2, rng);
+  std::int64_t low_camp = 0;
+  for (const Opinion o : opinions) {
+    ASSERT_TRUE(o == 1 || o == 2 || o == 4 || o == 5);
+    low_camp += (o <= 2) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(low_camp) / opinions.size(), 0.7, 0.02);
+  const auto moderates = std::count_if(opinions.begin(), opinions.end(),
+                                       [](Opinion o) { return o == 2 || o == 4; });
+  EXPECT_NEAR(static_cast<double>(moderates) / opinions.size(), 0.2, 0.02);
+  EXPECT_THROW(polarized_opinions(10, 3, 3, 0.5, 0.1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(polarized_opinions(10, 1, 5, 1.5, 0.1, rng),
+               std::invalid_argument);
+}
+
+TEST(InitialConfig, OpinionsWithSumHitsTargetExactly) {
+  Rng rng(6);
+  for (const std::int64_t target : {100L, 250L, 499L}) {
+    const auto opinions = opinions_with_sum(100, 1, 5, target, rng);
+    const std::int64_t sum =
+        std::accumulate(opinions.begin(), opinions.end(), std::int64_t{0});
+    EXPECT_EQ(sum, target);
+    for (const Opinion o : opinions) {
+      EXPECT_GE(o, 1);
+      EXPECT_LE(o, 5);
+    }
+  }
+}
+
+TEST(InitialConfig, OpinionsWithSumBoundaryTargets) {
+  Rng rng(7);
+  const auto all_low = opinions_with_sum(10, 2, 6, 20, rng);
+  EXPECT_TRUE(std::all_of(all_low.begin(), all_low.end(),
+                          [](Opinion o) { return o == 2; }));
+  const auto all_high = opinions_with_sum(10, 2, 6, 60, rng);
+  EXPECT_TRUE(std::all_of(all_high.begin(), all_high.end(),
+                          [](Opinion o) { return o == 6; }));
+}
+
+TEST(InitialConfig, OpinionsWithSumRejectsUnreachableTargets) {
+  Rng rng(8);
+  EXPECT_THROW(opinions_with_sum(10, 1, 5, 9, rng), std::invalid_argument);
+  EXPECT_THROW(opinions_with_sum(10, 1, 5, 51, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace divlib

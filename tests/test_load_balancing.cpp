@@ -1,0 +1,108 @@
+#include "core/load_balancing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(LoadBalancing, ConservesTotalWeightExactly) {
+  const Graph g = make_complete(10);
+  Rng init_rng(1);
+  OpinionState state(g, uniform_random_opinions(10, 1, 9, init_rng));
+  const std::int64_t initial_sum = state.sum();
+  LoadBalancing process(g);
+  Rng rng(2);
+  for (int step = 0; step < 20000; ++step) {
+    process.step(state, rng);
+    ASSERT_EQ(state.sum(), initial_sum);
+  }
+}
+
+TEST(LoadBalancing, BalancedPairIsFixed) {
+  const Graph g = make_complete(2);
+  OpinionState state(g, {3, 3});
+  LoadBalancing process(g);
+  Rng rng(3);
+  for (int step = 0; step < 100; ++step) {
+    process.step(state, rng);
+    EXPECT_EQ(state.opinion(0), 3);
+    EXPECT_EQ(state.opinion(1), 3);
+  }
+}
+
+TEST(LoadBalancing, SplitsUnevenPairs) {
+  const Graph g = make_complete(2);
+  OpinionState state(g, {1, 8});
+  LoadBalancing process(g);
+  Rng rng(4);
+  process.step(state, rng);
+  const Opinion a = state.opinion(0);
+  const Opinion b = state.opinion(1);
+  EXPECT_EQ(a + b, 9);
+  EXPECT_LE(std::abs(a - b), 1);
+}
+
+TEST(LoadBalancing, ReachesThreeConsecutiveValues) {
+  // [5]: w.h.p. at most three consecutive values around the average remain
+  // after O(n log n + n log k) steps.
+  const Graph g = make_complete(32);
+  Rng init_rng(5);
+  OpinionState state(g, uniform_random_opinions(32, 1, 16, init_rng));
+  LoadBalancing process(g);
+  Rng rng(6);
+  for (int step = 0; step < 200000; ++step) {
+    process.step(state, rng);
+    if (state.max_active() - state.min_active() <= 2) {
+      break;
+    }
+  }
+  EXPECT_LE(state.max_active() - state.min_active(), 2);
+  // The surviving values bracket the exact average.
+  const double average = state.average();
+  EXPECT_GE(average, state.min_active());
+  EXPECT_LE(average, state.max_active());
+}
+
+TEST(LoadBalancing, NonIntegerAverageCannotReachConsensus) {
+  // Sum 7 over 2 vertices: consensus would need equal values summing to 7.
+  const Graph g = make_complete(2);
+  OpinionState state(g, {3, 4});
+  LoadBalancing process(g);
+  Rng rng(7);
+  for (int step = 0; step < 1000; ++step) {
+    process.step(state, rng);
+    EXPECT_FALSE(state.is_consensus());
+    EXPECT_TRUE(state.is_two_adjacent());
+  }
+}
+
+TEST(LoadBalancing, NegativeValuesRoundTowardMinusInfinity) {
+  const Graph g = make_complete(2);
+  OpinionState state(g, {-3, 0});
+  LoadBalancing process(g);
+  Rng rng(8);
+  process.step(state, rng);
+  // Total -3 splits as floor(-1.5), ceil(-1.5) = -2, -1.
+  const Opinion a = state.opinion(0);
+  const Opinion b = state.opinion(1);
+  EXPECT_EQ(a + b, -3);
+  EXPECT_EQ(std::min(a, b), -2);
+  EXPECT_EQ(std::max(a, b), -1);
+}
+
+TEST(LoadBalancing, RejectsEdgelessGraph) {
+  const Graph g(3, {});
+  EXPECT_THROW(LoadBalancing{g}, std::invalid_argument);
+}
+
+TEST(LoadBalancing, NameIsStable) {
+  const Graph g = make_cycle(3);
+  EXPECT_EQ(LoadBalancing(g).name(), "loadbalance/edge");
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,148 @@
+#include "core/mean_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/div_process.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "stats/summary.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(MeanField, ValidatesInput) {
+  EXPECT_THROW(MeanFieldDiv(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(MeanFieldDiv(std::vector<double>{0.5, -0.1}), std::invalid_argument);
+  EXPECT_THROW(MeanFieldDiv(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(MeanField, NormalizesOnConstruction) {
+  const MeanFieldDiv flow(std::vector<double>{2.0, 2.0});
+  EXPECT_DOUBLE_EQ(flow.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(flow.total_mass(), 1.0);
+}
+
+TEST(MeanField, DriftSumsToZero) {
+  const std::vector<double> x{0.3, 0.2, 0.1, 0.25, 0.15};
+  const auto dx = MeanFieldDiv::drift(x);
+  double total = 0.0;
+  for (const double value : dx) {
+    total += value;
+  }
+  EXPECT_NEAR(total, 0.0, 1e-15);
+}
+
+TEST(MeanField, DriftConservesTheMean) {
+  // d/dtau sum_i i x_i = 0: the fluid analogue of the Lemma 3 martingale.
+  const std::vector<double> x{0.4, 0.1, 0.1, 0.1, 0.3};
+  const auto dx = MeanFieldDiv::drift(x);
+  double mean_change = 0.0;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    mean_change += static_cast<double>(i + 1) * dx[i];
+  }
+  EXPECT_NEAR(mean_change, 0.0, 1e-15);
+}
+
+TEST(MeanField, ConsensusIsAFixedPoint) {
+  const std::vector<double> consensus{0.0, 1.0, 0.0};
+  for (const double d : MeanFieldDiv::drift(consensus)) {
+    EXPECT_DOUBLE_EQ(d, 0.0);
+  }
+}
+
+TEST(MeanField, TwoAdjacentMixIsAFixedPoint) {
+  // With support {i, i+1} every interaction between differing opinions moves
+  // the updater onto the observed value, i.e. +1/-1 flows cancel exactly.
+  const std::vector<double> mix{0.0, 0.6, 0.4, 0.0};
+  const auto dx = MeanFieldDiv::drift(mix);
+  for (const double d : dx) {
+    EXPECT_NEAR(d, 0.0, 1e-15);
+  }
+}
+
+TEST(MeanField, IntegrationConservesMassAndMean) {
+  MeanFieldDiv flow(std::vector<double>{0.25, 0.25, 0.0, 0.25, 0.25});
+  const double mean0 = flow.mean_opinion();
+  flow.integrate(25.0);
+  EXPECT_NEAR(flow.total_mass(), 1.0, 1e-9);
+  EXPECT_NEAR(flow.mean_opinion(), mean0, 1e-9);
+}
+
+TEST(MeanField, ExtremesContract) {
+  // Fractional mean (2.8): the flow converges exponentially to the
+  // two-adjacent mixture {2, 3}.  (With an exactly-integer mean the
+  // symmetric three-value state decays only algebraically, like 1/tau.)
+  MeanFieldDiv flow(std::vector<double>{0.4, 0.1, 0.1, 0.1, 0.3});
+  ASSERT_NEAR(flow.mean_opinion(), 2.8, 1e-12);
+  const double before = flow.extreme_mass();
+  flow.integrate(10.0);
+  const double after = flow.extreme_mass();
+  EXPECT_LT(after, before);
+  flow.integrate(90.0);
+  EXPECT_LT(flow.extreme_mass(), 0.005);
+  // The limit is the Lemma 5 mixture: x_2 = 0.2, x_3 = 0.8.
+  EXPECT_NEAR(flow.fraction(1), 0.2, 0.01);
+  EXPECT_NEAR(flow.fraction(2), 0.8, 0.01);
+}
+
+TEST(MeanField, IntegrationRejectsBadArguments) {
+  MeanFieldDiv flow(std::vector<double>{0.5, 0.5});
+  EXPECT_THROW(flow.integrate(-1.0), std::invalid_argument);
+  EXPECT_THROW(flow.integrate(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(MeanField, MatchesSimulatedTrajectoryOnCompleteGraph) {
+  // Simulate K_n DIV and compare x_1(tau) (fraction at the minimum opinion)
+  // against the fluid limit at a handful of checkpoints.
+  const VertexId n = 400;
+  const Graph g = make_complete(n);
+  constexpr int kOpinions = 5;
+  constexpr int kReplicas = 60;
+  const double taus[] = {1.0, 2.0, 4.0};
+
+  // Fluid prediction from the exactly-uniform start.
+  std::vector<double> predicted;
+  {
+    MeanFieldDiv flow(std::vector<double>(kOpinions, 1.0 / kOpinions));
+    double current = 0.0;
+    for (const double tau : taus) {
+      flow.integrate(tau - current);
+      current = tau;
+      predicted.push_back(flow.fraction(0));
+    }
+  }
+
+  // Simulated averages.
+  const auto trajectories = run_replicas<std::vector<double>>(
+      kReplicas,
+      [&g, n, &taus](std::size_t, Rng& rng) {
+        std::vector<VertexId> counts(kOpinions, n / kOpinions);
+        OpinionState state(g, opinions_with_counts(n, 1, counts, rng));
+        DivProcess process(g, SelectionScheme::kVertex);
+        std::vector<double> values;
+        std::uint64_t step = 0;
+        for (const double tau : taus) {
+          const auto until = static_cast<std::uint64_t>(tau * n);
+          for (; step < until; ++step) {
+            process.step(state, rng);
+          }
+          values.push_back(static_cast<double>(state.count(1)) / n);
+        }
+        return values;
+      },
+      {.master_seed = 77});
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    Summary s;
+    for (const auto& trajectory : trajectories) {
+      s.add(trajectory[i]);
+    }
+    EXPECT_NEAR(s.mean(), predicted[i], 0.02)
+        << "tau = " << taus[i] << " (fluid limit vs simulation)";
+  }
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,98 @@
+#include "core/median_voting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(MedianVoting, Median3AllOrderings) {
+  EXPECT_EQ(MedianVoting::median3(1, 2, 3), 2);
+  EXPECT_EQ(MedianVoting::median3(3, 2, 1), 2);
+  EXPECT_EQ(MedianVoting::median3(2, 3, 1), 2);
+  EXPECT_EQ(MedianVoting::median3(2, 1, 3), 2);
+  EXPECT_EQ(MedianVoting::median3(1, 3, 2), 2);
+  EXPECT_EQ(MedianVoting::median3(3, 1, 2), 2);
+}
+
+TEST(MedianVoting, Median3WithTies) {
+  EXPECT_EQ(MedianVoting::median3(5, 5, 5), 5);
+  EXPECT_EQ(MedianVoting::median3(1, 1, 9), 1);
+  EXPECT_EQ(MedianVoting::median3(9, 1, 9), 9);
+  EXPECT_EQ(MedianVoting::median3(-4, -4, 0), -4);
+}
+
+TEST(MedianVoting, NameIsStable) {
+  const Graph g = make_cycle(4);
+  EXPECT_EQ(MedianVoting(g).name(), "median/vertex");
+}
+
+TEST(MedianVoting, RejectsIsolatedVertices) {
+  const Graph g(3, {{0, 1}});
+  EXPECT_THROW(MedianVoting{g}, std::invalid_argument);
+}
+
+TEST(MedianVoting, OnlyExistingValuesAppear) {
+  const Graph g = make_complete(8);
+  Rng init_rng(1);
+  OpinionState state(g, uniform_random_opinions(8, 1, 7, init_rng));
+  MedianVoting process(g);
+  Rng rng(2);
+  for (int step = 0; step < 5000 && !state.is_consensus(); ++step) {
+    process.step(state, rng);
+    // Median of existing values is always within the active range.
+    EXPECT_GE(state.min_active(), 1);
+    EXPECT_LE(state.max_active(), 7);
+  }
+}
+
+TEST(MedianVoting, ReachesConsensusOnCompleteGraph) {
+  const Graph g = make_complete(16);
+  Rng init_rng(3);
+  OpinionState state(g, uniform_random_opinions(16, 1, 5, init_rng));
+  MedianVoting process(g);
+  Rng rng(4);
+  RunOptions options;
+  options.max_steps = 2'000'000;
+  const RunResult result = run(process, state, rng, options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.winner.has_value());
+}
+
+TEST(MedianVoting, ConvergesNearTheMedianOnCompleteGraph) {
+  // Doerr et al.: consensus within O(sqrt(n log n)) ranks of the median.
+  // Skewed configuration: median 2, mean noticeably higher.
+  const Graph g = make_complete(90);
+  constexpr int kReplicas = 300;
+  const auto winners = run_replicas<Opinion>(
+      kReplicas,
+      [&g](std::size_t, Rng& rng) {
+        // 30x1, 30x2, 30x30: median 2, mean 11.
+        OpinionState state(
+            g, opinions_with_counts(90, 1, {30, 30, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                                            0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                                            0, 0, 0, 0, 0, 0, 30},
+                                    rng));
+        MedianVoting process(g);
+        RunOptions options;
+        options.max_steps = 5'000'000;
+        const RunResult result = run(process, state, rng, options);
+        return result.winner.value_or(-1);
+      },
+      {.master_seed = 44});
+  int near_median = 0;
+  for (const Opinion w : winners) {
+    if (w >= 1 && w <= 2) {
+      ++near_median;
+    }
+  }
+  // The winner should be pinned at the median side, far from the mean (11).
+  EXPECT_GT(near_median, kReplicas * 9 / 10);
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,92 @@
+#include "engine/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace divlib {
+namespace {
+
+TEST(MonteCarlo, ResolveThreadCountHonorsExplicitValue) {
+  EXPECT_EQ(resolve_thread_count({.num_threads = 3}), 3u);
+  EXPECT_GE(resolve_thread_count({.num_threads = 0}), 1u);
+}
+
+TEST(MonteCarlo, RunsEveryReplicaExactlyOnce) {
+  std::atomic<int> calls{0};
+  std::vector<std::atomic<int>> per_replica(100);
+  run_replicas_erased(
+      100,
+      [&](std::size_t replica, Rng&) {
+        ++calls;
+        ++per_replica[replica];
+      },
+      {.master_seed = 1, .num_threads = 4});
+  EXPECT_EQ(calls.load(), 100);
+  for (const auto& count : per_replica) {
+    EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(MonteCarlo, ZeroReplicasIsNoop) {
+  int calls = 0;
+  run_replicas_erased(0, [&](std::size_t, Rng&) { ++calls; }, {});
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(MonteCarlo, ResultsAreDeterministicAcrossThreadCounts) {
+  const auto collect = [](unsigned threads) {
+    return run_replicas<std::uint64_t>(
+        64, [](std::size_t, Rng& rng) { return rng.next(); },
+        {.master_seed = 99, .num_threads = threads});
+  };
+  const auto serial = collect(1);
+  const auto parallel = collect(8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(MonteCarlo, ReplicasReceiveIndependentStreams) {
+  const auto values = run_replicas<std::uint64_t>(
+      256, [](std::size_t, Rng& rng) { return rng.next(); },
+      {.master_seed = 7, .num_threads = 4});
+  const std::set<std::uint64_t> unique(values.begin(), values.end());
+  EXPECT_EQ(unique.size(), values.size());
+}
+
+TEST(MonteCarlo, MasterSeedChangesAllStreams) {
+  const auto a = run_replicas<std::uint64_t>(
+      16, [](std::size_t, Rng& rng) { return rng.next(); }, {.master_seed = 1});
+  const auto b = run_replicas<std::uint64_t>(
+      16, [](std::size_t, Rng& rng) { return rng.next(); }, {.master_seed = 2});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NE(a[i], b[i]);
+  }
+}
+
+TEST(MonteCarlo, ExceptionsPropagateToCaller) {
+  EXPECT_THROW(
+      run_replicas_erased(
+          16,
+          [](std::size_t replica, Rng&) {
+            if (replica == 7) {
+              throw std::runtime_error("boom");
+            }
+          },
+          {.master_seed = 5, .num_threads = 4}),
+      std::runtime_error);
+}
+
+TEST(MonteCarlo, TypedWrapperPreservesReplicaOrder) {
+  const auto values = run_replicas<std::size_t>(
+      50, [](std::size_t replica, Rng&) { return replica * 2; },
+      {.master_seed = 3, .num_threads = 8});
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], i * 2);
+  }
+}
+
+}  // namespace
+}  // namespace divlib

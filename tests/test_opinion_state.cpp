@@ -1,0 +1,159 @@
+#include "core/opinion_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(OpinionState, InitialAggregates) {
+  const Graph g = make_cycle(5);
+  OpinionState state(g, {1, 2, 3, 2, 2});
+  EXPECT_EQ(state.range_lo(), 1);
+  EXPECT_EQ(state.range_hi(), 3);
+  EXPECT_EQ(state.min_active(), 1);
+  EXPECT_EQ(state.max_active(), 3);
+  EXPECT_EQ(state.num_active(), 3);
+  EXPECT_EQ(state.count(1), 1);
+  EXPECT_EQ(state.count(2), 3);
+  EXPECT_EQ(state.count(3), 1);
+  EXPECT_EQ(state.count(0), 0);
+  EXPECT_EQ(state.count(99), 0);
+  EXPECT_EQ(state.sum(), 10);
+  EXPECT_DOUBLE_EQ(state.average(), 2.0);
+  EXPECT_FALSE(state.is_consensus());
+  EXPECT_FALSE(state.is_two_adjacent());
+}
+
+TEST(OpinionState, RejectsSizeMismatchAndEmpty) {
+  const Graph g = make_cycle(5);
+  EXPECT_THROW(OpinionState(g, {1, 2}), std::invalid_argument);
+  const Graph empty;
+  EXPECT_THROW(OpinionState(empty, {}), std::invalid_argument);
+}
+
+TEST(OpinionState, RegularGraphWeightsCoincide) {
+  // Remark 1: on regular graphs Z(t) = S(t).
+  const Graph g = make_cycle(6);
+  OpinionState state(g, {1, 5, 2, 4, 3, 3});
+  EXPECT_DOUBLE_EQ(state.z_total(), static_cast<double>(state.sum()));
+  EXPECT_DOUBLE_EQ(state.weighted_average(), state.average());
+}
+
+TEST(OpinionState, DegreeWeightedAggregatesOnStar) {
+  // Star: center degree 4, leaves degree 1; 2m = 8.
+  const Graph g = make_star(5);
+  OpinionState state(g, {10, 0, 0, 0, 0});  // center holds 10
+  // Z = n * pi-weighted sum = 5 * (4/8)*10 = 25; S = 10.
+  EXPECT_EQ(state.sum(), 10);
+  EXPECT_DOUBLE_EQ(state.z_total(), 25.0);
+  EXPECT_EQ(state.degree_weighted_sum(), 40);
+  EXPECT_DOUBLE_EQ(state.pi_mass(10), 0.5);
+  EXPECT_DOUBLE_EQ(state.pi_mass(0), 0.5);
+}
+
+TEST(OpinionState, SetUpdatesAllAggregates) {
+  const Graph g = make_cycle(4);
+  OpinionState state(g, {1, 1, 3, 3});
+  state.set(0, 2);
+  EXPECT_EQ(state.count(1), 1);
+  EXPECT_EQ(state.count(2), 1);
+  EXPECT_EQ(state.sum(), 9);
+  EXPECT_EQ(state.num_active(), 3);
+  EXPECT_EQ(state.min_active(), 1);
+  state.set(1, 2);
+  EXPECT_EQ(state.count(1), 0);
+  EXPECT_EQ(state.min_active(), 2);
+  EXPECT_EQ(state.num_active(), 2);
+  EXPECT_TRUE(state.is_two_adjacent());
+}
+
+TEST(OpinionState, SetToSameValueIsNoop) {
+  const Graph g = make_cycle(4);
+  OpinionState state(g, {1, 2, 2, 3});
+  state.set(1, 2);
+  EXPECT_EQ(state.count(2), 2);
+  EXPECT_EQ(state.sum(), 8);
+}
+
+TEST(OpinionState, SetRejectsOutOfRangeValues) {
+  const Graph g = make_cycle(4);
+  OpinionState state(g, {1, 2, 2, 3});
+  EXPECT_THROW(state.set(0, 0), std::out_of_range);
+  EXPECT_THROW(state.set(0, 4), std::out_of_range);
+}
+
+TEST(OpinionState, MaxActiveRetreatsOverGaps) {
+  const Graph g = make_cycle(5);
+  OpinionState state(g, {1, 1, 1, 1, 5});
+  EXPECT_EQ(state.max_active(), 5);
+  EXPECT_EQ(state.num_active(), 2);
+  state.set(4, 4);  // 5 vanishes; 4 becomes the max
+  EXPECT_EQ(state.max_active(), 4);
+  state.set(4, 1);  // direct jump (pull voting semantics)
+  EXPECT_EQ(state.max_active(), 1);
+  EXPECT_TRUE(state.is_consensus());
+  EXPECT_EQ(state.num_active(), 1);
+}
+
+TEST(OpinionState, MinActiveAdvancesOverGaps) {
+  const Graph g = make_cycle(5);
+  OpinionState state(g, {1, 3, 3, 3, 5});
+  state.set(0, 3);
+  EXPECT_EQ(state.min_active(), 3);
+  EXPECT_EQ(state.max_active(), 5);
+}
+
+TEST(OpinionState, ReappearingMiddleValueTracked) {
+  // The paper notes intermediate values may vanish then reappear.
+  const Graph g = make_cycle(4);
+  OpinionState state(g, {1, 2, 3, 3});
+  state.set(1, 3);  // 2 vanishes
+  EXPECT_EQ(state.count(2), 0);
+  EXPECT_EQ(state.num_active(), 2);
+  state.set(2, 2);  // 2 reappears
+  EXPECT_EQ(state.count(2), 1);
+  EXPECT_EQ(state.num_active(), 3);
+  EXPECT_EQ(state.min_active(), 1);
+}
+
+TEST(OpinionState, ConsensusDetection) {
+  const Graph g = make_cycle(3);
+  OpinionState state(g, {2, 2, 2});
+  EXPECT_TRUE(state.is_consensus());
+  EXPECT_TRUE(state.is_two_adjacent());
+  EXPECT_EQ(state.min_active(), 2);
+  EXPECT_EQ(state.max_active(), 2);
+}
+
+TEST(OpinionState, NegativeOpinionRangesWork) {
+  const Graph g = make_cycle(4);
+  OpinionState state(g, {-2, -1, 0, 1});
+  EXPECT_EQ(state.range_lo(), -2);
+  EXPECT_EQ(state.sum(), -2);
+  state.set(0, -1);
+  EXPECT_EQ(state.min_active(), -1);
+}
+
+TEST(OpinionState, ExtremeMassProduct) {
+  const Graph g = make_cycle(4);  // all degrees 2, 2m = 8
+  OpinionState state(g, {1, 1, 2, 3});
+  // pi(A_1) = 4/8, pi(A_3) = 2/8.
+  EXPECT_DOUBLE_EQ(state.extreme_mass_product(), 0.5 * 0.25);
+}
+
+TEST(OpinionState, PiMassesSumToOne) {
+  const Graph g = make_star(6);
+  OpinionState state(g, {1, 2, 3, 1, 2, 3});
+  double total = 0.0;
+  for (Opinion i = state.range_lo(); i <= state.range_hi(); ++i) {
+    total += state.pi_mass(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace divlib

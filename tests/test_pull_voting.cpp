@@ -1,0 +1,125 @@
+#include "core/pull_voting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/theory.hpp"
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(PullVoting, NameEncodesScheme) {
+  const Graph g = make_cycle(4);
+  EXPECT_EQ(PullVoting(g, SelectionScheme::kVertex).name(), "pull/vertex");
+  EXPECT_EQ(PullVoting(g, SelectionScheme::kEdge).name(), "pull/edge");
+}
+
+TEST(PullVoting, StepCopiesNeighborOpinion) {
+  const Graph g = make_complete(3);
+  OpinionState state(g, {1, 5, 9});
+  PullVoting process(g, SelectionScheme::kVertex);
+  Rng rng(1);
+  process.step(state, rng);
+  // After one step exactly one vertex holds another's previous opinion.
+  int matches = 0;
+  for (VertexId v = 0; v < 3; ++v) {
+    const Opinion o = state.opinion(v);
+    matches += (o == 1) + (o == 5) + (o == 9);
+  }
+  EXPECT_EQ(matches, 3);  // all opinions still from the original set
+}
+
+TEST(PullVoting, OnlyExistingOpinionsEverAppear) {
+  const Graph g = make_complete(6);
+  OpinionState state(g, {1, 1, 4, 4, 9, 9});
+  PullVoting process(g, SelectionScheme::kEdge);
+  Rng rng(2);
+  for (int step = 0; step < 5000; ++step) {
+    process.step(state, rng);
+    for (VertexId v = 0; v < 6; ++v) {
+      const Opinion o = state.opinion(v);
+      EXPECT_TRUE(o == 1 || o == 4 || o == 9);
+    }
+    if (state.is_consensus()) {
+      break;
+    }
+  }
+}
+
+TEST(PullVoting, ReachesConsensusOnCompleteGraph) {
+  const Graph g = make_complete(8);
+  Rng init_rng(3);
+  OpinionState state(g, uniform_random_opinions(8, 1, 3, init_rng));
+  PullVoting process(g, SelectionScheme::kVertex);
+  Rng rng(4);
+  RunOptions options;
+  options.max_steps = 1'000'000;
+  const RunResult result = run(process, state, rng, options);
+  EXPECT_TRUE(result.completed);
+  ASSERT_TRUE(result.winner.has_value());
+}
+
+TEST(PullVoting, TwoOpinionEdgeProcessWinProbabilityMatchesEq3) {
+  // Eq. (3): P(1 wins) = N_1/n under the edge process, on any graph.
+  // Star graph, 2 of 6 vertices hold opinion 1 -> 1/3.
+  const Graph g = make_star(6);
+  constexpr int kReplicas = 4000;
+  const auto wins = run_replicas<int>(
+      kReplicas,
+      [&g](std::size_t, Rng& rng) {
+        OpinionState state(g, two_value_opinions(6, 0, 1, 2, rng));
+        PullVoting process(g, SelectionScheme::kEdge);
+        RunOptions options;
+        options.max_steps = 1'000'000;
+        const RunResult result = run(process, state, rng, options);
+        return result.winner.value_or(-1) == 1 ? 1 : 0;
+      },
+      {.master_seed = 42});
+  int total = 0;
+  for (const int w : wins) {
+    total += w;
+  }
+  const double frequency = static_cast<double>(total) / kReplicas;
+  EXPECT_NEAR(frequency, 2.0 / 6.0, 0.025);
+}
+
+TEST(PullVoting, TwoOpinionVertexProcessIsDegreeWeighted) {
+  // Eq. (3): P(1 wins) = d(A_1)/2m under the vertex process.  Put opinion 1
+  // on the star center only: d(A_1)/2m = 1/2 even though N_1/n = 1/6.
+  const Graph g = make_star(6);
+  constexpr int kReplicas = 4000;
+  const auto wins = run_replicas<int>(
+      kReplicas,
+      [&g](std::size_t, Rng& rng) {
+        std::vector<Opinion> opinions(6, 0);
+        opinions[0] = 1;
+        OpinionState state(g, std::move(opinions));
+        PullVoting process(g, SelectionScheme::kVertex);
+        RunOptions options;
+        options.max_steps = 1'000'000;
+        const RunResult result = run(process, state, rng, options);
+        return result.winner.value_or(-1) == 1 ? 1 : 0;
+      },
+      {.master_seed = 43});
+  int total = 0;
+  for (const int w : wins) {
+    total += w;
+  }
+  const double frequency = static_cast<double>(total) / kReplicas;
+  EXPECT_NEAR(frequency, 0.5, 0.03);
+}
+
+TEST(PullVoting, TheoryHelpersAgreeWithState) {
+  const Graph g = make_star(6);
+  std::vector<Opinion> opinions(6, 0);
+  opinions[0] = 1;
+  const OpinionState state(g, std::move(opinions));
+  EXPECT_DOUBLE_EQ(theory::pull_win_probability_edge(state, 1), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(theory::pull_win_probability_vertex(state, 1), 0.5);
+}
+
+}  // namespace
+}  // namespace divlib

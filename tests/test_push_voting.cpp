@@ -1,0 +1,114 @@
+#include "core/push_voting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(PushVoting, NameEncodesScheme) {
+  const Graph g = make_cycle(4);
+  EXPECT_EQ(PushVoting(g, SelectionScheme::kVertex).name(), "push/vertex");
+  EXPECT_EQ(PushVoting(g, SelectionScheme::kEdge).name(), "push/edge");
+}
+
+TEST(PushVoting, StepOverwritesTheNeighborNotTheSelector) {
+  // Star with distinct values: when the center pushes, a leaf changes; the
+  // center itself never changes its own opinion in a step it initiates.
+  const Graph g = make_star(4);
+  OpinionState state(g, {9, 1, 2, 3});
+  PushVoting process(g, SelectionScheme::kVertex);
+  Rng rng(1);
+  for (int step = 0; step < 200; ++step) {
+    const Opinion center_before = state.opinion(0);
+    process.step(state, rng);
+    // The center only changes when a leaf pushes 1/2/3 onto it; it can
+    // never acquire a value outside the original set.
+    const Opinion center_after = state.opinion(0);
+    EXPECT_TRUE(center_after == center_before || center_after == 1 ||
+                center_after == 2 || center_after == 3);
+  }
+}
+
+TEST(PushVoting, ConsensusIsAbsorbingAndReached) {
+  const Graph g = make_complete(10);
+  Rng init_rng(2);
+  OpinionState state(g, uniform_random_opinions(10, 1, 3, init_rng));
+  PushVoting process(g, SelectionScheme::kEdge);
+  Rng rng(3);
+  RunOptions options;
+  options.max_steps = 1'000'000;
+  const RunResult result = run(process, state, rng, options);
+  ASSERT_TRUE(result.completed);
+  process.step(state, rng);
+  EXPECT_TRUE(state.is_consensus());
+}
+
+TEST(PushVoting, EdgeProcessEquivalentToPullEdgeProcess) {
+  // Under the edge process, "uniform edge + uniform endpoint is the sender"
+  // is the same distribution as "uniform edge + uniform endpoint is the
+  // receiver", so push/edge coincides with pull/edge and eq. (3) applies:
+  // P(1 wins) = N_1/n.  Opinion 1 on the star center -> 1/8.
+  const Graph g = make_star(8);
+  constexpr int kReplicas = 3000;
+  const auto wins = run_replicas<int>(
+      kReplicas,
+      [&g](std::size_t, Rng& rng) {
+        std::vector<Opinion> opinions(8, 0);
+        opinions[0] = 1;
+        OpinionState state(g, std::move(opinions));
+        PushVoting process(g, SelectionScheme::kEdge);
+        RunOptions options;
+        options.max_steps = 1'000'000;
+        const RunResult result = run(process, state, rng, options);
+        return result.winner.value_or(-1) == 1 ? 1 : 0;
+      },
+      {.master_seed = 11});
+  int total = 0;
+  for (const int w : wins) {
+    total += w;
+  }
+  const double frequency = static_cast<double>(total) / kReplicas;
+  EXPECT_NEAR(frequency, 1.0 / 8.0, 0.02);
+}
+
+TEST(PushVoting, VertexProcessPenalizesHighDegreeSenders) {
+  // Under the vertex process the star center is overwritten at rate ~1 per
+  // step (every leaf pushes onto it) but only pushes out at rate 1/n, so
+  // its opinion wins far LESS often than even its count share -- the
+  // opposite degree bias to pull voting's d(A_1)/2m = 1/2.
+  const Graph g = make_star(8);
+  constexpr int kReplicas = 3000;
+  const auto wins = run_replicas<int>(
+      kReplicas,
+      [&g](std::size_t, Rng& rng) {
+        std::vector<Opinion> opinions(8, 0);
+        opinions[0] = 1;
+        OpinionState state(g, std::move(opinions));
+        PushVoting process(g, SelectionScheme::kVertex);
+        RunOptions options;
+        options.max_steps = 1'000'000;
+        const RunResult result = run(process, state, rng, options);
+        return result.winner.value_or(-1) == 1 ? 1 : 0;
+      },
+      {.master_seed = 12});
+  int total = 0;
+  for (const int w : wins) {
+    total += w;
+  }
+  const double frequency = static_cast<double>(total) / kReplicas;
+  EXPECT_LT(frequency, 0.06);
+}
+
+TEST(PushVoting, RejectsUnusableGraphs) {
+  const Graph isolated(3, {{0, 1}});
+  EXPECT_THROW(PushVoting(isolated, SelectionScheme::kVertex),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace divlib

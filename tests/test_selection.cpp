@@ -1,0 +1,106 @@
+#include "core/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(Selection, SchemesHaveNames) {
+  EXPECT_EQ(to_string(SelectionScheme::kVertex), "vertex");
+  EXPECT_EQ(to_string(SelectionScheme::kEdge), "edge");
+}
+
+TEST(Selection, PairsAreAlwaysAdjacent) {
+  const Graph g = make_barbell(4);
+  Rng rng(1);
+  for (const auto scheme : {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    for (int i = 0; i < 5000; ++i) {
+      const SelectedPair pair = select_pair(g, scheme, rng);
+      EXPECT_TRUE(g.has_edge(pair.updater, pair.observed));
+      EXPECT_NE(pair.updater, pair.observed);
+    }
+  }
+}
+
+TEST(Selection, VertexSchemeUpdaterIsUniform) {
+  // Star: vertex scheme picks the updater uniformly, so the center is the
+  // updater with probability 1/n.
+  const Graph g = make_star(5);
+  Rng rng(2);
+  constexpr int kSamples = 100000;
+  int center_updates = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    center_updates +=
+        select_pair(g, SelectionScheme::kVertex, rng).updater == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(center_updates) / kSamples, 0.2, 0.01);
+}
+
+TEST(Selection, EdgeSchemeUpdaterIsDegreeBiased) {
+  // Star with n=5: center degree 4 of 2m=8, so the center is the updater
+  // with probability 1/2 under the edge scheme.
+  const Graph g = make_star(5);
+  Rng rng(3);
+  constexpr int kSamples = 100000;
+  int center_updates = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    center_updates +=
+        select_pair(g, SelectionScheme::kEdge, rng).updater == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(center_updates) / kSamples, 0.5, 0.01);
+}
+
+TEST(Selection, VertexSchemeMatchesEquationTwo) {
+  // P(v chooses w) = 1/(n d(v)) on an irregular graph.
+  const Graph g(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  Rng rng(4);
+  constexpr int kSamples = 400000;
+  std::map<std::pair<VertexId, VertexId>, int> counts;
+  for (int i = 0; i < kSamples; ++i) {
+    const SelectedPair pair = select_pair(g, SelectionScheme::kVertex, rng);
+    ++counts[{pair.updater, pair.observed}];
+  }
+  for (const auto& [pair, count] : counts) {
+    const double expected = 1.0 / (4.0 * g.degree(pair.first));
+    EXPECT_NEAR(static_cast<double>(count) / kSamples, expected, 0.005)
+        << pair.first << "->" << pair.second;
+  }
+}
+
+TEST(Selection, EdgeSchemeMatchesOneOverTwoM) {
+  const Graph g(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  Rng rng(5);
+  constexpr int kSamples = 400000;
+  std::map<std::pair<VertexId, VertexId>, int> counts;
+  for (int i = 0; i < kSamples; ++i) {
+    const SelectedPair pair = select_pair(g, SelectionScheme::kEdge, rng);
+    ++counts[{pair.updater, pair.observed}];
+  }
+  EXPECT_EQ(counts.size(), 8u);  // each edge in both orientations
+  for (const auto& [pair, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / kSamples, 1.0 / 8.0, 0.005)
+        << pair.first << "->" << pair.second;
+  }
+}
+
+TEST(Selection, ValidationCatchesDegenerateGraphs) {
+  const Graph empty;
+  EXPECT_THROW(validate_for_selection(empty, SelectionScheme::kVertex),
+               std::invalid_argument);
+  const Graph edgeless(3, {});
+  EXPECT_THROW(validate_for_selection(edgeless, SelectionScheme::kEdge),
+               std::invalid_argument);
+  const Graph isolated(3, {{0, 1}});
+  EXPECT_THROW(validate_for_selection(isolated, SelectionScheme::kVertex),
+               std::invalid_argument);
+  // Edge scheme tolerates isolated vertices (they are simply never chosen).
+  EXPECT_NO_THROW(validate_for_selection(isolated, SelectionScheme::kEdge));
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,72 @@
+#include "engine/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/div_process.hpp"
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(Snapshot, RoundTripsStateExactly) {
+  const Graph g = make_barbell(5);
+  Rng rng(1);
+  const OpinionState state(
+      g, uniform_random_opinions(g.num_vertices(), -2, 7, rng));
+  const Snapshot snapshot = snapshot_from_string(to_snapshot(state));
+  EXPECT_EQ(snapshot.graph.num_vertices(), g.num_vertices());
+  EXPECT_EQ(snapshot.graph.num_edges(), g.num_edges());
+  const OpinionState restored = snapshot.restore();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(restored.opinion(v), state.opinion(v));
+  }
+  EXPECT_EQ(restored.sum(), state.sum());
+  EXPECT_EQ(restored.degree_weighted_sum(), state.degree_weighted_sum());
+  EXPECT_EQ(restored.min_active(), state.min_active());
+  EXPECT_EQ(restored.max_active(), state.max_active());
+}
+
+TEST(Snapshot, RejectsMalformedInput) {
+  EXPECT_THROW(snapshot_from_string(""), std::invalid_argument);
+  EXPECT_THROW(snapshot_from_string("divsnapshot 2\nn 1\nopinions 1\n3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(snapshot_from_string("divsnapshot 1\nn 2\n0 1\n"),
+               std::invalid_argument);  // missing opinions section
+  EXPECT_THROW(
+      snapshot_from_string("divsnapshot 1\nn 2\n0 1\nopinions 3\n1\n2\n3\n"),
+      std::invalid_argument);  // count mismatch
+  EXPECT_THROW(
+      snapshot_from_string("divsnapshot 1\nn 2\n0 1\nopinions 2\n1\n"),
+      std::invalid_argument);  // truncated
+}
+
+TEST(Snapshot, ResumedRunContinuesCorrectly) {
+  // Run to the two-adjacent stage, checkpoint, restore, and finish: the
+  // restored state's final stage behaves like the original (winner within
+  // the surviving pair).
+  const Graph g = make_complete(24);
+  Rng rng(2);
+  OpinionState state(g, uniform_random_opinions(24, 1, 6, rng));
+  DivProcess process(g, SelectionScheme::kEdge);
+  RunOptions options;
+  options.stop = StopKind::kTwoAdjacent;
+  options.max_steps = 10'000'000;
+  ASSERT_TRUE(run(process, state, rng, options).completed);
+
+  const Snapshot snapshot = snapshot_from_string(to_snapshot(state));
+  OpinionState resumed = snapshot.restore();
+  const Opinion lo = resumed.min_active();
+  const Opinion hi = resumed.max_active();
+  DivProcess resumed_process(snapshot.graph, SelectionScheme::kEdge);
+  options.stop = StopKind::kConsensus;
+  Rng rng2(3);
+  const RunResult result = run(resumed_process, resumed, rng2, options);
+  ASSERT_TRUE(result.completed);
+  EXPECT_GE(*result.winner, lo);
+  EXPECT_LE(*result.winner, hi);
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+#include "spectral/dense_matrix.hpp"
+#include "spectral/jacobi.hpp"
+#include "spectral/lambda.hpp"
+#include "spectral/power_iteration.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(DenseMatrix, StoresAndMultiplies) {
+  DenseMatrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 3.0;
+  m.at(1, 1) = 4.0;
+  const auto y = m.multiply({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_FALSE(m.is_symmetric());
+}
+
+TEST(DenseMatrix, NormalizedAdjacencyIsSymmetric) {
+  const Graph g = make_star(5);
+  const DenseMatrix n = normalized_adjacency(g);
+  EXPECT_TRUE(n.is_symmetric());
+  // Star entries: 1/sqrt(4 * 1) = 0.5 between center and leaves.
+  EXPECT_DOUBLE_EQ(n.at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(n.at(1, 2), 0.0);
+}
+
+TEST(DenseMatrix, TransitionMatrixRowsSumToOne) {
+  const Graph g = make_path(4);
+  const DenseMatrix p = transition_matrix(g);
+  for (std::size_t r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      sum += p.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(DenseMatrix, RejectsIsolatedVertices) {
+  const Graph g(3, {{0, 1}});
+  EXPECT_THROW(normalized_adjacency(g), std::invalid_argument);
+  EXPECT_THROW(transition_matrix(g), std::invalid_argument);
+}
+
+TEST(Jacobi, DiagonalMatrixEigenvalues) {
+  DenseMatrix m(3, 3);
+  m.at(0, 0) = 3.0;
+  m.at(1, 1) = -1.0;
+  m.at(2, 2) = 2.0;
+  const auto eig = jacobi_eigenvalues(m);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig[2], -1.0, 1e-12);
+}
+
+TEST(Jacobi, TwoByTwoKnownSpectrum) {
+  DenseMatrix m(2, 2);
+  m.at(0, 0) = 2.0;
+  m.at(0, 1) = 1.0;
+  m.at(1, 0) = 1.0;
+  m.at(1, 1) = 2.0;
+  const auto eig = jacobi_eigenvalues(m);
+  EXPECT_NEAR(eig[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig[1], 1.0, 1e-12);
+}
+
+TEST(Jacobi, RejectsAsymmetricInput) {
+  DenseMatrix m(2, 2);
+  m.at(0, 1) = 1.0;
+  EXPECT_THROW(jacobi_eigenvalues(m), std::invalid_argument);
+}
+
+TEST(Jacobi, WalkSpectrumTopEigenvalueIsOne) {
+  for (const Graph& g : {make_complete(8), make_cycle(9), make_path(10)}) {
+    const auto spectrum = walk_spectrum(g);
+    EXPECT_NEAR(spectrum.front(), 1.0, 1e-9) << g.summary();
+    for (const double value : spectrum) {
+      EXPECT_LE(value, 1.0 + 1e-9);
+      EXPECT_GE(value, -1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(Lambda, CompleteGraphMatchesClosedForm) {
+  for (const VertexId n : {4u, 8u, 16u, 32u}) {
+    const Graph g = make_complete(n);
+    EXPECT_NEAR(second_eigenvalue(g), lambda_complete(n), 1e-9) << n;
+  }
+}
+
+TEST(Lambda, CycleMatchesCosineFormula) {
+  // Odd cycle C_9: eigenvalues cos(2 pi j / 9); the largest in absolute value
+  // below 1 is |cos(8 pi / 9)| = cos(pi / 9).
+  const Graph g = make_cycle(9);
+  EXPECT_NEAR(second_eigenvalue(g), std::cos(std::numbers::pi / 9.0), 1e-9);
+  EXPECT_NEAR(lambda_cycle_exact(9), std::cos(std::numbers::pi / 9.0), 1e-12);
+}
+
+TEST(Lambda, BipartiteGraphsHaveLambdaOne) {
+  // Even cycles and stars are bipartite: lambda_n = -1.
+  EXPECT_NEAR(second_eigenvalue(make_cycle(8)), 1.0, 1e-9);
+  EXPECT_NEAR(second_eigenvalue(make_star(10)), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(lambda_cycle_exact(8), 1.0);
+}
+
+TEST(Lambda, PathIsBipartiteSoMaxAbsIsOne) {
+  // Paths are bipartite: lambda_n = -1 exactly, so max-abs lambda = 1.
+  EXPECT_NEAR(second_eigenvalue(make_path(16)), 1.0, 1e-9);
+}
+
+TEST(Lambda, PathSecondEigenvalueApproachesOne) {
+  // The paper's "lambda = 1 - O(1/n^2)" statement concerns the spectral gap;
+  // lambda_2 of the path walk is cos(pi/(n-1)).
+  const double l16 = walk_spectrum(make_path(16))[1];
+  const double l64 = walk_spectrum(make_path(64))[1];
+  EXPECT_LT(l16, l64);
+  EXPECT_LT(l64, 1.0);
+  EXPECT_GT(l64, 0.99);
+  EXPECT_NEAR(l64, lambda_path_guide(64), 5e-3);
+  EXPECT_NEAR(l16, std::cos(std::numbers::pi / 15.0), 1e-9);
+}
+
+TEST(Lambda, BarbellIsNearOne) {
+  EXPECT_GT(second_eigenvalue(make_barbell(8)), 0.9);
+}
+
+TEST(PowerIteration, AgreesWithJacobiOnAssortedGraphs) {
+  Rng rng(5);
+  const Graph graphs[] = {
+      make_complete(12),          make_cycle(15),
+      make_path(20),              make_barbell(6),
+      make_hypercube(4),          make_connected_gnp(60, 0.2, rng),
+      make_connected_random_regular(50, 4, rng),
+  };
+  for (const Graph& g : graphs) {
+    const double exact = second_eigenvalue(g);  // dense path (n small)
+    const auto power = second_eigenvalue_power(g);
+    EXPECT_TRUE(power.converged) << g.summary();
+    EXPECT_NEAR(power.lambda, exact, 1e-5) << g.summary();
+  }
+}
+
+TEST(PowerIteration, LargeGraphDispatch) {
+  Rng rng(9);
+  // Above the dense threshold, second_eigenvalue uses power iteration; the
+  // value must still match the random-regular guide scale.
+  const Graph g = make_connected_random_regular(1000, 8, rng);
+  const double lambda = second_eigenvalue(g);
+  EXPECT_GT(lambda, 0.1);
+  EXPECT_LT(lambda, 2.5 * lambda_random_regular_guide(8));
+}
+
+TEST(Lambda, RandomRegularBelowGuide) {
+  Rng rng(7);
+  const Graph g = make_connected_random_regular(300, 16, rng);
+  const double lambda = second_eigenvalue(g);
+  // Friedman guide 2 sqrt(d-1)/d with generous slack.
+  EXPECT_LT(lambda, 1.5 * lambda_random_regular_guide(16));
+}
+
+TEST(Lambda, GnpBelowGuide) {
+  Rng rng(8);
+  const VertexId n = 400;
+  const double p = 0.1;
+  const Graph g = make_connected_gnp(n, p, rng);
+  EXPECT_LT(second_eigenvalue(g), 1.5 * lambda_gnp_guide(n, p));
+}
+
+TEST(Lambda, MargulisExpandsUniformly) {
+  // The Margulis family is a deterministic expander: lambda stays bounded
+  // away from 1 as m grows (unlike the torus on the same vertex set).
+  const double l8 = second_eigenvalue(make_margulis(8));
+  const double l16 = second_eigenvalue(make_margulis(16));
+  EXPECT_LT(l8, 0.95);
+  EXPECT_LT(l16, 0.95);
+  // Contrast: the torus on the same vertex count degrades toward 1.
+  EXPECT_GT(second_eigenvalue(make_grid(16, 16, true)), 0.96);
+}
+
+TEST(Lambda, GuideFormulasValidateArguments) {
+  EXPECT_THROW(lambda_complete(1), std::invalid_argument);
+  EXPECT_THROW(lambda_gnp_guide(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(lambda_path_guide(1), std::invalid_argument);
+  EXPECT_THROW(lambda_cycle_exact(2), std::invalid_argument);
+}
+
+TEST(Lambda, TheoremConditionsOnExpanderVsPath) {
+  // K_n has lambda = 1/(n-1): clearly applicable.  A random 16-regular graph
+  // has lambda ~ 0.48 (Friedman), so lambda*k is only o(1) for much larger d;
+  // at this size it sits in between.  The path fails decisively.
+  const Graph complete = make_complete(256);
+  const ExpanderCheck good = check_theorem_conditions(complete, 5);
+  EXPECT_TRUE(good.applicable);
+  EXPECT_LT(good.lambda_times_k, 0.1);
+
+  const Graph path = make_path(256);
+  const ExpanderCheck bad = check_theorem_conditions(path, 3);
+  EXPECT_FALSE(bad.applicable);
+  EXPECT_GT(bad.lambda_times_k, 1.0);
+
+  // The star violates pi_min = Theta(1/n) (leaf mass 1/(2(n-1))) is fine,
+  // but bipartiteness forces lambda = 1.
+  const Graph star = make_star(64);
+  EXPECT_FALSE(check_theorem_conditions(star, 3).applicable);
+}
+
+}  // namespace
+}  // namespace divlib

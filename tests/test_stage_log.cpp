@@ -1,0 +1,100 @@
+#include "engine/stage_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/div_process.hpp"
+#include "engine/initial_config.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(StageLog, NoEventsWithoutEliminations) {
+  const Graph g = make_cycle(4);
+  OpinionState state(g, {1, 2, 3, 2});
+  StageLog log(state);
+  log.observe(5, state);
+  EXPECT_TRUE(log.events().empty());
+  EXPECT_EQ(log.range_history(), "[1,3]");
+}
+
+TEST(StageLog, RecordsMinAndMaxEliminations) {
+  const Graph g = make_cycle(5);
+  OpinionState state(g, {1, 2, 3, 4, 5});
+  StageLog log(state);
+  state.set(4, 4);  // 5 eliminated
+  log.observe(10, state);
+  state.set(0, 2);  // 1 eliminated
+  log.observe(20, state);
+  ASSERT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.events()[0].eliminated, 5);
+  EXPECT_EQ(log.events()[0].side, StageEvent::Side::kMax);
+  EXPECT_EQ(log.events()[0].step, 10u);
+  EXPECT_EQ(log.events()[1].eliminated, 1);
+  EXPECT_EQ(log.events()[1].side, StageEvent::Side::kMin);
+  const std::vector<Opinion> expected{5, 1};
+  EXPECT_EQ(log.elimination_order(), expected);
+  EXPECT_EQ(log.range_history(), "[1,5] -> [1,4] -> [2,4]");
+}
+
+TEST(StageLog, HandlesRangeJumpsOverEmptyValues) {
+  const Graph g = make_cycle(4);
+  OpinionState state(g, {1, 4, 4, 4});  // values 2, 3 empty
+  StageLog log(state);
+  state.set(0, 4);  // min jumps 1 -> 4
+  log.observe(3, state);
+  const std::vector<Opinion> expected{1, 2, 3};
+  EXPECT_EQ(log.elimination_order(), expected);
+}
+
+TEST(StageLog, PaperWorkedExampleInvariants) {
+  // The introduction's example: opinions {1, 2, 5} on a small graph.  In
+  // every run: extremes are eliminated irreversibly, the order is a valid
+  // outside-in interleaving, and the final stage is two adjacent values
+  // (then consensus).
+  const Graph g = make_complete(15);
+  for (int trial = 0; trial < 25; ++trial) {
+    Rng rng(100 + trial);
+    OpinionState state(g, opinions_with_counts(15, 1, {5, 5, 0, 0, 5}, rng));
+    StageLog log(state);
+    DivProcess process(g, SelectionScheme::kEdge);
+    std::uint64_t step = 0;
+    while (!state.is_consensus() && step < 1'000'000) {
+      process.step(state, rng);
+      ++step;
+      log.observe(step, state);
+    }
+    ASSERT_TRUE(state.is_consensus());
+    // Eliminations of each value happen exactly once...
+    const auto order = log.elimination_order();
+    const std::set<Opinion> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), order.size());
+    // ...exactly 4 of the 5 values die, and steps are non-decreasing.
+    EXPECT_EQ(order.size(), 4u);
+    for (std::size_t i = 1; i < log.events().size(); ++i) {
+      EXPECT_LE(log.events()[i - 1].step, log.events()[i].step);
+    }
+    // The winner is the single surviving value.
+    const Opinion winner = state.min_active();
+    EXPECT_EQ(std::count(order.begin(), order.end(), winner), 0);
+    // The elimination of the extremes is outside-in: among min-side events
+    // the values increase; among max-side they decrease.
+    Opinion last_min_kill = 0;
+    Opinion last_max_kill = 6;
+    for (const StageEvent& event : log.events()) {
+      if (event.side == StageEvent::Side::kMin) {
+        EXPECT_GT(event.eliminated, last_min_kill);
+        last_min_kill = event.eliminated;
+      } else {
+        EXPECT_LT(event.eliminated, last_max_kill);
+        last_max_kill = event.eliminated;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace divlib

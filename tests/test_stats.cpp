@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/regression.hpp"
+#include "stats/summary.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderror(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = Summary::of(values);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, SingleSampleHasZeroVariance) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Summary, MergeMatchesPooledComputation) {
+  Rng rng(1);
+  Summary all;
+  Summary left;
+  Summary right;
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.normal() * 3.0 + 1.0;
+    all.add(value);
+    (i % 2 == 0 ? left : right).add(value);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  Summary s = Summary::of(std::vector<double>{1.0, 2.0});
+  const Summary before = s;
+  s.merge(Summary{});
+  EXPECT_EQ(s.count(), before.count());
+  EXPECT_DOUBLE_EQ(s.mean(), before.mean());
+  Summary empty;
+  empty.merge(s);
+  EXPECT_DOUBLE_EQ(empty.mean(), s.mean());
+}
+
+TEST(Summary, CiShrinksWithSamples) {
+  Rng rng(2);
+  Summary small;
+  Summary large;
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.uniform01();
+    if (i < 100) {
+      small.add(value);
+    }
+    large.add(value);
+  }
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Wilson, CoversPointEstimate) {
+  const auto est = wilson_interval(30, 100);
+  EXPECT_DOUBLE_EQ(est.p_hat, 0.3);
+  EXPECT_LT(est.lower, 0.3);
+  EXPECT_GT(est.upper, 0.3);
+  EXPECT_GE(est.lower, 0.0);
+  EXPECT_LE(est.upper, 1.0);
+}
+
+TEST(Wilson, DegenerateCases) {
+  const auto zero = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(zero.p_hat, 0.0);
+  EXPECT_GT(zero.upper, 0.0);
+  const auto all = wilson_interval(100, 100);
+  EXPECT_DOUBLE_EQ(all.p_hat, 1.0);
+  EXPECT_LT(all.lower, 1.0);
+  const auto none = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(none.p_hat, 0.0);
+}
+
+TEST(Histogram, BinsValuesAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 4
+  h.add(5.0);    // bin 2 (boundary goes up)
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, SparklineHasOneCharPerBin) {
+  Histogram h(0.0, 1.0, 8);
+  for (int i = 0; i < 100; ++i) {
+    h.add(i / 100.0);
+  }
+  EXPECT_EQ(h.ascii_sparkline().size(), 8u);
+}
+
+TEST(IntCounter, CountsAndMode) {
+  IntCounter counter;
+  counter.add(3);
+  counter.add(3);
+  counter.add(5);
+  EXPECT_EQ(counter.total(), 3u);
+  EXPECT_EQ(counter.count(3), 2u);
+  EXPECT_EQ(counter.count(4), 0u);
+  EXPECT_NEAR(counter.fraction(5), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(counter.mode(), 3);
+}
+
+TEST(IntCounter, ModeTieBreaksToSmallest) {
+  IntCounter counter;
+  counter.add(7);
+  counter.add(2);
+  EXPECT_EQ(counter.mode(), 2);
+}
+
+TEST(Regression, RecoversExactLine) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{3.0, 5.0, 7.0, 9.0};
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Regression, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_linear(std::vector<double>{1.0}, std::vector<double>{2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fit_linear(std::vector<double>{1.0, 1.0},
+                          std::vector<double>{2.0, 3.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fit_linear(std::vector<double>{1.0, 2.0},
+                          std::vector<double>{2.0}),
+               std::invalid_argument);
+}
+
+TEST(Regression, LogLogRecoversPowerLaw) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x = 1.0; x <= 64.0; x *= 2.0) {
+    xs.push_back(x);
+    ys.push_back(5.0 * std::pow(x, 1.7));
+  }
+  const LinearFit fit = fit_loglog(xs, ys);
+  EXPECT_NEAR(fit.slope, 1.7, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 5.0, 1e-8);
+}
+
+TEST(Regression, ExponentialRecoversDecayRate) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int t = 0; t < 20; ++t) {
+    xs.push_back(static_cast<double>(t));
+    ys.push_back(3.0 * std::pow(0.9, t));
+  }
+  const LinearFit fit = fit_exponential(xs, ys);
+  EXPECT_NEAR(std::exp(fit.slope), 0.9, 1e-10);
+}
+
+TEST(Regression, LogFitsRejectNonPositiveValues) {
+  EXPECT_THROW(fit_loglog(std::vector<double>{1.0, 0.0},
+                          std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fit_exponential(std::vector<double>{1.0, 2.0},
+                               std::vector<double>{1.0, -2.0}),
+               std::invalid_argument);
+}
+
+TEST(Ecdf, BasicProbabilities) {
+  const std::vector<double> samples{1.0, 2.0, 3.0, 4.0};
+  const Ecdf ecdf(samples);
+  EXPECT_DOUBLE_EQ(ecdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.tail_at_least(3.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.tail_at_least(4.5), 0.0);
+}
+
+TEST(Ecdf, QuantilesInterpolate) {
+  const std::vector<double> samples{0.0, 10.0};
+  const Ecdf ecdf(samples);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(ecdf.quantile(1.0), 10.0);
+  EXPECT_THROW(ecdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Ecdf, RejectsEmptySamples) {
+  EXPECT_THROW(Ecdf(std::vector<double>{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,124 @@
+#include "core/step_size.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/div_process.hpp"
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+#include "stats/histogram.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(StepSize, UpdateRuleClampsAtObserved) {
+  EXPECT_EQ(SteppedIncrementalProcess::updated_opinion(1, 9, 3), 4);
+  EXPECT_EQ(SteppedIncrementalProcess::updated_opinion(9, 1, 3), 6);
+  EXPECT_EQ(SteppedIncrementalProcess::updated_opinion(1, 3, 5), 3);  // clamp
+  EXPECT_EQ(SteppedIncrementalProcess::updated_opinion(3, 1, 5), 1);
+  EXPECT_EQ(SteppedIncrementalProcess::updated_opinion(4, 4, 5), 4);
+}
+
+TEST(StepSize, StepOneIsExactlyDiv) {
+  for (Opinion own = -3; own <= 3; ++own) {
+    for (Opinion observed = -3; observed <= 3; ++observed) {
+      EXPECT_EQ(SteppedIncrementalProcess::updated_opinion(own, observed, 1),
+                DivProcess::updated_opinion(own, observed));
+    }
+  }
+}
+
+TEST(StepSize, ValidatesArguments) {
+  const Graph g = make_complete(4);
+  EXPECT_THROW(SteppedIncrementalProcess(g, SelectionScheme::kEdge, 0),
+               std::invalid_argument);
+}
+
+TEST(StepSize, NameEncodesStepAndScheme) {
+  const Graph g = make_complete(4);
+  EXPECT_EQ(SteppedIncrementalProcess(g, SelectionScheme::kEdge, 3).name(),
+            "div-step3/edge");
+}
+
+TEST(StepSize, TrajectoriesStayInRange) {
+  const Graph g = make_complete(12);
+  Rng rng(1);
+  OpinionState state(g, uniform_random_opinions(12, 1, 9, rng));
+  SteppedIncrementalProcess process(g, SelectionScheme::kVertex, 4);
+  for (int step = 0; step < 5000; ++step) {
+    process.step(state, rng);
+    ASSERT_GE(state.min_active(), 1);
+    ASSERT_LE(state.max_active(), 9);
+  }
+}
+
+TEST(StepSize, SumRemainsEdgeProcessMartingaleForAnyStep) {
+  const Graph g = make_complete(16);
+  for (const Opinion step_size : {2, 4, 100}) {
+    constexpr int kReplicas = 500;
+    constexpr int kSteps = 500;
+    const auto deltas = run_replicas<double>(
+        kReplicas,
+        [&g, step_size](std::size_t, Rng& rng) {
+          OpinionState state(g, uniform_random_opinions(16, 1, 9, rng));
+          const double s0 = static_cast<double>(state.sum());
+          SteppedIncrementalProcess process(g, SelectionScheme::kEdge, step_size);
+          for (int step = 0; step < kSteps; ++step) {
+            process.step(state, rng);
+          }
+          return static_cast<double>(state.sum()) - s0;
+        },
+        {.master_seed = 71});
+    const double drift =
+        std::accumulate(deltas.begin(), deltas.end(), 0.0) / kReplicas;
+    // Per-step |dS| <= 8 here; the replica-mean stderr is ~8*sqrt(500)/sqrt(500) = 8.
+    EXPECT_NEAR(drift, 0.0, 25.0) << "step size " << step_size;
+  }
+}
+
+TEST(StepSize, UnitStepsAreBothMoreAccurateAndFaster) {
+  // The ablation result is one-sided: the +-1 rule gives a deterministic
+  // drift of the extremes toward the average (fast reduction, Theorem 1)
+  // AND concentration of the winner (Theorem 2).  Larger steps behave like
+  // pull voting, whose extreme opinions die only by slow lineage
+  // coalescence -- slower reduction and a spread-out winner.
+  const Graph g = make_complete(64);
+  constexpr int kReplicas = 400;
+  const auto measure = [&](Opinion step_size, std::uint64_t salt) {
+    IntCounter winners;
+    double mean_reduction = 0.0;
+    const auto results = run_replicas<std::pair<Opinion, double>>(
+        kReplicas,
+        [&g, step_size](std::size_t, Rng& rng) {
+          // c = 4.5 over opinions 1..8.
+          OpinionState state(g, opinions_with_sum(64, 1, 8, 288, rng));
+          SteppedIncrementalProcess process(g, SelectionScheme::kEdge, step_size);
+          RunOptions options;
+          options.stop = StopKind::kTwoAdjacent;
+          options.max_steps = 50'000'000;
+          const RunResult reduction = run(process, state, rng, options);
+          options.stop = StopKind::kConsensus;
+          const RunResult consensus = run(process, state, rng, options);
+          return std::pair{consensus.winner.value_or(-1),
+                           static_cast<double>(reduction.steps)};
+        },
+        {.master_seed = salt});
+    for (const auto& [winner, reduction_steps] : results) {
+      winners.add(winner);
+      mean_reduction += reduction_steps / kReplicas;
+    }
+    const double on_target = winners.fraction(4) + winners.fraction(5);
+    return std::pair{on_target, mean_reduction};
+  };
+  const auto [small_target, small_reduction] = measure(1, 81);
+  const auto [large_target, large_reduction] = measure(7, 82);
+  EXPECT_GT(small_target, large_target + 0.05);  // step 1 is more accurate
+  EXPECT_LT(small_reduction, large_reduction);   // ... and reduces faster
+  EXPECT_GT(small_target, 0.9);
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/sync_process.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "engine/sync_engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+#include "stats/summary.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(SyncProcess, Names) {
+  const Graph g = make_cycle(4);
+  EXPECT_EQ(SyncDivProcess(g).name(), "sync-div");
+  EXPECT_EQ(SyncPullVoting(g).name(), "sync-pull");
+  EXPECT_EQ(SyncMedianVoting(g).name(), "sync-median");
+}
+
+TEST(SyncProcess, RejectIsolatedVertices) {
+  const Graph g(3, {{0, 1}});
+  EXPECT_THROW(SyncDivProcess{g}, std::invalid_argument);
+  EXPECT_THROW(SyncPullVoting{g}, std::invalid_argument);
+  EXPECT_THROW(SyncMedianVoting{g}, std::invalid_argument);
+}
+
+TEST(SyncDiv, RoundMovesEveryVertexAtMostOne) {
+  const Graph g = make_complete(16);
+  Rng rng(1);
+  OpinionState state(g, uniform_random_opinions(16, 1, 7, rng));
+  SyncDivProcess process(g);
+  for (int round = 0; round < 200; ++round) {
+    const std::vector<Opinion> before(state.opinions().begin(),
+                                      state.opinions().end());
+    process.round(state, rng);
+    for (VertexId v = 0; v < 16; ++v) {
+      EXPECT_LE(std::abs(state.opinion(v) - before[v]), 1);
+    }
+  }
+}
+
+TEST(SyncDiv, UsesSnapshotSemantics) {
+  // On P_3 with opinions 1-2-3 and a synchronous round, the middle vertex
+  // moves based on the OLD endpoint values, and both endpoints move toward
+  // the OLD middle value 2, so after one round every vertex is 2 only if all
+  // sampled neighbors say so; endpoints deterministically become 2.
+  const Graph g = make_path(3);
+  OpinionState state(g, {1, 2, 3});
+  SyncDivProcess process(g);
+  Rng rng(2);
+  process.round(state, rng);
+  EXPECT_EQ(state.opinion(0), 2);  // only neighbor held 2
+  EXPECT_EQ(state.opinion(2), 2);
+  // Middle observed 1 or 3 and moved accordingly; never stays 2 from old
+  // values 1/3.
+  EXPECT_NE(state.opinion(1), 2);
+}
+
+TEST(SyncDiv, RangeNeverExpandsAndConsensusAbsorbs) {
+  const Graph g = make_complete(24);
+  Rng rng(3);
+  OpinionState state(g, uniform_random_opinions(24, 1, 6, rng));
+  SyncDivProcess process(g);
+  Opinion lo = state.min_active();
+  Opinion hi = state.max_active();
+  for (int round = 0; round < 400; ++round) {
+    process.round(state, rng);
+    EXPECT_GE(state.min_active(), lo);
+    EXPECT_LE(state.max_active(), hi);
+    lo = state.min_active();
+    hi = state.max_active();
+  }
+}
+
+TEST(SyncDiv, SumIsRoundMartingaleOnRegularGraphs) {
+  const Graph g = make_cycle(24);
+  constexpr int kReplicas = 600;
+  constexpr int kRounds = 50;
+  const auto deltas = run_replicas<double>(
+      kReplicas,
+      [&g](std::size_t, Rng& rng) {
+        OpinionState state(g, uniform_random_opinions(24, 1, 7, rng));
+        const double s0 = static_cast<double>(state.sum());
+        SyncDivProcess process(g);
+        for (int round = 0; round < kRounds; ++round) {
+          process.round(state, rng);
+        }
+        return static_cast<double>(state.sum()) - s0;
+      },
+      {.master_seed = 31});
+  const double drift =
+      std::accumulate(deltas.begin(), deltas.end(), 0.0) / kReplicas;
+  // Per round |dS| <= n; empirical stddev is ~sqrt(n * rounds).
+  EXPECT_NEAR(drift, 0.0, 6.0);
+}
+
+TEST(SyncEngine, RunsToConsensusOnExpander) {
+  Rng graph_rng(5);
+  const Graph g = make_connected_random_regular(64, 8, graph_rng);
+  Rng rng(6);
+  OpinionState state(g, uniform_random_opinions(64, 1, 5, rng));
+  SyncDivProcess process(g);
+  SyncRunOptions options;
+  options.max_rounds = 500000;
+  const SyncRunResult result = run_sync(process, state, rng, options);
+  ASSERT_TRUE(result.completed);
+  ASSERT_TRUE(result.winner.has_value());
+  EXPECT_GE(*result.winner, 1);
+  EXPECT_LE(*result.winner, 5);
+}
+
+TEST(SyncEngine, TwoAdjacentStopAndTrace) {
+  const Graph g = make_complete(32);
+  Rng rng(7);
+  OpinionState state(g, uniform_random_opinions(32, 1, 8, rng));
+  SyncDivProcess process(g);
+  SyncRunOptions options;
+  options.stop = StopKind::kTwoAdjacent;
+  options.trace_stride = 2;
+  options.max_rounds = 100000;
+  const SyncRunResult result = run_sync(process, state, rng, options);
+  ASSERT_TRUE(result.completed);
+  EXPECT_LE(result.max_active - result.min_active, 1);
+  ASSERT_FALSE(result.trace.empty());
+  EXPECT_EQ(result.trace.samples().front().step, 0u);
+  EXPECT_EQ(result.trace.samples().back().step, result.rounds);
+}
+
+TEST(SyncEngine, RoundCapReportsIncomplete) {
+  const Graph g = make_complete(32);
+  Rng rng(8);
+  OpinionState state(g, uniform_random_opinions(32, 1, 8, rng));
+  SyncDivProcess process(g);
+  SyncRunOptions options;
+  options.max_rounds = 1;
+  const SyncRunResult result = run_sync(process, state, rng, options);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.rounds, 1u);
+}
+
+TEST(SyncPull, ConvergesAndPreservesValueSet) {
+  const Graph g = make_complete(16);
+  OpinionState state(g, {1, 1, 1, 1, 5, 5, 5, 5, 9, 9, 9, 9, 9, 9, 9, 9});
+  SyncPullVoting process(g);
+  Rng rng(9);
+  SyncRunOptions options;
+  options.max_rounds = 100000;
+  const SyncRunResult result = run_sync(process, state, rng, options);
+  ASSERT_TRUE(result.completed);
+  const Opinion w = *result.winner;
+  EXPECT_TRUE(w == 1 || w == 5 || w == 9);
+}
+
+TEST(SyncMedian, FindsTheMedianOnCompleteGraph) {
+  const Graph g = make_complete(90);
+  int median_wins = 0;
+  constexpr int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(100 + trial);
+    // 30 x 1, 31 x 2, 29 x 30: median 2.
+    OpinionState state(
+        g, opinions_with_counts(
+               90, 1,
+               [] {
+                 std::vector<VertexId> counts(30, 0);
+                 counts[0] = 30;
+                 counts[1] = 31;
+                 counts[29] = 29;
+                 return counts;
+               }(),
+               rng));
+    SyncMedianVoting process(g);
+    SyncRunOptions options;
+    options.max_rounds = 100000;
+    const SyncRunResult result = run_sync(process, state, rng, options);
+    if (result.completed && result.winner.value_or(-1) <= 2) {
+      ++median_wins;
+    }
+  }
+  EXPECT_GT(median_wins, kTrials * 8 / 10);
+}
+
+TEST(SyncDiv, OneRoundMatchesNAsyncStepsInScale) {
+  // The standard time correspondence: one synchronous round ~ n asynchronous
+  // steps.  Reduction round-count on K_n should be ~ async steps / n within
+  // a small constant factor.
+  const Graph g = make_complete(64);
+  Rng rng(11);
+  Summary rounds;
+  for (int trial = 0; trial < 20; ++trial) {
+    OpinionState state(g, ramp_opinions(64, 1, 8));
+    SyncDivProcess process(g);
+    SyncRunOptions options;
+    options.stop = StopKind::kTwoAdjacent;
+    options.max_rounds = 100000;
+    const SyncRunResult result = run_sync(process, state, rng, options);
+    ASSERT_TRUE(result.completed);
+    rounds.add(static_cast<double>(result.rounds));
+  }
+  // Async reduction on K_64/k=8 takes ~1000-4000 steps (EXP-2/3 scale);
+  // the sync process should take the same divided by n ~ 15-60 rounds.
+  EXPECT_GT(rounds.mean(), 3.0);
+  EXPECT_LT(rounds.mean(), 500.0);
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,175 @@
+// Parameterized invariants for the synchronous-round processes, mirroring
+// the asynchronous property suite:
+//
+//   S1. Opinions never leave the initial range.
+//   S2. The active range never expands.
+//   S3. Consensus states are absorbing (round-wise).
+//   S4. Aggregates match a full rescan after many rounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/sync_process.hpp"
+#include "engine/initial_config.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+
+namespace divlib {
+namespace {
+
+enum class SyncKind { kDiv, kPull, kMedian };
+
+std::string sync_kind_name(SyncKind kind) {
+  switch (kind) {
+    case SyncKind::kDiv:
+      return "SyncDiv";
+    case SyncKind::kPull:
+      return "SyncPull";
+    case SyncKind::kMedian:
+      return "SyncMedian";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<SyncProcess> make_sync(SyncKind kind, const Graph& graph) {
+  switch (kind) {
+    case SyncKind::kDiv:
+      return std::make_unique<SyncDivProcess>(graph);
+    case SyncKind::kPull:
+      return std::make_unique<SyncPullVoting>(graph);
+    case SyncKind::kMedian:
+      return std::make_unique<SyncMedianVoting>(graph);
+  }
+  return nullptr;
+}
+
+enum class SyncGraphKind { kComplete, kCycle, kStar, kHypercube, kRandomRegular };
+
+std::string sync_graph_name(SyncGraphKind kind) {
+  switch (kind) {
+    case SyncGraphKind::kComplete:
+      return "Complete";
+    case SyncGraphKind::kCycle:
+      return "Cycle";
+    case SyncGraphKind::kStar:
+      return "Star";
+    case SyncGraphKind::kHypercube:
+      return "Hypercube";
+    case SyncGraphKind::kRandomRegular:
+      return "RandomRegular";
+  }
+  return "Unknown";
+}
+
+Graph make_sync_graph(SyncGraphKind kind) {
+  Rng rng(0xabc);
+  switch (kind) {
+    case SyncGraphKind::kComplete:
+      return make_complete(20);
+    case SyncGraphKind::kCycle:
+      return make_cycle(21);
+    case SyncGraphKind::kStar:
+      return make_star(20);
+    case SyncGraphKind::kHypercube:
+      return make_hypercube(4);
+    case SyncGraphKind::kRandomRegular:
+      return make_connected_random_regular(20, 4, rng);
+  }
+  return Graph();
+}
+
+using SyncParam = std::tuple<SyncKind, SyncGraphKind>;
+
+class SyncInvariants : public ::testing::TestWithParam<SyncParam> {};
+
+TEST_P(SyncInvariants, OpinionsStayInInitialRange) {
+  const auto [kind, graph_kind] = GetParam();
+  const Graph graph = make_sync_graph(graph_kind);
+  Rng rng(1);
+  OpinionState state(
+      graph, uniform_random_opinions(graph.num_vertices(), 1, 6, rng));
+  const auto process = make_sync(kind, graph);
+  for (int round = 0; round < 300; ++round) {
+    process->round(state, rng);
+    ASSERT_GE(state.min_active(), 1);
+    ASSERT_LE(state.max_active(), 6);
+  }
+}
+
+TEST_P(SyncInvariants, ActiveRangeNeverExpands) {
+  const auto [kind, graph_kind] = GetParam();
+  const Graph graph = make_sync_graph(graph_kind);
+  Rng rng(2);
+  OpinionState state(
+      graph, uniform_random_opinions(graph.num_vertices(), 1, 6, rng));
+  const auto process = make_sync(kind, graph);
+  Opinion lo = state.min_active();
+  Opinion hi = state.max_active();
+  for (int round = 0; round < 300; ++round) {
+    process->round(state, rng);
+    ASSERT_GE(state.min_active(), lo);
+    ASSERT_LE(state.max_active(), hi);
+    lo = state.min_active();
+    hi = state.max_active();
+  }
+}
+
+TEST_P(SyncInvariants, ConsensusIsAbsorbing) {
+  const auto [kind, graph_kind] = GetParam();
+  const Graph graph = make_sync_graph(graph_kind);
+  OpinionState state(graph, std::vector<Opinion>(graph.num_vertices(), 3));
+  const auto process = make_sync(kind, graph);
+  Rng rng(3);
+  for (int round = 0; round < 100; ++round) {
+    process->round(state, rng);
+    ASSERT_TRUE(state.is_consensus());
+    ASSERT_EQ(state.min_active(), 3);
+  }
+}
+
+TEST_P(SyncInvariants, AggregatesMatchFullRescan) {
+  const auto [kind, graph_kind] = GetParam();
+  const Graph graph = make_sync_graph(graph_kind);
+  Rng rng(4);
+  OpinionState state(
+      graph, uniform_random_opinions(graph.num_vertices(), 1, 5, rng));
+  const auto process = make_sync(kind, graph);
+  for (int round = 0; round < 200; ++round) {
+    process->round(state, rng);
+  }
+  std::int64_t sum = 0;
+  std::int64_t weighted = 0;
+  Opinion lo = state.opinion(0);
+  Opinion hi = state.opinion(0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const Opinion o = state.opinion(v);
+    sum += o;
+    weighted += static_cast<std::int64_t>(graph.degree(v)) * o;
+    lo = std::min(lo, o);
+    hi = std::max(hi, o);
+  }
+  EXPECT_EQ(state.sum(), sum);
+  EXPECT_EQ(state.degree_weighted_sum(), weighted);
+  EXPECT_EQ(state.min_active(), lo);
+  EXPECT_EQ(state.max_active(), hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSyncProcesses, SyncInvariants,
+    ::testing::Combine(::testing::Values(SyncKind::kDiv, SyncKind::kPull,
+                                         SyncKind::kMedian),
+                       ::testing::Values(SyncGraphKind::kComplete,
+                                         SyncGraphKind::kCycle,
+                                         SyncGraphKind::kStar,
+                                         SyncGraphKind::kHypercube,
+                                         SyncGraphKind::kRandomRegular)),
+    [](const ::testing::TestParamInfo<SyncParam>& info) {
+      return sync_kind_name(std::get<0>(info.param)) + "_" +
+             sync_graph_name(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace divlib

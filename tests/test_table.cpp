@@ -1,0 +1,76 @@
+#include "io/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace divlib {
+namespace {
+
+TEST(Table, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+TEST(Table, OverfullRowThrows) {
+  Table t({"a", "b"});
+  t.row().cell("1").cell("2");
+  EXPECT_THROW(t.cell("3"), std::logic_error);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().cell("x").cell(std::int64_t{42});
+  t.row().cell("longer").cell(7);
+  const std::string text = t.to_string();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  // All lines equal length (alignment).
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) {
+      width = line.size();
+    }
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, DoubleFormattingRespectsDecimals) {
+  Table t({"v"});
+  t.row().cell(3.14159, 2);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("3.142"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b"});
+  t.row().cell("only");
+  const std::string text = t.to_string();
+  EXPECT_NE(text.find("only"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(Table, FormatDoubleHelper) {
+  EXPECT_EQ(format_double(1.5, 3), "1.500");
+  EXPECT_EQ(format_double(-0.25, 1), "-0.2");  // round-half-to-even via iostream
+}
+
+TEST(Table, BannerContainsTitle) {
+  std::ostringstream out;
+  print_banner(out, "EXP-1");
+  EXPECT_NE(out.str().find("== EXP-1 =="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,109 @@
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(Theory, WinDistributionFractionalAverage) {
+  const auto dist = theory::win_distribution(3.25);
+  EXPECT_EQ(dist.low, 3);
+  EXPECT_EQ(dist.high, 4);
+  EXPECT_NEAR(dist.p_low, 0.75, 1e-12);
+  EXPECT_NEAR(dist.p_high, 0.25, 1e-12);
+  EXPECT_NEAR(dist.p_low + dist.p_high, 1.0, 1e-12);
+}
+
+TEST(Theory, WinDistributionIntegerAverage) {
+  const auto dist = theory::win_distribution(5.0);
+  EXPECT_EQ(dist.low, 5);
+  EXPECT_EQ(dist.high, 5);
+  EXPECT_DOUBLE_EQ(dist.p_low, 1.0);
+  EXPECT_DOUBLE_EQ(dist.p_high, 0.0);
+}
+
+TEST(Theory, WinDistributionNegativeAverage) {
+  // c = -1.75, i = floor(c) = -2: p_low = i + 1 - c = 0.75,
+  // p_high = c - i = 0.25.
+  const auto dist = theory::win_distribution(-1.75);
+  EXPECT_EQ(dist.low, -2);
+  EXPECT_EQ(dist.high, -1);
+  EXPECT_NEAR(dist.p_low, 0.75, 1e-12);
+  EXPECT_NEAR(dist.p_high, 0.25, 1e-12);
+}
+
+TEST(Theory, RelevantAverageSwitchesOnProcess) {
+  const Graph g = make_star(5);  // irregular
+  std::vector<Opinion> opinions(5, 0);
+  opinions[0] = 8;  // center
+  const OpinionState state(g, std::move(opinions));
+  EXPECT_DOUBLE_EQ(theory::relevant_average(state, /*vertex_process=*/false), 1.6);
+  EXPECT_DOUBLE_EQ(theory::relevant_average(state, /*vertex_process=*/true), 4.0);
+}
+
+TEST(Theory, ReductionTimeScaleIsMonotone) {
+  const double base = theory::expected_reduction_time_scale(1000, 5, 0.05);
+  EXPECT_LT(base, theory::expected_reduction_time_scale(2000, 5, 0.05));
+  EXPECT_LT(base, theory::expected_reduction_time_scale(1000, 10, 0.05));
+  EXPECT_LT(base, theory::expected_reduction_time_scale(1000, 5, 0.2));
+  EXPECT_THROW(theory::expected_reduction_time_scale(1, 5, 0.05),
+               std::invalid_argument);
+  EXPECT_THROW(theory::expected_reduction_time_scale(1000, 0, 0.05),
+               std::invalid_argument);
+}
+
+TEST(Theory, ReductionTimeScaleSubQuadraticForExpanders) {
+  // With lambda ~ 1/sqrt(d) fixed and k fixed, scale/n^2 -> sqrt(lambda).
+  const double lambda = 0.05;
+  const double s1 = theory::expected_reduction_time_scale(1000, 5, lambda);
+  const double s2 = theory::expected_reduction_time_scale(100000, 5, lambda);
+  EXPECT_LT(s2 / (1e5 * 1e5), s1 / (1e3 * 1e3) + 1.0);
+}
+
+TEST(Theory, StageTimesMatchEq18) {
+  // T1 = ceil(2 n log(1/2eps^2)).
+  EXPECT_DOUBLE_EQ(theory::stage_time_T1(100, 0.1),
+                   std::ceil(200.0 * std::log(50.0)));
+  // T2 = ceil((2n/eps) log(1/2eps^2)).
+  EXPECT_DOUBLE_EQ(theory::stage_time_T2(100, 0.1),
+                   std::ceil(2000.0 * std::log(50.0)));
+  // Tp = ceil(64 n / (sqrt(2) (1-lambda) pi_min)).
+  EXPECT_DOUBLE_EQ(theory::stage_time_Tp(100, 0.5, 0.01),
+                   std::ceil(6400.0 / (std::sqrt(2.0) * 0.5 * 0.01) / 100.0 * 100.0));
+  EXPECT_THROW(theory::stage_time_T1(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(theory::stage_time_T2(100, 0.9), std::invalid_argument);
+  EXPECT_THROW(theory::stage_time_Tp(100, 1.0, 0.01), std::invalid_argument);
+}
+
+TEST(Theory, AzumaTailBound) {
+  // Bound is 2 exp(-h^2/2t), clamped to 1.
+  EXPECT_DOUBLE_EQ(theory::azuma_tail_bound(0.0, 100.0), 1.0);
+  EXPECT_NEAR(theory::azuma_tail_bound(20.0, 100.0), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_LT(theory::azuma_tail_bound(100.0, 100.0), 1e-10);
+  // Degenerate t.
+  EXPECT_DOUBLE_EQ(theory::azuma_tail_bound(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(theory::azuma_tail_bound(0.0, 0.0), 1.0);
+}
+
+TEST(Theory, AzumaBoundIsMonotone) {
+  // Use h large enough that the bound is below the clamp at 1.
+  EXPECT_GT(theory::azuma_tail_bound(60.0, 1000.0),
+            theory::azuma_tail_bound(120.0, 1000.0));
+  EXPECT_LT(theory::azuma_tail_bound(60.0, 500.0),
+            theory::azuma_tail_bound(60.0, 1000.0));
+}
+
+TEST(Theory, Lemma10DecayFactors) {
+  EXPECT_DOUBLE_EQ(theory::lemma10_decay_factor_four_plus(100), 1.0 - 1.0 / 200.0);
+  EXPECT_DOUBLE_EQ(theory::lemma10_decay_factor_three(100, 0.5),
+                   1.0 - 0.5 / 200.0);
+  EXPECT_LT(theory::lemma10_decay_factor_three(100, 0.5),
+            theory::lemma10_decay_factor_three(100, 0.1));
+}
+
+}  // namespace
+}  // namespace divlib

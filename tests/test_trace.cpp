@@ -1,0 +1,59 @@
+#include "engine/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  Trace trace;
+  EXPECT_FALSE(trace.enabled());
+  const Graph g = make_cycle(3);
+  const OpinionState state(g, {1, 2, 3});
+  trace.maybe_record(0, state);
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(Trace, RecordsOnStrideMultiples) {
+  Trace trace(10);
+  const Graph g = make_cycle(3);
+  const OpinionState state(g, {1, 2, 3});
+  for (std::uint64_t step = 0; step <= 35; ++step) {
+    trace.maybe_record(step, state);
+  }
+  ASSERT_EQ(trace.size(), 4u);  // steps 0, 10, 20, 30
+  EXPECT_EQ(trace.samples()[0].step, 0u);
+  EXPECT_EQ(trace.samples()[3].step, 30u);
+}
+
+TEST(Trace, SampleCapturesAggregates) {
+  Trace trace(1);
+  const Graph g = make_star(4);  // center degree 3, 2m = 6
+  const OpinionState state(g, {5, 1, 1, 1});
+  trace.record(7, state);
+  ASSERT_EQ(trace.size(), 1u);
+  const TraceSample& sample = trace.samples()[0];
+  EXPECT_EQ(sample.step, 7u);
+  EXPECT_EQ(sample.min_active, 1);
+  EXPECT_EQ(sample.max_active, 5);
+  EXPECT_EQ(sample.num_active, 2);
+  EXPECT_EQ(sample.sum, 8);
+  EXPECT_DOUBLE_EQ(sample.pi_mass_min, 0.5);
+  EXPECT_DOUBLE_EQ(sample.pi_mass_max, 0.5);
+  // Z = n * (pi-weighted sum) = 4 * (3/6*5 + 3/6*1) = 12.
+  EXPECT_DOUBLE_EQ(sample.z_total, 12.0);
+}
+
+TEST(Trace, UnconditionalRecordIgnoresStride) {
+  Trace trace(100);
+  const Graph g = make_cycle(3);
+  const OpinionState state(g, {1, 1, 1});
+  trace.record(55, state);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.samples()[0].step, 55u);
+}
+
+}  // namespace
+}  // namespace divlib

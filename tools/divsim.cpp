@@ -1,0 +1,450 @@
+// divsim -- command-line driver for the discrete-incremental-voting library.
+//
+//   divsim run      --graph <spec> [--process div] [--scheme edge]
+//                   [--k 5] [--seed 1] [--replicas 1] [--trace N]
+//                   [--stop consensus|two-adjacent] [--max-steps M]
+//   divsim spectral --graph <spec> [--seed 1] [--full]
+//   divsim graph    --graph <spec> [--seed 1] [--dot] [--analyze]
+//   divsim meanfield --k 5 [--tau 10] [--fractions a,b,c,...]
+//   divsim trace    --graph <spec> [--process div] [--scheme edge] [--k 5]
+//                   [--seed 1] [--stride n] [--max-steps M]   (CSV to stdout)
+//
+// Examples:
+//   divsim run --graph regular:512:16 --k 7 --replicas 100
+//   divsim spectral --graph gnp:400:0.1
+//   divsim graph --graph barbell:16 --analyze
+//   divsim trace --graph complete:256 --k 6 > counts.csv
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cli/args.hpp"
+#include "cli/graph_spec.hpp"
+#include "cli/process_spec.hpp"
+#include "core/coupling.hpp"
+#include "core/mean_field.hpp"
+#include "core/theory.hpp"
+#include "exact/div_chain.hpp"
+#include "engine/count_trace.hpp"
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/analysis.hpp"
+#include "graph/graph_io.hpp"
+#include "io/table.hpp"
+#include "spectral/lambda.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace divlib;
+
+int usage() {
+  std::cout <<
+      "usage: divsim <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  run        simulate a voting process to consensus\n"
+      "  spectral   compute lambda = max(|lambda_2|, |lambda_n|)\n"
+      "  graph      generate/inspect a graph\n"
+      "  meanfield  integrate the K_n mean-field ODE for DIV\n"
+      "  trace      emit per-opinion count time series as CSV\n"
+      "  exact      solve the k^n-state DIV chain exactly (tiny graphs)\n"
+      "  sweep      n-sweep of consensus statistics for a graph family\n"
+      "  couple     run the Lemma 13 DIV <-> pull-voting coupling\n"
+      "\n"
+      "graph specs:   " << graph_spec_help() << "\n"
+      "process specs: " << process_spec_help() << "\n";
+  return 2;
+}
+
+void warn_unused(const Args& args) {
+  for (const std::string& key : args.unused_keys()) {
+    std::cerr << "warning: unrecognized option --" << key << "\n";
+  }
+}
+
+int cmd_run(const Args& args) {
+  Rng graph_rng(args.get_u64("seed", 1));
+  const Graph graph = make_graph_from_spec(args.get("graph", "complete:128"),
+                                           graph_rng);
+  const auto k = static_cast<Opinion>(args.get_int("k", 5));
+  const SelectionScheme scheme = parse_scheme(args.get("scheme", "edge"));
+  const std::string process_name = args.get("process", "div");
+  const auto replicas = static_cast<std::size_t>(args.get_u64("replicas", 1));
+  const std::string stop_text = args.get("stop", "consensus");
+  const std::uint64_t trace_stride = args.get_u64("trace", 0);
+
+  RunOptions options;
+  options.stop = stop_text == "two-adjacent" ? StopKind::kTwoAdjacent
+                                             : StopKind::kConsensus;
+  options.max_steps = args.get_u64(
+      "max-steps", static_cast<std::uint64_t>(graph.num_vertices()) *
+                       graph.num_vertices() * 1000);
+  options.trace_stride = trace_stride;
+  warn_unused(args);
+
+  std::cout << "graph: " << graph.summary() << "\n"
+            << "process: " << process_name << "/" << to_string(scheme)
+            << ", opinions 1.." << k << ", stop: " << to_string(options.stop)
+            << ", replicas: " << replicas << "\n";
+
+  IntCounter winners;
+  Summary steps;
+  std::uint64_t capped = 0;
+  const auto results = run_replicas<RunResult>(
+      replicas,
+      [&](std::size_t, Rng& rng) {
+        OpinionState state(
+            graph, uniform_random_opinions(graph.num_vertices(), 1, k, rng));
+        const auto process = make_process_from_spec(process_name, scheme, graph);
+        return run(*process, state, rng, options);
+      },
+      {.master_seed = args.get_u64("seed", 1)});
+  for (const RunResult& result : results) {
+    if (!result.completed) {
+      ++capped;
+      continue;
+    }
+    steps.add(static_cast<double>(result.steps));
+    if (result.winner) {
+      winners.add(*result.winner);
+    }
+  }
+
+  std::cout << "completed " << (replicas - capped) << "/" << replicas
+            << " replicas; E[steps] = " << format_double(steps.mean(), 1)
+            << " +- " << format_double(steps.ci95_halfwidth(), 1) << "\n";
+  if (winners.total() > 0) {
+    std::cout << "winners:";
+    for (const auto& [value, count] : winners.counts()) {
+      std::cout << "  " << value << " x" << count;
+    }
+    std::cout << "\n";
+  }
+  if (trace_stride > 0 && !results.empty() && !results.front().trace.empty()) {
+    std::cout << "trace of replica 0 (step, range, S):\n";
+    for (const TraceSample& sample : results.front().trace.samples()) {
+      std::cout << "  " << sample.step << "  [" << sample.min_active << ","
+                << sample.max_active << "]  " << sample.sum << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_spectral(const Args& args) {
+  Rng rng(args.get_u64("seed", 1));
+  const Graph graph = make_graph_from_spec(args.get("graph", "complete:128"), rng);
+  const bool full = args.flag("full");
+  warn_unused(args);
+  std::cout << "graph: " << graph.summary() << "\n";
+  const double lambda = second_eigenvalue(graph);
+  std::cout << "lambda = " << format_double(lambda, 6) << "\n";
+  const auto k = static_cast<int>(0.5 / (lambda > 1e-12 ? lambda : 1e-12));
+  std::cout << "largest k with lambda*k < 1/2: " << k << "\n";
+  if (full) {
+    const auto spectrum = walk_spectrum(graph);
+    std::cout << "full walk spectrum (" << spectrum.size() << " eigenvalues):\n";
+    for (const double value : spectrum) {
+      std::cout << "  " << format_double(value, 6) << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_graph(const Args& args) {
+  Rng rng(args.get_u64("seed", 1));
+  const Graph graph = make_graph_from_spec(args.get("graph", "complete:16"), rng);
+  const bool dot = args.flag("dot");
+  const bool analyze = args.flag("analyze");
+  warn_unused(args);
+  if (dot) {
+    std::cout << to_dot(graph);
+    return 0;
+  }
+  std::cout << "graph: " << graph.summary() << "\n";
+  if (analyze) {
+    const ComponentInfo components = connected_components(graph);
+    std::cout << "components: " << components.num_components << "\n";
+    if (components.num_components == 1) {
+      std::cout << "diameter: " << diameter(graph) << "\n";
+      std::cout << "conductance (upper bound): "
+                << format_double(estimate_graph_conductance(graph, rng), 4)
+                << "\n";
+    }
+    const auto histogram = degree_histogram(graph);
+    std::cout << "degree histogram:";
+    for (std::size_t d = 0; d < histogram.size(); ++d) {
+      if (histogram[d] > 0) {
+        std::cout << "  " << d << ":" << histogram[d];
+      }
+    }
+    std::cout << "\n";
+    return 0;
+  }
+  std::cout << to_edge_list(graph);
+  return 0;
+}
+
+int cmd_couple(const Args& args) {
+  // Demonstrates the Lemma 13 coupling: runs DIV coupled with two-opinion
+  // pull voting and reports the invariant plus the elimination event.
+  Rng rng(args.get_u64("seed", 1));
+  const Graph graph = make_graph_from_spec(args.get("graph", "complete:64"), rng);
+  const auto k = static_cast<Opinion>(args.get_int("k", 5));
+  const SelectionScheme scheme = parse_scheme(args.get("scheme", "edge"));
+  const bool track_max = args.flag("max");
+  warn_unused(args);
+
+  OpinionState state(graph,
+                     uniform_random_opinions(graph.num_vertices(), 1, k, rng));
+  if (state.is_consensus()) {
+    std::cout << "initial state is already consensus; nothing to couple\n";
+    return 0;
+  }
+  CoupledDivPull coupled(state, scheme,
+                         track_max ? CoupledSide::kMax : CoupledSide::kMin);
+  std::cout << "graph: " << graph.summary() << ", tracking extreme "
+            << coupled.tracked_extreme() << " (B(0) size "
+            << coupled.pull_side_size() << ")\n";
+  std::uint64_t checks = 0;
+  while (!coupled.pull_consensus()) {
+    coupled.step(rng);
+    if (coupled.steps() % 1000 == 0) {
+      if (!coupled.invariant_holds()) {
+        std::cout << "INVARIANT VIOLATED at step " << coupled.steps() << "\n";
+        return 1;
+      }
+      ++checks;
+    }
+  }
+  std::cout << "pull side reached consensus after " << coupled.steps()
+            << " coupled steps (" << checks << " invariant checks passed)\n";
+  if (coupled.pull_side_size() == 0) {
+    std::cout << "B died; DIV's count of opinion " << coupled.tracked_extreme()
+              << " is now " << state.count(coupled.tracked_extreme())
+              << " (Lemma 13: must be 0)\n";
+  } else {
+    std::cout << "B won; the opposite extreme "
+              << coupled.opposite_extreme() << " now has count "
+              << state.count(coupled.opposite_extreme())
+              << " (Lemma 13: must be 0)\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  // n-sweep of consensus statistics for one process on one graph family.
+  //   divsim sweep --family regular --d 16 --k 5 --sizes 64,128,256
+  //                [--process div] [--scheme edge] [--replicas 50] [--seed 1]
+  const std::string family = args.get("family", "complete");
+  const auto d = args.get_u64("d", 16);
+  const double p = args.get_double("p", 0.1);
+  const auto k = static_cast<Opinion>(args.get_int("k", 5));
+  const SelectionScheme scheme = parse_scheme(args.get("scheme", "edge"));
+  const std::string process_name = args.get("process", "div");
+  const auto replicas = static_cast<std::size_t>(args.get_u64("replicas", 50));
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  std::vector<VertexId> sizes;
+  {
+    std::istringstream stream(args.get("sizes", "64,128,256"));
+    std::string field;
+    while (std::getline(stream, field, ',')) {
+      sizes.push_back(static_cast<VertexId>(std::stoul(field)));
+    }
+  }
+  warn_unused(args);
+
+  Table table({"n", "lambda", "E[steps]", "ci95", "steps/n^2", "P(top winner)",
+               "winner"});
+  for (const VertexId n : sizes) {
+    std::ostringstream spec;
+    if (family == "regular") {
+      spec << "regular:" << n << ":" << d;
+    } else if (family == "gnp") {
+      spec << "gnp:" << n << ":" << p;
+    } else {
+      spec << family << ":" << n;
+    }
+    Rng graph_rng(seed);
+    const Graph graph = make_graph_from_spec(spec.str(), graph_rng);
+    const double lambda = second_eigenvalue(graph);
+
+    IntCounter winners;
+    Summary steps;
+    const auto results = run_replicas<RunResult>(
+        replicas,
+        [&](std::size_t, Rng& rng) {
+          OpinionState state(
+              graph, uniform_random_opinions(graph.num_vertices(), 1, k, rng));
+          const auto process = make_process_from_spec(process_name, scheme, graph);
+          RunOptions options;
+          options.max_steps = static_cast<std::uint64_t>(n) * n * 1000;
+          return run(*process, state, rng, options);
+        },
+        {.master_seed = seed + n});
+    for (const RunResult& result : results) {
+      if (result.completed && result.winner) {
+        steps.add(static_cast<double>(result.steps));
+        winners.add(*result.winner);
+      }
+    }
+    table.row()
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(lambda, 4)
+        .cell(steps.mean(), 1)
+        .cell(steps.ci95_halfwidth(), 1)
+        .cell(steps.mean() / (static_cast<double>(n) * n), 5)
+        .cell(winners.total() > 0 ? winners.fraction(winners.mode()) : 0.0, 3)
+        .cell(static_cast<std::int64_t>(winners.mode()));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_exact(const Args& args) {
+  Rng rng(args.get_u64("seed", 1));
+  const Graph graph = make_graph_from_spec(args.get("graph", "path:6"), rng);
+  const auto k = static_cast<int>(args.get_int("k", 3));
+  const SelectionScheme scheme = parse_scheme(args.get("scheme", "edge"));
+  const std::string opinions_text = args.get("opinions", "");
+  warn_unused(args);
+
+  const DivChain chain(graph, k, scheme);
+  std::vector<Opinion> start;
+  if (!opinions_text.empty()) {
+    std::istringstream stream(opinions_text);
+    std::string field;
+    while (std::getline(stream, field, ',')) {
+      start.push_back(static_cast<Opinion>(std::stoi(field)));
+    }
+  } else {
+    start = uniform_random_opinions(graph.num_vertices(), 0,
+                                    static_cast<Opinion>(k - 1), rng);
+  }
+  const std::uint64_t state = chain.encode(start);
+  std::cout << "graph: " << graph.summary() << ", " << chain.num_states()
+            << " states, scheme " << to_string(scheme) << "\n"
+            << "start:";
+  for (const Opinion o : start) {
+    std::cout << " " << o;
+  }
+  std::cout << "\nexact win distribution:\n";
+  const auto distribution = chain.absorption_distribution(state);
+  for (int j = 0; j < k; ++j) {
+    std::cout << "  P(" << j << ") = "
+              << format_double(distribution[static_cast<std::size_t>(j)], 6)
+              << "\n";
+  }
+  std::cout << "E[winner] = " << format_double(chain.expected_winner(state), 6)
+            << "\nE[steps to consensus] = "
+            << format_double(chain.expected_consensus_time(state), 2) << "\n";
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  Rng rng(args.get_u64("seed", 1));
+  const Graph graph = make_graph_from_spec(args.get("graph", "complete:128"), rng);
+  const auto k = static_cast<Opinion>(args.get_int("k", 5));
+  const SelectionScheme scheme = parse_scheme(args.get("scheme", "edge"));
+  const std::string process_name = args.get("process", "div");
+  const std::uint64_t stride =
+      args.get_u64("stride", std::max<std::uint64_t>(1, graph.num_vertices()));
+  const std::uint64_t max_steps = args.get_u64(
+      "max-steps", static_cast<std::uint64_t>(graph.num_vertices()) *
+                       graph.num_vertices() * 1000);
+  warn_unused(args);
+
+  OpinionState state(graph,
+                     uniform_random_opinions(graph.num_vertices(), 1, k, rng));
+  const auto process = make_process_from_spec(process_name, scheme, graph);
+  CountTrace trace(state, stride);
+  trace.maybe_record(0, state);
+  std::uint64_t step = 0;
+  while (!state.is_consensus() && step < max_steps) {
+    process->step(state, rng);
+    ++step;
+    trace.maybe_record(step, state);
+  }
+  trace.record(step, state);
+  trace.write_csv(std::cout);
+  return 0;
+}
+
+int cmd_meanfield(const Args& args) {
+  const auto k = static_cast<std::size_t>(args.get_u64("k", 5));
+  const double tau = args.get_double("tau", 10.0);
+  std::vector<double> fractions(k, 1.0 / static_cast<double>(k));
+  const std::string custom = args.get("fractions", "");
+  if (!custom.empty()) {
+    fractions.clear();
+    std::istringstream stream(custom);
+    std::string field;
+    while (std::getline(stream, field, ',')) {
+      fractions.push_back(std::stod(field));
+    }
+  }
+  warn_unused(args);
+  MeanFieldDiv flow(std::move(fractions));
+  std::cout << "mean opinion (invariant): " << format_double(flow.mean_opinion(), 4)
+            << "\n";
+  const int checkpoints = 10;
+  for (int i = 0; i <= checkpoints; ++i) {
+    if (i > 0) {
+      flow.integrate(tau / checkpoints);
+    }
+    std::cout << "tau=" << format_double(tau * i / checkpoints, 2) << "  x = [";
+    for (std::size_t j = 0; j < flow.num_opinions(); ++j) {
+      std::cout << (j > 0 ? ", " : "") << format_double(flow.fraction(j), 4);
+    }
+    std::cout << "]  extreme mass " << format_double(flow.extreme_mass(), 5)
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  const Args args(argc - 1, argv + 1);
+  try {
+    if (command == "run") {
+      return cmd_run(args);
+    }
+    if (command == "spectral") {
+      return cmd_spectral(args);
+    }
+    if (command == "graph") {
+      return cmd_graph(args);
+    }
+    if (command == "meanfield") {
+      return cmd_meanfield(args);
+    }
+    if (command == "trace") {
+      return cmd_trace(args);
+    }
+    if (command == "exact") {
+      return cmd_exact(args);
+    }
+    if (command == "sweep") {
+      return cmd_sweep(args);
+    }
+    if (command == "couple") {
+      return cmd_couple(args);
+    }
+    if (command == "--help" || command == "help") {
+      usage();
+      return 0;
+    }
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
