@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp01_win_distribution.dir/exp01_win_distribution.cpp.o"
+  "CMakeFiles/exp01_win_distribution.dir/exp01_win_distribution.cpp.o.d"
+  "exp01_win_distribution"
+  "exp01_win_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp01_win_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

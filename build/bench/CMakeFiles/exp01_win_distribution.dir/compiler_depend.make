@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp01_win_distribution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp02_time_vs_n.dir/exp02_time_vs_n.cpp.o"
+  "CMakeFiles/exp02_time_vs_n.dir/exp02_time_vs_n.cpp.o.d"
+  "exp02_time_vs_n"
+  "exp02_time_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp02_time_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp03_time_vs_k.dir/exp03_time_vs_k.cpp.o"
+  "CMakeFiles/exp03_time_vs_k.dir/exp03_time_vs_k.cpp.o.d"
+  "exp03_time_vs_k"
+  "exp03_time_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp03_time_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp04_two_opinion_odds.dir/exp04_two_opinion_odds.cpp.o"
+  "CMakeFiles/exp04_two_opinion_odds.dir/exp04_two_opinion_odds.cpp.o.d"
+  "exp04_two_opinion_odds"
+  "exp04_two_opinion_odds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp04_two_opinion_odds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp05_martingale_azuma.dir/exp05_martingale_azuma.cpp.o"
+  "CMakeFiles/exp05_martingale_azuma.dir/exp05_martingale_azuma.cpp.o.d"
+  "exp05_martingale_azuma"
+  "exp05_martingale_azuma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp05_martingale_azuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp06_path_counterexample.dir/exp06_path_counterexample.cpp.o"
+  "CMakeFiles/exp06_path_counterexample.dir/exp06_path_counterexample.cpp.o.d"
+  "exp06_path_counterexample"
+  "exp06_path_counterexample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp06_path_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp07_mode_median_mean.dir/exp07_mode_median_mean.cpp.o"
+  "CMakeFiles/exp07_mode_median_mean.dir/exp07_mode_median_mean.cpp.o.d"
+  "exp07_mode_median_mean"
+  "exp07_mode_median_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp07_mode_median_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

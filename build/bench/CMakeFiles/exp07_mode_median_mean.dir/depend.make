@@ -1,0 +1,2 @@
+# Empty dependencies file for exp07_mode_median_mean.
+# This may be replaced when dependencies are built.

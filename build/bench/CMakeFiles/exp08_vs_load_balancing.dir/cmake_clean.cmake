@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp08_vs_load_balancing.dir/exp08_vs_load_balancing.cpp.o"
+  "CMakeFiles/exp08_vs_load_balancing.dir/exp08_vs_load_balancing.cpp.o.d"
+  "exp08_vs_load_balancing"
+  "exp08_vs_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp08_vs_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

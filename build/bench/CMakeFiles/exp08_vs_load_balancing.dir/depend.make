@@ -1,0 +1,2 @@
+# Empty dependencies file for exp08_vs_load_balancing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp09_spectral_gaps.dir/exp09_spectral_gaps.cpp.o"
+  "CMakeFiles/exp09_spectral_gaps.dir/exp09_spectral_gaps.cpp.o.d"
+  "exp09_spectral_gaps"
+  "exp09_spectral_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp09_spectral_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_extreme_decay.dir/exp10_extreme_decay.cpp.o"
+  "CMakeFiles/exp10_extreme_decay.dir/exp10_extreme_decay.cpp.o.d"
+  "exp10_extreme_decay"
+  "exp10_extreme_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_extreme_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

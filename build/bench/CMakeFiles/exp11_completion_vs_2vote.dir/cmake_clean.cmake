@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp11_completion_vs_2vote.dir/exp11_completion_vs_2vote.cpp.o"
+  "CMakeFiles/exp11_completion_vs_2vote.dir/exp11_completion_vs_2vote.cpp.o.d"
+  "exp11_completion_vs_2vote"
+  "exp11_completion_vs_2vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp11_completion_vs_2vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp11_completion_vs_2vote.
+# This may be replaced when dependencies are built.

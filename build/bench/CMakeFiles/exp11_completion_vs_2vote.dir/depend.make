@@ -1,0 +1,2 @@
+# Empty dependencies file for exp11_completion_vs_2vote.
+# This may be replaced when dependencies are built.

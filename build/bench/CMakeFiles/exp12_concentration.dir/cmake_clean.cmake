@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_concentration.dir/exp12_concentration.cpp.o"
+  "CMakeFiles/exp12_concentration.dir/exp12_concentration.cpp.o.d"
+  "exp12_concentration"
+  "exp12_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp13_mixing_lemma.dir/exp13_mixing_lemma.cpp.o"
+  "CMakeFiles/exp13_mixing_lemma.dir/exp13_mixing_lemma.cpp.o.d"
+  "exp13_mixing_lemma"
+  "exp13_mixing_lemma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp13_mixing_lemma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

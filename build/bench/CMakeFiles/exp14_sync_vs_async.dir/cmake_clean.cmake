@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp14_sync_vs_async.dir/exp14_sync_vs_async.cpp.o"
+  "CMakeFiles/exp14_sync_vs_async.dir/exp14_sync_vs_async.cpp.o.d"
+  "exp14_sync_vs_async"
+  "exp14_sync_vs_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp14_sync_vs_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp15_meanfield.dir/exp15_meanfield.cpp.o"
+  "CMakeFiles/exp15_meanfield.dir/exp15_meanfield.cpp.o.d"
+  "exp15_meanfield"
+  "exp15_meanfield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp15_meanfield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp16_exact_small_graphs.dir/exp16_exact_small_graphs.cpp.o"
+  "CMakeFiles/exp16_exact_small_graphs.dir/exp16_exact_small_graphs.cpp.o.d"
+  "exp16_exact_small_graphs"
+  "exp16_exact_small_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp16_exact_small_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp16_exact_small_graphs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp17_ablations.dir/exp17_ablations.cpp.o"
+  "CMakeFiles/exp17_ablations.dir/exp17_ablations.cpp.o.d"
+  "exp17_ablations"
+  "exp17_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp17_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

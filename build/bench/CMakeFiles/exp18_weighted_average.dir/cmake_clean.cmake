@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp18_weighted_average.dir/exp18_weighted_average.cpp.o"
+  "CMakeFiles/exp18_weighted_average.dir/exp18_weighted_average.cpp.o.d"
+  "exp18_weighted_average"
+  "exp18_weighted_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp18_weighted_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp19_load_balancing_time.dir/exp19_load_balancing_time.cpp.o"
+  "CMakeFiles/exp19_load_balancing_time.dir/exp19_load_balancing_time.cpp.o.d"
+  "exp19_load_balancing_time"
+  "exp19_load_balancing_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp19_load_balancing_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

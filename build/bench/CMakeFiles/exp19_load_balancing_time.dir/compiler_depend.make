@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp19_load_balancing_time.
+# This may be replaced when dependencies are built.

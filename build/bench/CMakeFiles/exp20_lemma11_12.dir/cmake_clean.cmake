@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp20_lemma11_12.dir/exp20_lemma11_12.cpp.o"
+  "CMakeFiles/exp20_lemma11_12.dir/exp20_lemma11_12.cpp.o.d"
+  "exp20_lemma11_12"
+  "exp20_lemma11_12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp20_lemma11_12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

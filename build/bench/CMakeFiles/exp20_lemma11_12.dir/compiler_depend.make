@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp20_lemma11_12.
+# This may be replaced when dependencies are built.

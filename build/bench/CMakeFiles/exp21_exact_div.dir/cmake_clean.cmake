@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp21_exact_div.dir/exp21_exact_div.cpp.o"
+  "CMakeFiles/exp21_exact_div.dir/exp21_exact_div.cpp.o.d"
+  "exp21_exact_div"
+  "exp21_exact_div.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp21_exact_div.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp21_exact_div.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expander_vs_path.dir/expander_vs_path.cpp.o"
+  "CMakeFiles/expander_vs_path.dir/expander_vs_path.cpp.o.d"
+  "expander_vs_path"
+  "expander_vs_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expander_vs_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

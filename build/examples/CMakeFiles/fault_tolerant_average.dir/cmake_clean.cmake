@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_average.dir/fault_tolerant_average.cpp.o"
+  "CMakeFiles/fault_tolerant_average.dir/fault_tolerant_average.cpp.o.d"
+  "fault_tolerant_average"
+  "fault_tolerant_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opinion_survey.dir/opinion_survey.cpp.o"
+  "CMakeFiles/opinion_survey.dir/opinion_survey.cpp.o.d"
+  "opinion_survey"
+  "opinion_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opinion_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/args.cpp" "src/CMakeFiles/div_cli.dir/cli/args.cpp.o" "gcc" "src/CMakeFiles/div_cli.dir/cli/args.cpp.o.d"
+  "/root/repo/src/cli/graph_spec.cpp" "src/CMakeFiles/div_cli.dir/cli/graph_spec.cpp.o" "gcc" "src/CMakeFiles/div_cli.dir/cli/graph_spec.cpp.o.d"
+  "/root/repo/src/cli/process_spec.cpp" "src/CMakeFiles/div_cli.dir/cli/process_spec.cpp.o" "gcc" "src/CMakeFiles/div_cli.dir/cli/process_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/div_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

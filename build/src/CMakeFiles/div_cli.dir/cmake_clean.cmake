@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/div_cli.dir/cli/args.cpp.o"
+  "CMakeFiles/div_cli.dir/cli/args.cpp.o.d"
+  "CMakeFiles/div_cli.dir/cli/graph_spec.cpp.o"
+  "CMakeFiles/div_cli.dir/cli/graph_spec.cpp.o.d"
+  "CMakeFiles/div_cli.dir/cli/process_spec.cpp.o"
+  "CMakeFiles/div_cli.dir/cli/process_spec.cpp.o.d"
+  "libdiv_cli.a"
+  "libdiv_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/div_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

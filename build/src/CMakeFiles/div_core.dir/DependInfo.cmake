@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/best_of_three.cpp" "src/CMakeFiles/div_core.dir/core/best_of_three.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/best_of_three.cpp.o.d"
+  "/root/repo/src/core/best_of_two.cpp" "src/CMakeFiles/div_core.dir/core/best_of_two.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/best_of_two.cpp.o.d"
+  "/root/repo/src/core/coupling.cpp" "src/CMakeFiles/div_core.dir/core/coupling.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/coupling.cpp.o.d"
+  "/root/repo/src/core/div_process.cpp" "src/CMakeFiles/div_core.dir/core/div_process.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/div_process.cpp.o.d"
+  "/root/repo/src/core/faulty_process.cpp" "src/CMakeFiles/div_core.dir/core/faulty_process.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/faulty_process.cpp.o.d"
+  "/root/repo/src/core/load_balancing.cpp" "src/CMakeFiles/div_core.dir/core/load_balancing.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/load_balancing.cpp.o.d"
+  "/root/repo/src/core/mean_field.cpp" "src/CMakeFiles/div_core.dir/core/mean_field.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/mean_field.cpp.o.d"
+  "/root/repo/src/core/median_voting.cpp" "src/CMakeFiles/div_core.dir/core/median_voting.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/median_voting.cpp.o.d"
+  "/root/repo/src/core/opinion_state.cpp" "src/CMakeFiles/div_core.dir/core/opinion_state.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/opinion_state.cpp.o.d"
+  "/root/repo/src/core/pull_voting.cpp" "src/CMakeFiles/div_core.dir/core/pull_voting.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/pull_voting.cpp.o.d"
+  "/root/repo/src/core/push_voting.cpp" "src/CMakeFiles/div_core.dir/core/push_voting.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/push_voting.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/CMakeFiles/div_core.dir/core/selection.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/selection.cpp.o.d"
+  "/root/repo/src/core/step_size.cpp" "src/CMakeFiles/div_core.dir/core/step_size.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/step_size.cpp.o.d"
+  "/root/repo/src/core/sync_process.cpp" "src/CMakeFiles/div_core.dir/core/sync_process.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/sync_process.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/CMakeFiles/div_core.dir/core/theory.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/div_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

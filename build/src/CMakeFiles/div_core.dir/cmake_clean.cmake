@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/div_core.dir/core/best_of_three.cpp.o"
+  "CMakeFiles/div_core.dir/core/best_of_three.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/best_of_two.cpp.o"
+  "CMakeFiles/div_core.dir/core/best_of_two.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/coupling.cpp.o"
+  "CMakeFiles/div_core.dir/core/coupling.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/div_process.cpp.o"
+  "CMakeFiles/div_core.dir/core/div_process.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/faulty_process.cpp.o"
+  "CMakeFiles/div_core.dir/core/faulty_process.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/load_balancing.cpp.o"
+  "CMakeFiles/div_core.dir/core/load_balancing.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/mean_field.cpp.o"
+  "CMakeFiles/div_core.dir/core/mean_field.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/median_voting.cpp.o"
+  "CMakeFiles/div_core.dir/core/median_voting.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/opinion_state.cpp.o"
+  "CMakeFiles/div_core.dir/core/opinion_state.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/pull_voting.cpp.o"
+  "CMakeFiles/div_core.dir/core/pull_voting.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/push_voting.cpp.o"
+  "CMakeFiles/div_core.dir/core/push_voting.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/selection.cpp.o"
+  "CMakeFiles/div_core.dir/core/selection.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/step_size.cpp.o"
+  "CMakeFiles/div_core.dir/core/step_size.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/sync_process.cpp.o"
+  "CMakeFiles/div_core.dir/core/sync_process.cpp.o.d"
+  "CMakeFiles/div_core.dir/core/theory.cpp.o"
+  "CMakeFiles/div_core.dir/core/theory.cpp.o.d"
+  "libdiv_core.a"
+  "libdiv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/div_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/count_trace.cpp" "src/CMakeFiles/div_engine.dir/engine/count_trace.cpp.o" "gcc" "src/CMakeFiles/div_engine.dir/engine/count_trace.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/CMakeFiles/div_engine.dir/engine/engine.cpp.o" "gcc" "src/CMakeFiles/div_engine.dir/engine/engine.cpp.o.d"
+  "/root/repo/src/engine/initial_config.cpp" "src/CMakeFiles/div_engine.dir/engine/initial_config.cpp.o" "gcc" "src/CMakeFiles/div_engine.dir/engine/initial_config.cpp.o.d"
+  "/root/repo/src/engine/montecarlo.cpp" "src/CMakeFiles/div_engine.dir/engine/montecarlo.cpp.o" "gcc" "src/CMakeFiles/div_engine.dir/engine/montecarlo.cpp.o.d"
+  "/root/repo/src/engine/snapshot.cpp" "src/CMakeFiles/div_engine.dir/engine/snapshot.cpp.o" "gcc" "src/CMakeFiles/div_engine.dir/engine/snapshot.cpp.o.d"
+  "/root/repo/src/engine/stage_log.cpp" "src/CMakeFiles/div_engine.dir/engine/stage_log.cpp.o" "gcc" "src/CMakeFiles/div_engine.dir/engine/stage_log.cpp.o.d"
+  "/root/repo/src/engine/stop_condition.cpp" "src/CMakeFiles/div_engine.dir/engine/stop_condition.cpp.o" "gcc" "src/CMakeFiles/div_engine.dir/engine/stop_condition.cpp.o.d"
+  "/root/repo/src/engine/sync_engine.cpp" "src/CMakeFiles/div_engine.dir/engine/sync_engine.cpp.o" "gcc" "src/CMakeFiles/div_engine.dir/engine/sync_engine.cpp.o.d"
+  "/root/repo/src/engine/trace.cpp" "src/CMakeFiles/div_engine.dir/engine/trace.cpp.o" "gcc" "src/CMakeFiles/div_engine.dir/engine/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/div_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

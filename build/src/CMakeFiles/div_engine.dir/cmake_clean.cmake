@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/div_engine.dir/engine/count_trace.cpp.o"
+  "CMakeFiles/div_engine.dir/engine/count_trace.cpp.o.d"
+  "CMakeFiles/div_engine.dir/engine/engine.cpp.o"
+  "CMakeFiles/div_engine.dir/engine/engine.cpp.o.d"
+  "CMakeFiles/div_engine.dir/engine/initial_config.cpp.o"
+  "CMakeFiles/div_engine.dir/engine/initial_config.cpp.o.d"
+  "CMakeFiles/div_engine.dir/engine/montecarlo.cpp.o"
+  "CMakeFiles/div_engine.dir/engine/montecarlo.cpp.o.d"
+  "CMakeFiles/div_engine.dir/engine/snapshot.cpp.o"
+  "CMakeFiles/div_engine.dir/engine/snapshot.cpp.o.d"
+  "CMakeFiles/div_engine.dir/engine/stage_log.cpp.o"
+  "CMakeFiles/div_engine.dir/engine/stage_log.cpp.o.d"
+  "CMakeFiles/div_engine.dir/engine/stop_condition.cpp.o"
+  "CMakeFiles/div_engine.dir/engine/stop_condition.cpp.o.d"
+  "CMakeFiles/div_engine.dir/engine/sync_engine.cpp.o"
+  "CMakeFiles/div_engine.dir/engine/sync_engine.cpp.o.d"
+  "CMakeFiles/div_engine.dir/engine/trace.cpp.o"
+  "CMakeFiles/div_engine.dir/engine/trace.cpp.o.d"
+  "libdiv_engine.a"
+  "libdiv_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/div_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

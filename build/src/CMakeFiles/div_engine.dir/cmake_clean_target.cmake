@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiv_engine.a"
+)

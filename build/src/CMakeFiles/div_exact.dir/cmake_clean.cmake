@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/div_exact.dir/exact/div_chain.cpp.o"
+  "CMakeFiles/div_exact.dir/exact/div_chain.cpp.o.d"
+  "CMakeFiles/div_exact.dir/exact/two_voting_chain.cpp.o"
+  "CMakeFiles/div_exact.dir/exact/two_voting_chain.cpp.o.d"
+  "libdiv_exact.a"
+  "libdiv_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/div_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/div_graph.dir/graph/analysis.cpp.o"
+  "CMakeFiles/div_graph.dir/graph/analysis.cpp.o.d"
+  "CMakeFiles/div_graph.dir/graph/builder.cpp.o"
+  "CMakeFiles/div_graph.dir/graph/builder.cpp.o.d"
+  "CMakeFiles/div_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/div_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/div_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/div_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/div_graph.dir/graph/graph_io.cpp.o"
+  "CMakeFiles/div_graph.dir/graph/graph_io.cpp.o.d"
+  "CMakeFiles/div_graph.dir/graph/random_graphs.cpp.o"
+  "CMakeFiles/div_graph.dir/graph/random_graphs.cpp.o.d"
+  "libdiv_graph.a"
+  "libdiv_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/div_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/div_io.dir/io/csv.cpp.o"
+  "CMakeFiles/div_io.dir/io/csv.cpp.o.d"
+  "CMakeFiles/div_io.dir/io/table.cpp.o"
+  "CMakeFiles/div_io.dir/io/table.cpp.o.d"
+  "libdiv_io.a"
+  "libdiv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/div_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

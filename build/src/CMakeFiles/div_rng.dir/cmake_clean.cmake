@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/div_rng.dir/rng/alias_table.cpp.o"
+  "CMakeFiles/div_rng.dir/rng/alias_table.cpp.o.d"
+  "CMakeFiles/div_rng.dir/rng/rng.cpp.o"
+  "CMakeFiles/div_rng.dir/rng/rng.cpp.o.d"
+  "libdiv_rng.a"
+  "libdiv_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/div_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

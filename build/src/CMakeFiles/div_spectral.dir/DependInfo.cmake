@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spectral/dense_matrix.cpp" "src/CMakeFiles/div_spectral.dir/spectral/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/div_spectral.dir/spectral/dense_matrix.cpp.o.d"
+  "/root/repo/src/spectral/jacobi.cpp" "src/CMakeFiles/div_spectral.dir/spectral/jacobi.cpp.o" "gcc" "src/CMakeFiles/div_spectral.dir/spectral/jacobi.cpp.o.d"
+  "/root/repo/src/spectral/lambda.cpp" "src/CMakeFiles/div_spectral.dir/spectral/lambda.cpp.o" "gcc" "src/CMakeFiles/div_spectral.dir/spectral/lambda.cpp.o.d"
+  "/root/repo/src/spectral/linear_solver.cpp" "src/CMakeFiles/div_spectral.dir/spectral/linear_solver.cpp.o" "gcc" "src/CMakeFiles/div_spectral.dir/spectral/linear_solver.cpp.o.d"
+  "/root/repo/src/spectral/power_iteration.cpp" "src/CMakeFiles/div_spectral.dir/spectral/power_iteration.cpp.o" "gcc" "src/CMakeFiles/div_spectral.dir/spectral/power_iteration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/div_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/div_spectral.dir/spectral/dense_matrix.cpp.o"
+  "CMakeFiles/div_spectral.dir/spectral/dense_matrix.cpp.o.d"
+  "CMakeFiles/div_spectral.dir/spectral/jacobi.cpp.o"
+  "CMakeFiles/div_spectral.dir/spectral/jacobi.cpp.o.d"
+  "CMakeFiles/div_spectral.dir/spectral/lambda.cpp.o"
+  "CMakeFiles/div_spectral.dir/spectral/lambda.cpp.o.d"
+  "CMakeFiles/div_spectral.dir/spectral/linear_solver.cpp.o"
+  "CMakeFiles/div_spectral.dir/spectral/linear_solver.cpp.o.d"
+  "CMakeFiles/div_spectral.dir/spectral/power_iteration.cpp.o"
+  "CMakeFiles/div_spectral.dir/spectral/power_iteration.cpp.o.d"
+  "libdiv_spectral.a"
+  "libdiv_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/div_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

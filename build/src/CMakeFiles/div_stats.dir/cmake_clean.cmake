@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/div_stats.dir/stats/chi_square.cpp.o"
+  "CMakeFiles/div_stats.dir/stats/chi_square.cpp.o.d"
+  "CMakeFiles/div_stats.dir/stats/ecdf.cpp.o"
+  "CMakeFiles/div_stats.dir/stats/ecdf.cpp.o.d"
+  "CMakeFiles/div_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/div_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/div_stats.dir/stats/regression.cpp.o"
+  "CMakeFiles/div_stats.dir/stats/regression.cpp.o.d"
+  "CMakeFiles/div_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/div_stats.dir/stats/summary.cpp.o.d"
+  "libdiv_stats.a"
+  "libdiv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/div_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alias_table.cpp" "tests/CMakeFiles/div_tests.dir/test_alias_table.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_alias_table.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/div_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_best_of_three.cpp" "tests/CMakeFiles/div_tests.dir/test_best_of_three.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_best_of_three.cpp.o.d"
+  "/root/repo/tests/test_best_of_two.cpp" "tests/CMakeFiles/div_tests.dir/test_best_of_two.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_best_of_two.cpp.o.d"
+  "/root/repo/tests/test_builder.cpp" "tests/CMakeFiles/div_tests.dir/test_builder.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_builder.cpp.o.d"
+  "/root/repo/tests/test_chi_square.cpp" "tests/CMakeFiles/div_tests.dir/test_chi_square.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_chi_square.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/div_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_count_trace.cpp" "tests/CMakeFiles/div_tests.dir/test_count_trace.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_count_trace.cpp.o.d"
+  "/root/repo/tests/test_coupling.cpp" "tests/CMakeFiles/div_tests.dir/test_coupling.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_coupling.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/div_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_div_chain.cpp" "tests/CMakeFiles/div_tests.dir/test_div_chain.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_div_chain.cpp.o.d"
+  "/root/repo/tests/test_div_process.cpp" "tests/CMakeFiles/div_tests.dir/test_div_process.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_div_process.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/div_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_exact_chain.cpp" "tests/CMakeFiles/div_tests.dir/test_exact_chain.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_exact_chain.cpp.o.d"
+  "/root/repo/tests/test_exact_cross_validation.cpp" "tests/CMakeFiles/div_tests.dir/test_exact_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_exact_cross_validation.cpp.o.d"
+  "/root/repo/tests/test_faulty_process.cpp" "tests/CMakeFiles/div_tests.dir/test_faulty_process.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_faulty_process.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/div_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/div_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_io.cpp" "tests/CMakeFiles/div_tests.dir/test_graph_io.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_graph_io.cpp.o.d"
+  "/root/repo/tests/test_initial_config.cpp" "tests/CMakeFiles/div_tests.dir/test_initial_config.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_initial_config.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/div_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_load_balancing.cpp" "tests/CMakeFiles/div_tests.dir/test_load_balancing.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_load_balancing.cpp.o.d"
+  "/root/repo/tests/test_mean_field.cpp" "tests/CMakeFiles/div_tests.dir/test_mean_field.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_mean_field.cpp.o.d"
+  "/root/repo/tests/test_median_voting.cpp" "tests/CMakeFiles/div_tests.dir/test_median_voting.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_median_voting.cpp.o.d"
+  "/root/repo/tests/test_montecarlo.cpp" "tests/CMakeFiles/div_tests.dir/test_montecarlo.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_montecarlo.cpp.o.d"
+  "/root/repo/tests/test_opinion_state.cpp" "tests/CMakeFiles/div_tests.dir/test_opinion_state.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_opinion_state.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/div_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_pull_voting.cpp" "tests/CMakeFiles/div_tests.dir/test_pull_voting.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_pull_voting.cpp.o.d"
+  "/root/repo/tests/test_push_voting.cpp" "tests/CMakeFiles/div_tests.dir/test_push_voting.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_push_voting.cpp.o.d"
+  "/root/repo/tests/test_random_graphs.cpp" "tests/CMakeFiles/div_tests.dir/test_random_graphs.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_random_graphs.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/div_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_selection.cpp" "tests/CMakeFiles/div_tests.dir/test_selection.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_selection.cpp.o.d"
+  "/root/repo/tests/test_snapshot.cpp" "tests/CMakeFiles/div_tests.dir/test_snapshot.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_snapshot.cpp.o.d"
+  "/root/repo/tests/test_spectral.cpp" "tests/CMakeFiles/div_tests.dir/test_spectral.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_spectral.cpp.o.d"
+  "/root/repo/tests/test_stage_log.cpp" "tests/CMakeFiles/div_tests.dir/test_stage_log.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_stage_log.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/div_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_step_size.cpp" "tests/CMakeFiles/div_tests.dir/test_step_size.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_step_size.cpp.o.d"
+  "/root/repo/tests/test_sync.cpp" "tests/CMakeFiles/div_tests.dir/test_sync.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_sync.cpp.o.d"
+  "/root/repo/tests/test_sync_properties.cpp" "tests/CMakeFiles/div_tests.dir/test_sync_properties.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_sync_properties.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/div_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_theory.cpp" "tests/CMakeFiles/div_tests.dir/test_theory.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_theory.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/div_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/div_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

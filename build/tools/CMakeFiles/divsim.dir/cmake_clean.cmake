@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divsim.dir/divsim.cpp.o"
+  "CMakeFiles/divsim.dir/divsim.cpp.o.d"
+  "divsim"
+  "divsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
