@@ -1,0 +1,264 @@
+// EXP-22 -- fault tolerance of the DIV process (Theorem 2 under adversity).
+//
+// On a random regular expander with initial average c = 2.3 the paper
+// predicts consensus on floor(c) = 2 with probability ceil(c) - c = 0.7 and
+// on ceil(c) = 3 with probability c - floor(c) = 0.3.
+//
+//   Table A: uniform message loss.  Dropping each interaction i.i.d. with
+//            probability p only thins the schedule: the embedded jump chain
+//            is untouched, so the win odds must stay at the paper value while
+//            the mean consensus time stretches by exactly 1/(1-p).
+//   Table B: stubborn Byzantine liars.  A fraction f of vertices never
+//            update and answer every pull with a lie (fresh uniform, or the
+//            fixed extreme 4).  Full consensus is generally impossible, so
+//            we report the mode over the HONEST vertices at a step cap: the
+//            degradation curve of the paper's prediction for f = 0..5%.
+//   Table C: scheduled churn.  A wave of vertices crashes at step A and
+//            recovers at step B; recovered vertices rejoin the dynamics and
+//            the run still completes, at a modest stretch.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cli/fault_spec.hpp"
+#include "common.hpp"
+#include "core/div_process.hpp"
+#include "core/faulty_process.hpp"
+#include "engine/initial_config.hpp"
+#include "graph/random_graphs.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+using namespace divlib;
+
+constexpr VertexId kN = 190;
+constexpr std::uint32_t kDegree = 12;
+constexpr std::int64_t kTargetSum = 437;  // c = 437/190 = 2.3 exactly
+constexpr Opinion kLo = 1;
+constexpr Opinion kHi = 4;
+constexpr double kPaperWinLow = 0.7;  // ceil(c) - c
+
+// Outcome of one replica, compact enough to aggregate.
+struct Replica {
+  std::optional<Opinion> winner;
+  std::uint64_t steps = 0;
+  bool completed = false;
+  Opinion honest_mode = 0;
+  std::uint64_t recoveries = 0;
+};
+
+struct Cell {
+  IntCounter winners;
+  IntCounter honest_modes;
+  Summary steps;
+  std::uint64_t completed = 0;
+  std::uint64_t capped = 0;
+  std::uint64_t replicas = 0;
+  std::uint64_t recoveries = 0;
+};
+
+Opinion honest_mode(const OpinionState& state, const FaultPlan& plan) {
+  std::vector<bool> byzantine(state.num_vertices(), false);
+  for (const ByzantineSpec& spec : plan.byzantine()) {
+    byzantine[spec.vertex] = true;
+  }
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(kHi - kLo + 1), 0);
+  for (VertexId v = 0; v < state.num_vertices(); ++v) {
+    if (!byzantine[v]) {
+      ++counts[static_cast<std::size_t>(state.opinion(v) - kLo)];
+    }
+  }
+  const auto it = std::max_element(counts.begin(), counts.end());
+  return static_cast<Opinion>(kLo + (it - counts.begin()));
+}
+
+// Runs one fault scenario; every replica gets a private fault stream derived
+// from (salt, replica) and a private materialization of `spec`.
+Cell run_cell(const Graph& g, const FaultSpec& spec, std::size_t replicas,
+              std::uint64_t max_steps, std::uint64_t salt) {
+  const auto batch = divbench::mc_options(salt);
+  const std::uint64_t master = batch.master_seed;
+  const auto isolated = run_replicas_isolated<Replica>(
+      replicas,
+      [&g, &spec, max_steps, master](std::size_t replica, Rng& rng) {
+        Rng fault_rng(Rng::substream_seed(master ^ 0xfa22ULL, replica));
+        FaultPlan plan =
+            materialize_fault_plan(spec, g.num_vertices(),
+                                   Rng::substream_seed(master, replica ^ 0x22),
+                                   fault_rng);
+        OpinionState state(g, opinions_with_sum(g.num_vertices(), kLo, kHi,
+                                                kTargetSum, rng));
+        FaultyProcess process(
+            std::make_unique<DivProcess>(g, SelectionScheme::kEdge),
+            std::move(plan));
+        RunOptions options;
+        options.max_steps = max_steps;
+        const RunResult result = run_guarded(process, state, rng, options);
+        Replica out;
+        out.winner = result.winner;
+        out.steps = result.steps;
+        out.completed = result.completed;
+        out.honest_mode = honest_mode(state, process.plan());
+        out.recoveries = process.recoveries();
+        return out;
+      },
+      batch);
+  if (!isolated.report.ok()) {
+    std::cerr << "warning: " << isolated.report.errors.size()
+              << " replicas failed persistently; first: replica "
+              << isolated.report.errors.front().replica << ": "
+              << isolated.report.errors.front().message << "\n";
+  }
+  Cell cell;
+  for (const auto& replica : isolated.results) {
+    if (!replica) {
+      continue;
+    }
+    ++cell.replicas;
+    replica->completed ? ++cell.completed : ++cell.capped;
+    if (replica->winner) {
+      cell.winners.add(*replica->winner);
+    }
+    cell.honest_modes.add(replica->honest_mode);
+    cell.steps.add(static_cast<double>(replica->steps));
+    cell.recoveries += replica->recoveries;
+  }
+  return cell;
+}
+
+FaultSpec spec_of(const std::string& text) {
+  return text.empty() ? FaultSpec{} : parse_fault_spec(text);
+}
+
+}  // namespace
+
+int main() {
+  const int scale = divbench::scale();
+  const Graph g = [] {
+    Rng graph_rng(0x22);
+    return make_connected_random_regular(kN, kDegree, graph_rng);
+  }();
+
+  divlib::print_banner(
+      std::cout, "EXP-22  Theorem 2 under faults: drop, Byzantine, churn");
+  std::cout << "graph: random " << kDegree << "-regular, n = " << kN
+            << "; opinions " << kLo << ".." << kHi << " with average c = 2.3\n"
+            << "paper: P(win = 2) = 0.7, P(win = 3) = 0.3\n\n";
+
+  std::uint64_t salt = 0x2200;
+
+  // ---- Table A: message loss -----------------------------------------
+  {
+    const std::size_t replicas = static_cast<std::size_t>(600 * scale);
+    std::cout << "Table A -- i.i.d. message loss (" << replicas
+              << " replicas per row)\n";
+    Table table({"drop", "P(win=2) measured", "paper", "E[steps]",
+                 "stretch", "paper 1/(1-p)", "capped"});
+    double baseline_steps = 0.0;
+    // All rows share one salt: replica streams (hence initial configs and
+    // the accepted interaction sequences) are COUPLED across drop rates, so
+    // jump-chain invariance shows up as an identical win column, not merely
+    // a statistically close one.
+    const std::uint64_t coupled_salt = salt++;
+    for (const double p : {0.0, 0.1, 0.25, 0.5}) {
+      FaultSpec spec;
+      spec.drop = p;
+      const Cell cell =
+          run_cell(g, spec, replicas, /*max_steps=*/50'000'000, coupled_salt);
+      if (p == 0.0) {
+        baseline_steps = cell.steps.mean();
+      }
+      table.row()
+          .cell(p, 2)
+          .cell(divbench::fraction_with_ci(cell.winners.count(2),
+                                           cell.winners.total()))
+          .cell(kPaperWinLow, 3)
+          .cell(cell.steps.mean(), 0)
+          .cell(cell.steps.mean() / baseline_steps, 3)
+          .cell(1.0 / (1.0 - p), 3)
+          .cell(cell.capped);
+    }
+    table.print(std::cout);
+    std::cout << "Expected shape: the win column is IDENTICAL down all rows "
+                 "(coupled streams\n+ jump-chain invariance) and near the "
+                 "paper's 0.7; stretch tracks 1/(1-p).\n\n";
+  }
+
+  // ---- Table B: Byzantine liars --------------------------------------
+  {
+    const std::size_t replicas = static_cast<std::size_t>(200 * scale);
+    const std::uint64_t cap = 400'000;
+    std::cout << "Table B -- stubborn Byzantine liars, honest mode at a "
+              << cap << "-step cap (" << replicas << " replicas per row)\n";
+    Table table({"byzantine", "lies", "P(honest mode=2)", "P(mode=3)",
+                 "P(mode=4)", "full consensus"});
+    const std::vector<std::pair<std::string, std::string>> cells = {
+        {"", "none"},
+        {"byzantine=0.01", "random"},
+        {"byzantine=0.02", "random"},
+        {"byzantine=0.05", "random"},
+        {"byzantine=0.01:4", "fixed 4"},
+        {"byzantine=0.02:4", "fixed 4"},
+        {"byzantine=0.05:4", "fixed 4"},
+    };
+    for (const auto& [text, label] : cells) {
+      const FaultSpec spec = spec_of(text);
+      const Cell cell = run_cell(g, spec, replicas, cap, salt++);
+      table.row()
+          .cell(spec.byzantine_fraction, 2)
+          .cell(label)
+          .cell(divbench::fraction_with_ci(cell.honest_modes.count(2),
+                                           cell.honest_modes.total()))
+          .cell(cell.honest_modes.fraction(3), 3)
+          .cell(cell.honest_modes.fraction(4), 3)
+          .cell(divbench::fraction_with_ci(cell.completed, cell.replicas));
+    }
+    table.print(std::cout);
+    std::cout << "Expected shape: random lies bias the honest mode toward "
+                 "the lie mean 2.5\n(P(mode=3) rises); fixed-4 liars hijack "
+                 "the honest majority to 4 already\nat f = 1%, and full "
+                 "consensus collapses for any f > 0 (stubborn vertices\n"
+                 "never agree).  Averaging dynamics trade Theorem 2 "
+                 "precision for this\nknown fragility to coordinated "
+                 "extremists.\n\n";
+  }
+
+  // ---- Table C: scheduled churn --------------------------------------
+  {
+    const std::size_t replicas = static_cast<std::size_t>(400 * scale);
+    std::cout << "Table C -- churn waves crash=F@[A,B] (" << replicas
+              << " replicas per row)\n";
+    Table table({"wave", "completed", "P(win=2) measured", "E[steps]",
+                 "E[recoveries]"});
+    const std::vector<std::string> waves = {
+        "",
+        "crash=0.1@[0,20000]",
+        "crash=0.1@[10000,30000]",
+        "crash=0.05@[0,20000],crash=0.05@[20000,40000]",
+    };
+    for (const std::string& text : waves) {
+      const Cell cell = run_cell(g, spec_of(text), replicas,
+                                 /*max_steps=*/50'000'000, salt++);
+      table.row()
+          .cell(text.empty() ? std::string("(none)") : text)
+          .cell(divbench::fraction_with_ci(cell.completed, cell.replicas))
+          .cell(divbench::fraction_with_ci(cell.winners.count(2),
+                                           cell.winners.total()))
+          .cell(cell.steps.mean(), 0)
+          .cell(static_cast<double>(cell.recoveries) /
+                    static_cast<double>(cell.replicas),
+                1);
+    }
+    table.print(std::cout);
+    std::cout << "Expected shape: every churn run completes (recovered "
+                 "vertices rejoin)\nat a modest step stretch; single waves "
+                 "keep win odds near 0.7, sustained\nback-to-back churn "
+                 "drags them below it.\n";
+  }
+  return 0;
+}

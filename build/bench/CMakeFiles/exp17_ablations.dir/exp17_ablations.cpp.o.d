@@ -219,6 +219,7 @@ bench/CMakeFiles/exp17_ablations.dir/exp17_ablations.cpp.o: \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/stats/summary.hpp \
  /root/repo/src/core/div_process.hpp /root/repo/src/core/selection.hpp \
- /root/repo/src/core/faulty_process.hpp /root/repo/src/core/step_size.hpp \
+ /root/repo/src/core/faulty_process.hpp \
+ /root/repo/src/core/fault_plan.hpp /root/repo/src/core/step_size.hpp \
  /root/repo/src/core/theory.hpp /root/repo/src/engine/initial_config.hpp \
  /root/repo/src/graph/generators.hpp /root/repo/src/io/table.hpp

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp22_fault_tolerance.cpp" "bench/CMakeFiles/exp22_fault_tolerance.dir/exp22_fault_tolerance.cpp.o" "gcc" "bench/CMakeFiles/exp22_fault_tolerance.dir/exp22_fault_tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_spectral.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/div_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp22_fault_tolerance.dir/exp22_fault_tolerance.cpp.o"
+  "CMakeFiles/exp22_fault_tolerance.dir/exp22_fault_tolerance.cpp.o.d"
+  "exp22_fault_tolerance"
+  "exp22_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp22_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -225,7 +225,8 @@ examples/CMakeFiles/fault_tolerant_average.dir/fault_tolerant_average.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/graph/graph.hpp \
  /root/repo/src/rng/rng.hpp /root/repo/src/core/selection.hpp \
- /root/repo/src/core/faulty_process.hpp /root/repo/src/engine/engine.hpp \
+ /root/repo/src/core/faulty_process.hpp \
+ /root/repo/src/core/fault_plan.hpp /root/repo/src/engine/engine.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/engine/stop_condition.hpp /root/repo/src/engine/trace.hpp \

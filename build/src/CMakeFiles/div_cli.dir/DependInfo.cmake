@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/cli/args.cpp" "src/CMakeFiles/div_cli.dir/cli/args.cpp.o" "gcc" "src/CMakeFiles/div_cli.dir/cli/args.cpp.o.d"
+  "/root/repo/src/cli/fault_spec.cpp" "src/CMakeFiles/div_cli.dir/cli/fault_spec.cpp.o" "gcc" "src/CMakeFiles/div_cli.dir/cli/fault_spec.cpp.o.d"
   "/root/repo/src/cli/graph_spec.cpp" "src/CMakeFiles/div_cli.dir/cli/graph_spec.cpp.o" "gcc" "src/CMakeFiles/div_cli.dir/cli/graph_spec.cpp.o.d"
   "/root/repo/src/cli/process_spec.cpp" "src/CMakeFiles/div_cli.dir/cli/process_spec.cpp.o" "gcc" "src/CMakeFiles/div_cli.dir/cli/process_spec.cpp.o.d"
   )

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/div_cli.dir/cli/args.cpp.o"
   "CMakeFiles/div_cli.dir/cli/args.cpp.o.d"
+  "CMakeFiles/div_cli.dir/cli/fault_spec.cpp.o"
+  "CMakeFiles/div_cli.dir/cli/fault_spec.cpp.o.d"
   "CMakeFiles/div_cli.dir/cli/graph_spec.cpp.o"
   "CMakeFiles/div_cli.dir/cli/graph_spec.cpp.o.d"
   "CMakeFiles/div_cli.dir/cli/process_spec.cpp.o"

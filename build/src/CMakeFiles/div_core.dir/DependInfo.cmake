@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/best_of_two.cpp" "src/CMakeFiles/div_core.dir/core/best_of_two.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/best_of_two.cpp.o.d"
   "/root/repo/src/core/coupling.cpp" "src/CMakeFiles/div_core.dir/core/coupling.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/coupling.cpp.o.d"
   "/root/repo/src/core/div_process.cpp" "src/CMakeFiles/div_core.dir/core/div_process.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/div_process.cpp.o.d"
+  "/root/repo/src/core/fault_plan.cpp" "src/CMakeFiles/div_core.dir/core/fault_plan.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/fault_plan.cpp.o.d"
   "/root/repo/src/core/faulty_process.cpp" "src/CMakeFiles/div_core.dir/core/faulty_process.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/faulty_process.cpp.o.d"
   "/root/repo/src/core/load_balancing.cpp" "src/CMakeFiles/div_core.dir/core/load_balancing.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/load_balancing.cpp.o.d"
   "/root/repo/src/core/mean_field.cpp" "src/CMakeFiles/div_core.dir/core/mean_field.cpp.o" "gcc" "src/CMakeFiles/div_core.dir/core/mean_field.cpp.o.d"

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/args.cpp" "src/CMakeFiles/divlib_asan.dir/cli/args.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/cli/args.cpp.o.d"
+  "/root/repo/src/cli/fault_spec.cpp" "src/CMakeFiles/divlib_asan.dir/cli/fault_spec.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/cli/fault_spec.cpp.o.d"
+  "/root/repo/src/cli/graph_spec.cpp" "src/CMakeFiles/divlib_asan.dir/cli/graph_spec.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/cli/graph_spec.cpp.o.d"
+  "/root/repo/src/cli/process_spec.cpp" "src/CMakeFiles/divlib_asan.dir/cli/process_spec.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/cli/process_spec.cpp.o.d"
+  "/root/repo/src/core/best_of_three.cpp" "src/CMakeFiles/divlib_asan.dir/core/best_of_three.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/best_of_three.cpp.o.d"
+  "/root/repo/src/core/best_of_two.cpp" "src/CMakeFiles/divlib_asan.dir/core/best_of_two.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/best_of_two.cpp.o.d"
+  "/root/repo/src/core/coupling.cpp" "src/CMakeFiles/divlib_asan.dir/core/coupling.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/coupling.cpp.o.d"
+  "/root/repo/src/core/div_process.cpp" "src/CMakeFiles/divlib_asan.dir/core/div_process.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/div_process.cpp.o.d"
+  "/root/repo/src/core/fault_plan.cpp" "src/CMakeFiles/divlib_asan.dir/core/fault_plan.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/fault_plan.cpp.o.d"
+  "/root/repo/src/core/faulty_process.cpp" "src/CMakeFiles/divlib_asan.dir/core/faulty_process.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/faulty_process.cpp.o.d"
+  "/root/repo/src/core/load_balancing.cpp" "src/CMakeFiles/divlib_asan.dir/core/load_balancing.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/load_balancing.cpp.o.d"
+  "/root/repo/src/core/mean_field.cpp" "src/CMakeFiles/divlib_asan.dir/core/mean_field.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/mean_field.cpp.o.d"
+  "/root/repo/src/core/median_voting.cpp" "src/CMakeFiles/divlib_asan.dir/core/median_voting.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/median_voting.cpp.o.d"
+  "/root/repo/src/core/opinion_state.cpp" "src/CMakeFiles/divlib_asan.dir/core/opinion_state.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/opinion_state.cpp.o.d"
+  "/root/repo/src/core/pull_voting.cpp" "src/CMakeFiles/divlib_asan.dir/core/pull_voting.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/pull_voting.cpp.o.d"
+  "/root/repo/src/core/push_voting.cpp" "src/CMakeFiles/divlib_asan.dir/core/push_voting.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/push_voting.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/CMakeFiles/divlib_asan.dir/core/selection.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/selection.cpp.o.d"
+  "/root/repo/src/core/step_size.cpp" "src/CMakeFiles/divlib_asan.dir/core/step_size.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/step_size.cpp.o.d"
+  "/root/repo/src/core/sync_process.cpp" "src/CMakeFiles/divlib_asan.dir/core/sync_process.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/sync_process.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/CMakeFiles/divlib_asan.dir/core/theory.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/core/theory.cpp.o.d"
+  "/root/repo/src/engine/count_trace.cpp" "src/CMakeFiles/divlib_asan.dir/engine/count_trace.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/engine/count_trace.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/CMakeFiles/divlib_asan.dir/engine/engine.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/engine/engine.cpp.o.d"
+  "/root/repo/src/engine/initial_config.cpp" "src/CMakeFiles/divlib_asan.dir/engine/initial_config.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/engine/initial_config.cpp.o.d"
+  "/root/repo/src/engine/montecarlo.cpp" "src/CMakeFiles/divlib_asan.dir/engine/montecarlo.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/engine/montecarlo.cpp.o.d"
+  "/root/repo/src/engine/snapshot.cpp" "src/CMakeFiles/divlib_asan.dir/engine/snapshot.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/engine/snapshot.cpp.o.d"
+  "/root/repo/src/engine/stage_log.cpp" "src/CMakeFiles/divlib_asan.dir/engine/stage_log.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/engine/stage_log.cpp.o.d"
+  "/root/repo/src/engine/stop_condition.cpp" "src/CMakeFiles/divlib_asan.dir/engine/stop_condition.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/engine/stop_condition.cpp.o.d"
+  "/root/repo/src/engine/sync_engine.cpp" "src/CMakeFiles/divlib_asan.dir/engine/sync_engine.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/engine/sync_engine.cpp.o.d"
+  "/root/repo/src/engine/trace.cpp" "src/CMakeFiles/divlib_asan.dir/engine/trace.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/engine/trace.cpp.o.d"
+  "/root/repo/src/exact/div_chain.cpp" "src/CMakeFiles/divlib_asan.dir/exact/div_chain.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/exact/div_chain.cpp.o.d"
+  "/root/repo/src/exact/two_voting_chain.cpp" "src/CMakeFiles/divlib_asan.dir/exact/two_voting_chain.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/exact/two_voting_chain.cpp.o.d"
+  "/root/repo/src/graph/analysis.cpp" "src/CMakeFiles/divlib_asan.dir/graph/analysis.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/graph/analysis.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/divlib_asan.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/divlib_asan.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/divlib_asan.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/CMakeFiles/divlib_asan.dir/graph/graph_io.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/graph/graph_io.cpp.o.d"
+  "/root/repo/src/graph/random_graphs.cpp" "src/CMakeFiles/divlib_asan.dir/graph/random_graphs.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/graph/random_graphs.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/divlib_asan.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/CMakeFiles/divlib_asan.dir/io/table.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/io/table.cpp.o.d"
+  "/root/repo/src/rng/alias_table.cpp" "src/CMakeFiles/divlib_asan.dir/rng/alias_table.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/rng/alias_table.cpp.o.d"
+  "/root/repo/src/rng/rng.cpp" "src/CMakeFiles/divlib_asan.dir/rng/rng.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/rng/rng.cpp.o.d"
+  "/root/repo/src/spectral/dense_matrix.cpp" "src/CMakeFiles/divlib_asan.dir/spectral/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/spectral/dense_matrix.cpp.o.d"
+  "/root/repo/src/spectral/jacobi.cpp" "src/CMakeFiles/divlib_asan.dir/spectral/jacobi.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/spectral/jacobi.cpp.o.d"
+  "/root/repo/src/spectral/lambda.cpp" "src/CMakeFiles/divlib_asan.dir/spectral/lambda.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/spectral/lambda.cpp.o.d"
+  "/root/repo/src/spectral/linear_solver.cpp" "src/CMakeFiles/divlib_asan.dir/spectral/linear_solver.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/spectral/linear_solver.cpp.o.d"
+  "/root/repo/src/spectral/power_iteration.cpp" "src/CMakeFiles/divlib_asan.dir/spectral/power_iteration.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/spectral/power_iteration.cpp.o.d"
+  "/root/repo/src/stats/chi_square.cpp" "src/CMakeFiles/divlib_asan.dir/stats/chi_square.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/stats/chi_square.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/CMakeFiles/divlib_asan.dir/stats/ecdf.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/stats/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/divlib_asan.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/CMakeFiles/divlib_asan.dir/stats/regression.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/stats/regression.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/divlib_asan.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/divlib_asan.dir/stats/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

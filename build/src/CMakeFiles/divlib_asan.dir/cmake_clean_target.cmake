@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdivlib_asan.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/div_fault_tests_asan.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/div_fault_tests_asan.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_fault_plan.cpp" "tests/CMakeFiles/div_fault_tests_asan.dir/test_fault_plan.cpp.o" "gcc" "tests/CMakeFiles/div_fault_tests_asan.dir/test_fault_plan.cpp.o.d"
+  "/root/repo/tests/test_fault_spec.cpp" "tests/CMakeFiles/div_fault_tests_asan.dir/test_fault_spec.cpp.o" "gcc" "tests/CMakeFiles/div_fault_tests_asan.dir/test_fault_spec.cpp.o.d"
+  "/root/repo/tests/test_faulty_process.cpp" "tests/CMakeFiles/div_fault_tests_asan.dir/test_faulty_process.cpp.o" "gcc" "tests/CMakeFiles/div_fault_tests_asan.dir/test_faulty_process.cpp.o.d"
+  "/root/repo/tests/test_montecarlo.cpp" "tests/CMakeFiles/div_fault_tests_asan.dir/test_montecarlo.cpp.o" "gcc" "tests/CMakeFiles/div_fault_tests_asan.dir/test_montecarlo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/divlib_asan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/div_fault_tests_asan.dir/test_engine.cpp.o"
+  "CMakeFiles/div_fault_tests_asan.dir/test_engine.cpp.o.d"
+  "CMakeFiles/div_fault_tests_asan.dir/test_fault_plan.cpp.o"
+  "CMakeFiles/div_fault_tests_asan.dir/test_fault_plan.cpp.o.d"
+  "CMakeFiles/div_fault_tests_asan.dir/test_fault_spec.cpp.o"
+  "CMakeFiles/div_fault_tests_asan.dir/test_fault_spec.cpp.o.d"
+  "CMakeFiles/div_fault_tests_asan.dir/test_faulty_process.cpp.o"
+  "CMakeFiles/div_fault_tests_asan.dir/test_faulty_process.cpp.o.d"
+  "CMakeFiles/div_fault_tests_asan.dir/test_montecarlo.cpp.o"
+  "CMakeFiles/div_fault_tests_asan.dir/test_montecarlo.cpp.o.d"
+  "div_fault_tests_asan"
+  "div_fault_tests_asan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/div_fault_tests_asan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

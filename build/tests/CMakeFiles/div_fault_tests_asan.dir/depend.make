@@ -1,0 +1,2 @@
+# Empty dependencies file for div_fault_tests_asan.
+# This may be replaced when dependencies are built.

@@ -23,6 +23,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/div_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_engine.cpp.o.d"
   "/root/repo/tests/test_exact_chain.cpp" "tests/CMakeFiles/div_tests.dir/test_exact_chain.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_exact_chain.cpp.o.d"
   "/root/repo/tests/test_exact_cross_validation.cpp" "tests/CMakeFiles/div_tests.dir/test_exact_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_exact_cross_validation.cpp.o.d"
+  "/root/repo/tests/test_fault_plan.cpp" "tests/CMakeFiles/div_tests.dir/test_fault_plan.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_fault_plan.cpp.o.d"
+  "/root/repo/tests/test_fault_spec.cpp" "tests/CMakeFiles/div_tests.dir/test_fault_spec.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_fault_spec.cpp.o.d"
   "/root/repo/tests/test_faulty_process.cpp" "tests/CMakeFiles/div_tests.dir/test_faulty_process.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_faulty_process.cpp.o.d"
   "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/div_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_generators.cpp.o.d"
   "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/div_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/div_tests.dir/test_graph.cpp.o.d"

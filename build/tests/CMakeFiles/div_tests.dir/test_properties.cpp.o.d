@@ -322,8 +322,8 @@ tests/CMakeFiles/div_tests.dir/test_properties.cpp.o: \
  /root/repo/src/graph/graph.hpp /root/repo/src/rng/rng.hpp \
  /root/repo/src/core/best_of_two.hpp /root/repo/src/core/div_process.hpp \
  /root/repo/src/core/selection.hpp /root/repo/src/core/faulty_process.hpp \
- /root/repo/src/core/push_voting.hpp /root/repo/src/core/step_size.hpp \
- /root/repo/src/core/load_balancing.hpp \
+ /root/repo/src/core/fault_plan.hpp /root/repo/src/core/push_voting.hpp \
+ /root/repo/src/core/step_size.hpp /root/repo/src/core/load_balancing.hpp \
  /root/repo/src/core/median_voting.hpp \
  /root/repo/src/core/pull_voting.hpp \
  /root/repo/src/engine/initial_config.hpp \

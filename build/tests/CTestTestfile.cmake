@@ -5,3 +5,5 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/div_tests[1]_include.cmake")
+add_test(fault_paths_sanitized "/root/repo/build/tests/div_fault_tests_asan" "--gtest_filter=-*WinnerDistribution*:*JumpChainExactly*")
+set_tests_properties(fault_paths_sanitized PROPERTIES  LABELS "sanitize" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;67;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -152,32 +152,17 @@ tools/CMakeFiles/divsim.dir/divsim.cpp.o: /root/repo/tools/divsim.cpp \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/cli/args.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/ext/aligned_buffer.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/cli/graph_spec.hpp \
- /root/repo/src/graph/graph.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /usr/include/c++/12/cstddef \
- /root/repo/src/rng/rng.hpp /usr/include/c++/12/limits \
- /root/repo/src/cli/process_spec.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -208,13 +193,30 @@ tools/CMakeFiles/divsim.dir/divsim.cpp.o: /root/repo/tools/divsim.cpp \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/process.hpp /root/repo/src/core/opinion_state.hpp \
- /root/repo/src/core/selection.hpp /root/repo/src/core/coupling.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/cli/args.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/cli/fault_spec.hpp \
+ /root/repo/src/core/fault_plan.hpp /usr/include/c++/12/limits \
+ /root/repo/src/core/opinion_state.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/graph/graph.hpp /root/repo/src/rng/rng.hpp \
+ /root/repo/src/cli/graph_spec.hpp /root/repo/src/cli/process_spec.hpp \
+ /root/repo/src/core/process.hpp /root/repo/src/core/selection.hpp \
+ /root/repo/src/core/faulty_process.hpp /root/repo/src/core/coupling.hpp \
  /root/repo/src/core/mean_field.hpp /root/repo/src/core/theory.hpp \
  /root/repo/src/exact/div_chain.hpp /root/repo/src/engine/count_trace.hpp \
- /root/repo/src/engine/engine.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/engine/engine.hpp \
  /root/repo/src/engine/stop_condition.hpp /root/repo/src/engine/trace.hpp \
  /root/repo/src/engine/initial_config.hpp \
  /root/repo/src/engine/montecarlo.hpp /usr/include/c++/12/functional \

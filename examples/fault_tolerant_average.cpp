@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
     if (result.completed) {
       std::cout << "  consensus on " << *result.winner << " C after "
                 << result.steps << " ticks";
-      if (process.dropped_steps() > 0) {
-        std::cout << " (" << process.dropped_steps() << " interactions lost)";
+      if (process.dropped() > 0) {
+        std::cout << " (" << process.dropped() << " interactions lost)";
       }
       std::cout << "\n";
     } else {

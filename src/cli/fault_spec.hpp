@@ -1,0 +1,64 @@
+// Textual fault specifications for the divsim CLI:
+//
+//   --fault drop=0.3,crash=0.05@[0,1e6],byzantine=0.02,corrupt=0.01
+//
+// Clauses (comma-separated, each optional):
+//   drop=P              lose each interaction with probability P in [0,1)
+//   corrupt=P           perturb each honest update by +-1 with prob. P
+//   crash=F             fraction F of vertices crash permanently at step 0
+//   crash=F@[A,B]       ... crash at step A and recover at step B (churn);
+//                       A and B accept scientific notation (1e6); repeat the
+//                       clause for several churn waves (disjoint vertex sets)
+//   byzantine=F         fraction F of vertices are stubborn liars answering
+//                       pulls with a fresh uniform lie each step
+//   byzantine=F:L       ... answering with the fixed lie L
+//   seed=S              fault-stream seed override (default: derived by the
+//                       caller from the master seed and replica index)
+//
+// parse_fault_spec validates syntax and ranges; materialize_fault_plan turns
+// fractions into a concrete FaultPlan for an n-vertex graph by drawing
+// disjoint random vertex sets from `rng`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fault_plan.hpp"
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+struct CrashWave {
+  double fraction = 0.0;
+  std::uint64_t start = 0;
+  std::uint64_t end = kNoRecovery;
+};
+
+struct FaultSpec {
+  double drop = 0.0;
+  double corrupt = 0.0;
+  std::vector<CrashWave> crash_waves;
+  double byzantine_fraction = 0.0;
+  std::optional<Opinion> byzantine_lie;  // nullopt = randomized lies
+  std::optional<std::uint64_t> seed;
+
+  bool any() const {
+    return drop > 0.0 || corrupt > 0.0 || !crash_waves.empty() ||
+           byzantine_fraction > 0.0;
+  }
+};
+
+// Throws std::invalid_argument on unknown clauses or out-of-range values.
+FaultSpec parse_fault_spec(const std::string& text);
+
+// Draws the concrete fault vertex sets (Byzantine first, then one disjoint
+// set per crash wave) and assembles the validated plan.  `fault_seed` seeds
+// the plan's private fault stream unless the spec carries seed=S.
+FaultPlan materialize_fault_plan(const FaultSpec& spec, VertexId n,
+                                 std::uint64_t fault_seed, Rng& rng);
+
+std::string fault_spec_help();
+
+}  // namespace divlib

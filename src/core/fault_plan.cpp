@@ -1,0 +1,78 @@
+#include "core/fault_plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace divlib {
+
+FaultPlan& FaultPlan::drop(double rate) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("FaultPlan: drop rate in [0, 1) required");
+  }
+  drop_rate_ = rate;
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(double rate) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("FaultPlan: corrupt rate in [0, 1] required");
+  }
+  corrupt_rate_ = rate;
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(VertexId v, std::uint64_t start, std::uint64_t end) {
+  crashes_.push_back({v, start, end});
+  return *this;
+}
+
+FaultPlan& FaultPlan::byzantine_fixed(VertexId v, Opinion lie) {
+  byzantine_.push_back({v, LieKind::kFixed, lie});
+  return *this;
+}
+
+FaultPlan& FaultPlan::byzantine_random(VertexId v) {
+  byzantine_.push_back({v, LieKind::kRandom, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::fault_seed(std::uint64_t seed) {
+  fault_seed_ = seed;
+  return *this;
+}
+
+void FaultPlan::validate() const {
+  std::set<VertexId> byzantine_ids;
+  for (const ByzantineSpec& spec : byzantine_) {
+    if (!byzantine_ids.insert(spec.vertex).second) {
+      throw std::invalid_argument("FaultPlan: duplicate Byzantine vertex");
+    }
+  }
+  std::map<VertexId, std::vector<const CrashEpisode*>> per_vertex;
+  for (const CrashEpisode& episode : crashes_) {
+    if (episode.start >= episode.end) {
+      throw std::invalid_argument("FaultPlan: crash episode needs start < end");
+    }
+    if (byzantine_ids.count(episode.vertex) > 0) {
+      throw std::invalid_argument(
+          "FaultPlan: vertex cannot be both Byzantine and crashed");
+    }
+    per_vertex[episode.vertex].push_back(&episode);
+  }
+  for (auto& [vertex, episodes] : per_vertex) {
+    std::sort(episodes.begin(), episodes.end(),
+              [](const CrashEpisode* a, const CrashEpisode* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t i = 1; i < episodes.size(); ++i) {
+      if (episodes[i]->start < episodes[i - 1]->end) {
+        throw std::invalid_argument(
+            "FaultPlan: overlapping crash episodes for one vertex");
+      }
+    }
+  }
+}
+
+}  // namespace divlib

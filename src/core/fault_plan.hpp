@@ -1,0 +1,97 @@
+// FaultPlan: a declarative timeline of per-vertex fault episodes applied by
+// FaultyProcess on top of any inner Process.  The model covers the failure
+// modes the fault-tolerance literature on voting dynamics cares about:
+//
+//   * message loss    -- with probability drop_rate a selected interaction is
+//                        lost and the step becomes a no-op.  Loss only thins
+//                        the schedule: the embedded jump chain is unchanged
+//                        (EXP-17, EXP-22, and a deterministic unit test).
+//   * churn           -- a vertex crashes at step `start` and recovers at
+//                        step `end` (exclusive; kNoRecovery = permanent).
+//                        While crashed it never updates but still answers
+//                        pulls with the opinion it held when it crashed.
+//   * Byzantine nodes -- stubborn vertices that never update their own
+//                        opinion and answer every pull with a lie: either a
+//                        fixed value or a fresh uniform draw per step.
+//   * corruption      -- with probability corrupt_rate an honest vertex's
+//                        committed update is perturbed by +-1 (clamped to
+//                        the state's opinion range), modelling a corrupted
+//                        pulled message.
+//
+// All fault randomness (drop coins, lie draws, corruption coins) comes from
+// a dedicated fault stream seeded by `fault_seed`, never from the replica's
+// main Rng.  The inner process therefore consumes exactly the same random
+// sequence as a fault-free run, which makes the jump-chain invariance under
+// message loss exact rather than merely statistical.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/opinion_state.hpp"
+#include "graph/graph.hpp"
+
+namespace divlib {
+
+inline constexpr std::uint64_t kNoRecovery =
+    std::numeric_limits<std::uint64_t>::max();
+
+// Vertex is crashed during steps [start, end); end == kNoRecovery means the
+// crash is permanent.  Steps are counted from the start of the run.
+struct CrashEpisode {
+  VertexId vertex = 0;
+  std::uint64_t start = 0;
+  std::uint64_t end = kNoRecovery;
+};
+
+enum class LieKind {
+  kFixed,   // always answer with `fixed_value`
+  kRandom,  // fresh uniform draw over the state's opinion range per step
+};
+
+struct ByzantineSpec {
+  VertexId vertex = 0;
+  LieKind kind = LieKind::kRandom;
+  Opinion fixed_value = 0;  // used when kind == kFixed (clamped to range)
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // Fluent builders; each returns *this for chaining.
+  FaultPlan& drop(double rate);                 // rate in [0, 1)
+  FaultPlan& corrupt(double rate);              // rate in [0, 1]
+  FaultPlan& crash(VertexId v, std::uint64_t start = 0,
+                   std::uint64_t end = kNoRecovery);
+  FaultPlan& byzantine_fixed(VertexId v, Opinion lie);
+  FaultPlan& byzantine_random(VertexId v);
+  FaultPlan& fault_seed(std::uint64_t seed);
+
+  double drop_rate() const { return drop_rate_; }
+  double corrupt_rate() const { return corrupt_rate_; }
+  std::uint64_t seed() const { return fault_seed_; }
+  const std::vector<CrashEpisode>& crashes() const { return crashes_; }
+  const std::vector<ByzantineSpec>& byzantine() const { return byzantine_; }
+
+  bool empty() const {
+    return drop_rate_ == 0.0 && corrupt_rate_ == 0.0 && crashes_.empty() &&
+           byzantine_.empty();
+  }
+
+  // Structural checks that do not need a state: episode windows are proper
+  // (start < end), episodes of the same vertex do not overlap, and no vertex
+  // is both Byzantine and scheduled to crash.  Throws std::invalid_argument.
+  // Vertex-range checks happen later, when FaultyProcess binds to a state.
+  void validate() const;
+
+ private:
+  double drop_rate_ = 0.0;
+  double corrupt_rate_ = 0.0;
+  std::uint64_t fault_seed_ = 0xfa017ULL;  // "fault"
+  std::vector<CrashEpisode> crashes_;
+  std::vector<ByzantineSpec> byzantine_;
+};
+
+}  // namespace divlib

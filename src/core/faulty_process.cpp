@@ -1,49 +1,151 @@
 #include "core/faulty_process.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace divlib {
 
-FaultyProcess::FaultyProcess(std::unique_ptr<Process> inner, double drop_rate,
-                             std::vector<VertexId> crashed)
-    : inner_(std::move(inner)), drop_rate_(drop_rate), crashed_(std::move(crashed)) {
+FaultyProcess::FaultyProcess(std::unique_ptr<Process> inner, FaultPlan plan)
+    : inner_(std::move(inner)),
+      plan_(std::move(plan)),
+      fault_rng_(plan_.seed()) {
   if (!inner_) {
     throw std::invalid_argument("FaultyProcess: null inner process");
   }
-  if (drop_rate_ < 0.0 || drop_rate_ >= 1.0) {
-    throw std::invalid_argument("FaultyProcess: drop_rate in [0, 1) required");
+  plan_.validate();
+}
+
+FaultyProcess::FaultyProcess(std::unique_ptr<Process> inner, double drop_rate,
+                             std::vector<VertexId> crashed)
+    : FaultyProcess(std::move(inner), [&] {
+        FaultPlan plan;
+        plan.drop(drop_rate);
+        for (const VertexId v : crashed) {
+          plan.crash(v);
+        }
+        return plan;
+      }()) {}
+
+void FaultyProcess::begin_run(const OpinionState& state) {
+  inner_->begin_run(state);
+  prepare(state);
+}
+
+void FaultyProcess::prepare(const OpinionState& state) {
+  const VertexId n = state.num_vertices();
+  is_pinned_.assign(n, false);
+  pinned_value_.assign(n, 0);
+  is_byzantine_.assign(n, false);
+  clock_ = 0;
+  next_event_ = 0;
+
+  byz_ = plan_.byzantine();
+  for (ByzantineSpec& spec : byz_) {
+    if (spec.vertex >= n) {
+      throw std::invalid_argument("FaultyProcess: Byzantine vertex out of range");
+    }
+    spec.fixed_value =
+        std::clamp(spec.fixed_value, state.range_lo(), state.range_hi());
+    is_byzantine_[spec.vertex] = true;
+    is_pinned_[spec.vertex] = true;
+    pinned_value_[spec.vertex] = state.opinion(spec.vertex);
+  }
+
+  events_.clear();
+  for (const CrashEpisode& episode : plan_.crashes()) {
+    if (episode.vertex >= n) {
+      throw std::invalid_argument("FaultyProcess: crashed vertex out of range");
+    }
+    events_.push_back({episode.start, episode.vertex, true});
+    if (episode.end != kNoRecovery) {
+      events_.push_back({episode.end, episode.vertex, false});
+    }
+  }
+  // Stable order: by step, recoveries before crashes so that back-to-back
+  // episodes (end == next start) hand over cleanly.
+  std::sort(events_.begin(), events_.end(), [](const Event& a, const Event& b) {
+    return a.step != b.step ? a.step < b.step : a.is_crash < b.is_crash;
+  });
+
+  bound_state_ = &state;
+  prepared_ = true;
+}
+
+void FaultyProcess::apply_due_events(const OpinionState& state) {
+  while (next_event_ < events_.size() && events_[next_event_].step <= clock_) {
+    const Event& event = events_[next_event_++];
+    if (event.is_crash) {
+      is_pinned_[event.vertex] = true;
+      pinned_value_[event.vertex] = state.opinion(event.vertex);
+    } else {
+      is_pinned_[event.vertex] = false;
+      ++recoveries_;
+    }
   }
 }
 
 void FaultyProcess::step(OpinionState& state, Rng& rng) {
-  if (!frozen_captured_) {
-    is_crashed_.assign(state.num_vertices(), false);
-    frozen_.assign(state.num_vertices(), 0);
-    for (const VertexId v : crashed_) {
-      if (v >= state.num_vertices()) {
-        throw std::invalid_argument("FaultyProcess: crashed vertex out of range");
-      }
-      is_crashed_[v] = true;
-      frozen_[v] = state.opinion(v);
-    }
-    frozen_captured_ = true;
+  if (!prepared_ || bound_state_ != &state) {
+    prepare(state);
   }
-  if (drop_rate_ > 0.0 && rng.bernoulli(drop_rate_)) {
+  if (!state.write_log_enabled()) {
+    state.enable_write_log();
+  }
+  apply_due_events(state);
+  ++clock_;
+
+  if (plan_.drop_rate() > 0.0 && fault_rng_.bernoulli(plan_.drop_rate())) {
     ++dropped_;
     return;  // message lost: nothing happens this tick
   }
+
+  // Install Byzantine lies so that whatever the inner process pulls this
+  // step sees them; withdrawn below before control returns to the engine.
+  for (const ByzantineSpec& spec : byz_) {
+    const Opinion lie =
+        spec.kind == LieKind::kFixed
+            ? spec.fixed_value
+            : static_cast<Opinion>(fault_rng_.uniform_int(state.range_lo(),
+                                                          state.range_hi()));
+    state.set(spec.vertex, lie);
+  }
+  state.clear_write_log();
+
   inner_->step(state, rng);
-  // Crashed vertices ignore whatever the interaction told them to do.  We
-  // roll the write back rather than intercept the selection so that ANY
-  // inner process (two-writer load balancing included) is supported.
-  if (!crashed_.empty()) {
-    for (const VertexId v : crashed_) {
-      if (state.opinion(v) != frozen_[v]) {
-        state.set(v, frozen_[v]);
+
+  const auto writes = state.recent_writes();
+  write_scratch_.assign(writes.begin(), writes.end());
+  state.clear_write_log();
+
+  // Undo writes to pinned (crashed or Byzantine) vertices; corrupt the
+  // surviving honest writes with probability corrupt_rate.
+  for (const VertexId v : write_scratch_) {
+    if (is_pinned_[v]) {
+      if (state.opinion(v) != pinned_value_[v]) {
+        state.set(v, pinned_value_[v]);
         ++rollbacks_;
+      }
+    } else if (plan_.corrupt_rate() > 0.0 &&
+               fault_rng_.bernoulli(plan_.corrupt_rate())) {
+      const Opinion delta = fault_rng_.bernoulli(0.5) ? 1 : -1;
+      const Opinion corrupted = std::clamp(
+          static_cast<Opinion>(state.opinion(v) + delta), state.range_lo(),
+          state.range_hi());
+      if (corrupted != state.opinion(v)) {
+        state.set(v, corrupted);
+        ++corruptions_;
       }
     }
   }
+
+  // Withdraw lies from Byzantine vertices the inner process did not write
+  // (written ones were already restored by the rollback pass above).
+  for (const ByzantineSpec& spec : byz_) {
+    if (state.opinion(spec.vertex) != pinned_value_[spec.vertex]) {
+      state.set(spec.vertex, pinned_value_[spec.vertex]);
+    }
+  }
+  state.clear_write_log();
 }
 
 std::string FaultyProcess::name() const {

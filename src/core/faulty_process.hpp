@@ -1,52 +1,88 @@
 // Fault injection: the introduction motivates voting algorithms as "simple,
-// fault-tolerant, and easy to implement" [17, 18].  This decorator models
-// the two classic failure modes of asynchronous gossip:
+// fault-tolerant, and easy to implement" [17, 18].  This decorator executes a
+// FaultPlan (message loss, scheduled crash/recovery churn, stubborn/Byzantine
+// liars, message corruption) on top of ANY inner Process, without the inner
+// process cooperating:
 //
-//   * message loss   -- with probability drop_rate a selected interaction
-//                       is lost and the step becomes a no-op;
-//   * crashed nodes  -- a fixed set of vertices never updates (they still
-//                       answer pulls with their frozen opinion).
+//   * Crashed and Byzantine vertices are enforced by rollback: the decorator
+//     watches the state's write log and undoes writes to pinned vertices, so
+//     even two-writer processes (load balancing) are supported.
+//   * Byzantine lies are installed into the state immediately before the
+//     inner step and withdrawn immediately afterwards, so whatever the inner
+//     process pulled during the step saw the lie, while stop conditions and
+//     traces (evaluated between steps) always see true opinions.
+//   * All fault randomness comes from a private fault stream (FaultPlan's
+//     fault_seed), never from the replica Rng, so under pure message loss
+//     the inner process replays the fault-free run's interaction sequence
+//     exactly -- the embedded jump chain is unchanged and only time
+//     stretches by 1/(1 - drop_rate).
 //
-// Message loss merely thins the schedule: the embedded jump chain is
-// unchanged, so the final-opinion distribution is identical and only time
-// stretches by 1/(1 - drop_rate) (verified in EXP-17).  Crashed vertices,
-// by contrast, change the absorbing states themselves.
+// One instance may serve sequential runs: begin_run() (called by the engine)
+// re-captures frozen opinions and restarts the episode clock.  Counters are
+// cumulative across runs.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "core/fault_plan.hpp"
 #include "core/process.hpp"
 
 namespace divlib {
 
 class FaultyProcess final : public Process {
  public:
-  // Takes ownership of the inner process.  drop_rate in [0, 1).
-  // `crashed` lists vertex ids that must never change opinion.
+  // Takes ownership of the inner process.  The plan is validated here.
+  FaultyProcess(std::unique_ptr<Process> inner, FaultPlan plan);
+
+  // Convenience: the classic drop + permanently-crashed-set model.
   FaultyProcess(std::unique_ptr<Process> inner, double drop_rate,
                 std::vector<VertexId> crashed = {});
 
+  void begin_run(const OpinionState& state) override;
   void step(OpinionState& state, Rng& rng) override;
   std::string name() const override;
 
-  double drop_rate() const { return drop_rate_; }
-  const std::vector<VertexId>& crashed() const { return crashed_; }
+  const FaultPlan& plan() const { return plan_; }
+  double drop_rate() const { return plan_.drop_rate(); }
 
-  // Steps that were dropped / rolled back due to a crashed updater, for
-  // observability in experiments.
-  std::uint64_t dropped_steps() const { return dropped_; }
-  std::uint64_t crashed_rollbacks() const { return rollbacks_; }
+  // Observability counters, cumulative across runs.
+  std::uint64_t dropped() const { return dropped_; }      // lost interactions
+  std::uint64_t rollbacks() const { return rollbacks_; }  // undone writes
+  std::uint64_t corruptions() const { return corruptions_; }
+  std::uint64_t recoveries() const { return recoveries_; }
 
  private:
+  struct Event {
+    std::uint64_t step;
+    VertexId vertex;
+    bool is_crash;  // false = recovery
+  };
+
+  void prepare(const OpinionState& state);
+  void apply_due_events(const OpinionState& state);
+
   std::unique_ptr<Process> inner_;
-  double drop_rate_;
-  std::vector<VertexId> crashed_;
-  std::vector<bool> is_crashed_;  // lazily sized on first step
-  std::vector<Opinion> frozen_;   // opinions pinned for crashed vertices
-  bool frozen_captured_ = false;
+  FaultPlan plan_;
+  Rng fault_rng_;
+
+  // Per-run state, rebuilt by begin_run() / first step after construction.
+  bool prepared_ = false;
+  const OpinionState* bound_state_ = nullptr;
+  std::uint64_t clock_ = 0;
+  std::vector<Event> events_;       // sorted by step
+  std::size_t next_event_ = 0;
+  std::vector<bool> is_pinned_;     // currently crashed or Byzantine
+  std::vector<Opinion> pinned_value_;  // frozen/true opinion while pinned
+  std::vector<bool> is_byzantine_;
+  std::vector<ByzantineSpec> byz_;  // plan's Byzantine list, lies clamped
+  std::vector<VertexId> write_scratch_;
+
   std::uint64_t dropped_ = 0;
   std::uint64_t rollbacks_ = 0;
+  std::uint64_t corruptions_ = 0;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace divlib

@@ -44,6 +44,9 @@ void OpinionState::set(VertexId v, Opinion value) {
   if (old == value) {
     return;
   }
+  if (write_log_enabled_) {
+    write_log_.push_back(v);
+  }
   const auto deg = static_cast<std::int64_t>(graph_->degree(v));
 
   opinions_[v] = value;

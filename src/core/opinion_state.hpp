@@ -75,6 +75,15 @@ class OpinionState {
   // pi(A_s(t)) * pi(A_l(t)), the Lemma 10 supermartingale payload.
   double extreme_mass_product() const;
 
+  // Optional write log: when enabled, every set() that actually changes an
+  // opinion appends the vertex id to a journal.  Decorators (FaultyProcess)
+  // use it to see which vertices an opaque inner process wrote, in O(writes)
+  // instead of O(n) per step.  Disabled by default; no cost when off.
+  void enable_write_log() { write_log_enabled_ = true; }
+  bool write_log_enabled() const { return write_log_enabled_; }
+  void clear_write_log() { write_log_.clear(); }
+  std::span<const VertexId> recent_writes() const { return write_log_; }
+
  private:
   std::size_t index_of(Opinion value) const {
     return static_cast<std::size_t>(value - range_lo_);
@@ -91,6 +100,8 @@ class OpinionState {
   std::int64_t degree_weighted_sum_ = 0;
   std::vector<std::int64_t> counts_;        // indexed by value - range_lo
   std::vector<std::uint64_t> degree_masses_;  // same indexing
+  bool write_log_enabled_ = false;
+  std::vector<VertexId> write_log_;
 };
 
 }  // namespace divlib

@@ -3,7 +3,9 @@
 // A Process advances an OpinionState by exactly one asynchronous interaction
 // per step() call.  Processes are stateless apart from their configuration,
 // so a single instance can be shared across sequential runs; Monte-Carlo
-// replication constructs one per replica for thread safety.
+// replication constructs one per replica for thread safety.  Stateful
+// decorators (FaultyProcess) override begin_run() to re-anchor per-run
+// bookkeeping; the engine's run() calls it before the first step.
 #pragma once
 
 #include <string>
@@ -16,6 +18,11 @@ namespace divlib {
 class Process {
  public:
   virtual ~Process() = default;
+
+  // Called by the engine before the first step of each run.  Default no-op;
+  // stateful processes reset per-run bookkeeping (step clocks, captured
+  // opinions) here so one instance can serve sequential runs.
+  virtual void begin_run(const OpinionState& state) { (void)state; }
 
   // Performs one asynchronous step.
   virtual void step(OpinionState& state, Rng& rng) = 0;

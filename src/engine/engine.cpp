@@ -1,24 +1,31 @@
 #include "engine/engine.hpp"
 
+#include <exception>
+
 namespace divlib {
 
-RunResult run(Process& process, OpinionState& state, Rng& rng,
-              const RunOptions& options) {
-  RunResult result;
+namespace {
+
+// Advances the loop, keeping result.steps current so a guarded caller can
+// report partial progress after an exception.
+void run_loop(Process& process, OpinionState& state, Rng& rng,
+              const RunOptions& options, RunResult& result) {
+  process.begin_run(state);
   result.trace = Trace(options.trace_stride);
   result.trace.maybe_record(0, state);
 
-  std::uint64_t step = 0;
   bool satisfied = is_satisfied(options.stop, state);
-  while (!satisfied && step < options.max_steps) {
+  while (!satisfied && result.steps < options.max_steps) {
     process.step(state, rng);
-    ++step;
-    result.trace.maybe_record(step, state);
+    ++result.steps;
+    result.trace.maybe_record(result.steps, state);
     satisfied = is_satisfied(options.stop, state);
   }
+  result.status = satisfied ? RunStatus::kCompleted : RunStatus::kCapped;
+}
 
-  result.completed = satisfied;
-  result.steps = step;
+void finalize(const OpinionState& state, RunResult& result) {
+  result.completed = result.status == RunStatus::kCompleted;
   result.min_active = state.min_active();
   result.max_active = state.max_active();
   result.num_active = state.num_active();
@@ -28,9 +35,47 @@ RunResult run(Process& process, OpinionState& state, Rng& rng,
     result.winner = state.min_active();
   }
   if (result.trace.enabled() &&
-      (result.trace.empty() || result.trace.samples().back().step != step)) {
-    result.trace.record(step, state);
+      (result.trace.empty() ||
+       result.trace.samples().back().step != result.steps)) {
+    result.trace.record(result.steps, state);
   }
+}
+
+}  // namespace
+
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kCompleted:
+      return "completed";
+    case RunStatus::kCapped:
+      return "capped";
+    case RunStatus::kFaulted:
+      return "faulted";
+  }
+  return "unknown";
+}
+
+RunResult run(Process& process, OpinionState& state, Rng& rng,
+              const RunOptions& options) {
+  RunResult result;
+  run_loop(process, state, rng, options, result);
+  finalize(state, result);
+  return result;
+}
+
+RunResult run_guarded(Process& process, OpinionState& state, Rng& rng,
+                      const RunOptions& options) {
+  RunResult result;
+  try {
+    run_loop(process, state, rng, options, result);
+  } catch (const std::exception& error) {
+    result.status = RunStatus::kFaulted;
+    result.fault = error.what();
+  } catch (...) {
+    result.status = RunStatus::kFaulted;
+    result.fault = "unknown exception";
+  }
+  finalize(state, result);
   return result;
 }
 

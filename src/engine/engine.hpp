@@ -1,9 +1,18 @@
 // The asynchronous run loop: advances a Process until a stopping rule or a
 // hard step cap is reached, optionally recording a Trace.
+//
+// run() calls process.begin_run() first, so stateful decorators
+// (FaultyProcess) re-anchor per-run bookkeeping, and classifies the outcome
+// via RunResult::status: kCompleted (stopping rule satisfied), kCapped (step
+// budget exhausted -- the watchdog), or kFaulted (the process threw;
+// run_guarded() only).  run() propagates exceptions; run_guarded() converts
+// them into a structured kFaulted result so Monte-Carlo batches survive
+// individual replica failures.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "core/opinion_state.hpp"
 #include "core/process.hpp"
@@ -15,14 +24,23 @@ namespace divlib {
 
 struct RunOptions {
   StopKind stop = StopKind::kConsensus;
-  // Hard cap; a run that hits it reports completed = false.
+  // Hard cap; a run that hits it reports status == kCapped.
   std::uint64_t max_steps = 100'000'000;
   // Trace sampling stride; 0 disables tracing.
   std::uint64_t trace_stride = 0;
 };
 
+enum class RunStatus {
+  kCompleted,  // stopping rule satisfied before the cap
+  kCapped,     // step budget exhausted (watchdog)
+  kFaulted,    // the process threw mid-run (run_guarded only)
+};
+
+const char* to_string(RunStatus status);
+
 struct RunResult {
-  bool completed = false;       // stopping rule satisfied before the cap
+  RunStatus status = RunStatus::kCapped;
+  bool completed = false;       // == (status == kCompleted); kept for callers
   std::uint64_t steps = 0;      // steps actually executed
   Opinion min_active = 0;       // state at stop
   Opinion max_active = 0;
@@ -31,13 +49,22 @@ struct RunResult {
   double final_z = 0.0;         // Z at stop
   // Consensus value when one opinion remains at stop, else nullopt.
   std::optional<Opinion> winner;
+  // what() of the exception when status == kFaulted, else empty.
+  std::string fault;
   Trace trace;
 };
 
 // Runs `process` on `state` until `options.stop` holds or the cap is hit.
 // The state is left at its stopping configuration (useful for phased runs:
-// first to two-adjacent, then on to consensus).
+// first to two-adjacent, then on to consensus).  Exceptions thrown by the
+// process propagate.
 RunResult run(Process& process, OpinionState& state, Rng& rng,
               const RunOptions& options);
+
+// Like run(), but never throws on process failure: a throwing step yields
+// status == kFaulted with the exception text in `fault`, the steps executed
+// so far, and aggregates of the state as the failure left it.
+RunResult run_guarded(Process& process, OpinionState& state, Rng& rng,
+                      const RunOptions& options);
 
 }  // namespace divlib

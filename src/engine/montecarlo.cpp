@@ -1,5 +1,6 @@
 #include "engine/montecarlo.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -15,6 +16,26 @@ unsigned resolve_thread_count(const MonteCarloOptions& options) {
   return hardware > 0 ? hardware : 1;
 }
 
+namespace {
+
+// Runs worker_loop on `workers` threads (or inline when workers == 1).
+void dispatch(unsigned workers, const std::function<void()>& worker_loop) {
+  if (workers == 1) {
+    worker_loop();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    pool.emplace_back(worker_loop);
+  }
+  for (auto& thread : pool) {
+    thread.join();
+  }
+}
+
+}  // namespace
+
 void run_replicas_erased(std::size_t replicas,
                          const std::function<void(std::size_t, Rng&)>& task,
                          const MonteCarloOptions& options) {
@@ -26,7 +47,12 @@ void run_replicas_erased(std::size_t replicas,
       static_cast<unsigned>(std::min<std::size_t>(requested, replicas));
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
+  // Deterministic failure propagation: replicas are claimed in increasing
+  // index order and every claimed task runs to completion before the pool is
+  // joined, so the lowest-index error is always observed and wins -- the
+  // rethrown exception is bit-identical across thread schedules.
+  std::exception_ptr lowest_error;
+  std::size_t lowest_error_replica = 0;
   std::mutex error_mutex;
 
   const auto worker_loop = [&]() {
@@ -40,30 +66,79 @@ void run_replicas_erased(std::size_t replicas,
         task(replica, rng);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
+        if (!lowest_error || replica < lowest_error_replica) {
+          lowest_error = std::current_exception();
+          lowest_error_replica = replica;
         }
         return;
       }
     }
   };
 
-  if (workers == 1) {
-    worker_loop();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned i = 0; i < workers; ++i) {
-      pool.emplace_back(worker_loop);
-    }
-    for (auto& thread : pool) {
-      thread.join();
-    }
-  }
+  dispatch(workers, worker_loop);
 
-  if (first_error) {
-    std::rethrow_exception(first_error);
+  if (lowest_error) {
+    std::rethrow_exception(lowest_error);
   }
+}
+
+BatchReport run_replicas_isolated_erased(
+    std::size_t replicas, const std::function<void(std::size_t, Rng&)>& task,
+    const MonteCarloOptions& options) {
+  BatchReport report;
+  report.replicas = replicas;
+  if (replicas == 0) {
+    return report;
+  }
+  const unsigned requested = resolve_thread_count(options);
+  const auto workers =
+      static_cast<unsigned>(std::min<std::size_t>(requested, replicas));
+  const unsigned max_attempts = std::max(1u, options.max_attempts);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::vector<ReplicaError> errors;
+  std::mutex errors_mutex;
+
+  const auto worker_loop = [&]() {
+    while (true) {
+      const std::size_t replica = next.fetch_add(1, std::memory_order_relaxed);
+      if (replica >= replicas) {
+        return;
+      }
+      std::string last_message = "unknown exception";
+      bool succeeded = false;
+      for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+          retries.fetch_add(1, std::memory_order_relaxed);
+        }
+        try {
+          Rng rng(Rng::retry_seed(options.master_seed, replica, attempt));
+          task(replica, rng);
+          succeeded = true;
+          break;
+        } catch (const std::exception& error) {
+          last_message = error.what();
+        } catch (...) {
+          last_message = "unknown exception";
+        }
+      }
+      if (!succeeded) {
+        const std::lock_guard<std::mutex> lock(errors_mutex);
+        errors.push_back({replica, max_attempts, last_message});
+      }
+    }
+  };
+
+  dispatch(workers, worker_loop);
+
+  std::sort(errors.begin(), errors.end(),
+            [](const ReplicaError& a, const ReplicaError& b) {
+              return a.replica < b.replica;
+            });
+  report.retries = retries.load();
+  report.errors = std::move(errors);
+  return report;
 }
 
 }  // namespace divlib

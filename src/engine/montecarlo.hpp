@@ -3,10 +3,22 @@
 // Each replica receives its own Rng seeded deterministically from
 // (master_seed, replica_index), so results are bit-identical regardless of
 // the thread schedule or the number of workers.
+//
+// Two drivers:
+//   * run_replicas / run_replicas_erased  -- abort-on-failure: the exception
+//     thrown by the LOWEST replica index is rethrown in the calling thread
+//     (deterministic across thread schedules).
+//   * run_replicas_isolated / _erased     -- fault-isolating: a throwing
+//     replica is retried up to max_attempts times with fresh deterministic
+//     streams Rng::retry_seed(master_seed, replica, attempt); persistent
+//     failures become structured ReplicaError records and every healthy
+//     replica still returns a result.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "rng/rng.hpp"
@@ -17,14 +29,19 @@ struct MonteCarloOptions {
   std::uint64_t master_seed = 0xd117ULL;  // "div"; overridden by most callers
   // 0 = use hardware_concurrency (at least 1).
   unsigned num_threads = 0;
+  // Attempts per replica in the isolated driver (>= 1); attempt 0 uses the
+  // plain substream seed, so failure-free batches match run_replicas bit for
+  // bit.  Ignored by the abort-on-failure driver.
+  unsigned max_attempts = 1;
 };
 
 // Returns the worker count that `options` resolves to.
 unsigned resolve_thread_count(const MonteCarloOptions& options);
 
 // Internal type-erased driver: invokes task(replica, rng) for each replica in
-// [0, replicas), distributing replicas across threads.  Exceptions thrown by
-// tasks are rethrown in the calling thread (first one wins).
+// [0, replicas), distributing replicas across threads.  If any task throws,
+// the exception from the lowest throwing replica index is rethrown in the
+// calling thread once all in-flight tasks have finished.
 void run_replicas_erased(std::size_t replicas,
                          const std::function<void(std::size_t, Rng&)>& task,
                          const MonteCarloOptions& options);
@@ -42,6 +59,50 @@ std::vector<Result> run_replicas(std::size_t replicas, Task&& task,
       },
       options);
   return results;
+}
+
+// One replica that failed every attempt.
+struct ReplicaError {
+  std::size_t replica = 0;
+  unsigned attempts = 0;  // attempts consumed (== options.max_attempts)
+  std::string message;    // what() of the last failure
+};
+
+struct BatchReport {
+  std::size_t replicas = 0;
+  std::uint64_t retries = 0;          // attempts beyond each replica's first
+  std::vector<ReplicaError> errors;   // persistent failures, by replica index
+  bool ok() const { return errors.empty(); }
+};
+
+// Fault-isolating driver: every replica runs to a verdict; failures never
+// abort the batch.  Deterministic: outcomes depend only on (master_seed,
+// replica, attempt), not on the thread schedule.
+BatchReport run_replicas_isolated_erased(
+    std::size_t replicas, const std::function<void(std::size_t, Rng&)>& task,
+    const MonteCarloOptions& options);
+
+template <typename Result>
+struct IsolatedBatch {
+  // nullopt exactly for the replicas listed in report.errors.
+  std::vector<std::optional<Result>> results;
+  BatchReport report;
+};
+
+// Typed fault-isolating wrapper.  A replica's slot holds the result of its
+// first successful attempt, or nullopt if all attempts failed.
+template <typename Result, typename Task>
+IsolatedBatch<Result> run_replicas_isolated(std::size_t replicas, Task&& task,
+                                            const MonteCarloOptions& options = {}) {
+  IsolatedBatch<Result> batch;
+  batch.results.resize(replicas);
+  batch.report = run_replicas_isolated_erased(
+      replicas,
+      [&batch, &task](std::size_t replica, Rng& rng) {
+        batch.results[replica] = task(replica, rng);
+      },
+      options);
+  return batch;
 }
 
 }  // namespace divlib

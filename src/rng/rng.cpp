@@ -109,4 +109,13 @@ std::uint64_t Rng::substream_seed(std::uint64_t master, std::uint64_t index) {
   return sm.next();
 }
 
+std::uint64_t Rng::retry_seed(std::uint64_t master, std::uint64_t replica,
+                              std::uint64_t attempt) {
+  const std::uint64_t base = substream_seed(master, replica);
+  if (attempt == 0) {
+    return base;
+  }
+  return substream_seed(base ^ 0x9e3779b97f4a7c15ULL, attempt);
+}
+
 }  // namespace divlib

@@ -81,6 +81,13 @@ class Rng {
   // Deterministic and collision-resistant for practical replica counts.
   static std::uint64_t substream_seed(std::uint64_t master, std::uint64_t index);
 
+  // Seed of the `attempt`-th retry of a Monte-Carlo replica.  Attempt 0 is
+  // exactly substream_seed(master, replica), so retry-aware drivers are
+  // bit-compatible with the plain driver when nothing fails; attempt > 0
+  // yields fresh, reproducible streams keyed by (master, replica, attempt).
+  static std::uint64_t retry_seed(std::uint64_t master, std::uint64_t replica,
+                                  std::uint64_t attempt);
+
  private:
   std::array<std::uint64_t, 4> state_;
   // Cached second normal deviate from the polar method.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/div_process.hpp"
 #include "core/pull_voting.hpp"
 #include "engine/initial_config.hpp"
@@ -121,6 +123,103 @@ TEST(Engine, NoTraceWhenStrideZero) {
   const RunResult result = run(process, state, rng, options);
   EXPECT_TRUE(result.trace.empty());
   EXPECT_FALSE(result.trace.enabled());
+}
+
+// A process that throws midway through a run: exercises the watchdog's
+// kFaulted classification and run_guarded's structured error capture.
+class ExplodingProcess : public Process {
+ public:
+  explicit ExplodingProcess(std::uint64_t explode_after)
+      : explode_after_(explode_after) {}
+  void begin_run(const OpinionState&) override { ++begin_run_calls_; }
+  void step(OpinionState&, Rng&) override {
+    if (++steps_ > explode_after_) {
+      throw std::runtime_error("simulated hardware fault");
+    }
+  }
+  std::string name() const override { return "exploding"; }
+  int begin_run_calls() const { return begin_run_calls_; }
+
+ private:
+  std::uint64_t explode_after_;
+  std::uint64_t steps_ = 0;
+  int begin_run_calls_ = 0;
+};
+
+TEST(Engine, RunStatusNames) {
+  EXPECT_STREQ(to_string(RunStatus::kCompleted), "completed");
+  EXPECT_STREQ(to_string(RunStatus::kCapped), "capped");
+  EXPECT_STREQ(to_string(RunStatus::kFaulted), "faulted");
+}
+
+TEST(Engine, StatusClassifiesCompletedAndCapped) {
+  const Graph g = make_complete(4);
+  DivProcess process(g, SelectionScheme::kVertex);
+  Rng rng(11);
+
+  OpinionState done(g, {2, 2, 2, 2});
+  const RunResult completed = run(process, done, rng, {});
+  EXPECT_EQ(completed.status, RunStatus::kCompleted);
+  EXPECT_TRUE(completed.completed);
+  EXPECT_TRUE(completed.fault.empty());
+
+  OpinionState split(g, {1, 1, 4, 4});
+  RunOptions tight;
+  tight.max_steps = 2;
+  const RunResult capped = run(process, split, rng, tight);
+  EXPECT_EQ(capped.status, RunStatus::kCapped);
+  EXPECT_FALSE(capped.completed);
+}
+
+TEST(Engine, RunPropagatesProcessExceptions) {
+  const Graph g = make_complete(4);
+  OpinionState state(g, {1, 2, 3, 4});
+  ExplodingProcess process(5);
+  Rng rng(12);
+  EXPECT_THROW(run(process, state, rng, {}), std::runtime_error);
+}
+
+TEST(Engine, RunGuardedCapturesFaults) {
+  const Graph g = make_complete(4);
+  OpinionState state(g, {1, 2, 3, 4});
+  ExplodingProcess process(5);
+  Rng rng(13);
+  const RunResult result = run_guarded(process, state, rng, {});
+  EXPECT_EQ(result.status, RunStatus::kFaulted);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.fault, "simulated hardware fault");
+  EXPECT_EQ(result.steps, 5u);  // progress up to the failure is reported
+  EXPECT_FALSE(result.winner.has_value());
+}
+
+TEST(Engine, RunGuardedMatchesRunWhenHealthy) {
+  const Graph g = make_complete(8);
+  Rng init_rng(14);
+  const auto initial = uniform_random_opinions(8, 1, 4, init_rng);
+  DivProcess process(g, SelectionScheme::kVertex);
+  OpinionState a(g, initial);
+  OpinionState b(g, initial);
+  Rng rng_a(15);
+  Rng rng_b(15);
+  const RunResult plain = run(process, a, rng_a, {});
+  const RunResult guarded = run_guarded(process, b, rng_b, {});
+  EXPECT_EQ(guarded.status, RunStatus::kCompleted);
+  EXPECT_EQ(guarded.steps, plain.steps);
+  EXPECT_EQ(guarded.winner, plain.winner);
+  EXPECT_TRUE(guarded.fault.empty());
+}
+
+TEST(Engine, BeginRunFiresOncePerRun) {
+  const Graph g = make_complete(4);
+  ExplodingProcess process(1'000'000);
+  Rng rng(16);
+  RunOptions options;
+  options.max_steps = 10;
+  OpinionState state(g, {1, 2, 3, 4});
+  (void)run(process, state, rng, options);
+  (void)run(process, state, rng, options);
+  (void)run_guarded(process, state, rng, options);
+  EXPECT_EQ(process.begin_run_calls(), 3);
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+#include "core/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace divlib {
+namespace {
+
+TEST(FaultPlan, DefaultPlanIsEmpty) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.drop_rate(), 0.0);
+  EXPECT_EQ(plan.corrupt_rate(), 0.0);
+  EXPECT_TRUE(plan.crashes().empty());
+  EXPECT_TRUE(plan.byzantine().empty());
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, BuildersChainAndRecord) {
+  FaultPlan plan;
+  plan.drop(0.25)
+      .corrupt(0.1)
+      .crash(3)
+      .crash(5, 100, 200)
+      .byzantine_fixed(7, 2)
+      .byzantine_random(9)
+      .fault_seed(123);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.drop_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(plan.corrupt_rate(), 0.1);
+  EXPECT_EQ(plan.seed(), 123u);
+  ASSERT_EQ(plan.crashes().size(), 2u);
+  EXPECT_EQ(plan.crashes()[0].vertex, 3u);
+  EXPECT_EQ(plan.crashes()[0].start, 0u);
+  EXPECT_EQ(plan.crashes()[0].end, kNoRecovery);
+  EXPECT_EQ(plan.crashes()[1].vertex, 5u);
+  EXPECT_EQ(plan.crashes()[1].start, 100u);
+  EXPECT_EQ(plan.crashes()[1].end, 200u);
+  ASSERT_EQ(plan.byzantine().size(), 2u);
+  EXPECT_EQ(plan.byzantine()[0].vertex, 7u);
+  EXPECT_EQ(plan.byzantine()[0].kind, LieKind::kFixed);
+  EXPECT_EQ(plan.byzantine()[0].fixed_value, 2);
+  EXPECT_EQ(plan.byzantine()[1].kind, LieKind::kRandom);
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, RejectsBadRates) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.drop(-0.01), std::invalid_argument);
+  EXPECT_THROW(plan.drop(1.0), std::invalid_argument);
+  EXPECT_THROW(plan.corrupt(-0.01), std::invalid_argument);
+  EXPECT_THROW(plan.corrupt(1.01), std::invalid_argument);
+  EXPECT_NO_THROW(plan.drop(0.999));
+  EXPECT_NO_THROW(plan.corrupt(1.0));
+}
+
+TEST(FaultPlan, ValidateRejectsEmptyEpisode) {
+  FaultPlan empty_window;
+  empty_window.crash(0, 100, 100);
+  EXPECT_THROW(empty_window.validate(), std::invalid_argument);
+  FaultPlan inverted;
+  inverted.crash(0, 100, 50);
+  EXPECT_THROW(inverted.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, ValidateRejectsOverlappingEpisodes) {
+  FaultPlan plan;
+  plan.crash(4, 0, 100).crash(4, 50, 150);
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  // Disjoint episodes on the same vertex are fine (repeated churn).
+  FaultPlan churn;
+  churn.crash(4, 0, 100).crash(4, 100, 150);
+  EXPECT_NO_THROW(churn.validate());
+}
+
+TEST(FaultPlan, ValidateRejectsByzantineCrashOverlap) {
+  FaultPlan plan;
+  plan.crash(2, 0, 10).byzantine_random(2);
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+TEST(FaultPlan, ValidateRejectsDuplicateByzantine) {
+  FaultPlan plan;
+  plan.byzantine_random(6).byzantine_fixed(6, 1);
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace divlib

@@ -25,6 +25,10 @@ TEST(FaultyProcess, ValidatesConstruction) {
   EXPECT_THROW(FaultyProcess(nullptr, 0.1), std::invalid_argument);
   EXPECT_THROW(FaultyProcess(make_div(g), -0.1), std::invalid_argument);
   EXPECT_THROW(FaultyProcess(make_div(g), 1.0), std::invalid_argument);
+  FaultPlan overlapping;
+  overlapping.crash(0, 0, 100).crash(0, 50, 150);
+  EXPECT_THROW(FaultyProcess(make_div(g), std::move(overlapping)),
+               std::invalid_argument);
 }
 
 TEST(FaultyProcess, NameWrapsInner) {
@@ -50,7 +54,7 @@ TEST(FaultyProcess, ZeroDropRateMatchesInnerExactly) {
   for (VertexId v = 0; v < 8; ++v) {
     EXPECT_EQ(plain_state.opinion(v), faulty_state.opinion(v));
   }
-  EXPECT_EQ(faulty.dropped_steps(), 0u);
+  EXPECT_EQ(faulty.dropped(), 0u);
 }
 
 TEST(FaultyProcess, DropRateCountsDrops) {
@@ -62,7 +66,44 @@ TEST(FaultyProcess, DropRateCountsDrops) {
   for (int step = 0; step < kSteps; ++step) {
     faulty.step(state, rng);
   }
-  EXPECT_NEAR(static_cast<double>(faulty.dropped_steps()) / kSteps, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(faulty.dropped()) / kSteps, 0.5, 0.02);
+}
+
+// Satellite: message loss only thins the schedule.  Because fault coins come
+// from the plan's private stream, the inner process replays the fault-free
+// run's interaction sequence EXACTLY: the final opinion vector is
+// bit-identical, and only the step count stretches by ~1/(1 - drop_rate).
+TEST(FaultyProcess, DropPreservesJumpChainExactly) {
+  const Graph g = make_complete(24);
+  Rng init(11);
+  const auto initial = uniform_random_opinions(24, 1, 5, init);
+  RunOptions options;
+  options.max_steps = 50'000'000;
+
+  OpinionState clean_state(g, initial);
+  DivProcess clean(g, SelectionScheme::kEdge);
+  Rng clean_rng(1234);
+  const RunResult clean_result = run(clean, clean_state, clean_rng, options);
+  ASSERT_TRUE(clean_result.completed);
+
+  const double drop_rate = 0.4;
+  OpinionState faulty_state(g, initial);
+  FaultPlan plan;
+  plan.drop(drop_rate).fault_seed(77);
+  FaultyProcess faulty(make_div(g), std::move(plan));
+  Rng faulty_rng(1234);  // same main stream as the clean run
+  const RunResult faulty_result = run(faulty, faulty_state, faulty_rng, options);
+  ASSERT_TRUE(faulty_result.completed);
+
+  for (VertexId v = 0; v < 24; ++v) {
+    EXPECT_EQ(clean_state.opinion(v), faulty_state.opinion(v));
+  }
+  EXPECT_EQ(faulty_result.winner, clean_result.winner);
+  // Accepted interactions are identical, so executed = accepted + dropped.
+  EXPECT_EQ(faulty_result.steps, clean_result.steps + faulty.dropped());
+  const double stretch = static_cast<double>(faulty_result.steps) /
+                         static_cast<double>(clean_result.steps);
+  EXPECT_NEAR(stretch, 1.0 / (1.0 - drop_rate), 0.15);
 }
 
 TEST(FaultyProcess, MessageLossPreservesWinnerDistribution) {
@@ -74,10 +115,13 @@ TEST(FaultyProcess, MessageLossPreservesWinnerDistribution) {
     Summary steps;
     const auto results = run_replicas<RunResult>(
         kReplicas,
-        [&g, drop_rate](std::size_t, Rng& rng) {
+        [&g, drop_rate, salt](std::size_t replica, Rng& rng) {
           OpinionState state(g, opinions_with_sum(40, 1, 4, 100, rng));  // c=2.5
+          FaultPlan plan;
+          plan.drop(drop_rate).fault_seed(Rng::substream_seed(salt, replica));
           FaultyProcess faulty(
-              std::make_unique<DivProcess>(g, SelectionScheme::kEdge), drop_rate);
+              std::make_unique<DivProcess>(g, SelectionScheme::kEdge),
+              std::move(plan));
           RunOptions options;
           options.max_steps = 50'000'000;
           return run(faulty, state, rng, options);
@@ -110,7 +154,7 @@ TEST(FaultyProcess, CrashedVerticesNeverChange) {
     ASSERT_EQ(state.opinion(3), 7);
     ASSERT_EQ(state.opinion(6), 2);
   }
-  EXPECT_GT(faulty.crashed_rollbacks(), 0u);
+  EXPECT_GT(faulty.rollbacks(), 0u);
 }
 
 TEST(FaultyProcess, CrashedVertexOutOfRangeThrows) {
@@ -146,6 +190,111 @@ TEST(FaultyProcess, DivergentOpinionsOfCrashedVerticesPreventConsensus) {
   options.max_steps = 100'000;
   const RunResult result = run(faulty, state, rng, options);
   EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.status, RunStatus::kCapped);
+}
+
+// Churn: a vertex crashes at step 0 and recovers at step 64.  While down it
+// is pinned to its crash-time opinion; afterwards it rejoins the dynamics.
+// The window is short and the honest opinions far away, so the network
+// cannot fully absorb into the crashed value before the recovery fires.
+TEST(FaultyProcess, ScheduledCrashRecoversOnTime) {
+  const Graph g = make_complete(8);
+  std::vector<Opinion> initial(8, 9);
+  initial[0] = 1;
+  OpinionState state(g, initial);
+  FaultPlan plan;
+  plan.crash(0, 0, 64).fault_seed(21);
+  FaultyProcess faulty(make_div(g), std::move(plan));
+  Rng rng(22);
+  for (int step = 0; step < 64; ++step) {
+    faulty.step(state, rng);
+    ASSERT_EQ(state.opinion(0), 1) << "pinned while crashed, step " << step;
+  }
+  EXPECT_EQ(faulty.recoveries(), 0u);
+  bool changed = false;
+  for (int step = 0; step < 100'000 && !changed; ++step) {
+    faulty.step(state, rng);
+    changed = state.opinion(0) != 1;
+  }
+  EXPECT_TRUE(changed) << "vertex 0 should rejoin the dynamics after recovery";
+  EXPECT_EQ(faulty.recoveries(), 1u);
+}
+
+// A Byzantine liar: vertex 0 keeps its true opinion 5 forever but answers
+// every pull with the lie 1.  On a path 0-1-2 the honest suffix is dragged
+// to the lie and stays there; the liar's true opinion is never altered.
+TEST(FaultyProcess, ByzantineFixedLieMisleadsNeighbors) {
+  const Graph g = make_path(3);
+  OpinionState state(g, {5, 3, 1});
+  FaultPlan plan;
+  plan.byzantine_fixed(0, 1).fault_seed(31);
+  FaultyProcess faulty(make_div(g), std::move(plan));
+  Rng rng(32);
+  for (int step = 0; step < 20000; ++step) {
+    faulty.step(state, rng);
+    ASSERT_EQ(state.opinion(0), 5) << "Byzantine true opinion must not drift";
+  }
+  EXPECT_EQ(state.opinion(1), 1);
+  EXPECT_EQ(state.opinion(2), 1);
+}
+
+TEST(FaultyProcess, RandomLiesAndCorruptionStayInRange) {
+  const Graph g = make_complete(12);
+  Rng init(41);
+  OpinionState state(g, uniform_random_opinions(12, 1, 6, init));
+  FaultPlan plan;
+  plan.byzantine_random(2).byzantine_random(7).corrupt(0.5).fault_seed(42);
+  FaultyProcess faulty(make_div(g), std::move(plan));
+  Rng rng(43);
+  for (int step = 0; step < 20000; ++step) {
+    faulty.step(state, rng);
+    for (VertexId v = 0; v < 12; ++v) {
+      ASSERT_GE(state.opinion(v), state.range_lo());
+      ASSERT_LE(state.opinion(v), state.range_hi());
+    }
+  }
+  EXPECT_GT(faulty.corruptions(), 0u);
+}
+
+// Satellite regression: one FaultyProcess instance serving two sequential
+// runs must pin crashed vertices to the SECOND run's opinions, not roll them
+// back to stale values captured during the first run.
+TEST(FaultyProcess, SequentialRunsRecaptureFrozenOpinions) {
+  const Graph g = make_complete(8);
+  FaultyProcess faulty(make_div(g), 0.0, {0});
+  RunOptions options;
+  options.max_steps = 20'000;
+
+  std::vector<Opinion> first(8, 3);
+  first[0] = 2;
+  OpinionState first_state(g, first);
+  Rng rng(51);
+  (void)run(faulty, first_state, rng, options);
+  EXPECT_EQ(first_state.opinion(0), 2);
+
+  std::vector<Opinion> second(8, 1);
+  second[0] = 4;
+  OpinionState second_state(g, second);
+  (void)run(faulty, second_state, rng, options);
+  EXPECT_EQ(second_state.opinion(0), 4)
+      << "stale frozen opinion from the previous run leaked into this run";
+}
+
+TEST(FaultyProcess, CountersAreCumulativeAcrossRuns) {
+  const Graph g = make_complete(8);
+  FaultyProcess faulty(make_div(g), 0.5, {0});
+  RunOptions options;
+  options.max_steps = 2'000;
+  options.stop = StopKind::kConsensus;
+  Rng rng(61);
+  Rng init(62);
+  OpinionState a(g, uniform_random_opinions(8, 1, 5, init));
+  (void)run(faulty, a, rng, options);
+  const std::uint64_t dropped_after_first = faulty.dropped();
+  EXPECT_GT(dropped_after_first, 0u);
+  OpinionState b(g, uniform_random_opinions(8, 1, 5, init));
+  (void)run(faulty, b, rng, options);
+  EXPECT_GT(faulty.dropped(), dropped_after_first);
 }
 
 }  // namespace

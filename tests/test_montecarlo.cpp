@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <set>
@@ -86,6 +87,118 @@ TEST(MonteCarlo, TypedWrapperPreservesReplicaOrder) {
   for (std::size_t i = 0; i < values.size(); ++i) {
     EXPECT_EQ(values[i], i * 2);
   }
+}
+
+TEST(MonteCarlo, LowestReplicaExceptionWinsDeterministically) {
+  // Replicas 9 and 33 both throw; whatever the thread schedule, the caller
+  // must always observe replica 9's message.
+  for (int round = 0; round < 5; ++round) {
+    std::string caught;
+    try {
+      run_replicas_erased(
+          64,
+          [](std::size_t replica, Rng&) {
+            if (replica == 9) {
+              throw std::runtime_error("error from replica 9");
+            }
+            if (replica == 33) {
+              throw std::runtime_error("error from replica 33");
+            }
+          },
+          {.master_seed = 5, .num_threads = 8});
+      FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& error) {
+      caught = error.what();
+    }
+    EXPECT_EQ(caught, "error from replica 9") << "round " << round;
+  }
+}
+
+TEST(MonteCarlo, RetrySeedAttemptZeroMatchesSubstream) {
+  EXPECT_EQ(Rng::retry_seed(42, 7, 0), Rng::substream_seed(42, 7));
+  const std::uint64_t a0 = Rng::retry_seed(42, 7, 0);
+  const std::uint64_t a1 = Rng::retry_seed(42, 7, 1);
+  const std::uint64_t a2 = Rng::retry_seed(42, 7, 2);
+  EXPECT_NE(a0, a1);
+  EXPECT_NE(a1, a2);
+  EXPECT_NE(Rng::retry_seed(42, 8, 1), a1);
+}
+
+TEST(MonteCarlo, IsolatedMatchesPlainDriverWhenHealthy) {
+  const auto task = [](std::size_t, Rng& rng) { return rng.next(); };
+  const MonteCarloOptions options{.master_seed = 99, .num_threads = 4};
+  const auto plain = run_replicas<std::uint64_t>(64, task, options);
+  const auto batch = run_replicas_isolated<std::uint64_t>(64, task, options);
+  ASSERT_TRUE(batch.report.ok());
+  EXPECT_EQ(batch.report.retries, 0u);
+  ASSERT_EQ(batch.results.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    ASSERT_TRUE(batch.results[i].has_value());
+    EXPECT_EQ(*batch.results[i], plain[i]);
+  }
+}
+
+TEST(MonteCarlo, IsolatedDriverSurvivesThrowingReplica) {
+  const auto batch = run_replicas_isolated<std::uint64_t>(
+      16,
+      [](std::size_t replica, Rng& rng) -> std::uint64_t {
+        if (replica == 7) {
+          throw std::runtime_error("replica 7 is cursed");
+        }
+        return rng.next();
+      },
+      {.master_seed = 11, .num_threads = 4, .max_attempts = 2});
+  EXPECT_FALSE(batch.report.ok());
+  ASSERT_EQ(batch.report.errors.size(), 1u);
+  EXPECT_EQ(batch.report.errors[0].replica, 7u);
+  EXPECT_EQ(batch.report.errors[0].attempts, 2u);
+  EXPECT_EQ(batch.report.errors[0].message, "replica 7 is cursed");
+  EXPECT_EQ(batch.report.retries, 1u);  // one retry, then gave up
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    EXPECT_EQ(batch.results[i].has_value(), i != 7) << "replica " << i;
+  }
+}
+
+TEST(MonteCarlo, RetriesAreReproducibleFromRetrySeeds) {
+  // Replica 5 fails its first two attempts; the surviving value must come
+  // from the attempt-2 stream, reproducible offline from retry_seed.
+  constexpr std::uint64_t kMaster = 77;
+  std::array<std::atomic<unsigned>, 16> attempt_counts{};
+  const auto batch = run_replicas_isolated<std::uint64_t>(
+      16,
+      [&attempt_counts](std::size_t replica, Rng& rng) -> std::uint64_t {
+        const unsigned attempt = attempt_counts[replica].fetch_add(1);
+        if (replica == 5 && attempt < 2) {
+          throw std::runtime_error("flaky");
+        }
+        return rng.next();
+      },
+      {.master_seed = kMaster, .num_threads = 4, .max_attempts = 3});
+  ASSERT_TRUE(batch.report.ok());
+  EXPECT_EQ(batch.report.retries, 2u);
+  ASSERT_TRUE(batch.results[5].has_value());
+  Rng expected(Rng::retry_seed(kMaster, 5, 2));
+  EXPECT_EQ(*batch.results[5], expected.next());
+  Rng plain(Rng::substream_seed(kMaster, 3));
+  ASSERT_TRUE(batch.results[3].has_value());
+  EXPECT_EQ(*batch.results[3], plain.next());
+}
+
+TEST(MonteCarlo, IsolatedErrorsSortedByReplicaIndex) {
+  const auto batch = run_replicas_isolated<int>(
+      32,
+      [](std::size_t replica, Rng&) -> int {
+        if (replica % 11 == 3) {  // replicas 3, 14, 25
+          throw std::runtime_error("bad");
+        }
+        return 1;
+      },
+      {.master_seed = 2, .num_threads = 8, .max_attempts = 1});
+  ASSERT_EQ(batch.report.errors.size(), 3u);
+  EXPECT_EQ(batch.report.errors[0].replica, 3u);
+  EXPECT_EQ(batch.report.errors[1].replica, 14u);
+  EXPECT_EQ(batch.report.errors[2].replica, 25u);
+  EXPECT_EQ(batch.report.retries, 0u);  // max_attempts = 1: no retries
 }
 
 }  // namespace

@@ -155,5 +155,31 @@ TEST(OpinionState, PiMassesSumToOne) {
   EXPECT_NEAR(total, 1.0, 1e-12);
 }
 
+TEST(OpinionState, WriteLogDisabledByDefault) {
+  const Graph g = make_cycle(4);
+  OpinionState state(g, {1, 2, 3, 4});
+  EXPECT_FALSE(state.write_log_enabled());
+  state.set(0, 2);
+  EXPECT_TRUE(state.recent_writes().empty());
+}
+
+TEST(OpinionState, WriteLogRecordsOnlyActualChanges) {
+  const Graph g = make_cycle(4);
+  OpinionState state(g, {1, 2, 3, 4});
+  state.enable_write_log();
+  EXPECT_TRUE(state.write_log_enabled());
+  state.set(0, 2);  // change
+  state.set(1, 2);  // no-op: already 2
+  state.set(3, 1);  // change
+  ASSERT_EQ(state.recent_writes().size(), 2u);
+  EXPECT_EQ(state.recent_writes()[0], 0u);
+  EXPECT_EQ(state.recent_writes()[1], 3u);
+  state.clear_write_log();
+  EXPECT_TRUE(state.recent_writes().empty());
+  state.set(2, 4);
+  ASSERT_EQ(state.recent_writes().size(), 1u);
+  EXPECT_EQ(state.recent_writes()[0], 2u);
+}
+
 }  // namespace
 }  // namespace divlib

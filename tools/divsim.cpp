@@ -3,6 +3,8 @@
 //   divsim run      --graph <spec> [--process div] [--scheme edge]
 //                   [--k 5] [--seed 1] [--replicas 1] [--trace N]
 //                   [--stop consensus|two-adjacent] [--max-steps M]
+//                   [--fault drop=0.3,crash=0.05@[0,1e6],byzantine=0.02]
+//                   [--retries N]
 //   divsim spectral --graph <spec> [--seed 1] [--full]
 //   divsim graph    --graph <spec> [--seed 1] [--dot] [--analyze]
 //   divsim meanfield --k 5 [--tau 10] [--fractions a,b,c,...]
@@ -15,12 +17,16 @@
 //   divsim graph --graph barbell:16 --analyze
 //   divsim trace --graph complete:256 --k 6 > counts.csv
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "cli/args.hpp"
+#include "cli/fault_spec.hpp"
 #include "cli/graph_spec.hpp"
 #include "cli/process_spec.hpp"
+#include "core/faulty_process.hpp"
 #include "core/coupling.hpp"
 #include "core/mean_field.hpp"
 #include "core/theory.hpp"
@@ -55,7 +61,9 @@ int usage() {
       "  couple     run the Lemma 13 DIV <-> pull-voting coupling\n"
       "\n"
       "graph specs:   " << graph_spec_help() << "\n"
-      "process specs: " << process_spec_help() << "\n";
+      "process specs: " << process_spec_help() << "\n"
+      "fault specs:   --fault " << fault_spec_help() << "\n"
+      "               (run only; add --retries N for per-replica retry)\n";
   return 2;
 }
 
@@ -65,8 +73,17 @@ void warn_unused(const Args& args) {
   }
 }
 
+struct ReplicaRun {
+  RunResult result;
+  std::uint64_t dropped = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t recoveries = 0;
+};
+
 int cmd_run(const Args& args) {
-  Rng graph_rng(args.get_u64("seed", 1));
+  const std::uint64_t master_seed = args.get_u64("seed", 1);
+  Rng graph_rng(master_seed);
   const Graph graph = make_graph_from_spec(args.get("graph", "complete:128"),
                                            graph_rng);
   const auto k = static_cast<Opinion>(args.get_int("k", 5));
@@ -75,6 +92,9 @@ int cmd_run(const Args& args) {
   const auto replicas = static_cast<std::size_t>(args.get_u64("replicas", 1));
   const std::string stop_text = args.get("stop", "consensus");
   const std::uint64_t trace_stride = args.get_u64("trace", 0);
+  const std::string fault_text = args.get("fault", "");
+  const auto retries = static_cast<unsigned>(args.get_u64("retries", 0));
+  const FaultSpec fault_spec = parse_fault_spec(fault_text);
 
   RunOptions options;
   options.stop = stop_text == "two-adjacent" ? StopKind::kTwoAdjacent
@@ -89,33 +109,82 @@ int cmd_run(const Args& args) {
             << "process: " << process_name << "/" << to_string(scheme)
             << ", opinions 1.." << k << ", stop: " << to_string(options.stop)
             << ", replicas: " << replicas << "\n";
+  if (fault_spec.any()) {
+    std::cout << "faults: " << fault_text << "\n";
+  }
+
+  const auto batch = run_replicas_isolated<ReplicaRun>(
+      replicas,
+      [&](std::size_t replica, Rng& rng) {
+        OpinionState state(
+            graph, uniform_random_opinions(graph.num_vertices(), 1, k, rng));
+        auto process = make_process_from_spec(process_name, scheme, graph);
+        ReplicaRun out;
+        if (fault_spec.any()) {
+          const std::uint64_t fault_seed =
+              Rng::substream_seed(master_seed ^ 0xfa017ULL, replica);
+          auto faulty = std::make_unique<FaultyProcess>(
+              std::move(process),
+              materialize_fault_plan(fault_spec, graph.num_vertices(),
+                                     fault_seed, rng));
+          out.result = run_guarded(*faulty, state, rng, options);
+          out.dropped = faulty->dropped();
+          out.rollbacks = faulty->rollbacks();
+          out.corruptions = faulty->corruptions();
+          out.recoveries = faulty->recoveries();
+        } else {
+          out.result = run_guarded(*process, state, rng, options);
+        }
+        return out;
+      },
+      {.master_seed = master_seed, .max_attempts = retries + 1});
 
   IntCounter winners;
   Summary steps;
   std::uint64_t capped = 0;
-  const auto results = run_replicas<RunResult>(
-      replicas,
-      [&](std::size_t, Rng& rng) {
-        OpinionState state(
-            graph, uniform_random_opinions(graph.num_vertices(), 1, k, rng));
-        const auto process = make_process_from_spec(process_name, scheme, graph);
-        return run(*process, state, rng, options);
-      },
-      {.master_seed = args.get_u64("seed", 1)});
-  for (const RunResult& result : results) {
-    if (!result.completed) {
-      ++capped;
-      continue;
+  std::uint64_t faulted = 0;
+  std::uint64_t completed = 0;
+  ReplicaRun totals;
+  for (const auto& slot : batch.results) {
+    if (!slot) {
+      continue;  // reported below via batch.report
     }
-    steps.add(static_cast<double>(result.steps));
-    if (result.winner) {
-      winners.add(*result.winner);
+    const ReplicaRun& replica_run = *slot;
+    totals.dropped += replica_run.dropped;
+    totals.rollbacks += replica_run.rollbacks;
+    totals.corruptions += replica_run.corruptions;
+    totals.recoveries += replica_run.recoveries;
+    switch (replica_run.result.status) {
+      case RunStatus::kFaulted:
+        ++faulted;
+        continue;
+      case RunStatus::kCapped:
+        ++capped;
+        continue;
+      case RunStatus::kCompleted:
+        ++completed;
+        break;
+    }
+    steps.add(static_cast<double>(replica_run.result.steps));
+    if (replica_run.result.winner) {
+      winners.add(*replica_run.result.winner);
     }
   }
 
-  std::cout << "completed " << (replicas - capped) << "/" << replicas
-            << " replicas; E[steps] = " << format_double(steps.mean(), 1)
-            << " +- " << format_double(steps.ci95_halfwidth(), 1) << "\n";
+  std::cout << "completed " << completed << "/" << replicas << " replicas";
+  if (capped > 0) {
+    std::cout << " (" << capped << " capped)";
+  }
+  if (faulted > 0) {
+    std::cout << " (" << faulted << " faulted)";
+  }
+  std::cout << "; E[steps] = " << format_double(steps.mean(), 1) << " +- "
+            << format_double(steps.ci95_halfwidth(), 1) << "\n";
+  if (fault_spec.any()) {
+    std::cout << "fault counters: dropped " << totals.dropped << ", rollbacks "
+              << totals.rollbacks << ", corruptions " << totals.corruptions
+              << ", recoveries " << totals.recoveries << "\n";
+  }
   if (winners.total() > 0) {
     std::cout << "winners:";
     for (const auto& [value, count] : winners.counts()) {
@@ -123,14 +192,23 @@ int cmd_run(const Args& args) {
     }
     std::cout << "\n";
   }
-  if (trace_stride > 0 && !results.empty() && !results.front().trace.empty()) {
+  if (!batch.report.ok()) {
+    std::cout << "replica errors (" << batch.report.errors.size() << ", after "
+              << batch.report.retries << " retries):\n";
+    for (const ReplicaError& error : batch.report.errors) {
+      std::cout << "  replica " << error.replica << " failed " << error.attempts
+                << " attempt(s): " << error.message << "\n";
+    }
+  }
+  if (trace_stride > 0 && !batch.results.empty() && batch.results.front() &&
+      !batch.results.front()->result.trace.empty()) {
     std::cout << "trace of replica 0 (step, range, S):\n";
-    for (const TraceSample& sample : results.front().trace.samples()) {
+    for (const TraceSample& sample : batch.results.front()->result.trace.samples()) {
       std::cout << "  " << sample.step << "  [" << sample.min_active << ","
                 << sample.max_active << "]  " << sample.sum << "\n";
     }
   }
-  return 0;
+  return batch.report.ok() ? 0 : 3;
 }
 
 int cmd_spectral(const Args& args) {
