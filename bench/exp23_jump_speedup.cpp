@@ -1,0 +1,272 @@
+// EXP-23 -- jump-chain engine: wall-clock speedup and statistical
+// equivalence.
+//
+// The naive loop spends most of a consensus run simulating lazy steps: near
+// the end almost every scheduled pair already agrees.  run_jump() simulates
+// the embedded jump chain (geometric skip + discordance-weighted pair
+// sampling), so its cost scales with *effective* steps only while its
+// (T, winner) distribution matches run() exactly.
+//
+// Part 1 checks the equivalence on a small graph: two-sample chi-square on
+// the winner distribution and two-sample KS on the completion time, naive vs
+// jump, both schemes.
+//
+// Part 2 regenerates the speedup table on random 16-regular graphs, k = 5,
+// in the lazy-dominated straggler regime (bulk at 3, n/512 dissenters over
+// the other four values): wall-clock seconds per consensus run for both
+// engines, the scheduled / effective step counts, and the speedup factor
+// (acceptance: >= 10x at n = 2^17).
+//
+// Part 3 is the honesty panel: from a balanced uniform start the run ends
+// in a two-adjacent-opinion phase whose block split performs an unbiased
+// random walk -- Theta(x(1-x) n^2) *effective* steps at high active mass.
+// There are no lazy steps to skip there, so by Amdahl the hybrid engine can
+// only match the naive loop (it switches to native scheduled steps), and
+// the measured speedup is ~1x.  The table reports it rather than hiding it.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/div_process.hpp"
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/jump_engine.hpp"
+#include "graph/random_graphs.hpp"
+#include "io/table.hpp"
+#include "stats/chi_square.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace divlib;
+
+constexpr Opinion kOpinions = 5;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct EngineSamples {
+  std::vector<std::uint64_t> winners;  // indexed by opinion - 1
+  std::vector<double> completion_steps;
+};
+
+EngineSamples collect(const Graph& graph, SelectionScheme scheme,
+                      std::size_t replicas, std::uint64_t seed, bool jump) {
+  EngineSamples samples;
+  samples.winners.assign(kOpinions, 0);
+  DivProcess process(graph, scheme);
+  RunOptions options;
+  options.max_steps = static_cast<std::uint64_t>(graph.num_vertices()) *
+                      graph.num_vertices() * 1000;
+  for (std::size_t replica = 0; replica < replicas; ++replica) {
+    Rng rng(Rng::substream_seed(seed, replica));
+    OpinionState state(graph, uniform_random_opinions(graph.num_vertices(), 1,
+                                                      kOpinions, rng));
+    const RunResult result = jump ? run_jump(process, state, rng, options)
+                                  : run(process, state, rng, options);
+    if (result.completed && result.winner) {
+      ++samples.winners[static_cast<std::size_t>(*result.winner - 1)];
+      samples.completion_steps.push_back(static_cast<double>(result.steps));
+    }
+  }
+  return samples;
+}
+
+double two_sample_chi_square_p(const std::vector<std::uint64_t>& a,
+                               const std::vector<std::uint64_t>& b) {
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (const auto count : a) total_a += static_cast<double>(count);
+  for (const auto count : b) total_b += static_cast<double>(count);
+  const double total = total_a + total_b;
+  double statistic = 0.0;
+  int used = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double column = static_cast<double>(a[i] + b[i]);
+    if (column == 0.0) {
+      continue;
+    }
+    ++used;
+    const double expected_a = column * total_a / total;
+    const double expected_b = column * total_b / total;
+    statistic += (a[i] - expected_a) * (a[i] - expected_a) / expected_a;
+    statistic += (b[i] - expected_b) * (b[i] - expected_b) / expected_b;
+  }
+  return chi_square_survival(statistic, used - 1);
+}
+
+double two_sample_ks_statistic(std::vector<double> a, std::vector<double> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] <= b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+    d = std::max(d, std::abs(static_cast<double>(i) / a.size() -
+                             static_cast<double>(j) / b.size()));
+  }
+  return d;
+}
+
+void equivalence_part(std::size_t replicas) {
+  Rng graph_rng(0x23a);
+  const Graph graph = make_connected_random_regular(64, 8, graph_rng);
+  print_banner(std::cout,
+               "EXP-23a  jump vs naive equivalence (regular n=64 d=8, k=5)");
+  Table table({"scheme", "chi2 p (winner)", "KS D (T)", "KS crit (1%)",
+               "verdict"});
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    const EngineSamples naive =
+        collect(graph, scheme, replicas, 0x51e9, /*jump=*/false);
+    const EngineSamples jump =
+        collect(graph, scheme, replicas, 0x7a3b, /*jump=*/true);
+    const double chi_p = two_sample_chi_square_p(naive.winners, jump.winners);
+    const double d =
+        two_sample_ks_statistic(naive.completion_steps, jump.completion_steps);
+    const double n1 = static_cast<double>(naive.completion_steps.size());
+    const double n2 = static_cast<double>(jump.completion_steps.size());
+    const double critical = 1.63 * std::sqrt((n1 + n2) / (n1 * n2));
+    const bool pass = chi_p > 0.001 && d < critical;
+    table.row()
+        .cell(std::string(to_string(scheme)))
+        .cell(chi_p, 4)
+        .cell(d, 4)
+        .cell(critical, 4)
+        .cell(std::string(pass ? "PASS" : "FAIL"));
+  }
+  table.print(std::cout);
+  std::cout << "H0: both engines draw (T, winner) from the same law; PASS = "
+               "chi-square p > 0.001 and KS D below the 1% critical value.\n";
+}
+
+double median_of(std::vector<double> values) {
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+// Times `replicas` consensus runs of each engine on `graph` from the given
+// initial configuration; one table row.  Completion times are heavy-tailed
+// (rare replicas nucleate a large two-adjacent block whose unbiased random
+// walk costs Theta(a * n) effective steps and dominates any mean), so the
+// headline statistic is the MEDIAN seconds per run; means are reported
+// alongside so the tail is visible rather than hidden.  The seeds are
+// engine-disjoint: the engines consume the stream differently, so pairing
+// them could not couple the trajectories anyway.
+void speedup_row(Table& table, const std::string& label, const Graph& graph,
+                 std::vector<Opinion> (*init)(VertexId, Rng&),
+                 std::size_t replicas) {
+  const VertexId n = graph.num_vertices();
+  DivProcess process(graph, SelectionScheme::kEdge);
+  RunOptions options;
+  options.max_steps = static_cast<std::uint64_t>(n) * n * 1000;
+
+  std::vector<double> jump_seconds;
+  std::vector<double> naive_seconds;
+  Summary scheduled;
+  Summary effective;
+  for (std::size_t replica = 0; replica < replicas; ++replica) {
+    Rng rng(Rng::substream_seed(0xac3 + n, replica));
+    OpinionState state(graph, init(n, rng));
+    const auto start = std::chrono::steady_clock::now();
+    const JumpRunResult result = run_jump(process, state, rng, options);
+    jump_seconds.push_back(seconds_since(start));
+    scheduled.add(static_cast<double>(result.steps));
+    effective.add(static_cast<double>(result.effective_steps));
+  }
+  for (std::size_t replica = 0; replica < replicas; ++replica) {
+    Rng rng(Rng::substream_seed(0xbad + n, replica));
+    OpinionState state(graph, init(n, rng));
+    const auto start = std::chrono::steady_clock::now();
+    (void)run(process, state, rng, options);
+    naive_seconds.push_back(seconds_since(start));
+  }
+
+  const double naive_median = median_of(naive_seconds);
+  const double jump_median = median_of(jump_seconds);
+  table.row()
+      .cell(label)
+      .cell(static_cast<std::uint64_t>(n))
+      .cell(naive_median, 3)
+      .cell(jump_median, 4)
+      .cell(naive_median / jump_median, 1)
+      .cell(Summary::of(naive_seconds).mean(), 3)
+      .cell(Summary::of(jump_seconds).mean(), 3)
+      .cell(scheduled.mean(), 0)
+      .cell(effective.mean(), 0);
+}
+
+std::vector<Opinion> straggler_init(VertexId n, Rng& rng) {
+  return straggler_opinions(n, 1, kOpinions, 3, n / 512, rng);
+}
+
+std::vector<Opinion> uniform_init(VertexId n, Rng& rng) {
+  return uniform_random_opinions(n, 1, kOpinions, rng);
+}
+
+void speedup_part(int scale) {
+  print_banner(std::cout,
+               "EXP-23b  wall-clock speedup (random 16-regular, edge process, "
+               "to consensus, straggler init: bulk 3, n/512 dissenters)");
+  Table table({"init", "n", "naive med s", "jump med s", "speedup",
+               "naive mean s", "jump mean s", "E[sched]", "E[eff]"});
+  Rng graph_rng(0x5eed);
+  const std::size_t replicas = static_cast<std::size_t>(2 * scale + 5);
+  for (const VertexId n : {VertexId(8192), VertexId(32768), VertexId(131072)}) {
+    const Graph graph = make_connected_random_regular(n, 16, graph_rng);
+    speedup_row(table, "straggler", graph, straggler_init, replicas);
+  }
+  table.print(std::cout);
+  std::cout
+      << "Acceptance: median speedup >= 10 at n = 131072 (2^17) in the\n"
+         "lazy-dominated regime the engine targets: the naive loop burns\n"
+         "~1/p scheduled steps per state change (p ~ 2*d*dissenters / 2m,\n"
+         "decaying as stragglers are absorbed), the jump chain skips them\n"
+         "with one geometric draw.  Medians are the headline because rare\n"
+         "nucleated-block replicas (see EXP-23c) put BOTH engines in an\n"
+         "effective-step-bound phase and dominate the means.\n";
+}
+
+void honesty_part(int scale) {
+  print_banner(std::cout,
+               "EXP-23c  honesty panel: balanced uniform init (k=5) is "
+               "effective-step-bound");
+  Table table({"init", "n", "naive med s", "jump med s", "speedup",
+               "naive mean s", "jump mean s", "E[sched]", "E[eff]"});
+  Rng graph_rng(0x1dea);
+  const Graph graph = make_connected_random_regular(32768, 16, graph_rng);
+  const std::size_t replicas = static_cast<std::size_t>(2 * scale + 5);
+  speedup_row(table, "uniform", graph, uniform_init, replicas);
+  table.print(std::cout);
+  std::cout
+      << "From a balanced start the endgame is a two-adjacent-opinion\n"
+         "unbiased random walk: Theta(x(1-x) n^2) *effective* steps at\n"
+         "active mass ~ 2x(1-x) >> 1/16, so there is nothing to skip and\n"
+         "the hybrid engine runs its native scheduled loop (speedup ~ 1x,\n"
+         "with heavy-tailed per-seed variance).  This is an Amdahl bound of\n"
+         "the workload, not an engine artifact; see DESIGN.md.\n";
+}
+
+}  // namespace
+
+int main() {
+  const int scale = divbench::scale();
+  equivalence_part(static_cast<std::size_t>(300 * scale));
+  std::cout << "\n";
+  speedup_part(scale);
+  std::cout << "\n";
+  honesty_part(scale);
+  return 0;
+}

@@ -1,7 +1,8 @@
 // PERF-1 -- google-benchmark microbenchmarks of the simulation engine:
-// steps/second for every process under both selection schemes, the O(1)
-// aggregate bookkeeping (ablation: naive rescan), graph generation, and
-// lambda computation.
+// steps/second for every process under both selection schemes, whole-run
+// naive-vs-jump engine throughput (in scheduled steps/second, the
+// apples-to-apples unit), the O(1) aggregate bookkeeping (ablation: naive
+// rescan), graph generation, and lambda computation.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -13,9 +14,12 @@
 #include "core/load_balancing.hpp"
 #include "core/median_voting.hpp"
 #include "core/pull_voting.hpp"
+#include "core/push_voting.hpp"
+#include "engine/engine.hpp"
 #include "engine/initial_config.hpp"
 #include "graph/generators.hpp"
 #include "graph/random_graphs.hpp"
+#include "engine/jump_engine.hpp"
 #include "spectral/lambda.hpp"
 #include "spectral/power_iteration.hpp"
 
@@ -33,6 +37,17 @@ const Graph& shared_regular_graph(VertexId n) {
   return it->second;
 }
 
+// Draws a fresh non-consensus configuration with the benchmark clock paused,
+// so every step benchmark pays for re-randomization identically (and never
+// times it).
+void reset_outside_timing(benchmark::State& state, const Graph& g,
+                          OpinionState& opinions, Rng& rng) {
+  state.PauseTiming();
+  opinions = OpinionState(
+      g, uniform_random_opinions(g.num_vertices(), 1, 8, rng));
+  state.ResumeTiming();
+}
+
 template <typename MakeProcess>
 void run_steps(benchmark::State& state, VertexId n, MakeProcess make_process) {
   const Graph& g = shared_regular_graph(n);
@@ -43,14 +58,33 @@ void run_steps(benchmark::State& state, VertexId n, MakeProcess make_process) {
   std::uint64_t executed = 0;
   for (auto _ : state) {
     if (opinions.is_consensus()) {
-      state.PauseTiming();
-      opinions = OpinionState(g, uniform_random_opinions(n, 1, 8, rng));
-      state.ResumeTiming();
+      reset_outside_timing(state, g, opinions, rng);
     }
     process->step(opinions, rng);
     ++executed;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+}
+
+// Whole runs to consensus; items processed = SCHEDULED steps simulated, so
+// items/sec compares the naive and jump engines on the same scale.  The
+// jump engine's advantage is exactly the lazy steps it never touches.
+void run_to_consensus(benchmark::State& state, VertexId n,
+                      SelectionScheme scheme, bool jump) {
+  const Graph& g = shared_regular_graph(n);
+  Rng rng(99);
+  DivProcess process(g, scheme);
+  RunOptions options;
+  options.max_steps = static_cast<std::uint64_t>(n) * n * 1000;
+  std::uint64_t scheduled = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    OpinionState opinions(g, uniform_random_opinions(n, 1, 8, rng));
+    state.ResumeTiming();
+    scheduled += jump ? run_jump(process, opinions, rng, options).steps
+                      : run(process, opinions, rng, options).steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(scheduled));
 }
 
 void BM_DivVertexStep(benchmark::State& state) {
@@ -67,12 +101,61 @@ void BM_DivEdgeStep(benchmark::State& state) {
 }
 BENCHMARK(BM_DivEdgeStep)->Arg(1024)->Arg(16384);
 
+void BM_DivVertexNaiveRun(benchmark::State& state) {
+  run_to_consensus(state, static_cast<VertexId>(state.range(0)),
+                   SelectionScheme::kVertex, /*jump=*/false);
+}
+BENCHMARK(BM_DivVertexNaiveRun)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DivVertexJumpRun(benchmark::State& state) {
+  run_to_consensus(state, static_cast<VertexId>(state.range(0)),
+                   SelectionScheme::kVertex, /*jump=*/true);
+}
+BENCHMARK(BM_DivVertexJumpRun)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DivEdgeNaiveRun(benchmark::State& state) {
+  run_to_consensus(state, static_cast<VertexId>(state.range(0)),
+                   SelectionScheme::kEdge, /*jump=*/false);
+}
+BENCHMARK(BM_DivEdgeNaiveRun)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DivEdgeJumpRun(benchmark::State& state) {
+  run_to_consensus(state, static_cast<VertexId>(state.range(0)),
+                   SelectionScheme::kEdge, /*jump=*/true);
+}
+BENCHMARK(BM_DivEdgeJumpRun)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PullVertexStep(benchmark::State& state) {
   run_steps(state, static_cast<VertexId>(state.range(0)), [](const Graph& g) {
     return std::make_unique<PullVoting>(g, SelectionScheme::kVertex);
   });
 }
 BENCHMARK(BM_PullVertexStep)->Arg(1024);
+
+void BM_PullEdgeStep(benchmark::State& state) {
+  run_steps(state, static_cast<VertexId>(state.range(0)), [](const Graph& g) {
+    return std::make_unique<PullVoting>(g, SelectionScheme::kEdge);
+  });
+}
+BENCHMARK(BM_PullEdgeStep)->Arg(1024);
+
+void BM_PushVertexStep(benchmark::State& state) {
+  run_steps(state, static_cast<VertexId>(state.range(0)), [](const Graph& g) {
+    return std::make_unique<PushVoting>(g, SelectionScheme::kVertex);
+  });
+}
+BENCHMARK(BM_PushVertexStep)->Arg(1024);
+
+void BM_PushEdgeStep(benchmark::State& state) {
+  run_steps(state, static_cast<VertexId>(state.range(0)), [](const Graph& g) {
+    return std::make_unique<PushVoting>(g, SelectionScheme::kEdge);
+  });
+}
+BENCHMARK(BM_PushEdgeStep)->Arg(1024);
 
 void BM_MedianStep(benchmark::State& state) {
   run_steps(state, static_cast<VertexId>(state.range(0)),

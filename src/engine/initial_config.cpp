@@ -53,6 +53,32 @@ std::vector<Opinion> two_value_opinions(VertexId n, Opinion lo, Opinion hi,
   return opinions;
 }
 
+std::vector<Opinion> straggler_opinions(VertexId n, Opinion lo, Opinion hi,
+                                        Opinion bulk, VertexId dissenters,
+                                        Rng& rng) {
+  if (lo >= hi || bulk < lo || bulk > hi) {
+    throw std::invalid_argument(
+        "straggler_opinions: need lo < hi and bulk in [lo, hi]");
+  }
+  if (dissenters > n) {
+    throw std::invalid_argument("straggler_opinions: dissenters > n");
+  }
+  const std::size_t num_values = static_cast<std::size_t>(hi - lo) + 1;
+  std::vector<VertexId> counts(num_values, 0);
+  const std::size_t others = num_values - 1;
+  std::size_t slot = 0;
+  for (std::size_t j = 0; j < num_values; ++j) {
+    const Opinion value = static_cast<Opinion>(lo + static_cast<Opinion>(j));
+    if (value == bulk) {
+      continue;
+    }
+    counts[j] = dissenters / others + (slot < dissenters % others ? 1 : 0);
+    ++slot;
+  }
+  counts[static_cast<std::size_t>(bulk - lo)] = n - dissenters;
+  return opinions_with_counts(n, lo, counts, rng);
+}
+
 std::vector<Opinion> ramp_opinions(VertexId n, Opinion lo, Opinion hi) {
   if (lo > hi) {
     throw std::invalid_argument("ramp_opinions: lo > hi");

@@ -34,6 +34,17 @@ std::vector<Opinion> block_opinions(VertexId n, Opinion lo,
 std::vector<Opinion> two_value_opinions(VertexId n, Opinion lo, Opinion hi,
                                         VertexId count_hi, Rng& rng);
 
+// Straggler configuration: all but `dissenters` vertices hold `bulk`; the
+// dissenters spread as evenly as possible over the remaining values of
+// {lo..hi}, placed uniformly at random.  This is the lazy-dominated regime
+// (active probability starts at ~d*dissenters/m and decays to ~d/m) where
+// the jump engine's geometric skip pays off; the balanced uniform start, by
+// contrast, ends in an effective-step-bound two-opinion random walk that no
+// lazy-step skipping can accelerate (DESIGN.md, "Jump-chain engine").
+std::vector<Opinion> straggler_opinions(VertexId n, Opinion lo, Opinion hi,
+                                        Opinion bulk, VertexId dissenters,
+                                        Rng& rng);
+
 // Linear ramp lo..hi repeated cyclically over vertex ids (deterministic).
 std::vector<Opinion> ramp_opinions(VertexId n, Opinion lo, Opinion hi);
 

@@ -1,0 +1,126 @@
+#include "rng/dynamic_weighted_sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace divlib {
+
+namespace {
+
+std::size_t largest_power_of_two_at_most(std::size_t n) {
+  std::size_t mask = 1;
+  while (mask * 2 <= n) {
+    mask *= 2;
+  }
+  return n == 0 ? 0 : mask;
+}
+
+void check_weight(double value) {
+  if (!std::isfinite(value) || value < 0.0) {
+    throw std::invalid_argument(
+        "DynamicWeightedSampler: weights must be finite and >= 0");
+  }
+}
+
+}  // namespace
+
+DynamicWeightedSampler::DynamicWeightedSampler(std::size_t size)
+    : weights_(size, 0.0),
+      tree_(size + 1, 0.0),
+      descent_mask_(largest_power_of_two_at_most(size)) {}
+
+DynamicWeightedSampler::DynamicWeightedSampler(std::span<const double> weights)
+    : weights_(weights.begin(), weights.end()),
+      tree_(weights.size() + 1, 0.0),
+      descent_mask_(largest_power_of_two_at_most(weights.size())) {
+  for (const double value : weights_) {
+    check_weight(value);
+  }
+  rebuild();
+}
+
+double DynamicWeightedSampler::weight(std::size_t index) const {
+  if (index >= weights_.size()) {
+    throw std::out_of_range("DynamicWeightedSampler::weight: bad index");
+  }
+  return weights_[index];
+}
+
+void DynamicWeightedSampler::set_weight(std::size_t index, double value) {
+  if (index >= weights_.size()) {
+    throw std::out_of_range("DynamicWeightedSampler::set_weight: bad index");
+  }
+  check_weight(value);
+  const double delta = value - weights_[index];
+  weights_[index] = value;
+  if (delta == 0.0) {
+    return;
+  }
+  for (std::size_t i = index + 1; i < tree_.size(); i += i & (0 - i)) {
+    tree_[i] += delta;
+  }
+  total_ += delta;
+  if (total_ < 0.0) {
+    total_ = 0.0;  // fp drift can undershoot when all weights return to zero
+  }
+  if (++updates_since_rebuild_ >= kRebuildInterval) {
+    rebuild();
+  }
+}
+
+void DynamicWeightedSampler::rebuild() {
+  updates_since_rebuild_ = 0;
+  total_ = 0.0;
+  // Classic O(n) Fenwick construction: seed leaves, push partial sums up.
+  for (std::size_t i = 1; i < tree_.size(); ++i) {
+    tree_[i] = weights_[i - 1];
+  }
+  for (std::size_t i = 1; i < tree_.size(); ++i) {
+    const std::size_t parent = i + (i & (0 - i));
+    if (parent < tree_.size()) {
+      tree_[parent] += tree_[i];
+    }
+  }
+  for (const double value : weights_) {
+    total_ += value;
+  }
+}
+
+std::size_t DynamicWeightedSampler::find_prefix(double target) const {
+  // Largest index whose prefix sum is <= target, via power-of-two descent.
+  std::size_t position = 0;
+  for (std::size_t step = descent_mask_; step > 0; step /= 2) {
+    const std::size_t next = position + step;
+    if (next < tree_.size() && tree_[next] <= target) {
+      target -= tree_[next];
+      position = next;
+    }
+  }
+  return position;  // 0-based index of the selected category
+}
+
+std::size_t DynamicWeightedSampler::sample(Rng& rng) const {
+  if (!(total_ > 0.0)) {
+    throw std::logic_error(
+        "DynamicWeightedSampler::sample: total weight is zero");
+  }
+  const double target = rng.uniform01() * total_;
+  std::size_t index = find_prefix(target);
+  // Floating-point drift or a boundary hit can land on a zero-weight
+  // category (or just past the end); advance to the next positive weight.
+  while (index < weights_.size() && weights_[index] <= 0.0) {
+    ++index;
+  }
+  if (index >= weights_.size()) {
+    for (index = weights_.size(); index-- > 0;) {
+      if (weights_[index] > 0.0) {
+        return index;
+      }
+    }
+    throw std::logic_error(
+        "DynamicWeightedSampler::sample: no positive weight");
+  }
+  return index;
+}
+
+}  // namespace divlib

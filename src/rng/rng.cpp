@@ -1,6 +1,7 @@
 #include "rng/rng.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace divlib {
 namespace {
@@ -80,6 +81,22 @@ bool Rng::bernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return uniform01() < p;
+}
+
+std::uint64_t Rng::geometric(double p) {
+  if (!(p > 0.0)) {
+    throw std::invalid_argument("Rng::geometric: p must be > 0");
+  }
+  if (p >= 1.0) {
+    return 0;
+  }
+  constexpr std::uint64_t kCap = 1ULL << 62;
+  // uniform01() < 1, so log1p(-u) is finite and <= 0; log1p(-p) < 0.
+  const double value = std::floor(std::log1p(-uniform01()) / std::log1p(-p));
+  if (!(value < static_cast<double>(kCap))) {
+    return kCap;
+  }
+  return static_cast<std::uint64_t>(value);
 }
 
 double Rng::normal() {

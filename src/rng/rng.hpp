@@ -60,6 +60,13 @@ class Rng {
   // True with probability p (p clamped to [0,1]).
   bool bernoulli(double p);
 
+  // Number of failures before the first success of independent Bernoulli(p)
+  // trials (support {0, 1, 2, ...}).  One uniform draw via inversion:
+  // floor(log(1-u)/log(1-p)).  p >= 1 returns 0; p <= 0 or NaN throws
+  // std::invalid_argument.  Results are capped at 2^62 so callers comparing
+  // against a step budget never see overflow.
+  std::uint64_t geometric(double p);
+
   // Standard normal via Marsaglia polar method.
   double normal();
 

@@ -1,0 +1,144 @@
+#include "rng/dynamic_weighted_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace divlib {
+namespace {
+
+TEST(DynamicWeightedSampler, RejectsInvalidWeights) {
+  DynamicWeightedSampler sampler(4);
+  EXPECT_THROW(sampler.set_weight(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(sampler.set_weight(0, std::nan("")), std::invalid_argument);
+  EXPECT_THROW(sampler.set_weight(4, 1.0), std::out_of_range);
+  EXPECT_THROW(sampler.weight(4), std::out_of_range);
+  const std::vector<double> bad{1.0, -0.5};
+  EXPECT_THROW(DynamicWeightedSampler(std::span<const double>(bad)),
+               std::invalid_argument);
+}
+
+TEST(DynamicWeightedSampler, ZeroTotalCannotSample) {
+  DynamicWeightedSampler sampler(3);
+  EXPECT_DOUBLE_EQ(sampler.total_weight(), 0.0);
+  Rng rng(1);
+  EXPECT_THROW(sampler.sample(rng), std::logic_error);
+  // Raise one weight, then remove it again: back to unsampleable.
+  sampler.set_weight(1, 2.0);
+  EXPECT_EQ(sampler.sample(rng), 1u);
+  sampler.set_weight(1, 0.0);
+  EXPECT_DOUBLE_EQ(sampler.total_weight(), 0.0);
+  EXPECT_THROW(sampler.sample(rng), std::logic_error);
+}
+
+TEST(DynamicWeightedSampler, TracksWeightsThroughUpdates) {
+  const std::vector<double> initial{1.0, 2.0, 3.0};
+  DynamicWeightedSampler sampler{std::span<const double>(initial)};
+  EXPECT_DOUBLE_EQ(sampler.total_weight(), 6.0);
+  sampler.set_weight(0, 4.0);
+  sampler.set_weight(2, 0.0);
+  EXPECT_DOUBLE_EQ(sampler.weight(0), 4.0);
+  EXPECT_DOUBLE_EQ(sampler.weight(1), 2.0);
+  EXPECT_DOUBLE_EQ(sampler.weight(2), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.total_weight(), 6.0);
+}
+
+TEST(DynamicWeightedSampler, ZeroWeightEntriesNeverSampled) {
+  DynamicWeightedSampler sampler(5);
+  sampler.set_weight(1, 1.0);
+  sampler.set_weight(3, 2.0);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t index = sampler.sample(rng);
+    ASSERT_TRUE(index == 1 || index == 3) << "sampled zero-weight " << index;
+  }
+}
+
+TEST(DynamicWeightedSampler, EmpiricalFrequenciesMatchUpdatedWeights) {
+  DynamicWeightedSampler sampler(4);
+  sampler.set_weight(0, 5.0);   // later overwritten
+  sampler.set_weight(0, 1.0);
+  sampler.set_weight(1, 2.0);
+  sampler.set_weight(2, 3.0);
+  sampler.set_weight(3, 4.0);
+  Rng rng(3);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[sampler.sample(rng)];
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double expected = (static_cast<double>(i) + 1.0) / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kSamples, expected, 0.01)
+        << "index " << i;
+  }
+}
+
+TEST(DynamicWeightedSampler, DeterministicStreamReplay) {
+  // Identical operation sequences + identical seeds => identical samples.
+  const auto drive = [](std::uint64_t seed) {
+    DynamicWeightedSampler sampler(16);
+    Rng rng(seed);
+    std::vector<std::size_t> stream;
+    for (int round = 0; round < 5000; ++round) {
+      sampler.set_weight(static_cast<std::size_t>(round % 16),
+                         static_cast<double>(round % 7) + 0.25);
+      stream.push_back(sampler.sample(rng));
+    }
+    return stream;
+  };
+  EXPECT_EQ(drive(42), drive(42));
+  EXPECT_NE(drive(42), drive(43));
+}
+
+TEST(DynamicWeightedSampler, RebuildPreservesDistribution) {
+  DynamicWeightedSampler sampler(8);
+  Rng update_rng(7);
+  // Hammer the tree with random updates, then verify the rebuilt tree agrees
+  // with the incrementally maintained one.
+  for (int i = 0; i < 100000; ++i) {
+    sampler.set_weight(static_cast<std::size_t>(update_rng.uniform_below(8)),
+                       update_rng.uniform01());
+  }
+  std::vector<double> weights;
+  double exact_total = 0.0;
+  for (std::size_t i = 0; i < sampler.size(); ++i) {
+    weights.push_back(sampler.weight(i));
+    exact_total += sampler.weight(i);
+  }
+  EXPECT_NEAR(sampler.total_weight(), exact_total, 1e-9 * exact_total);
+  sampler.rebuild();
+  EXPECT_NEAR(sampler.total_weight(), exact_total, 1e-12 * exact_total);
+  for (std::size_t i = 0; i < sampler.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sampler.weight(i), weights[i]);
+  }
+}
+
+TEST(DynamicWeightedSampler, SingleCategoryAndSizeAccessors) {
+  DynamicWeightedSampler sampler(1);
+  EXPECT_EQ(sampler.size(), 1u);
+  EXPECT_FALSE(sampler.empty());
+  EXPECT_TRUE(DynamicWeightedSampler().empty());
+  sampler.set_weight(0, 0.5);
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sampler.sample(rng), 0u);
+  }
+}
+
+TEST(DynamicWeightedSampler, SkewedWeightsRarelyHitTinyCategory) {
+  DynamicWeightedSampler sampler(2);
+  sampler.set_weight(0, 1e-9);
+  sampler.set_weight(1, 1.0);
+  Rng rng(13);
+  int tiny_hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    tiny_hits += sampler.sample(rng) == 0;
+  }
+  EXPECT_LT(tiny_hits, 5);
+}
+
+}  // namespace
+}  // namespace divlib

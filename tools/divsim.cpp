@@ -1,8 +1,8 @@
 // divsim -- command-line driver for the discrete-incremental-voting library.
 //
 //   divsim run      --graph <spec> [--process div] [--scheme edge]
-//                   [--k 5] [--seed 1] [--replicas 1] [--trace N]
-//                   [--stop consensus|two-adjacent] [--max-steps M]
+//                   [--engine step|jump] [--k 5] [--seed 1] [--replicas 1]
+//                   [--trace N] [--stop consensus|two-adjacent] [--max-steps M]
 //                   [--fault drop=0.3,crash=0.05@[0,1e6],byzantine=0.02]
 //                   [--retries N]
 //   divsim spectral --graph <spec> [--seed 1] [--full]
@@ -33,6 +33,7 @@
 #include "exact/div_chain.hpp"
 #include "engine/count_trace.hpp"
 #include "engine/engine.hpp"
+#include "engine/jump_engine.hpp"
 #include "engine/initial_config.hpp"
 #include "engine/montecarlo.hpp"
 #include "graph/analysis.hpp"
@@ -63,7 +64,9 @@ int usage() {
       "graph specs:   " << graph_spec_help() << "\n"
       "process specs: " << process_spec_help() << "\n"
       "fault specs:   --fault " << fault_spec_help() << "\n"
-      "               (run only; add --retries N for per-replica retry)\n";
+      "               (run only; add --retries N for per-replica retry)\n"
+      "engines:       --engine step|jump (run only; jump skips lazy steps\n"
+      "               via the embedded jump chain -- plain DIV, no faults)\n";
   return 2;
 }
 
@@ -75,6 +78,7 @@ void warn_unused(const Args& args) {
 
 struct ReplicaRun {
   RunResult result;
+  std::uint64_t effective_steps = 0;  // jump engine only
   std::uint64_t dropped = 0;
   std::uint64_t rollbacks = 0;
   std::uint64_t corruptions = 0;
@@ -95,6 +99,18 @@ int cmd_run(const Args& args) {
   const std::string fault_text = args.get("fault", "");
   const auto retries = static_cast<unsigned>(args.get_u64("retries", 0));
   const FaultSpec fault_spec = parse_fault_spec(fault_text);
+  const std::string engine = args.get("engine", "step");
+  if (engine != "step" && engine != "jump") {
+    throw std::invalid_argument("--engine must be 'step' or 'jump', got '" +
+                                engine + "'");
+  }
+  const bool jump = engine == "jump";
+  if (jump && fault_spec.any()) {
+    throw std::invalid_argument(
+        "--engine=jump cannot honor --fault: lazy steps are not no-ops under "
+        "a fault plan (churn schedules tick on the step clock); use the step "
+        "engine for fault injection");
+  }
 
   RunOptions options;
   options.stop = stop_text == "two-adjacent" ? StopKind::kTwoAdjacent
@@ -107,7 +123,8 @@ int cmd_run(const Args& args) {
 
   std::cout << "graph: " << graph.summary() << "\n"
             << "process: " << process_name << "/" << to_string(scheme)
-            << ", opinions 1.." << k << ", stop: " << to_string(options.stop)
+            << ", engine: " << engine << ", opinions 1.." << k
+            << ", stop: " << to_string(options.stop)
             << ", replicas: " << replicas << "\n";
   if (fault_spec.any()) {
     std::cout << "faults: " << fault_text << "\n";
@@ -132,6 +149,11 @@ int cmd_run(const Args& args) {
           out.rollbacks = faulty->rollbacks();
           out.corruptions = faulty->corruptions();
           out.recoveries = faulty->recoveries();
+        } else if (jump) {
+          const JumpRunResult jump_result =
+              run_jump_guarded(*process, state, rng, options);
+          out.result = jump_result;
+          out.effective_steps = jump_result.effective_steps;
         } else {
           out.result = run_guarded(*process, state, rng, options);
         }
@@ -150,6 +172,7 @@ int cmd_run(const Args& args) {
       continue;  // reported below via batch.report
     }
     const ReplicaRun& replica_run = *slot;
+    totals.effective_steps += replica_run.effective_steps;
     totals.dropped += replica_run.dropped;
     totals.rollbacks += replica_run.rollbacks;
     totals.corruptions += replica_run.corruptions;
@@ -180,6 +203,11 @@ int cmd_run(const Args& args) {
   }
   std::cout << "; E[steps] = " << format_double(steps.mean(), 1) << " +- "
             << format_double(steps.ci95_halfwidth(), 1) << "\n";
+  if (jump) {
+    std::cout << "jump engine: " << totals.effective_steps
+              << " effective steps simulated across completed replicas "
+                 "(scheduled steps reported above)\n";
+  }
   if (fault_spec.any()) {
     std::cout << "fault counters: dropped " << totals.dropped << ", rollbacks "
               << totals.rollbacks << ", corruptions " << totals.corruptions
