@@ -1,0 +1,22 @@
+# Runs the naive-vs-jump smoke benchmark and archives the JSON both in the
+# build tree and at the source root, so the committed BENCH_jump.json always
+# reflects the code that produced it.  Invoked as a CTest command:
+#
+#   cmake -DPERF_ENGINE=<perf_engine binary> -DBENCH_JSON=<build-tree json>
+#         -DARCHIVE_DIR=<source root> -P perf_smoke.cmake
+execute_process(
+  COMMAND "${PERF_ENGINE}"
+    "--benchmark_filter=BM_Div(Vertex|Edge)(Naive|Jump)Run/1024"
+    "--benchmark_min_time=0.05"
+    "--benchmark_out=${BENCH_JSON}"
+    "--benchmark_out_format=json"
+  RESULT_VARIABLE PERF_RC)
+if(NOT PERF_RC EQUAL 0)
+  message(FATAL_ERROR "perf_engine smoke run failed with status ${PERF_RC}")
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E copy "${BENCH_JSON}" "${ARCHIVE_DIR}"
+  RESULT_VARIABLE COPY_RC)
+if(NOT COPY_RC EQUAL 0)
+  message(FATAL_ERROR "could not archive ${BENCH_JSON} into ${ARCHIVE_DIR}")
+endif()

@@ -88,6 +88,15 @@ std::uint64_t Args::get_u64(const std::string& key, std::uint64_t fallback) cons
   }
 }
 
+std::uint64_t Args::get_positive_u64(const std::string& key,
+                                     std::uint64_t fallback) const {
+  const std::uint64_t value = get_u64(key, fallback);
+  if (value == 0) {
+    throw std::invalid_argument("Args: --" + key + " must be positive");
+  }
+  return value;
+}
+
 double Args::get_double(const std::string& key, double fallback) const {
   const std::string text = get(key, "");
   if (text.empty()) {

@@ -29,6 +29,10 @@ class Args {
   std::string get(const std::string& key, const std::string& fallback) const;
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  // Like get_u64 but rejects 0 with std::invalid_argument -- for options
+  // where zero is a silent footgun (--checkpoint-every, strides, cadences).
+  std::uint64_t get_positive_u64(const std::string& key,
+                                 std::uint64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
 
   // Keys that were provided but never read by any getter -- used to report

@@ -1,0 +1,10 @@
+#include "core/cancel.hpp"
+
+namespace divlib {
+
+CancelToken& CancelToken::global() noexcept {
+  static CancelToken token;
+  return token;
+}
+
+}  // namespace divlib

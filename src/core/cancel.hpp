@@ -1,0 +1,40 @@
+// Cooperative cancellation for long runs and campaigns.
+//
+// A CancelToken is a lock-free flag that a signal handler (or another
+// thread) sets and the hot loops poll: the step and jump engines check it
+// once per scheduled iteration and report RunStatus::kCancelled at a step
+// boundary, and the Monte-Carlo drivers stop claiming new replicas.  The
+// result is a graceful drain -- in-flight replicas stop cleanly, the
+// campaign journal is flushed, and the process can print a resume hint --
+// instead of work lost to an abrupt exit.
+//
+// request() is async-signal-safe (a relaxed store to a lock-free atomic), so
+// SIGINT/SIGTERM handlers may call it directly on global().
+#pragma once
+
+#include <atomic>
+
+namespace divlib {
+
+class CancelToken {
+ public:
+  void request() noexcept { requested_.store(true, std::memory_order_relaxed); }
+  bool requested() const noexcept {
+    return requested_.load(std::memory_order_relaxed);
+  }
+  // Clears the flag (tests and back-to-back campaigns in one process).
+  void reset() noexcept { requested_.store(false, std::memory_order_relaxed); }
+
+  // The process-wide token signal handlers target.  Library code never
+  // consults it implicitly; callers opt in by passing &CancelToken::global()
+  // through RunOptions / MonteCarloOptions.
+  static CancelToken& global() noexcept;
+
+ private:
+  std::atomic<bool> requested_{false};
+};
+
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "CancelToken::request must be async-signal-safe");
+
+}  // namespace divlib

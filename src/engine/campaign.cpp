@@ -1,0 +1,136 @@
+#include "engine/campaign.hpp"
+
+#include <charconv>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+
+#include "io/atomic_file.hpp"
+#include "io/journal.hpp"
+
+namespace divlib {
+
+namespace fs = std::filesystem;
+
+std::string encode_campaign_record(std::size_t replica,
+                                   std::string_view payload) {
+  std::string record = std::to_string(replica);
+  record.push_back(' ');
+  record.append(payload);
+  return record;
+}
+
+std::pair<std::size_t, std::string> decode_campaign_record(
+    std::string_view record) {
+  const std::size_t space = record.find(' ');
+  if (space == std::string_view::npos || space == 0) {
+    throw std::invalid_argument(
+        "decode_campaign_record: missing replica id separator");
+  }
+  std::size_t replica = 0;
+  const auto [end, errc] =
+      std::from_chars(record.data(), record.data() + space, replica);
+  if (errc != std::errc{} || end != record.data() + space) {
+    throw std::invalid_argument("decode_campaign_record: bad replica id '" +
+                                std::string(record.substr(0, space)) + "'");
+  }
+  return {replica, std::string(record.substr(space + 1))};
+}
+
+CampaignResult run_campaign(
+    std::size_t replicas,
+    const std::function<std::optional<std::string>(std::size_t, Rng&)>& task,
+    const CampaignOptions& options) {
+  if (options.directory.empty()) {
+    throw std::runtime_error("run_campaign: checkpoint directory is required");
+  }
+  fs::create_directories(options.directory);
+  const std::string meta_path =
+      (fs::path(options.directory) / "campaign.meta").string();
+  const std::string journal_path =
+      (fs::path(options.directory) / "results.journal").string();
+
+  CampaignResult result;
+  result.payloads.resize(replicas);
+
+  if (fs::exists(journal_path)) {
+    if (!options.resume) {
+      throw std::runtime_error(
+          "run_campaign: '" + options.directory +
+          "' already holds a campaign journal; pass resume to continue it or "
+          "use a fresh directory");
+    }
+    // The meta file is written atomically before the journal is created, so
+    // a journal without meta means foreign or manually-damaged state.
+    if (!fs::exists(meta_path)) {
+      throw std::runtime_error("run_campaign: journal present but '" +
+                               meta_path + "' is missing");
+    }
+    const std::string stored_meta = read_file(meta_path);
+    if (stored_meta != options.meta) {
+      throw std::runtime_error(
+          "run_campaign: configuration mismatch with the checkpoint "
+          "directory\n  stored:  " +
+          stored_meta + "\n  current: " + options.meta);
+    }
+    // A torn final record is the expected SIGKILL artifact: recover the
+    // valid prefix and truncate so the writer appends after it.
+    const JournalRecovery recovery = recover_journal(journal_path);
+    for (const std::string& record : recovery.records) {
+      const auto [replica, payload] = decode_campaign_record(record);
+      if (replica >= replicas) {
+        throw std::runtime_error(
+            "run_campaign: journal names replica " + std::to_string(replica) +
+            " but the campaign has only " + std::to_string(replicas));
+      }
+      if (!result.payloads[replica].has_value()) {
+        ++result.resumed;
+      }
+      result.payloads[replica] = payload;  // duplicates: last record wins
+    }
+  } else {
+    atomic_write_file(meta_path, options.meta);
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(replicas - result.resumed);
+  for (std::size_t replica = 0; replica < replicas; ++replica) {
+    if (!result.payloads[replica].has_value()) {
+      pending.push_back(replica);
+    }
+  }
+
+  JournalWriter writer(journal_path);
+  std::mutex journal_mutex;
+  std::uint64_t unflushed = 0;
+  const std::uint64_t flush_every = std::max<std::uint64_t>(1, options.flush_every);
+
+  result.report = run_replica_set_isolated_erased(
+      pending,
+      [&](std::size_t replica, Rng& rng) {
+        // Task exceptions fly through to the isolated driver's retry logic;
+        // only a finished replica touches the journal.
+        std::optional<std::string> payload = task(replica, rng);
+        if (!payload.has_value()) {
+          return;  // cancelled drain: not finished, re-runs on resume
+        }
+        const std::lock_guard<std::mutex> lock(journal_mutex);
+        writer.append(encode_campaign_record(replica, *payload));
+        if (++unflushed >= flush_every) {
+          writer.flush();
+          unflushed = 0;
+        }
+        result.payloads[replica] = std::move(*payload);
+        ++result.ran;
+      },
+      options.mc);
+  writer.flush();
+
+  result.cancelled =
+      result.report.cancelled ||
+      (options.mc.cancel != nullptr && options.mc.cancel->requested() &&
+       !result.complete());
+  return result;
+}
+
+}  // namespace divlib

@@ -1,0 +1,85 @@
+// Durable, resumable Monte-Carlo campaigns.
+//
+// A campaign is a replicated experiment whose per-replica results are
+// journaled to disk as they complete, so hours of finished work survive a
+// SIGKILL, OOM kill, or machine preemption.  Layout of a checkpoint
+// directory:
+//
+//   <dir>/campaign.meta     -- caller-supplied configuration fingerprint,
+//                              written atomically before the first record;
+//                              resume refuses a mismatching config.
+//   <dir>/results.journal   -- append-only CRC-framed log (io/journal.*);
+//                              one record per finished replica:
+//                              "<replica-id> <payload>".
+//
+// A restart with resume = true recovers the journal (truncating a torn
+// tail), loads the finished replicas, and re-runs ONLY the missing ones.
+// Because every replica is seeded from its true id via
+// Rng::retry_seed(master_seed, replica, attempt), the merged results are
+// bit-identical to an uninterrupted run -- interruption is invisible in the
+// data.
+//
+// Cancellation composes: when MonteCarloOptions::cancel fires, workers stop
+// claiming replicas and in-flight ones drain (pass the same token through
+// RunOptions::cancel so they drain at a step boundary); a drained replica
+// whose task returns nullopt is NOT journaled and re-runs on resume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/montecarlo.hpp"
+
+namespace divlib {
+
+struct CampaignOptions {
+  // Checkpoint directory; created (recursively) when missing.
+  std::string directory;
+  // Journal flush + fsync cadence in records; 1 = every record is crash-safe
+  // the moment it lands, larger values trade at most that many replicas of
+  // lost work for fewer fsyncs.
+  std::uint64_t flush_every = 1;
+  // false: the directory must not already hold a journal (guards against
+  // silently mixing two campaigns); true: load it and skip finished work.
+  bool resume = false;
+  // Configuration fingerprint (graph spec, k, seed, ...).  Stored on first
+  // run; a resume whose meta differs throws -- resuming under a different
+  // configuration would corrupt the merged results.
+  std::string meta;
+  MonteCarloOptions mc;
+};
+
+struct CampaignResult {
+  // One slot per replica: the journaled payload, or nullopt when the replica
+  // did not finish (cancelled before/while running, or persistently failed).
+  std::vector<std::optional<std::string>> payloads;
+  std::size_t resumed = 0;  // finished replicas loaded from the journal
+  std::size_t ran = 0;      // replicas executed and journaled this session
+  bool cancelled = false;   // drained early; resume to finish the rest
+  BatchReport report;       // errors/retries among replicas run this session
+  bool complete() const { return resumed + ran == payloads.size(); }
+};
+
+// Runs replicas [0, replicas), journaling each finished replica's payload.
+// `task` returns the payload to persist, or nullopt to mark the replica
+// unfinished (the convention for a cancelled drain).  Task exceptions are
+// handled by the isolated driver's retry machinery and, when persistent,
+// end up in report.errors with no journal record.  Throws
+// std::runtime_error on directory/journal failures or a meta mismatch.
+CampaignResult run_campaign(
+    std::size_t replicas,
+    const std::function<std::optional<std::string>(std::size_t, Rng&)>& task,
+    const CampaignOptions& options);
+
+// Journal payload helpers shared by the driver and tools: records are
+// "<replica-id> <payload-bytes>" with the id in decimal.
+std::string encode_campaign_record(std::size_t replica,
+                                   std::string_view payload);
+// Throws std::invalid_argument on a malformed record.
+std::pair<std::size_t, std::string> decode_campaign_record(
+    std::string_view record);
+
+}  // namespace divlib

@@ -15,13 +15,22 @@ void run_loop(Process& process, OpinionState& state, Rng& rng,
   result.trace.maybe_record(0, state);
 
   bool satisfied = is_satisfied(options.stop, state);
+  bool cancelled = false;
   while (!satisfied && result.steps < options.max_steps) {
+    // A satisfied stopping rule always wins over cancellation (the run IS
+    // done); otherwise drain at the step boundary before the next step.
+    if (options.cancel != nullptr && options.cancel->requested()) {
+      cancelled = true;
+      break;
+    }
     process.step(state, rng);
     ++result.steps;
     result.trace.maybe_record(result.steps, state);
     satisfied = is_satisfied(options.stop, state);
   }
-  result.status = satisfied ? RunStatus::kCompleted : RunStatus::kCapped;
+  result.status = satisfied    ? RunStatus::kCompleted
+                  : cancelled  ? RunStatus::kCancelled
+                               : RunStatus::kCapped;
 }
 
 void finalize(const OpinionState& state, RunResult& result) {
@@ -51,6 +60,8 @@ const char* to_string(RunStatus status) {
       return "capped";
     case RunStatus::kFaulted:
       return "faulted";
+    case RunStatus::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

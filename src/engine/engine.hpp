@@ -4,16 +4,18 @@
 // run() calls process.begin_run() first, so stateful decorators
 // (FaultyProcess) re-anchor per-run bookkeeping, and classifies the outcome
 // via RunResult::status: kCompleted (stopping rule satisfied), kCapped (step
-// budget exhausted -- the watchdog), or kFaulted (the process threw;
-// run_guarded() only).  run() propagates exceptions; run_guarded() converts
-// them into a structured kFaulted result so Monte-Carlo batches survive
-// individual replica failures.
+// budget exhausted -- the watchdog), kCancelled (a RunOptions::cancel token
+// fired and the loop drained at a step boundary), or kFaulted (the process
+// threw; run_guarded() only).  run() propagates exceptions; run_guarded()
+// converts them into a structured kFaulted result so Monte-Carlo batches
+// survive individual replica failures; both map cancellation identically.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
 
+#include "core/cancel.hpp"
 #include "core/opinion_state.hpp"
 #include "core/process.hpp"
 #include "engine/stop_condition.hpp"
@@ -28,12 +30,19 @@ struct RunOptions {
   std::uint64_t max_steps = 100'000'000;
   // Trace sampling stride; 0 disables tracing.
   std::uint64_t trace_stride = 0;
+  // Optional cooperative-cancellation token, polled once per scheduled
+  // iteration (a relaxed atomic load -- negligible against a step).  When it
+  // fires the loop drains at the current step boundary and reports
+  // status == kCancelled with the state exactly as the last step left it,
+  // so a checkpoint taken there resumes bit-identically.
+  const CancelToken* cancel = nullptr;
 };
 
 enum class RunStatus {
   kCompleted,  // stopping rule satisfied before the cap
   kCapped,     // step budget exhausted (watchdog)
   kFaulted,    // the process threw mid-run (run_guarded only)
+  kCancelled,  // RunOptions::cancel fired; drained at a step boundary
 };
 
 const char* to_string(RunStatus status);

@@ -61,7 +61,14 @@ void run_jump_loop(Process& process, OpinionState& state, Rng& rng,
   std::uint64_t window_steps = 0;
   std::uint64_t window_effective = 0;
   bool satisfied = is_satisfied(options.stop, state);
+  bool cancelled = false;
   while (!satisfied && result.steps < options.max_steps) {
+    // Same drain point as the naive engine: between scheduled iterations,
+    // never inside a jump (so the scheduled clock stays consistent).
+    if (options.cancel != nullptr && options.cancel->requested()) {
+      cancelled = true;
+      break;
+    }
     if (jump_mode) {
       if (tracker.frozen()) {
         // Every pair agrees (each component is internally unanimous) but the
@@ -129,7 +136,9 @@ void run_jump_loop(Process& process, OpinionState& state, Rng& rng,
       }
     }
   }
-  result.status = satisfied ? RunStatus::kCompleted : RunStatus::kCapped;
+  result.status = satisfied    ? RunStatus::kCompleted
+                  : cancelled  ? RunStatus::kCancelled
+                               : RunStatus::kCapped;
 }
 
 // Mirrors the naive engine's finalize(): aggregate snapshot + final trace

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <numeric>
 #include <thread>
 
 namespace divlib {
@@ -82,30 +83,39 @@ void run_replicas_erased(std::size_t replicas,
   }
 }
 
-BatchReport run_replicas_isolated_erased(
-    std::size_t replicas, const std::function<void(std::size_t, Rng&)>& task,
+BatchReport run_replica_set_isolated_erased(
+    std::span<const std::size_t> replica_ids,
+    const std::function<void(std::size_t, Rng&)>& task,
     const MonteCarloOptions& options) {
   BatchReport report;
-  report.replicas = replicas;
-  if (replicas == 0) {
+  report.replicas = replica_ids.size();
+  if (replica_ids.empty()) {
     return report;
   }
   const unsigned requested = resolve_thread_count(options);
   const auto workers =
-      static_cast<unsigned>(std::min<std::size_t>(requested, replicas));
+      static_cast<unsigned>(std::min<std::size_t>(requested, replica_ids.size()));
   const unsigned max_attempts = std::max(1u, options.max_attempts);
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> attempted{0};
   std::atomic<std::uint64_t> retries{0};
   std::vector<ReplicaError> errors;
   std::mutex errors_mutex;
 
   const auto worker_loop = [&]() {
     while (true) {
-      const std::size_t replica = next.fetch_add(1, std::memory_order_relaxed);
-      if (replica >= replicas) {
+      // Cooperative drain: stop claiming work once the token fires.  Claimed
+      // replicas always run to a verdict, so every id is either fully
+      // attempted or untouched -- the granularity a resume can reason about.
+      if (options.cancel != nullptr && options.cancel->requested()) {
         return;
       }
+      const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= replica_ids.size()) {
+        return;
+      }
+      const std::size_t replica = replica_ids[slot];
       std::string last_message = "unknown exception";
       bool succeeded = false;
       for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
@@ -123,6 +133,7 @@ BatchReport run_replicas_isolated_erased(
           last_message = "unknown exception";
         }
       }
+      attempted.fetch_add(1, std::memory_order_relaxed);
       if (!succeeded) {
         const std::lock_guard<std::mutex> lock(errors_mutex);
         errors.push_back({replica, max_attempts, last_message});
@@ -136,9 +147,19 @@ BatchReport run_replicas_isolated_erased(
             [](const ReplicaError& a, const ReplicaError& b) {
               return a.replica < b.replica;
             });
+  report.attempted = attempted.load();
   report.retries = retries.load();
   report.errors = std::move(errors);
+  report.cancelled = report.attempted < report.replicas;
   return report;
+}
+
+BatchReport run_replicas_isolated_erased(
+    std::size_t replicas, const std::function<void(std::size_t, Rng&)>& task,
+    const MonteCarloOptions& options) {
+  std::vector<std::size_t> ids(replicas);
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  return run_replica_set_isolated_erased(ids, task, options);
 }
 
 }  // namespace divlib

@@ -18,9 +18,11 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "rng/rng.hpp"
 
 namespace divlib {
@@ -33,6 +35,11 @@ struct MonteCarloOptions {
   // plain substream seed, so failure-free batches match run_replicas bit for
   // bit.  Ignored by the abort-on-failure driver.
   unsigned max_attempts = 1;
+  // Optional cooperative cancellation (isolated drivers only): once the
+  // token fires, workers stop claiming new replicas and the batch reports
+  // cancelled = true.  Replicas already in flight drain normally -- pass the
+  // same token through RunOptions::cancel to drain those at a step boundary.
+  const CancelToken* cancel = nullptr;
 };
 
 // Returns the worker count that `options` resolves to.
@@ -69,9 +76,13 @@ struct ReplicaError {
 };
 
 struct BatchReport {
-  std::size_t replicas = 0;
+  std::size_t replicas = 0;           // replicas the batch was asked to run
+  std::size_t attempted = 0;          // replicas that ran to a verdict
   std::uint64_t retries = 0;          // attempts beyond each replica's first
   std::vector<ReplicaError> errors;   // persistent failures, by replica index
+  // True when options.cancel fired and some replicas were never claimed;
+  // attempted < replicas exactly in that case.
+  bool cancelled = false;
   bool ok() const { return errors.empty(); }
 };
 
@@ -80,6 +91,16 @@ struct BatchReport {
 // replica, attempt), not on the thread schedule.
 BatchReport run_replicas_isolated_erased(
     std::size_t replicas, const std::function<void(std::size_t, Rng&)>& task,
+    const MonteCarloOptions& options);
+
+// Subset variant for resumable campaigns: runs exactly the replica ids in
+// `replica_ids` (any order, no duplicates), seeding each from its TRUE id
+// via Rng::retry_seed(master_seed, id, attempt).  A campaign that skips
+// journaled replicas and re-runs only the missing ones therefore reproduces
+// the uninterrupted batch bit for bit.
+BatchReport run_replica_set_isolated_erased(
+    std::span<const std::size_t> replica_ids,
+    const std::function<void(std::size_t, Rng&)>& task,
     const MonteCarloOptions& options);
 
 template <typename Result>

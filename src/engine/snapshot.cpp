@@ -1,14 +1,19 @@
 #include "engine/snapshot.hpp"
 
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
 #include "graph/graph_io.hpp"
+#include "io/atomic_file.hpp"
+#include "io/crc32.hpp"
 
 namespace divlib {
 
-void write_snapshot(std::ostream& out, const OpinionState& state) {
-  out << "divsnapshot 1\n";
+namespace {
+
+// Serializes the common body: edge list + opinions section.
+void write_body(std::ostream& out, const OpinionState& state) {
   write_edge_list(out, state.graph());
   out << "opinions " << state.num_vertices() << "\n";
   for (VertexId v = 0; v < state.num_vertices(); ++v) {
@@ -16,18 +21,8 @@ void write_snapshot(std::ostream& out, const OpinionState& state) {
   }
 }
 
-std::string to_snapshot(const OpinionState& state) {
-  std::ostringstream out;
-  write_snapshot(out, state);
-  return out.str();
-}
-
-Snapshot read_snapshot(std::istream& in) {
-  std::string magic;
-  int version = 0;
-  if (!(in >> magic >> version) || magic != "divsnapshot" || version != 1) {
-    throw std::invalid_argument("read_snapshot: bad header");
-  }
+// Parses everything after the "divsnapshot <version>" header.
+Snapshot parse_body(std::istream& in, int version) {
   // The edge-list section runs until the "opinions" keyword; collect it and
   // reparse with the graph reader.
   std::string token;
@@ -49,6 +44,7 @@ Snapshot read_snapshot(std::istream& in) {
     throw std::invalid_argument("read_snapshot: bad opinion count");
   }
   Snapshot snapshot;
+  snapshot.version = version;
   snapshot.graph = graph_from_edge_list(edge_section.str());
   if (count != snapshot.graph.num_vertices()) {
     throw std::invalid_argument("read_snapshot: opinion count != n");
@@ -61,12 +57,121 @@ Snapshot read_snapshot(std::istream& in) {
     }
     snapshot.opinions[v] = static_cast<Opinion>(value);
   }
+  if (version >= 2) {
+    if (!(in >> token) || token != "rng") {
+      throw std::invalid_argument("read_snapshot: missing rng section");
+    }
+    for (auto& word : snapshot.rng_state) {
+      if (!(in >> word)) {
+        throw std::invalid_argument("read_snapshot: truncated rng state");
+      }
+    }
+    snapshot.has_rng = true;
+    if (!(in >> token) || token != "steps" || !(in >> snapshot.steps)) {
+      throw std::invalid_argument("read_snapshot: missing steps counter");
+    }
+  }
   return snapshot;
+}
+
+}  // namespace
+
+Rng Snapshot::restore_rng() const {
+  if (!has_rng) {
+    throw std::logic_error(
+        "Snapshot::restore_rng: v1 snapshots carry no RNG state");
+  }
+  Rng rng;
+  rng.set_state(rng_state);
+  return rng;
+}
+
+void write_snapshot(std::ostream& out, const OpinionState& state) {
+  out << "divsnapshot 1\n";
+  write_body(out, state);
+}
+
+std::string to_snapshot(const OpinionState& state) {
+  std::ostringstream out;
+  write_snapshot(out, state);
+  return out.str();
+}
+
+void write_snapshot_v2(std::ostream& out, const OpinionState& state,
+                       const Rng& rng, std::uint64_t steps) {
+  out << to_snapshot_v2(state, rng, steps);
+}
+
+std::string to_snapshot_v2(const OpinionState& state, const Rng& rng,
+                           std::uint64_t steps) {
+  std::ostringstream body;
+  body << "divsnapshot 2\n";
+  write_body(body, state);
+  const auto words = rng.state();
+  body << "rng " << words[0] << " " << words[1] << " " << words[2] << " "
+       << words[3] << "\n"
+       << "steps " << steps << "\n";
+  std::string text = body.str();
+  std::ostringstream seal;
+  seal << "checksum " << std::hex << std::setw(8) << std::setfill('0')
+       << crc32_of(text) << "\n";
+  text += seal.str();
+  return text;
+}
+
+void save_snapshot(const std::string& path, const OpinionState& state,
+                   const Rng& rng, std::uint64_t steps) {
+  atomic_write_file(path, to_snapshot_v2(state, rng, steps));
+}
+
+Snapshot load_snapshot(const std::string& path) {
+  return snapshot_from_string(read_file(path));
 }
 
 Snapshot snapshot_from_string(const std::string& text) {
   std::istringstream in(text);
-  return read_snapshot(in);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "divsnapshot" ||
+      (version != 1 && version != 2)) {
+    throw std::invalid_argument("read_snapshot: bad header");
+  }
+  if (version == 2) {
+    // The checksum line seals every byte before it; verify before parsing so
+    // a flipped byte surfaces as a corruption error, not a confusing parse
+    // failure deeper in.
+    const std::size_t marker = text.rfind("\nchecksum ");
+    if (marker == std::string::npos) {
+      throw std::invalid_argument("read_snapshot: v2 snapshot missing checksum");
+    }
+    const std::size_t body_size = marker + 1;  // keep the newline in the body
+    std::uint32_t stored = 0;
+    {
+      std::istringstream seal(text.substr(body_size));
+      std::string keyword;
+      if (!(seal >> keyword >> std::hex >> stored) || keyword != "checksum") {
+        throw std::invalid_argument("read_snapshot: malformed checksum line");
+      }
+    }
+    const std::uint32_t computed = crc32_of(text.data(), body_size);
+    if (computed != stored) {
+      std::ostringstream message;
+      message << "read_snapshot: checksum mismatch over bytes [0, " << body_size
+              << "): stored " << std::hex << std::setw(8) << std::setfill('0')
+              << stored << ", computed " << std::setw(8) << computed
+              << std::dec << " (checksum line at offset " << body_size << ")";
+      throw std::invalid_argument(message.str());
+    }
+  }
+  return parse_body(in, version);
+}
+
+Snapshot read_snapshot(std::istream& in) {
+  // The v2 checksum covers the whole body, so the reader consumes the rest
+  // of the stream; snapshots are whole-file artifacts in practice.
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return snapshot_from_string(buffer.str());
 }
 
 }  // namespace divlib

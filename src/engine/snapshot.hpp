@@ -1,37 +1,80 @@
-// Checkpointing: serialize a (graph, opinions) pair to a text stream and
-// restore it later.  Long sweeps can stop at a milestone (e.g. the Theorem 1
-// two-adjacent stage), persist, and resume the final stage in a separate
-// run; the format embeds the graph so a snapshot is self-contained.
+// Checkpointing: serialize a (graph, opinions) pair -- and, in format v2,
+// the exact RNG stream position and scheduled-step counter -- to a text
+// stream and restore it later.  Long sweeps can stop at a milestone (e.g.
+// the Theorem 1 two-adjacent stage) or at a cancellation boundary, persist,
+// and resume bit-identically in a separate process; the format embeds the
+// graph so a snapshot is self-contained.
 //
-// Format:
+// Format v1 (legacy; still read):
 //   divsnapshot 1
 //   <edge-list section, see graph_io.hpp>
 //   opinions <n>
 //   <opinion per line>
+//
+// Format v2 adds resume state and integrity:
+//   divsnapshot 2
+//   <edge-list section>
+//   opinions <n>
+//   <opinion per line>
+//   rng <w0> <w1> <w2> <w3>     (xoshiro256** state words, decimal)
+//   steps <scheduled step counter>
+//   checksum <8-hex CRC-32 of every byte above this line>
+//
+// The trailing checksum covers the whole body, so a flipped byte anywhere is
+// detected at load time with an error that names the stored/computed values
+// and the byte range; save_snapshot() writes via atomic_write_file so a
+// crash mid-save cannot tear an existing checkpoint.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "core/opinion_state.hpp"
 #include "graph/graph.hpp"
+#include "rng/rng.hpp"
 
 namespace divlib {
 
 struct Snapshot {
+  int version = 1;
   Graph graph;
   std::vector<Opinion> opinions;
+  // v2 only (has_rng == false for v1 snapshots):
+  bool has_rng = false;
+  std::array<std::uint64_t, 4> rng_state{};
+  std::uint64_t steps = 0;
 
   // Reconstructs the state (aggregates are recomputed from scratch).
   OpinionState restore() const& { return OpinionState(graph, opinions); }
+
+  // Resumes the generator at the captured stream position.  Throws
+  // std::logic_error for v1 snapshots, which carry no RNG state.
+  Rng restore_rng() const;
 };
 
+// v1 writers, kept for tooling that only needs the configuration.
 void write_snapshot(std::ostream& out, const OpinionState& state);
 std::string to_snapshot(const OpinionState& state);
 
-// Throws std::invalid_argument on malformed input.
+// v2 writers: embed the RNG stream position and the scheduled-step counter,
+// and seal the body with a CRC-32 line.
+void write_snapshot_v2(std::ostream& out, const OpinionState& state,
+                       const Rng& rng, std::uint64_t steps);
+std::string to_snapshot_v2(const OpinionState& state, const Rng& rng,
+                           std::uint64_t steps);
+
+// Atomic whole-file persistence of a v2 snapshot (tmp -> fsync -> rename).
+void save_snapshot(const std::string& path, const OpinionState& state,
+                   const Rng& rng, std::uint64_t steps);
+// Loads either format from a file; v2 checksums are verified.
+Snapshot load_snapshot(const std::string& path);
+
+// Readers auto-detect the version.  Throw std::invalid_argument on malformed
+// input, including a v2 checksum mismatch (the stream reader consumes the
+// remainder of the stream, since the checksum covers the whole body).
 Snapshot read_snapshot(std::istream& in);
 Snapshot snapshot_from_string(const std::string& text);
 

@@ -1,0 +1,59 @@
+#include "io/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace divlib {
+
+void atomic_write_file(const std::string& path, std::string_view content) {
+  // The temporary lives in the same directory as the destination so the
+  // final rename() cannot cross a filesystem boundary (which would make it
+  // a non-atomic copy).
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("atomic_write_file: cannot create '" + tmp + "'");
+  }
+  const bool wrote =
+      content.empty() ||
+      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  bool flushed = wrote && std::fflush(file) == 0;
+#ifndef _WIN32
+  // fflush only moves bytes into the kernel; fsync makes them power-safe.
+  // (A fully paranoid writer would also fsync the directory after rename;
+  // the journal's CRC framing already makes a lost rename detectable.)
+  flushed = flushed && fsync(fileno(file)) == 0;
+#endif
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("atomic_write_file: write to '" + tmp +
+                             "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("atomic_write_file: rename to '" + path +
+                             "' failed");
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_file: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw std::runtime_error("read_file: read of '" + path + "' failed");
+  }
+  return buffer.str();
+}
+
+}  // namespace divlib

@@ -1,0 +1,22 @@
+// Crash-safe whole-file persistence: write to a temporary sibling, flush to
+// stable storage, then rename over the destination.  A reader therefore
+// observes either the previous complete file or the new complete file --
+// never a torn mix -- which is the contract every checkpoint artifact
+// (campaign metadata, snapshots) relies on.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace divlib {
+
+// Writes `content` to `path` atomically (tmp -> fflush -> fsync -> rename).
+// Throws std::runtime_error on any I/O failure; on failure the destination
+// is left untouched (the temporary is unlinked best-effort).
+void atomic_write_file(const std::string& path, std::string_view content);
+
+// Reads a whole file into a string.  Throws std::runtime_error when the file
+// cannot be opened or read.
+std::string read_file(const std::string& path);
+
+}  // namespace divlib

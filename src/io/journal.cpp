@@ -1,0 +1,138 @@
+#include "io/journal.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "io/atomic_file.hpp"
+#include "io/crc32.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace divlib {
+namespace {
+
+constexpr char kMagic[] = "DIVJRNL1";  // 8 bytes, excluding the terminator
+constexpr std::size_t kMagicSize = 8;
+constexpr std::size_t kFrameHeaderSize = 8;  // u32 length + u32 crc
+
+void put_u32_le(std::uint32_t value, char out[4]) {
+  out[0] = static_cast<char>(value & 0xFFu);
+  out[1] = static_cast<char>((value >> 8) & 0xFFu);
+  out[2] = static_cast<char>((value >> 16) & 0xFFu);
+  out[3] = static_cast<char>((value >> 24) & 0xFFu);
+}
+
+std::uint32_t get_u32_le(const char* in) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(in);
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+}  // namespace
+
+JournalRecovery read_journal(const std::string& path) {
+  const std::string bytes = read_file(path);
+  JournalRecovery recovery;
+  recovery.total_bytes = bytes.size();
+  if (bytes.size() < kMagicSize ||
+      bytes.compare(0, kMagicSize, kMagic, kMagicSize) != 0) {
+    // An empty or partially-written magic is a torn creation; anything else
+    // under a journal path is a foreign file and must not be truncated.
+    if (bytes.size() < kMagicSize &&
+        std::string_view(kMagic, kMagicSize)
+                .substr(0, bytes.size()) == bytes) {
+      return recovery;  // torn during creation: valid prefix is empty
+    }
+    throw std::runtime_error("read_journal: '" + path +
+                             "' is not a divlib journal (bad magic)");
+  }
+  std::size_t offset = kMagicSize;
+  recovery.valid_bytes = offset;
+  while (bytes.size() - offset >= kFrameHeaderSize) {
+    const std::uint32_t length = get_u32_le(bytes.data() + offset);
+    const std::uint32_t stored_crc = get_u32_le(bytes.data() + offset + 4);
+    if (bytes.size() - offset - kFrameHeaderSize < length) {
+      break;  // short frame: torn tail
+    }
+    const std::string_view payload(bytes.data() + offset + kFrameHeaderSize,
+                                   length);
+    if (crc32_of(payload) != stored_crc) {
+      break;  // corrupt frame: treat like a torn tail, keep the prefix
+    }
+    recovery.records.emplace_back(payload);
+    offset += kFrameHeaderSize + length;
+    recovery.valid_bytes = offset;
+  }
+  return recovery;
+}
+
+JournalRecovery recover_journal(const std::string& path) {
+  JournalRecovery recovery = read_journal(path);
+  if (recovery.torn()) {
+    std::filesystem::resize_file(path, recovery.valid_bytes);
+    recovery.total_bytes = recovery.valid_bytes;
+  }
+  return recovery;
+}
+
+JournalWriter::JournalWriter(const std::string& path) : path_(path) {
+  // A zero-byte file (e.g. a magic torn away by recovery) needs the magic
+  // re-written just like a brand-new one.
+  const bool fresh = !std::filesystem::exists(path) ||
+                     std::filesystem::file_size(path) == 0;
+  file_ = std::fopen(path.c_str(), fresh ? "wb" : "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("JournalWriter: cannot open '" + path + "'");
+  }
+  if (fresh && std::fwrite(kMagic, 1, kMagicSize, file_) != kMagicSize) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("JournalWriter: cannot write magic to '" + path +
+                             "'");
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+#ifndef _WIN32
+    fsync(fileno(file_));
+#endif
+    std::fclose(file_);
+  }
+}
+
+void JournalWriter::append(std::string_view payload) {
+  if (payload.size() > 0xFFFFFFFFull) {
+    throw std::runtime_error("JournalWriter: payload exceeds the u32 frame");
+  }
+  char header[kFrameHeaderSize];
+  put_u32_le(static_cast<std::uint32_t>(payload.size()), header);
+  put_u32_le(crc32_of(payload), header + 4);
+  if (std::fwrite(header, 1, kFrameHeaderSize, file_) != kFrameHeaderSize ||
+      (!payload.empty() &&
+       std::fwrite(payload.data(), 1, payload.size(), file_) !=
+           payload.size())) {
+    throw std::runtime_error("JournalWriter: append to '" + path_ +
+                             "' failed");
+  }
+  ++records_written_;
+}
+
+void JournalWriter::flush() {
+  if (std::fflush(file_) != 0) {
+    throw std::runtime_error("JournalWriter: flush of '" + path_ + "' failed");
+  }
+#ifndef _WIN32
+  if (fsync(fileno(file_)) != 0) {
+    throw std::runtime_error("JournalWriter: fsync of '" + path_ + "' failed");
+  }
+#endif
+}
+
+}  // namespace divlib

@@ -1,0 +1,69 @@
+// Append-only record log for long Monte-Carlo campaigns.
+//
+// A campaign that runs for hours must never lose finished work to a SIGKILL,
+// OOM kill, or power cut.  The journal gives replica results the standard
+// write-ahead-log durability shape:
+//
+//   * every record is framed [u32 length][u32 crc32(payload)][payload bytes]
+//     (little-endian), preceded once by the 8-byte file magic "DIVJRNL1";
+//   * records are appended and flushed (fflush + fsync) at a configurable
+//     cadence, so a crash loses at most the records since the last flush;
+//   * recovery reads the longest valid prefix and treats anything after the
+//     first short/corrupt frame as a torn tail: recover_journal() truncates
+//     it in place instead of failing, because a torn tail is the *expected*
+//     crash artifact, not an error.
+//
+// Payloads are opaque bytes; the campaign layer (engine/campaign.*) encodes
+// replica ids and results into them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace divlib {
+
+struct JournalRecovery {
+  std::vector<std::string> records;  // intact payloads, in append order
+  std::uint64_t valid_bytes = 0;     // magic + intact frames
+  std::uint64_t total_bytes = 0;     // file size as found on disk
+  // True when the file ended in a short or CRC-corrupt frame.
+  bool torn() const { return valid_bytes < total_bytes; }
+};
+
+// Reads the longest valid prefix of the journal at `path` without modifying
+// the file.  Throws std::runtime_error when the file cannot be opened or its
+// magic is wrong (a wrong magic means "not a journal", never a torn tail).
+JournalRecovery read_journal(const std::string& path);
+
+// read_journal() + in-place truncation of any torn tail, so a subsequent
+// JournalWriter appends after the last intact record.
+JournalRecovery recover_journal(const std::string& path);
+
+// Appender.  Creates the file (with magic) when absent; otherwise appends at
+// the current end -- run recover_journal() first after a crash so the tail
+// is intact.  Not thread-safe; the campaign driver serializes appends.
+class JournalWriter {
+ public:
+  explicit JournalWriter(const std::string& path);
+  ~JournalWriter();  // flushes; errors are swallowed (destructors must not throw)
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  // Frames and appends one payload.  Throws std::runtime_error on I/O error.
+  void append(std::string_view payload);
+
+  // fflush + fsync: everything appended so far survives a crash.
+  void flush();
+
+  std::uint64_t records_written() const { return records_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t records_written_ = 0;
+};
+
+}  // namespace divlib

@@ -118,6 +118,16 @@ double Rng::normal() {
   return u * factor;
 }
 
+void Rng::set_state(const std::array<std::uint64_t, 4>& words) {
+  if (words[0] == 0 && words[1] == 0 && words[2] == 0 && words[3] == 0) {
+    throw std::invalid_argument(
+        "Rng::set_state: the all-zero state is invalid for xoshiro256**");
+  }
+  state_ = words;
+  has_cached_normal_ = false;
+  cached_normal_ = 0.0;
+}
+
 std::uint64_t Rng::substream_seed(std::uint64_t master, std::uint64_t index) {
   // Mix the pair (master, index) through two rounds of splitmix64 so that
   // nearby indices yield uncorrelated seeds.

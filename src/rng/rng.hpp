@@ -95,6 +95,17 @@ class Rng {
   static std::uint64_t retry_seed(std::uint64_t master, std::uint64_t replica,
                                   std::uint64_t attempt);
 
+  // Exact stream position for checkpointing (snapshot v2): state() captures
+  // the four xoshiro256** words and set_state() resumes the stream
+  // bit-identically from them.  The Marsaglia-polar cache for normal() is
+  // deliberately NOT part of the captured state -- set_state() drops it, so
+  // a restored generator may replay at most one normal() deviate
+  // differently; the voting processes draw only uniform variates.
+  std::array<std::uint64_t, 4> state() const { return state_; }
+  // Throws std::invalid_argument on the all-zero state (invalid for
+  // xoshiro256**).
+  void set_state(const std::array<std::uint64_t, 4>& words);
+
  private:
   std::array<std::uint64_t, 4> state_;
   // Cached second normal deviate from the polar method.

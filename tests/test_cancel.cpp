@@ -1,0 +1,211 @@
+#include "core/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/div_process.hpp"
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/jump_engine.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/generators.hpp"
+
+namespace divlib {
+namespace {
+
+TEST(CancelToken, RequestIsStickyUntilReset) {
+  CancelToken token;
+  EXPECT_FALSE(token.requested());
+  token.request();
+  EXPECT_TRUE(token.requested());
+  token.request();  // idempotent
+  EXPECT_TRUE(token.requested());
+  token.reset();
+  EXPECT_FALSE(token.requested());
+}
+
+TEST(CancelToken, GlobalIsASingleton) {
+  EXPECT_EQ(&CancelToken::global(), &CancelToken::global());
+  CancelToken::global().reset();
+}
+
+// A pre-set token must yield kCancelled -- never kCapped -- from BOTH
+// engines, with the state untouched (the cancellation step is step 0) and
+// bit-identical between them.
+TEST(Cancellation, PresetTokenYieldsCancelledFromBothEngines) {
+  const Graph g = make_complete(32);
+  CancelToken token;
+  token.request();
+  RunOptions options;
+  options.max_steps = 1000;
+  options.cancel = &token;
+
+  Rng init_rng(7);
+  const std::vector<Opinion> start =
+      uniform_random_opinions(g.num_vertices(), 1, 6, init_rng);
+
+  OpinionState step_state(g, start);
+  DivProcess step_process(g, SelectionScheme::kEdge);
+  Rng step_rng(11);
+  const RunResult step_result = run(step_process, step_state, step_rng, options);
+  EXPECT_EQ(step_result.status, RunStatus::kCancelled);
+  EXPECT_NE(step_result.status, RunStatus::kCapped);
+  EXPECT_EQ(step_result.steps, 0u);
+  EXPECT_FALSE(step_result.completed);
+
+  OpinionState jump_state(g, start);
+  DivProcess jump_process(g, SelectionScheme::kEdge);
+  Rng jump_rng(11);
+  const JumpRunResult jump_result =
+      run_jump(jump_process, jump_state, jump_rng, options);
+  EXPECT_EQ(jump_result.status, RunStatus::kCancelled);
+  EXPECT_EQ(jump_result.steps, 0u);
+  EXPECT_EQ(jump_result.effective_steps, 0u);
+
+  // Identical final states at the cancellation step.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(step_state.opinion(v), jump_state.opinion(v));
+  }
+  EXPECT_EQ(step_result.final_sum, jump_result.final_sum);
+  EXPECT_EQ(step_result.min_active, jump_result.min_active);
+  EXPECT_EQ(step_result.max_active, jump_result.max_active);
+}
+
+TEST(Cancellation, GuardedVariantsMapCancelConsistently) {
+  const Graph g = make_complete(16);
+  CancelToken token;
+  token.request();
+  RunOptions options;
+  options.cancel = &token;
+
+  Rng init_rng(3);
+  const std::vector<Opinion> start =
+      uniform_random_opinions(g.num_vertices(), 1, 5, init_rng);
+
+  OpinionState a(g, start);
+  DivProcess pa(g, SelectionScheme::kEdge);
+  Rng ra(5);
+  const RunResult guarded = run_guarded(pa, a, ra, options);
+  EXPECT_EQ(guarded.status, RunStatus::kCancelled);
+  EXPECT_TRUE(guarded.fault.empty());
+
+  OpinionState b(g, start);
+  DivProcess pb(g, SelectionScheme::kEdge);
+  Rng rb(5);
+  const JumpRunResult jump_guarded = run_jump_guarded(pb, b, rb, options);
+  EXPECT_EQ(jump_guarded.status, RunStatus::kCancelled);
+  EXPECT_TRUE(jump_guarded.fault.empty());
+}
+
+// Wraps DivProcess and fires the token after a fixed number of steps, so the
+// drain-at-step-boundary contract is observable mid-run.
+class CancelAfter : public Process {
+ public:
+  CancelAfter(const Graph& graph, CancelToken& token, std::uint64_t after)
+      : inner_(graph, SelectionScheme::kEdge), token_(&token), after_(after) {}
+
+  void begin_run(const OpinionState& state) override {
+    steps_ = 0;
+    inner_.begin_run(state);
+  }
+
+  void step(OpinionState& state, Rng& rng) override {
+    inner_.step(state, rng);
+    if (++steps_ == after_) {
+      token_->request();
+    }
+  }
+
+  std::string name() const override { return "cancel-after"; }
+
+ private:
+  DivProcess inner_;
+  CancelToken* token_;
+  std::uint64_t after_;
+  std::uint64_t steps_ = 0;
+};
+
+TEST(Cancellation, MidRunCancelDrainsAtStepBoundary) {
+  const Graph g = make_complete(64);
+  CancelToken token;
+  CancelAfter process(g, token, 100);
+  RunOptions options;
+  options.max_steps = 1'000'000;
+  options.cancel = &token;
+  Rng rng(17);
+  OpinionState state(
+      g, uniform_random_opinions(g.num_vertices(), 1, 9, rng));
+  const RunResult result = run(process, state, rng, options);
+  EXPECT_EQ(result.status, RunStatus::kCancelled);
+  // The triggering step completes; the loop drains before the next one.
+  EXPECT_EQ(result.steps, 100u);
+}
+
+TEST(Cancellation, SatisfiedStopWinsOverCancellation) {
+  // When the stopping rule already holds, the run reports kCompleted even if
+  // the token fired: the work IS done.
+  const Graph g = make_complete(8);
+  CancelToken token;
+  token.request();
+  RunOptions options;
+  options.cancel = &token;
+  DivProcess process(g, SelectionScheme::kEdge);
+  OpinionState state(g, std::vector<Opinion>(g.num_vertices(), 3));
+  Rng rng(1);
+  const RunResult result = run(process, state, rng, options);
+  EXPECT_EQ(result.status, RunStatus::kCompleted);
+  EXPECT_TRUE(result.completed);
+}
+
+TEST(Cancellation, IsolatedDriverStopsClaimingReplicas) {
+  CancelToken token;
+  std::atomic<std::size_t> ran{0};
+  const BatchReport report = run_replicas_isolated_erased(
+      64,
+      [&](std::size_t replica, Rng&) {
+        ran.fetch_add(1);
+        if (replica == 0) {
+          token.request();  // fires while most replicas are still queued
+        }
+      },
+      {.master_seed = 5, .num_threads = 1, .cancel = &token});
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_LT(report.attempted, report.replicas);
+  EXPECT_EQ(report.attempted, ran.load());
+  EXPECT_TRUE(report.ok());  // cancelled replicas are not errors
+}
+
+TEST(Cancellation, UntriggeredTokenChangesNothing) {
+  const Graph g = make_complete(24);
+  CancelToken token;
+  RunOptions with;
+  with.max_steps = 200'000;
+  with.cancel = &token;
+  RunOptions without = with;
+  without.cancel = nullptr;
+
+  Rng init_rng(9);
+  const std::vector<Opinion> start =
+      uniform_random_opinions(g.num_vertices(), 1, 6, init_rng);
+
+  OpinionState a(g, start);
+  DivProcess pa(g, SelectionScheme::kEdge);
+  Rng ra(13);
+  const RunResult with_token = run(pa, a, ra, with);
+
+  OpinionState b(g, start);
+  DivProcess pb(g, SelectionScheme::kEdge);
+  Rng rb(13);
+  const RunResult no_token = run(pb, b, rb, without);
+
+  EXPECT_EQ(with_token.status, no_token.status);
+  EXPECT_EQ(with_token.steps, no_token.steps);
+  EXPECT_EQ(with_token.final_sum, no_token.final_sum);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(a.opinion(v), b.opinion(v));
+  }
+}
+
+}  // namespace
+}  // namespace divlib

@@ -1,0 +1,52 @@
+#include "io/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace divlib {
+namespace {
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32_of("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32_of(""), 0x00000000u);
+  EXPECT_EQ(crc32_of("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32_of("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "divlib journal frame payload, split awkwardly";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Crc32 crc;
+    crc.update(data.substr(0, split));
+    crc.update(data.substr(split));
+    EXPECT_EQ(crc.value(), crc32_of(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32, ValueIsIdempotentAndResetRestarts) {
+  Crc32 crc;
+  crc.update("abc");
+  const std::uint32_t first = crc.value();
+  EXPECT_EQ(crc.value(), first);  // value() does not consume state
+  crc.update("def");
+  EXPECT_EQ(crc.value(), crc32_of("abcdef"));
+  crc.reset();
+  crc.update("123456789");
+  EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string data = "payload under test";
+  const std::uint32_t clean = crc32_of(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(crc32_of(data), clean) << "flip at byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+}  // namespace
+}  // namespace divlib

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+
 #include "core/div_process.hpp"
 #include "engine/engine.hpp"
 #include "engine/initial_config.hpp"
@@ -66,6 +69,132 @@ TEST(Snapshot, ResumedRunContinuesCorrectly) {
   ASSERT_TRUE(result.completed);
   EXPECT_GE(*result.winner, lo);
   EXPECT_LE(*result.winner, hi);
+}
+
+TEST(SnapshotV2, RoundTripsRngStateAndStepCounter) {
+  const Graph g = make_barbell(4);
+  Rng rng(5);
+  const OpinionState state(
+      g, uniform_random_opinions(g.num_vertices(), 0, 6, rng));
+  rng.next();  // advance so the captured position is mid-stream
+  const Snapshot snapshot =
+      snapshot_from_string(to_snapshot_v2(state, rng, 1234));
+  EXPECT_EQ(snapshot.version, 2);
+  EXPECT_TRUE(snapshot.has_rng);
+  EXPECT_EQ(snapshot.steps, 1234u);
+  const OpinionState restored = snapshot.restore();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(restored.opinion(v), state.opinion(v));
+  }
+  // The restored generator continues the exact same stream.
+  Rng resumed = snapshot.restore_rng();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(resumed.next(), rng.next());
+  }
+}
+
+TEST(SnapshotV2, CheckpointedRunContinuesBitIdentically) {
+  // Run 2000 steps straight through vs. 1000 steps, checkpoint to v2,
+  // restore in "another process", and run 1000 more: the final opinion
+  // vectors must match bit for bit.
+  const Graph g = make_complete(128);
+  Rng init_rng(4);
+  const std::vector<Opinion> start =
+      uniform_random_opinions(g.num_vertices(), 1, 9, init_rng);
+  RunOptions options;
+  options.max_steps = 2000;
+
+  OpinionState straight(g, start);
+  DivProcess process(g, SelectionScheme::kEdge);
+  Rng straight_rng(99);
+  ASSERT_EQ(run(process, straight, straight_rng, options).status,
+            RunStatus::kCapped);
+
+  OpinionState first_half(g, start);
+  Rng half_rng(99);
+  options.max_steps = 1000;
+  ASSERT_EQ(run(process, first_half, half_rng, options).status,
+            RunStatus::kCapped);
+  const std::string checkpoint = to_snapshot_v2(first_half, half_rng, 1000);
+
+  const Snapshot snapshot = snapshot_from_string(checkpoint);
+  OpinionState second_half = snapshot.restore();
+  Rng resumed_rng = snapshot.restore_rng();
+  DivProcess resumed_process(snapshot.graph, SelectionScheme::kEdge);
+  EXPECT_EQ(snapshot.steps, 1000u);
+  ASSERT_EQ(run(resumed_process, second_half, resumed_rng, options).status,
+            RunStatus::kCapped);
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(second_half.opinion(v), straight.opinion(v));
+  }
+  EXPECT_EQ(second_half.sum(), straight.sum());
+}
+
+TEST(SnapshotV2, FlippedByteIsNamedInTheChecksumError) {
+  const Graph g = make_complete(6);
+  Rng rng(8);
+  const OpinionState state(
+      g, uniform_random_opinions(g.num_vertices(), 1, 4, rng));
+  std::string text = to_snapshot_v2(state, rng, 7);
+  ASSERT_NO_THROW(snapshot_from_string(text));
+  text[text.find("opinions")] ^= 0x08;  // flip one bit inside the body
+  try {
+    snapshot_from_string(text);
+    FAIL() << "corrupted snapshot was accepted";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("checksum mismatch"), std::string::npos) << message;
+    EXPECT_NE(message.find("offset"), std::string::npos) << message;
+  }
+}
+
+TEST(SnapshotV2, TruncatedChecksumLineIsRejected) {
+  const Graph g = make_complete(4);
+  Rng rng(8);
+  const OpinionState state(
+      g, uniform_random_opinions(g.num_vertices(), 1, 4, rng));
+  const std::string text = to_snapshot_v2(state, rng, 0);
+  // Cut the trailing checksum line off entirely: the v2 header promises one.
+  const std::string torn = text.substr(0, text.rfind("checksum"));
+  EXPECT_THROW(snapshot_from_string(torn), std::invalid_argument);
+}
+
+TEST(SnapshotV2, SaveAndLoadRoundTripThroughAFile) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "divlib_snapshot_v2_test";
+  fs::create_directories(dir);
+  const std::string path = (dir / "state.snap").string();
+  const Graph g = make_barbell(3);
+  Rng rng(21);
+  const OpinionState state(
+      g, uniform_random_opinions(g.num_vertices(), -1, 5, rng));
+  save_snapshot(path, state, rng, 77);
+  const Snapshot loaded = load_snapshot(path);
+  EXPECT_EQ(loaded.version, 2);
+  EXPECT_EQ(loaded.steps, 77u);
+  const OpinionState restored = loaded.restore();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(restored.opinion(v), state.opinion(v));
+  }
+  Rng resumed = loaded.restore_rng();
+  EXPECT_EQ(resumed.next(), rng.next());
+  fs::remove_all(dir);
+}
+
+TEST(SnapshotV1, LegacyFormatStillRoundTripsAndCarriesNoRng) {
+  const Graph g = make_barbell(3);
+  Rng rng(6);
+  const OpinionState state(
+      g, uniform_random_opinions(g.num_vertices(), 0, 3, rng));
+  const Snapshot snapshot = snapshot_from_string(to_snapshot(state));
+  EXPECT_EQ(snapshot.version, 1);
+  EXPECT_FALSE(snapshot.has_rng);
+  EXPECT_THROW(snapshot.restore_rng(), std::logic_error);
+  const OpinionState restored = snapshot.restore();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(restored.opinion(v), state.opinion(v));
+  }
 }
 
 }  // namespace

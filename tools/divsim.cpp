@@ -4,7 +4,9 @@
 //                   [--engine step|jump] [--k 5] [--seed 1] [--replicas 1]
 //                   [--trace N] [--stop consensus|two-adjacent] [--max-steps M]
 //                   [--fault drop=0.3,crash=0.05@[0,1e6],byzantine=0.02]
-//                   [--retries N]
+//                   [--retries N] [--threads N]
+//                   [--checkpoint-dir D [--checkpoint-every R] [--resume]]
+//   divsim journal  --dir <checkpoint-dir>        (inspect a campaign)
 //   divsim spectral --graph <spec> [--seed 1] [--full]
 //   divsim graph    --graph <spec> [--seed 1] [--dot] [--analyze]
 //   divsim meanfield --k 5 [--tau 10] [--fractions a,b,c,...]
@@ -13,24 +15,37 @@
 //
 // Examples:
 //   divsim run --graph regular:512:16 --k 7 --replicas 100
+//   divsim run --graph regular:65536:16 --k 7 --replicas 5000 \
+//              --checkpoint-dir sweep.ckpt          # Ctrl-C safe; then:
+//   divsim run --graph regular:65536:16 --k 7 --replicas 5000 \
+//              --checkpoint-dir sweep.ckpt --resume
 //   divsim spectral --graph gnp:400:0.1
 //   divsim graph --graph barbell:16 --analyze
 //   divsim trace --graph complete:256 --k 6 > counts.csv
+//
+// SIGINT/SIGTERM request cooperative cancellation: in-flight replicas drain
+// at a step boundary, the campaign journal (if any) is flushed, and divsim
+// exits with status 130 and a resume hint.
+#include <csignal>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cli/args.hpp"
 #include "cli/fault_spec.hpp"
 #include "cli/graph_spec.hpp"
 #include "cli/process_spec.hpp"
+#include "core/cancel.hpp"
 #include "core/faulty_process.hpp"
 #include "core/coupling.hpp"
 #include "core/mean_field.hpp"
 #include "core/theory.hpp"
 #include "exact/div_chain.hpp"
+#include "engine/campaign.hpp"
 #include "engine/count_trace.hpp"
 #include "engine/engine.hpp"
 #include "engine/jump_engine.hpp"
@@ -38,6 +53,8 @@
 #include "engine/montecarlo.hpp"
 #include "graph/analysis.hpp"
 #include "graph/graph_io.hpp"
+#include "io/atomic_file.hpp"
+#include "io/journal.hpp"
 #include "io/table.hpp"
 #include "spectral/lambda.hpp"
 #include "stats/histogram.hpp"
@@ -53,6 +70,7 @@ int usage() {
       "\n"
       "commands:\n"
       "  run        simulate a voting process to consensus\n"
+      "  journal    inspect a campaign checkpoint directory\n"
       "  spectral   compute lambda = max(|lambda_2|, |lambda_n|)\n"
       "  graph      generate/inspect a graph\n"
       "  meanfield  integrate the K_n mean-field ODE for DIV\n"
@@ -66,7 +84,12 @@ int usage() {
       "fault specs:   --fault " << fault_spec_help() << "\n"
       "               (run only; add --retries N for per-replica retry)\n"
       "engines:       --engine step|jump (run only; jump skips lazy steps\n"
-      "               via the embedded jump chain -- plain DIV, no faults)\n";
+      "               via the embedded jump chain -- plain DIV, no faults)\n"
+      "durability:    --checkpoint-dir D journals each finished replica\n"
+      "               (CRC-framed, fsync'd every --checkpoint-every records);\n"
+      "               SIGINT/SIGTERM drain gracefully; --resume skips\n"
+      "               journaled replicas and reproduces the uninterrupted\n"
+      "               results bit for bit\n";
   return 2;
 }
 
@@ -84,6 +107,60 @@ struct ReplicaRun {
   std::uint64_t corruptions = 0;
   std::uint64_t recoveries = 0;
 };
+
+// Campaign payload codec: one line of space-separated fields, the fault text
+// (which may contain spaces) last.  Only aggregate-relevant fields are
+// persisted; traces stay in-memory.
+std::string encode_replica_run(const ReplicaRun& run) {
+  std::ostringstream out;
+  out << to_string(run.result.status) << " " << run.result.steps << " "
+      << run.effective_steps << " ";
+  if (run.result.winner) {
+    out << *run.result.winner;
+  } else {
+    out << "-";
+  }
+  out << " " << run.result.final_sum << " " << run.result.num_active << " "
+      << run.result.min_active << " " << run.result.max_active << " "
+      << run.dropped << " " << run.rollbacks << " " << run.corruptions << " "
+      << run.recoveries;
+  if (!run.result.fault.empty()) {
+    out << " " << run.result.fault;
+  }
+  return out.str();
+}
+
+RunStatus parse_run_status(const std::string& name) {
+  for (const RunStatus status :
+       {RunStatus::kCompleted, RunStatus::kCapped, RunStatus::kFaulted,
+        RunStatus::kCancelled}) {
+    if (name == to_string(status)) {
+      return status;
+    }
+  }
+  throw std::invalid_argument("unknown run status '" + name + "' in journal");
+}
+
+ReplicaRun decode_replica_run(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string status;
+  std::string winner;
+  ReplicaRun run;
+  if (!(in >> status >> run.result.steps >> run.effective_steps >> winner >>
+        run.result.final_sum >> run.result.num_active >>
+        run.result.min_active >> run.result.max_active >> run.dropped >>
+        run.rollbacks >> run.corruptions >> run.recoveries)) {
+    throw std::invalid_argument("malformed replica record in journal: '" +
+                                payload + "'");
+  }
+  run.result.status = parse_run_status(status);
+  run.result.completed = run.result.status == RunStatus::kCompleted;
+  if (winner != "-") {
+    run.result.winner = static_cast<Opinion>(std::stol(winner));
+  }
+  std::getline(in >> std::ws, run.result.fault);
+  return run;
+}
 
 int cmd_run(const Args& args) {
   const std::uint64_t master_seed = args.get_u64("seed", 1);
@@ -112,6 +189,14 @@ int cmd_run(const Args& args) {
         "engine for fault injection");
   }
 
+  const std::string checkpoint_dir = args.get("checkpoint-dir", "");
+  const std::uint64_t checkpoint_every = args.get_positive_u64("checkpoint-every", 1);
+  const bool resume = args.flag("resume");
+  const auto threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  if (resume && checkpoint_dir.empty()) {
+    throw std::invalid_argument("--resume requires --checkpoint-dir");
+  }
+
   RunOptions options;
   options.stop = stop_text == "two-adjacent" ? StopKind::kTwoAdjacent
                                              : StopKind::kConsensus;
@@ -119,6 +204,8 @@ int cmd_run(const Args& args) {
       "max-steps", static_cast<std::uint64_t>(graph.num_vertices()) *
                        graph.num_vertices() * 1000);
   options.trace_stride = trace_stride;
+  // Both engines drain at a step boundary when SIGINT/SIGTERM arrives.
+  options.cancel = &CancelToken::global();
   warn_unused(args);
 
   std::cout << "graph: " << graph.summary() << "\n"
@@ -130,46 +217,99 @@ int cmd_run(const Args& args) {
     std::cout << "faults: " << fault_text << "\n";
   }
 
-  const auto batch = run_replicas_isolated<ReplicaRun>(
-      replicas,
-      [&](std::size_t replica, Rng& rng) {
-        OpinionState state(
-            graph, uniform_random_opinions(graph.num_vertices(), 1, k, rng));
-        auto process = make_process_from_spec(process_name, scheme, graph);
-        ReplicaRun out;
-        if (fault_spec.any()) {
-          const std::uint64_t fault_seed =
-              Rng::substream_seed(master_seed ^ 0xfa017ULL, replica);
-          auto faulty = std::make_unique<FaultyProcess>(
-              std::move(process),
-              materialize_fault_plan(fault_spec, graph.num_vertices(),
-                                     fault_seed, rng));
-          out.result = run_guarded(*faulty, state, rng, options);
-          out.dropped = faulty->dropped();
-          out.rollbacks = faulty->rollbacks();
-          out.corruptions = faulty->corruptions();
-          out.recoveries = faulty->recoveries();
-        } else if (jump) {
-          const JumpRunResult jump_result =
-              run_jump_guarded(*process, state, rng, options);
-          out.result = jump_result;
-          out.effective_steps = jump_result.effective_steps;
-        } else {
-          out.result = run_guarded(*process, state, rng, options);
-        }
-        return out;
-      },
-      {.master_seed = master_seed, .max_attempts = retries + 1});
+  const auto run_one = [&](std::size_t replica, Rng& rng) {
+    OpinionState state(
+        graph, uniform_random_opinions(graph.num_vertices(), 1, k, rng));
+    auto process = make_process_from_spec(process_name, scheme, graph);
+    ReplicaRun out;
+    if (fault_spec.any()) {
+      const std::uint64_t fault_seed =
+          Rng::substream_seed(master_seed ^ 0xfa017ULL, replica);
+      auto faulty = std::make_unique<FaultyProcess>(
+          std::move(process),
+          materialize_fault_plan(fault_spec, graph.num_vertices(),
+                                 fault_seed, rng));
+      out.result = run_guarded(*faulty, state, rng, options);
+      out.dropped = faulty->dropped();
+      out.rollbacks = faulty->rollbacks();
+      out.corruptions = faulty->corruptions();
+      out.recoveries = faulty->recoveries();
+    } else if (jump) {
+      const JumpRunResult jump_result =
+          run_jump_guarded(*process, state, rng, options);
+      out.result = jump_result;
+      out.effective_steps = jump_result.effective_steps;
+    } else {
+      out.result = run_guarded(*process, state, rng, options);
+    }
+    return out;
+  };
+
+  const MonteCarloOptions mc{.master_seed = master_seed,
+                             .num_threads = threads,
+                             .max_attempts = retries + 1,
+                             .cancel = &CancelToken::global()};
+
+  std::vector<std::optional<ReplicaRun>> results;
+  BatchReport report;
+  Trace replica0_trace;
+  bool campaign_cancelled = false;
+  if (checkpoint_dir.empty()) {
+    auto batch = run_replicas_isolated<ReplicaRun>(replicas, run_one, mc);
+    if (!batch.results.empty() && batch.results.front()) {
+      replica0_trace = batch.results.front()->result.trace;
+    }
+    results = std::move(batch.results);
+    report = std::move(batch.report);
+  } else {
+    // The meta fingerprint pins every knob that shapes per-replica results;
+    // resuming under a different configuration is refused.
+    std::ostringstream meta;
+    meta << "divsim-campaign 1\ngraph=" << args.get("graph", "complete:128")
+         << " k=" << k << " process=" << process_name
+         << " scheme=" << to_string(scheme) << " engine=" << engine
+         << " stop=" << to_string(options.stop)
+         << " max-steps=" << options.max_steps << " replicas=" << replicas
+         << " seed=" << master_seed << " fault=" << fault_text << "\n";
+    CampaignOptions campaign;
+    campaign.directory = checkpoint_dir;
+    campaign.flush_every = checkpoint_every;
+    campaign.resume = resume;
+    campaign.meta = meta.str();
+    campaign.mc = mc;
+    const CampaignResult outcome = run_campaign(
+        replicas,
+        [&](std::size_t replica, Rng& rng) -> std::optional<std::string> {
+          const ReplicaRun out = run_one(replica, rng);
+          if (out.result.status == RunStatus::kCancelled) {
+            return std::nullopt;  // unfinished: re-runs on resume
+          }
+          return encode_replica_run(out);
+        },
+        campaign);
+    results.resize(replicas);
+    for (std::size_t replica = 0; replica < replicas; ++replica) {
+      if (outcome.payloads[replica]) {
+        results[replica] = decode_replica_run(*outcome.payloads[replica]);
+      }
+    }
+    report = outcome.report;
+    campaign_cancelled = outcome.cancelled;
+    std::cout << "campaign: " << checkpoint_dir << " -- " << outcome.resumed
+              << " resumed from journal, " << outcome.ran
+              << " run this session\n";
+  }
 
   IntCounter winners;
   Summary steps;
   std::uint64_t capped = 0;
   std::uint64_t faulted = 0;
   std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
   ReplicaRun totals;
-  for (const auto& slot : batch.results) {
+  for (const auto& slot : results) {
     if (!slot) {
-      continue;  // reported below via batch.report
+      continue;  // reported below via the batch report / resume hint
     }
     const ReplicaRun& replica_run = *slot;
     totals.effective_steps += replica_run.effective_steps;
@@ -183,6 +323,9 @@ int cmd_run(const Args& args) {
         continue;
       case RunStatus::kCapped:
         ++capped;
+        continue;
+      case RunStatus::kCancelled:
+        ++cancelled;
         continue;
       case RunStatus::kCompleted:
         ++completed;
@@ -200,6 +343,9 @@ int cmd_run(const Args& args) {
   }
   if (faulted > 0) {
     std::cout << " (" << faulted << " faulted)";
+  }
+  if (cancelled > 0) {
+    std::cout << " (" << cancelled << " cancelled)";
   }
   std::cout << "; E[steps] = " << format_double(steps.mean(), 1) << " +- "
             << format_double(steps.ci95_halfwidth(), 1) << "\n";
@@ -220,23 +366,59 @@ int cmd_run(const Args& args) {
     }
     std::cout << "\n";
   }
-  if (!batch.report.ok()) {
-    std::cout << "replica errors (" << batch.report.errors.size() << ", after "
-              << batch.report.retries << " retries):\n";
-    for (const ReplicaError& error : batch.report.errors) {
+  if (!report.ok()) {
+    std::cout << "replica errors (" << report.errors.size() << ", after "
+              << report.retries << " retries):\n";
+    for (const ReplicaError& error : report.errors) {
       std::cout << "  replica " << error.replica << " failed " << error.attempts
                 << " attempt(s): " << error.message << "\n";
     }
   }
-  if (trace_stride > 0 && !batch.results.empty() && batch.results.front() &&
-      !batch.results.front()->result.trace.empty()) {
+  if (trace_stride > 0 && !replica0_trace.empty()) {
     std::cout << "trace of replica 0 (step, range, S):\n";
-    for (const TraceSample& sample : batch.results.front()->result.trace.samples()) {
+    for (const TraceSample& sample : replica0_trace.samples()) {
       std::cout << "  " << sample.step << "  [" << sample.min_active << ","
                 << sample.max_active << "]  " << sample.sum << "\n";
     }
   }
-  return batch.report.ok() ? 0 : 3;
+  if (campaign_cancelled || CancelToken::global().requested()) {
+    if (!checkpoint_dir.empty()) {
+      std::cout << "interrupted; finished replicas are journaled -- resume "
+                   "with: --checkpoint-dir "
+                << checkpoint_dir << " --resume\n";
+    } else {
+      std::cout << "interrupted; no --checkpoint-dir was given, so partial "
+                   "results are discarded\n";
+    }
+    return 130;  // 128 + SIGINT, the conventional interrupted-exit status
+  }
+  return report.ok() ? 0 : 3;
+}
+
+int cmd_journal(const Args& args) {
+  // Read-only inspection of a campaign checkpoint directory; records print
+  // sorted by replica id, so two campaigns that finished the same work
+  // compare equal regardless of completion order.
+  const std::string dir = args.get("dir", "");
+  if (dir.empty()) {
+    throw std::invalid_argument("journal: --dir <checkpoint-dir> is required");
+  }
+  warn_unused(args);
+  std::cout << "meta:\n" << read_file(dir + "/campaign.meta");
+  const JournalRecovery recovery = read_journal(dir + "/results.journal");
+  std::cout << "records: " << recovery.records.size() << " intact, "
+            << recovery.valid_bytes << "/" << recovery.total_bytes
+            << " bytes valid" << (recovery.torn() ? " (torn tail)" : "")
+            << "\n";
+  std::map<std::size_t, std::string> by_replica;
+  for (const std::string& record : recovery.records) {
+    const auto [replica, payload] = decode_campaign_record(record);
+    by_replica[replica] = payload;  // duplicates: last record wins
+  }
+  for (const auto& [replica, payload] : by_replica) {
+    std::cout << "replica " << replica << ": " << payload << "\n";
+  }
+  return recovery.torn() ? 4 : 0;
 }
 
 int cmd_spectral(const Args& args) {
@@ -510,17 +692,28 @@ int cmd_meanfield(const Args& args) {
   return 0;
 }
 
+// Async-signal-safe by construction: a relaxed store to a lock-free atomic.
+void handle_termination_signal(int) { CancelToken::global().request(); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     return usage();
   }
+  // Cooperative cancellation: Ctrl-C / SIGTERM drain in-flight work at a
+  // step boundary, flush the campaign journal, and exit 130 with a resume
+  // hint (SIGKILL still works; the journal's torn-tail recovery covers it).
+  std::signal(SIGINT, handle_termination_signal);
+  std::signal(SIGTERM, handle_termination_signal);
   const std::string command = argv[1];
   const Args args(argc - 1, argv + 1);
   try {
     if (command == "run") {
       return cmd_run(args);
+    }
+    if (command == "journal") {
+      return cmd_journal(args);
     }
     if (command == "spectral") {
       return cmd_spectral(args);
