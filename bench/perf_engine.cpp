@@ -20,6 +20,7 @@
 #include "graph/generators.hpp"
 #include "graph/random_graphs.hpp"
 #include "engine/jump_engine.hpp"
+#include "obs/run_metrics.hpp"
 #include "spectral/lambda.hpp"
 #include "spectral/power_iteration.hpp"
 
@@ -127,6 +128,44 @@ void BM_DivEdgeJumpRun(benchmark::State& state) {
                    SelectionScheme::kEdge, /*jump=*/true);
 }
 BENCHMARK(BM_DivEdgeJumpRun)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+// Telemetry ablation: the same jump whole-run workload with a RunMetrics
+// sink attached vs the default null observer.  The two must sit within
+// run-to-run noise of each other -- the instrumentation only fires on mode
+// switches, resyncs, and every activity_stride-th effective step, never in
+// the lazy-skip fast path.
+void run_to_consensus_metrics(benchmark::State& state, VertexId n,
+                              bool metrics_on) {
+  const Graph& g = shared_regular_graph(n);
+  Rng rng(99);
+  DivProcess process(g, SelectionScheme::kEdge);
+  RunOptions options;
+  options.max_steps = static_cast<std::uint64_t>(n) * n * 1000;
+  std::uint64_t scheduled = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    OpinionState opinions(g, uniform_random_opinions(n, 1, 8, rng));
+    RunMetrics metrics;
+    options.metrics = metrics_on ? &metrics : nullptr;
+    state.ResumeTiming();
+    scheduled += run_jump(process, opinions, rng, options).steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(scheduled));
+}
+
+void BM_DivEdgeJumpRunMetricsOff(benchmark::State& state) {
+  run_to_consensus_metrics(state, static_cast<VertexId>(state.range(0)),
+                           /*metrics_on=*/false);
+}
+BENCHMARK(BM_DivEdgeJumpRunMetricsOff)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DivEdgeJumpRunMetricsOn(benchmark::State& state) {
+  run_to_consensus_metrics(state, static_cast<VertexId>(state.range(0)),
+                           /*metrics_on=*/true);
+}
+BENCHMARK(BM_DivEdgeJumpRunMetricsOn)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
 void BM_PullVertexStep(benchmark::State& state) {

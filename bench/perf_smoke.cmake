@@ -1,15 +1,25 @@
-# Runs the naive-vs-jump smoke benchmark and archives the JSON both in the
-# build tree and at the source root, so the committed BENCH_jump.json always
+# Runs a perf_engine benchmark selection and archives the JSON both in the
+# build tree and at the source root, so the committed BENCH_*.json always
 # reflects the code that produced it.  Invoked as a CTest command:
 #
 #   cmake -DPERF_ENGINE=<perf_engine binary> -DBENCH_JSON=<build-tree json>
-#         -DARCHIVE_DIR=<source root> -P perf_smoke.cmake
+#         -DARCHIVE_DIR=<source root> [-DPERF_FILTER=<regex>]
+#         [-DPERF_REPETITIONS=<n>] -P perf_smoke.cmake
+if(NOT DEFINED PERF_FILTER)
+  set(PERF_FILTER "BM_Div(Vertex|Edge)(Naive|Jump)Run/1024")
+endif()
+set(PERF_ARGS
+  "--benchmark_filter=${PERF_FILTER}"
+  "--benchmark_min_time=0.05"
+  "--benchmark_out=${BENCH_JSON}"
+  "--benchmark_out_format=json")
+if(DEFINED PERF_REPETITIONS)
+  # Repetitions emit mean/median/stddev aggregates, so comparisons (e.g. the
+  # telemetry on/off ablation) carry their own noise band in the archive.
+  list(APPEND PERF_ARGS "--benchmark_repetitions=${PERF_REPETITIONS}")
+endif()
 execute_process(
-  COMMAND "${PERF_ENGINE}"
-    "--benchmark_filter=BM_Div(Vertex|Edge)(Naive|Jump)Run/1024"
-    "--benchmark_min_time=0.05"
-    "--benchmark_out=${BENCH_JSON}"
-    "--benchmark_out_format=json"
+  COMMAND "${PERF_ENGINE}" ${PERF_ARGS}
   RESULT_VARIABLE PERF_RC)
 if(NOT PERF_RC EQUAL 0)
   message(FATAL_ERROR "perf_engine smoke run failed with status ${PERF_RC}")

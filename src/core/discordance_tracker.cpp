@@ -14,6 +14,7 @@ DiscordanceTracker::DiscordanceTracker(const OpinionState& state,
   if (scheme_ == SelectionScheme::kVertex) {
     disc_.assign(n, 0);
     rebuild_counts();
+    rebuilds_ = 0;  // the constructor's initial build is not a resync
     return;
   }
 
@@ -45,9 +46,11 @@ DiscordanceTracker::DiscordanceTracker(const OpinionState& state,
     mirror_.resize(n);
   }
   rebuild_counts();
+  rebuilds_ = 0;  // the constructor's initial build is not a resync
 }
 
 void DiscordanceTracker::rebuild_counts() {
+  ++rebuilds_;
   const Graph& graph = state_->graph();
   const VertexId n = graph.num_vertices();
   if (scheme_ == SelectionScheme::kVertex) {

@@ -76,6 +76,10 @@ class DiscordanceTracker {
   // mode.
   void rebuild_counts();
 
+  // How many times rebuild_counts() has run (telemetry: each one is an
+  // O(n + m) resync the hybrid engine paid for a naive->jump re-entry).
+  std::uint64_t rebuilds() const { return rebuilds_; }
+
   // O(n + m) recomputation from scratch (test oracle / drift check).
   std::vector<std::uint32_t> recomputed_counts() const;
 
@@ -90,6 +94,7 @@ class DiscordanceTracker {
   SelectionScheme scheme_;
   std::vector<std::uint32_t> disc_;
   std::uint64_t total_pairs_ = 0;
+  std::uint64_t rebuilds_ = 0;
 
   // Vertex scheme only.
   DynamicWeightedSampler sampler_;

@@ -105,6 +105,12 @@ CampaignResult run_campaign(
   std::uint64_t unflushed = 0;
   const std::uint64_t flush_every = std::max<std::uint64_t>(1, options.flush_every);
 
+  if (options.mc.progress != nullptr) {
+    options.mc.progress->total.store(replicas, std::memory_order_relaxed);
+    options.mc.progress->resumed.store(result.resumed,
+                                       std::memory_order_relaxed);
+  }
+
   result.report = run_replica_set_isolated_erased(
       pending,
       [&](std::size_t replica, Rng& rng) {
@@ -118,6 +124,9 @@ CampaignResult run_campaign(
         writer.append(encode_campaign_record(replica, *payload));
         if (++unflushed >= flush_every) {
           writer.flush();
+          if (options.heartbeat != nullptr) {
+            options.heartbeat->beat("flush");
+          }
           unflushed = 0;
         }
         result.payloads[replica] = std::move(*payload);
@@ -125,11 +134,15 @@ CampaignResult run_campaign(
       },
       options.mc);
   writer.flush();
+  if (options.heartbeat != nullptr) {
+    options.heartbeat->beat("flush");
+  }
 
-  result.cancelled =
-      result.report.cancelled ||
-      (options.mc.cancel != nullptr && options.mc.cancel->requested() &&
-       !result.complete());
+  // The driver now reads cancellation straight off the token, so no
+  // workaround for the fires-after-last-claim race is needed here; just
+  // narrow it to "cancelled AND unfinished" (a complete campaign has
+  // nothing left to resume).
+  result.cancelled = result.report.cancelled && !result.complete();
   return result;
 }
 

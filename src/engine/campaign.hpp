@@ -50,6 +50,12 @@ struct CampaignOptions {
   // configuration would corrupt the merged results.
   std::string meta;
   MonteCarloOptions mc;
+  // Optional heartbeat: run_campaign() beats it with reason "flush" after
+  // every journal flush (including the final one), so the telemetry stream
+  // always carries a progress record at least as fresh as the last durable
+  // replica.  When mc.progress is also set, the driver seeds its `total`
+  // and `resumed` counters before any replica runs.  Null disables both.
+  Heartbeat* heartbeat = nullptr;
 };
 
 struct CampaignResult {
@@ -58,7 +64,11 @@ struct CampaignResult {
   std::vector<std::optional<std::string>> payloads;
   std::size_t resumed = 0;  // finished replicas loaded from the journal
   std::size_t ran = 0;      // replicas executed and journaled this session
-  bool cancelled = false;   // drained early; resume to finish the rest
+  // The cancel token fired AND work remains: resume to finish the rest.  A
+  // token that fires only after the final replica drained leaves the
+  // campaign complete, so there is nothing to cancel (report.cancelled still
+  // records that the token fired).
+  bool cancelled = false;
   BatchReport report;       // errors/retries among replicas run this session
   bool complete() const { return resumed + ran == payloads.size(); }
 };

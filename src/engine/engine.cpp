@@ -1,5 +1,6 @@
 #include "engine/engine.hpp"
 
+#include <chrono>
 #include <exception>
 
 namespace divlib {
@@ -13,6 +14,13 @@ void run_loop(Process& process, OpinionState& state, Rng& rng,
   process.begin_run(state);
   result.trace = Trace(options.trace_stride);
   result.trace.maybe_record(0, state);
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (options.metrics != nullptr) {
+    // The naive engine runs one all-scheduled segment; effective_steps stays
+    // 0 here (the jump engine is the only one that can tell lazy steps
+    // apart without paying for the discordance tracker).
+    options.metrics->record_mode_switch(0, /*jump_mode=*/false, 0.0, 0);
+  }
 
   bool satisfied = is_satisfied(options.stop, state);
   bool cancelled = false;
@@ -31,6 +39,14 @@ void run_loop(Process& process, OpinionState& state, Rng& rng,
   result.status = satisfied    ? RunStatus::kCompleted
                   : cancelled  ? RunStatus::kCancelled
                                : RunStatus::kCapped;
+  if (options.metrics != nullptr) {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+    options.metrics->scheduled_steps = result.steps;
+    options.metrics->wall_seconds_total = wall;
+    options.metrics->wall_seconds_naive = wall;
+  }
 }
 
 void finalize(const OpinionState& state, RunResult& result) {

@@ -20,6 +20,7 @@
 #include "core/process.hpp"
 #include "engine/stop_condition.hpp"
 #include "engine/trace.hpp"
+#include "obs/run_metrics.hpp"
 #include "rng/rng.hpp"
 
 namespace divlib {
@@ -36,6 +37,13 @@ struct RunOptions {
   // status == kCancelled with the state exactly as the last step left it,
   // so a checkpoint taken there resumes bit-identically.
   const CancelToken* cancel = nullptr;
+  // Optional trajectory telemetry; null disables instrumentation entirely
+  // (the engines never touch it then).  See obs/run_metrics.hpp for the
+  // determinism contract.  The naive engine fills scheduled_steps, a
+  // single naive timeline entry, and the wall-clock split; the jump engine
+  // additionally records mode switches, activity samples, skipped lazy
+  // steps, and tracker rebuilds.
+  RunMetrics* metrics = nullptr;
 };
 
 enum class RunStatus {

@@ -1,5 +1,6 @@
 #include "engine/jump_engine.hpp"
 
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 
@@ -23,6 +24,34 @@ void record_lazy_strides(Trace& trace, std::uint64_t from,
   for (std::uint64_t step = (from / stride + 1) * stride; step < to_exclusive;
        step += stride) {
     trace.record(step, state);
+  }
+}
+
+// Terminal-stretch variant of record_lazy_strides() for the frozen-state
+// and watchdog exits, where the remaining stretch runs all the way to the
+// step cap.  Replaying every stride point there materializes up to
+// (max_steps - steps) / stride copies of the SAME state -- with a default
+// 10^8 cap and stride 1 that is a multi-GiB allocation burst for zero
+// information.  Since the state never changes again, the first and last
+// crossed stride points summarize the stretch exactly; finalize() then
+// dedupes the final record if it coincides.  Mid-run stretches keep the
+// full replay so jump traces stay sample-for-sample aligned with naive
+// traces.
+void record_frozen_tail(Trace& trace, std::uint64_t from,
+                        std::uint64_t to_exclusive,
+                        const OpinionState& state) {
+  if (!trace.enabled()) {
+    return;
+  }
+  const std::uint64_t stride = trace.stride();
+  const std::uint64_t first = (from / stride + 1) * stride;
+  if (first >= to_exclusive) {
+    return;
+  }
+  trace.record(first, state);
+  const std::uint64_t last = ((to_exclusive - 1) / stride) * stride;
+  if (last > first) {
+    trace.record(last, state);
   }
 }
 
@@ -60,6 +89,26 @@ void run_jump_loop(Process& process, OpinionState& state, Rng& rng,
   bool jump_mode = true;
   std::uint64_t window_steps = 0;
   std::uint64_t window_effective = 0;
+
+  RunMetrics* metrics = options.metrics;
+  auto segment_start = std::chrono::steady_clock::now();
+  const auto wall_start = segment_start;
+  // Closes the current wall-clock segment into the matching mode bucket.
+  // Only called when metrics != nullptr.
+  const auto close_segment = [&](bool was_jump) {
+    const auto now = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(now - segment_start).count();
+    (was_jump ? metrics->wall_seconds_jump : metrics->wall_seconds_naive) +=
+        seconds;
+    segment_start = now;
+  };
+  if (metrics != nullptr) {
+    metrics->record_mode_switch(0, /*jump_mode=*/true,
+                                tracker.active_probability(),
+                                tracker.total_discordant_pairs());
+  }
+
   bool satisfied = is_satisfied(options.stop, state);
   bool cancelled = false;
   while (!satisfied && result.steps < options.max_steps) {
@@ -74,8 +123,12 @@ void run_jump_loop(Process& process, OpinionState& state, Rng& rng,
         // Every pair agrees (each component is internally unanimous) but the
         // stop condition does not hold: no future step can change anything,
         // which is exactly the naive loop idling to the cap.
-        record_lazy_strides(result.trace, result.steps, options.max_steps + 1,
-                            state);
+        record_frozen_tail(result.trace, result.steps, options.max_steps + 1,
+                           state);
+        if (metrics != nullptr) {
+          metrics->frozen_tail_steps += options.max_steps - result.steps;
+          metrics->lazy_steps_skipped += options.max_steps - result.steps;
+        }
         result.steps = options.max_steps;
         break;
       }
@@ -84,8 +137,12 @@ void run_jump_loop(Process& process, OpinionState& state, Rng& rng,
       if (skipped >= options.max_steps - result.steps) {
         // The next effective step falls beyond the budget: the watchdog
         // fires mid-lazy-stretch, with the state unchanged.
-        record_lazy_strides(result.trace, result.steps, options.max_steps + 1,
-                            state);
+        record_frozen_tail(result.trace, result.steps, options.max_steps + 1,
+                           state);
+        if (metrics != nullptr) {
+          metrics->frozen_tail_steps += options.max_steps - result.steps;
+          metrics->lazy_steps_skipped += options.max_steps - result.steps;
+        }
         result.steps = options.max_steps;
         break;
       }
@@ -99,6 +156,14 @@ void run_jump_loop(Process& process, OpinionState& state, Rng& rng,
                                   own, state.opinion(pair.observed)));
       tracker.apply_move(pair.updater, own);
       ++result.effective_steps;
+      if (metrics != nullptr) {
+        metrics->lazy_steps_skipped += skipped;
+        if (metrics->activity_stride > 0 &&
+            result.effective_steps % metrics->activity_stride == 0) {
+          metrics->record_activity(result.steps, tracker.active_probability(),
+                                   tracker.total_discordant_pairs());
+        }
+      }
       result.trace.maybe_record(result.steps, state);
       satisfied = is_satisfied(options.stop, state);
       if (!satisfied &&
@@ -107,6 +172,14 @@ void run_jump_loop(Process& process, OpinionState& state, Rng& rng,
         ++result.mode_switches;
         window_steps = 0;
         window_effective = 0;
+        if (metrics != nullptr) {
+          // The tracker is still fresh at a jump exit, so the switch entry
+          // carries the exact activity that triggered it.
+          metrics->record_mode_switch(result.steps, /*jump_mode=*/false,
+                                      tracker.active_probability(),
+                                      tracker.total_discordant_pairs());
+          close_segment(/*was_jump=*/true);
+        }
       }
     } else {
       // Naive mode: simulate the scheduled chain directly and leave the
@@ -130,6 +203,13 @@ void run_jump_loop(Process& process, OpinionState& state, Rng& rng,
           tracker.rebuild_counts();
           jump_mode = true;
           ++result.mode_switches;
+          if (metrics != nullptr) {
+            // rebuild_counts() just ran, so these values are exact again.
+            metrics->record_mode_switch(result.steps, /*jump_mode=*/true,
+                                        tracker.active_probability(),
+                                        tracker.total_discordant_pairs());
+            close_segment(/*was_jump=*/false);
+          }
         }
         window_steps = 0;
         window_effective = 0;
@@ -139,6 +219,16 @@ void run_jump_loop(Process& process, OpinionState& state, Rng& rng,
   result.status = satisfied    ? RunStatus::kCompleted
                   : cancelled  ? RunStatus::kCancelled
                                : RunStatus::kCapped;
+  if (metrics != nullptr) {
+    close_segment(jump_mode);
+    metrics->wall_seconds_total = std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() -
+                                      wall_start)
+                                      .count();
+    metrics->scheduled_steps = result.steps;
+    metrics->effective_steps = result.effective_steps;
+    metrics->tracker_rebuilds = tracker.rebuilds();
+  }
 }
 
 // Mirrors the naive engine's finalize(): aggregate snapshot + final trace

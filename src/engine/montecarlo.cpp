@@ -52,12 +52,21 @@ void run_replicas_erased(std::size_t replicas,
   // index order and every claimed task runs to completion before the pool is
   // joined, so the lowest-index error is always observed and wins -- the
   // rethrown exception is bit-identical across thread schedules.
+  //
+  // The stop signal is a SHARED flag, not a per-worker return: a worker that
+  // records an error used to exit its own loop while its siblings kept
+  // claiming every remaining replica, so one thread stopped after the first
+  // failure while N threads ran the whole batch -- abort semantics that
+  // depended on the worker count.  With the flag, no worker claims new work
+  // after any error is recorded, whatever the thread count (see the error
+  // contract in montecarlo.hpp).
+  std::atomic<bool> failed{false};
   std::exception_ptr lowest_error;
   std::size_t lowest_error_replica = 0;
   std::mutex error_mutex;
 
   const auto worker_loop = [&]() {
-    while (true) {
+    while (!failed.load(std::memory_order_acquire)) {
       const std::size_t replica = next.fetch_add(1, std::memory_order_relaxed);
       if (replica >= replicas) {
         return;
@@ -66,12 +75,14 @@ void run_replicas_erased(std::size_t replicas,
         Rng rng(Rng::substream_seed(options.master_seed, replica));
         task(replica, rng);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!lowest_error || replica < lowest_error_replica) {
-          lowest_error = std::current_exception();
-          lowest_error_replica = replica;
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!lowest_error || replica < lowest_error_replica) {
+            lowest_error = std::current_exception();
+            lowest_error_replica = replica;
+          }
         }
-        return;
+        failed.store(true, std::memory_order_release);
       }
     }
   };
@@ -121,6 +132,9 @@ BatchReport run_replica_set_isolated_erased(
       for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
         if (attempt > 0) {
           retries.fetch_add(1, std::memory_order_relaxed);
+          if (options.progress != nullptr) {
+            options.progress->retried.fetch_add(1, std::memory_order_relaxed);
+          }
         }
         try {
           Rng rng(Rng::retry_seed(options.master_seed, replica, attempt));
@@ -134,7 +148,13 @@ BatchReport run_replica_set_isolated_erased(
         }
       }
       attempted.fetch_add(1, std::memory_order_relaxed);
+      if (options.progress != nullptr) {
+        options.progress->completed.fetch_add(1, std::memory_order_relaxed);
+      }
       if (!succeeded) {
+        if (options.progress != nullptr) {
+          options.progress->errored.fetch_add(1, std::memory_order_relaxed);
+        }
         const std::lock_guard<std::mutex> lock(errors_mutex);
         errors.push_back({replica, max_attempts, last_message});
       }
@@ -150,7 +170,10 @@ BatchReport run_replica_set_isolated_erased(
   report.attempted = attempted.load();
   report.retries = retries.load();
   report.errors = std::move(errors);
-  report.cancelled = report.attempted < report.replicas;
+  // Read the token directly: inferring cancellation from attempted <
+  // replicas misreports a token that fires after the last slot is claimed
+  // (every replica still drains, yet the user DID cancel).
+  report.cancelled = options.cancel != nullptr && options.cancel->requested();
   return report;
 }
 

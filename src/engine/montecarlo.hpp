@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/cancel.hpp"
+#include "obs/heartbeat.hpp"
 #include "rng/rng.hpp"
 
 namespace divlib {
@@ -40,6 +41,12 @@ struct MonteCarloOptions {
   // cancelled = true.  Replicas already in flight drain normally -- pass the
   // same token through RunOptions::cancel to drain those at a step boundary.
   const CancelToken* cancel = nullptr;
+  // Optional live progress counters (isolated drivers only): the driver
+  // bumps completed/retried/errored as replicas reach verdicts, so a
+  // Heartbeat can report throughput while the batch runs.  The driver does
+  // NOT set `total` or `resumed` -- the caller knows the batch shape.  Null
+  // disables the updates entirely.
+  BatchProgress* progress = nullptr;
 };
 
 // Returns the worker count that `options` resolves to.
@@ -49,6 +56,15 @@ unsigned resolve_thread_count(const MonteCarloOptions& options);
 // [0, replicas), distributing replicas across threads.  If any task throws,
 // the exception from the lowest throwing replica index is rethrown in the
 // calling thread once all in-flight tasks have finished.
+//
+// Error contract (identical for every worker count): replicas are claimed in
+// increasing index order, and once any task has recorded an error NO worker
+// claims another replica -- in-flight tasks drain to their verdicts and the
+// pool stops.  Consequences: every replica below the lowest failing index F
+// always executes (it was claimed before F's error could be recorded); at
+// most workers - 1 already-claimed replicas above F also execute; with one
+// worker the executed set is exactly {0, ..., F}.  The rethrown exception is
+// always F's, bit-identical across thread schedules.
 void run_replicas_erased(std::size_t replicas,
                          const std::function<void(std::size_t, Rng&)>& task,
                          const MonteCarloOptions& options);
@@ -80,8 +96,12 @@ struct BatchReport {
   std::size_t attempted = 0;          // replicas that ran to a verdict
   std::uint64_t retries = 0;          // attempts beyond each replica's first
   std::vector<ReplicaError> errors;   // persistent failures, by replica index
-  // True when options.cancel fired and some replicas were never claimed;
-  // attempted < replicas exactly in that case.
+  // True exactly when options.cancel was set and had fired by the time the
+  // pool drained -- read directly from the token, NOT inferred from
+  // attempted < replicas.  (A token that fires after the last replica is
+  // claimed still reports cancelled = true with attempted == replicas; the
+  // old inference reported false there and callers could not tell a clean
+  // finish from a cancelled-but-complete one.)
   bool cancelled = false;
   bool ok() const { return errors.empty(); }
 };

@@ -1,0 +1,97 @@
+#include "obs/heartbeat.hpp"
+
+#include "obs/jsonl.hpp"
+
+namespace divlib {
+
+std::string HeartbeatRecord::to_json() const {
+  JsonObject object;
+  object.field("seq", seq)
+      .field("reason", reason)
+      .field("total", total)
+      .field("done", done)
+      .field("pending", pending)
+      .field("resumed", resumed)
+      .field("completed", completed)
+      .field("errored", errored)
+      .field("retried", retried)
+      .field("wall_elapsed_seconds", elapsed_seconds)
+      .field("wall_per_second", per_second)
+      .field("wall_eta_seconds", eta_seconds);
+  return object.str();
+}
+
+Heartbeat::Heartbeat(const BatchProgress& progress, Sink sink,
+                     std::chrono::milliseconds interval)
+    : progress_(&progress),
+      sink_(std::move(sink)),
+      interval_(interval),
+      start_(std::chrono::steady_clock::now()) {
+  if (interval_.count() > 0) {
+    thread_ = std::thread([this] { run(); });
+  }
+}
+
+Heartbeat::~Heartbeat() { stop(); }
+
+HeartbeatRecord Heartbeat::make_record(const std::string& reason) {
+  HeartbeatRecord record;
+  record.reason = reason;
+  record.total = progress_->total.load(std::memory_order_relaxed);
+  record.resumed = progress_->resumed.load(std::memory_order_relaxed);
+  record.completed = progress_->completed.load(std::memory_order_relaxed);
+  record.errored = progress_->errored.load(std::memory_order_relaxed);
+  record.retried = progress_->retried.load(std::memory_order_relaxed);
+  record.done = record.resumed + record.completed;
+  record.pending =
+      record.total > record.done ? record.total - record.done : 0;
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start_);
+  record.elapsed_seconds = elapsed.count();
+  if (record.elapsed_seconds > 0.0 && record.completed > 0) {
+    record.per_second =
+        static_cast<double>(record.completed) / record.elapsed_seconds;
+    record.eta_seconds =
+        static_cast<double>(record.pending) / record.per_second;
+  }
+  return record;
+}
+
+void Heartbeat::beat(const std::string& reason) {
+  const std::lock_guard<std::mutex> lock(emit_mutex_);
+  HeartbeatRecord record = make_record(reason);
+  record.seq = seq_++;
+  if (sink_) {
+    sink_(record);
+  }
+}
+
+void Heartbeat::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopped_) {
+      return;
+    }
+    stopping_ = true;
+    stopped_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  beat("final");
+}
+
+void Heartbeat::run() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(lock, interval_, [this] { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    beat("interval");
+    lock.lock();
+  }
+}
+
+}  // namespace divlib

@@ -1,0 +1,108 @@
+// Campaign heartbeat: live progress visibility for long Monte-Carlo batches.
+//
+// A BatchProgress is a block of lock-free counters the Monte-Carlo driver
+// updates as replicas reach verdicts (one relaxed increment per verdict --
+// negligible against a replica).  A Heartbeat owns an interval thread that
+// periodically snapshots those counters into a HeartbeatRecord -- replicas
+// done/pending/retried/errored, throughput, ETA -- and hands it to a sink
+// (JSONL emitter, stderr ticker, test probe).  beat() lets checkpoints force
+// an extra record at every journal flush, so the metrics file always carries
+// a progress line at least as fresh as the last durable replica.
+//
+// Heartbeat records are wall-clock artifacts (throughput, ETA, elapsed
+// time): they are inherently NON-reproducible and exist for operators, not
+// for analysis.  The deterministic counters they carry (done/errored/...)
+// are snapshots of the same totals the BatchReport returns at the end.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace divlib {
+
+// Shared between the Monte-Carlo driver (writers) and the heartbeat thread
+// (reader).  All counters are relaxed atomics: exact eventually, and each
+// individually consistent at any instant -- good enough for progress.
+struct BatchProgress {
+  std::atomic<std::uint64_t> total{0};      // replicas the batch will run
+  std::atomic<std::uint64_t> resumed{0};    // loaded from a journal (campaign)
+  std::atomic<std::uint64_t> completed{0};  // ran to a verdict this session
+  std::atomic<std::uint64_t> errored{0};    // persistent failures so far
+  std::atomic<std::uint64_t> retried{0};    // attempts beyond each first
+
+  std::uint64_t done() const {
+    return resumed.load(std::memory_order_relaxed) +
+           completed.load(std::memory_order_relaxed);
+  }
+};
+
+struct HeartbeatRecord {
+  std::uint64_t seq = 0;            // emission index (0-based)
+  std::string reason;               // "interval" | "flush" | "final"
+  std::uint64_t total = 0;
+  std::uint64_t done = 0;           // resumed + completed
+  std::uint64_t pending = 0;        // total - done
+  std::uint64_t resumed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errored = 0;
+  std::uint64_t retried = 0;
+  // Wall-clock (NON-reproducible): seconds since the heartbeat started,
+  // completed replicas per second this session, and the naive ETA pending /
+  // throughput (0 when unknown).
+  double elapsed_seconds = 0.0;
+  double per_second = 0.0;
+  double eta_seconds = 0.0;
+
+  // One flat JSON object, e.g. for a {"type":"heartbeat",...} JSONL record.
+  std::string to_json() const;
+};
+
+class Heartbeat {
+ public:
+  using Sink = std::function<void(const HeartbeatRecord&)>;
+
+  // Starts the interval thread when interval > 0; with interval == 0 only
+  // manual beat() calls emit.  The sink runs on the heartbeat thread and on
+  // beat() callers, serialized by an internal mutex -- it may write to
+  // shared emitters without extra locking.  `progress` must outlive this.
+  Heartbeat(const BatchProgress& progress, Sink sink,
+            std::chrono::milliseconds interval);
+  ~Heartbeat();  // stop() if still running
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  // Emits one record now with the given reason (e.g. "flush" after a
+  // journal fsync).  Thread-safe.
+  void beat(const std::string& reason);
+
+  // Stops the interval thread and emits a terminal "final" record.
+  // Idempotent.
+  void stop();
+
+ private:
+  void run();
+  HeartbeatRecord make_record(const std::string& reason);
+
+  const BatchProgress* progress_;
+  Sink sink_;
+  std::chrono::milliseconds interval_;
+  std::chrono::steady_clock::time_point start_;
+
+  std::mutex emit_mutex_;   // serializes sink calls + seq
+  std::uint64_t seq_ = 0;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace divlib

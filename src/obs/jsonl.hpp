@@ -1,0 +1,82 @@
+// Minimal JSON-object building and crash-tolerant JSON-lines emission.
+//
+// Telemetry records are flat JSON objects, one per line ("JSON lines"), so
+// any text tooling (jq, pandas, a shell loop) can consume a metrics file
+// without a schema registry.  The writer follows the io/ durability
+// conventions in spirit: every record is written as one complete line and
+// flushed before emit() returns, so a crashed or SIGKILLed run leaves a file
+// whose every *complete* line parses -- at most the final line is torn, and
+// line-oriented readers skip it naturally (the JSONL analogue of the
+// journal's torn-tail recovery).
+//
+// The builder is deliberately tiny: flat objects of scalar fields plus
+// pre-rendered nested values via raw_field().  That covers every telemetry
+// record this repo emits without dragging in a JSON library.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace divlib {
+
+// Escapes `text` for use inside a JSON string literal (quotes, backslashes,
+// and control characters; everything else passes through byte-for-byte).
+std::string json_escape(std::string_view text);
+
+// Renders a double the way JSON expects: finite values via shortest
+// round-trip formatting, NaN/Inf as null (JSON has no spelling for them).
+std::string json_double(double value);
+
+// Builds one flat JSON object, preserving field insertion order.
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value);
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, std::int64_t value);
+  JsonObject& field(std::string_view key, double value);
+  JsonObject& field(std::string_view key, bool value);
+  // Splices an already-rendered JSON value (array or object) verbatim.
+  JsonObject& raw_field(std::string_view key, std::string_view json);
+
+  // The rendered object, e.g. {"type":"run","replica":3}.
+  std::string str() const;
+
+ private:
+  JsonObject& raw(std::string_view key, std::string_view rendered);
+  std::string body_;  // comma-joined key:value pairs, no braces
+};
+
+// Thread-safe append-only JSON-lines file writer.  Each emit() writes one
+// newline-terminated line and fflushes, so concurrent workers' records never
+// interleave and a crash loses at most the line being written.
+class JsonlWriter {
+ public:
+  // Truncates/creates `path`.  Throws std::runtime_error when the file
+  // cannot be opened.
+  explicit JsonlWriter(const std::string& path);
+  ~JsonlWriter();  // flushes + fsyncs best-effort (destructors must not throw)
+
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  // Writes `json` as one line.  Throws std::runtime_error on I/O failure.
+  void emit(std::string_view json);
+
+  // fflush + fsync: everything emitted so far survives a crash.
+  void sync();
+
+  std::uint64_t lines_written() const { return lines_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::mutex mutex_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace divlib

@@ -1,0 +1,175 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+#include "obs/jsonl.hpp"
+
+namespace divlib {
+
+FixedHistogram::FixedHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("FixedHistogram: bounds must be non-empty");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "FixedHistogram: bounds must be strictly increasing");
+    }
+  }
+}
+
+void FixedHistogram::observe(double value) {
+  std::size_t bucket = bounds_.size();  // overflow unless a bound catches it
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS loop: contended adds may retry, but reporting-grade accuracy
+  // does not need a deterministic summation order.
+  double seen = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(seen, seen + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> FixedHistogram::geometric_bounds(double lo, double factor,
+                                                     std::size_t count) {
+  if (!(lo > 0.0) || !(factor > 1.0) || count == 0) {
+    throw std::invalid_argument(
+        "FixedHistogram::geometric_bounds: need lo > 0, factor > 1, count > 0");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = lo;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::string InstrumentSnapshot::to_json() const {
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      return std::to_string(count);
+    case InstrumentKind::kGauge:
+      return std::to_string(gauge);
+    case InstrumentKind::kHistogram: {
+      std::string buckets_json = "[";
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (i > 0) {
+          buckets_json.push_back(',');
+        }
+        buckets_json += std::to_string(buckets[i]);
+      }
+      buckets_json.push_back(']');
+      std::string bounds_json = "[";
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (i > 0) {
+          bounds_json.push_back(',');
+        }
+        bounds_json += json_double(bounds[i]);
+      }
+      bounds_json.push_back(']');
+      JsonObject object;
+      object.field("total", count)
+          .field("sum", sum)
+          .raw_field("bounds", bounds_json)
+          .raw_field("buckets", buckets_json);
+      return object.str();
+    }
+  }
+  return "null";
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(
+    std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const Entry* entry = find(name)) {
+    if (entry->kind != InstrumentKind::kCounter) {
+      throw std::logic_error("MetricsRegistry: '" + std::string(name) +
+                             "' is not a counter");
+    }
+    return counters_[entry->index];
+  }
+  entries_.push_back(
+      {std::string(name), InstrumentKind::kCounter, counters_.size()});
+  return counters_.emplace_back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const Entry* entry = find(name)) {
+    if (entry->kind != InstrumentKind::kGauge) {
+      throw std::logic_error("MetricsRegistry: '" + std::string(name) +
+                             "' is not a gauge");
+    }
+    return gauges_[entry->index];
+  }
+  entries_.push_back(
+      {std::string(name), InstrumentKind::kGauge, gauges_.size()});
+  return gauges_.emplace_back();
+}
+
+FixedHistogram& MetricsRegistry::histogram(std::string_view name,
+                                           std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const Entry* entry = find(name)) {
+    if (entry->kind != InstrumentKind::kHistogram) {
+      throw std::logic_error("MetricsRegistry: '" + std::string(name) +
+                             "' is not a histogram");
+    }
+    return histograms_[entry->index];
+  }
+  entries_.push_back(
+      {std::string(name), InstrumentKind::kHistogram, histograms_.size()});
+  return histograms_.emplace_back(std::move(bounds));
+}
+
+std::vector<InstrumentSnapshot> MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<InstrumentSnapshot> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    InstrumentSnapshot snap;
+    snap.name = entry.name;
+    snap.kind = entry.kind;
+    switch (entry.kind) {
+      case InstrumentKind::kCounter:
+        snap.count = counters_[entry.index].value();
+        break;
+      case InstrumentKind::kGauge:
+        snap.gauge = gauges_[entry.index].value();
+        break;
+      case InstrumentKind::kHistogram: {
+        const FixedHistogram& h = histograms_[entry.index];
+        snap.count = h.total();
+        snap.sum = h.sum();
+        snap.bounds = h.bounds();
+        snap.buckets.reserve(h.num_buckets());
+        for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+          snap.buckets.push_back(h.bucket_count(i));
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace divlib

@@ -1,0 +1,132 @@
+// Lock-free-read metrics primitives and a named registry.
+//
+// The simulation's hot paths (engine loops, Monte-Carlo workers) update
+// telemetry with relaxed atomic operations -- no locks, no syscalls -- and a
+// reporting thread (heartbeat, final summary) reads the same atomics without
+// stopping the workers.  Three primitives cover every quantity the repo
+// tracks:
+//
+//   * Counter    -- monotonic u64 (replicas completed, steps simulated, ...)
+//   * Gauge      -- last-written i64 (current pending count, active replicas)
+//   * FixedHistogram -- fixed-bucket distribution with caller-chosen upper
+//     bounds (completion-time and latency distributions; the paper's claims
+//     are about heavy tails, so the buckets are typically geometric).
+//
+// Registration takes a mutex; lookups of already-registered instruments are
+// also mutex-guarded but callers are expected to hold the returned reference
+// and update through it (the lock-free path).  Instruments live in deques so
+// references stay valid as the registry grows.
+//
+// Snapshots are value copies: snapshot() can run concurrently with updates
+// and sees each atomic at some point during the call (counters monotone, so
+// totals never go backwards between heartbeats).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace divlib {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+// implicit overflow bucket counts the rest.  Bounds are fixed at
+// construction so observe() is a branch-light scan plus one relaxed
+// increment -- safe to call from many threads at once.
+class FixedHistogram {
+ public:
+  // `bounds` must be non-empty and strictly increasing.
+  explicit FixedHistogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::size_t num_buckets() const { return counts_.size(); }  // bounds + overflow
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  // Sum of observed values (for mean reconstruction); stored as a counter of
+  // nanounits would lose range, so this is a relaxed double accumulation --
+  // adequate for reporting, not for exact statistics.
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  // Geometric bounds lo, lo*factor, ... (count of them), the natural scale
+  // for the heavy-tailed completion times the paper analyzes.
+  static std::vector<double> geometric_bounds(double lo, double factor,
+                                              std::size_t count);
+
+ private:
+  std::vector<double> bounds_;
+  std::deque<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+// One instrument's state, copied out of the registry for emission.
+struct InstrumentSnapshot {
+  std::string name;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  std::uint64_t count = 0;               // counter value / histogram total
+  std::int64_t gauge = 0;                // gauge value
+  double sum = 0.0;                      // histogram sum
+  std::vector<double> bounds;            // histogram bucket upper bounds
+  std::vector<std::uint64_t> buckets;    // histogram counts (incl. overflow)
+
+  // Rendered as a flat JSON value (number for counter/gauge, object for
+  // histograms), spliced into telemetry records via JsonObject::raw_field.
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  // Returns the instrument registered under `name`, creating it on first
+  // use.  Requesting an existing name with a different kind throws
+  // std::logic_error.  References remain valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  FixedHistogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  // Copies every instrument's current state, in registration order.
+  std::vector<InstrumentSnapshot> snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    InstrumentKind kind;
+    std::size_t index;  // into the kind's deque
+  };
+  const Entry* find(std::string_view name) const;
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<FixedHistogram> histograms_;
+};
+
+}  // namespace divlib

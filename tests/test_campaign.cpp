@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -158,6 +160,71 @@ TEST_F(CampaignTest, PresetCancelJournalsNothingAndResumeFinishes) {
       run_campaign(5, rng_payload_task, options(/*resume=*/true));
   EXPECT_TRUE(resumed.complete());
   EXPECT_EQ(resumed.ran, 5u);
+}
+
+// Regression for the fires-after-last-claim race: a token that fires while
+// the FINAL replica is in flight leaves the batch complete.  The driver
+// still reports that the token fired (report.cancelled), but the campaign
+// is finished -- there is nothing to resume -- so CampaignResult.cancelled
+// (documented as "resume to finish the rest") must be false.  The old
+// inference (attempted < replicas) combined with a campaign-side workaround
+// misclassified this case.
+TEST_F(CampaignTest, CancelDuringFinalReplicaLeavesCampaignComplete) {
+  CancelToken token;
+  CampaignOptions opts = options();
+  opts.mc.cancel = &token;
+  opts.mc.num_threads = 1;  // sequential claims: replica 4 is the last
+  const auto task = [&](std::size_t replica,
+                        Rng& rng) -> std::optional<std::string> {
+    if (replica == 4) {
+      token.request();  // fires after the last slot was claimed
+    }
+    return rng_payload_task(replica, rng);
+  };
+  const CampaignResult result = run_campaign(5, task, opts);
+  EXPECT_TRUE(result.report.cancelled);  // the token DID fire
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.ran, 5u);
+  EXPECT_FALSE(result.cancelled);  // nothing left to resume
+  EXPECT_EQ(read_journal(journal_path()).records.size(), 5u);
+}
+
+// The campaign beats an attached heartbeat at every journal flush, so the
+// telemetry stream is always at least as fresh as the last durable replica.
+TEST_F(CampaignTest, HeartbeatBeatsOnEveryJournalFlush) {
+  BatchProgress progress;
+  std::vector<HeartbeatRecord> records;
+  std::mutex records_mutex;
+  Heartbeat heartbeat(
+      progress,
+      [&](const HeartbeatRecord& record) {
+        const std::lock_guard<std::mutex> lock(records_mutex);
+        records.push_back(record);
+      },
+      std::chrono::milliseconds(0));  // manual beats only
+  CampaignOptions opts = options();
+  opts.flush_every = 2;
+  opts.heartbeat = &heartbeat;
+  opts.mc.progress = &progress;
+  const CampaignResult result = run_campaign(4, rng_payload_task, opts);
+  heartbeat.stop();
+  ASSERT_TRUE(result.complete());
+  // 4 records with flush_every=2: in-loop flushes after records 2 and 4,
+  // plus the unconditional end-of-batch flush, then stop()'s final.
+  std::size_t flush_beats = 0;
+  for (const HeartbeatRecord& record : records) {
+    if (record.reason == "flush") {
+      ++flush_beats;
+    }
+  }
+  EXPECT_EQ(flush_beats, 3u);
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.back().reason, "final");
+  EXPECT_EQ(records.back().total, 4u);
+  EXPECT_EQ(records.back().done, 4u);
+  // run_campaign seeded the progress totals before any replica ran.
+  EXPECT_EQ(progress.total.load(), 4u);
+  EXPECT_EQ(progress.completed.load(), 4u);
 }
 
 TEST_F(CampaignTest, NulloptTaskResultsAreNotJournaled) {

@@ -163,6 +163,34 @@ TEST(JumpEngine, FrozenDisconnectedComponentsCapImmediately) {
   EXPECT_EQ(result.effective_steps, 0u);
 }
 
+// Regression: the frozen-state and watchdog exits used to replay EVERY
+// stride point of the terminal lazy stretch into the trace -- with stride 1
+// and a 10^9-step cap that is a billion identical samples (a multi-GiB
+// allocation burst).  The terminal stretch now records only its first and
+// last stride points; a run that would have OOM'd stays within a handful of
+// samples.
+TEST(JumpEngine, FrozenTailTraceStaysTinyAtHugeStepCaps) {
+  const Graph graph(4, {{0, 1}, {2, 3}});
+  OpinionState state(graph, {1, 1, 2, 2});
+  DivProcess process(graph, SelectionScheme::kEdge);
+  Rng rng(4);
+  RunOptions options;
+  options.max_steps = 1'000'000'000;
+  options.trace_stride = 1;  // worst case: every step is a stride point
+  const JumpRunResult result = run_jump(process, state, rng, options);
+  EXPECT_EQ(result.status, RunStatus::kCapped);
+  EXPECT_EQ(result.steps, options.max_steps);
+  // step 0, the first frozen stride point (1), and the last (max_steps).
+  ASSERT_LE(result.trace.samples().size(), 4u);
+  EXPECT_EQ(result.trace.samples().front().step, 0u);
+  EXPECT_EQ(result.trace.samples().back().step, options.max_steps);
+  // Frozen replay preserves the state in every sample.
+  for (const TraceSample& sample : result.trace.samples()) {
+    EXPECT_EQ(sample.min_active, 1);
+    EXPECT_EQ(sample.max_active, 2);
+  }
+}
+
 TEST(JumpEngine, TraceSamplesLieOnTheScheduledStrideGrid) {
   Rng rng(5);
   const Graph graph = make_connected_random_regular(48, 4, rng);

@@ -4,9 +4,11 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 namespace divlib {
 namespace {
@@ -112,6 +114,81 @@ TEST(MonteCarlo, LowestReplicaExceptionWinsDeterministically) {
     }
     EXPECT_EQ(caught, "error from replica 9") << "round " << round;
   }
+}
+
+// Regression: a worker that recorded an error used to exit only its OWN
+// claim loop, so with one thread the batch stopped at the failure while with
+// N threads the surviving workers ran every remaining replica -- the
+// executed set depended on the worker count.  The shared stop flag makes all
+// workers stop claiming after the first recorded error.  The timing below
+// forms a deterministic wave: replicas 0..2 sleep ~250ms while replica 3
+// fails after ~10ms, so with 4 threads the flag is set long before any
+// worker frees up to claim replica 4 (even badly staggered thread startup
+// stays far inside the 250ms window); with 1 thread execution is sequential
+// 0, 1, 2, then 3 throws.  Both ways the executed set is exactly {0,1,2,3}.
+TEST(MonteCarlo, ErrorStopsNewClaimsForEveryThreadCount) {
+  for (const unsigned threads : {1u, 4u}) {
+    std::vector<std::atomic<int>> executed(32);
+    std::string caught;
+    try {
+      run_replicas_erased(
+          32,
+          [&](std::size_t replica, Rng&) {
+            ++executed[replica];
+            if (replica == 3) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(10));
+              throw std::runtime_error("error from replica 3");
+            }
+            if (replica < 3) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(250));
+            }
+          },
+          {.master_seed = 5, .num_threads = threads});
+      FAIL() << "expected a rethrow (threads=" << threads << ")";
+    } catch (const std::runtime_error& error) {
+      caught = error.what();
+    }
+    EXPECT_EQ(caught, "error from replica 3") << "threads " << threads;
+    for (std::size_t replica = 0; replica < executed.size(); ++replica) {
+      EXPECT_EQ(executed[replica].load(), replica <= 3 ? 1 : 0)
+          << "replica " << replica << " with " << threads << " thread(s)";
+    }
+  }
+}
+
+// Regression: cancelled used to be inferred as attempted < replicas, so a
+// token that fired between the last claim and the join reported
+// cancelled == false and the caller could not tell a clean finish from a
+// cancelled one.  The driver now reads the token directly.
+TEST(MonteCarlo, CancelAfterLastClaimStillReportsCancelled) {
+  CancelToken token;
+  MonteCarloOptions options;
+  options.num_threads = 2;
+  options.cancel = &token;
+  const BatchReport report = run_replicas_isolated_erased(
+      8,
+      [&](std::size_t replica, Rng&) {
+        if (replica == 7) {
+          // Fires while the LAST replica is in flight: every slot has been
+          // claimed, so attempted == replicas when the pool drains.
+          token.request();
+        }
+      },
+      options);
+  EXPECT_EQ(report.attempted, 8u);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.cancelled);
+}
+
+TEST(MonteCarlo, UnfiredTokenReportsNotCancelled) {
+  CancelToken token;
+  MonteCarloOptions options;
+  options.num_threads = 2;
+  options.cancel = &token;
+  const BatchReport report =
+      run_replicas_isolated_erased(8, [](std::size_t, Rng&) {}, options);
+  EXPECT_EQ(report.attempted, 8u);
+  EXPECT_FALSE(report.cancelled);
 }
 
 TEST(MonteCarlo, RetrySeedAttemptZeroMatchesSubstream) {

@@ -6,6 +6,7 @@
 //                   [--fault drop=0.3,crash=0.05@[0,1e6],byzantine=0.02]
 //                   [--retries N] [--threads N]
 //                   [--checkpoint-dir D [--checkpoint-every R] [--resume]]
+//                   [--metrics-out FILE] [--progress] [--heartbeat-ms N]
 //   divsim journal  --dir <checkpoint-dir>        (inspect a campaign)
 //   divsim spectral --graph <spec> [--seed 1] [--full]
 //   divsim graph    --graph <spec> [--seed 1] [--dot] [--analyze]
@@ -26,6 +27,7 @@
 // SIGINT/SIGTERM request cooperative cancellation: in-flight replicas drain
 // at a step boundary, the campaign journal (if any) is flushed, and divsim
 // exits with status 130 and a resume hint.
+#include <chrono>
 #include <csignal>
 #include <iostream>
 #include <map>
@@ -56,6 +58,10 @@
 #include "io/atomic_file.hpp"
 #include "io/journal.hpp"
 #include "io/table.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_metrics.hpp"
 #include "spectral/lambda.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
@@ -89,7 +95,15 @@ int usage() {
       "               (CRC-framed, fsync'd every --checkpoint-every records);\n"
       "               SIGINT/SIGTERM drain gracefully; --resume skips\n"
       "               journaled replicas and reproduces the uninterrupted\n"
-      "               results bit for bit\n";
+      "               results bit for bit\n"
+      "telemetry:     --metrics-out FILE streams JSON-lines telemetry (run\n"
+      "               only): a meta record, one record per finished replica\n"
+      "               with its mode-switch timeline, periodic heartbeat\n"
+      "               records (every --heartbeat-ms, default 1000; 0 turns\n"
+      "               the interval thread off) plus one at every journal\n"
+      "               flush, and a final summary; every complete line of a\n"
+      "               crashed run still parses.  --progress adds a live\n"
+      "               stderr ticker\n";
   return 2;
 }
 
@@ -196,6 +210,9 @@ int cmd_run(const Args& args) {
   if (resume && checkpoint_dir.empty()) {
     throw std::invalid_argument("--resume requires --checkpoint-dir");
   }
+  const std::string metrics_path = args.get("metrics-out", "");
+  const bool progress_ticker = args.flag("progress");
+  const std::uint64_t heartbeat_ms = args.get_u64("heartbeat-ms", 1000);
 
   RunOptions options;
   options.stop = stop_text == "two-adjacent" ? StopKind::kTwoAdjacent
@@ -217,10 +234,76 @@ int cmd_run(const Args& args) {
     std::cout << "faults: " << fault_text << "\n";
   }
 
+  // Telemetry plumbing.  The JSONL emitter, registry, and heartbeat are all
+  // safe to share across Monte-Carlo workers (mutex-guarded emit, relaxed
+  // atomics); a null emitter / false ticker disables each piece entirely.
+  std::unique_ptr<JsonlWriter> metrics_out;
+  if (!metrics_path.empty()) {
+    metrics_out = std::make_unique<JsonlWriter>(metrics_path);
+  }
+  const bool telemetry = metrics_out != nullptr || progress_ticker;
+  MetricsRegistry registry;
+  Counter& runs_completed = registry.counter("runs_completed");
+  Counter& runs_capped = registry.counter("runs_capped");
+  Counter& runs_faulted = registry.counter("runs_faulted");
+  Counter& runs_cancelled = registry.counter("runs_cancelled");
+  FixedHistogram& steps_hist = registry.histogram(
+      "scheduled_steps", FixedHistogram::geometric_bounds(1024.0, 4.0, 16));
+  BatchProgress progress;
+  progress.total.store(replicas, std::memory_order_relaxed);
+
+  if (metrics_out) {
+    JsonObject meta_record;
+    meta_record.field("type", "meta")
+        .field("graph", args.get("graph", "complete:128"))
+        .field("process", process_name)
+        .field("scheme", to_string(scheme))
+        .field("engine", engine)
+        .field("k", static_cast<std::uint64_t>(k))
+        .field("stop", to_string(options.stop))
+        .field("max_steps", options.max_steps)
+        .field("replicas", static_cast<std::uint64_t>(replicas))
+        .field("seed", master_seed)
+        .field("fault", fault_text);
+    metrics_out->emit(meta_record.str());
+  }
+
+  std::unique_ptr<Heartbeat> heartbeat;
+  if (telemetry) {
+    heartbeat = std::make_unique<Heartbeat>(
+        progress,
+        [&](const HeartbeatRecord& record) {
+          if (metrics_out) {
+            JsonObject line;
+            line.field("type", "heartbeat")
+                .raw_field("progress", record.to_json());
+            metrics_out->emit(line.str());
+          }
+          if (progress_ticker) {
+            std::cerr << "\rprogress: " << record.done << "/" << record.total
+                      << " replicas, " << record.errored << " errored, "
+                      << record.retried << " retried, "
+                      << format_double(record.per_second, 1) << "/s, eta "
+                      << format_double(record.eta_seconds, 0) << "s   ";
+            if (record.reason == "final") {
+              std::cerr << "\n";
+            }
+          }
+        },
+        std::chrono::milliseconds(heartbeat_ms));
+  }
+
   const auto run_one = [&](std::size_t replica, Rng& rng) {
     OpinionState state(
         graph, uniform_random_opinions(graph.num_vertices(), 1, k, rng));
     auto process = make_process_from_spec(process_name, scheme, graph);
+    // Per-replica trajectory telemetry lands in a local RunMetrics so
+    // concurrent replicas never share one (RunOptions itself is shared).
+    RunOptions replica_options = options;
+    RunMetrics metrics;
+    if (metrics_out) {
+      replica_options.metrics = &metrics;
+    }
     ReplicaRun out;
     if (fault_spec.any()) {
       const std::uint64_t fault_seed =
@@ -229,18 +312,40 @@ int cmd_run(const Args& args) {
           std::move(process),
           materialize_fault_plan(fault_spec, graph.num_vertices(),
                                  fault_seed, rng));
-      out.result = run_guarded(*faulty, state, rng, options);
+      out.result = run_guarded(*faulty, state, rng, replica_options);
       out.dropped = faulty->dropped();
       out.rollbacks = faulty->rollbacks();
       out.corruptions = faulty->corruptions();
       out.recoveries = faulty->recoveries();
     } else if (jump) {
       const JumpRunResult jump_result =
-          run_jump_guarded(*process, state, rng, options);
+          run_jump_guarded(*process, state, rng, replica_options);
       out.result = jump_result;
       out.effective_steps = jump_result.effective_steps;
     } else {
-      out.result = run_guarded(*process, state, rng, options);
+      out.result = run_guarded(*process, state, rng, replica_options);
+    }
+    if (telemetry) {
+      switch (out.result.status) {
+        case RunStatus::kCompleted: runs_completed.add(); break;
+        case RunStatus::kCapped:    runs_capped.add(); break;
+        case RunStatus::kFaulted:   runs_faulted.add(); break;
+        case RunStatus::kCancelled: runs_cancelled.add(); break;
+      }
+      steps_hist.observe(static_cast<double>(out.result.steps));
+    }
+    if (metrics_out) {
+      // Completion order across workers is nondeterministic, so records are
+      // keyed by replica id; a retried replica emits one record per attempt
+      // and readers keep the last.
+      JsonObject line;
+      line.field("type", "run")
+          .field("replica", static_cast<std::uint64_t>(replica))
+          .field("status", to_string(out.result.status))
+          .field("steps", out.result.steps)
+          .field("effective_steps", out.effective_steps)
+          .raw_field("metrics", metrics.to_json());
+      metrics_out->emit(line.str());
     }
     return out;
   };
@@ -248,7 +353,8 @@ int cmd_run(const Args& args) {
   const MonteCarloOptions mc{.master_seed = master_seed,
                              .num_threads = threads,
                              .max_attempts = retries + 1,
-                             .cancel = &CancelToken::global()};
+                             .cancel = &CancelToken::global(),
+                             .progress = telemetry ? &progress : nullptr};
 
   std::vector<std::optional<ReplicaRun>> results;
   BatchReport report;
@@ -277,6 +383,7 @@ int cmd_run(const Args& args) {
     campaign.resume = resume;
     campaign.meta = meta.str();
     campaign.mc = mc;
+    campaign.heartbeat = heartbeat.get();
     const CampaignResult outcome = run_campaign(
         replicas,
         [&](std::size_t replica, Rng& rng) -> std::optional<std::string> {
@@ -298,6 +405,34 @@ int cmd_run(const Args& args) {
     std::cout << "campaign: " << checkpoint_dir << " -- " << outcome.resumed
               << " resumed from journal, " << outcome.ran
               << " run this session\n";
+  }
+
+  if (heartbeat) {
+    heartbeat->stop();  // joins the interval thread, emits the final record
+  }
+  if (metrics_out) {
+    std::string instruments = "{";
+    bool first = true;
+    for (const InstrumentSnapshot& snap : registry.snapshot()) {
+      if (!first) {
+        instruments.push_back(',');
+      }
+      first = false;
+      instruments += "\"" + json_escape(snap.name) + "\":" + snap.to_json();
+    }
+    instruments.push_back('}');
+    JsonObject line;
+    line.field("type", "summary")
+        .field("replicas", static_cast<std::uint64_t>(replicas))
+        .field("attempted", static_cast<std::uint64_t>(report.attempted))
+        .field("retries", report.retries)
+        .field("errors", static_cast<std::uint64_t>(report.errors.size()))
+        .field("cancelled", report.cancelled)
+        .raw_field("instruments", instruments);
+    metrics_out->emit(line.str());
+    metrics_out->sync();
+    std::cout << "metrics: " << metrics_out->path() << " ("
+              << metrics_out->lines_written() << " records)\n";
   }
 
   IntCounter winners;
