@@ -6,8 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "core/best_of_two.hpp"
 #include "core/div_process.hpp"
@@ -20,6 +25,8 @@
 #include "graph/generators.hpp"
 #include "graph/random_graphs.hpp"
 #include "engine/jump_engine.hpp"
+#include "engine/montecarlo.hpp"
+#include "engine/supervisor.hpp"
 #include "obs/run_metrics.hpp"
 #include "spectral/lambda.hpp"
 #include "spectral/power_iteration.hpp"
@@ -167,6 +174,77 @@ void BM_DivEdgeJumpRunMetricsOn(benchmark::State& state) {
 }
 BENCHMARK(BM_DivEdgeJumpRunMetricsOn)->Arg(1024)
     ->Unit(benchmark::kMillisecond);
+
+// Supervisor overhead ablation: the same 32-replica DIV batch through the
+// plain isolated driver vs run_supervised_set with its policies armed but
+// never firing (hour-scale deadline, speculation threshold far beyond any
+// real attempt).  Measures the full supervision tax -- lease tokens, the
+// 5ms monitor poll, the ready-queue, median bookkeeping -- which must stay
+// within run-to-run noise of the unsupervised driver.
+constexpr std::size_t kSupervisorBatchReplicas = 32;
+
+std::uint64_t replica_consensus_steps(const Graph& g, VertexId n, Rng& rng,
+                                      const CancelToken* cancel) {
+  OpinionState opinions(g, uniform_random_opinions(n, 1, 8, rng));
+  DivProcess process(g, SelectionScheme::kEdge);
+  RunOptions options;
+  options.max_steps = static_cast<std::uint64_t>(n) * n * 1000;
+  options.cancel = cancel;
+  return run(process, opinions, rng, options).steps;
+}
+
+void run_supervisor_batch(benchmark::State& state, bool supervised) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const Graph& g = shared_regular_graph(n);
+  std::vector<std::size_t> ids(kSupervisorBatchReplicas);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = i;
+  }
+  std::atomic<std::uint64_t> total_steps{0};
+  for (auto _ : state) {
+    if (supervised) {
+      SupervisorOptions options;
+      options.master_seed = 0xbe7c;
+      options.num_threads = 4;
+      options.deadline = std::chrono::milliseconds(3'600'000);
+      options.straggler_factor = 1e6;
+      const SupervisorReport report = run_supervised_set(
+          ids,
+          [&](std::size_t, Rng& rng, const CancelToken& cancel) {
+            return std::optional<std::string>(
+                std::to_string(replica_consensus_steps(g, n, rng, &cancel)));
+          },
+          [&](std::size_t, std::string&& payload) {
+            total_steps.fetch_add(std::stoull(payload),
+                                  std::memory_order_relaxed);
+          },
+          options);
+      benchmark::DoNotOptimize(report.succeeded);
+    } else {
+      const MonteCarloOptions options{.master_seed = 0xbe7c,
+                                      .num_threads = 4};
+      run_replica_set_isolated_erased(
+          ids,
+          [&](std::size_t, Rng& rng) {
+            total_steps.fetch_add(replica_consensus_steps(g, n, rng, nullptr),
+                                  std::memory_order_relaxed);
+          },
+          options);
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(total_steps.load(std::memory_order_relaxed)));
+}
+
+void BM_SupervisorOffBatch(benchmark::State& state) {
+  run_supervisor_batch(state, /*supervised=*/false);
+}
+BENCHMARK(BM_SupervisorOffBatch)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SupervisorOnBatch(benchmark::State& state) {
+  run_supervisor_batch(state, /*supervised=*/true);
+}
+BENCHMARK(BM_SupervisorOnBatch)->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_PullVertexStep(benchmark::State& state) {
   run_steps(state, static_cast<VertexId>(state.range(0)), [](const Graph& g) {

@@ -2,6 +2,20 @@
 
 namespace divlib {
 
+const char* to_string(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kUser:
+      return "user";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kSuperseded:
+      return "superseded";
+  }
+  return "unknown";
+}
+
 CancelToken& CancelToken::global() noexcept {
   static CancelToken token;
   return token;

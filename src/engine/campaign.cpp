@@ -2,7 +2,9 @@
 
 #include <charconv>
 #include <filesystem>
+#include <map>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 
 #include "io/atomic_file.hpp"
@@ -11,6 +13,105 @@
 namespace divlib {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kQuarantinePrefix = "quarantine ";
+
+struct CampaignPaths {
+  std::string meta;
+  std::string journal;
+};
+
+CampaignPaths campaign_paths(const CampaignOptions& options) {
+  if (options.directory.empty()) {
+    throw std::runtime_error("run_campaign: checkpoint directory is required");
+  }
+  fs::create_directories(options.directory);
+  return {(fs::path(options.directory) / "campaign.meta").string(),
+          (fs::path(options.directory) / "results.journal").string()};
+}
+
+// Opens or validates the campaign directory shared by both drivers: meta
+// fingerprint check, torn-tail recovery, and record loading.  Fills
+// `payloads` from payload records and -- when `quarantined` is non-null --
+// collects quarantine records keyed by replica id; a null `quarantined`
+// (the unsupervised driver) refuses a journal that holds any, because
+// silently re-running a quarantined replica could hang or poison the run.
+// Returns the number of payload records loaded (the resume count).
+std::size_t load_campaign_state(
+    const CampaignOptions& options, std::size_t replicas,
+    const CampaignPaths& paths,
+    std::vector<std::optional<std::string>>& payloads,
+    std::map<std::size_t, QuarantineRecord>* quarantined) {
+  std::size_t resumed = 0;
+  if (!fs::exists(paths.journal)) {
+    atomic_write_file(paths.meta, options.meta);
+    return resumed;
+  }
+  if (!options.resume) {
+    throw std::runtime_error(
+        "run_campaign: '" + options.directory +
+        "' already holds a campaign journal; pass resume to continue it or "
+        "use a fresh directory");
+  }
+  // The meta file is written atomically before the journal is created, so
+  // a journal without meta means foreign or manually-damaged state.
+  if (!fs::exists(paths.meta)) {
+    throw std::runtime_error("run_campaign: journal present but '" +
+                             paths.meta + "' is missing");
+  }
+  const std::string stored_meta = read_file(paths.meta);
+  if (stored_meta != options.meta) {
+    throw std::runtime_error(
+        "run_campaign: configuration mismatch with the checkpoint "
+        "directory\n  stored:  " +
+        stored_meta + "\n  current: " + options.meta);
+  }
+  // A torn final record is the expected SIGKILL artifact: recover the
+  // valid prefix and truncate so the writer appends after it.
+  const JournalRecovery recovery = recover_journal(paths.journal);
+  for (const std::string& record : recovery.records) {
+    if (is_quarantine_record(record)) {
+      if (quarantined == nullptr) {
+        throw std::runtime_error(
+            "run_campaign: the journal holds quarantine records (a "
+            "supervised campaign excluded poison replicas); resume with "
+            "supervision enabled so they stay excluded");
+      }
+      QuarantineRecord entry = decode_quarantine_record(record);
+      if (entry.replica >= replicas) {
+        throw std::runtime_error(
+            "run_campaign: journal quarantines replica " +
+            std::to_string(entry.replica) + " but the campaign has only " +
+            std::to_string(replicas));
+      }
+      (*quarantined)[entry.replica] = std::move(entry);
+      continue;
+    }
+    const auto [replica, payload] = decode_campaign_record(record);
+    if (replica >= replicas) {
+      throw std::runtime_error(
+          "run_campaign: journal names replica " + std::to_string(replica) +
+          " but the campaign has only " + std::to_string(replicas));
+    }
+    if (!payloads[replica].has_value()) {
+      ++resumed;
+    }
+    payloads[replica] = payload;  // duplicates: last record wins
+  }
+  if (quarantined != nullptr) {
+    // A replica with both a payload and a quarantine record (a crash between
+    // the two appends) counts as finished: the payload is the ground truth.
+    for (auto it = quarantined->begin(); it != quarantined->end();) {
+      it = payloads[it->first].has_value() ? quarantined->erase(it)
+                                           : std::next(it);
+    }
+  }
+  return resumed;
+}
+
+}  // namespace
 
 std::string encode_campaign_record(std::size_t replica,
                                    std::string_view payload) {
@@ -37,60 +138,65 @@ std::pair<std::size_t, std::string> decode_campaign_record(
   return {replica, std::string(record.substr(space + 1))};
 }
 
+const char* to_string(CampaignStatus status) {
+  switch (status) {
+    case CampaignStatus::kComplete:
+      return "complete";
+    case CampaignStatus::kDegraded:
+      return "degraded";
+    case CampaignStatus::kFailed:
+      return "failed";
+    case CampaignStatus::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string encode_quarantine_record(const QuarantineRecord& record) {
+  std::string out(kQuarantinePrefix);
+  out += std::to_string(record.replica);
+  out.push_back(' ');
+  out += to_string(record.failure);
+  out.push_back(' ');
+  out += std::to_string(record.attempts);
+  if (!record.message.empty()) {
+    out.push_back(' ');
+    out += record.message;
+  }
+  return out;
+}
+
+bool is_quarantine_record(std::string_view record) {
+  return record.starts_with(kQuarantinePrefix);
+}
+
+QuarantineRecord decode_quarantine_record(std::string_view record) {
+  if (!is_quarantine_record(record)) {
+    throw std::invalid_argument(
+        "decode_quarantine_record: missing 'quarantine' prefix in '" +
+        std::string(record) + "'");
+  }
+  std::istringstream in{std::string(record.substr(kQuarantinePrefix.size()))};
+  QuarantineRecord out;
+  std::string failure;
+  if (!(in >> out.replica >> failure >> out.attempts)) {
+    throw std::invalid_argument("malformed quarantine record: '" +
+                                std::string(record) + "'");
+  }
+  out.failure = parse_failure_class(failure);
+  std::getline(in >> std::ws, out.message);
+  return out;
+}
+
 CampaignResult run_campaign(
     std::size_t replicas,
     const std::function<std::optional<std::string>(std::size_t, Rng&)>& task,
     const CampaignOptions& options) {
-  if (options.directory.empty()) {
-    throw std::runtime_error("run_campaign: checkpoint directory is required");
-  }
-  fs::create_directories(options.directory);
-  const std::string meta_path =
-      (fs::path(options.directory) / "campaign.meta").string();
-  const std::string journal_path =
-      (fs::path(options.directory) / "results.journal").string();
-
+  const CampaignPaths paths = campaign_paths(options);
   CampaignResult result;
   result.payloads.resize(replicas);
-
-  if (fs::exists(journal_path)) {
-    if (!options.resume) {
-      throw std::runtime_error(
-          "run_campaign: '" + options.directory +
-          "' already holds a campaign journal; pass resume to continue it or "
-          "use a fresh directory");
-    }
-    // The meta file is written atomically before the journal is created, so
-    // a journal without meta means foreign or manually-damaged state.
-    if (!fs::exists(meta_path)) {
-      throw std::runtime_error("run_campaign: journal present but '" +
-                               meta_path + "' is missing");
-    }
-    const std::string stored_meta = read_file(meta_path);
-    if (stored_meta != options.meta) {
-      throw std::runtime_error(
-          "run_campaign: configuration mismatch with the checkpoint "
-          "directory\n  stored:  " +
-          stored_meta + "\n  current: " + options.meta);
-    }
-    // A torn final record is the expected SIGKILL artifact: recover the
-    // valid prefix and truncate so the writer appends after it.
-    const JournalRecovery recovery = recover_journal(journal_path);
-    for (const std::string& record : recovery.records) {
-      const auto [replica, payload] = decode_campaign_record(record);
-      if (replica >= replicas) {
-        throw std::runtime_error(
-            "run_campaign: journal names replica " + std::to_string(replica) +
-            " but the campaign has only " + std::to_string(replicas));
-      }
-      if (!result.payloads[replica].has_value()) {
-        ++result.resumed;
-      }
-      result.payloads[replica] = payload;  // duplicates: last record wins
-    }
-  } else {
-    atomic_write_file(meta_path, options.meta);
-  }
+  result.resumed = load_campaign_state(options, replicas, paths,
+                                       result.payloads, nullptr);
 
   std::vector<std::size_t> pending;
   pending.reserve(replicas - result.resumed);
@@ -100,7 +206,7 @@ CampaignResult run_campaign(
     }
   }
 
-  JournalWriter writer(journal_path);
+  JournalWriter writer(paths.journal);
   std::mutex journal_mutex;
   std::uint64_t unflushed = 0;
   const std::uint64_t flush_every = std::max<std::uint64_t>(1, options.flush_every);
@@ -143,6 +249,110 @@ CampaignResult run_campaign(
   // narrow it to "cancelled AND unfinished" (a complete campaign has
   // nothing left to resume).
   result.cancelled = result.report.cancelled && !result.complete();
+  return result;
+}
+
+SupervisedCampaignResult run_supervised_campaign(
+    std::size_t replicas, const SupervisedTask& task,
+    const CampaignOptions& options, const SupervisorOptions& supervision) {
+  const CampaignPaths paths = campaign_paths(options);
+  SupervisedCampaignResult result;
+  result.payloads.resize(replicas);
+  std::map<std::size_t, QuarantineRecord> quarantined;
+  result.resumed = load_campaign_state(options, replicas, paths,
+                                       result.payloads, &quarantined);
+
+  // Pending = not journaled AND not quarantined: the supervised resume's
+  // whole point is that poison replicas stay excluded.
+  std::vector<std::size_t> pending;
+  for (std::size_t replica = 0; replica < replicas; ++replica) {
+    if (!result.payloads[replica].has_value() &&
+        quarantined.find(replica) == quarantined.end()) {
+      pending.push_back(replica);
+    }
+  }
+
+  JournalWriter writer(paths.journal);
+  std::mutex journal_mutex;
+  std::uint64_t unflushed = 0;
+  const std::uint64_t flush_every =
+      std::max<std::uint64_t>(1, options.flush_every);
+
+  if (supervision.progress != nullptr) {
+    supervision.progress->total.store(replicas, std::memory_order_relaxed);
+    // Journal-quarantined replicas count as "resumed" work: they are done
+    // in the only sense that matters for progress -- never run again.
+    supervision.progress->resumed.store(result.resumed + quarantined.size(),
+                                        std::memory_order_relaxed);
+  }
+
+  // Wrap the caller's event sink so quarantines hit the journal the moment
+  // they are decided (flushed immediately: they are rare and load-bearing).
+  // Events arrive under the supervisor's lock, so the lock order here --
+  // supervisor lock, then journal mutex -- matches on_success below.
+  SupervisorOptions supervised = supervision;
+  supervised.on_event = [&](const SupervisionEvent& event) {
+    if (event.kind == SupervisionEvent::Kind::kQuarantine) {
+      const std::lock_guard<std::mutex> lock(journal_mutex);
+      writer.append(encode_quarantine_record(
+          {event.replica, event.attempt, event.failure, event.detail}));
+      writer.flush();
+      if (options.heartbeat != nullptr) {
+        options.heartbeat->beat("flush");
+      }
+    }
+    if (supervision.on_event) {
+      supervision.on_event(event);
+    }
+  };
+
+  result.report = run_supervised_set(
+      pending, task,
+      [&](std::size_t replica, std::string&& payload) {
+        const std::lock_guard<std::mutex> lock(journal_mutex);
+        writer.append(encode_campaign_record(replica, payload));
+        if (++unflushed >= flush_every) {
+          writer.flush();
+          if (options.heartbeat != nullptr) {
+            options.heartbeat->beat("flush");
+          }
+          unflushed = 0;
+        }
+        result.payloads[replica] = std::move(payload);
+        ++result.ran;
+      },
+      supervised);
+  writer.flush();
+  if (options.heartbeat != nullptr) {
+    options.heartbeat->beat("flush");
+  }
+
+  for (const QuarantineRecord& record : result.report.quarantined) {
+    quarantined[record.replica] = record;
+  }
+  result.quarantined.reserve(quarantined.size());
+  for (auto& [replica, record] : quarantined) {
+    result.quarantined.push_back(std::move(record));
+  }
+
+  const std::size_t have = result.resumed + result.ran;
+  const bool all_accounted =
+      have + result.quarantined.size() == replicas;
+  const double fraction =
+      replicas == 0
+          ? 1.0
+          : static_cast<double>(have) / static_cast<double>(replicas);
+  if (!all_accounted) {
+    // Unfinished work remains; the supervisor only leaves work unfinished
+    // when draining on operator cancel.
+    result.status = CampaignStatus::kCancelled;
+  } else if (result.quarantined.empty()) {
+    result.status = CampaignStatus::kComplete;
+  } else if (fraction >= supervision.min_success_fraction) {
+    result.status = CampaignStatus::kDegraded;
+  } else {
+    result.status = CampaignStatus::kFailed;
+  }
   return result;
 }
 

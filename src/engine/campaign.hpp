@@ -23,6 +23,14 @@
 // claiming replicas and in-flight ones drain (pass the same token through
 // RunOptions::cancel so they drain at a step boundary); a drained replica
 // whose task returns nullopt is NOT journaled and re-runs on resume.
+// A SUPERVISED campaign (run_supervised_campaign) adds the policy layer from
+// engine/supervisor.hpp on top of the same directory format: poison replicas
+// that exhaust their attempt budget are written as quarantine records
+// ("quarantine <id> <class> <attempts> <message>") so a resume SKIPS them
+// instead of re-poisoning the run, and the campaign completes in a graded
+// CampaignStatus -- kDegraded when the success quorum holds, kFailed when it
+// does not.  Unsupervised resumes refuse a journal holding quarantine
+// records (silently re-running a quarantined replica could hang forever).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +40,7 @@
 #include <vector>
 
 #include "engine/montecarlo.hpp"
+#include "engine/supervisor.hpp"
 
 namespace divlib {
 
@@ -91,5 +100,49 @@ std::string encode_campaign_record(std::size_t replica,
 // Throws std::invalid_argument on a malformed record.
 std::pair<std::size_t, std::string> decode_campaign_record(
     std::string_view record);
+
+// How a supervised campaign ended.
+enum class CampaignStatus {
+  kComplete,   // every replica has a journaled payload
+  kDegraded,   // quarantines exist but success_fraction meets the quorum
+  kFailed,     // quarantines pushed success below min_success_fraction
+  kCancelled,  // operator cancel left resumable (non-quarantined) work
+};
+
+const char* to_string(CampaignStatus status);
+
+// Quarantine journal records.  They share the results.journal framing but
+// carry a non-numeric "quarantine" prefix, so pre-supervision readers fail
+// loudly (decode_campaign_record throws) instead of misreading one as a
+// payload.
+std::string encode_quarantine_record(const QuarantineRecord& record);
+bool is_quarantine_record(std::string_view record);
+// Throws std::invalid_argument on a malformed record.
+QuarantineRecord decode_quarantine_record(std::string_view record);
+
+struct SupervisedCampaignResult {
+  // One slot per replica: the journaled payload, or nullopt when the replica
+  // is quarantined, unfinished, or cancelled.
+  std::vector<std::optional<std::string>> payloads;
+  std::size_t resumed = 0;  // payload records loaded from the journal
+  std::size_t ran = 0;      // replicas executed and journaled this session
+  // Quarantined replicas -- journaled in earlier sessions plus this one --
+  // sorted by replica id.  A resume never re-runs these.
+  std::vector<QuarantineRecord> quarantined;
+  CampaignStatus status = CampaignStatus::kComplete;
+  SupervisorReport report;  // THIS session's supervision summary
+  bool complete() const { return resumed + ran == payloads.size(); }
+};
+
+// Supervised analogue of run_campaign(): runs the replicas missing from the
+// journal (skipping quarantined ids) under run_supervised_set.  Seeds,
+// thread count, cancellation, and progress come from `supervision`, NOT
+// from options.mc; directory/meta/flush/heartbeat semantics are identical
+// to run_campaign.  Quarantine records are flushed to the journal the
+// moment they happen, so even a SIGKILLed degraded campaign resumes without
+// re-running its poison replicas.
+SupervisedCampaignResult run_supervised_campaign(
+    std::size_t replicas, const SupervisedTask& task,
+    const CampaignOptions& options, const SupervisorOptions& supervision);
 
 }  // namespace divlib

@@ -37,7 +37,7 @@ void run_loop(Process& process, OpinionState& state, Rng& rng,
     satisfied = is_satisfied(options.stop, state);
   }
   result.status = satisfied    ? RunStatus::kCompleted
-                  : cancelled  ? RunStatus::kCancelled
+                  : cancelled  ? drained_status(*options.cancel)
                                : RunStatus::kCapped;
   if (options.metrics != nullptr) {
     const double wall = std::chrono::duration<double>(
@@ -78,8 +78,15 @@ const char* to_string(RunStatus status) {
       return "faulted";
     case RunStatus::kCancelled:
       return "cancelled";
+    case RunStatus::kDeadline:
+      return "deadline";
   }
   return "unknown";
+}
+
+RunStatus drained_status(const CancelToken& token) {
+  return token.reason() == CancelReason::kDeadline ? RunStatus::kDeadline
+                                                   : RunStatus::kCancelled;
 }
 
 RunResult run(Process& process, OpinionState& state, Rng& rng,

@@ -5,8 +5,9 @@
 // (FaultyProcess) re-anchor per-run bookkeeping, and classifies the outcome
 // via RunResult::status: kCompleted (stopping rule satisfied), kCapped (step
 // budget exhausted -- the watchdog), kCancelled (a RunOptions::cancel token
-// fired and the loop drained at a step boundary), or kFaulted (the process
-// threw; run_guarded() only).  run() propagates exceptions; run_guarded()
+// fired and the loop drained at a step boundary), kDeadline (same drain, but
+// the token carried CancelReason::kDeadline -- a supervisor wall-clock
+// budget), or kFaulted (the process threw; run_guarded() only).  run() propagates exceptions; run_guarded()
 // converts them into a structured kFaulted result so Monte-Carlo batches
 // survive individual replica failures; both map cancellation identically.
 #pragma once
@@ -51,9 +52,17 @@ enum class RunStatus {
   kCapped,     // step budget exhausted (watchdog)
   kFaulted,    // the process threw mid-run (run_guarded only)
   kCancelled,  // RunOptions::cancel fired; drained at a step boundary
+  kDeadline,   // the token fired with CancelReason::kDeadline: the
+               // supervisor's wall-clock budget expired, distinct from the
+               // step-budget kCapped and from an operator's kCancelled
 };
 
 const char* to_string(RunStatus status);
+
+// Maps a fired token to the status the drained run reports: kDeadline when
+// a supervisor deadline expired, kCancelled for every other reason.  Shared
+// by the step and jump engines so both classify identically.
+RunStatus drained_status(const CancelToken& token);
 
 struct RunResult {
   RunStatus status = RunStatus::kCapped;

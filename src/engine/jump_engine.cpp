@@ -217,7 +217,7 @@ void run_jump_loop(Process& process, OpinionState& state, Rng& rng,
     }
   }
   result.status = satisfied    ? RunStatus::kCompleted
-                  : cancelled  ? RunStatus::kCancelled
+                  : cancelled  ? drained_status(*options.cancel)
                                : RunStatus::kCapped;
   if (metrics != nullptr) {
     close_segment(jump_mode);

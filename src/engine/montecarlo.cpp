@@ -129,6 +129,7 @@ BatchReport run_replica_set_isolated_erased(
       const std::size_t replica = replica_ids[slot];
       std::string last_message = "unknown exception";
       bool succeeded = false;
+      unsigned consumed = 0;
       for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
         if (attempt > 0) {
           retries.fetch_add(1, std::memory_order_relaxed);
@@ -136,6 +137,7 @@ BatchReport run_replica_set_isolated_erased(
             options.progress->retried.fetch_add(1, std::memory_order_relaxed);
           }
         }
+        ++consumed;
         try {
           Rng rng(Rng::retry_seed(options.master_seed, replica, attempt));
           task(replica, rng);
@@ -156,7 +158,9 @@ BatchReport run_replica_set_isolated_erased(
           options.progress->errored.fetch_add(1, std::memory_order_relaxed);
         }
         const std::lock_guard<std::mutex> lock(errors_mutex);
-        errors.push_back({replica, max_attempts, last_message});
+        // `consumed`, not `max_attempts`: they agree here today, but the
+        // report's contract is attempts that actually ran.
+        errors.push_back({replica, consumed, last_message});
       }
     }
   };

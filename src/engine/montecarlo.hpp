@@ -87,8 +87,12 @@ std::vector<Result> run_replicas(std::size_t replicas, Task&& task,
 // One replica that failed every attempt.
 struct ReplicaError {
   std::size_t replica = 0;
-  unsigned attempts = 0;  // attempts consumed (== options.max_attempts)
-  std::string message;    // what() of the last failure
+  // Attempts actually CONSUMED, not the configured budget.  The isolated
+  // driver exhausts its budget before reporting, so the two coincide there,
+  // but policy layers (the supervisor's fail-fast path) stop early and the
+  // count must say how many attempts really ran.
+  unsigned attempts = 0;
+  std::string message;  // what() of the last failure
 };
 
 struct BatchReport {

@@ -1,0 +1,586 @@
+#include "engine/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <list>
+#include <mutex>
+#include <new>
+#include <queue>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "obs/jsonl.hpp"
+
+namespace divlib {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Jitter stream salt: keeps backoff draws out of every replica stream
+// (substream/retry seeds) while staying a pure function of the master seed.
+constexpr std::uint64_t kBackoffSalt = 0xb0ff5eedULL;
+
+// Monitor poll cadence: bounds the deadline-kill and cancel-propagation
+// latency.  5ms is invisible next to a replica run but keeps the idle scan
+// (a walk over the in-flight list) essentially free.
+constexpr std::chrono::milliseconds kMonitorPoll{5};
+
+}  // namespace
+
+const char* to_string(FailureClass failure) {
+  switch (failure) {
+    case FailureClass::kTransient:
+      return "transient";
+    case FailureClass::kResource:
+      return "resource";
+    case FailureClass::kDeterministic:
+      return "deterministic";
+  }
+  return "unknown";
+}
+
+FailureClass parse_failure_class(std::string_view name) {
+  for (const FailureClass failure :
+       {FailureClass::kTransient, FailureClass::kResource,
+        FailureClass::kDeterministic}) {
+    if (name == to_string(failure)) {
+      return failure;
+    }
+  }
+  throw std::invalid_argument("unknown failure class '" + std::string(name) +
+                              "'");
+}
+
+FailureClass classify_failure(const std::exception& error) {
+  // Order matters only for documentation: the three bases are disjoint.
+  // system_error subsumes std::ios_base::failure (C++11 and later), so all
+  // I/O failures land in kResource without naming iostreams here.
+  if (dynamic_cast<const std::bad_alloc*>(&error) != nullptr ||
+      dynamic_cast<const std::system_error*>(&error) != nullptr) {
+    return FailureClass::kResource;
+  }
+  if (dynamic_cast<const std::logic_error*>(&error) != nullptr) {
+    return FailureClass::kDeterministic;
+  }
+  return FailureClass::kTransient;
+}
+
+const char* to_string(SupervisionEvent::Kind kind) {
+  switch (kind) {
+    case SupervisionEvent::Kind::kRetry:
+      return "retry";
+    case SupervisionEvent::Kind::kFailFast:
+      return "fail-fast";
+    case SupervisionEvent::Kind::kDeadlineKill:
+      return "deadline-kill";
+    case SupervisionEvent::Kind::kSpeculativeLaunch:
+      return "speculative-launch";
+    case SupervisionEvent::Kind::kSpeculativeWin:
+      return "speculative-win";
+    case SupervisionEvent::Kind::kQuarantine:
+      return "quarantine";
+  }
+  return "unknown";
+}
+
+std::string SupervisionEvent::to_json() const {
+  JsonObject object;
+  object.field("kind", to_string(kind))
+      .field("replica", static_cast<std::uint64_t>(replica))
+      .field("attempt", static_cast<std::uint64_t>(attempt))
+      .field("failure", to_string(failure))
+      .field("backoff_ms", backoff_ms)
+      .field("detail", detail);
+  return object.str();
+}
+
+std::chrono::milliseconds backoff_delay(const SupervisorOptions& options,
+                                        std::size_t replica,
+                                        unsigned attempt) {
+  if (options.backoff_base.count() <= 0 || attempt == 0) {
+    return std::chrono::milliseconds{0};
+  }
+  // base * 2^(attempt-1), exponent clamped so the double stays finite; the
+  // cap below is what actually bounds the wait.
+  const int exponent = static_cast<int>(std::min(attempt - 1, 20u));
+  const double base = static_cast<double>(options.backoff_base.count()) *
+                      std::ldexp(1.0, exponent);
+  // Deterministic jitter: a private stream keyed by (master ^ salt, replica,
+  // attempt), so the schedule replays exactly and never perturbs any replica
+  // stream.  Uniform in [0.5x, 1.5x) -- desynchronizes retry herds while
+  // keeping the expectation at the nominal delay.
+  Rng jitter(Rng::retry_seed(options.master_seed ^ kBackoffSalt, replica,
+                             attempt));
+  double delay = base * (0.5 + jitter.uniform01());
+  if (options.backoff_cap.count() > 0) {
+    delay = std::min(delay, static_cast<double>(options.backoff_cap.count()));
+  }
+  return std::chrono::milliseconds(
+      static_cast<std::int64_t>(std::llround(delay)));
+}
+
+namespace {
+
+enum class Phase { kQueued, kRunning, kDone, kQuarantined, kUnfinished };
+
+struct ReplicaState {
+  std::size_t id = 0;
+  Phase phase = Phase::kQueued;
+  unsigned next_attempt = 0;     // next fresh seed index to schedule
+  unsigned current_attempt = 0;  // seed index of the in-flight instance
+  unsigned consumed = 0;         // attempt instances that reached a failure
+  bool twin_launched = false;    // duplicate exists for the current instance
+};
+
+struct WorkItem {
+  Clock::time_point ready_at;
+  std::size_t slot = 0;
+  unsigned attempt = 0;
+  bool speculative = false;
+};
+
+struct ReadyLater {
+  bool operator()(const WorkItem& a, const WorkItem& b) const {
+    return a.ready_at > b.ready_at;  // min-heap on ready_at
+  }
+};
+
+// One in-flight execution of (slot, attempt).  At most two exist per slot:
+// the primary and a speculative duplicate on the same seed.  Lives in a
+// std::list so the token's address stays stable while the task polls it
+// without the lock.
+struct Execution {
+  std::size_t slot = 0;
+  unsigned attempt = 0;
+  bool speculative = false;
+  CancelToken token;
+  Clock::time_point started;
+};
+
+class SupervisorRun {
+ public:
+  SupervisorRun(std::span<const std::size_t> replica_ids,
+                const SupervisedTask& task,
+                const std::function<void(std::size_t, std::string&&)>&
+                    on_success,
+                const SupervisorOptions& options)
+      : task_(task), on_success_(on_success), options_(options) {
+    states_.reserve(replica_ids.size());
+    for (const std::size_t id : replica_ids) {
+      ReplicaState state;
+      state.id = id;
+      states_.push_back(state);
+    }
+    if (options_.metrics != nullptr) {
+      counters_[index(SupervisionEvent::Kind::kRetry)] =
+          &options_.metrics->counter("supervisor_retries");
+      counters_[index(SupervisionEvent::Kind::kFailFast)] =
+          &options_.metrics->counter("supervisor_fail_fasts");
+      counters_[index(SupervisionEvent::Kind::kDeadlineKill)] =
+          &options_.metrics->counter("supervisor_deadline_kills");
+      counters_[index(SupervisionEvent::Kind::kSpeculativeLaunch)] =
+          &options_.metrics->counter("supervisor_speculative_launches");
+      counters_[index(SupervisionEvent::Kind::kSpeculativeWin)] =
+          &options_.metrics->counter("supervisor_speculative_wins");
+      counters_[index(SupervisionEvent::Kind::kQuarantine)] =
+          &options_.metrics->counter("supervisor_quarantines");
+    }
+  }
+
+  SupervisorReport run() {
+    report_.replicas = states_.size();
+    if (states_.empty()) {
+      return std::move(report_);
+    }
+    if (options_.cancel != nullptr && options_.cancel->requested()) {
+      // Preset cancel: nothing starts, everything re-runs on resume --
+      // mirrors the isolated driver's claim-nothing behavior.
+      report_.cancelled = true;
+      report_.unfinished = states_.size();
+      return std::move(report_);
+    }
+    const auto now = Clock::now();
+    for (std::size_t slot = 0; slot < states_.size(); ++slot) {
+      queue_.push({now, slot, 0, false});
+      states_[slot].next_attempt = 1;
+    }
+    unsigned workers = options_.num_threads;
+    if (workers == 0) {
+      const unsigned hardware = std::thread::hardware_concurrency();
+      workers = hardware > 0 ? hardware : 1;
+    }
+    workers =
+        static_cast<unsigned>(std::min<std::size_t>(workers, states_.size()));
+    // Workers execute attempts; the calling thread is the monitor (deadline
+    // arming, straggler checks, cancel propagation) until the batch drains.
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      pool.emplace_back([this] { worker_loop(); });
+    }
+    monitor_loop();
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+    finalize_report();
+    return std::move(report_);
+  }
+
+ private:
+  static std::size_t index(SupervisionEvent::Kind kind) {
+    return static_cast<std::size_t>(kind);
+  }
+
+  void emit_locked(SupervisionEvent event) {
+    Counter* counter = counters_[index(event.kind)];
+    if (counter != nullptr) {
+      counter->add();
+    }
+    if (options_.on_event) {
+      options_.on_event(event);
+    }
+  }
+
+  bool other_execution_live_locked(std::size_t slot) const {
+    for (const Execution& execution : live_) {
+      if (execution.slot == slot) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void supersede_twin_locked(std::size_t slot, unsigned attempt) {
+    for (Execution& execution : live_) {
+      if (execution.slot == slot && execution.attempt == attempt) {
+        execution.token.request(CancelReason::kSuperseded);
+      }
+    }
+  }
+
+  void insert_duration_locked(double seconds) {
+    durations_.insert(
+        std::upper_bound(durations_.begin(), durations_.end(), seconds),
+        seconds);
+  }
+
+  double median_duration_locked() const {
+    return durations_[durations_.size() / 2];
+  }
+
+  // Drops every queued item; fresh items whose slot never started become
+  // terminal kUnfinished (a resume re-runs them from their true seeds).
+  void drop_queued_locked() {
+    while (!queue_.empty()) {
+      const WorkItem item = queue_.top();
+      queue_.pop();
+      ReplicaState& state = states_[item.slot];
+      if (!item.speculative && state.phase == Phase::kQueued) {
+        state.phase = Phase::kUnfinished;
+        ++terminal_;
+      }
+    }
+  }
+
+  void quarantine_locked(ReplicaState& state, FailureClass failure,
+                         std::string message) {
+    state.phase = Phase::kQuarantined;
+    ++terminal_;
+    if (options_.progress != nullptr) {
+      options_.progress->completed.fetch_add(1, std::memory_order_relaxed);
+      options_.progress->errored.fetch_add(1, std::memory_order_relaxed);
+    }
+    emit_locked({SupervisionEvent::Kind::kQuarantine, state.id,
+                 state.consumed, failure, 0.0, message});
+    report_.quarantined.push_back(
+        {state.id, state.consumed, failure, std::move(message)});
+  }
+
+  // A failed attempt instance of `slot` reached its verdict: consume one
+  // unit of budget and decide retry / fail-fast / quarantine.
+  void handle_failure_locked(std::size_t slot, unsigned attempt,
+                             FailureClass failure, std::string message) {
+    ReplicaState& state = states_[slot];
+    if (state.phase != Phase::kRunning || state.current_attempt != attempt) {
+      return;  // stale: the instance already reached a verdict elsewhere
+    }
+    if (other_execution_live_locked(slot)) {
+      // The duplicate on the same seed is still running (say the primary hit
+      // its deadline while the twin is healthy): defer to the survivor
+      // rather than consuming the shared attempt twice.
+      return;
+    }
+    ++state.consumed;
+    state.twin_launched = false;
+    if (cancel_seen_) {
+      // Draining on operator cancel: no retries during shutdown; the resume
+      // re-runs the replica from its true seed.
+      state.phase = Phase::kUnfinished;
+      ++terminal_;
+      return;
+    }
+    if (failure == FailureClass::kDeterministic) {
+      ++report_.fail_fasts;
+      emit_locked({SupervisionEvent::Kind::kFailFast, state.id, attempt,
+                   failure, 0.0, message});
+      quarantine_locked(state, failure, std::move(message));
+      return;
+    }
+    if (state.next_attempt < std::max(1u, options_.max_attempts)) {
+      const unsigned next = state.next_attempt++;
+      const std::chrono::milliseconds delay =
+          backoff_delay(options_, state.id, next);
+      ++report_.retries;
+      report_.backoff_wait_ms += static_cast<double>(delay.count());
+      if (options_.progress != nullptr) {
+        options_.progress->retried.fetch_add(1, std::memory_order_relaxed);
+      }
+      emit_locked({SupervisionEvent::Kind::kRetry, state.id, next, failure,
+                   static_cast<double>(delay.count()), message});
+      state.phase = Phase::kQueued;
+      queue_.push({Clock::now() + delay, slot, next, false});
+      return;
+    }
+    quarantine_locked(state, failure, std::move(message));
+  }
+
+  void handle_verdict_locked(std::list<Execution>::iterator execution,
+                             std::optional<std::string> payload, bool threw,
+                             FailureClass failure, std::string message) {
+    const std::size_t slot = execution->slot;
+    const unsigned attempt = execution->attempt;
+    const bool speculative = execution->speculative;
+    const CancelReason reason = execution->token.reason();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - execution->started)
+            .count();
+    live_.erase(execution);
+    ReplicaState& state = states_[slot];
+    const bool current =
+        state.phase == Phase::kRunning && state.current_attempt == attempt;
+
+    if (payload.has_value()) {
+      if (!current) {
+        return;  // the duplicate already won; identical bytes, drop them
+      }
+      state.phase = Phase::kDone;
+      ++terminal_;
+      insert_duration_locked(seconds);
+      if (speculative) {
+        ++report_.speculative_wins;
+        emit_locked({SupervisionEvent::Kind::kSpeculativeWin, state.id,
+                     attempt, FailureClass::kTransient, 0.0, {}});
+      }
+      supersede_twin_locked(slot, attempt);
+      if (options_.progress != nullptr) {
+        options_.progress->completed.fetch_add(1, std::memory_order_relaxed);
+      }
+      on_success_(state.id, std::move(*payload));
+      return;
+    }
+
+    if (threw) {
+      handle_failure_locked(slot, attempt, failure, std::move(message));
+      return;
+    }
+
+    // nullopt: the attempt drained on its token (or declined on its own).
+    if (reason == CancelReason::kDeadline) {
+      std::string detail = "wall-clock deadline of " +
+                           std::to_string(options_.deadline.count()) +
+                           "ms exceeded";
+      ++report_.deadline_kills;
+      emit_locked({SupervisionEvent::Kind::kDeadlineKill, state.id, attempt,
+                   FailureClass::kTransient, 0.0, detail});
+      // A deadline kill is a retryable failure: the wall clock says nothing
+      // about determinism, and a fresh stream may well miss the tail.
+      handle_failure_locked(slot, attempt, FailureClass::kTransient,
+                            std::move(detail));
+      return;
+    }
+    if (reason == CancelReason::kSuperseded) {
+      return;  // the twin won; this result is unwanted by construction
+    }
+    // Operator cancel (or a task-level drain): unfinished, never retried.
+    if (current && !other_execution_live_locked(slot)) {
+      state.phase = Phase::kUnfinished;
+      ++terminal_;
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (cancel_seen_) {
+        drop_queued_locked();
+      }
+      if (queue_.empty()) {
+        if (terminal_ == states_.size()) {
+          return;
+        }
+        work_cv_.wait(lock);
+        continue;
+      }
+      const WorkItem item = queue_.top();
+      const auto now = Clock::now();
+      if (item.ready_at > now) {
+        // Backoff without blocking a replica's worth of work would need a
+        // timer wheel; with replica-scale queue depths, sleeping on the
+        // earliest ready_at is equivalent and simpler.  Any earlier enqueue
+        // notifies and re-sorts under us.
+        work_cv_.wait_until(lock, item.ready_at);
+        continue;
+      }
+      queue_.pop();
+      ReplicaState& state = states_[item.slot];
+      if (item.speculative) {
+        // Valid only while the exact instance it duplicates is still in
+        // flight; anything else is a stale launch (the instance finished,
+        // failed, or moved on to another attempt).
+        if (state.phase != Phase::kRunning ||
+            state.current_attempt != item.attempt) {
+          continue;
+        }
+      } else {
+        if (state.phase != Phase::kQueued) {
+          continue;  // dropped by a cancel drain
+        }
+        state.phase = Phase::kRunning;
+        state.current_attempt = item.attempt;
+      }
+      const auto execution = live_.emplace(live_.end());
+      execution->slot = item.slot;
+      execution->attempt = item.attempt;
+      execution->speculative = item.speculative;
+      execution->started = now;
+      const std::size_t replica = state.id;
+      lock.unlock();
+
+      std::optional<std::string> payload;
+      bool threw = false;
+      FailureClass failure = FailureClass::kTransient;
+      std::string message;
+      try {
+        Rng rng(Rng::retry_seed(options_.master_seed, replica, item.attempt));
+        payload = task_(replica, rng, execution->token);
+      } catch (const std::exception& error) {
+        threw = true;
+        message = error.what();
+        failure = options_.classify ? options_.classify(error)
+                                    : classify_failure(error);
+      } catch (...) {
+        threw = true;
+        message = "unknown exception";
+        failure = FailureClass::kTransient;
+      }
+
+      lock.lock();
+      handle_verdict_locked(execution, std::move(payload), threw, failure,
+                            std::move(message));
+      work_cv_.notify_all();
+      monitor_cv_.notify_one();
+    }
+  }
+
+  void monitor_loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (terminal_ != states_.size() || !live_.empty() || !queue_.empty()) {
+      const auto now = Clock::now();
+      if (!cancel_seen_ && options_.cancel != nullptr &&
+          options_.cancel->requested()) {
+        cancel_seen_ = true;
+        drop_queued_locked();
+        for (Execution& execution : live_) {
+          execution.token.request(CancelReason::kUser);
+        }
+        work_cv_.notify_all();
+      }
+      if (options_.deadline.count() > 0) {
+        for (Execution& execution : live_) {
+          if (!execution.token.requested() &&
+              now - execution.started >= options_.deadline) {
+            execution.token.request(CancelReason::kDeadline);
+          }
+        }
+      }
+      if (options_.straggler_factor > 0.0 &&
+          durations_.size() >=
+              std::max<std::size_t>(1, options_.straggler_warmup)) {
+        const double threshold =
+            options_.straggler_factor * median_duration_locked();
+        for (Execution& execution : live_) {
+          ReplicaState& state = states_[execution.slot];
+          if (execution.speculative || state.twin_launched ||
+              state.phase != Phase::kRunning ||
+              state.current_attempt != execution.attempt ||
+              execution.token.requested()) {
+            continue;
+          }
+          const double elapsed =
+              std::chrono::duration<double>(now - execution.started).count();
+          if (elapsed > threshold) {
+            state.twin_launched = true;
+            ++report_.speculative_launches;
+            emit_locked({SupervisionEvent::Kind::kSpeculativeLaunch, state.id,
+                         execution.attempt, FailureClass::kTransient, 0.0,
+                         "elapsed exceeds " +
+                             std::to_string(options_.straggler_factor) +
+                             "x median"});
+            queue_.push({now, execution.slot, execution.attempt, true});
+            work_cv_.notify_all();
+          }
+        }
+      }
+      monitor_cv_.wait_for(lock, kMonitorPoll);
+    }
+    work_cv_.notify_all();
+  }
+
+  void finalize_report() {
+    for (const ReplicaState& state : states_) {
+      if (state.phase == Phase::kDone) {
+        ++report_.succeeded;
+      } else if (state.phase == Phase::kUnfinished) {
+        ++report_.unfinished;
+      }
+    }
+    std::sort(report_.quarantined.begin(), report_.quarantined.end(),
+              [](const QuarantineRecord& a, const QuarantineRecord& b) {
+                return a.replica < b.replica;
+              });
+    report_.cancelled =
+        options_.cancel != nullptr && options_.cancel->requested();
+  }
+
+  const SupervisedTask& task_;
+  const std::function<void(std::size_t, std::string&&)>& on_success_;
+  const SupervisorOptions& options_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable monitor_cv_;
+  std::vector<ReplicaState> states_;
+  std::priority_queue<WorkItem, std::vector<WorkItem>, ReadyLater> queue_;
+  std::list<Execution> live_;
+  std::vector<double> durations_;  // successful attempt durations, sorted
+  std::size_t terminal_ = 0;       // slots in kDone/kQuarantined/kUnfinished
+  bool cancel_seen_ = false;
+  Counter* counters_[6] = {nullptr, nullptr, nullptr,
+                           nullptr, nullptr, nullptr};
+  SupervisorReport report_;
+};
+
+}  // namespace
+
+SupervisorReport run_supervised_set(
+    std::span<const std::size_t> replica_ids, const SupervisedTask& task,
+    const std::function<void(std::size_t, std::string&&)>& on_success,
+    const SupervisorOptions& options) {
+  return SupervisorRun(replica_ids, task, on_success, options).run();
+}
+
+}  // namespace divlib

@@ -1,0 +1,191 @@
+// Policy-driven supervision for Monte-Carlo batches.
+//
+// The paper's completion-time guarantees are EXPECTATION bounds (eq. 4), so
+// any replicated campaign has a heavy runtime tail by construction -- and
+// adversarial inputs (the exp06 near-path regime) push single replicas
+// toward Theta(n^2) steps.  The plain isolated driver retries immediately,
+// caps steps but not wall-clock, and cannot finish a campaign with 999/1000
+// healthy replicas.  The supervisor adds the four policies a production
+// fleet needs, without touching replica semantics:
+//
+//   1. Deadlines.  Each attempt gets a private CancelToken; a monitor thread
+//      fires it with CancelReason::kDeadline once the wall-clock budget
+//      expires.  Both engines already poll the token, so the attempt drains
+//      at a step boundary and reports RunStatus::kDeadline -- distinct from
+//      the step-budget kCapped and the operator's kCancelled.
+//   2. Error taxonomy + backoff.  Failures are classified transient /
+//      resource / deterministic (classify_failure, overridable).  Transient
+//      and resource failures retry on the existing Rng::retry_seed streams
+//      after a jittered exponential backoff; deterministic failures fail
+//      fast (no retry can change a logic error).  The jitter is drawn from a
+//      supervisor-owned stream keyed by (master_seed, replica, attempt), so
+//      retry SCHEDULES are as reproducible as retry RESULTS.
+//   3. Straggler mitigation.  Once enough replicas have completed to
+//      estimate a running median duration, an attempt exceeding
+//      straggler_factor x median gets a speculative duplicate on the SAME
+//      (replica, attempt) seed -- identical result by construction, so
+//      first-finisher-wins is safe; the loser's token fires kSuperseded.
+//   4. Quorum accounting.  Replicas that exhaust their budget are
+//      quarantined (with class, attempts consumed, and last message) instead
+//      of poisoning the batch; the campaign layer turns the quarantine list
+//      plus min_success_fraction into a kDegraded / kFailed verdict.
+//
+// Determinism: a replica that succeeds on attempt A returns the exact bytes
+// an unsupervised run of retry_seed(master, replica, A) returns -- the
+// supervisor changes WHICH attempts run and WHEN, never what an attempt
+// computes.  Every supervision decision is reported as a SupervisionEvent
+// (and mirrored into a MetricsRegistry when given one).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "obs/heartbeat.hpp"
+#include "obs/metrics.hpp"
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+// How a failed attempt should be treated.
+enum class FailureClass {
+  kTransient,      // unknown cause: retry is worth the attempt budget
+  kResource,       // bad_alloc / I/O / system errors: retry after backoff
+  kDeterministic,  // logic errors: every retry would fail identically
+};
+
+const char* to_string(FailureClass failure);
+// Inverse of to_string; throws std::invalid_argument on unknown names.
+FailureClass parse_failure_class(std::string_view name);
+
+// Default taxonomy over the dynamic exception type: bad_alloc and
+// system_error (which subsumes ios_base::failure) are resource pressure,
+// the logic_error family is deterministic, everything else -- including
+// non-std exceptions -- is transient.
+FailureClass classify_failure(const std::exception& error);
+
+// One supervision decision, reported as it happens.
+struct SupervisionEvent {
+  enum class Kind {
+    kRetry,              // failure rescheduled; backoff_ms says when
+    kFailFast,           // deterministic failure: remaining budget forfeited
+    kDeadlineKill,       // attempt exceeded the wall-clock deadline
+    kSpeculativeLaunch,  // duplicate enqueued for a straggling attempt
+    kSpeculativeWin,     // the duplicate finished first
+    kQuarantine,         // budget exhausted; replica excluded from the batch
+  };
+  Kind kind = Kind::kRetry;
+  std::size_t replica = 0;
+  unsigned attempt = 0;  // seed index the event refers to
+  FailureClass failure = FailureClass::kTransient;
+  double backoff_ms = 0.0;  // kRetry only: scheduled wait before the attempt
+  std::string detail;       // exception text / human context
+
+  // Flat JSON object (no "type" field; emitters add their own framing).
+  std::string to_json() const;
+};
+
+const char* to_string(SupervisionEvent::Kind kind);
+
+// A replica excluded from the batch after its attempt budget (or fail-fast
+// classification) was exhausted.  Journaled by the campaign layer so a
+// resume skips the replica instead of re-poisoning the run.
+struct QuarantineRecord {
+  std::size_t replica = 0;
+  unsigned attempts = 0;  // attempts actually consumed
+  FailureClass failure = FailureClass::kTransient;
+  std::string message;  // what() of the last failure
+};
+
+struct SupervisorOptions {
+  std::uint64_t master_seed = 0xd117ULL;
+  // 0 = hardware_concurrency (at least 1).
+  unsigned num_threads = 0;
+  // Total attempt instances per replica (>= 1), counting the first run --
+  // the same budget MonteCarloOptions::max_attempts expresses.
+  unsigned max_attempts = 1;
+  // Per-ATTEMPT wall-clock budget; zero disables deadline enforcement.
+  // Cooperative: the attempt drains at its next step boundary, so the
+  // effective kill latency is one step plus the monitor poll interval.
+  std::chrono::milliseconds deadline{0};
+  // Backoff before retry r (1-based) is base * 2^(r-1), jittered uniformly
+  // into [0.5x, 1.5x) and clamped to backoff_cap.  base <= 0 retries
+  // immediately.
+  std::chrono::milliseconds backoff_base{100};
+  std::chrono::milliseconds backoff_cap{10'000};
+  // Speculative re-execution threshold: an attempt older than
+  // straggler_factor x (running median of successful attempt durations)
+  // gets a duplicate.  0 disables speculation.
+  double straggler_factor = 0.0;
+  // Successful attempts required before the median is trusted.
+  std::size_t straggler_warmup = 3;
+  // Quorum for degraded completion, used by the campaign layer: succeeded /
+  // replicas must reach this fraction for a quarantine-bearing campaign to
+  // count as kDegraded rather than kFailed.
+  double min_success_fraction = 1.0;
+  // Operator cancellation (SIGINT): propagated to every in-flight attempt
+  // as CancelReason::kUser; queued work is marked unfinished for resume.
+  const CancelToken* cancel = nullptr;
+  // Optional heartbeat counters, same contract as MonteCarloOptions.
+  BatchProgress* progress = nullptr;
+  // Optional registry: supervision decisions bump supervisor_* counters.
+  MetricsRegistry* metrics = nullptr;
+  // Optional event sink.  Called with the supervisor's internal lock held,
+  // serialized with on_success -- keep it short and never call back into
+  // the supervisor.
+  std::function<void(const SupervisionEvent&)> on_event;
+  // Failure taxonomy override; classify_failure when empty.
+  std::function<FailureClass(const std::exception&)> classify;
+};
+
+// One attempt of one replica.  `rng` is seeded from (master_seed, replica,
+// attempt); `cancel` is the attempt's private lease token -- pass it through
+// RunOptions::cancel so deadline kills drain at a step boundary.  Return the
+// payload on success, nullopt when the run drained on the token (the
+// supervisor inspects the token's reason to tell a deadline kill from an
+// operator drain), and throw to report a failure.
+using SupervisedTask = std::function<std::optional<std::string>(
+    std::size_t replica, Rng& rng, const CancelToken& cancel)>;
+
+struct SupervisorReport {
+  std::size_t replicas = 0;    // replicas the batch was asked to run
+  std::size_t succeeded = 0;   // replicas that produced a payload
+  std::size_t unfinished = 0;  // drained by operator cancel; re-run on resume
+  std::vector<QuarantineRecord> quarantined;  // sorted by replica id
+  std::uint64_t retries = 0;          // attempt instances beyond each first
+  std::uint64_t fail_fasts = 0;       // deterministic failures, no retry
+  std::uint64_t deadline_kills = 0;   // attempts killed by the wall clock
+  std::uint64_t speculative_launches = 0;
+  std::uint64_t speculative_wins = 0;
+  double backoff_wait_ms = 0.0;  // total scheduled (not wall) backoff
+  bool cancelled = false;        // options.cancel had fired by the drain
+
+  double success_fraction() const {
+    return replicas == 0 ? 1.0
+                         : static_cast<double>(succeeded) /
+                               static_cast<double>(replicas);
+  }
+};
+
+// The deterministic backoff schedule (exposed for tests and dry-run
+// tooling): delay before running `attempt` (>= 1) of `replica`.
+std::chrono::milliseconds backoff_delay(const SupervisorOptions& options,
+                                        std::size_t replica, unsigned attempt);
+
+// Runs every replica id in `replica_ids` (any order, no duplicates) to a
+// terminal state -- done, quarantined, or unfinished -- under the policies
+// above.  `on_success` receives each winning payload exactly once per
+// replica, serialized under the supervisor's lock (safe to journal without
+// extra locking).  Worker threads execute attempts; the calling thread runs
+// the deadline/straggler monitor until the batch drains.
+SupervisorReport run_supervised_set(
+    std::span<const std::size_t> replica_ids, const SupervisedTask& task,
+    const std::function<void(std::size_t, std::string&&)>& on_success,
+    const SupervisorOptions& options);
+
+}  // namespace divlib

@@ -30,6 +30,73 @@ TEST(CancelToken, GlobalIsASingleton) {
   CancelToken::global().reset();
 }
 
+TEST(CancelToken, FirstReasonWins) {
+  CancelToken token;
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+  token.request(CancelReason::kDeadline);
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+  // A later, different reason must not overwrite the first: the supervisor
+  // races deadline kills against supersede/user cancels and the verdict
+  // must be stable no matter who fires second.
+  token.request(CancelReason::kUser);
+  token.request(CancelReason::kSuperseded);
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+  token.reset();
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+  // Reason-less request (the signal handler path) records kUser.
+  token.request();
+  EXPECT_EQ(token.reason(), CancelReason::kUser);
+  token.reset();
+}
+
+TEST(CancelToken, ReasonNamesAreStable) {
+  EXPECT_STREQ(to_string(CancelReason::kNone), "none");
+  EXPECT_STREQ(to_string(CancelReason::kUser), "user");
+  EXPECT_STREQ(to_string(CancelReason::kDeadline), "deadline");
+  EXPECT_STREQ(to_string(CancelReason::kSuperseded), "superseded");
+}
+
+// A token fired with kDeadline makes BOTH engines report kDeadline -- the
+// status the supervisor uses to tell a wall-clock kill from an operator
+// drain -- while any other reason still maps to kCancelled.
+TEST(Cancellation, DeadlineReasonYieldsDeadlineStatusFromBothEngines) {
+  const Graph g = make_complete(16);
+  CancelToken token;
+  token.request(CancelReason::kDeadline);
+  RunOptions options;
+  options.max_steps = 1000;
+  options.cancel = &token;
+
+  Rng init_rng(7);
+  const std::vector<Opinion> start =
+      uniform_random_opinions(g.num_vertices(), 1, 5, init_rng);
+
+  OpinionState step_state(g, start);
+  DivProcess step_process(g, SelectionScheme::kEdge);
+  Rng step_rng(11);
+  const RunResult step_result =
+      run(step_process, step_state, step_rng, options);
+  EXPECT_EQ(step_result.status, RunStatus::kDeadline);
+  EXPECT_FALSE(step_result.completed);
+  EXPECT_EQ(step_result.steps, 0u);
+
+  OpinionState jump_state(g, start);
+  DivProcess jump_process(g, SelectionScheme::kEdge);
+  Rng jump_rng(11);
+  const JumpRunResult jump_result =
+      run_jump(jump_process, jump_state, jump_rng, options);
+  EXPECT_EQ(jump_result.status, RunStatus::kDeadline);
+
+  EXPECT_EQ(drained_status(token), RunStatus::kDeadline);
+  CancelToken user_token;
+  user_token.request(CancelReason::kUser);
+  EXPECT_EQ(drained_status(user_token), RunStatus::kCancelled);
+  CancelToken superseded_token;
+  superseded_token.request(CancelReason::kSuperseded);
+  EXPECT_EQ(drained_status(superseded_token), RunStatus::kCancelled);
+  EXPECT_STREQ(to_string(RunStatus::kDeadline), "deadline");
+}
+
 // A pre-set token must yield kCancelled -- never kCapped -- from BOTH
 // engines, with the state untouched (the cancellation step is step 0) and
 // bit-identical between them.

@@ -261,6 +261,71 @@ TEST(MonteCarlo, RetriesAreReproducibleFromRetrySeeds) {
   EXPECT_EQ(*batch.results[3], plain.next());
 }
 
+// Regression: ReplicaError::attempts is the number of attempts actually
+// CONSUMED, not the configured budget.  The isolated driver happens to
+// exhaust the budget before recording an error, so the two coincide here --
+// but the field's meaning matters to the supervisor, which stops early on
+// deterministic failures.  Pin the consumed-count semantics both ways.
+TEST(MonteCarlo, ReplicaErrorReportsAttemptsConsumed) {
+  std::array<std::atomic<unsigned>, 8> calls{};
+  const auto batch = run_replicas_isolated<int>(
+      8,
+      [&calls](std::size_t replica, Rng&) -> int {
+        ++calls[replica];
+        if (replica == 2) {
+          throw std::runtime_error("always fails");
+        }
+        if (replica == 5 && calls[5].load() < 2) {
+          throw std::runtime_error("fails once");
+        }
+        return 1;
+      },
+      {.master_seed = 9, .num_threads = 2, .max_attempts = 3});
+  // Success on the first try consumes one call; success after one retry
+  // consumes two; neither lands in the error list.
+  EXPECT_EQ(calls[0].load(), 1u);
+  EXPECT_EQ(calls[5].load(), 2u);
+  ASSERT_TRUE(batch.results[5].has_value());
+  ASSERT_EQ(batch.report.errors.size(), 1u);
+  EXPECT_EQ(batch.report.errors[0].replica, 2u);
+  EXPECT_EQ(batch.report.errors[0].attempts, 3u);  // consumed == calls made
+  EXPECT_EQ(calls[2].load(), 3u);
+}
+
+TEST(MonteCarlo, RetriedReplicaResultIndependentOfOtherReplicasRetries) {
+  // Replica 5 retries once in both runs; the set of OTHER replicas that
+  // retried differs.  Isolation means replica 5's surviving value may not
+  // change -- retries draw from per-(replica, attempt) streams, never from a
+  // shared sequence another replica could perturb.
+  const auto run_with_flaky =
+      [](std::initializer_list<std::size_t> flaky_once) {
+        std::array<std::atomic<unsigned>, 16> calls{};
+        const std::set<std::size_t> flaky(flaky_once);
+        return run_replicas_isolated<std::uint64_t>(
+            16,
+            [&](std::size_t replica, Rng& rng) -> std::uint64_t {
+              if (flaky.count(replica) != 0 &&
+                  calls[replica].fetch_add(1) == 0) {
+                throw std::runtime_error("flaky");
+              }
+              return rng.next();
+            },
+            {.master_seed = 13, .num_threads = 4, .max_attempts = 2});
+      };
+  const auto only5 = run_with_flaky({5});
+  const auto many = run_with_flaky({1, 5, 9, 12});
+  ASSERT_TRUE(only5.report.ok());
+  ASSERT_TRUE(many.report.ok());
+  ASSERT_TRUE(only5.results[5].has_value());
+  ASSERT_TRUE(many.results[5].has_value());
+  EXPECT_EQ(*only5.results[5], *many.results[5]);
+  // And the never-flaky replicas are untouched by anyone's retries.
+  for (const std::size_t replica : {0u, 3u, 7u, 15u}) {
+    EXPECT_EQ(*only5.results[replica], *many.results[replica])
+        << "replica " << replica;
+  }
+}
+
 TEST(MonteCarlo, IsolatedErrorsSortedByReplicaIndex) {
   const auto batch = run_replicas_isolated<int>(
       32,

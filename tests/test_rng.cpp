@@ -183,6 +183,25 @@ TEST(Rng, SubstreamSeedsDependOnMaster) {
   EXPECT_NE(Rng::substream_seed(1, 0), Rng::substream_seed(2, 0));
 }
 
+TEST(Rng, RetrySeedsAreCollisionFreeAcrossReplicaAttemptGrid) {
+  // The supervisor hands out one stream per (replica, attempt) pair; a
+  // collision anywhere in the grid would couple two attempts that must be
+  // independent.  Sweep a realistic grid: 2000 replicas x 8 attempts.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t replica = 0; replica < 2000; ++replica) {
+    for (unsigned attempt = 0; attempt < 8; ++attempt) {
+      seeds.insert(Rng::retry_seed(123, replica, attempt));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 2000u * 8u);
+}
+
+TEST(Rng, RetrySeedsDependOnMasterReplicaAndAttempt) {
+  EXPECT_NE(Rng::retry_seed(1, 0, 1), Rng::retry_seed(2, 0, 1));
+  EXPECT_NE(Rng::retry_seed(1, 0, 1), Rng::retry_seed(1, 1, 1));
+  EXPECT_NE(Rng::retry_seed(1, 0, 1), Rng::retry_seed(1, 0, 2));
+}
+
 TEST(Rng, SubstreamsLookUniform) {
   for (std::uint64_t replica = 0; replica < 4; ++replica) {
     Rng rng(Rng::substream_seed(99, replica));

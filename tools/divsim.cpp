@@ -5,6 +5,8 @@
 //                   [--trace N] [--stop consensus|two-adjacent] [--max-steps M]
 //                   [--fault drop=0.3,crash=0.05@[0,1e6],byzantine=0.02]
 //                   [--retries N] [--threads N]
+//                   [--deadline-ms N] [--retry-backoff MS]
+//                   [--straggler-factor F] [--min-success F] [--supervise]
 //                   [--checkpoint-dir D [--checkpoint-every R] [--resume]]
 //                   [--metrics-out FILE] [--progress] [--heartbeat-ms N]
 //   divsim journal  --dir <checkpoint-dir>        (inspect a campaign)
@@ -27,6 +29,16 @@
 // SIGINT/SIGTERM request cooperative cancellation: in-flight replicas drain
 // at a step boundary, the campaign journal (if any) is flushed, and divsim
 // exits with status 130 and a resume hint.
+//
+// Exit codes (documented in README.md):
+//   0    success -- every requested replica completed
+//   1    error (bad spec, I/O failure, meta mismatch, ...)
+//   2    usage
+//   3    replica errors, or a supervised run below its success quorum
+//   4    torn journal tail detected by `divsim journal`
+//   5    degraded -- quarantines exist but the --min-success quorum holds;
+//        distinct from 3 so scripts can accept degraded-but-usable sweeps
+//   130  cancelled by SIGINT/SIGTERM (resume hint printed)
 #include <chrono>
 #include <csignal>
 #include <iostream>
@@ -103,7 +115,20 @@ int usage() {
       "               the interval thread off) plus one at every journal\n"
       "               flush, and a final summary; every complete line of a\n"
       "               crashed run still parses.  --progress adds a live\n"
-      "               stderr ticker\n";
+      "               stderr ticker\n"
+      "supervision:   --deadline-ms N kills attempts past a wall-clock budget\n"
+      "               and retries them; --retry-backoff MS sets the jittered\n"
+      "               exponential backoff base between retries;\n"
+      "               --straggler-factor F speculatively re-runs attempts\n"
+      "               slower than F x the median; --min-success F completes\n"
+      "               a campaign as 'degraded' once that fraction succeeded\n"
+      "               even if poison replicas were quarantined; --supervise\n"
+      "               forces the supervised driver with defaults.  Any of\n"
+      "               these flags switches `run` to the supervisor.\n"
+      "exit codes:    0 ok; 1 error; 2 usage; 3 replica errors or below the\n"
+      "               success quorum; 4 torn journal (journal command);\n"
+      "               5 degraded (quorum met despite quarantines);\n"
+      "               130 cancelled by SIGINT/SIGTERM (resume hint printed)\n";
   return 2;
 }
 
@@ -147,7 +172,7 @@ std::string encode_replica_run(const ReplicaRun& run) {
 RunStatus parse_run_status(const std::string& name) {
   for (const RunStatus status :
        {RunStatus::kCompleted, RunStatus::kCapped, RunStatus::kFaulted,
-        RunStatus::kCancelled}) {
+        RunStatus::kCancelled, RunStatus::kDeadline}) {
     if (name == to_string(status)) {
       return status;
     }
@@ -214,6 +239,24 @@ int cmd_run(const Args& args) {
   const bool progress_ticker = args.flag("progress");
   const std::uint64_t heartbeat_ms = args.get_u64("heartbeat-ms", 1000);
 
+  // Supervision knobs.  Passing ANY of them (or --supervise) routes the run
+  // through the supervised driver; otherwise the plain isolated driver runs,
+  // so existing invocations keep their exact behavior and performance.
+  const bool backoff_given = !args.get("retry-backoff", "").empty();
+  const std::uint64_t deadline_ms = args.get_u64("deadline-ms", 0);
+  const std::uint64_t backoff_ms = args.get_u64("retry-backoff", 100);
+  const double straggler_factor = args.get_double("straggler-factor", 0.0);
+  const double min_success = args.get_double("min-success", 1.0);
+  if (min_success < 0.0 || min_success > 1.0) {
+    throw std::invalid_argument("--min-success must be in [0, 1]");
+  }
+  if (straggler_factor < 0.0) {
+    throw std::invalid_argument("--straggler-factor must be >= 0");
+  }
+  const bool supervise = args.flag("supervise") || deadline_ms > 0 ||
+                         straggler_factor > 0.0 || min_success < 1.0 ||
+                         backoff_given;
+
   RunOptions options;
   options.stop = stop_text == "two-adjacent" ? StopKind::kTwoAdjacent
                                              : StopKind::kConsensus;
@@ -247,6 +290,7 @@ int cmd_run(const Args& args) {
   Counter& runs_capped = registry.counter("runs_capped");
   Counter& runs_faulted = registry.counter("runs_faulted");
   Counter& runs_cancelled = registry.counter("runs_cancelled");
+  Counter& runs_deadline = registry.counter("runs_deadline");
   FixedHistogram& steps_hist = registry.histogram(
       "scheduled_steps", FixedHistogram::geometric_bounds(1024.0, 4.0, 16));
   BatchProgress progress;
@@ -293,13 +337,18 @@ int cmd_run(const Args& args) {
         std::chrono::milliseconds(heartbeat_ms));
   }
 
-  const auto run_one = [&](std::size_t replica, Rng& rng) {
+  // `cancel` is the attempt's drain token: the global SIGINT token for the
+  // plain drivers, a supervisor-owned per-attempt lease under supervision
+  // (so a deadline kill stops one attempt, not the whole batch).
+  const auto run_one = [&](std::size_t replica, Rng& rng,
+                           const CancelToken& cancel) {
     OpinionState state(
         graph, uniform_random_opinions(graph.num_vertices(), 1, k, rng));
     auto process = make_process_from_spec(process_name, scheme, graph);
     // Per-replica trajectory telemetry lands in a local RunMetrics so
     // concurrent replicas never share one (RunOptions itself is shared).
     RunOptions replica_options = options;
+    replica_options.cancel = &cancel;
     RunMetrics metrics;
     if (metrics_out) {
       replica_options.metrics = &metrics;
@@ -331,6 +380,7 @@ int cmd_run(const Args& args) {
         case RunStatus::kCapped:    runs_capped.add(); break;
         case RunStatus::kFaulted:   runs_faulted.add(); break;
         case RunStatus::kCancelled: runs_cancelled.add(); break;
+        case RunStatus::kDeadline:  runs_deadline.add(); break;
       }
       steps_hist.observe(static_cast<double>(out.result.steps));
     }
@@ -356,20 +406,76 @@ int cmd_run(const Args& args) {
                              .cancel = &CancelToken::global(),
                              .progress = telemetry ? &progress : nullptr};
 
-  std::vector<std::optional<ReplicaRun>> results;
+  SupervisorOptions sup;
+  sup.master_seed = master_seed;
+  sup.num_threads = threads;
+  sup.max_attempts = retries + 1;
+  sup.deadline = std::chrono::milliseconds(deadline_ms);
+  sup.backoff_base = std::chrono::milliseconds(backoff_ms);
+  sup.straggler_factor = straggler_factor;
+  sup.min_success_fraction = min_success;
+  sup.cancel = &CancelToken::global();
+  sup.progress = telemetry ? &progress : nullptr;
+  sup.metrics = telemetry ? &registry : nullptr;
+  if (metrics_out) {
+    sup.on_event = [&](const SupervisionEvent& event) {
+      JsonObject line;
+      line.field("type", "supervision").raw_field("event", event.to_json());
+      metrics_out->emit(line.str());
+    };
+  }
+  // The supervisor's drain convention: nullopt for BOTH a deadline kill and
+  // an operator drain; it reads the lease token's CancelReason to tell them
+  // apart.  A successful attempt persists through the same codec the
+  // campaign journal uses, so supervised and plain results stay comparable.
+  const SupervisedTask supervised_task =
+      [&](std::size_t replica, Rng& rng,
+          const CancelToken& cancel) -> std::optional<std::string> {
+    const ReplicaRun out = run_one(replica, rng, cancel);
+    if (out.result.status == RunStatus::kCancelled ||
+        out.result.status == RunStatus::kDeadline) {
+      return std::nullopt;
+    }
+    return encode_replica_run(out);
+  };
+
+  std::vector<std::optional<ReplicaRun>> results(replicas);
   BatchReport report;
+  SupervisorReport sup_report;
+  std::vector<QuarantineRecord> quarantined;
+  std::optional<CampaignStatus> campaign_status;
   Trace replica0_trace;
   bool campaign_cancelled = false;
-  if (checkpoint_dir.empty()) {
-    auto batch = run_replicas_isolated<ReplicaRun>(replicas, run_one, mc);
+  if (checkpoint_dir.empty() && !supervise) {
+    auto batch = run_replicas_isolated<ReplicaRun>(
+        replicas,
+        [&](std::size_t replica, Rng& rng) {
+          return run_one(replica, rng, CancelToken::global());
+        },
+        mc);
     if (!batch.results.empty() && batch.results.front()) {
       replica0_trace = batch.results.front()->result.trace;
     }
     results = std::move(batch.results);
     report = std::move(batch.report);
+  } else if (checkpoint_dir.empty()) {
+    std::vector<std::size_t> ids(replicas);
+    for (std::size_t replica = 0; replica < replicas; ++replica) {
+      ids[replica] = replica;
+    }
+    sup_report = run_supervised_set(
+        ids, supervised_task,
+        [&](std::size_t replica, std::string&& payload) {
+          results[replica] = decode_replica_run(payload);
+        },
+        sup);
+    quarantined = sup_report.quarantined;
   } else {
     // The meta fingerprint pins every knob that shapes per-replica results;
-    // resuming under a different configuration is refused.
+    // resuming under a different configuration is refused.  Supervision
+    // knobs are deliberately NOT part of it: they decide which attempts run
+    // and when, never what an attempt computes, so resuming with a longer
+    // deadline (or supervision toggled on) is a supported recovery path.
     std::ostringstream meta;
     meta << "divsim-campaign 1\ngraph=" << args.get("graph", "complete:128")
          << " k=" << k << " process=" << process_name
@@ -384,27 +490,45 @@ int cmd_run(const Args& args) {
     campaign.meta = meta.str();
     campaign.mc = mc;
     campaign.heartbeat = heartbeat.get();
-    const CampaignResult outcome = run_campaign(
-        replicas,
-        [&](std::size_t replica, Rng& rng) -> std::optional<std::string> {
-          const ReplicaRun out = run_one(replica, rng);
-          if (out.result.status == RunStatus::kCancelled) {
-            return std::nullopt;  // unfinished: re-runs on resume
-          }
-          return encode_replica_run(out);
-        },
-        campaign);
-    results.resize(replicas);
-    for (std::size_t replica = 0; replica < replicas; ++replica) {
-      if (outcome.payloads[replica]) {
-        results[replica] = decode_replica_run(*outcome.payloads[replica]);
+    if (supervise) {
+      const SupervisedCampaignResult outcome =
+          run_supervised_campaign(replicas, supervised_task, campaign, sup);
+      for (std::size_t replica = 0; replica < replicas; ++replica) {
+        if (outcome.payloads[replica]) {
+          results[replica] = decode_replica_run(*outcome.payloads[replica]);
+        }
       }
+      sup_report = outcome.report;
+      quarantined = outcome.quarantined;
+      campaign_status = outcome.status;
+      campaign_cancelled = outcome.status == CampaignStatus::kCancelled;
+      std::cout << "campaign: " << checkpoint_dir << " -- " << outcome.resumed
+                << " resumed from journal, " << outcome.ran
+                << " run this session, " << quarantined.size()
+                << " quarantined, status " << to_string(outcome.status)
+                << "\n";
+    } else {
+      const CampaignResult outcome = run_campaign(
+          replicas,
+          [&](std::size_t replica, Rng& rng) -> std::optional<std::string> {
+            const ReplicaRun out = run_one(replica, rng, CancelToken::global());
+            if (out.result.status == RunStatus::kCancelled) {
+              return std::nullopt;  // unfinished: re-runs on resume
+            }
+            return encode_replica_run(out);
+          },
+          campaign);
+      for (std::size_t replica = 0; replica < replicas; ++replica) {
+        if (outcome.payloads[replica]) {
+          results[replica] = decode_replica_run(*outcome.payloads[replica]);
+        }
+      }
+      report = outcome.report;
+      campaign_cancelled = outcome.cancelled;
+      std::cout << "campaign: " << checkpoint_dir << " -- " << outcome.resumed
+                << " resumed from journal, " << outcome.ran
+                << " run this session\n";
     }
-    report = outcome.report;
-    campaign_cancelled = outcome.cancelled;
-    std::cout << "campaign: " << checkpoint_dir << " -- " << outcome.resumed
-              << " resumed from journal, " << outcome.ran
-              << " run this session\n";
   }
 
   if (heartbeat) {
@@ -423,12 +547,23 @@ int cmd_run(const Args& args) {
     instruments.push_back('}');
     JsonObject line;
     line.field("type", "summary")
-        .field("replicas", static_cast<std::uint64_t>(replicas))
-        .field("attempted", static_cast<std::uint64_t>(report.attempted))
-        .field("retries", report.retries)
-        .field("errors", static_cast<std::uint64_t>(report.errors.size()))
-        .field("cancelled", report.cancelled)
-        .raw_field("instruments", instruments);
+        .field("replicas", static_cast<std::uint64_t>(replicas));
+    if (supervise) {
+      line.field("succeeded", static_cast<std::uint64_t>(sup_report.succeeded))
+          .field("retries", sup_report.retries)
+          .field("quarantined", static_cast<std::uint64_t>(quarantined.size()))
+          .field("fail_fasts", sup_report.fail_fasts)
+          .field("deadline_kills", sup_report.deadline_kills)
+          .field("speculative_launches", sup_report.speculative_launches)
+          .field("speculative_wins", sup_report.speculative_wins)
+          .field("cancelled", sup_report.cancelled);
+    } else {
+      line.field("attempted", static_cast<std::uint64_t>(report.attempted))
+          .field("retries", report.retries)
+          .field("errors", static_cast<std::uint64_t>(report.errors.size()))
+          .field("cancelled", report.cancelled);
+    }
+    line.raw_field("instruments", instruments);
     metrics_out->emit(line.str());
     metrics_out->sync();
     std::cout << "metrics: " << metrics_out->path() << " ("
@@ -460,6 +595,9 @@ int cmd_run(const Args& args) {
         ++capped;
         continue;
       case RunStatus::kCancelled:
+      case RunStatus::kDeadline:
+        // Deadline-killed attempts return nullopt, so kDeadline never lands
+        // in a payload; the case guards against hand-edited journals.
         ++cancelled;
         continue;
       case RunStatus::kCompleted:
@@ -501,6 +639,19 @@ int cmd_run(const Args& args) {
     }
     std::cout << "\n";
   }
+  if (supervise) {
+    std::cout << "supervision: " << sup_report.retries << " retries, "
+              << sup_report.fail_fasts << " fail-fasts, "
+              << sup_report.deadline_kills << " deadline kills, "
+              << sup_report.speculative_launches << " speculative launches ("
+              << sup_report.speculative_wins << " won), "
+              << quarantined.size() << " quarantined\n";
+    for (const QuarantineRecord& record : quarantined) {
+      std::cout << "  quarantined replica " << record.replica << " ("
+                << to_string(record.failure) << ", " << record.attempts
+                << " attempt(s)): " << record.message << "\n";
+    }
+  }
   if (!report.ok()) {
     std::cout << "replica errors (" << report.errors.size() << ", after "
               << report.retries << " retries):\n";
@@ -527,6 +678,26 @@ int cmd_run(const Args& args) {
     }
     return 130;  // 128 + SIGINT, the conventional interrupted-exit status
   }
+  if (supervise) {
+    if (quarantined.empty()) {
+      return 0;
+    }
+    // Degraded (quorum met) exits 5 so scripts can tell a usable-but-partial
+    // sweep from the hard failure 3.
+    const bool degraded =
+        campaign_status ? *campaign_status == CampaignStatus::kDegraded
+                        : sup_report.success_fraction() >= min_success;
+    std::cout << (degraded ? "degraded" : "failed") << ": "
+              << quarantined.size() << " replica(s) quarantined, success "
+              << format_double(
+                     campaign_status
+                         ? 1.0 - static_cast<double>(quarantined.size()) /
+                                     static_cast<double>(replicas)
+                         : sup_report.success_fraction(),
+                     3)
+              << " vs --min-success " << format_double(min_success, 3) << "\n";
+    return degraded ? 5 : 3;
+  }
   return report.ok() ? 0 : 3;
 }
 
@@ -546,12 +717,29 @@ int cmd_journal(const Args& args) {
             << " bytes valid" << (recovery.torn() ? " (torn tail)" : "")
             << "\n";
   std::map<std::size_t, std::string> by_replica;
+  std::map<std::size_t, QuarantineRecord> quarantines;
   for (const std::string& record : recovery.records) {
+    if (is_quarantine_record(record)) {
+      QuarantineRecord entry = decode_quarantine_record(record);
+      quarantines[entry.replica] = std::move(entry);
+      continue;
+    }
     const auto [replica, payload] = decode_campaign_record(record);
     by_replica[replica] = payload;  // duplicates: last record wins
   }
   for (const auto& [replica, payload] : by_replica) {
+    // A payload trumps a quarantine for the same id (crash between appends).
+    quarantines.erase(replica);
     std::cout << "replica " << replica << ": " << payload << "\n";
+  }
+  for (const auto& [replica, entry] : quarantines) {
+    std::cout << "replica " << replica << ": QUARANTINED ("
+              << to_string(entry.failure) << ", " << entry.attempts
+              << " attempt(s)) " << entry.message << "\n";
+  }
+  if (!quarantines.empty()) {
+    std::cout << "quarantined: " << quarantines.size()
+              << " replica(s) excluded from resume\n";
   }
   return recovery.torn() ? 4 : 0;
 }
