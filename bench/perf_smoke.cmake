@@ -3,11 +3,37 @@
 # reflects the code that produced it.  Invoked as a CTest command:
 #
 #   cmake -DPERF_ENGINE=<perf_engine binary> -DBENCH_JSON=<build-tree json>
-#         -DARCHIVE_DIR=<source root> [-DPERF_FILTER=<regex>]
-#         [-DPERF_REPETITIONS=<n>] -P perf_smoke.cmake
+#         -DARCHIVE_DIR=<source root> -DDIV_BUILD_TYPE=<config>
+#         [-DPERF_FILTER=<regex>] [-DPERF_REPETITIONS=<n>] -P perf_smoke.cmake
+#
+# Honesty gate: benchmark numbers from anything but a Release library are
+# lies (an empty CMAKE_BUILD_TYPE compiles at -O0).  Every emitted JSON is
+# stamped with "library_build_type" so a number can always be traced to the
+# optimization level that produced it, and a non-Release run REFUSES to
+# archive into the source root -- the committed copies stay Release-only.
 if(NOT DEFINED PERF_FILTER)
   set(PERF_FILTER "BM_Div(Vertex|Edge)(Naive|Jump)Run/1024")
 endif()
+if(NOT DEFINED DIV_BUILD_TYPE)
+  set(DIV_BUILD_TYPE "")
+endif()
+if(DIV_BUILD_TYPE STREQUAL "Release")
+  set(BUILD_TYPE_STAMP "Release")
+  set(ARCHIVE_ALLOWED TRUE)
+else()
+  if(DIV_BUILD_TYPE STREQUAL "")
+    set(BUILD_TYPE_STAMP "UNGATED_DEBUG (empty build type, likely -O0)")
+  else()
+    set(BUILD_TYPE_STAMP "UNGATED_DEBUG (${DIV_BUILD_TYPE})")
+  endif()
+  set(ARCHIVE_ALLOWED FALSE)
+  message(WARNING
+    "perf smoke is running against a '${DIV_BUILD_TYPE}' library build, not "
+    "Release.  The numbers will be stamped library_build_type=UNGATED_DEBUG "
+    "and will NOT be archived into the source root.  Use the 'perf' preset "
+    "(cmake --preset perf) for numbers worth committing.")
+endif()
+
 set(PERF_ARGS
   "--benchmark_filter=${PERF_FILTER}"
   "--benchmark_min_time=0.05"
@@ -23,6 +49,19 @@ execute_process(
   RESULT_VARIABLE PERF_RC)
 if(NOT PERF_RC EQUAL 0)
   message(FATAL_ERROR "perf_engine smoke run failed with status ${PERF_RC}")
+endif()
+
+# Stamp the build type as the first key of the benchmark "context" object.
+file(READ "${BENCH_JSON}" BENCH_CONTENT)
+string(REPLACE "\"context\": {"
+  "\"context\": {\n    \"library_build_type\": \"${BUILD_TYPE_STAMP}\","
+  BENCH_CONTENT "${BENCH_CONTENT}")
+file(WRITE "${BENCH_JSON}" "${BENCH_CONTENT}")
+
+if(NOT ARCHIVE_ALLOWED)
+  message(STATUS
+    "skipping archive of ${BENCH_JSON}: library_build_type=${BUILD_TYPE_STAMP}")
+  return()
 endif()
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E copy "${BENCH_JSON}" "${ARCHIVE_DIR}"

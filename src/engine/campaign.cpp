@@ -262,6 +262,17 @@ SupervisedCampaignResult run_supervised_campaign(
   result.resumed = load_campaign_state(options, replicas, paths,
                                        result.payloads, &quarantined);
 
+  // The poison-seed dodge: re-admit journal-quarantined replicas, but start
+  // each one at the attempt index after its record consumed, so the retry
+  // draws fresh retry_seed streams instead of replaying the poisoned ones.
+  std::map<std::size_t, unsigned> dodge_base;
+  if (options.retry_quarantined) {
+    for (const auto& [replica, record] : quarantined) {
+      dodge_base[replica] = record.attempts;
+    }
+    quarantined.clear();
+  }
+
   // Pending = not journaled AND not quarantined: the supervised resume's
   // whole point is that poison replicas stay excluded.
   std::vector<std::size_t> pending;
@@ -291,6 +302,18 @@ SupervisedCampaignResult run_supervised_campaign(
   // Events arrive under the supervisor's lock, so the lock order here --
   // supervisor lock, then journal mutex -- matches on_success below.
   SupervisorOptions supervised = supervision;
+  if (!dodge_base.empty()) {
+    const std::function<unsigned(std::size_t)> inherited =
+        supervision.first_attempt;
+    supervised.first_attempt = [&dodge_base,
+                                inherited](std::size_t replica) -> unsigned {
+      const auto it = dodge_base.find(replica);
+      if (it != dodge_base.end()) {
+        return it->second;
+      }
+      return inherited ? inherited(replica) : 0u;
+    };
+  }
   supervised.on_event = [&](const SupervisionEvent& event) {
     if (event.kind == SupervisionEvent::Kind::kQuarantine) {
       const std::lock_guard<std::mutex> lock(journal_mutex);

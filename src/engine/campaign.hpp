@@ -65,6 +65,13 @@ struct CampaignOptions {
   // replica.  When mc.progress is also set, the driver seeds its `total`
   // and `resumed` counters before any replica runs.  Null disables both.
   Heartbeat* heartbeat = nullptr;
+  // Supervised resumes only: re-admit journal-quarantined replicas with the
+  // poison-seed dodge -- each re-admitted replica starts at the attempt
+  // index AFTER the ones its quarantine record consumed, so the retry runs
+  // on fresh Rng::retry_seed streams instead of replaying the seeds that
+  // already failed deterministically.  A replica that fails again is
+  // re-quarantined with an updated (cumulative) attempt count.
+  bool retry_quarantined = false;
 };
 
 struct CampaignResult {

@@ -1,0 +1,922 @@
+#include "engine/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "engine/liveness.hpp"
+#include "io/wire.hpp"
+#include "obs/heartbeat.hpp"
+
+namespace divlib {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Parent poll cadence, matching the thread supervisor's monitor: bounds the
+// liveness-tick, deadline, and reap latency without measurable idle cost.
+constexpr std::chrono::milliseconds kFleetPoll{5};
+
+// ---------------------------------------------------------------------------
+// Worker (child) side.
+//
+// Signal flow: the parent sends SIGUSR1 for a deadline kill and SIGTERM for
+// an operator drain.  Handlers only touch a lock-free CancelToken pointer
+// and a sig_atomic_t flag -- both async-signal-safe.  SIGINT is ignored:
+// a terminal ^C reaches the whole process group, and drain authority
+// belongs to the parent (which translates its own SIGINT into SIGTERMs).
+
+std::atomic<CancelToken*> g_worker_token{nullptr};
+volatile std::sig_atomic_t g_worker_drain = 0;
+
+void worker_on_sigterm(int) {
+  g_worker_drain = 1;
+  CancelToken* token = g_worker_token.load(std::memory_order_relaxed);
+  if (token != nullptr) {
+    token->request(CancelReason::kUser);
+  }
+}
+
+void worker_on_sigusr1(int) {
+  CancelToken* token = g_worker_token.load(std::memory_order_relaxed);
+  if (token != nullptr) {
+    token->request(CancelReason::kDeadline);
+  }
+}
+
+bool worker_draining() { return g_worker_drain != 0; }
+
+void install_worker_signals() {
+  struct sigaction ignore {};
+  ignore.sa_handler = SIG_IGN;
+  sigemptyset(&ignore.sa_mask);
+  ::sigaction(SIGINT, &ignore, nullptr);
+
+  // Deliberately no SA_RESTART: the drain signal must be able to interrupt
+  // the blocking work-pipe read (wire_read_frame resumes on EINTR unless the
+  // drain flag is up).
+  struct sigaction term {};
+  term.sa_handler = worker_on_sigterm;
+  sigemptyset(&term.sa_mask);
+  ::sigaction(SIGTERM, &term, nullptr);
+
+  struct sigaction usr1 {};
+  usr1.sa_handler = worker_on_sigusr1;
+  sigemptyset(&usr1.sa_mask);
+  ::sigaction(SIGUSR1, &usr1, nullptr);
+}
+
+// The forked child's whole life.  Never returns; always _exit (exit() would
+// run atexit handlers and double-flush stdio buffers inherited from the
+// parent).  Worker exit codes are diagnostics only -- the parent treats any
+// death with an unreported attempt as a crash regardless of the code.
+[[noreturn]] void worker_main(int work_fd, int result_fd,
+                              const SupervisorOptions& options,
+                              const SupervisedTask& task) {
+  install_worker_signals();
+
+  // Beats ride the same pipe as results, written from the Heartbeat thread;
+  // the mutex keeps a beat from interleaving into the middle of a large
+  // result frame (pipe writes are only atomic up to PIPE_BUF).
+  std::mutex write_mu;
+  BatchProgress progress;
+  Heartbeat heartbeat(
+      progress,
+      [&](const HeartbeatRecord&) {
+        std::lock_guard<std::mutex> lock(write_mu);
+        wire_write_frame(result_fd, "beat");
+      },
+      options.fleet.heartbeat_interval);
+
+  int code = 0;
+  while (true) {
+    std::optional<std::string> frame;
+    try {
+      frame = wire_read_frame(work_fd, worker_draining);
+    } catch (...) {
+      code = 3;  // corrupt work stream: the channel is unusable
+      break;
+    }
+    if (!frame.has_value() || *frame == "quit") {
+      break;  // parent closed the pipe, drained us, or dismissed us
+    }
+    std::istringstream header(*frame);
+    std::string verb;
+    std::size_t replica = 0;
+    unsigned attempt = 0;
+    header >> verb >> replica >> attempt;
+    if (verb != "work") {
+      code = 3;
+      break;
+    }
+
+    CancelToken token;
+    if (g_worker_drain != 0) {
+      token.request(CancelReason::kUser);  // drain raced the assignment
+    }
+    g_worker_token.store(&token, std::memory_order_relaxed);
+    std::optional<std::string> payload;
+    bool threw = false;
+    FailureClass failure = FailureClass::kTransient;
+    std::string message;
+    try {
+      Rng rng(Rng::retry_seed(options.master_seed, replica, attempt));
+      payload = task(replica, rng, token);
+    } catch (const std::exception& error) {
+      threw = true;
+      message = error.what();
+      failure =
+          options.classify ? options.classify(error) : classify_failure(error);
+    } catch (...) {
+      threw = true;
+      message = "unknown exception";
+      failure = FailureClass::kTransient;
+    }
+    g_worker_token.store(nullptr, std::memory_order_relaxed);
+
+    std::string reply;
+    if (payload.has_value()) {
+      reply = "ok " + std::to_string(replica) + " " +
+              std::to_string(attempt) + " " + *payload;
+    } else if (threw) {
+      reply = "err " + std::to_string(replica) + " " +
+              std::to_string(attempt) + " " + to_string(failure) + " " +
+              message;
+    } else {
+      reply = "drain " + std::to_string(replica) + " " +
+              std::to_string(attempt) + " " + to_string(token.reason());
+    }
+    {
+      std::lock_guard<std::mutex> lock(write_mu);
+      if (!wire_write_frame(result_fd, reply)) {
+        code = 2;  // parent gone; nothing left to serve
+        break;
+      }
+    }
+    if (g_worker_drain != 0) {
+      break;
+    }
+  }
+  heartbeat.stop();
+  ::_exit(code);
+}
+
+// ---------------------------------------------------------------------------
+// Parent (monitor) side.
+
+enum class Phase { kQueued, kRunning, kDone, kQuarantined, kUnfinished };
+
+struct ReplicaSlot {
+  std::size_t id = 0;
+  Phase phase = Phase::kQueued;
+  unsigned base_attempt = 0;
+  unsigned next_attempt = 0;
+  unsigned current_attempt = 0;
+  unsigned consumed = 0;
+  unsigned worker_deaths = 0;  // crashes while running this replica
+};
+
+struct WorkItem {
+  Clock::time_point ready_at;
+  std::size_t slot = 0;
+  unsigned attempt = 0;
+};
+
+struct ReadyLater {
+  bool operator()(const WorkItem& a, const WorkItem& b) const {
+    return a.ready_at > b.ready_at;
+  }
+};
+
+struct Worker {
+  Worker(std::int64_t id_, const LivenessOptions& liveness_options,
+         Clock::time_point spawn)
+      : id(id_), reader(-1), liveness(liveness_options, spawn) {}
+
+  std::int64_t id = 0;
+  pid_t pid = -1;
+  int work_fd = -1;    // parent -> child assignments
+  int result_fd = -1;  // child -> parent beats/results (O_NONBLOCK)
+  WireReader reader;
+  LivenessTracker liveness;
+  bool busy = false;
+  std::size_t slot = 0;
+  unsigned attempt = 0;
+  Clock::time_point started;
+  bool deadline_signaled = false;  // SIGUSR1 sent for the current attempt
+  Clock::time_point kill_at;       // SIGKILL escalation when still no drain
+  bool kill_sent = false;
+  bool quit_sent = false;
+  bool reaped = false;
+};
+
+// Scoped SIGPIPE suppression: a write to a crashed worker's pipe must fail
+// with EPIPE, not kill the campaign.
+class SigpipeGuard {
+ public:
+  SigpipeGuard() {
+    struct sigaction ignore {};
+    ignore.sa_handler = SIG_IGN;
+    sigemptyset(&ignore.sa_mask);
+    ::sigaction(SIGPIPE, &ignore, &saved_);
+  }
+  ~SigpipeGuard() { ::sigaction(SIGPIPE, &saved_, nullptr); }
+
+ private:
+  struct sigaction saved_ {};
+};
+
+class FleetRun {
+ public:
+  FleetRun(std::span<const std::size_t> replica_ids, const SupervisedTask& task,
+           const std::function<void(std::size_t, std::string&&)>& on_success,
+           const SupervisorOptions& options)
+      : task_(task), on_success_(on_success), options_(options) {
+    slots_.reserve(replica_ids.size());
+    for (const std::size_t id : replica_ids) {
+      ReplicaSlot slot;
+      slot.id = id;
+      slots_.push_back(slot);
+    }
+    if (options_.metrics != nullptr) {
+      counter_for_[kind_index(SupervisionEvent::Kind::kRetry)] =
+          &options_.metrics->counter("supervisor_retries");
+      counter_for_[kind_index(SupervisionEvent::Kind::kFailFast)] =
+          &options_.metrics->counter("supervisor_fail_fasts");
+      counter_for_[kind_index(SupervisionEvent::Kind::kDeadlineKill)] =
+          &options_.metrics->counter("supervisor_deadline_kills");
+      counter_for_[kind_index(SupervisionEvent::Kind::kSpeculativeLaunch)] =
+          &options_.metrics->counter("supervisor_speculative_launches");
+      counter_for_[kind_index(SupervisionEvent::Kind::kSpeculativeWin)] =
+          &options_.metrics->counter("supervisor_speculative_wins");
+      counter_for_[kind_index(SupervisionEvent::Kind::kQuarantine)] =
+          &options_.metrics->counter("supervisor_quarantines");
+      counter_for_[kind_index(SupervisionEvent::Kind::kWorkerSpawn)] =
+          &options_.metrics->counter("fleet_worker_spawns");
+      counter_for_[kind_index(SupervisionEvent::Kind::kWorkerAlive)] =
+          &options_.metrics->counter("fleet_worker_alive");
+      counter_for_[kind_index(SupervisionEvent::Kind::kWorkerSuspect)] =
+          &options_.metrics->counter("fleet_worker_suspects");
+      counter_for_[kind_index(SupervisionEvent::Kind::kWorkerDead)] =
+          &options_.metrics->counter("fleet_worker_deaths");
+    }
+  }
+
+  SupervisorReport run() {
+    report_.replicas = slots_.size();
+    if (slots_.empty()) {
+      return std::move(report_);
+    }
+    if (options_.cancel != nullptr && options_.cancel->requested()) {
+      report_.cancelled = true;
+      report_.unfinished = slots_.size();
+      return std::move(report_);
+    }
+    SigpipeGuard sigpipe;
+    const auto now = Clock::now();
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+      ReplicaSlot& state = slots_[slot];
+      const unsigned base =
+          options_.first_attempt ? options_.first_attempt(state.id) : 0;
+      state.base_attempt = base;
+      state.next_attempt = base + 1;
+      queue_.push({now, slot, base});
+    }
+    target_workers_ = options_.fleet.workers != 0 ? options_.fleet.workers
+                                                  : options_.num_threads;
+    if (target_workers_ == 0) {
+      const unsigned hardware = std::thread::hardware_concurrency();
+      target_workers_ = hardware > 0 ? hardware : 1;
+    }
+    target_workers_ = static_cast<unsigned>(
+        std::min<std::size_t>(target_workers_, slots_.size()));
+
+    monitor_loop();
+    shutdown_fleet();
+    finalize_report();
+    return std::move(report_);
+  }
+
+ private:
+  static std::size_t kind_index(SupervisionEvent::Kind kind) {
+    return static_cast<std::size_t>(kind);
+  }
+
+  void emit(SupervisionEvent event) {
+    Counter* counter = counter_for_[kind_index(event.kind)];
+    if (counter != nullptr) {
+      counter->add();
+    }
+    if (options_.on_event) {
+      options_.on_event(event);
+    }
+  }
+
+  // Publishes liveness transitions as events + report counters; annotates
+  // with the worker's current assignment so operators can see what a dying
+  // worker was holding.
+  void emit_transitions(Worker& worker,
+                        const std::vector<LivenessTransition>& transitions) {
+    for (const LivenessTransition& transition : transitions) {
+      SupervisionEvent event;
+      event.worker = worker.id;
+      if (worker.busy) {
+        event.replica = slots_[worker.slot].id;
+        event.attempt = worker.attempt;
+      }
+      event.detail = std::string(to_string(transition.from)) + "->" +
+                     to_string(transition.to) + " (" +
+                     to_string(transition.cause) + ")";
+      switch (transition.to) {
+        case WorkerLiveness::kAlive:
+          event.kind = SupervisionEvent::Kind::kWorkerAlive;
+          break;
+        case WorkerLiveness::kSuspect:
+          event.kind = SupervisionEvent::Kind::kWorkerSuspect;
+          ++report_.worker_suspects;
+          break;
+        case WorkerLiveness::kDead:
+          event.kind = SupervisionEvent::Kind::kWorkerDead;
+          ++report_.worker_deaths;
+          break;
+        case WorkerLiveness::kUnknown:
+          continue;  // no transition enters Unknown
+      }
+      emit(event);
+    }
+  }
+
+  void spawn_worker(Clock::time_point now) {
+    int work_pipe[2] = {-1, -1};
+    int result_pipe[2] = {-1, -1};
+    if (::pipe(work_pipe) != 0) {
+      throw std::runtime_error(std::string("fleet: pipe failed: ") +
+                               std::strerror(errno));
+    }
+    if (::pipe(result_pipe) != 0) {
+      ::close(work_pipe[0]);
+      ::close(work_pipe[1]);
+      throw std::runtime_error(std::string("fleet: pipe failed: ") +
+                               std::strerror(errno));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(work_pipe[0]);
+      ::close(work_pipe[1]);
+      ::close(result_pipe[0]);
+      ::close(result_pipe[1]);
+      throw std::runtime_error(std::string("fleet: fork failed: ") +
+                               std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: keep only its own two pipe ends; every other inherited fleet
+      // fd would pin siblings' pipes open past their death.
+      ::close(work_pipe[1]);
+      ::close(result_pipe[0]);
+      for (const auto& other : workers_) {
+        if (other->work_fd >= 0) ::close(other->work_fd);
+        if (other->result_fd >= 0) ::close(other->result_fd);
+      }
+      worker_main(work_pipe[0], result_pipe[1], options_, task_);
+    }
+    // Parent.
+    ::close(work_pipe[0]);
+    ::close(result_pipe[1]);
+    ::fcntl(result_pipe[0], F_SETFL,
+            ::fcntl(result_pipe[0], F_GETFL) | O_NONBLOCK);
+    LivenessOptions liveness;
+    liveness.suspect_after = options_.fleet.suspect_after;
+    liveness.dead_after = options_.fleet.dead_after;
+    auto worker = std::make_unique<Worker>(next_worker_id_++, liveness, now);
+    worker->pid = pid;
+    worker->work_fd = work_pipe[1];
+    worker->result_fd = result_pipe[0];
+    worker->reader = WireReader(result_pipe[0]);
+    ++report_.worker_spawns;
+    SupervisionEvent event;
+    event.kind = SupervisionEvent::Kind::kWorkerSpawn;
+    event.worker = worker->id;
+    event.detail = "forked pid " + std::to_string(pid);
+    workers_.push_back(std::move(worker));
+    emit(event);
+  }
+
+  std::size_t live_worker_count() const {
+    std::size_t live = 0;
+    for (const auto& worker : workers_) {
+      if (!worker->reaped &&
+          worker->liveness.state() != WorkerLiveness::kDead) {
+        ++live;
+      }
+    }
+    return live;
+  }
+
+  void maintain_fleet(Clock::time_point now) {
+    if (cancel_seen_) {
+      return;  // draining: never grow the fleet during shutdown
+    }
+    const std::size_t remaining = slots_.size() - terminal_;
+    const std::size_t wanted =
+        std::min<std::size_t>(target_workers_, remaining);
+    while (live_worker_count() < wanted) {
+      spawn_worker(now);
+    }
+  }
+
+  void quarantine(ReplicaSlot& state, FailureClass failure,
+                  std::string message) {
+    state.phase = Phase::kQuarantined;
+    ++terminal_;
+    if (options_.progress != nullptr) {
+      options_.progress->completed.fetch_add(1, std::memory_order_relaxed);
+      options_.progress->errored.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Cumulative across resumes (base + consumed), matching thread mode, so
+    // the poison-seed dodge can pick up from a fresh stream.
+    const unsigned attempts = state.base_attempt + state.consumed;
+    emit({SupervisionEvent::Kind::kQuarantine, state.id, attempts, failure,
+          0.0, message});
+    report_.quarantined.push_back(
+        {state.id, attempts, failure, std::move(message)});
+  }
+
+  // Mirror of the thread supervisor's budget logic: consume one attempt,
+  // then retry (with jittered backoff on a fresh seed), fail fast, or
+  // quarantine.
+  void handle_failure(std::size_t slot, unsigned attempt, FailureClass failure,
+                      std::string message) {
+    ReplicaSlot& state = slots_[slot];
+    if (state.phase != Phase::kRunning || state.current_attempt != attempt) {
+      return;  // stale verdict
+    }
+    ++state.consumed;
+    if (cancel_seen_) {
+      state.phase = Phase::kUnfinished;
+      ++terminal_;
+      return;
+    }
+    if (failure == FailureClass::kDeterministic) {
+      ++report_.fail_fasts;
+      emit({SupervisionEvent::Kind::kFailFast, state.id, attempt, failure, 0.0,
+            message});
+      quarantine(state, failure, std::move(message));
+      return;
+    }
+    if (state.next_attempt - state.base_attempt <
+        std::max(1u, options_.max_attempts)) {
+      const unsigned next = state.next_attempt++;
+      const std::chrono::milliseconds delay =
+          backoff_delay(options_, state.id, next);
+      ++report_.retries;
+      report_.backoff_wait_ms += static_cast<double>(delay.count());
+      if (options_.progress != nullptr) {
+        options_.progress->retried.fetch_add(1, std::memory_order_relaxed);
+      }
+      emit({SupervisionEvent::Kind::kRetry, state.id, next, failure,
+            static_cast<double>(delay.count()), message});
+      state.phase = Phase::kQueued;
+      queue_.push({Clock::now() + delay, slot, next});
+      return;
+    }
+    quarantine(state, failure, std::move(message));
+  }
+
+  void handle_success(std::size_t slot, unsigned attempt,
+                      std::string&& payload) {
+    ReplicaSlot& state = slots_[slot];
+    if (state.phase != Phase::kRunning || state.current_attempt != attempt) {
+      return;
+    }
+    state.phase = Phase::kDone;
+    ++terminal_;
+    if (options_.progress != nullptr) {
+      options_.progress->completed.fetch_add(1, std::memory_order_relaxed);
+    }
+    on_success_(state.id, std::move(payload));
+  }
+
+  // One frame from a worker's result pipe.  Every frame proves the process
+  // is scheduling, so all of them count as beats.
+  void handle_frame(Worker& worker, const std::string& frame,
+                    Clock::time_point now) {
+    emit_transitions(worker, worker.liveness.beat(now));
+    if (frame == "beat") {
+      return;
+    }
+    std::istringstream header(frame);
+    std::string verb;
+    std::size_t replica = 0;
+    unsigned attempt = 0;
+    header >> verb >> replica >> attempt;
+    if (!worker.busy || slots_[worker.slot].id != replica ||
+        worker.attempt != attempt) {
+      return;  // stale frame from a superseded assignment
+    }
+    const std::size_t slot = worker.slot;
+    worker.busy = false;
+    worker.deadline_signaled = false;
+    worker.kill_sent = false;
+    // The body starts after the third space: "<verb> <replica> <attempt> ".
+    std::size_t body = 0;
+    for (int spaces = 0; body < frame.size(); ++body) {
+      if (frame[body] == ' ' && ++spaces == 3) {
+        ++body;
+        break;
+      }
+    }
+    if (verb == "ok") {
+      slots_[slot].worker_deaths = 0;  // the replica proved it can finish
+      handle_success(slot, attempt, frame.substr(body));
+      return;
+    }
+    if (verb == "err") {
+      std::string failure_name;
+      header >> failure_name;
+      FailureClass failure = FailureClass::kTransient;
+      try {
+        failure = parse_failure_class(failure_name);
+      } catch (const std::invalid_argument&) {
+      }
+      std::string message;
+      const std::size_t message_at = frame.find(' ', body);
+      if (message_at != std::string::npos) {
+        message = frame.substr(message_at + 1);
+      }
+      handle_failure(slot, attempt, failure, std::move(message));
+      return;
+    }
+    if (verb == "drain") {
+      std::string reason;
+      header >> reason;
+      if (reason == to_string(CancelReason::kDeadline)) {
+        std::string detail = "wall-clock deadline of " +
+                             std::to_string(options_.deadline.count()) +
+                             "ms exceeded";
+        ++report_.deadline_kills;
+        emit({SupervisionEvent::Kind::kDeadlineKill, slots_[slot].id, attempt,
+              FailureClass::kTransient, 0.0, detail});
+        handle_failure(slot, attempt, FailureClass::kTransient,
+                       std::move(detail));
+        return;
+      }
+      // Operator drain (or a task that declined): unfinished, not retried.
+      ReplicaSlot& state = slots_[slot];
+      if (state.phase == Phase::kRunning && state.current_attempt == attempt) {
+        state.phase = Phase::kUnfinished;
+        ++terminal_;
+      }
+    }
+  }
+
+  void drain_reader(Worker& worker, Clock::time_point now) {
+    worker.reader.pump();
+    std::string frame;
+    while (worker.reader.next(frame)) {
+      handle_frame(worker, frame, now);
+    }
+    if (worker.reader.corrupt() && !worker.kill_sent && !worker.reaped) {
+      // A corrupted stream gets no benefit of the doubt: the memory behind
+      // the worker's writer is suspect, so the worker is too.
+      ::kill(worker.pid, SIGKILL);
+      worker.kill_sent = true;
+    }
+  }
+
+  void assign_work(Clock::time_point now) {
+    while (!queue_.empty() && queue_.top().ready_at <= now) {
+      const WorkItem item = queue_.top();
+      ReplicaSlot& state = slots_[item.slot];
+      if (state.phase != Phase::kQueued) {
+        queue_.pop();  // dropped by a cancel drain
+        continue;
+      }
+      Worker* idle = nullptr;
+      for (const auto& worker : workers_) {
+        if (!worker->reaped && !worker->busy && !worker->quit_sent &&
+            worker->liveness.state() != WorkerLiveness::kDead) {
+          idle = worker.get();
+          break;
+        }
+      }
+      if (idle == nullptr) {
+        return;  // every live worker is busy; try next poll round
+      }
+      queue_.pop();
+      const std::string assignment = "work " + std::to_string(state.id) +
+                                     " " + std::to_string(item.attempt);
+      if (!wire_write_frame(idle->work_fd, assignment)) {
+        // The worker died between polls; put the item back untouched (no
+        // budget consumed) and let the reap path recycle the worker.
+        queue_.push(item);
+        if (!idle->kill_sent) {
+          ::kill(idle->pid, SIGKILL);
+          idle->kill_sent = true;
+        }
+        idle->quit_sent = true;  // never reuse this channel
+        return;
+      }
+      state.phase = Phase::kRunning;
+      state.current_attempt = item.attempt;
+      idle->busy = true;
+      idle->slot = item.slot;
+      idle->attempt = item.attempt;
+      idle->started = now;
+      idle->deadline_signaled = false;
+      idle->kill_sent = false;
+    }
+  }
+
+  void enforce_deadlines(Clock::time_point now) {
+    if (options_.deadline.count() <= 0) {
+      return;
+    }
+    for (const auto& worker : workers_) {
+      if (worker->reaped || !worker->busy) {
+        continue;
+      }
+      if (!worker->deadline_signaled &&
+          now - worker->started >= options_.deadline) {
+        // Cooperative first: the worker's SIGUSR1 handler fires the attempt
+        // token with kDeadline and the run drains at a step boundary.
+        ::kill(worker->pid, SIGUSR1);
+        worker->deadline_signaled = true;
+        worker->kill_at = now + options_.fleet.dead_after;
+      } else if (worker->deadline_signaled && !worker->kill_sent &&
+                 now >= worker->kill_at) {
+        // Hung-but-beating: it never reached a cancellation point, so the
+        // crash barrier is the only kill that still works.
+        ::kill(worker->pid, SIGKILL);
+        worker->kill_sent = true;
+      }
+    }
+  }
+
+  void tick_liveness(Clock::time_point now) {
+    for (const auto& worker : workers_) {
+      if (worker->reaped) {
+        continue;
+      }
+      const WorkerLiveness before = worker->liveness.state();
+      emit_transitions(*worker, worker->liveness.tick(now));
+      if (before != WorkerLiveness::kDead &&
+          worker->liveness.state() == WorkerLiveness::kDead &&
+          !worker->kill_sent) {
+        // dead_after with no beat: the process is wedged beyond even its
+        // heartbeat thread (stopped, swapped to death, or zombied).
+        ::kill(worker->pid, SIGKILL);
+        worker->kill_sent = true;
+      }
+    }
+  }
+
+  void handle_worker_exit(Worker& worker, int status, Clock::time_point now) {
+    // Late frames first: a worker that crashed AFTER writing its result
+    // still produced a perfectly good result.
+    drain_reader(worker, now);
+    emit_transitions(worker, worker.liveness.exited(now));
+    worker.reaped = true;
+    if (worker.work_fd >= 0) {
+      ::close(worker.work_fd);
+      worker.work_fd = -1;
+    }
+    if (worker.result_fd >= 0) {
+      ::close(worker.result_fd);
+      worker.result_fd = -1;
+    }
+    if (!worker.busy) {
+      return;  // idle death costs nothing; maintain_fleet refills
+    }
+    const std::size_t slot = worker.slot;
+    const unsigned attempt = worker.attempt;
+    worker.busy = false;
+    ReplicaSlot& state = slots_[slot];
+
+    if (worker.deadline_signaled) {
+      // The deadline escalation (or the crash it provoked) ate the worker:
+      // account it as a deadline kill, retryable like thread mode's.
+      std::string detail = "wall-clock deadline of " +
+                           std::to_string(options_.deadline.count()) +
+                           "ms exceeded; worker " + std::to_string(worker.id) +
+                           " killed";
+      ++report_.deadline_kills;
+      emit({SupervisionEvent::Kind::kDeadlineKill, state.id, attempt,
+            FailureClass::kTransient, 0.0, detail});
+      handle_failure(slot, attempt, FailureClass::kTransient,
+                     std::move(detail));
+      return;
+    }
+
+    std::string detail;
+    if (WIFSIGNALED(status)) {
+      detail = "worker " + std::to_string(worker.id) + " killed by signal " +
+               std::to_string(WTERMSIG(status));
+    } else {
+      detail = "worker " + std::to_string(worker.id) + " exited with status " +
+               std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    }
+    detail += " while running attempt " + std::to_string(attempt);
+    // Crash reclassification: the first death on a replica could be anything
+    // (OOM kill, a stray bit, the scheduler) => transient, retried on a
+    // fresh seed.  Repeated deaths on the SAME replica are a reproducible
+    // crash => deterministic => quarantine.
+    ++state.worker_deaths;
+    const FailureClass failure =
+        state.worker_deaths >=
+                std::max(1u, options_.fleet.max_worker_deaths_per_replica)
+            ? FailureClass::kDeterministic
+            : FailureClass::kTransient;
+    handle_failure(slot, attempt, failure, std::move(detail));
+  }
+
+  void reap_workers(Clock::time_point now) {
+    for (const auto& worker : workers_) {
+      if (worker->reaped) {
+        continue;
+      }
+      int status = 0;
+      const pid_t got = ::waitpid(worker->pid, &status, WNOHANG);
+      if (got == worker->pid) {
+        handle_worker_exit(*worker, status, now);
+      }
+    }
+  }
+
+  void propagate_cancel() {
+    if (cancel_seen_ || options_.cancel == nullptr ||
+        !options_.cancel->requested()) {
+      return;
+    }
+    cancel_seen_ = true;
+    // Queued (never-started) work is unfinished for resume...
+    while (!queue_.empty()) {
+      const WorkItem item = queue_.top();
+      queue_.pop();
+      ReplicaSlot& state = slots_[item.slot];
+      if (state.phase == Phase::kQueued) {
+        state.phase = Phase::kUnfinished;
+        ++terminal_;
+      }
+    }
+    // ...and in-flight attempts drain cooperatively via SIGTERM.
+    for (const auto& worker : workers_) {
+      if (!worker->reaped) {
+        ::kill(worker->pid, SIGTERM);
+      }
+    }
+  }
+
+  void monitor_loop() {
+    while (terminal_ < slots_.size()) {
+      const auto now = Clock::now();
+      propagate_cancel();
+      maintain_fleet(now);
+      assign_work(now);
+
+      std::vector<pollfd> fds;
+      std::vector<Worker*> owners;
+      for (const auto& worker : workers_) {
+        if (!worker->reaped && worker->result_fd >= 0 &&
+            !worker->reader.closed() && !worker->reader.corrupt()) {
+          fds.push_back({worker->result_fd, POLLIN, 0});
+          owners.push_back(worker.get());
+        }
+      }
+      if (!fds.empty()) {
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               static_cast<int>(kFleetPoll.count()));
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+          if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+            drain_reader(*owners[i], Clock::now());
+          }
+        }
+      } else {
+        std::this_thread::sleep_for(kFleetPoll);
+      }
+
+      const auto after = Clock::now();
+      tick_liveness(after);
+      enforce_deadlines(after);
+      reap_workers(after);
+    }
+  }
+
+  // All work is terminal: dismiss the fleet.  EOF on the work pipe is the
+  // normal quit signal; SIGTERM and finally SIGKILL cover workers that
+  // stopped reading.
+  void shutdown_fleet() {
+    for (const auto& worker : workers_) {
+      if (worker->reaped) {
+        continue;
+      }
+      if (worker->work_fd >= 0) {
+        wire_write_frame(worker->work_fd, "quit");
+        ::close(worker->work_fd);
+        worker->work_fd = -1;
+      }
+    }
+    const auto grace_end = Clock::now() + std::chrono::seconds(5);
+    bool all_reaped = false;
+    bool term_sent = false;
+    while (!all_reaped) {
+      all_reaped = true;
+      for (const auto& worker : workers_) {
+        if (worker->reaped) {
+          continue;
+        }
+        int status = 0;
+        const pid_t got = ::waitpid(worker->pid, &status, WNOHANG);
+        if (got == worker->pid) {
+          drain_reader(*worker, Clock::now());
+          worker->reaped = true;
+          if (worker->result_fd >= 0) {
+            ::close(worker->result_fd);
+            worker->result_fd = -1;
+          }
+          continue;
+        }
+        all_reaped = false;
+      }
+      if (all_reaped) {
+        break;
+      }
+      const auto now = Clock::now();
+      if (now >= grace_end) {
+        for (const auto& worker : workers_) {
+          if (!worker->reaped) {
+            ::kill(worker->pid, SIGKILL);
+            int status = 0;
+            ::waitpid(worker->pid, &status, 0);
+            worker->reaped = true;
+          }
+        }
+        break;
+      }
+      if (!term_sent && now >= grace_end - std::chrono::seconds(2)) {
+        term_sent = true;
+        for (const auto& worker : workers_) {
+          if (!worker->reaped) {
+            ::kill(worker->pid, SIGTERM);
+          }
+        }
+      }
+      std::this_thread::sleep_for(kFleetPoll);
+    }
+  }
+
+  void finalize_report() {
+    for (const ReplicaSlot& state : slots_) {
+      if (state.phase == Phase::kDone) {
+        ++report_.succeeded;
+      } else if (state.phase == Phase::kUnfinished) {
+        ++report_.unfinished;
+      }
+    }
+    std::sort(report_.quarantined.begin(), report_.quarantined.end(),
+              [](const QuarantineRecord& a, const QuarantineRecord& b) {
+                return a.replica < b.replica;
+              });
+    report_.cancelled =
+        options_.cancel != nullptr && options_.cancel->requested();
+  }
+
+  const SupervisedTask& task_;
+  const std::function<void(std::size_t, std::string&&)>& on_success_;
+  const SupervisorOptions& options_;
+
+  std::vector<ReplicaSlot> slots_;
+  std::priority_queue<WorkItem, std::vector<WorkItem>, ReadyLater> queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::int64_t next_worker_id_ = 0;
+  unsigned target_workers_ = 1;
+  std::size_t terminal_ = 0;
+  bool cancel_seen_ = false;
+  Counter* counter_for_[SupervisionEvent::kNumKinds] = {};
+  SupervisorReport report_;
+};
+
+}  // namespace
+
+SupervisorReport run_fleet_set(
+    std::span<const std::size_t> replica_ids, const SupervisedTask& task,
+    const std::function<void(std::size_t, std::string&&)>& on_success,
+    const SupervisorOptions& options) {
+  return FleetRun(replica_ids, task, on_success, options).run();
+}
+
+}  // namespace divlib

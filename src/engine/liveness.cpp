@@ -1,0 +1,105 @@
+#include "engine/liveness.hpp"
+
+#include <algorithm>
+
+namespace divlib {
+
+const char* to_string(WorkerLiveness state) {
+  switch (state) {
+    case WorkerLiveness::kUnknown:
+      return "unknown";
+    case WorkerLiveness::kAlive:
+      return "alive";
+    case WorkerLiveness::kSuspect:
+      return "suspect";
+    case WorkerLiveness::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+const char* to_string(LivenessCause cause) {
+  switch (cause) {
+    case LivenessCause::kBeat:
+      return "beat";
+    case LivenessCause::kTimeout:
+      return "timeout";
+    case LivenessCause::kExit:
+      return "exit";
+  }
+  return "unknown";
+}
+
+LivenessTracker::LivenessTracker(const LivenessOptions& options,
+                                 Clock::time_point spawn)
+    : options_(options), last_beat_(spawn), last_event_(spawn) {
+  if (options_.suspect_after.count() <= 0) {
+    options_.suspect_after = std::chrono::milliseconds{1};
+  }
+  if (options_.dead_after <= options_.suspect_after) {
+    options_.dead_after = options_.suspect_after + std::chrono::milliseconds{1};
+  }
+}
+
+LivenessTransition LivenessTracker::move_to(WorkerLiveness to,
+                                            Clock::time_point when,
+                                            LivenessCause cause) {
+  when = std::max(when, last_event_);  // stamps never step backwards
+  const LivenessTransition transition{state_, to, when, cause};
+  state_ = to;
+  last_event_ = when;
+  return transition;
+}
+
+std::vector<LivenessTransition> LivenessTracker::beat(Clock::time_point now) {
+  std::vector<LivenessTransition> out;
+  if (state_ == WorkerLiveness::kDead) {
+    return out;  // late beats from a killed process carry no information
+  }
+  now = std::max(now, last_event_);
+  last_beat_ = std::max(now, last_beat_);
+  if (state_ != WorkerLiveness::kAlive) {
+    out.push_back(move_to(WorkerLiveness::kAlive, now, LivenessCause::kBeat));
+  }
+  return out;
+}
+
+std::vector<LivenessTransition> LivenessTracker::tick(Clock::time_point now) {
+  std::vector<LivenessTransition> out;
+  if (state_ == WorkerLiveness::kDead) {
+    return out;
+  }
+  // Each escalation is stamped at its own deadline, not at the (possibly
+  // much later) tick that observed it -- a coarse polling cadence must not
+  // distort when the machine says the state changed.
+  if (state_ != WorkerLiveness::kSuspect &&
+      now - last_beat_ >= options_.suspect_after) {
+    out.push_back(move_to(WorkerLiveness::kSuspect,
+                          last_beat_ + options_.suspect_after,
+                          LivenessCause::kTimeout));
+  }
+  if (state_ == WorkerLiveness::kSuspect &&
+      now - last_beat_ >= options_.dead_after) {
+    out.push_back(move_to(WorkerLiveness::kDead,
+                          last_beat_ + options_.dead_after,
+                          LivenessCause::kTimeout));
+  }
+  return out;
+}
+
+std::vector<LivenessTransition> LivenessTracker::exited(
+    Clock::time_point now) {
+  std::vector<LivenessTransition> out;
+  if (state_ == WorkerLiveness::kDead) {
+    return out;
+  }
+  // Every death passes through Suspect, so the "no Alive -> Dead without
+  // Suspect" invariant holds for exits too; both hops share the exit stamp.
+  if (state_ != WorkerLiveness::kSuspect) {
+    out.push_back(move_to(WorkerLiveness::kSuspect, now, LivenessCause::kExit));
+  }
+  out.push_back(move_to(WorkerLiveness::kDead, now, LivenessCause::kExit));
+  return out;
+}
+
+}  // namespace divlib

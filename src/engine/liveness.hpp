@@ -1,0 +1,94 @@
+// Heartbeat-driven worker liveness: Unknown -> Alive -> Suspect -> Dead.
+//
+// The fleet parent cannot see inside a worker process; all it observes is
+// the beat stream on the worker's pipe and, eventually, a SIGCHLD.  The
+// membership question -- "is this worker still making progress?" -- is the
+// classic failure-detector problem, and this machine is the standard
+// heartbeat answer (the same design ek-kor2 property-tests):
+//
+//   Unknown --first beat--> Alive        (the worker proved it started)
+//   Unknown/Alive --suspect_after without a beat--> Suspect
+//   Suspect --beat--> Alive              (a stall is not a death)
+//   Suspect --dead_after without a beat--> Dead
+//   any live state --process exit--> Dead (via a synthetic Suspect hop)
+//
+// Dead is absorbing.  Every entry into Dead passes through Suspect -- the
+// exit path synthesizes the hop with the same timestamp -- so observers can
+// rely on the invariant "no Alive -> Dead without Suspect" unconditionally.
+// Spawn time counts as a pseudo-beat for the timers, so a worker that never
+// beats still escalates Unknown -> Suspect -> Dead instead of wedging the
+// machine in Unknown forever.
+//
+// The tracker is deliberately pure: callers feed it explicit timestamps
+// (beat / tick / exited) and receive the transitions each input caused.
+// That makes the machine property-testable with fuzzed schedules and fake
+// clocks -- no threads, no sleeps -- while the fleet feeds it wall-clock
+// time.  Timestamps in the returned transitions are monotone across the
+// lifetime of one tracker, clamped against input clocks that step backwards.
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+namespace divlib {
+
+enum class WorkerLiveness { kUnknown, kAlive, kSuspect, kDead };
+
+const char* to_string(WorkerLiveness state);
+
+struct LivenessOptions {
+  // A worker is Suspect once this much time passes since its last beat (or
+  // spawn, before the first beat).
+  std::chrono::milliseconds suspect_after{250};
+  // ... and Dead once this much passes.  Clamped to > suspect_after at
+  // construction so the Suspect stage always exists.
+  std::chrono::milliseconds dead_after{1000};
+};
+
+// Why a transition fired: a heartbeat arrived, a timer expired, or the
+// process exited (reaped by the parent).
+enum class LivenessCause { kBeat, kTimeout, kExit };
+
+const char* to_string(LivenessCause cause);
+
+struct LivenessTransition {
+  WorkerLiveness from = WorkerLiveness::kUnknown;
+  WorkerLiveness to = WorkerLiveness::kUnknown;
+  std::chrono::steady_clock::time_point when;
+  LivenessCause cause = LivenessCause::kBeat;
+};
+
+class LivenessTracker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  LivenessTracker(const LivenessOptions& options, Clock::time_point spawn);
+
+  // A heartbeat arrived at `now`.  Returns the transitions it caused
+  // (at most one: Unknown->Alive or Suspect->Alive); beats while Dead are
+  // ignored (a process can have beats in the pipe after its SIGKILL).
+  std::vector<LivenessTransition> beat(Clock::time_point now);
+
+  // Time passed with no input.  Returns the timer escalations `now`
+  // justifies -- possibly two at once (-> Suspect -> Dead) when a single
+  // tick covers both thresholds, each stamped at its own deadline.
+  std::vector<LivenessTransition> tick(Clock::time_point now);
+
+  // The process exited (waitpid reaped it).  Escalates straight to Dead,
+  // synthesizing the Suspect hop when the machine had not reached it yet.
+  std::vector<LivenessTransition> exited(Clock::time_point now);
+
+  WorkerLiveness state() const { return state_; }
+  Clock::time_point last_beat() const { return last_beat_; }
+
+ private:
+  LivenessTransition move_to(WorkerLiveness to, Clock::time_point when,
+                             LivenessCause cause);
+
+  LivenessOptions options_;
+  WorkerLiveness state_ = WorkerLiveness::kUnknown;
+  Clock::time_point last_beat_;   // spawn time until the first real beat
+  Clock::time_point last_event_;  // monotonicity clamp for transition stamps
+};
+
+}  // namespace divlib

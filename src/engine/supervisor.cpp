@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/fleet.hpp"
 #include "obs/jsonl.hpp"
 
 namespace divlib {
@@ -69,6 +70,26 @@ FailureClass classify_failure(const std::exception& error) {
   return FailureClass::kTransient;
 }
 
+const char* to_string(Isolation isolation) {
+  switch (isolation) {
+    case Isolation::kThread:
+      return "thread";
+    case Isolation::kProcess:
+      return "process";
+  }
+  return "unknown";
+}
+
+Isolation parse_isolation(std::string_view name) {
+  for (const Isolation isolation : {Isolation::kThread, Isolation::kProcess}) {
+    if (name == to_string(isolation)) {
+      return isolation;
+    }
+  }
+  throw std::invalid_argument("unknown isolation mode '" + std::string(name) +
+                              "' (expected 'thread' or 'process')");
+}
+
 const char* to_string(SupervisionEvent::Kind kind) {
   switch (kind) {
     case SupervisionEvent::Kind::kRetry:
@@ -83,6 +104,14 @@ const char* to_string(SupervisionEvent::Kind kind) {
       return "speculative-win";
     case SupervisionEvent::Kind::kQuarantine:
       return "quarantine";
+    case SupervisionEvent::Kind::kWorkerSpawn:
+      return "worker-spawn";
+    case SupervisionEvent::Kind::kWorkerAlive:
+      return "worker-alive";
+    case SupervisionEvent::Kind::kWorkerSuspect:
+      return "worker-suspect";
+    case SupervisionEvent::Kind::kWorkerDead:
+      return "worker-dead";
   }
   return "unknown";
 }
@@ -95,6 +124,9 @@ std::string SupervisionEvent::to_json() const {
       .field("failure", to_string(failure))
       .field("backoff_ms", backoff_ms)
       .field("detail", detail);
+  if (worker >= 0) {
+    object.field("worker", static_cast<std::uint64_t>(worker));
+  }
   return object.str();
 }
 
@@ -130,6 +162,7 @@ enum class Phase { kQueued, kRunning, kDone, kQuarantined, kUnfinished };
 struct ReplicaState {
   std::size_t id = 0;
   Phase phase = Phase::kQueued;
+  unsigned base_attempt = 0;     // first seed index (poison-seed dodge)
   unsigned next_attempt = 0;     // next fresh seed index to schedule
   unsigned current_attempt = 0;  // seed index of the in-flight instance
   unsigned consumed = 0;         // attempt instances that reached a failure
@@ -205,8 +238,12 @@ class SupervisorRun {
     }
     const auto now = Clock::now();
     for (std::size_t slot = 0; slot < states_.size(); ++slot) {
-      queue_.push({now, slot, 0, false});
-      states_[slot].next_attempt = 1;
+      ReplicaState& state = states_[slot];
+      const unsigned base =
+          options_.first_attempt ? options_.first_attempt(state.id) : 0;
+      state.base_attempt = base;
+      queue_.push({now, slot, base, false});
+      state.next_attempt = base + 1;
     }
     unsigned workers = options_.num_threads;
     if (workers == 0) {
@@ -294,10 +331,13 @@ class SupervisorRun {
       options_.progress->completed.fetch_add(1, std::memory_order_relaxed);
       options_.progress->errored.fetch_add(1, std::memory_order_relaxed);
     }
-    emit_locked({SupervisionEvent::Kind::kQuarantine, state.id,
-                 state.consumed, failure, 0.0, message});
+    // `attempts` is cumulative across resumes (base + consumed this run), so
+    // a later poison-seed dodge resumes from a fresh retry_seed stream.
+    const unsigned attempts = state.base_attempt + state.consumed;
+    emit_locked({SupervisionEvent::Kind::kQuarantine, state.id, attempts,
+                 failure, 0.0, message});
     report_.quarantined.push_back(
-        {state.id, state.consumed, failure, std::move(message)});
+        {state.id, attempts, failure, std::move(message)});
   }
 
   // A failed attempt instance of `slot` reached its verdict: consume one
@@ -330,7 +370,8 @@ class SupervisorRun {
       quarantine_locked(state, failure, std::move(message));
       return;
     }
-    if (state.next_attempt < std::max(1u, options_.max_attempts)) {
+    if (state.next_attempt - state.base_attempt <
+        std::max(1u, options_.max_attempts)) {
       const unsigned next = state.next_attempt++;
       const std::chrono::milliseconds delay =
           backoff_delay(options_, state.id, next);
@@ -569,8 +610,7 @@ class SupervisorRun {
   std::vector<double> durations_;  // successful attempt durations, sorted
   std::size_t terminal_ = 0;       // slots in kDone/kQuarantined/kUnfinished
   bool cancel_seen_ = false;
-  Counter* counters_[6] = {nullptr, nullptr, nullptr,
-                           nullptr, nullptr, nullptr};
+  Counter* counters_[SupervisionEvent::kNumKinds] = {};
   SupervisorReport report_;
 };
 
@@ -580,6 +620,9 @@ SupervisorReport run_supervised_set(
     std::span<const std::size_t> replica_ids, const SupervisedTask& task,
     const std::function<void(std::size_t, std::string&&)>& on_success,
     const SupervisorOptions& options) {
+  if (options.isolation == Isolation::kProcess) {
+    return run_fleet_set(replica_ids, task, on_success, options);
+  }
   return SupervisorRun(replica_ids, task, on_success, options).run();
 }
 

@@ -69,6 +69,36 @@ FailureClass parse_failure_class(std::string_view name);
 // non-std exceptions -- is transient.
 FailureClass classify_failure(const std::exception& error);
 
+// Where attempts execute.  kThread is the in-process worker pool from PR 5;
+// kProcess forks one worker process per pool slot (engine/fleet), so a
+// crashing replica -- SIGSEGV, stack smash, unhandled bad_alloc -- kills its
+// worker, not the campaign.  Healthy replicas produce bit-identical payloads
+// under both modes.
+enum class Isolation { kThread, kProcess };
+
+const char* to_string(Isolation isolation);
+// Inverse of to_string ("thread" / "process"); throws std::invalid_argument.
+Isolation parse_isolation(std::string_view name);
+
+// Knobs for the process-isolated fleet (used only under Isolation::kProcess;
+// see engine/fleet.hpp for the executor).
+struct FleetOptions {
+  // Worker processes; 0 falls back to SupervisorOptions::num_threads
+  // resolution (hardware_concurrency when that is 0 too).
+  unsigned workers = 0;
+  // Worker heartbeat cadence on its result pipe.
+  std::chrono::milliseconds heartbeat_interval{50};
+  // Liveness thresholds, both measured since the worker's last beat:
+  // Alive -> Suspect at suspect_after, Suspect -> Dead at dead_after (the
+  // parent then SIGKILLs the worker and reassigns its attempt).
+  std::chrono::milliseconds suspect_after{500};
+  std::chrono::milliseconds dead_after{2000};
+  // The Nth worker death while running the SAME replica reclassifies the
+  // failure deterministic (=> quarantine): one crash may be cosmic-ray bad
+  // luck, repeated crashes on one seed are a reproducible bug.
+  unsigned max_worker_deaths_per_replica = 2;
+};
+
 // One supervision decision, reported as it happens.
 struct SupervisionEvent {
   enum class Kind {
@@ -78,13 +108,24 @@ struct SupervisionEvent {
     kSpeculativeLaunch,  // duplicate enqueued for a straggling attempt
     kSpeculativeWin,     // the duplicate finished first
     kQuarantine,         // budget exhausted; replica excluded from the batch
+    // Fleet liveness (Isolation::kProcess only).  `worker` carries the
+    // worker index; replica/attempt describe its in-flight assignment when
+    // one exists.
+    kWorkerSpawn,    // worker forked; liveness Unknown
+    kWorkerAlive,    // first beat, or a beat recovered a Suspect worker
+    kWorkerSuspect,  // suspect_after elapsed without a beat
+    kWorkerDead,     // dead_after elapsed, or the process exited
   };
+  static constexpr std::size_t kNumKinds = 10;
   Kind kind = Kind::kRetry;
   std::size_t replica = 0;
   unsigned attempt = 0;  // seed index the event refers to
   FailureClass failure = FailureClass::kTransient;
   double backoff_ms = 0.0;  // kRetry only: scheduled wait before the attempt
   std::string detail;       // exception text / human context
+  // Fleet worker index for kWorker* events; -1 (and omitted from the JSON)
+  // everywhere else.
+  std::int64_t worker = -1;
 
   // Flat JSON object (no "type" field; emitters add their own framing).
   std::string to_json() const;
@@ -97,7 +138,10 @@ const char* to_string(SupervisionEvent::Kind kind);
 // resume skips the replica instead of re-poisoning the run.
 struct QuarantineRecord {
   std::size_t replica = 0;
-  unsigned attempts = 0;  // attempts actually consumed
+  // Attempt indices consumed over the replica's LIFETIME (first_attempt base
+  // plus attempts this run): also the first fresh retry_seed index, which is
+  // what the campaign layer's poison-seed dodge resumes from.
+  unsigned attempts = 0;
   FailureClass failure = FailureClass::kTransient;
   std::string message;  // what() of the last failure
 };
@@ -141,6 +185,17 @@ struct SupervisorOptions {
   std::function<void(const SupervisionEvent&)> on_event;
   // Failure taxonomy override; classify_failure when empty.
   std::function<FailureClass(const std::exception&)> classify;
+  // Execution substrate.  kThread runs attempts on an in-process pool;
+  // kProcess forks a worker fleet (engine/fleet) governed by `fleet`.
+  Isolation isolation = Isolation::kThread;
+  FleetOptions fleet;
+  // Per-replica starting attempt index (0 when empty).  The campaign layer
+  // uses this for the poison-seed dodge: a resume that re-admits a
+  // quarantined replica starts AFTER the attempts that already failed
+  // deterministically, so the retry runs on a fresh retry_seed stream
+  // instead of replaying the poisoned one.  The attempt budget still allows
+  // max_attempts NEW attempts from this base.
+  std::function<unsigned(std::size_t replica)> first_attempt;
 };
 
 // One attempt of one replica.  `rng` is seeded from (master_seed, replica,
@@ -162,6 +217,10 @@ struct SupervisorReport {
   std::uint64_t deadline_kills = 0;   // attempts killed by the wall clock
   std::uint64_t speculative_launches = 0;
   std::uint64_t speculative_wins = 0;
+  // Fleet accounting (zero under Isolation::kThread).
+  std::uint64_t worker_spawns = 0;    // forks, including replacements
+  std::uint64_t worker_suspects = 0;  // Alive/Unknown -> Suspect transitions
+  std::uint64_t worker_deaths = 0;    // Suspect -> Dead transitions
   double backoff_wait_ms = 0.0;  // total scheduled (not wall) backoff
   bool cancelled = false;        // options.cancel had fired by the drain
 

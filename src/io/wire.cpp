@@ -1,0 +1,179 @@
+#include "io/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "io/crc32.hpp"
+
+namespace divlib {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 8;  // u32 length + u32 crc
+
+void put_u32(char* out, std::uint32_t value) {
+  out[0] = static_cast<char>(value & 0xFF);
+  out[1] = static_cast<char>((value >> 8) & 0xFF);
+  out[2] = static_cast<char>((value >> 16) & 0xFF);
+  out[3] = static_cast<char>((value >> 24) & 0xFF);
+}
+
+std::uint32_t get_u32(const char* in) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[3]))
+          << 24);
+}
+
+// Writes all of `data`, absorbing EINTR and short writes.  false on error.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t wrote = ::write(fd, data, size);
+    if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // EPIPE (peer gone) or a real error: same verdict here
+    }
+    data += wrote;
+    size -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool wire_write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxWireFrame) {
+    return false;
+  }
+  char header[kHeaderSize];
+  put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  put_u32(header + 4, crc32_of(payload));
+  // One buffered write keeps header+payload contiguous so a concurrent
+  // writer on the same pipe (there is none by design, but cheap insurance)
+  // cannot interleave between them for frames under PIPE_BUF.
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size());
+  frame.append(header, kHeaderSize);
+  frame.append(payload);
+  return write_all(fd, frame.data(), frame.size());
+}
+
+std::optional<std::string> wire_read_frame(int fd, bool (*interrupted)()) {
+  char header[kHeaderSize];
+  std::size_t have = 0;
+  while (have < kHeaderSize) {
+    const ssize_t got = ::read(fd, header + have, kHeaderSize - have);
+    if (got < 0) {
+      if (errno == EINTR) {
+        if (interrupted != nullptr && interrupted()) {
+          return std::nullopt;
+        }
+        continue;
+      }
+      throw std::runtime_error(std::string("wire_read_frame: read failed: ") +
+                               std::strerror(errno));
+    }
+    if (got == 0) {
+      if (have == 0) {
+        return std::nullopt;  // clean EOF between frames
+      }
+      throw std::runtime_error("wire_read_frame: EOF inside a frame header");
+    }
+    have += static_cast<std::size_t>(got);
+  }
+  const std::uint32_t length = get_u32(header);
+  const std::uint32_t crc = get_u32(header + 4);
+  if (length > kMaxWireFrame) {
+    throw std::runtime_error("wire_read_frame: frame length " +
+                             std::to_string(length) +
+                             " exceeds the protocol maximum");
+  }
+  std::string payload(length, '\0');
+  std::size_t filled = 0;
+  while (filled < length) {
+    const ssize_t got = ::read(fd, payload.data() + filled, length - filled);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;  // mid-frame: finish the read even while draining
+      }
+      throw std::runtime_error(std::string("wire_read_frame: read failed: ") +
+                               std::strerror(errno));
+    }
+    if (got == 0) {
+      throw std::runtime_error("wire_read_frame: EOF inside a frame body");
+    }
+    filled += static_cast<std::size_t>(got);
+  }
+  if (crc32_of(payload) != crc) {
+    throw std::runtime_error("wire_read_frame: CRC mismatch");
+  }
+  return payload;
+}
+
+void WireReader::pump() {
+  if (closed_ || corrupt_) {
+    return;
+  }
+  char chunk[4096];
+  while (true) {
+    const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;  // drained what the pipe had
+      }
+      corrupt_ = true;  // unexpected error: treat the stream as unusable
+      return;
+    }
+    if (got == 0) {
+      closed_ = true;
+      return;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+bool WireReader::next(std::string& payload) {
+  if (corrupt_) {
+    return false;
+  }
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderSize) {
+    return false;
+  }
+  const char* frame = buffer_.data() + consumed_;
+  const std::uint32_t length = get_u32(frame);
+  const std::uint32_t crc = get_u32(frame + 4);
+  if (length > kMaxWireFrame) {
+    corrupt_ = true;
+    return false;
+  }
+  if (available < kHeaderSize + length) {
+    return false;  // body still in flight
+  }
+  payload.assign(frame + kHeaderSize, length);
+  if (crc32_of(payload) != crc) {
+    payload.clear();
+    corrupt_ = true;
+    return false;
+  }
+  consumed_ += kHeaderSize + length;
+  // Compact once the parsed prefix dominates, so the buffer never grows
+  // without bound across a long campaign.
+  if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return true;
+}
+
+}  // namespace divlib

@@ -1,0 +1,82 @@
+// Length-prefixed, CRC-framed message passing over pipes.
+//
+// The fleet executor (engine/fleet) forks worker processes and talks to them
+// over anonymous pipes.  A pipe is a byte stream: without framing, a worker
+// that dies mid-write leaves the parent staring at half a message, and a
+// stray write (or memory stomp in a crashing child) could smear garbage into
+// the stream undetected.  Frames give every message the same shape the
+// journal gives every record:
+//
+//   [u32 length][u32 crc32(payload)][payload bytes]   (little-endian)
+//
+// reusing io/crc32 so a corrupted frame is *detected* -- the parent treats a
+// corrupt stream as a dead worker, never as data.  There is no resync
+// marker: pipes are private point-to-point channels, so the only recovery
+// from corruption is to kill the peer, exactly what the fleet does.
+//
+// Two read paths serve the two sides:
+//   * wire_read_frame  -- blocking, for workers waiting on their next work
+//     item; returns nullopt at EOF (parent gone) and throws on corruption.
+//   * WireReader       -- pump-style for the parent, which multiplexes many
+//     nonblocking worker pipes through one poll() loop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace divlib {
+
+// Frames larger than this are rejected as corruption: no fleet message
+// (work item, heartbeat, encoded replica payload) comes anywhere close, and
+// a bogus length prefix must not become a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxWireFrame = 64u * 1024 * 1024;
+
+// Frames `payload` and writes it to `fd`, retrying on EINTR and short
+// writes.  Returns false when the peer is gone (EPIPE -- callers must have
+// SIGPIPE ignored or blocked) or on any other write error.
+bool wire_write_frame(int fd, std::string_view payload);
+
+// Blocking read of exactly one frame from `fd`.  Returns the payload,
+// nullopt on a clean EOF at a frame boundary, and throws std::runtime_error
+// on a CRC mismatch, an oversized length prefix, or an EOF mid-frame.
+// EINTR aborts the read with nullopt only when `interrupted` is non-null and
+// *interrupted returns true (the worker's drain flag); otherwise the read
+// resumes.
+std::optional<std::string> wire_read_frame(int fd,
+                                           bool (*interrupted)() = nullptr);
+
+// Incremental frame extraction for a nonblocking fd.  pump() pulls whatever
+// bytes the pipe holds; next() pops complete frames in order.  Corruption
+// and EOF are sticky states -- once seen, the stream is finished (any
+// buffered intact frames are still delivered first).
+class WireReader {
+ public:
+  explicit WireReader(int fd) : fd_(fd) {}
+
+  // Reads until the pipe would block, the peer closes, or corruption is
+  // detected.  Never blocks on an O_NONBLOCK fd.
+  void pump();
+
+  // Pops the next complete frame into `payload`; false when none is
+  // buffered.
+  bool next(std::string& payload);
+
+  // Peer closed its end (all bytes before the EOF were consumed by pump).
+  bool closed() const { return closed_; }
+  // A frame failed its CRC or declared an impossible length.  The stream is
+  // unusable; the fleet treats the worker as dead.
+  bool corrupt() const { return corrupt_; }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // parsed prefix of buffer_ awaiting compaction
+  bool closed_ = false;
+  bool corrupt_ = false;
+};
+
+}  // namespace divlib

@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# Fleet crash-barrier drill: run a process-isolated campaign, SIGKILL one
+# random live worker mid-flight and SIGSEGV another, and require
+#   * the campaign itself survives (exit 0, or 5 if the murdered replica got
+#     quarantined after repeated deaths -- never a crash of the parent), and
+#   * every replica it journaled is bit-identical to an undisturbed run.
+# Exits 77 (CTest SKIP_RETURN_CODE) where the drill cannot run.
+set -u
+
+DIVSIM="${1:-}"
+if [[ -z "${DIVSIM}" || ! -x "${DIVSIM}" ]]; then
+  echo "SKIP: divsim binary not provided or not executable" >&2
+  exit 77
+fi
+if ! kill -0 $$ 2>/dev/null; then
+  echo "SKIP: cannot deliver signals in this environment" >&2
+  exit 77
+fi
+if [[ "$(uname -s)" != "Linux" ]]; then
+  # Worker discovery below reads /proc; the fleet itself is POSIX, but the
+  # drill's process archaeology is not.
+  echo "SKIP: drill requires Linux /proc for worker discovery" >&2
+  exit 77
+fi
+
+WORK="$(mktemp -d)" || exit 77
+trap 'rm -rf "${WORK}"' EXIT
+
+# Slow-mixing graph so each replica takes a few hundred ms: the kills land
+# while real work is in flight, and a full campaign still takes seconds.
+ARGS=(run --graph path:1024 --k 9 --stop consensus --max-steps 20000000
+      --replicas 24 --seed 7 --isolation process --workers 3
+      --min-success 0.8)
+
+# Children of a pid, via /proc (pgrep -P is not always installed).
+workers_of() {
+  local parent="$1" pid
+  for pid in /proc/[0-9]*; do
+    pid="${pid#/proc/}"
+    [[ -r "/proc/${pid}/stat" ]] || continue
+    local stat ppid
+    stat="$(cat "/proc/${pid}/stat" 2>/dev/null)" || continue
+    # Field 4 of /proc/pid/stat is the ppid; comm (field 2) may hold spaces,
+    # so parse from after the closing paren.
+    ppid="$(awk '{print $2}' <<< "${stat##*) }")"
+    if [[ "${ppid}" == "${parent}" ]]; then
+      echo "${pid}"
+    fi
+  done
+}
+
+# Baseline: the same campaign, undisturbed.
+"${DIVSIM}" "${ARGS[@]}" --checkpoint-dir "${WORK}/baseline" \
+    > "${WORK}/baseline.out" 2>&1
+baseline_rc=$?
+if [[ ${baseline_rc} -ne 0 ]]; then
+  echo "FAIL: undisturbed baseline exited ${baseline_rc}" >&2
+  cat "${WORK}/baseline.out" >&2
+  exit 1
+fi
+
+# Victim: same campaign; murder two of its workers while it runs.
+"${DIVSIM}" "${ARGS[@]}" --checkpoint-dir "${WORK}/victim" \
+    > "${WORK}/victim.out" 2>&1 &
+victim_pid=$!
+
+kills_landed=0
+for signal in KILL SEGV; do
+  for _ in $(seq 1 500); do
+    if ! kill -0 "${victim_pid}" 2>/dev/null; then
+      break 2  # campaign already finished; drill is (partially) vacuous
+    fi
+    mapfile -t workers < <(workers_of "${victim_pid}")
+    if [[ "${#workers[@]}" -ge 1 ]]; then
+      target="${workers[RANDOM % ${#workers[@]}]}"
+      if kill "-${signal}" "${target}" 2>/dev/null; then
+        kills_landed=$((kills_landed + 1))
+        echo "sent SIG${signal} to worker ${target}" >&2
+        sleep 0.4  # let the fleet reap + respawn before the next murder
+        break
+      fi
+    fi
+    sleep 0.01
+  done
+done
+
+wait "${victim_pid}"
+victim_rc=$?
+if [[ ${victim_rc} -ne 0 && ${victim_rc} -ne 5 ]]; then
+  echo "FAIL: victim campaign exited ${victim_rc} (want 0 ok / 5 degraded)" >&2
+  cat "${WORK}/victim.out" >&2
+  exit 1
+fi
+if [[ ${kills_landed} -eq 0 ]]; then
+  echo "SKIP: campaign finished before any worker could be killed" >&2
+  exit 77
+fi
+
+# Bit-identity of the crash barrier.  The campaign runs with the default
+# attempt budget of 1, so a murdered replica is quarantined (and marked so in
+# the journal dump) rather than retried on a different seed stream -- which
+# means every COMPLETED victim replica ran attempt 0, exactly like the
+# baseline, and must match it byte for byte.
+"${DIVSIM}" journal --dir "${WORK}/baseline" \
+    | grep '^replica ' > "${WORK}/baseline.records"
+"${DIVSIM}" journal --dir "${WORK}/victim" \
+    | grep '^replica ' | grep -v 'QUARANTINED' > "${WORK}/victim.records"
+quarantined=$("${DIVSIM}" journal --dir "${WORK}/victim" \
+    | grep -c 'QUARANTINED')
+if ! grep -F -x -f "${WORK}/baseline.records" "${WORK}/victim.records" \
+    | diff -u - "${WORK}/victim.records"; then
+  echo "FAIL: a healthy victim replica diverged from the baseline" >&2
+  exit 1
+fi
+
+victim_count=$(wc -l < "${WORK}/victim.records")
+if [[ $((victim_count + quarantined)) -ne 24 ]]; then
+  echo "FAIL: ${victim_count} completed + ${quarantined} quarantined != 24" >&2
+  cat "${WORK}/victim.out" >&2
+  exit 1
+fi
+if [[ "${quarantined}" -gt 2 ]]; then
+  # Each murder costs at most one replica; more means collateral damage.
+  echo "FAIL: ${quarantined} replicas quarantined after 2 kills" >&2
+  exit 1
+fi
+# Exit-code contract: clean when every murdered worker was idle (or its
+# result had already landed), degraded when a replica was lost.
+if [[ "${quarantined}" -eq 0 && ${victim_rc} -ne 0 ]]; then
+  echo "FAIL: no quarantines but campaign exited ${victim_rc}" >&2
+  exit 1
+fi
+if [[ "${quarantined}" -gt 0 && ${victim_rc} -ne 5 ]]; then
+  echo "FAIL: ${quarantined} quarantine(s) but exit ${victim_rc} (want 5)" >&2
+  exit 1
+fi
+
+echo "OK: ${kills_landed} worker(s) murdered, campaign exited ${victim_rc}," \
+     "${victim_count}/24 healthy replicas bit-identical, ${quarantined}" \
+     "quarantined"
+exit 0

@@ -1,0 +1,316 @@
+// engine/liveness: the heartbeat failure-detector state machine, tested with
+// a fake clock.  The tracker is pure (explicit timestamps in, transitions
+// out), so these are exact checks plus fuzzed-schedule property tests in the
+// style of ek-kor2's prop_heartbeat suite: whatever interleaving of beats,
+// ticks, and exits the fuzzer produces, the machine must respect
+//   * no Alive -> Dead without passing through Suspect,
+//   * a beat during Suspect restores Alive,
+//   * transition timestamps are non-decreasing,
+//   * transitions chain (each `from` equals the previous `to`),
+//   * Dead is absorbing, and
+//   * the machine never wedges in Unknown once enough time passes.
+#include "engine/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace divlib {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = LivenessTracker::Clock;
+
+// An arbitrary but fixed origin; the tracker only ever looks at differences.
+const Clock::time_point kT0 = Clock::time_point{} + 1000h;
+
+LivenessOptions opts(std::chrono::milliseconds suspect,
+                     std::chrono::milliseconds dead) {
+  LivenessOptions o;
+  o.suspect_after = suspect;
+  o.dead_after = dead;
+  return o;
+}
+
+TEST(LivenessTest, StartsUnknown) {
+  LivenessTracker tracker(opts(100ms, 300ms), kT0);
+  EXPECT_EQ(tracker.state(), WorkerLiveness::kUnknown);
+  EXPECT_EQ(tracker.last_beat(), kT0);
+}
+
+TEST(LivenessTest, FirstBeatMovesUnknownToAlive) {
+  LivenessTracker tracker(opts(100ms, 300ms), kT0);
+  const auto transitions = tracker.beat(kT0 + 10ms);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, WorkerLiveness::kUnknown);
+  EXPECT_EQ(transitions[0].to, WorkerLiveness::kAlive);
+  EXPECT_EQ(transitions[0].when, kT0 + 10ms);
+  EXPECT_EQ(transitions[0].cause, LivenessCause::kBeat);
+  EXPECT_EQ(tracker.state(), WorkerLiveness::kAlive);
+}
+
+TEST(LivenessTest, RepeatBeatWhileAliveIsSilent) {
+  LivenessTracker tracker(opts(100ms, 300ms), kT0);
+  tracker.beat(kT0 + 10ms);
+  EXPECT_TRUE(tracker.beat(kT0 + 20ms).empty());
+  EXPECT_EQ(tracker.state(), WorkerLiveness::kAlive);
+  EXPECT_EQ(tracker.last_beat(), kT0 + 20ms);
+}
+
+TEST(LivenessTest, TickBeforeSuspectDeadlineIsSilent) {
+  LivenessTracker tracker(opts(100ms, 300ms), kT0);
+  tracker.beat(kT0);
+  EXPECT_TRUE(tracker.tick(kT0 + 99ms).empty());
+  EXPECT_EQ(tracker.state(), WorkerLiveness::kAlive);
+}
+
+TEST(LivenessTest, SilenceEscalatesAliveToSuspect) {
+  LivenessTracker tracker(opts(100ms, 300ms), kT0);
+  tracker.beat(kT0);
+  const auto transitions = tracker.tick(kT0 + 150ms);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, WorkerLiveness::kAlive);
+  EXPECT_EQ(transitions[0].to, WorkerLiveness::kSuspect);
+  // Stamped at the deadline the worker missed, not at observation time.
+  EXPECT_EQ(transitions[0].when, kT0 + 100ms);
+  EXPECT_EQ(transitions[0].cause, LivenessCause::kTimeout);
+}
+
+TEST(LivenessTest, BeatDuringSuspectRestoresAlive) {
+  LivenessTracker tracker(opts(100ms, 300ms), kT0);
+  tracker.beat(kT0);
+  tracker.tick(kT0 + 150ms);
+  ASSERT_EQ(tracker.state(), WorkerLiveness::kSuspect);
+  const auto transitions = tracker.beat(kT0 + 200ms);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, WorkerLiveness::kSuspect);
+  EXPECT_EQ(transitions[0].to, WorkerLiveness::kAlive);
+  EXPECT_EQ(transitions[0].cause, LivenessCause::kBeat);
+  EXPECT_EQ(tracker.state(), WorkerLiveness::kAlive);
+  // The recovery also reset the timers: no escalation until a fresh window.
+  EXPECT_TRUE(tracker.tick(kT0 + 299ms).empty());
+  EXPECT_FALSE(tracker.tick(kT0 + 301ms).empty());
+}
+
+TEST(LivenessTest, OneFarTickYieldsSuspectThenDeadAtOwnDeadlines) {
+  LivenessTracker tracker(opts(100ms, 300ms), kT0);
+  tracker.beat(kT0);
+  const auto transitions = tracker.tick(kT0 + 10s);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].from, WorkerLiveness::kAlive);
+  EXPECT_EQ(transitions[0].to, WorkerLiveness::kSuspect);
+  EXPECT_EQ(transitions[0].when, kT0 + 100ms);
+  EXPECT_EQ(transitions[1].from, WorkerLiveness::kSuspect);
+  EXPECT_EQ(transitions[1].to, WorkerLiveness::kDead);
+  EXPECT_EQ(transitions[1].when, kT0 + 300ms);
+  EXPECT_EQ(transitions[1].cause, LivenessCause::kTimeout);
+  EXPECT_EQ(tracker.state(), WorkerLiveness::kDead);
+}
+
+TEST(LivenessTest, SpawnCountsAsPseudoBeatSoUnknownNeverWedges) {
+  // A worker that never manages a single beat must still escalate to Dead.
+  LivenessTracker tracker(opts(100ms, 300ms), kT0);
+  const auto first = tracker.tick(kT0 + 150ms);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].from, WorkerLiveness::kUnknown);
+  EXPECT_EQ(first[0].to, WorkerLiveness::kSuspect);
+  const auto second = tracker.tick(kT0 + 350ms);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].to, WorkerLiveness::kDead);
+}
+
+TEST(LivenessTest, ExitSynthesizesTheSuspectHop) {
+  LivenessTracker tracker(opts(100ms, 300ms), kT0);
+  tracker.beat(kT0 + 10ms);
+  const auto transitions = tracker.exited(kT0 + 50ms);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].from, WorkerLiveness::kAlive);
+  EXPECT_EQ(transitions[0].to, WorkerLiveness::kSuspect);
+  EXPECT_EQ(transitions[0].when, kT0 + 50ms);
+  EXPECT_EQ(transitions[0].cause, LivenessCause::kExit);
+  EXPECT_EQ(transitions[1].from, WorkerLiveness::kSuspect);
+  EXPECT_EQ(transitions[1].to, WorkerLiveness::kDead);
+  EXPECT_EQ(transitions[1].cause, LivenessCause::kExit);
+  EXPECT_EQ(tracker.state(), WorkerLiveness::kDead);
+}
+
+TEST(LivenessTest, ExitFromSuspectIsOneHop) {
+  LivenessTracker tracker(opts(100ms, 300ms), kT0);
+  tracker.beat(kT0);
+  tracker.tick(kT0 + 150ms);
+  const auto transitions = tracker.exited(kT0 + 200ms);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, WorkerLiveness::kSuspect);
+  EXPECT_EQ(transitions[0].to, WorkerLiveness::kDead);
+}
+
+TEST(LivenessTest, DeadIsAbsorbing) {
+  LivenessTracker tracker(opts(100ms, 300ms), kT0);
+  tracker.exited(kT0 + 10ms);
+  ASSERT_EQ(tracker.state(), WorkerLiveness::kDead);
+  // Late beats sit in the pipe after a SIGKILL; they must not resurrect.
+  EXPECT_TRUE(tracker.beat(kT0 + 20ms).empty());
+  EXPECT_TRUE(tracker.tick(kT0 + 10s).empty());
+  EXPECT_TRUE(tracker.exited(kT0 + 10s).empty());
+  EXPECT_EQ(tracker.state(), WorkerLiveness::kDead);
+}
+
+TEST(LivenessTest, BackwardClockNeverProducesDecreasingStamps) {
+  LivenessTracker tracker(opts(100ms, 300ms), kT0);
+  const auto first = tracker.beat(kT0 + 500ms);
+  ASSERT_EQ(first.size(), 1u);
+  // Input clock steps backwards (e.g. two pollers racing): silent, and the
+  // eventual escalation stamps still clamp forward.
+  EXPECT_TRUE(tracker.tick(kT0 + 50ms).empty());
+  const auto wedge = tracker.tick(kT0 + 10s);
+  ASSERT_EQ(wedge.size(), 2u);
+  EXPECT_GE(wedge[0].when, first[0].when);
+  EXPECT_GE(wedge[1].when, wedge[0].when);
+}
+
+TEST(LivenessTest, OptionsClampKeepsSuspectStage) {
+  // dead_after <= suspect_after would erase the Suspect stage; the ctor
+  // clamps so every death still passes through it.
+  LivenessTracker tracker(opts(100ms, 50ms), kT0);
+  tracker.beat(kT0);
+  const auto transitions = tracker.tick(kT0 + 10s);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].to, WorkerLiveness::kSuspect);
+  EXPECT_EQ(transitions[1].to, WorkerLiveness::kDead);
+  EXPECT_GT(transitions[1].when, transitions[0].when);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzed-schedule properties (the prop_heartbeat analogue).  Each iteration
+// drives one tracker through a random input schedule and checks the global
+// invariants on the full transition log.
+
+struct LoggedRun {
+  std::vector<LivenessTransition> log;
+  WorkerLiveness final_state = WorkerLiveness::kUnknown;
+};
+
+LoggedRun fuzz_one_schedule(std::uint64_t seed) {
+  Rng rng(seed);
+  // Thresholds themselves are fuzzed too (clamped sane by the ctor).
+  const auto suspect = std::chrono::milliseconds(1 + rng.next() % 200);
+  const auto dead = std::chrono::milliseconds(1 + rng.next() % 600);
+  LivenessTracker tracker(opts(suspect, dead), kT0);
+
+  LoggedRun run;
+  Clock::time_point now = kT0;
+  const std::size_t steps = 4 + rng.next() % 60;
+  for (std::size_t i = 0; i < steps; ++i) {
+    // Mostly forward steps; occasionally a backward one to attack the
+    // monotonicity clamp.
+    const auto delta = std::chrono::milliseconds(rng.next() % 400);
+    if (rng.next() % 8 == 0) {
+      now -= delta / 2;
+    } else {
+      now += delta;
+    }
+    std::vector<LivenessTransition> out;
+    switch (rng.next() % 8) {
+      case 0:
+      case 1:
+      case 2:
+        out = tracker.beat(now);
+        break;
+      case 7:
+        if (rng.next() % 4 == 0) {
+          out = tracker.exited(now);
+          break;
+        }
+        [[fallthrough]];
+      default:
+        out = tracker.tick(now);
+        break;
+    }
+    run.log.insert(run.log.end(), out.begin(), out.end());
+  }
+  // Close every schedule with a tick far past both thresholds: no schedule
+  // may leave the machine wedged in Unknown after that.
+  const auto out = tracker.tick(now + 1h);
+  run.log.insert(run.log.end(), out.begin(), out.end());
+  run.final_state = tracker.state();
+  return run;
+}
+
+TEST(LivenessPropertyTest, FuzzedSchedulesHoldAllInvariants) {
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    const LoggedRun run = fuzz_one_schedule(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    // Transitions chain: each `from` is the previous `to`, starting Unknown.
+    WorkerLiveness expect_from = WorkerLiveness::kUnknown;
+    for (const auto& t : run.log) {
+      EXPECT_EQ(t.from, expect_from) << "broken transition chain";
+      EXPECT_NE(t.from, t.to) << "self-loop reported as a transition";
+      expect_from = t.to;
+    }
+    EXPECT_EQ(expect_from, run.final_state);
+
+    // No Alive -> Dead (or Unknown -> Dead) shortcut: every entry into Dead
+    // comes from Suspect.
+    for (const auto& t : run.log) {
+      if (t.to == WorkerLiveness::kDead) {
+        EXPECT_EQ(t.from, WorkerLiveness::kSuspect)
+            << "entered Dead from " << to_string(t.from);
+      }
+    }
+
+    // A beat only ever lands the machine in Alive, and only from a live
+    // (non-Dead) state -- beats never resurrect.
+    for (const auto& t : run.log) {
+      if (t.cause == LivenessCause::kBeat) {
+        EXPECT_EQ(t.to, WorkerLiveness::kAlive);
+        EXPECT_NE(t.from, WorkerLiveness::kDead);
+      }
+    }
+
+    // Timestamps are non-decreasing even against backward input clocks.
+    for (std::size_t i = 1; i < run.log.size(); ++i) {
+      EXPECT_GE(run.log[i].when, run.log[i - 1].when)
+          << "stamp regression at transition " << i;
+    }
+
+    // Dead is terminal in the log too: nothing after the first entry to
+    // Dead.
+    bool dead = false;
+    for (const auto& t : run.log) {
+      EXPECT_FALSE(dead) << "transition after Dead";
+      dead = t.to == WorkerLiveness::kDead;
+    }
+
+    // The closing far tick guarantees no schedule wedges in Unknown.
+    EXPECT_NE(run.final_state, WorkerLiveness::kUnknown);
+    EXPECT_EQ(run.final_state, WorkerLiveness::kDead);
+  }
+}
+
+TEST(LivenessPropertyTest, BeatsAtEveryStepKeepTheWorkerAliveForever) {
+  // Degenerate schedule: a worker that always beats inside the window never
+  // leaves Alive, no matter how long the run.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const auto suspect = std::chrono::milliseconds(50 + rng.next() % 200);
+    LivenessTracker tracker(
+        opts(suspect, suspect + std::chrono::milliseconds(1 + rng.next() % 400)),
+        kT0);
+    Clock::time_point now = kT0;
+    tracker.beat(now);
+    for (int i = 0; i < 200; ++i) {
+      now += std::chrono::milliseconds(rng.next() % 50);  // < any threshold
+      tracker.tick(now);
+      tracker.beat(now);
+      ASSERT_EQ(tracker.state(), WorkerLiveness::kAlive) << "step " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace divlib

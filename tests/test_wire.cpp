@@ -1,0 +1,276 @@
+// io/wire: CRC-framed pipe protocol used between the fleet parent and its
+// worker processes.  The tests drive real pipes -- the framing exists to
+// survive exactly the partial-write/garbage conditions only a real fd shows.
+#include "io/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "io/crc32.hpp"
+
+namespace divlib {
+namespace {
+
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+  Pipe() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::pipe(fds), 0);
+    read_fd = fds[0];
+    write_fd = fds[1];
+  }
+  ~Pipe() {
+    close_read();
+    close_write();
+  }
+  void close_read() {
+    if (read_fd >= 0) {
+      ::close(read_fd);
+      read_fd = -1;
+    }
+  }
+  void close_write() {
+    if (write_fd >= 0) {
+      ::close(write_fd);
+      write_fd = -1;
+    }
+  }
+  void make_read_nonblocking() const {
+    ::fcntl(read_fd, F_SETFL, ::fcntl(read_fd, F_GETFL) | O_NONBLOCK);
+  }
+};
+
+void put_u32_le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+std::string raw_frame(std::string_view payload, std::uint32_t crc) {
+  std::string bytes;
+  put_u32_le(bytes, static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(bytes, crc);
+  bytes.append(payload);
+  return bytes;
+}
+
+void write_raw(int fd, std::string_view bytes) {
+  ASSERT_EQ(::write(fd, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+}
+
+TEST(WireTest, FrameRoundTripsOverPipe) {
+  Pipe pipe;
+  ASSERT_TRUE(wire_write_frame(pipe.write_fd, "work 7 3"));
+  const auto got = wire_read_frame(pipe.read_fd);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "work 7 3");
+}
+
+TEST(WireTest, EmptyPayloadRoundTrips) {
+  Pipe pipe;
+  ASSERT_TRUE(wire_write_frame(pipe.write_fd, ""));
+  const auto got = wire_read_frame(pipe.read_fd);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST(WireTest, BinaryPayloadSurvivesIntact) {
+  Pipe pipe;
+  std::string payload;
+  for (int byte = 0; byte < 256; ++byte) {
+    payload.push_back(static_cast<char>(byte));
+  }
+  ASSERT_TRUE(wire_write_frame(pipe.write_fd, payload));
+  const auto got = wire_read_frame(pipe.read_fd);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+}
+
+TEST(WireTest, CleanEofBetweenFramesIsNullopt) {
+  Pipe pipe;
+  ASSERT_TRUE(wire_write_frame(pipe.write_fd, "one"));
+  pipe.close_write();
+  EXPECT_EQ(wire_read_frame(pipe.read_fd), "one");
+  EXPECT_FALSE(wire_read_frame(pipe.read_fd).has_value());
+}
+
+TEST(WireTest, EofInsideHeaderThrows) {
+  Pipe pipe;
+  write_raw(pipe.write_fd, "ab");  // 2 of 8 header bytes
+  pipe.close_write();
+  EXPECT_THROW(wire_read_frame(pipe.read_fd), std::runtime_error);
+}
+
+TEST(WireTest, EofInsideBodyThrows) {
+  Pipe pipe;
+  const std::string frame = raw_frame("payload", crc32_of("payload"));
+  write_raw(pipe.write_fd, frame.substr(0, frame.size() - 2));
+  pipe.close_write();
+  EXPECT_THROW(wire_read_frame(pipe.read_fd), std::runtime_error);
+}
+
+TEST(WireTest, CrcMismatchThrows) {
+  Pipe pipe;
+  write_raw(pipe.write_fd, raw_frame("payload", crc32_of("payload") ^ 1));
+  EXPECT_THROW(wire_read_frame(pipe.read_fd), std::runtime_error);
+}
+
+TEST(WireTest, OversizedLengthPrefixThrows) {
+  Pipe pipe;
+  std::string bytes;
+  put_u32_le(bytes, kMaxWireFrame + 1);
+  put_u32_le(bytes, 0);
+  write_raw(pipe.write_fd, bytes);
+  EXPECT_THROW(wire_read_frame(pipe.read_fd), std::runtime_error);
+}
+
+TEST(WireTest, WriteRejectsOversizedPayload) {
+  Pipe pipe;
+  // The guard runs before any byte hits the pipe, so nothing blocks even
+  // though the payload dwarfs the pipe buffer.
+  std::string big(kMaxWireFrame + 1, 'x');
+  EXPECT_FALSE(wire_write_frame(pipe.write_fd, big));
+}
+
+TEST(WireTest, WriteToClosedPeerFails) {
+  Pipe pipe;
+  pipe.close_read();
+  // SIGPIPE would kill the test; the wire contract requires callers ignore
+  // it, which the fleet does process-wide.
+  ::signal(SIGPIPE, SIG_IGN);
+  EXPECT_FALSE(wire_write_frame(pipe.write_fd, "into the void"));
+  ::signal(SIGPIPE, SIG_DFL);
+}
+
+TEST(WireTest, LargeFrameRoundTripsPastPipeCapacity) {
+  // 1 MiB >> the 64 KiB pipe buffer: forces short writes on the writer side
+  // and many partial reads on the reader side.
+  Pipe pipe;
+  std::string payload;
+  payload.reserve(1 << 20);
+  for (std::size_t i = 0; i < (1 << 20); ++i) {
+    payload.push_back(static_cast<char>('a' + (i * 31) % 26));
+  }
+  std::thread writer(
+      [&] { EXPECT_TRUE(wire_write_frame(pipe.write_fd, payload)); });
+  const auto got = wire_read_frame(pipe.read_fd);
+  writer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+}
+
+TEST(WireReaderTest, PopsFramesInOrder) {
+  Pipe pipe;
+  pipe.make_read_nonblocking();
+  ASSERT_TRUE(wire_write_frame(pipe.write_fd, "beat"));
+  ASSERT_TRUE(wire_write_frame(pipe.write_fd, "ok 1 0 result"));
+  ASSERT_TRUE(wire_write_frame(pipe.write_fd, "beat"));
+  WireReader reader(pipe.read_fd);
+  reader.pump();
+  std::string frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame, "beat");
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame, "ok 1 0 result");
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame, "beat");
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_FALSE(reader.closed());
+  EXPECT_FALSE(reader.corrupt());
+}
+
+TEST(WireReaderTest, ByteDribbleAssemblesOneFrame) {
+  Pipe pipe;
+  pipe.make_read_nonblocking();
+  WireReader reader(pipe.read_fd);
+  const std::string bytes = raw_frame("dribble", crc32_of("dribble"));
+  std::string frame;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    EXPECT_FALSE(reader.next(frame)) << "frame complete after " << i
+                                     << "/" << bytes.size() << " bytes";
+    write_raw(pipe.write_fd, bytes.substr(i, 1));
+    reader.pump();
+  }
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame, "dribble");
+}
+
+TEST(WireReaderTest, EofIsStickyAndBufferedFramesStillDeliver) {
+  Pipe pipe;
+  pipe.make_read_nonblocking();
+  ASSERT_TRUE(wire_write_frame(pipe.write_fd, "last words"));
+  pipe.close_write();
+  WireReader reader(pipe.read_fd);
+  reader.pump();
+  EXPECT_TRUE(reader.closed());
+  std::string frame;
+  ASSERT_TRUE(reader.next(frame));
+  EXPECT_EQ(frame, "last words");
+  EXPECT_FALSE(reader.next(frame));
+}
+
+TEST(WireReaderTest, CorruptCrcPoisonsTheStream) {
+  Pipe pipe;
+  pipe.make_read_nonblocking();
+  write_raw(pipe.write_fd, raw_frame("bad", crc32_of("bad") ^ 0xdead));
+  ASSERT_TRUE(wire_write_frame(pipe.write_fd, "good"));
+  WireReader reader(pipe.read_fd);
+  reader.pump();
+  std::string frame;
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_TRUE(reader.corrupt());
+  // Corruption is sticky: even intact later frames are never surfaced,
+  // because nothing downstream of a CRC failure can be trusted.
+  EXPECT_FALSE(reader.next(frame));
+}
+
+TEST(WireReaderTest, BogusLengthPoisonsTheStream) {
+  Pipe pipe;
+  pipe.make_read_nonblocking();
+  std::string bytes;
+  put_u32_le(bytes, 0xFFFFFFFFu);
+  put_u32_le(bytes, 0);
+  bytes.append("garbage");
+  write_raw(pipe.write_fd, bytes);
+  WireReader reader(pipe.read_fd);
+  reader.pump();
+  std::string frame;
+  EXPECT_FALSE(reader.next(frame));
+  EXPECT_TRUE(reader.corrupt());
+}
+
+TEST(WireReaderTest, ManyFramesCompactTheBuffer) {
+  // Regression guard for the compaction path: thousands of small frames must
+  // neither stall nor corrupt as consumed_ laps the buffer.
+  Pipe pipe;
+  pipe.make_read_nonblocking();
+  WireReader reader(pipe.read_fd);
+  std::string frame;
+  std::size_t received = 0;
+  for (int batch = 0; batch < 100; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(wire_write_frame(
+          pipe.write_fd, "beat " + std::to_string(batch * 50 + i)));
+    }
+    reader.pump();
+    while (reader.next(frame)) {
+      EXPECT_EQ(frame, "beat " + std::to_string(received));
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, 5000u);
+}
+
+}  // namespace
+}  // namespace divlib

@@ -7,9 +7,12 @@
 //                   [--retries N] [--threads N]
 //                   [--deadline-ms N] [--retry-backoff MS]
 //                   [--straggler-factor F] [--min-success F] [--supervise]
-//                   [--checkpoint-dir D [--checkpoint-every R] [--resume]]
+//                   [--isolation thread|process] [--workers N]
+//                   [--suspect-after-ms N] [--dead-after-ms N]
+//                   [--checkpoint-dir D [--checkpoint-every R] [--resume]
+//                    [--retry-quarantined]]
 //                   [--metrics-out FILE] [--progress] [--heartbeat-ms N]
-//   divsim journal  --dir <checkpoint-dir>        (inspect a campaign)
+//   divsim journal  --dir <checkpoint-dir> [--json]  (inspect a campaign)
 //   divsim spectral --graph <spec> [--seed 1] [--full]
 //   divsim graph    --graph <spec> [--seed 1] [--dot] [--analyze]
 //   divsim meanfield --k 5 [--tau 10] [--fractions a,b,c,...]
@@ -125,6 +128,19 @@ int usage() {
       "               even if poison replicas were quarantined; --supervise\n"
       "               forces the supervised driver with defaults.  Any of\n"
       "               these flags switches `run` to the supervisor.\n"
+      "isolation:     --isolation process forks one worker process per pool\n"
+      "               slot (default thread), so a crashing replica (SIGSEGV,\n"
+      "               abort, unhandled bad_alloc) costs one attempt, not the\n"
+      "               run; healthy replicas are bit-identical to thread mode.\n"
+      "               --workers N sizes the fleet; workers beat over their\n"
+      "               result pipe and the parent tracks liveness Unknown ->\n"
+      "               Alive -> Suspect (--suspect-after-ms, default 500) ->\n"
+      "               Dead (--dead-after-ms, default 2000; the worker is\n"
+      "               killed and its attempt retried or quarantined).\n"
+      "               --retry-quarantined (with --resume) re-admits\n"
+      "               quarantined replicas starting AFTER their consumed\n"
+      "               attempts, dodging poison seeds.  `journal --json`\n"
+      "               emits the checkpoint state as one JSON object.\n"
       "exit codes:    0 ok; 1 error; 2 usage; 3 replica errors or below the\n"
       "               success quorum; 4 torn journal (journal command);\n"
       "               5 degraded (quorum met despite quarantines);\n"
@@ -253,9 +269,28 @@ int cmd_run(const Args& args) {
   if (straggler_factor < 0.0) {
     throw std::invalid_argument("--straggler-factor must be >= 0");
   }
+  // Isolation: --isolation process forks a worker fleet so a crashing
+  // replica (SIGSEGV, bad_alloc the allocator cannot survive, stack smash)
+  // costs one attempt instead of the whole run.  Fleet knobs only apply
+  // there; process isolation implies the supervised driver.
+  const Isolation isolation = parse_isolation(args.get("isolation", "thread"));
+  const auto fleet_workers = static_cast<unsigned>(args.get_u64("workers", 0));
+  const std::uint64_t suspect_after_ms = args.get_u64("suspect-after-ms", 500);
+  const std::uint64_t dead_after_ms = args.get_u64("dead-after-ms", 2000);
+  if (dead_after_ms <= suspect_after_ms) {
+    throw std::invalid_argument(
+        "--dead-after-ms must exceed --suspect-after-ms");
+  }
+  const bool retry_quarantined = args.flag("retry-quarantined");
+  if (retry_quarantined && !resume) {
+    throw std::invalid_argument(
+        "--retry-quarantined only makes sense with --resume (it re-admits "
+        "replicas a previous session quarantined)");
+  }
   const bool supervise = args.flag("supervise") || deadline_ms > 0 ||
                          straggler_factor > 0.0 || min_success < 1.0 ||
-                         backoff_given;
+                         backoff_given || retry_quarantined ||
+                         isolation == Isolation::kProcess;
 
   RunOptions options;
   options.stop = stop_text == "two-adjacent" ? StopKind::kTwoAdjacent
@@ -340,8 +375,11 @@ int cmd_run(const Args& args) {
   // `cancel` is the attempt's drain token: the global SIGINT token for the
   // plain drivers, a supervisor-owned per-attempt lease under supervision
   // (so a deadline kill stops one attempt, not the whole batch).
+  // `emit_telemetry` is false inside fleet worker processes: they inherit
+  // the parent's JSONL file descriptor and registry across fork(), and a
+  // child writing either would interleave with (and double) the parent's.
   const auto run_one = [&](std::size_t replica, Rng& rng,
-                           const CancelToken& cancel) {
+                           const CancelToken& cancel, bool emit_telemetry) {
     OpinionState state(
         graph, uniform_random_opinions(graph.num_vertices(), 1, k, rng));
     auto process = make_process_from_spec(process_name, scheme, graph);
@@ -350,7 +388,7 @@ int cmd_run(const Args& args) {
     RunOptions replica_options = options;
     replica_options.cancel = &cancel;
     RunMetrics metrics;
-    if (metrics_out) {
+    if (metrics_out && emit_telemetry) {
       replica_options.metrics = &metrics;
     }
     ReplicaRun out;
@@ -374,7 +412,7 @@ int cmd_run(const Args& args) {
     } else {
       out.result = run_guarded(*process, state, rng, replica_options);
     }
-    if (telemetry) {
+    if (telemetry && emit_telemetry) {
       switch (out.result.status) {
         case RunStatus::kCompleted: runs_completed.add(); break;
         case RunStatus::kCapped:    runs_capped.add(); break;
@@ -384,7 +422,7 @@ int cmd_run(const Args& args) {
       }
       steps_hist.observe(static_cast<double>(out.result.steps));
     }
-    if (metrics_out) {
+    if (metrics_out && emit_telemetry) {
       // Completion order across workers is nondeterministic, so records are
       // keyed by replica id; a retried replica emits one record per attempt
       // and readers keep the last.
@@ -417,6 +455,10 @@ int cmd_run(const Args& args) {
   sup.cancel = &CancelToken::global();
   sup.progress = telemetry ? &progress : nullptr;
   sup.metrics = telemetry ? &registry : nullptr;
+  sup.isolation = isolation;
+  sup.fleet.workers = fleet_workers;
+  sup.fleet.suspect_after = std::chrono::milliseconds(suspect_after_ms);
+  sup.fleet.dead_after = std::chrono::milliseconds(dead_after_ms);
   if (metrics_out) {
     sup.on_event = [&](const SupervisionEvent& event) {
       JsonObject line;
@@ -429,9 +471,11 @@ int cmd_run(const Args& args) {
   // apart.  A successful attempt persists through the same codec the
   // campaign journal uses, so supervised and plain results stay comparable.
   const SupervisedTask supervised_task =
-      [&](std::size_t replica, Rng& rng,
-          const CancelToken& cancel) -> std::optional<std::string> {
-    const ReplicaRun out = run_one(replica, rng, cancel);
+      [&, isolation](std::size_t replica, Rng& rng,
+                     const CancelToken& cancel) -> std::optional<std::string> {
+    const ReplicaRun out =
+        run_one(replica, rng, cancel,
+                /*emit_telemetry=*/isolation == Isolation::kThread);
     if (out.result.status == RunStatus::kCancelled ||
         out.result.status == RunStatus::kDeadline) {
       return std::nullopt;
@@ -450,7 +494,8 @@ int cmd_run(const Args& args) {
     auto batch = run_replicas_isolated<ReplicaRun>(
         replicas,
         [&](std::size_t replica, Rng& rng) {
-          return run_one(replica, rng, CancelToken::global());
+          return run_one(replica, rng, CancelToken::global(),
+                         /*emit_telemetry=*/true);
         },
         mc);
     if (!batch.results.empty() && batch.results.front()) {
@@ -490,6 +535,7 @@ int cmd_run(const Args& args) {
     campaign.meta = meta.str();
     campaign.mc = mc;
     campaign.heartbeat = heartbeat.get();
+    campaign.retry_quarantined = retry_quarantined;
     if (supervise) {
       const SupervisedCampaignResult outcome =
           run_supervised_campaign(replicas, supervised_task, campaign, sup);
@@ -511,7 +557,8 @@ int cmd_run(const Args& args) {
       const CampaignResult outcome = run_campaign(
           replicas,
           [&](std::size_t replica, Rng& rng) -> std::optional<std::string> {
-            const ReplicaRun out = run_one(replica, rng, CancelToken::global());
+            const ReplicaRun out = run_one(replica, rng, CancelToken::global(),
+                                           /*emit_telemetry=*/true);
             if (out.result.status == RunStatus::kCancelled) {
               return std::nullopt;  // unfinished: re-runs on resume
             }
@@ -556,6 +603,10 @@ int cmd_run(const Args& args) {
           .field("deadline_kills", sup_report.deadline_kills)
           .field("speculative_launches", sup_report.speculative_launches)
           .field("speculative_wins", sup_report.speculative_wins)
+          .field("isolation", to_string(isolation))
+          .field("worker_spawns", sup_report.worker_spawns)
+          .field("worker_suspects", sup_report.worker_suspects)
+          .field("worker_deaths", sup_report.worker_deaths)
           .field("cancelled", sup_report.cancelled);
     } else {
       line.field("attempted", static_cast<std::uint64_t>(report.attempted))
@@ -646,6 +697,11 @@ int cmd_run(const Args& args) {
               << sup_report.speculative_launches << " speculative launches ("
               << sup_report.speculative_wins << " won), "
               << quarantined.size() << " quarantined\n";
+    if (isolation == Isolation::kProcess) {
+      std::cout << "fleet: " << sup_report.worker_spawns << " worker(s) forked, "
+                << sup_report.worker_suspects << " suspect transition(s), "
+                << sup_report.worker_deaths << " death(s)\n";
+    }
     for (const QuarantineRecord& record : quarantined) {
       std::cout << "  quarantined replica " << record.replica << " ("
                 << to_string(record.failure) << ", " << record.attempts
@@ -704,18 +760,16 @@ int cmd_run(const Args& args) {
 int cmd_journal(const Args& args) {
   // Read-only inspection of a campaign checkpoint directory; records print
   // sorted by replica id, so two campaigns that finished the same work
-  // compare equal regardless of completion order.
+  // compare equal regardless of completion order.  --json emits one machine-
+  // readable object instead of the human listing (same exit-code contract).
   const std::string dir = args.get("dir", "");
   if (dir.empty()) {
     throw std::invalid_argument("journal: --dir <checkpoint-dir> is required");
   }
+  const bool as_json = args.flag("json");
   warn_unused(args);
-  std::cout << "meta:\n" << read_file(dir + "/campaign.meta");
+  const std::string meta = read_file(dir + "/campaign.meta");
   const JournalRecovery recovery = read_journal(dir + "/results.journal");
-  std::cout << "records: " << recovery.records.size() << " intact, "
-            << recovery.valid_bytes << "/" << recovery.total_bytes
-            << " bytes valid" << (recovery.torn() ? " (torn tail)" : "")
-            << "\n";
   std::map<std::size_t, std::string> by_replica;
   std::map<std::size_t, QuarantineRecord> quarantines;
   for (const std::string& record : recovery.records) {
@@ -729,7 +783,56 @@ int cmd_journal(const Args& args) {
   }
   for (const auto& [replica, payload] : by_replica) {
     // A payload trumps a quarantine for the same id (crash between appends).
+    (void)payload;
     quarantines.erase(replica);
+  }
+  if (as_json) {
+    // Quarantine + supervision state as structured JSON, one object: meta,
+    // journal health, finished replicas, and the excluded set with the
+    // resume-relevant fields (class, cumulative attempts, last message).
+    std::string replicas_json = "[";
+    bool first = true;
+    for (const auto& [replica, payload] : by_replica) {
+      if (!first) replicas_json.push_back(',');
+      first = false;
+      JsonObject entry;
+      entry.field("replica", static_cast<std::uint64_t>(replica))
+          .field("payload", payload);
+      replicas_json += entry.str();
+    }
+    replicas_json.push_back(']');
+    std::string quarantines_json = "[";
+    first = true;
+    for (const auto& [replica, entry] : quarantines) {
+      if (!first) quarantines_json.push_back(',');
+      first = false;
+      JsonObject item;
+      item.field("replica", static_cast<std::uint64_t>(replica))
+          .field("failure", to_string(entry.failure))
+          .field("attempts", static_cast<std::uint64_t>(entry.attempts))
+          .field("message", entry.message);
+      quarantines_json += item.str();
+    }
+    quarantines_json.push_back(']');
+    JsonObject object;
+    object.field("meta", meta)
+        .field("records", static_cast<std::uint64_t>(recovery.records.size()))
+        .field("valid_bytes", recovery.valid_bytes)
+        .field("total_bytes", recovery.total_bytes)
+        .field("torn", recovery.torn())
+        .field("finished", static_cast<std::uint64_t>(by_replica.size()))
+        .field("quarantined", static_cast<std::uint64_t>(quarantines.size()))
+        .raw_field("replicas", replicas_json)
+        .raw_field("quarantines", quarantines_json);
+    std::cout << object.str() << "\n";
+    return recovery.torn() ? 4 : 0;
+  }
+  std::cout << "meta:\n" << meta;
+  std::cout << "records: " << recovery.records.size() << " intact, "
+            << recovery.valid_bytes << "/" << recovery.total_bytes
+            << " bytes valid" << (recovery.torn() ? " (torn tail)" : "")
+            << "\n";
+  for (const auto& [replica, payload] : by_replica) {
     std::cout << "replica " << replica << ": " << payload << "\n";
   }
   for (const auto& [replica, entry] : quarantines) {
