@@ -24,6 +24,8 @@
 #include "engine/initial_config.hpp"
 #include "graph/generators.hpp"
 #include "graph/random_graphs.hpp"
+#include "core/opinion_plane.hpp"
+#include "engine/batch_engine.hpp"
 #include "engine/jump_engine.hpp"
 #include "engine/montecarlo.hpp"
 #include "engine/supervisor.hpp"
@@ -245,6 +247,71 @@ void BM_SupervisorOnBatch(benchmark::State& state) {
   run_supervisor_batch(state, /*supervised=*/true);
 }
 BENCHMARK(BM_SupervisorOnBatch)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// Batched replica engine: B lanes of the same topology advanced in lock-step
+// over an OpinionPlane vs B sequential scalar run() calls.  A FIXED step
+// budget (4n scheduled steps per lane, far below the consensus time) makes
+// both sides execute the identical schedule, so items/sec -- replica-steps
+// per second -- compares them directly.  Seeds follow the isolated driver
+// (retry_seed(master, replica, 0)), so lane r draws the same stream and
+// touches the same cells in the same order on either side; only the
+// execution strategy differs.  Initialization (opinion draws, plane
+// assignment, process construction) happens with the clock paused on both
+// sides.
+void run_batch_lanes(benchmark::State& state, bool batched) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const auto lanes = static_cast<unsigned>(state.range(1));
+  const Graph& g = shared_regular_graph(n);
+  RunOptions options;
+  options.max_steps = static_cast<std::uint64_t>(n) * 4;
+  std::uint64_t scheduled = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Rng> rngs;
+    rngs.reserve(lanes);
+    for (unsigned r = 0; r < lanes; ++r) {
+      rngs.emplace_back(Rng::retry_seed(0xba7c, r, 0));
+    }
+    if (batched) {
+      OpinionPlane plane(g, lanes);
+      for (unsigned r = 0; r < lanes; ++r) {
+        plane.assign_lane(r, uniform_random_opinions(n, 1, 8, rngs[r]));
+      }
+      state.ResumeTiming();
+      for (const RunResult& result : run_batch(
+               g, SelectionScheme::kVertex, plane, std::span<Rng>(rngs),
+               options)) {
+        scheduled += result.steps;
+      }
+    } else {
+      std::vector<OpinionState> states;
+      states.reserve(lanes);
+      for (unsigned r = 0; r < lanes; ++r) {
+        states.emplace_back(g, uniform_random_opinions(n, 1, 8, rngs[r]));
+      }
+      DivProcess process(g, SelectionScheme::kVertex);
+      state.ResumeTiming();
+      for (unsigned r = 0; r < lanes; ++r) {
+        scheduled += run(process, states[r], rngs[r], options).steps;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(scheduled));
+}
+
+void BM_DivBatchNaiveRun(benchmark::State& state) {
+  run_batch_lanes(state, /*batched=*/false);
+}
+BENCHMARK(BM_DivBatchNaiveRun)
+    ->ArgsProduct({{1 << 10, 1 << 14, 1 << 17}, {1, 4, 16}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DivBatchRun(benchmark::State& state) {
+  run_batch_lanes(state, /*batched=*/true);
+}
+BENCHMARK(BM_DivBatchRun)
+    ->ArgsProduct({{1 << 10, 1 << 14, 1 << 17}, {1, 4, 16}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PullVertexStep(benchmark::State& state) {
   run_steps(state, static_cast<VertexId>(state.range(0)), [](const Graph& g) {

@@ -34,9 +34,13 @@ else()
     "(cmake --preset perf) for numbers worth committing.")
 endif()
 
+if(NOT DEFINED PERF_MIN_TIME)
+  set(PERF_MIN_TIME 0.05)
+endif()
 set(PERF_ARGS
   "--benchmark_filter=${PERF_FILTER}"
-  "--benchmark_min_time=0.05"
+  "--benchmark_min_time=${PERF_MIN_TIME}"
+  "--benchmark_enable_random_interleaving=true"
   "--benchmark_out=${BENCH_JSON}"
   "--benchmark_out_format=json")
 if(DEFINED PERF_REPETITIONS)
@@ -52,7 +56,12 @@ if(NOT PERF_RC EQUAL 0)
 endif()
 
 # Stamp the build type as the first key of the benchmark "context" object.
+# Google Benchmark emits its own "library_build_type" context key (the
+# BENCHMARK library's build flavour, not ours); drop it first so the stamped
+# JSON has exactly one, strict-parser-safe occurrence of the key.
 file(READ "${BENCH_JSON}" BENCH_CONTENT)
+string(REGEX REPLACE ",[ \t\r\n]*\"library_build_type\": \"[^\"]*\"" ""
+  BENCH_CONTENT "${BENCH_CONTENT}")
 string(REPLACE "\"context\": {"
   "\"context\": {\n    \"library_build_type\": \"${BUILD_TYPE_STAMP}\","
   BENCH_CONTENT "${BENCH_CONTENT}")

@@ -51,6 +51,7 @@ DiscordanceTracker::DiscordanceTracker(const OpinionState& state,
 
 void DiscordanceTracker::rebuild_counts() {
   ++rebuilds_;
+  alias_fresh_ = false;  // the frozen weights no longer match
   const Graph& graph = state_->graph();
   const VertexId n = graph.num_vertices();
   if (scheme_ == SelectionScheme::kVertex) {
@@ -156,7 +157,21 @@ SelectedPair DiscordanceTracker::sample_discordant_pair(Rng& rng) const {
     pair.observed = (draw & 1) ? edge.u : edge.v;
     return pair;
   }
-  pair.updater = static_cast<VertexId>(sampler_.sample(rng));
+  if (alias_fresh_) {
+    // O(1) frozen-weight path: one uniform column plus one uniform01 instead
+    // of the Fenwick descent.  Same law over updaters, different rng
+    // consumption (see freeze_alias in the header).
+    pair.updater = static_cast<VertexId>(alias_.sample(rng));
+    if (disc_[pair.updater] == 0) {
+      // Numerically impossible unless the table outlived a weight change the
+      // invalidation hooks somehow missed; fail loudly rather than draw
+      // uniform_below(0) below.
+      throw std::logic_error(
+          "DiscordanceTracker: alias table sampled a concordant vertex");
+    }
+  } else {
+    pair.updater = static_cast<VertexId>(sampler_.sample(rng));
+  }
   const Opinion own = state_->opinion(pair.updater);
   // Uniform among the disc(v) discordant neighbors: pick a rank, then scan.
   std::uint32_t rank =
@@ -173,11 +188,96 @@ SelectedPair DiscordanceTracker::sample_discordant_pair(Rng& rng) const {
   throw std::logic_error("DiscordanceTracker: counts are stale");
 }
 
+void DiscordanceTracker::sample_discordant_pairs(
+    std::span<Rng* const> rngs, std::span<SelectedPair> out) const {
+  if (rngs.size() != out.size()) {
+    throw std::invalid_argument(
+        "DiscordanceTracker::sample_discordant_pairs: rngs/out size mismatch");
+  }
+  if (frozen()) {
+    throw std::logic_error(
+        "DiscordanceTracker: no discordant pairs to sample");
+  }
+  if (scheme_ == SelectionScheme::kEdge) {
+    // One draw per lane against the shared compact pair array; hoisting the
+    // bound and base pointer out of the loop is the whole batch win here --
+    // the per-lane work is already O(1).
+    const std::uint64_t bound =
+        2 * static_cast<std::uint64_t>(discordant_.size());
+    const Edge* pairs = discordant_uv_.data();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::uint64_t draw = rngs[i]->uniform_below(bound);
+      const Edge& edge = pairs[draw >> 1];
+      out[i].updater = (draw & 1) ? edge.v : edge.u;
+      out[i].observed = (draw & 1) ? edge.u : edge.v;
+    }
+    return;
+  }
+  // Vertex scheme, two passes.  Each lane's own stream still sees (updater
+  // draw, then rank draw) in that order -- the streams are private, so
+  // issuing every lane's first draw before any lane's second is
+  // bit-identical to interleaving them -- but splitting lets the neighbor
+  // rows the rank scans will walk get prefetched while other lanes' updater
+  // draws are still in flight.
+  const Graph& graph = state_->graph();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (alias_fresh_) {
+      out[i].updater = static_cast<VertexId>(alias_.sample(*rngs[i]));
+      if (disc_[out[i].updater] == 0) {
+        throw std::logic_error(
+            "DiscordanceTracker: alias table sampled a concordant vertex");
+      }
+    } else {
+      out[i].updater = static_cast<VertexId>(sampler_.sample(*rngs[i]));
+    }
+    __builtin_prefetch(graph.neighbors(out[i].updater).data(), 0);
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const VertexId updater = out[i].updater;
+    const Opinion own = state_->opinion(updater);
+    std::uint32_t rank =
+        static_cast<std::uint32_t>(rngs[i]->uniform_below(disc_[updater]));
+    bool resolved = false;
+    for (const VertexId w : graph.neighbors(updater)) {
+      if (state_->opinion(w) != own) {
+        if (rank == 0) {
+          out[i].observed = w;
+          resolved = true;
+          break;
+        }
+        --rank;
+      }
+    }
+    if (!resolved) {
+      throw std::logic_error("DiscordanceTracker: counts are stale");
+    }
+  }
+}
+
+void DiscordanceTracker::freeze_alias() {
+  if (scheme_ != SelectionScheme::kVertex) {
+    return;  // edge-scheme sampling is already O(1); nothing to freeze
+  }
+  if (frozen()) {
+    throw std::logic_error(
+        "DiscordanceTracker::freeze_alias: no discordant pairs (all weights "
+        "zero)");
+  }
+  const VertexId n = state_->num_vertices();
+  std::vector<double> weights(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    weights[v] = weight_of(v);
+  }
+  alias_ = AliasTable(weights);
+  alias_fresh_ = true;
+}
+
 void DiscordanceTracker::apply_move(VertexId v, Opinion before) {
   const Opinion after = state_->opinion(v);
   if (after == before) {
     return;
   }
+  alias_fresh_ = false;  // the frozen weights no longer match
   const Graph& graph = state_->graph();
   if (scheme_ == SelectionScheme::kEdge) {
     const auto row = graph.neighbors(v);

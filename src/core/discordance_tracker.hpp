@@ -33,8 +33,11 @@
 #include <cstdint>
 #include <vector>
 
+#include <span>
+
 #include "core/opinion_state.hpp"
 #include "core/selection.hpp"
+#include "rng/alias_table.hpp"
 #include "rng/dynamic_weighted_sampler.hpp"
 
 namespace divlib {
@@ -63,6 +66,31 @@ class DiscordanceTracker {
   // Samples (updater, observed) with the scheduled law conditioned on
   // X_updater != X_observed.  Requires !frozen().
   SelectedPair sample_discordant_pair(Rng& rng) const;
+
+  // Bulk variant for batched callers: out[i] is drawn with rngs[i] and is
+  // bit-identical to sample_discordant_pair(*rngs[i]) called alone -- each
+  // lane's stream stays independent and consumes draws in the same order --
+  // while the shared lookups (the edge scheme's compact pair array, the
+  // vertex scheme's updater structure and row prefetches) are hoisted and
+  // pipelined across the batch.  rngs.size() must equal out.size();
+  // requires !frozen().
+  void sample_discordant_pairs(std::span<Rng* const> rngs,
+                               std::span<SelectedPair> out) const;
+
+  // O(1) static-weight sampling for the vertex scheme: freezes the CURRENT
+  // disc(v)/d(v) weights into a Walker/Vose alias table (O(n) build); while
+  // the table is fresh, sample_discordant_pair picks the updater through it
+  // (one uniform column + one uniform01) instead of the O(log n) Fenwick
+  // descent.  Any apply_move() or rebuild_counts() invalidates the table --
+  // the weights moved -- and sampling falls back to the Fenwick sampler
+  // until the next freeze, so correctness never depends on the caller
+  // re-freezing.  The alias path draws the SAME law but consumes the rng
+  // DIFFERENTLY than the Fenwick descent: opt in at a run/segment boundary,
+  // not mid-stream, when bit-compatibility with unfrozen runs matters.
+  // No-op for the edge scheme (its swap-remove array is already O(1)).
+  // Requires !frozen() (an all-zero weight vector has no table).
+  void freeze_alias();
+  bool alias_frozen() const { return alias_fresh_; }
 
   // Call right after state.set(v, new_value) with v's pre-move opinion.
   // Updates disc(v), disc(u) for u in N(v), and the sampling structure.
@@ -96,8 +124,12 @@ class DiscordanceTracker {
   std::uint64_t total_pairs_ = 0;
   std::uint64_t rebuilds_ = 0;
 
-  // Vertex scheme only.
+  // Vertex scheme only.  The Fenwick sampler is the always-valid dynamic
+  // path; the alias table is a frozen O(1) snapshot of the same weights,
+  // valid only while alias_fresh_ (no moves since freeze_alias()).
   DynamicWeightedSampler sampler_;
+  AliasTable alias_;
+  bool alias_fresh_ = false;
 
   // Edge scheme only: CSR offsets mirroring Graph's adjacency layout, the
   // edge id stored at each adjacency slot, the current discordant edge ids,

@@ -1,0 +1,455 @@
+#include "engine/batch_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "engine/stop_condition.hpp"
+
+namespace divlib {
+
+std::vector<RunResult> run_batch(
+    const Graph& graph, SelectionScheme scheme, OpinionPlane& plane,
+    std::span<Rng> rngs, const RunOptions& options,
+    std::span<const CancelToken* const> lane_cancels) {
+  const unsigned lanes = plane.num_lanes();
+  if (rngs.size() != lanes) {
+    throw std::invalid_argument("run_batch: one rng per lane is required");
+  }
+  if (!lane_cancels.empty() && lane_cancels.size() != lanes) {
+    throw std::invalid_argument(
+        "run_batch: lane_cancels must be empty or one token slot per lane");
+  }
+  if (options.trace_stride != 0) {
+    throw std::invalid_argument(
+        "run_batch records no traces; use the scalar engines for tracing");
+  }
+  validate_for_selection(graph, scheme);
+  const auto wall_start = std::chrono::steady_clock::now();
+  if (options.metrics != nullptr) {
+    // Like the naive scalar engine: one all-scheduled segment.
+    options.metrics->record_mode_switch(0, /*jump_mode=*/false, 0.0, 0);
+  }
+
+  const VertexId n = graph.num_vertices();
+  const std::span<const Edge> edges = graph.edges();
+  const std::uint64_t num_edges = edges.size();
+  // is_satisfied(kConsensus) == (max - min <= 0); kTwoAdjacent == (<= 1).
+  const Opinion stop_delta = options.stop == StopKind::kConsensus ? 0 : 1;
+
+  std::vector<RunResult> results(lanes);
+  std::uint64_t total_steps = 0;
+
+  const auto token_for = [&](unsigned lane) -> const CancelToken* {
+    if (!lane_cancels.empty() && lane_cancels[lane] != nullptr) {
+      return lane_cancels[lane];
+    }
+    return options.cancel;
+  };
+  const auto finalize_lane = [&](unsigned lane, RunStatus status,
+                                 std::uint64_t steps) {
+    RunResult& result = results[lane];
+    result.status = status;
+    result.completed = status == RunStatus::kCompleted;
+    result.steps = steps;
+    result.min_active = plane.min_active(lane);
+    result.max_active = plane.max_active(lane);
+    result.num_active = plane.num_active(lane);
+    result.final_sum = plane.sum(lane);
+    result.final_z = plane.z_total(lane);
+    if (plane.is_consensus(lane)) {
+      result.winner = plane.min_active(lane);
+    }
+  };
+
+  // Dense per-live-lane context.  The sweeps below run tens of millions of
+  // iterations; resolving rngs[active[i]] / lane_data(active[i]) through the
+  // lane id every time costs an extra dependent load per draw, so the hot
+  // pointers are compacted into stripes indexed directly by live position
+  // and swap-removed together when a lane retires.
+  std::vector<unsigned> active;       // lane id, for aggregates/finalize
+  std::vector<Rng*> lane_rng;
+  std::vector<const char*> lane_vals;  // raw cell base (see cell stride)
+  std::vector<const CancelToken*> lane_token;
+  std::vector<std::uint64_t> lane_steps;
+  active.reserve(lanes);
+  lane_rng.reserve(lanes);
+  lane_vals.reserve(lanes);
+  lane_token.reserve(lanes);
+  lane_steps.reserve(lanes);
+
+  // Scalar ordering: a lane satisfied before its first step completes with
+  // zero steps; an unsatisfied lane under a zero budget is capped at zero.
+  for (unsigned lane = 0; lane < lanes; ++lane) {
+    if (plane.max_active(lane) - plane.min_active(lane) <= stop_delta) {
+      finalize_lane(lane, RunStatus::kCompleted, 0);
+    } else if (options.max_steps == 0) {
+      finalize_lane(lane, RunStatus::kCapped, 0);
+    } else {
+      active.push_back(lane);
+      lane_rng.push_back(&rngs[lane]);
+      lane_vals.push_back(static_cast<const char*>(plane.lane_raw(lane)));
+      lane_token.push_back(token_for(lane));
+      lane_steps.push_back(0);
+    }
+  }
+
+  // Pre-drawn step blocks.  A lane's rng stream does not depend on the
+  // opinion state -- per step the vertex scheme draws uniform_below(n) then
+  // uniform_below(degree(updater)) and the edge scheme uniform_below(m)
+  // then next(), all functions of the graph and the stream alone -- so a
+  // whole block of (updater, observed) pairs can be drawn, and every
+  // opinion cell it will touch prefetched, before the first application
+  // reads the plane.  By apply time each cell has had a block's worth of
+  // independent work to cover its miss; the lanes' serial load chains never
+  // gate the sweep.  A lane that stops mid-block (consensus; the step cap
+  // lands on a block boundary by construction) rewinds its rng to the
+  // block-start snapshot and re-executes exactly the draws of its completed
+  // steps, so its final stream position is bit-identical to the scalar
+  // engine's.
+  constexpr std::uint64_t kBlockSteps = 32;
+  // Cell stride for prefetch addressing (1 for byte-packed planes).
+  const std::size_t cell = plane.cell_bytes();
+
+  // Block scratch, lane-major stripes: upd[i * kBlockSteps + s].
+  std::vector<VertexId> upd(static_cast<std::size_t>(lanes) * kBlockSteps);
+  std::vector<VertexId> obs(static_cast<std::size_t>(lanes) * kBlockSteps);
+  std::vector<std::array<std::uint64_t, 4>> block_start(lanes);
+
+  // Retirement happens only at phase boundaries -- the cancel poll before a
+  // draw, or the compaction after a whole apply phase -- so a retired slot's
+  // scratch stripe and block snapshot are always dead (the next draw phase
+  // rewrites both for every surviving lane) and only the per-lane context
+  // moves.
+  const auto retire = [&](std::size_t i, std::size_t last) {
+    active[i] = active[last];
+    lane_rng[i] = lane_rng[last];
+    lane_vals[i] = lane_vals[last];
+    lane_token[i] = lane_token[last];
+    lane_steps[i] = lane_steps[last];
+  };
+  std::vector<unsigned char> retired_flags(lanes, 0);
+
+  // Restores lane i's stream to `exactly `consumed` completed steps past the
+  // block-start snapshot.  Re-executing the draw calls (instead of storing
+  // raw words) replays rejection retries of uniform_below identically, so
+  // the stream position is exact no matter how many raw words a draw ate.
+  const auto rewind_to = [&](std::size_t i, std::uint64_t consumed) {
+    Rng& rng = *lane_rng[i];
+    rng.set_state(block_start[i]);
+    if (scheme == SelectionScheme::kVertex) {
+      for (std::uint64_t s = 0; s < consumed; ++s) {
+        const auto updater =
+            static_cast<VertexId>(rng.uniform_below(n));
+        rng.uniform_below(graph.neighbors(updater).size());
+      }
+    } else {
+      for (std::uint64_t s = 0; s < consumed; ++s) {
+        rng.uniform_below(num_edges);
+        rng.next();
+      }
+    }
+  };
+
+  // Cancellation drains a lane at a block boundary: one acquire load per
+  // lane per step is measurable in a loop this tight, so tokens are polled
+  // every kCancelBlocks blocks (and always before the first step) -- a few
+  // dozen steps of extra drain latency against deadlines that are
+  // milliseconds at their tightest.
+  constexpr std::uint64_t kCancelBlocks = 8;
+  std::uint64_t block_index = 0;
+
+  while (!active.empty()) {
+    std::size_t live = active.size();
+
+    if (block_index++ % kCancelBlocks == 0) {
+      for (std::size_t i = 0; i < live;) {
+        const CancelToken* token = lane_token[i];
+        if (token != nullptr && token->requested()) {
+          finalize_lane(active[i], drained_status(*token), lane_steps[i]);
+          retire(i, --live);
+        } else {
+          ++i;
+        }
+      }
+      active.resize(live);
+      if (live == 0) {
+        break;
+      }
+    }
+
+    // Every live lane has stepped the same number of times (lanes only
+    // diverge by retiring), so one block width serves them all and the step
+    // cap is enforced purely by block sizing.
+    const std::uint64_t done_before = lane_steps[0];
+    const std::uint64_t block =
+        std::min<std::uint64_t>(kBlockSteps, options.max_steps - done_before);
+
+    // Draw phase, lane-major: per lane, snapshot the stream, pre-draw
+    // `block` pairs, prefetch the cells the apply phase will read.  The
+    // lane's xoshiro state lives in registers for the whole stripe (a
+    // step-major interleave was tried and lost: it round-trips the state
+    // through memory every draw, and the extra L1 traffic costs more than
+    // the chain interleaving buys).
+    if (scheme == SelectionScheme::kVertex) {
+      // Lane pairs: a single lane's two draws per step form one serial
+      // xoshiro dependency chain, so a lone stripe is latency-bound on the
+      // generator.  Walking two lanes' streams together gives the core two
+      // independent chains to overlap (the states are copied into locals so
+      // they live in registers for the whole stripe; a full step-major
+      // interleave of ALL lanes was tried and lost -- it round-trips every
+      // state through memory each draw).
+      std::size_t i = 0;
+      for (; i + 1 < live; i += 2) {
+        Rng ra = *lane_rng[i];
+        Rng rb = *lane_rng[i + 1];
+        block_start[i] = ra.state();
+        block_start[i + 1] = rb.state();
+        const char* vals_a = lane_vals[i];
+        const char* vals_b = lane_vals[i + 1];
+        // __restrict: the stripes never alias the graph's adjacency data the
+        // loop reads, but VertexId stores would otherwise pin every
+        // following same-width load in program order.
+        VertexId* __restrict upd_a_out = &upd[i * kBlockSteps];
+        VertexId* __restrict obs_a_out = &obs[i * kBlockSteps];
+        VertexId* __restrict upd_b_out = &upd[(i + 1) * kBlockSteps];
+        VertexId* __restrict obs_b_out = &obs[(i + 1) * kBlockSteps];
+        for (std::uint64_t s = 0; s < block; ++s) {
+          const auto upd_a = static_cast<VertexId>(ra.uniform_below(n));
+          const auto upd_b = static_cast<VertexId>(rb.uniform_below(n));
+          const auto row_a = graph.neighbors(upd_a);
+          const auto row_b = graph.neighbors(upd_b);
+          const VertexId obs_a = row_a[static_cast<std::size_t>(
+              ra.uniform_below(row_a.size()))];
+          const VertexId obs_b = row_b[static_cast<std::size_t>(
+              rb.uniform_below(row_b.size()))];
+          upd_a_out[s] = upd_a;
+          obs_a_out[s] = obs_a;
+          upd_b_out[s] = upd_b;
+          obs_b_out[s] = obs_b;
+          __builtin_prefetch(vals_a + upd_a, 1);
+          __builtin_prefetch(vals_a + obs_a, 0);
+          __builtin_prefetch(vals_b + upd_b, 1);
+          __builtin_prefetch(vals_b + obs_b, 0);
+        }
+        *lane_rng[i] = ra;
+        *lane_rng[i + 1] = rb;
+      }
+      for (; i < live; ++i) {
+        Rng& rng = *lane_rng[i];
+        block_start[i] = rng.state();
+        const char* vals = lane_vals[i];
+        const std::size_t base = i * kBlockSteps;
+        for (std::uint64_t s = 0; s < block; ++s) {
+          const auto updater = static_cast<VertexId>(rng.uniform_below(n));
+          const auto row = graph.neighbors(updater);
+          const VertexId observed = row[static_cast<std::size_t>(
+              rng.uniform_below(row.size()))];
+          upd[base + s] = updater;
+          obs[base + s] = observed;
+          __builtin_prefetch(vals + updater * cell, 1);
+          __builtin_prefetch(vals + observed * cell, 0);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < live; ++i) {
+        Rng& rng = *lane_rng[i];
+        block_start[i] = rng.state();
+        const char* vals = lane_vals[i];
+        const std::size_t base = i * kBlockSteps;
+        for (std::uint64_t s = 0; s < block; ++s) {
+          const Edge& edge =
+              edges[static_cast<std::size_t>(rng.uniform_below(num_edges))];
+          const bool forward = (rng.next() & 1u) != 0;
+          const VertexId updater = forward ? edge.u : edge.v;
+          const VertexId observed = forward ? edge.v : edge.u;
+          upd[base + s] = updater;
+          obs[base + s] = observed;
+          __builtin_prefetch(vals + updater * cell, 1);
+          __builtin_prefetch(vals + observed * cell, 0);
+        }
+      }
+    }
+
+    // Apply phase: per lane, its block's steps in draw order (in-block
+    // rereads of a just-written cell see the write, exactly as the scalar
+    // loop would).  A lane that stops retires via swap-remove; the lane
+    // swapped in from the back has not been applied this block and brings
+    // its scratch stripe and snapshot along.
+    // The stopping rule is a pure function of the state and the spread only
+    // moves on a changed step, so the kernels' unconditional
+    // after-every-step check is semantically identical to the scalar loop's
+    // changed-gated check.  Stopped/capped lanes are flagged here and
+    // compacted once after the sweep (order-preserving), so the pair walk
+    // never revisits a slot.
+    bool any_retired = false;
+    const auto settle = [&](std::size_t i, std::uint64_t applied) {
+      const unsigned lane = active[i];
+      lane_steps[i] += applied;
+      total_steps += applied;
+      if (plane.spread(lane) <= stop_delta) {
+        if (applied < block) {
+          rewind_to(i, applied);
+        }
+        finalize_lane(lane, RunStatus::kCompleted, lane_steps[i]);
+        retired_flags[i] = 1;
+        any_retired = true;
+      } else if (lane_steps[i] >= options.max_steps) {
+        finalize_lane(lane, RunStatus::kCapped, lane_steps[i]);
+        retired_flags[i] = 1;
+        any_retired = true;
+      }
+    };
+    std::size_t i = 0;
+    for (; i + 1 < live; i += 2) {
+      const auto [applied_a, applied_b] = plane.apply_steps_toward_pair(
+          active[i], &upd[i * kBlockSteps], &obs[i * kBlockSteps],
+          active[i + 1], &upd[(i + 1) * kBlockSteps],
+          &obs[(i + 1) * kBlockSteps], block, stop_delta);
+      settle(i, applied_a);
+      settle(i + 1, applied_b);
+    }
+    if (i < live) {
+      settle(i, plane.apply_steps_toward(active[i], &upd[i * kBlockSteps],
+                                         &obs[i * kBlockSteps], block,
+                                         stop_delta));
+    }
+    if (any_retired) {
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < live; ++r) {
+        if (retired_flags[r] != 0) {
+          retired_flags[r] = 0;
+          continue;
+        }
+        if (w != r) {
+          retire(w, r);
+        }
+        ++w;
+      }
+      live = w;
+    }
+    active.resize(live);
+  }
+
+  if (options.metrics != nullptr) {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+    options.metrics->scheduled_steps = total_steps;
+    options.metrics->batch_lanes = lanes;
+    options.metrics->wall_seconds_total = wall;
+    options.metrics->wall_seconds_naive = wall;
+  }
+  return results;
+}
+
+IsolatedBatch<RunResult> run_div_replicas_batched(
+    const Graph& graph, SelectionScheme scheme, std::size_t replicas,
+    const BatchInit& init, const RunOptions& run_options,
+    const MonteCarloOptions& options) {
+  if (!init) {
+    throw std::invalid_argument(
+        "run_div_replicas_batched: an init callback is required");
+  }
+  validate_for_selection(graph, scheme);
+  IsolatedBatch<RunResult> batch;
+  batch.results.resize(replicas);
+  batch.report.replicas = replicas;
+  if (replicas == 0) {
+    batch.report.cancelled =
+        options.cancel != nullptr && options.cancel->requested();
+    return batch;
+  }
+  const unsigned lanes = std::max(1u, options.batch_lanes);
+  const std::size_t groups = (replicas + lanes - 1) / lanes;
+
+  std::atomic<std::size_t> next_group{0};
+  std::atomic<std::uint64_t> attempted{0};
+  // Plain DIV never throws, but the init callback may (bad configuration);
+  // mirror run_replicas_erased: stop claiming, surface the lowest group's
+  // exception in the calling thread.
+  std::atomic<bool> stop{false};
+  std::mutex error_mu;
+  std::size_t error_group = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  const auto worker = [&] {
+    for (;;) {
+      if (stop.load(std::memory_order_relaxed)) {
+        return;
+      }
+      if (options.cancel != nullptr && options.cancel->requested()) {
+        return;  // stop claiming; in-flight groups drain via run_options
+      }
+      const std::size_t group =
+          next_group.fetch_add(1, std::memory_order_relaxed);
+      if (group >= groups) {
+        return;
+      }
+      try {
+        const std::size_t lo = group * lanes;
+        const std::size_t hi = std::min(lo + lanes, replicas);
+        const auto width = static_cast<unsigned>(hi - lo);
+        OpinionPlane plane(graph, width);
+        std::vector<Rng> rngs;
+        rngs.reserve(width);
+        for (unsigned lane = 0; lane < width; ++lane) {
+          // Attempt-0 stream == substream_seed: bit-compatible with both
+          // scalar drivers' first attempts.
+          rngs.emplace_back(
+              Rng::retry_seed(options.master_seed, lo + lane, 0));
+          plane.assign_lane(lane, init(lo + lane, rngs[lane]));
+        }
+        std::vector<RunResult> results =
+            run_batch(graph, scheme, plane, rngs, run_options);
+        for (unsigned lane = 0; lane < width; ++lane) {
+          batch.results[lo + lane] = std::move(results[lane]);
+        }
+        attempted.fetch_add(width, std::memory_order_relaxed);
+        if (options.progress != nullptr) {
+          options.progress->completed.fetch_add(width,
+                                                std::memory_order_relaxed);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> guard(error_mu);
+        if (group < error_group) {
+          error_group = group;
+          error = std::current_exception();
+        }
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  unsigned workers = resolve_thread_count(options);
+  workers = static_cast<unsigned>(std::min<std::size_t>(workers, groups));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& thread : pool) {
+      thread.join();
+    }
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+  batch.report.attempted =
+      static_cast<std::size_t>(attempted.load(std::memory_order_relaxed));
+  batch.report.cancelled =
+      options.cancel != nullptr && options.cancel->requested();
+  return batch;
+}
+
+}  // namespace divlib

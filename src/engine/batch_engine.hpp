@@ -1,0 +1,93 @@
+// Lock-step multi-replica DIV execution over an OpinionPlane.
+//
+// run_batch() advances every lane of a plane through the SCHEDULED discrete
+// incremental voting process -- the same chain the scalar run() executes via
+// DivProcess -- one step per lane per sweep, with everything the scalar loop
+// pays per step (virtual Process dispatch, trace hook, out-of-line
+// is_satisfied / select_pair / OpinionState::set calls) inlined away, and the
+// B lanes' independent random memory accesses interleaved so the prefetcher
+// and the load queue overlap their cache misses instead of serializing them
+// replica by replica.
+//
+// Lane-determinism contract: lane L, seeded with rng R, produces a RunResult
+// BIT-IDENTICAL to run(DivProcess, OpinionState, R') of a scalar engine
+// started from the same opinions with R' seeded identically.  Concretely:
+//
+//   * each lane's rng consumes draws in the exact scalar order -- per step
+//     the vertex scheme draws uniform_below(n) then uniform_below(degree),
+//     the edge scheme draws uniform_below(m) then next() & 1 (select_pair's
+//     order), and nothing else touches the lane's stream;
+//   * stop conditions are evaluated at the same points: before the first
+//     step and after every step, with the step cap ordered as in the scalar
+//     run_loop.  Steps are drawn and applied in blocks (a lane that reaches
+//     consensus mid-block rewinds its rng to the consuming draw, so the
+//     stream position is still exactly the scalar one);
+//   * aggregates come from OpinionPlane::set, which mirrors
+//     OpinionState::set operation for operation.
+//
+// A lane that stops (consensus / cap / cancel) retires from the sweep while
+// the rest keep stepping, so a batch's wall clock tracks its slowest lane
+// without spending cycles on finished ones.
+//
+// Tracing is not supported (RunOptions::trace_stride must be 0) and the
+// process is always plain DIV: faulty or otherwise decorated processes need
+// the scalar engines' virtual dispatch, which is exactly the overhead this
+// path removes.  Callers (divsim, the supervisor) fall back to run() /
+// run_jump() for those.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "core/opinion_plane.hpp"
+#include "core/selection.hpp"
+#include "engine/engine.hpp"
+#include "engine/montecarlo.hpp"
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace divlib {
+
+// Runs every lane of `plane` (all lanes must be assigned) to a terminal
+// status.  rngs[i] is lane i's private stream; rngs.size() must equal
+// plane.num_lanes().  `lane_cancels`, when non-empty, carries one token per
+// lane (entries may be null): a fired lane token drains THAT lane at its
+// next cancellation poll -- tokens are checked before the first step and
+// then every few step blocks, not per step (the supervisor's per-attempt
+// deadline leases tolerate that coarseness) -- while options.cancel,
+// consulted for lanes without a private token, drains the whole batch.  options.trace_stride must be 0.  options.metrics, when
+// set, receives GROUP-level telemetry: scheduled_steps totals every lane's
+// steps and batch_lanes records the width (per-lane trajectories are the
+// scalar engines' job).
+std::vector<RunResult> run_batch(
+    const Graph& graph, SelectionScheme scheme, OpinionPlane& plane,
+    std::span<Rng> rngs, const RunOptions& options,
+    std::span<const CancelToken* const> lane_cancels = {});
+
+// Per-replica initial configuration: must draw from `rng` exactly what the
+// scalar caller would before its run (divsim and the experiment harnesses
+// draw uniform_random_opinions(n, lo, hi, rng) first, then step) so the
+// lane's whole stream lines up with the scalar replica's.
+using BatchInit = std::function<std::vector<Opinion>(std::size_t replica,
+                                                     Rng& rng)>;
+
+// Batched Monte-Carlo driver: chunks [0, replicas) into groups of
+// options.batch_lanes, runs each group through run_batch on a worker pool
+// (options.num_threads), and returns one RunResult per replica.  Replica r
+// is seeded Rng(Rng::retry_seed(master_seed, r, 0)) -- the isolated scalar
+// driver's attempt-0 stream -- so every slot is bit-identical to the scalar
+// drivers' first attempt.  Cancellation (options.cancel) stops group
+// claiming; pass the same token through run_options.cancel to drain in-
+// flight groups at a step boundary (their lanes report kCancelled and still
+// fill their slots).  Unclaimed replicas stay nullopt.  The report counts
+// attempted lanes and reads `cancelled` from the token; errors stay empty
+// (plain DIV does not throw -- faulty processes belong to the scalar
+// isolated driver).
+IsolatedBatch<RunResult> run_div_replicas_batched(
+    const Graph& graph, SelectionScheme scheme, std::size_t replicas,
+    const BatchInit& init, const RunOptions& run_options,
+    const MonteCarloOptions& options);
+
+}  // namespace divlib

@@ -47,6 +47,15 @@ struct MonteCarloOptions {
   // NOT set `total` or `resumed` -- the caller knows the batch shape.  Null
   // disables the updates entirely.
   BatchProgress* progress = nullptr;
+  // Lock-step lanes per worker claim in the batched drivers
+  // (engine/batch_engine's run_div_replicas_batched and the supervisor's
+  // thread-mode batching).  1 (the default) means scalar execution; larger
+  // values run that many replicas per claim through run_batch over one SoA
+  // OpinionPlane.  Per-replica results are bit-identical either way -- each
+  // lane keeps its own retry_seed(master, replica, 0) stream -- so this is
+  // purely a throughput knob.  Ignored by the scalar drivers above; callers
+  // with faulty/decorated processes or tracing must stay on those.
+  unsigned batch_lanes = 1;
 };
 
 // Returns the worker count that `options` resolves to.

@@ -221,6 +221,10 @@ class SupervisorRun {
           &options_.metrics->counter("supervisor_speculative_wins");
       counters_[index(SupervisionEvent::Kind::kQuarantine)] =
           &options_.metrics->counter("supervisor_quarantines");
+      batch_groups_counter_ =
+          &options_.metrics->counter("supervisor_batch_groups");
+      batched_attempts_counter_ =
+          &options_.metrics->counter("supervisor_batched_attempts");
     }
   }
 
@@ -499,6 +503,94 @@ class SupervisorRun {
       execution->speculative = item.speculative;
       execution->started = now;
       const std::size_t replica = state.id;
+
+      // Lock-step batching: a non-speculative claim greedily absorbs up to
+      // batch_lanes - 1 more ready non-speculative queued items into one
+      // group for options_.batch_task.  The scan stops at the first
+      // ineligible queue top (future ready_at, speculative twin, or a slot a
+      // cancel drain already moved on) -- peeking deeper would perturb the
+      // heap for nothing, and stragglers simply form smaller groups.  A slot
+      // can appear at most once per group: claiming flips it to kRunning,
+      // and a second queued item for a kRunning slot fails the phase check.
+      std::vector<std::list<Execution>::iterator> group;
+      if (!item.speculative && options_.batch_lanes > 1 &&
+          options_.batch_task) {
+        group.push_back(execution);
+        while (group.size() < options_.batch_lanes && !queue_.empty()) {
+          const WorkItem mate_item = queue_.top();
+          if (mate_item.speculative || mate_item.ready_at > now ||
+              states_[mate_item.slot].phase != Phase::kQueued) {
+            break;
+          }
+          queue_.pop();
+          ReplicaState& mate = states_[mate_item.slot];
+          mate.phase = Phase::kRunning;
+          mate.current_attempt = mate_item.attempt;
+          const auto mate_execution = live_.emplace(live_.end());
+          mate_execution->slot = mate_item.slot;
+          mate_execution->attempt = mate_item.attempt;
+          mate_execution->speculative = false;
+          mate_execution->started = now;
+          group.push_back(mate_execution);
+        }
+      }
+      if (group.size() > 1) {
+        ++report_.batch_groups;
+        report_.batched_attempts += group.size();
+        if (batch_groups_counter_ != nullptr) {
+          batch_groups_counter_->add();
+          batched_attempts_counter_->add(
+              static_cast<std::uint64_t>(group.size()));
+        }
+        std::vector<BatchLane> lanes(group.size());
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          lanes[i].replica = states_[group[i]->slot].id;
+          lanes[i].seed = Rng::retry_seed(options_.master_seed,
+                                          lanes[i].replica,
+                                          group[i]->attempt);
+          lanes[i].cancel = &group[i]->token;
+        }
+        lock.unlock();
+
+        std::vector<std::optional<std::string>> verdicts;
+        bool group_threw = false;
+        FailureClass group_failure = FailureClass::kTransient;
+        std::string group_message;
+        try {
+          verdicts = options_.batch_task(lanes);
+          if (verdicts.size() != lanes.size()) {
+            group_threw = true;
+            group_failure = FailureClass::kDeterministic;
+            group_message = "batch_task returned " +
+                            std::to_string(verdicts.size()) +
+                            " verdicts for " + std::to_string(lanes.size()) +
+                            " lanes";
+            verdicts.clear();
+          }
+        } catch (const std::exception& error) {
+          group_threw = true;
+          group_message = error.what();
+          group_failure = options_.classify ? options_.classify(error)
+                                           : classify_failure(error);
+        } catch (...) {
+          group_threw = true;
+          group_message = "unknown exception";
+          group_failure = FailureClass::kTransient;
+        }
+
+        lock.lock();
+        for (std::size_t i = 0; i < group.size(); ++i) {
+          std::optional<std::string> payload;
+          if (!group_threw) {
+            payload = std::move(verdicts[i]);
+          }
+          handle_verdict_locked(group[i], std::move(payload), group_threw,
+                                group_failure, group_message);
+        }
+        work_cv_.notify_all();
+        monitor_cv_.notify_one();
+        continue;
+      }
       lock.unlock();
 
       std::optional<std::string> payload;
@@ -611,6 +703,8 @@ class SupervisorRun {
   std::size_t terminal_ = 0;       // slots in kDone/kQuarantined/kUnfinished
   bool cancel_seen_ = false;
   Counter* counters_[SupervisionEvent::kNumKinds] = {};
+  Counter* batch_groups_counter_ = nullptr;
+  Counter* batched_attempts_counter_ = nullptr;
   SupervisorReport report_;
 };
 

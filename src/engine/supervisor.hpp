@@ -146,6 +146,31 @@ struct QuarantineRecord {
   std::string message;  // what() of the last failure
 };
 
+// One lane of a lock-step thread-mode group (see
+// SupervisorOptions::batch_task).  `seed` is the lane's full attempt seed,
+// Rng::retry_seed(master_seed, replica, attempt) -- the batch task seeds the
+// lane's private stream from it directly.  `cancel` is that lane's private
+// lease token (stable address for the group's lifetime): pass it through so
+// deadline kills and operator drains stop ONE lane at a step boundary while
+// its groupmates keep running.
+struct BatchLane {
+  std::size_t replica = 0;
+  std::uint64_t seed = 0;
+  const CancelToken* cancel = nullptr;
+};
+
+// Runs a lock-step group of attempts (engine/batch_engine integration).
+// Must return exactly lanes.size() verdicts where verdict i obeys the scalar
+// SupervisedTask contract for lane i run alone with Rng(lanes[i].seed) --
+// payload on success, nullopt on a token drain -- which the batch engine's
+// per-lane bit-identity makes free to honor.  A thrown exception fails EVERY
+// lane of the group with one shared classification (the lanes shared the
+// execution that died); returning the wrong number of verdicts is a
+// deterministic failure for the whole group.
+using SupervisedBatchTask =
+    std::function<std::vector<std::optional<std::string>>(
+        std::span<const BatchLane> lanes)>;
+
 struct SupervisorOptions {
   std::uint64_t master_seed = 0xd117ULL;
   // 0 = hardware_concurrency (at least 1).
@@ -196,6 +221,18 @@ struct SupervisorOptions {
   // instead of replaying the poisoned one.  The attempt budget still allows
   // max_attempts NEW attempts from this base.
   std::function<unsigned(std::size_t replica)> first_attempt;
+  // Lock-step batching (thread isolation only; the process fleet ignores
+  // both).  When batch_lanes > 1 AND batch_task is set, a worker that claims
+  // a ready non-speculative item greedily claims up to batch_lanes - 1 more
+  // ready non-speculative queued items and dispatches them through
+  // batch_task as one group.  Speculative twins always run through the
+  // scalar `task` (they duplicate one specific in-flight instance); retries
+  // join groups like any queued item, on their own retry_seed.  Every
+  // supervision policy -- deadlines, stragglers, cancel, quarantine --
+  // applies per LANE, via each lane's private token and Execution record.
+  // Defaults (1 lane / empty task) leave behavior untouched.
+  unsigned batch_lanes = 1;
+  SupervisedBatchTask batch_task;
 };
 
 // One attempt of one replica.  `rng` is seeded from (master_seed, replica,
@@ -221,6 +258,11 @@ struct SupervisorReport {
   std::uint64_t worker_spawns = 0;    // forks, including replacements
   std::uint64_t worker_suspects = 0;  // Alive/Unknown -> Suspect transitions
   std::uint64_t worker_deaths = 0;    // Suspect -> Dead transitions
+  // Thread-mode lock-step batching accounting (zero when batching is off or
+  // no group ever formed).  batched_attempts / batch_groups is the achieved
+  // mean lane occupancy.
+  std::uint64_t batch_groups = 0;     // lock-step groups dispatched
+  std::uint64_t batched_attempts = 0; // attempt instances run inside groups
   double backoff_wait_ms = 0.0;  // total scheduled (not wall) backoff
   bool cancelled = false;        // options.cancel had fired by the drain
 

@@ -43,10 +43,39 @@ class Rng {
   }
 
   result_type operator()() { return next(); }
-  std::uint64_t next();
 
-  // Uniform integer in [0, bound), bound >= 1.  Unbiased (Lemire rejection).
-  std::uint64_t uniform_below(std::uint64_t bound);
+  // next() and uniform_below() are the innermost operations of every engine
+  // (two draws per scheduled step); they live in the header so the batch
+  // engine's lane sweeps can inline and pipeline them across lanes instead
+  // of serializing on an opaque call per draw.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl_(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl_(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound), bound >= 1.  Unbiased (Lemire's nearly
+  // divisionless rejection).
+  std::uint64_t uniform_below(std::uint64_t bound) {
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) [[unlikely]] {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   // Uniform integer in [lo, hi] inclusive, lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
@@ -107,6 +136,10 @@ class Rng {
   void set_state(const std::array<std::uint64_t, 4>& words);
 
  private:
+  static constexpr std::uint64_t rotl_(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_;
   // Cached second normal deviate from the polar method.
   double cached_normal_ = 0.0;

@@ -1,0 +1,721 @@
+#include "engine/batch_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/cancel.hpp"
+#include "core/discordance_tracker.hpp"
+#include "core/div_process.hpp"
+#include "core/opinion_plane.hpp"
+#include "engine/engine.hpp"
+#include "engine/initial_config.hpp"
+#include "engine/supervisor.hpp"
+#include "graph/generators.hpp"
+#include "graph/random_graphs.hpp"
+#include "stats/chi_square.hpp"
+
+namespace divlib {
+namespace {
+
+// Two-sample chi-square homogeneity test over winner categories (the
+// test_jump_engine harness).
+double two_sample_chi_square_p(const std::vector<std::uint64_t>& a,
+                               const std::vector<std::uint64_t>& b) {
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (const auto count : a) total_a += static_cast<double>(count);
+  for (const auto count : b) total_b += static_cast<double>(count);
+  const double total = total_a + total_b;
+  double statistic = 0.0;
+  int used = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double column = static_cast<double>(a[i] + b[i]);
+    if (column == 0.0) {
+      continue;
+    }
+    ++used;
+    const double expected_a = column * total_a / total;
+    const double expected_b = column * total_b / total;
+    statistic += (a[i] - expected_a) * (a[i] - expected_a) / expected_a;
+    statistic += (b[i] - expected_b) * (b[i] - expected_b) / expected_b;
+  }
+  return chi_square_survival(statistic, used - 1);
+}
+
+// Two-sample Kolmogorov-Smirnov statistic D = sup |F_a - F_b|.
+double two_sample_ks_statistic(std::vector<double> a, std::vector<double> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] <= b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+    d = std::max(d, std::abs(static_cast<double>(i) / a.size() -
+                             static_cast<double>(j) / b.size()));
+  }
+  return d;
+}
+
+void expect_same_result(const RunResult& scalar, const RunResult& lane,
+                        const std::string& where) {
+  EXPECT_EQ(scalar.status, lane.status) << where;
+  EXPECT_EQ(scalar.completed, lane.completed) << where;
+  EXPECT_EQ(scalar.steps, lane.steps) << where;
+  EXPECT_EQ(scalar.min_active, lane.min_active) << where;
+  EXPECT_EQ(scalar.max_active, lane.max_active) << where;
+  EXPECT_EQ(scalar.num_active, lane.num_active) << where;
+  EXPECT_EQ(scalar.final_sum, lane.final_sum) << where;
+  EXPECT_DOUBLE_EQ(scalar.final_z, lane.final_z) << where;
+  EXPECT_EQ(scalar.winner, lane.winner) << where;
+}
+
+// The core contract: lane L of run_batch, seeded like the scalar isolated
+// driver's attempt 0, is BIT-identical to run() on its own OpinionState --
+// same result fields, same final opinion vector, and the rng streams line up
+// draw for draw (checked by comparing the next raw output after the run).
+TEST(BatchEngine, LanesBitIdenticalToScalarRun) {
+  Rng graph_rng(0x6a7c);
+  const Graph graph = make_connected_random_regular(48, 4, graph_rng);
+  constexpr unsigned kLanes = 8;
+  constexpr std::uint64_t kMaster = 0xabcd;
+  RunOptions options;
+
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    // Scalar reference replicas.
+    DivProcess process(graph, scheme);
+    std::vector<RunResult> scalar(kLanes);
+    std::vector<std::vector<Opinion>> scalar_final(kLanes);
+    std::vector<std::uint64_t> scalar_next(kLanes);
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      Rng rng(Rng::retry_seed(kMaster, lane, 0));
+      OpinionState state(
+          graph, uniform_random_opinions(graph.num_vertices(), 1, 4, rng));
+      scalar[lane] = run(process, state, rng, options);
+      scalar_final[lane].assign(state.opinions().begin(),
+                                state.opinions().end());
+      scalar_next[lane] = rng.next();
+    }
+
+    // The same replicas as lanes of one plane.
+    OpinionPlane plane(graph, kLanes);
+    std::vector<Rng> rngs;
+    rngs.reserve(kLanes);
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      rngs.emplace_back(Rng::retry_seed(kMaster, lane, 0));
+      plane.assign_lane(
+          lane, uniform_random_opinions(graph.num_vertices(), 1, 4,
+                                        rngs[lane]));
+    }
+    const std::vector<RunResult> batch =
+        run_batch(graph, scheme, plane, rngs, options);
+
+    ASSERT_EQ(batch.size(), kLanes);
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      const std::string where =
+          std::string(to_string(scheme)) + " lane " + std::to_string(lane);
+      expect_same_result(scalar[lane], batch[lane], where);
+      const auto lane_view = plane.lane_opinions(lane);
+      ASSERT_EQ(lane_view.size(), scalar_final[lane].size()) << where;
+      EXPECT_TRUE(std::equal(lane_view.begin(), lane_view.end(),
+                             scalar_final[lane].begin()))
+          << where;
+      // Stream alignment: the lane consumed exactly the scalar draws.
+      EXPECT_EQ(rngs[lane].next(), scalar_next[lane]) << where;
+    }
+  }
+}
+
+// Opinion ranges wider than a byte force the plane onto full-width cells
+// (promote_to_wide_).  The promotion is exercised both ways: a plane whose
+// first assignment is already wide, and a plane where narrow lanes are
+// assigned first and a later wide lane re-encodes them in place.  Either
+// way the lanes must stay bit-identical to scalar runs.
+TEST(BatchEngine, WideRangeLanesMatchScalarRun) {
+  Rng graph_rng(0x77de);
+  const Graph graph = make_connected_random_regular(40, 4, graph_rng);
+  constexpr unsigned kLanes = 6;
+  constexpr std::uint64_t kMaster = 0x51de;
+  RunOptions options;
+  // Lanes alternate between a narrow range (fits a byte) and a wide one
+  // (width 300 > 256); the first wide assignment triggers the promotion.
+  const auto range_hi = [](unsigned lane) -> Opinion {
+    return (lane % 2 == 0) ? 4 : 300;
+  };
+
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    DivProcess process(graph, scheme);
+    std::vector<RunResult> scalar(kLanes);
+    std::vector<std::vector<Opinion>> scalar_final(kLanes);
+    std::vector<std::uint64_t> scalar_next(kLanes);
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      Rng rng(Rng::retry_seed(kMaster, lane, 0));
+      OpinionState state(graph,
+                         uniform_random_opinions(graph.num_vertices(), 1,
+                                                 range_hi(lane), rng));
+      scalar[lane] = run(process, state, rng, options);
+      scalar_final[lane].assign(state.opinions().begin(),
+                                state.opinions().end());
+      scalar_next[lane] = rng.next();
+    }
+
+    OpinionPlane plane(graph, kLanes);
+    EXPECT_EQ(plane.cell_bytes(), 1u);
+    std::vector<Rng> rngs;
+    rngs.reserve(kLanes);
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      rngs.emplace_back(Rng::retry_seed(kMaster, lane, 0));
+      plane.assign_lane(lane,
+                        uniform_random_opinions(graph.num_vertices(), 1,
+                                                range_hi(lane), rngs[lane]));
+    }
+    // The first wide lane (lane 1) promoted the whole plane.
+    EXPECT_EQ(plane.cell_bytes(), sizeof(Opinion));
+    const std::vector<RunResult> batch =
+        run_batch(graph, scheme, plane, rngs, options);
+
+    ASSERT_EQ(batch.size(), kLanes);
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      const std::string where = std::string(to_string(scheme)) +
+                                " wide lane " + std::to_string(lane);
+      expect_same_result(scalar[lane], batch[lane], where);
+      const auto lane_view = plane.lane_opinions(lane);
+      ASSERT_EQ(lane_view.size(), scalar_final[lane].size()) << where;
+      EXPECT_TRUE(std::equal(lane_view.begin(), lane_view.end(),
+                             scalar_final[lane].begin()))
+          << where;
+      EXPECT_EQ(rngs[lane].next(), scalar_next[lane]) << where;
+    }
+  }
+}
+
+TEST(BatchEngine, StepCapMatchesScalarPerLane) {
+  Rng graph_rng(0x9b1);
+  const Graph graph = make_connected_random_regular(32, 4, graph_rng);
+  constexpr unsigned kLanes = 4;
+  RunOptions options;
+  options.max_steps = 17;
+
+  DivProcess process(graph, SelectionScheme::kEdge);
+  OpinionPlane plane(graph, kLanes);
+  std::vector<Rng> rngs;
+  std::vector<RunResult> scalar(kLanes);
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    Rng rng(Rng::retry_seed(0x5eed, lane, 0));
+    OpinionState state(
+        graph, uniform_random_opinions(graph.num_vertices(), 1, 9, rng));
+    scalar[lane] = run(process, state, rng, options);
+
+    rngs.emplace_back(Rng::retry_seed(0x5eed, lane, 0));
+    plane.assign_lane(lane, uniform_random_opinions(graph.num_vertices(), 1,
+                                                    9, rngs[lane]));
+  }
+  const std::vector<RunResult> batch =
+      run_batch(graph, SelectionScheme::kEdge, plane, rngs, options);
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    EXPECT_EQ(batch[lane].status, RunStatus::kCapped);
+    expect_same_result(scalar[lane], batch[lane],
+                       "capped lane " + std::to_string(lane));
+  }
+}
+
+TEST(BatchEngine, RejectsTracingAndMismatchedRngs) {
+  const Graph graph = make_cycle(6);
+  OpinionPlane plane(graph, 2);
+  std::vector<Rng> rngs;
+  for (unsigned lane = 0; lane < 2; ++lane) {
+    rngs.emplace_back(Rng::retry_seed(7, lane, 0));
+    plane.assign_lane(lane, uniform_random_opinions(6, 1, 3, rngs[lane]));
+  }
+  RunOptions traced;
+  traced.trace_stride = 1;
+  EXPECT_THROW(
+      run_batch(graph, SelectionScheme::kEdge, plane, rngs, traced),
+      std::invalid_argument);
+
+  std::vector<Rng> short_rngs;
+  short_rngs.emplace_back(1);
+  EXPECT_THROW(
+      run_batch(graph, SelectionScheme::kEdge, plane, short_rngs,
+                RunOptions{}),
+      std::invalid_argument);
+}
+
+// A fired per-lane token drains exactly that lane; its groupmates run to
+// consensus untouched, and the drained lane's state is a valid step-boundary
+// configuration (aggregates match a recount).
+TEST(BatchEngine, PerLaneCancelDrainsOnlyThatLane) {
+  Rng graph_rng(0x77);
+  const Graph graph = make_connected_random_regular(32, 4, graph_rng);
+  constexpr unsigned kLanes = 3;
+  OpinionPlane plane(graph, kLanes);
+  std::vector<Rng> rngs;
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    rngs.emplace_back(Rng::retry_seed(0xc0de, lane, 0));
+    plane.assign_lane(lane, uniform_random_opinions(graph.num_vertices(), 1,
+                                                    5, rngs[lane]));
+  }
+  CancelToken mid_token;
+  mid_token.request(CancelReason::kUser);
+  const CancelToken* cancels[kLanes] = {nullptr, &mid_token, nullptr};
+  const std::vector<RunResult> results = run_batch(
+      graph, SelectionScheme::kEdge, plane, rngs, RunOptions{}, cancels);
+
+  EXPECT_EQ(results[0].status, RunStatus::kCompleted);
+  EXPECT_EQ(results[2].status, RunStatus::kCompleted);
+  EXPECT_EQ(results[1].status, RunStatus::kCancelled);
+  EXPECT_EQ(results[1].steps, 0u);  // pre-fired: drained before any step
+  // Lane 1's aggregates still describe its (initial) configuration.
+  std::int64_t sum = 0;
+  for (const Opinion x : plane.lane_opinions(1)) sum += x;
+  EXPECT_EQ(sum, results[1].final_sum);
+}
+
+TEST(BatchEngine, WinnerDistributionMatchesScalarEngine) {
+  Rng graph_rng(0x23a);
+  const Graph graph = make_connected_random_regular(32, 4, graph_rng);
+  constexpr int kReplicas = 400;
+  constexpr Opinion kLo = 1;
+  constexpr Opinion kHi = 3;
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    // Scalar reference sample on one seed family.
+    DivProcess process(graph, scheme);
+    std::vector<std::uint64_t> scalar_winners(kHi - kLo + 1, 0);
+    std::vector<double> scalar_steps;
+    for (int replica = 0; replica < kReplicas; ++replica) {
+      Rng rng(Rng::substream_seed(0xbeef, static_cast<std::uint64_t>(replica)));
+      OpinionState state(
+          graph,
+          uniform_random_opinions(graph.num_vertices(), kLo, kHi, rng));
+      const RunResult result = run(process, state, rng, RunOptions{});
+      ASSERT_EQ(result.status, RunStatus::kCompleted);
+      ++scalar_winners[static_cast<std::size_t>(*result.winner - kLo)];
+      scalar_steps.push_back(static_cast<double>(result.steps));
+    }
+
+    // Batched sample on an independent seed family.
+    MonteCarloOptions mc;
+    mc.master_seed = 0xcafe;
+    mc.batch_lanes = 16;
+    mc.num_threads = 2;
+    const auto batch = run_div_replicas_batched(
+        graph, scheme, kReplicas,
+        [&graph](std::size_t, Rng& rng) {
+          return uniform_random_opinions(graph.num_vertices(), kLo, kHi, rng);
+        },
+        RunOptions{}, mc);
+    ASSERT_TRUE(batch.report.ok());
+    std::vector<std::uint64_t> batch_winners(kHi - kLo + 1, 0);
+    std::vector<double> batch_steps;
+    for (const auto& result : batch.results) {
+      ASSERT_TRUE(result.has_value());
+      ASSERT_EQ(result->status, RunStatus::kCompleted);
+      ++batch_winners[static_cast<std::size_t>(*result->winner - kLo)];
+      batch_steps.push_back(static_cast<double>(result->steps));
+    }
+
+    const double chi_p =
+        two_sample_chi_square_p(scalar_winners, batch_winners);
+    EXPECT_GT(chi_p, 1e-3) << "winner distributions diverge, scheme "
+                           << to_string(scheme);
+    const double d = two_sample_ks_statistic(scalar_steps, batch_steps);
+    const double critical =
+        1.95 * std::sqrt(2.0 / static_cast<double>(kReplicas));
+    EXPECT_LT(d, critical) << "completion-time ECDFs diverge, scheme "
+                           << to_string(scheme);
+  }
+}
+
+// The batched driver fills every slot with the scalar isolated driver's
+// attempt-0 result, at any lane width / replica count alignment.
+TEST(BatchDriver, SlotsMatchScalarAttemptZero) {
+  Rng graph_rng(0x31);
+  const Graph graph = make_connected_random_regular(24, 4, graph_rng);
+  constexpr std::size_t kReplicas = 10;  // deliberately not a lane multiple
+  constexpr std::uint64_t kMaster = 0xfeed;
+  RunOptions run_options;
+
+  DivProcess process(graph, SelectionScheme::kVertex);
+  std::vector<RunResult> scalar(kReplicas);
+  for (std::size_t replica = 0; replica < kReplicas; ++replica) {
+    Rng rng(Rng::retry_seed(kMaster, replica, 0));
+    OpinionState state(
+        graph, uniform_random_opinions(graph.num_vertices(), 1, 4, rng));
+    scalar[replica] = run(process, state, rng, run_options);
+  }
+
+  MonteCarloOptions mc;
+  mc.master_seed = kMaster;
+  mc.batch_lanes = 4;
+  mc.num_threads = 3;
+  const auto batch = run_div_replicas_batched(
+      graph, SelectionScheme::kVertex, kReplicas,
+      [&graph](std::size_t, Rng& rng) {
+        return uniform_random_opinions(graph.num_vertices(), 1, 4, rng);
+      },
+      run_options, mc);
+
+  EXPECT_EQ(batch.report.replicas, kReplicas);
+  EXPECT_EQ(batch.report.attempted, kReplicas);
+  EXPECT_TRUE(batch.report.ok());
+  EXPECT_FALSE(batch.report.cancelled);
+  ASSERT_EQ(batch.results.size(), kReplicas);
+  for (std::size_t replica = 0; replica < kReplicas; ++replica) {
+    ASSERT_TRUE(batch.results[replica].has_value());
+    expect_same_result(scalar[replica], *batch.results[replica],
+                       "replica " + std::to_string(replica));
+  }
+}
+
+TEST(BatchDriver, PresetCancelClaimsNothing) {
+  const Graph graph = make_cycle(8);
+  CancelToken token;
+  token.request(CancelReason::kUser);
+  MonteCarloOptions mc;
+  mc.batch_lanes = 4;
+  mc.cancel = &token;
+  const auto batch = run_div_replicas_batched(
+      graph, SelectionScheme::kEdge, 8,
+      [](std::size_t, Rng& rng) {
+        return uniform_random_opinions(8, 1, 3, rng);
+      },
+      RunOptions{}, mc);
+  EXPECT_TRUE(batch.report.cancelled);
+  EXPECT_EQ(batch.report.attempted, 0u);
+  for (const auto& result : batch.results) {
+    EXPECT_FALSE(result.has_value());
+  }
+}
+
+// The transposed discordance plane agrees with per-lane scalar trackers at a
+// resync point, for both schemes, after an arbitrary mirrored move history.
+TEST(OpinionPlaneTest, RebuildDiscordanceMatchesScalarTrackers) {
+  Rng graph_rng(0x88);
+  const Graph graph = make_connected_random_regular(40, 4, graph_rng);
+  constexpr unsigned kLanes = 5;
+
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    OpinionPlane plane(graph, kLanes);
+    std::vector<OpinionState> states;
+    states.reserve(kLanes);
+    Rng init_rng(0x404);
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      const std::vector<Opinion> opinions =
+          uniform_random_opinions(graph.num_vertices(), 1, 6, init_rng);
+      plane.assign_lane(lane, opinions);
+      states.emplace_back(graph, opinions);
+    }
+    std::vector<DiscordanceTracker> trackers;
+    trackers.reserve(kLanes);
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      trackers.emplace_back(states[lane], scheme);
+    }
+
+    // Mirror a random move history into both representations.
+    Rng move_rng(0x505);
+    for (int move = 0; move < 300; ++move) {
+      const unsigned lane =
+          static_cast<unsigned>(move_rng.uniform_below(kLanes));
+      const VertexId v = static_cast<VertexId>(
+          move_rng.uniform_below(graph.num_vertices()));
+      const Opinion value =
+          static_cast<Opinion>(1 + move_rng.uniform_below(6));
+      const Opinion before = states[lane].opinion(v);
+      states[lane].set(v, value);
+      trackers[lane].apply_move(v, before);
+      plane.set(lane, v, value);
+    }
+
+    plane.rebuild_discordance();
+    ASSERT_TRUE(plane.discordance_built());
+    for (unsigned lane = 0; lane < kLanes; ++lane) {
+      EXPECT_EQ(plane.discordant_pairs(lane),
+                trackers[lane].total_discordant_pairs())
+          << to_string(scheme) << " lane " << lane;
+      for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+        ASSERT_EQ(plane.discordance(lane, v), trackers[lane].discordance(v))
+            << to_string(scheme) << " lane " << lane << " vertex " << v;
+      }
+    }
+  }
+}
+
+// Bulk sampling is draw-for-draw identical to solo sampling: each lane's rng
+// sees (updater, rank) / (pair draw) in its own order, and the streams end
+// in the same position.
+TEST(DiscordanceTrackerBulk, MatchesScalarSamples) {
+  Rng graph_rng(0x91);
+  const Graph graph = make_connected_random_regular(36, 4, graph_rng);
+  Rng init_rng(0x92);
+  const std::vector<Opinion> opinions =
+      uniform_random_opinions(graph.num_vertices(), 1, 5, init_rng);
+  constexpr std::size_t kLanes = 6;
+
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    OpinionState state(graph, opinions);
+    DiscordanceTracker tracker(state, scheme);
+    ASSERT_FALSE(tracker.frozen());
+
+    std::vector<Rng> solo;
+    std::vector<Rng> bulk;
+    std::vector<Rng*> bulk_ptrs;
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      solo.emplace_back(Rng::retry_seed(0xf00d, lane, 0));
+      bulk.emplace_back(Rng::retry_seed(0xf00d, lane, 0));
+    }
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      bulk_ptrs.push_back(&bulk[lane]);
+    }
+
+    for (int round = 0; round < 20; ++round) {
+      std::vector<SelectedPair> expected(kLanes);
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        expected[lane] = tracker.sample_discordant_pair(solo[lane]);
+      }
+      std::vector<SelectedPair> got(kLanes);
+      tracker.sample_discordant_pairs(bulk_ptrs, got);
+      for (std::size_t lane = 0; lane < kLanes; ++lane) {
+        EXPECT_EQ(expected[lane].updater, got[lane].updater)
+            << to_string(scheme) << " round " << round << " lane " << lane;
+        EXPECT_EQ(expected[lane].observed, got[lane].observed)
+            << to_string(scheme) << " round " << round << " lane " << lane;
+      }
+    }
+    for (std::size_t lane = 0; lane < kLanes; ++lane) {
+      EXPECT_EQ(solo[lane].next(), bulk[lane].next()) << to_string(scheme);
+    }
+  }
+}
+
+TEST(DiscordanceTrackerBulk, RejectsSizeMismatch) {
+  const Graph graph = make_cycle(6);
+  OpinionState state(graph, {1, 2, 1, 2, 1, 2});
+  DiscordanceTracker tracker(state, SelectionScheme::kEdge);
+  Rng rng(1);
+  Rng* rngs[1] = {&rng};
+  std::vector<SelectedPair> out(2);
+  EXPECT_THROW(tracker.sample_discordant_pairs(rngs, out),
+               std::invalid_argument);
+}
+
+// The frozen alias table samples the same conditional law: updaters are
+// always discordant, observeds always disagree with them, and the empirical
+// updater marginal matches disc(v)/d(v) (chi-square).  Any move invalidates
+// the freeze; the edge scheme's freeze is a documented no-op.
+TEST(DiscordanceTrackerAlias, FrozenSamplingMatchesWeights) {
+  Rng graph_rng(0xa1);
+  const Graph graph = make_connected_random_regular(24, 4, graph_rng);
+  Rng init_rng(0xa2);
+  OpinionState state(
+      graph, uniform_random_opinions(graph.num_vertices(), 1, 3, init_rng));
+  DiscordanceTracker tracker(state, SelectionScheme::kVertex);
+  ASSERT_FALSE(tracker.frozen());
+  EXPECT_FALSE(tracker.alias_frozen());
+
+  tracker.freeze_alias();
+  ASSERT_TRUE(tracker.alias_frozen());
+
+  constexpr int kSamples = 20000;
+  std::vector<std::uint64_t> counts(graph.num_vertices(), 0);
+  Rng rng(0xa3);
+  for (int i = 0; i < kSamples; ++i) {
+    const SelectedPair pair = tracker.sample_discordant_pair(rng);
+    ASSERT_GT(tracker.discordance(pair.updater), 0u);
+    ASSERT_NE(state.opinion(pair.updater), state.opinion(pair.observed));
+    ++counts[pair.updater];
+  }
+  std::vector<double> expected(graph.num_vertices(), 0.0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    expected[v] = static_cast<double>(tracker.discordance(v)) /
+                  static_cast<double>(graph.degree(v));
+  }
+  const ChiSquareResult chi = chi_square_test(counts, expected);
+  EXPECT_GT(chi.p_value, 1e-3);
+
+  // A move invalidates the table; sampling falls back to the Fenwick path.
+  const VertexId mover = 0;
+  const Opinion before = state.opinion(mover);
+  const Opinion moved = before == 1 ? 2 : 1;
+  state.set(mover, moved);
+  tracker.apply_move(mover, before);
+  EXPECT_FALSE(tracker.alias_frozen());
+  const SelectedPair after = tracker.sample_discordant_pair(rng);
+  EXPECT_NE(state.opinion(after.updater), state.opinion(after.observed));
+
+  // rebuild_counts also invalidates.
+  tracker.freeze_alias();
+  ASSERT_TRUE(tracker.alias_frozen());
+  tracker.rebuild_counts();
+  EXPECT_FALSE(tracker.alias_frozen());
+
+  // Edge scheme: freeze is a no-op (already O(1)).
+  DiscordanceTracker edge_tracker(state, SelectionScheme::kEdge);
+  edge_tracker.freeze_alias();
+  EXPECT_FALSE(edge_tracker.alias_frozen());
+}
+
+// Thread-mode lock-step groups: payloads are identical to the scalar task's
+// (the contract batch_task implementations must honor), every replica
+// succeeds, and the report says groups actually formed.
+TEST(SupervisorBatch, GroupsProduceScalarIdenticalPayloads) {
+  constexpr std::size_t kReplicas = 16;
+  constexpr std::uint64_t kMaster = 0xd00d;
+
+  const auto payload_for = [](std::size_t replica, Rng& rng) {
+    return std::to_string(replica) + ":" + std::to_string(rng.next());
+  };
+
+  std::vector<std::size_t> ids(kReplicas);
+  for (std::size_t i = 0; i < kReplicas; ++i) ids[i] = i;
+
+  // Scalar reference.
+  std::map<std::size_t, std::string> scalar_payloads;
+  {
+    SupervisorOptions options;
+    options.master_seed = kMaster;
+    options.num_threads = 2;
+    const SupervisorReport report = run_supervised_set(
+        ids,
+        [&](std::size_t replica, Rng& rng, const CancelToken&) {
+          return std::optional<std::string>(payload_for(replica, rng));
+        },
+        [&](std::size_t replica, std::string&& payload) {
+          scalar_payloads[replica] = std::move(payload);
+        },
+        options);
+    ASSERT_EQ(report.succeeded, kReplicas);
+    EXPECT_EQ(report.batch_groups, 0u);
+    EXPECT_EQ(report.batched_attempts, 0u);
+  }
+
+  // Batched run: same payloads, and groups actually formed.
+  std::map<std::size_t, std::string> batch_payloads;
+  SupervisorOptions options;
+  options.master_seed = kMaster;
+  options.num_threads = 2;
+  options.batch_lanes = 4;
+  options.batch_task =
+      [&](std::span<const BatchLane> lanes) {
+        std::vector<std::optional<std::string>> verdicts;
+        verdicts.reserve(lanes.size());
+        for (const BatchLane& lane : lanes) {
+          Rng rng(lane.seed);
+          verdicts.emplace_back(payload_for(lane.replica, rng));
+        }
+        return verdicts;
+      };
+  const SupervisorReport report = run_supervised_set(
+      ids,
+      [&](std::size_t replica, Rng& rng, const CancelToken&) {
+        return std::optional<std::string>(payload_for(replica, rng));
+      },
+      [&](std::size_t replica, std::string&& payload) {
+        batch_payloads[replica] = std::move(payload);
+      },
+      options);
+
+  EXPECT_EQ(report.succeeded, kReplicas);
+  EXPECT_GE(report.batch_groups, 1u);
+  EXPECT_GE(report.batched_attempts, options.batch_lanes);
+  EXPECT_EQ(batch_payloads, scalar_payloads);
+}
+
+// A batch_task returning the wrong number of verdicts is a deterministic
+// group failure: every lane fails fast into quarantine (no retry could
+// change a logic error in the batch plumbing).
+TEST(SupervisorBatch, VerdictCountMismatchQuarantinesTheGroup) {
+  constexpr std::size_t kReplicas = 4;
+  std::vector<std::size_t> ids(kReplicas);
+  for (std::size_t i = 0; i < kReplicas; ++i) ids[i] = i;
+
+  SupervisorOptions options;
+  options.num_threads = 1;
+  options.max_attempts = 1;
+  options.batch_lanes = 4;
+  options.batch_task =
+      [](std::span<const BatchLane> lanes) {
+        return std::vector<std::optional<std::string>>(lanes.size() - 1);
+      };
+  const SupervisorReport report = run_supervised_set(
+      ids,
+      [](std::size_t, Rng&, const CancelToken&) {
+        return std::optional<std::string>("scalar");
+      },
+      [](std::size_t, std::string&&) {},
+      options);
+
+  EXPECT_EQ(report.succeeded, 0u);
+  ASSERT_EQ(report.quarantined.size(), kReplicas);
+  for (const QuarantineRecord& record : report.quarantined) {
+    EXPECT_EQ(record.failure, FailureClass::kDeterministic);
+    EXPECT_NE(record.message.find("verdicts"), std::string::npos);
+  }
+  EXPECT_EQ(report.fail_fasts, kReplicas);
+}
+
+// A throwing batch_task fails every lane with one shared classification;
+// transient classes retry on the scalar-compatible retry seeds and the
+// replicas still complete (here via a batch_task that succeeds on retry).
+TEST(SupervisorBatch, GroupThrowRetriesEveryLane) {
+  constexpr std::size_t kReplicas = 4;
+  std::vector<std::size_t> ids(kReplicas);
+  for (std::size_t i = 0; i < kReplicas; ++i) ids[i] = i;
+
+  std::atomic<int> calls{0};
+  SupervisorOptions options;
+  options.num_threads = 1;
+  options.max_attempts = 2;
+  options.backoff_base = std::chrono::milliseconds{0};
+  options.batch_lanes = 4;
+  options.batch_task =
+      [&](std::span<const BatchLane> lanes)
+          -> std::vector<std::optional<std::string>> {
+        if (calls.fetch_add(1) == 0) {
+          throw std::runtime_error("transient group failure");
+        }
+        std::vector<std::optional<std::string>> verdicts;
+        for (const BatchLane& lane : lanes) {
+          verdicts.emplace_back(std::to_string(lane.replica));
+        }
+        return verdicts;
+      };
+  std::map<std::size_t, std::string> payloads;
+  const SupervisorReport report = run_supervised_set(
+      ids,
+      [](std::size_t replica, Rng&, const CancelToken&) {
+        return std::optional<std::string>(std::to_string(replica));
+      },
+      [&](std::size_t replica, std::string&& payload) {
+        payloads[replica] = std::move(payload);
+      },
+      options);
+
+  EXPECT_EQ(report.succeeded, kReplicas);
+  EXPECT_EQ(report.retries, kReplicas);  // one retry per lane of the group
+  ASSERT_EQ(payloads.size(), kReplicas);
+  for (std::size_t replica = 0; replica < kReplicas; ++replica) {
+    EXPECT_EQ(payloads[replica], std::to_string(replica));
+  }
+}
+
+}  // namespace
+}  // namespace divlib

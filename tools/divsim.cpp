@@ -4,7 +4,7 @@
 //                   [--engine step|jump] [--k 5] [--seed 1] [--replicas 1]
 //                   [--trace N] [--stop consensus|two-adjacent] [--max-steps M]
 //                   [--fault drop=0.3,crash=0.05@[0,1e6],byzantine=0.02]
-//                   [--retries N] [--threads N]
+//                   [--retries N] [--threads N] [--batch-lanes N]
 //                   [--deadline-ms N] [--retry-backoff MS]
 //                   [--straggler-factor F] [--min-success F] [--supervise]
 //                   [--isolation thread|process] [--workers N]
@@ -62,6 +62,7 @@
 #include "core/mean_field.hpp"
 #include "core/theory.hpp"
 #include "exact/div_chain.hpp"
+#include "engine/batch_engine.hpp"
 #include "engine/campaign.hpp"
 #include "engine/count_trace.hpp"
 #include "engine/engine.hpp"
@@ -292,6 +293,38 @@ int cmd_run(const Args& args) {
                          backoff_given || retry_quarantined ||
                          isolation == Isolation::kProcess;
 
+  // Lock-step batching: run N replicas per worker claim through the batch
+  // engine (one SoA OpinionPlane per group).  Per-replica results stay
+  // bit-identical to the scalar drivers' attempt 0 -- this is purely a
+  // throughput knob -- but it only exists for plain DIV on the step-
+  // equivalent scheduled chain, so the incompatible modes are refused
+  // loudly rather than silently falling back.
+  const auto batch_lanes =
+      std::max<unsigned>(1, static_cast<unsigned>(args.get_u64("batch-lanes", 1)));
+  if (batch_lanes > 1) {
+    if (process_name != "div") {
+      throw std::invalid_argument(
+          "--batch-lanes only supports --process div (the batch engine "
+          "inlines the DIV update rule; other processes use the scalar "
+          "engines)");
+    }
+    if (jump) {
+      throw std::invalid_argument(
+          "--batch-lanes uses the lock-step scheduled engine; combine it "
+          "with --engine step (jump-chain runs are scalar)");
+    }
+    if (fault_spec.any()) {
+      throw std::invalid_argument(
+          "--batch-lanes cannot honor --fault: decorated processes need the "
+          "scalar engines' virtual dispatch");
+    }
+    if (trace_stride > 0) {
+      throw std::invalid_argument(
+          "--batch-lanes does not support --trace (per-step tracing is a "
+          "scalar-engine feature)");
+    }
+  }
+
   RunOptions options;
   options.stop = stop_text == "two-adjacent" ? StopKind::kTwoAdjacent
                                              : StopKind::kConsensus;
@@ -308,6 +341,17 @@ int cmd_run(const Args& args) {
             << ", engine: " << engine << ", opinions 1.." << k
             << ", stop: " << to_string(options.stop)
             << ", replicas: " << replicas << "\n";
+  if (batch_lanes > 1) {
+    std::cout << "batch lanes: " << batch_lanes << " (lock-step engine";
+    if (!checkpoint_dir.empty() && !supervise) {
+      std::cout << "; note: plain campaigns journal via the scalar driver, "
+                   "add --supervise to batch";
+    } else if (isolation == Isolation::kProcess) {
+      std::cout << "; note: the process fleet hands workers scalar attempts, "
+                   "use --isolation thread to batch";
+    }
+    std::cout << ")\n";
+  }
   if (fault_spec.any()) {
     std::cout << "faults: " << fault_text << "\n";
   }
@@ -343,7 +387,8 @@ int cmd_run(const Args& args) {
         .field("max_steps", options.max_steps)
         .field("replicas", static_cast<std::uint64_t>(replicas))
         .field("seed", master_seed)
-        .field("fault", fault_text);
+        .field("fault", fault_text)
+        .field("batch_lanes", static_cast<std::uint64_t>(batch_lanes));
     metrics_out->emit(meta_record.str());
   }
 
@@ -438,6 +483,35 @@ int cmd_run(const Args& args) {
     return out;
   };
 
+  // Telemetry for one batch-engine lane: the same counters / histogram /
+  // "run" record as run_one's tail, minus the per-replica RunMetrics
+  // trajectory (the batch engine reports group-level metrics only); the
+  // record carries the lane width so readers can tell batched runs apart.
+  const auto account_batch_lane = [&](std::size_t replica,
+                                      const RunResult& result,
+                                      unsigned lanes) {
+    if (telemetry) {
+      switch (result.status) {
+        case RunStatus::kCompleted: runs_completed.add(); break;
+        case RunStatus::kCapped:    runs_capped.add(); break;
+        case RunStatus::kFaulted:   runs_faulted.add(); break;
+        case RunStatus::kCancelled: runs_cancelled.add(); break;
+        case RunStatus::kDeadline:  runs_deadline.add(); break;
+      }
+      steps_hist.observe(static_cast<double>(result.steps));
+    }
+    if (metrics_out) {
+      JsonObject line;
+      line.field("type", "run")
+          .field("replica", static_cast<std::uint64_t>(replica))
+          .field("status", to_string(result.status))
+          .field("steps", result.steps)
+          .field("effective_steps", std::uint64_t{0})
+          .field("batch_lanes", static_cast<std::uint64_t>(lanes));
+      metrics_out->emit(line.str());
+    }
+  };
+
   const MonteCarloOptions mc{.master_seed = master_seed,
                              .num_threads = threads,
                              .max_attempts = retries + 1,
@@ -466,6 +540,44 @@ int cmd_run(const Args& args) {
       metrics_out->emit(line.str());
     };
   }
+  // Thread-mode supervised runs dispatch lock-step groups through the batch
+  // engine: each lane keeps its retry_seed stream and its private lease
+  // token, so every payload is byte-identical to the scalar supervised_task's
+  // and deadline kills still drain one lane.  The process fleet and scalar
+  // fallbacks (retry storms, speculative twins) go through supervised_task.
+  if (batch_lanes > 1 && isolation == Isolation::kThread) {
+    sup.batch_lanes = batch_lanes;
+    sup.batch_task = [&](std::span<const BatchLane> lanes)
+        -> std::vector<std::optional<std::string>> {
+      const auto width = static_cast<unsigned>(lanes.size());
+      OpinionPlane plane(graph, width);
+      std::vector<Rng> rngs;
+      std::vector<const CancelToken*> cancels;
+      rngs.reserve(width);
+      cancels.reserve(width);
+      for (unsigned lane = 0; lane < width; ++lane) {
+        rngs.emplace_back(lanes[lane].seed);
+        plane.assign_lane(lane,
+                          uniform_random_opinions(graph.num_vertices(), 1, k,
+                                                  rngs[lane]));
+        cancels.push_back(lanes[lane].cancel);
+      }
+      const std::vector<RunResult> lane_results =
+          run_batch(graph, scheme, plane, rngs, options, cancels);
+      std::vector<std::optional<std::string>> verdicts(width);
+      for (unsigned lane = 0; lane < width; ++lane) {
+        account_batch_lane(lanes[lane].replica, lane_results[lane], width);
+        if (lane_results[lane].status == RunStatus::kCancelled ||
+            lane_results[lane].status == RunStatus::kDeadline) {
+          continue;  // nullopt: the supervisor reads the lease token's reason
+        }
+        ReplicaRun out;
+        out.result = lane_results[lane];
+        verdicts[lane] = encode_replica_run(out);
+      }
+      return verdicts;
+    };
+  }
   // The supervisor's drain convention: nullopt for BOTH a deadline kill and
   // an operator drain; it reads the lease token's CancelReason to tell them
   // apart.  A successful attempt persists through the same codec the
@@ -490,7 +602,46 @@ int cmd_run(const Args& args) {
   std::optional<CampaignStatus> campaign_status;
   Trace replica0_trace;
   bool campaign_cancelled = false;
-  if (checkpoint_dir.empty() && !supervise) {
+  if (checkpoint_dir.empty() && !supervise && batch_lanes > 1) {
+    // Plain batched path: lock-step groups of batch_lanes replicas per
+    // worker claim, every slot bit-identical to the scalar isolated driver's
+    // attempt 0.  Throughput is reported amortized across lanes.
+    MonteCarloOptions batch_mc = mc;
+    batch_mc.batch_lanes = batch_lanes;
+    const auto batch_start = std::chrono::steady_clock::now();
+    auto batch = run_div_replicas_batched(
+        graph, scheme, replicas,
+        [&](std::size_t, Rng& rng) {
+          return uniform_random_opinions(graph.num_vertices(), 1, k, rng);
+        },
+        options, batch_mc);
+    const double batch_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      batch_start)
+            .count();
+    std::uint64_t batch_steps = 0;
+    for (std::size_t replica = 0; replica < replicas; ++replica) {
+      if (!batch.results[replica]) {
+        continue;
+      }
+      account_batch_lane(replica, *batch.results[replica], batch_lanes);
+      batch_steps += batch.results[replica]->steps;
+      ReplicaRun out;
+      out.result = std::move(*batch.results[replica]);
+      results[replica] = std::move(out);
+    }
+    report = std::move(batch.report);
+    const std::size_t groups = (replicas + batch_lanes - 1) / batch_lanes;
+    std::cout << "batch engine: " << batch_lanes << " lanes/group, " << groups
+              << " group(s), " << batch_steps << " scheduled steps in "
+              << format_double(batch_wall, 2) << "s ("
+              << format_double(batch_wall > 0.0
+                                   ? static_cast<double>(batch_steps) /
+                                         batch_wall
+                                   : 0.0,
+                               0)
+              << " steps/s amortized across lanes)\n";
+  } else if (checkpoint_dir.empty() && !supervise) {
     auto batch = run_replicas_isolated<ReplicaRun>(
         replicas,
         [&](std::size_t replica, Rng& rng) {
@@ -607,6 +758,8 @@ int cmd_run(const Args& args) {
           .field("worker_spawns", sup_report.worker_spawns)
           .field("worker_suspects", sup_report.worker_suspects)
           .field("worker_deaths", sup_report.worker_deaths)
+          .field("batch_groups", sup_report.batch_groups)
+          .field("batched_attempts", sup_report.batched_attempts)
           .field("cancelled", sup_report.cancelled);
     } else {
       line.field("attempted", static_cast<std::uint64_t>(report.attempted))
@@ -701,6 +854,16 @@ int cmd_run(const Args& args) {
       std::cout << "fleet: " << sup_report.worker_spawns << " worker(s) forked, "
                 << sup_report.worker_suspects << " suspect transition(s), "
                 << sup_report.worker_deaths << " death(s)\n";
+    }
+    if (sup_report.batch_groups > 0) {
+      std::cout << "lock-step batching: " << sup_report.batch_groups
+                << " group(s), " << sup_report.batched_attempts
+                << " attempt(s) batched (avg "
+                << format_double(
+                       static_cast<double>(sup_report.batched_attempts) /
+                           static_cast<double>(sup_report.batch_groups),
+                       1)
+                << " lanes/group)\n";
     }
     for (const QuarantineRecord& record : quarantined) {
       std::cout << "  quarantined replica " << record.replica << " ("
