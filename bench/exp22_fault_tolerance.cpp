@@ -39,6 +39,7 @@
 #include "core/cancel.hpp"
 #include "core/div_process.hpp"
 #include "core/faulty_process.hpp"
+#include "engine/adaptive/estimator.hpp"
 #include "engine/initial_config.hpp"
 #include "engine/supervisor.hpp"
 #include "graph/random_graphs.hpp"
@@ -439,13 +440,59 @@ int main() {
                 std::to_string(report.speculative_wins))
           .cell(report.deadline_kills);
     }
+    // Adaptive deadline: no fixed budget at all.  The estimator learns the
+    // healthy completion quantile from the first few replicas, the
+    // confidence gate opens, and the hang is killed at the LEARNED
+    // deadline; the retry (a fresh attempt stream) runs clean.
+    {
+      std::atomic<unsigned> slow_execs{0};
+      EstimatorOptions est;
+      est.min_samples = 4;
+      CompletionEstimator estimator(est);
+      SupervisorOptions sup;
+      sup.master_seed = base.master_seed;
+      sup.num_threads = base.num_threads;
+      sup.max_attempts = 2;
+      sup.backoff_base = std::chrono::milliseconds(1);
+      sup.estimator = &estimator;
+      sup.deadline_auto = true;
+      SupervisorReport report;
+      const double learned_ms = wall_ms_of([&] {
+        report = run_supervised_set(
+            ids,
+            [&](std::size_t replica, Rng& rng,
+                const CancelToken& cancel) -> std::optional<std::string> {
+              if (replica == kSlowReplica && slow_execs.fetch_add(1) == 0) {
+                crawl(&cancel, std::chrono::milliseconds(60'000));
+                return std::nullopt;  // killed at the learned deadline
+              }
+              return std::to_string(healthy_steps(g, rng, &cancel));
+            },
+            [](std::size_t, std::string&&) {}, sup);
+      });
+      table.row()
+          .cell("hang / --deadline-ms auto (learned " +
+                std::to_string(static_cast<std::uint64_t>(
+                    report.learned_deadline_ms)) +
+                "ms)")
+          .cell(learned_ms, 0)
+          .cell(learned_ms / healthy_ms, 2)
+          .cell(report.succeeded)
+          .cell(std::to_string(report.speculative_launches) + "/" +
+                std::to_string(report.speculative_wins))
+          .cell(report.deadline_kills);
+    }
     table.print(std::cout);
     std::cout << "Expected shape: the plain driver's wall-clock is hostage "
                  "to the crawler\n(~" << kCrawl.count()
               << "ms over healthy); speculation returns it to near the "
                  "healthy\nbatch via a same-seed twin that wins, and the "
-                 "deadline row caps the hang\nat ~300ms + retry.  All "
-              << kDReplicas << " replicas succeed in every scenario.\n";
+                 "deadline row caps the hang\nat ~300ms + retry.  The auto "
+                 "row needs no operator budget: the estimator\nlearns the "
+                 "healthy quantile and kills the hang at quantile x safety "
+                 "-- the\nwall-clock tracks the learned deadline, not a "
+                 "guess.  All " << kDReplicas
+              << " replicas succeed in every scenario.\n";
   }
   return 0;
 }

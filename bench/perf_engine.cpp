@@ -28,6 +28,7 @@
 #include "engine/batch_engine.hpp"
 #include "engine/jump_engine.hpp"
 #include "engine/montecarlo.hpp"
+#include "engine/adaptive/estimator.hpp"
 #include "engine/supervisor.hpp"
 #include "obs/run_metrics.hpp"
 #include "spectral/lambda.hpp"
@@ -195,21 +196,34 @@ std::uint64_t replica_consensus_steps(const Graph& g, VertexId n, Rng& rng,
   return run(process, opinions, rng, options).steps;
 }
 
-void run_supervisor_batch(benchmark::State& state, bool supervised) {
+enum class SupervisorBench { kOff, kOn, kAuto };
+
+void run_supervisor_batch(benchmark::State& state, SupervisorBench mode) {
   const auto n = static_cast<VertexId>(state.range(0));
   const Graph& g = shared_regular_graph(n);
   std::vector<std::size_t> ids(kSupervisorBatchReplicas);
   for (std::size_t i = 0; i < ids.size(); ++i) {
     ids[i] = i;
   }
+  // Adaptive mode keeps one estimator across iterations (as a campaign
+  // would): the confidence gate opens during the first iteration and every
+  // later poll pays the quantile-evaluation tax.  The safety factor is huge
+  // so the learned deadline, like the fixed one, never actually fires.
+  EstimatorOptions est_options;
+  est_options.safety_factor = 1e9;
+  CompletionEstimator estimator(est_options);
   std::atomic<std::uint64_t> total_steps{0};
   for (auto _ : state) {
-    if (supervised) {
+    if (mode != SupervisorBench::kOff) {
       SupervisorOptions options;
       options.master_seed = 0xbe7c;
       options.num_threads = 4;
       options.deadline = std::chrono::milliseconds(3'600'000);
       options.straggler_factor = 1e6;
+      if (mode == SupervisorBench::kAuto) {
+        options.estimator = &estimator;
+        options.deadline_auto = true;
+      }
       const SupervisorReport report = run_supervised_set(
           ids,
           [&](std::size_t, Rng& rng, const CancelToken& cancel) {
@@ -239,14 +253,19 @@ void run_supervisor_batch(benchmark::State& state, bool supervised) {
 }
 
 void BM_SupervisorOffBatch(benchmark::State& state) {
-  run_supervisor_batch(state, /*supervised=*/false);
+  run_supervisor_batch(state, SupervisorBench::kOff);
 }
 BENCHMARK(BM_SupervisorOffBatch)->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_SupervisorOnBatch(benchmark::State& state) {
-  run_supervisor_batch(state, /*supervised=*/true);
+  run_supervisor_batch(state, SupervisorBench::kOn);
 }
 BENCHMARK(BM_SupervisorOnBatch)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SupervisorAutoBatch(benchmark::State& state) {
+  run_supervisor_batch(state, SupervisorBench::kAuto);
+}
+BENCHMARK(BM_SupervisorAutoBatch)->Arg(256)->Unit(benchmark::kMillisecond);
 
 // Batched replica engine: B lanes of the same topology advanced in lock-step
 // over an OpinionPlane vs B sequential scalar run() calls.  A FIXED step

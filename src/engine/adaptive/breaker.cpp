@@ -1,0 +1,110 @@
+#include "engine/adaptive/breaker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace divlib {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerOptions& options,
+                               Clock::time_point start)
+    : options_(options), last_seen_(start), probe_at_(start) {
+  if (options_.failure_threshold == 0) options_.failure_threshold = 1;
+  if (options_.window.count() <= 0) options_.window = std::chrono::milliseconds(1);
+  if (options_.cooldown.count() <= 0)
+    options_.cooldown = std::chrono::milliseconds(1);
+  if (!(options_.backoff_multiplier >= 1.0)) options_.backoff_multiplier = 1.0;
+  if (!(options_.width_fraction > 0.0) || options_.width_fraction > 1.0)
+    options_.width_fraction = 1.0;
+}
+
+CircuitBreaker::Clock::time_point CircuitBreaker::clamp(Clock::time_point now) {
+  // Timestamps arrive from several call sites; never let an out-of-order
+  // reading rewind the window or the cooldown.
+  last_seen_ = std::max(last_seen_, now);
+  return last_seen_;
+}
+
+void CircuitBreaker::prune(Clock::time_point now) {
+  const auto horizon = now - options_.window;
+  while (!failures_.empty() && failures_.front() < horizon) {
+    failures_.pop_front();
+  }
+}
+
+std::vector<BreakerTransition> CircuitBreaker::transition(BreakerState to) {
+  BreakerTransition t;
+  t.from = state_;
+  t.to = to;
+  t.failures_in_window = failures_.size();
+  state_ = to;
+  return {t};
+}
+
+std::vector<BreakerTransition> CircuitBreaker::record_failure(
+    Clock::time_point now) {
+  now = clamp(now);
+  prune(now);
+  failures_.push_back(now);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (failures_.size() >= options_.failure_threshold) {
+        probe_at_ = now + options_.cooldown;
+        return transition(BreakerState::kOpen);
+      }
+      break;
+    case BreakerState::kOpen:
+      // Still failing: push the probe out so HalfOpen only fires after a
+      // genuinely quiet cooldown.
+      probe_at_ = now + options_.cooldown;
+      break;
+    case BreakerState::kHalfOpen:
+      probe_at_ = now + options_.cooldown;
+      return transition(BreakerState::kOpen);
+  }
+  return {};
+}
+
+std::vector<BreakerTransition> CircuitBreaker::record_success(
+    Clock::time_point now) {
+  now = clamp(now);
+  prune(now);
+  if (state_ == BreakerState::kHalfOpen) {
+    failures_.clear();
+    return transition(BreakerState::kClosed);
+  }
+  return {};
+}
+
+std::vector<BreakerTransition> CircuitBreaker::tick(Clock::time_point now) {
+  now = clamp(now);
+  prune(now);
+  if (state_ == BreakerState::kOpen && now >= probe_at_) {
+    return transition(BreakerState::kHalfOpen);
+  }
+  return {};
+}
+
+double CircuitBreaker::backoff_multiplier() const {
+  return state_ == BreakerState::kOpen ? options_.backoff_multiplier : 1.0;
+}
+
+std::size_t CircuitBreaker::cap(std::size_t full_width) const {
+  if (state_ != BreakerState::kOpen || full_width == 0) return full_width;
+  const auto capped = static_cast<std::size_t>(
+      std::floor(static_cast<double>(full_width) * options_.width_fraction));
+  return std::max<std::size_t>(capped, 1);
+}
+
+}  // namespace divlib

@@ -1,0 +1,110 @@
+#include "engine/adaptive/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace divlib {
+
+CompletionEstimator::CompletionEstimator(const EstimatorOptions& options)
+    : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  options_.quantile = std::clamp(options_.quantile, 0.0, 1.0);
+  if (!(options_.safety_factor > 0.0)) options_.safety_factor = 1.0;
+  if (options_.min_samples == 0) options_.min_samples = 1;
+  options_.rate_alpha = std::clamp(options_.rate_alpha, 0.0, 1.0);
+}
+
+void CompletionEstimator::evict_oldest_locked() {
+  // ring_[ring_next_] is the oldest retained sample; drop its copy from the
+  // sorted view before the ring slot is overwritten.  Samples are bit-exact
+  // copies, so lower_bound lands on an equal element.
+  const double victim = ring_[ring_next_];
+  auto it = std::lower_bound(sorted_.begin(), sorted_.end(), victim);
+  sorted_.erase(it);
+}
+
+void CompletionEstimator::observe(double wall_seconds) {
+  if (!std::isfinite(wall_seconds) || wall_seconds <= 0.0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < options_.window) {
+      ring_.push_back(wall_seconds);
+    } else {
+      evict_oldest_locked();
+      ring_[ring_next_] = wall_seconds;
+    }
+    ring_next_ = (ring_next_ + 1) % options_.window;
+    sorted_.insert(
+        std::lower_bound(sorted_.begin(), sorted_.end(), wall_seconds),
+        wall_seconds);
+    ++total_;
+  }
+  if (observer_) observer_(wall_seconds);
+}
+
+void CompletionEstimator::observe_rate(double steps_per_second) {
+  if (!std::isfinite(steps_per_second) || steps_per_second <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  rate_ = rate_seen_
+              ? options_.rate_alpha * steps_per_second +
+                    (1.0 - options_.rate_alpha) * rate_
+              : steps_per_second;
+  rate_seen_ = true;
+}
+
+std::uint64_t CompletionEstimator::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+bool CompletionEstimator::confident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ >= options_.min_samples;
+}
+
+double CompletionEstimator::quantile_seconds() const {
+  return quantile(options_.quantile);
+}
+
+double CompletionEstimator::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sorted_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(q * sorted_.size());
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+double CompletionEstimator::step_rate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rate_;
+}
+
+std::chrono::milliseconds CompletionEstimator::deadline(
+    std::chrono::milliseconds fallback) const {
+  if (!confident()) return fallback;
+  const double seconds = quantile_seconds() * options_.safety_factor;
+  const auto ms = static_cast<std::int64_t>(std::ceil(seconds * 1000.0));
+  return std::chrono::milliseconds(std::max<std::int64_t>(ms, 1));
+}
+
+EstimatorSnapshot CompletionEstimator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EstimatorSnapshot snap;
+  snap.samples = total_;
+  snap.confident = total_ >= options_.min_samples;
+  if (!sorted_.empty()) {
+    const auto rank =
+        static_cast<std::size_t>(options_.quantile * sorted_.size());
+    snap.quantile_seconds = sorted_[std::min(rank, sorted_.size() - 1)];
+    snap.min_seconds = sorted_.front();
+    snap.max_seconds = sorted_.back();
+  }
+  snap.step_rate = rate_;
+  return snap;
+}
+
+void CompletionEstimator::set_observer(std::function<void(double)> observer) {
+  observer_ = std::move(observer);
+}
+
+}  // namespace divlib

@@ -1,0 +1,114 @@
+// Online completion-time estimation for adaptive supervision.
+//
+// A fixed --deadline-ms is wrong in both directions for DIV campaigns: the
+// expected step count is graph- and regime-dependent (Theorem 1 mixes
+// k*n log n, n^{5/3} log n, and lambda-dependent n^2 terms), so a deadline
+// tuned for an expander hangs for hours on a path graph, and one tuned for
+// the path quarantines healthy expander replicas on a loaded host.  The
+// estimator learns the completion-time distribution of *this* configuration
+// online -- every successful attempt feeds its wall time in -- and publishes
+// a per-attempt deadline of quantile(P) * safety_factor once enough samples
+// accrued.  Until the confidence gate opens, callers keep whatever fixed
+// fallback deadline they were given, so cold starts are never *less* safe
+// than the status quo.
+//
+// The same object also tracks an EWMA of the effective step rate
+// (steps/second from obs/RunMetrics) as a cheap progress prior; it is
+// surfaced for diagnostics and lets the supervisor's straggler speculation
+// switch from reactive (factor x running median of *this run's* durations)
+// to predictive (elapsed beyond the learned quantile).
+//
+// Quantiles are exact nearest-rank over a bounded window of the most recent
+// observations (default 4096): at one sample per attempt the window costs
+// ~32 KiB and an O(window) insert, which is noise next to a single replica
+// run.  Exactness buys the properties the tests pin down: estimates are
+// monotone in the sample set, bounded by the observed min/max, and
+// deterministic for a fixed insertion order.
+//
+// Thread-safe; the supervisor monitor thread, worker threads, and the fleet
+// parent loop all talk to one shared instance.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace divlib {
+
+struct EstimatorOptions {
+  double quantile = 0.95;        // P of the learned quantile deadline
+  double safety_factor = 3.0;    // deadline = quantile(P) * safety_factor
+  std::size_t min_samples = 8;   // confidence gate: adapt only past this
+  std::size_t window = 4096;     // most recent observations retained
+  double rate_alpha = 0.2;       // EWMA weight for step-rate samples
+};
+
+struct EstimatorSnapshot {
+  std::uint64_t samples = 0;  // lifetime observation count
+  bool confident = false;
+  double quantile_seconds = 0.0;  // learned qP (0 until first sample)
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+  double step_rate = 0.0;  // EWMA effective steps/second (0 until observed)
+};
+
+class CompletionEstimator {
+ public:
+  CompletionEstimator() = default;
+  explicit CompletionEstimator(const EstimatorOptions& options);
+
+  // Records one successful attempt's wall time.  Non-positive and
+  // non-finite samples are dropped: a zero-duration "completion" is a
+  // clock artifact, not evidence.
+  void observe(double wall_seconds);
+
+  // Records an effective-step-rate sample (steps/second) into the EWMA.
+  void observe_rate(double steps_per_second);
+
+  std::uint64_t samples() const;
+
+  // True once min_samples lifetime observations accrued.
+  bool confident() const;
+
+  // Nearest-rank quantile of the retained window at the configured P
+  // (or an explicit q in [0, 1]).  0.0 when no samples were observed.
+  double quantile_seconds() const;
+  double quantile(double q) const;
+
+  double step_rate() const;
+
+  // The adaptive per-attempt deadline: quantile(P) * safety_factor when the
+  // confidence gate is open, otherwise `fallback` unchanged (so callers keep
+  // their fixed deadline -- possibly "none" -- until the estimator is
+  // trustworthy).  Never returns less than 1ms once adapting: a learned
+  // deadline of zero would read as "no deadline" to the supervisor.
+  std::chrono::milliseconds deadline(std::chrono::milliseconds fallback) const;
+
+  EstimatorSnapshot stats() const;
+
+  const EstimatorOptions& options() const { return options_; }
+
+  // Invoked after each accepted observe(), outside the estimator lock, with
+  // the observed wall seconds.  The calibration log (engine/adaptive/
+  // calibration.*) uses this to persist observations as they happen.  Set
+  // before the estimator is shared across threads.
+  void set_observer(std::function<void(double)> observer);
+
+ private:
+  void evict_oldest_locked();
+
+  mutable std::mutex mu_;
+  EstimatorOptions options_;
+  std::vector<double> ring_;    // insertion order, bounded by options_.window
+  std::size_t ring_next_ = 0;   // slot the next observation overwrites
+  std::vector<double> sorted_;  // the same samples, ascending
+  std::uint64_t total_ = 0;     // lifetime count (drives the confidence gate)
+  double rate_ = 0.0;
+  bool rate_seen_ = false;
+  std::function<void(double)> observer_;
+};
+
+}  // namespace divlib

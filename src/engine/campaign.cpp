@@ -17,6 +17,7 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr std::string_view kQuarantinePrefix = "quarantine ";
+constexpr std::string_view kSupervisionPrefix = "supervision ";
 
 struct CampaignPaths {
   std::string meta;
@@ -72,6 +73,17 @@ std::size_t load_campaign_state(
   // valid prefix and truncate so the writer appends after it.
   const JournalRecovery recovery = recover_journal(paths.journal);
   for (const std::string& record : recovery.records) {
+    if (is_supervision_record(record)) {
+      if (quarantined == nullptr) {
+        throw std::runtime_error(
+            "run_campaign: the journal holds supervision records (the "
+            "campaign needed deadline/backpressure enforcement); resume with "
+            "supervision enabled");
+      }
+      // Advisory history: decisions explain the journal, they never gate
+      // which replicas run.
+      continue;
+    }
     if (is_quarantine_record(record)) {
       if (quarantined == nullptr) {
         throw std::runtime_error(
@@ -168,6 +180,25 @@ std::string encode_quarantine_record(const QuarantineRecord& record) {
 
 bool is_quarantine_record(std::string_view record) {
   return record.starts_with(kQuarantinePrefix);
+}
+
+std::string encode_supervision_record(const SupervisionEvent& event) {
+  std::string out(kSupervisionPrefix);
+  out += event.to_json();
+  return out;
+}
+
+bool is_supervision_record(std::string_view record) {
+  return record.starts_with(kSupervisionPrefix);
+}
+
+std::string_view decode_supervision_record(std::string_view record) {
+  if (!is_supervision_record(record)) {
+    throw std::invalid_argument(
+        "decode_supervision_record: missing 'supervision' prefix in '" +
+        std::string(record) + "'");
+  }
+  return record.substr(kSupervisionPrefix.size());
 }
 
 QuarantineRecord decode_quarantine_record(std::string_view record) {
@@ -323,6 +354,16 @@ SupervisedCampaignResult run_supervised_campaign(
       if (options.heartbeat != nullptr) {
         options.heartbeat->beat("flush");
       }
+    } else if (event.kind == SupervisionEvent::Kind::kDeadlineKill ||
+               event.kind == SupervisionEvent::Kind::kDeadlineAdapt ||
+               event.kind == SupervisionEvent::Kind::kBreakerOpen ||
+               event.kind == SupervisionEvent::Kind::kBreakerClose) {
+      // Control-plane decisions go to the same journal so `divsim journal
+      // --json` explains every kill.  Rare by construction (adapt events
+      // carry a >10% hysteresis), so the immediate flush is cheap.
+      const std::lock_guard<std::mutex> lock(journal_mutex);
+      writer.append(encode_supervision_record(event));
+      writer.flush();
     }
     if (supervision.on_event) {
       supervision.on_event(event);

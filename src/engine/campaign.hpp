@@ -127,6 +127,20 @@ bool is_quarantine_record(std::string_view record);
 // Throws std::invalid_argument on a malformed record.
 QuarantineRecord decode_quarantine_record(std::string_view record);
 
+// Supervision-decision records ("supervision <event-json>").  A supervised
+// campaign journals its deadline kills, adaptive-deadline changes, and
+// circuit-breaker trips next to the results they shaped, so `divsim journal
+// --json` can explain every kill after the fact.  The payload is the
+// event's to_json() verbatim.  Like quarantine records, the non-numeric
+// prefix makes pre-supervision readers fail loudly; an unsupervised resume
+// refuses a journal holding them (the campaign evidently needed deadline
+// enforcement to finish).
+std::string encode_supervision_record(const SupervisionEvent& event);
+bool is_supervision_record(std::string_view record);
+// Returns the event JSON carried by the record (no re-parse; emitters embed
+// it verbatim).  Throws std::invalid_argument on a missing prefix.
+std::string_view decode_supervision_record(std::string_view record);
+
 struct SupervisedCampaignResult {
   // One slot per replica: the journaled payload, or nullopt when the replica
   // is quarantined, unfinished, or cancelled.

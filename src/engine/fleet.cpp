@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <cmath>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <mutex>
 #include <queue>
 #include <sstream>
@@ -87,12 +90,14 @@ void install_worker_signals() {
 // death with an unreported attempt as a crash regardless of the code.
 [[noreturn]] void worker_main(int work_fd, int result_fd,
                               const SupervisorOptions& options,
+                              std::chrono::milliseconds heartbeat_interval,
                               const SupervisedTask& task) {
   install_worker_signals();
 
   // Beats ride the same pipe as results, written from the Heartbeat thread;
   // the mutex keeps a beat from interleaving into the middle of a large
-  // result frame (pipe writes are only atomic up to PIPE_BUF).
+  // result frame (pipe writes are only atomic up to PIPE_BUF).  The cadence
+  // arrives pre-clamped against the liveness thresholds (see FleetRun).
   std::mutex write_mu;
   BatchProgress progress;
   Heartbeat heartbeat(
@@ -101,7 +106,7 @@ void install_worker_signals() {
         std::lock_guard<std::mutex> lock(write_mu);
         wire_write_frame(result_fd, "beat");
       },
-      options.fleet.heartbeat_interval);
+      heartbeat_interval);
 
   int code = 0;
   while (true) {
@@ -274,6 +279,29 @@ class FleetRun {
           &options_.metrics->counter("fleet_worker_suspects");
       counter_for_[kind_index(SupervisionEvent::Kind::kWorkerDead)] =
           &options_.metrics->counter("fleet_worker_deaths");
+      counter_for_[kind_index(SupervisionEvent::Kind::kDeadlineAdapt)] =
+          &options_.metrics->counter("supervisor_deadline_adapts");
+      counter_for_[kind_index(SupervisionEvent::Kind::kBreakerOpen)] =
+          &options_.metrics->counter("supervisor_breaker_opens");
+      counter_for_[kind_index(SupervisionEvent::Kind::kBreakerClose)] =
+          &options_.metrics->counter("supervisor_breaker_closes");
+    }
+    // A heartbeat cadence at or above suspect_after would make every healthy
+    // worker flap Alive -> Suspect between beats (and at dead_after, get
+    // SIGKILLed mid-work).  Clamp loudly rather than run a fleet whose
+    // liveness signal is all noise.
+    fleet_ = options_.fleet;
+    bool clamped = false;
+    fleet_.heartbeat_interval = clamp_heartbeat_cadence(
+        fleet_.heartbeat_interval, fleet_.suspect_after, &clamped);
+    if (clamped) {
+      std::fprintf(
+          stderr,
+          "divlib fleet: heartbeat interval %lldms >= suspect-after %lldms "
+          "would flap liveness; clamped to %lldms\n",
+          static_cast<long long>(options_.fleet.heartbeat_interval.count()),
+          static_cast<long long>(fleet_.suspect_after.count()),
+          static_cast<long long>(fleet_.heartbeat_interval.count()));
     }
   }
 
@@ -289,6 +317,10 @@ class FleetRun {
     }
     SigpipeGuard sigpipe;
     const auto now = Clock::now();
+    armed_deadline_ = options_.deadline;
+    if (options_.breaker_enabled) {
+      breaker_.emplace(options_.breaker, now);
+    }
     for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
       ReplicaSlot& state = slots_[slot];
       const unsigned base =
@@ -392,7 +424,8 @@ class FleetRun {
         if (other->work_fd >= 0) ::close(other->work_fd);
         if (other->result_fd >= 0) ::close(other->result_fd);
       }
-      worker_main(work_pipe[0], result_pipe[1], options_, task_);
+      worker_main(work_pipe[0], result_pipe[1], options_,
+                  fleet_.heartbeat_interval, task_);
     }
     // Parent.
     ::close(work_pipe[0]);
@@ -400,8 +433,8 @@ class FleetRun {
     ::fcntl(result_pipe[0], F_SETFL,
             ::fcntl(result_pipe[0], F_GETFL) | O_NONBLOCK);
     LivenessOptions liveness;
-    liveness.suspect_after = options_.fleet.suspect_after;
-    liveness.dead_after = options_.fleet.dead_after;
+    liveness.suspect_after = fleet_.suspect_after;
+    liveness.dead_after = fleet_.dead_after;
     auto worker = std::make_unique<Worker>(next_worker_id_++, liveness, now);
     worker->pid = pid;
     worker->work_fd = work_pipe[1];
@@ -432,11 +465,71 @@ class FleetRun {
       return;  // draining: never grow the fleet during shutdown
     }
     const std::size_t remaining = slots_.size() - terminal_;
-    const std::size_t wanted =
-        std::min<std::size_t>(target_workers_, remaining);
+    std::size_t wanted = std::min<std::size_t>(target_workers_, remaining);
+    if (breaker_.has_value()) {
+      // Backpressure: while the breaker is open, respawn at a fraction of
+      // the configured width instead of feeding a fork storm.  Existing
+      // workers are never killed -- the cap only throttles replacements.
+      wanted = std::min(wanted, breaker_->cap(target_workers_));
+    }
     while (live_worker_count() < wanted) {
       spawn_worker(now);
     }
+  }
+
+  // Reports circuit-breaker transitions (HalfOpen probes stay internal).
+  void publish_breaker(const std::vector<BreakerTransition>& moved) {
+    for (const BreakerTransition& transition : moved) {
+      if (transition.to == BreakerState::kOpen) {
+        ++report_.breaker_opens;
+        emit({SupervisionEvent::Kind::kBreakerOpen, 0, 0,
+              FailureClass::kTransient, 0.0,
+              "failure spike (" +
+                  std::to_string(transition.failures_in_window) +
+                  " in window): backoff x" +
+                  std::to_string(options_.breaker.backoff_multiplier) +
+                  ", fleet width capped to " +
+                  std::to_string(breaker_->cap(target_workers_))});
+      } else if (transition.to == BreakerState::kClosed) {
+        ++report_.breaker_closes;
+        emit({SupervisionEvent::Kind::kBreakerClose, 0, 0,
+              FailureClass::kTransient, 0.0,
+              "quiet period: full fleet width restored"});
+      }
+    }
+  }
+
+  // Re-arms the effective per-attempt deadline from the estimator; mirrors
+  // the thread supervisor's rearm (same >10% event hysteresis).
+  void rearm_deadline() {
+    if (!options_.deadline_auto || options_.estimator == nullptr) {
+      return;
+    }
+    const bool confident = options_.estimator->confident();
+    const std::chrono::milliseconds next =
+        confident ? options_.estimator->deadline(options_.deadline)
+                  : options_.deadline;
+    if (confident) {
+      report_.learned_deadline_ms = static_cast<double>(next.count());
+    }
+    const double previous = static_cast<double>(armed_deadline_.count());
+    const double current = static_cast<double>(next.count());
+    const bool edge = confident != armed_learned_;
+    const bool moved = confident && !edge && previous > 0.0 &&
+                       std::abs(current - previous) > 0.10 * previous;
+    if (confident && (edge || moved)) {
+      ++report_.deadline_adapts;
+      const EstimatorSnapshot snap = options_.estimator->stats();
+      emit({SupervisionEvent::Kind::kDeadlineAdapt, 0, 0,
+            FailureClass::kTransient, current,
+            "adaptive deadline now " + std::to_string(next.count()) + "ms (q" +
+                std::to_string(options_.estimator->options().quantile) +
+                " x safety " +
+                std::to_string(options_.estimator->options().safety_factor) +
+                ", " + std::to_string(snap.samples) + " samples)"});
+    }
+    armed_deadline_ = next;
+    armed_learned_ = confident;
   }
 
   void quarantine(ReplicaSlot& state, FailureClass failure,
@@ -478,11 +571,26 @@ class FleetRun {
       quarantine(state, failure, std::move(message));
       return;
     }
+    // Transient/resource failures (which include worker crashes until they
+    // are reclassified) are load signals for the breaker.
+    if (breaker_.has_value()) {
+      publish_breaker(breaker_->record_failure(Clock::now()));
+    }
     if (state.next_attempt - state.base_attempt <
         std::max(1u, options_.max_attempts)) {
       const unsigned next = state.next_attempt++;
-      const std::chrono::milliseconds delay =
+      std::chrono::milliseconds delay =
           backoff_delay(options_, state.id, next);
+      if (breaker_.has_value() && breaker_->backoff_multiplier() > 1.0) {
+        double widened =
+            static_cast<double>(delay.count()) * breaker_->backoff_multiplier();
+        if (options_.backoff_cap.count() > 0) {
+          widened = std::min(
+              widened, static_cast<double>(options_.backoff_cap.count()));
+        }
+        delay = std::chrono::milliseconds(
+            static_cast<std::int64_t>(std::llround(widened)));
+      }
       ++report_.retries;
       report_.backoff_wait_ms += static_cast<double>(delay.count());
       if (options_.progress != nullptr) {
@@ -497,7 +605,7 @@ class FleetRun {
     quarantine(state, failure, std::move(message));
   }
 
-  void handle_success(std::size_t slot, unsigned attempt,
+  void handle_success(std::size_t slot, unsigned attempt, double seconds,
                       std::string&& payload) {
     ReplicaSlot& state = slots_[slot];
     if (state.phase != Phase::kRunning || state.current_attempt != attempt) {
@@ -505,6 +613,12 @@ class FleetRun {
     }
     state.phase = Phase::kDone;
     ++terminal_;
+    if (options_.estimator != nullptr) {
+      options_.estimator->observe(seconds);
+    }
+    if (breaker_.has_value()) {
+      publish_breaker(breaker_->record_success(Clock::now()));
+    }
     if (options_.progress != nullptr) {
       options_.progress->completed.fetch_add(1, std::memory_order_relaxed);
     }
@@ -542,7 +656,9 @@ class FleetRun {
     }
     if (verb == "ok") {
       slots_[slot].worker_deaths = 0;  // the replica proved it can finish
-      handle_success(slot, attempt, frame.substr(body));
+      const double seconds =
+          std::chrono::duration<double>(now - worker.started).count();
+      handle_success(slot, attempt, seconds, frame.substr(body));
       return;
     }
     if (verb == "err") {
@@ -565,8 +681,9 @@ class FleetRun {
       std::string reason;
       header >> reason;
       if (reason == to_string(CancelReason::kDeadline)) {
-        std::string detail = "wall-clock deadline of " +
-                             std::to_string(options_.deadline.count()) +
+        std::string detail = (armed_learned_ ? "learned deadline of "
+                                             : "wall-clock deadline of ") +
+                             std::to_string(armed_deadline_.count()) +
                              "ms exceeded";
         ++report_.deadline_kills;
         emit({SupervisionEvent::Kind::kDeadlineKill, slots_[slot].id, attempt,
@@ -643,7 +760,7 @@ class FleetRun {
   }
 
   void enforce_deadlines(Clock::time_point now) {
-    if (options_.deadline.count() <= 0) {
+    if (armed_deadline_.count() <= 0) {
       return;
     }
     for (const auto& worker : workers_) {
@@ -651,12 +768,12 @@ class FleetRun {
         continue;
       }
       if (!worker->deadline_signaled &&
-          now - worker->started >= options_.deadline) {
+          now - worker->started >= armed_deadline_) {
         // Cooperative first: the worker's SIGUSR1 handler fires the attempt
         // token with kDeadline and the run drains at a step boundary.
         ::kill(worker->pid, SIGUSR1);
         worker->deadline_signaled = true;
-        worker->kill_at = now + options_.fleet.dead_after;
+        worker->kill_at = now + fleet_.dead_after;
       } else if (worker->deadline_signaled && !worker->kill_sent &&
                  now >= worker->kill_at) {
         // Hung-but-beating: it never reached a cancellation point, so the
@@ -710,8 +827,9 @@ class FleetRun {
     if (worker.deadline_signaled) {
       // The deadline escalation (or the crash it provoked) ate the worker:
       // account it as a deadline kill, retryable like thread mode's.
-      std::string detail = "wall-clock deadline of " +
-                           std::to_string(options_.deadline.count()) +
+      std::string detail = (armed_learned_ ? "learned deadline of "
+                                           : "wall-clock deadline of ") +
+                           std::to_string(armed_deadline_.count()) +
                            "ms exceeded; worker " + std::to_string(worker.id) +
                            " killed";
       ++report_.deadline_kills;
@@ -785,6 +903,10 @@ class FleetRun {
     while (terminal_ < slots_.size()) {
       const auto now = Clock::now();
       propagate_cancel();
+      if (breaker_.has_value()) {
+        publish_breaker(breaker_->tick(now));
+      }
+      rearm_deadline();
       maintain_fleet(now);
       assign_work(now);
 
@@ -906,6 +1028,12 @@ class FleetRun {
   unsigned target_workers_ = 1;
   std::size_t terminal_ = 0;
   bool cancel_seen_ = false;
+  // Validated copy of options_.fleet (heartbeat cadence clamped against the
+  // liveness thresholds); every parent/child consumer reads this one.
+  FleetOptions fleet_;
+  std::chrono::milliseconds armed_deadline_{0};
+  bool armed_learned_ = false;
+  std::optional<CircuitBreaker> breaker_;
   Counter* counter_for_[SupervisionEvent::kNumKinds] = {};
   SupervisorReport report_;
 };

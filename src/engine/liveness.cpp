@@ -30,6 +30,24 @@ const char* to_string(LivenessCause cause) {
   return "unknown";
 }
 
+std::chrono::milliseconds clamp_heartbeat_cadence(
+    std::chrono::milliseconds heartbeat,
+    std::chrono::milliseconds suspect_after, bool* clamped) {
+  // Mirror the tracker's own floor so the comparison uses the threshold the
+  // machine will actually run with.
+  if (suspect_after.count() <= 0) {
+    suspect_after = std::chrono::milliseconds{1};
+  }
+  const bool bad = heartbeat.count() <= 0 || heartbeat >= suspect_after;
+  if (clamped != nullptr) {
+    *clamped = bad;
+  }
+  if (!bad) {
+    return heartbeat;
+  }
+  return std::max(suspect_after / 2, std::chrono::milliseconds{1});
+}
+
 LivenessTracker::LivenessTracker(const LivenessOptions& options,
                                  Clock::time_point spawn)
     : options_(options), last_beat_(spawn), last_event_(spawn) {

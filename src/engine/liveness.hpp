@@ -58,6 +58,19 @@ struct LivenessTransition {
   LivenessCause cause = LivenessCause::kBeat;
 };
 
+// Validates a heartbeat cadence against the liveness thresholds.  A cadence
+// at or above suspect_after makes a perfectly healthy worker flap
+// Unknown/Alive -> Suspect on every beat gap (and, at dead_after, get
+// killed mid-work): the failure detector would be all noise.  Returns a
+// cadence strictly inside the suspect window -- half of suspect_after,
+// floored at 1ms -- when the given one would flap, the input unchanged
+// otherwise.  Non-positive cadences are invalid and clamp the same way.
+// `clamped`, when non-null, reports whether a correction happened so
+// callers can warn loudly.
+std::chrono::milliseconds clamp_heartbeat_cadence(
+    std::chrono::milliseconds heartbeat, std::chrono::milliseconds suspect_after,
+    bool* clamped = nullptr);
+
 class LivenessTracker {
  public:
   using Clock = std::chrono::steady_clock;

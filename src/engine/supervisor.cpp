@@ -6,6 +6,7 @@
 #include <list>
 #include <mutex>
 #include <new>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <system_error>
@@ -112,6 +113,12 @@ const char* to_string(SupervisionEvent::Kind kind) {
       return "worker-suspect";
     case SupervisionEvent::Kind::kWorkerDead:
       return "worker-dead";
+    case SupervisionEvent::Kind::kDeadlineAdapt:
+      return "deadline-adapt";
+    case SupervisionEvent::Kind::kBreakerOpen:
+      return "breaker-open";
+    case SupervisionEvent::Kind::kBreakerClose:
+      return "breaker-close";
   }
   return "unknown";
 }
@@ -221,6 +228,12 @@ class SupervisorRun {
           &options_.metrics->counter("supervisor_speculative_wins");
       counters_[index(SupervisionEvent::Kind::kQuarantine)] =
           &options_.metrics->counter("supervisor_quarantines");
+      counters_[index(SupervisionEvent::Kind::kDeadlineAdapt)] =
+          &options_.metrics->counter("supervisor_deadline_adapts");
+      counters_[index(SupervisionEvent::Kind::kBreakerOpen)] =
+          &options_.metrics->counter("supervisor_breaker_opens");
+      counters_[index(SupervisionEvent::Kind::kBreakerClose)] =
+          &options_.metrics->counter("supervisor_breaker_closes");
       batch_groups_counter_ =
           &options_.metrics->counter("supervisor_batch_groups");
       batched_attempts_counter_ =
@@ -241,6 +254,10 @@ class SupervisorRun {
       return std::move(report_);
     }
     const auto now = Clock::now();
+    armed_deadline_ = options_.deadline;
+    if (options_.breaker_enabled) {
+      breaker_.emplace(options_.breaker, now);
+    }
     for (std::size_t slot = 0; slot < states_.size(); ++slot) {
       ReplicaState& state = states_[slot];
       const unsigned base =
@@ -313,6 +330,65 @@ class SupervisorRun {
     return durations_[durations_.size() / 2];
   }
 
+  // Reports circuit-breaker transitions (HalfOpen probes stay internal: the
+  // externally visible states are "backpressure on" and "backpressure off").
+  void publish_breaker_locked(const std::vector<BreakerTransition>& moved) {
+    for (const BreakerTransition& transition : moved) {
+      if (transition.to == BreakerState::kOpen) {
+        ++report_.breaker_opens;
+        emit_locked({SupervisionEvent::Kind::kBreakerOpen, 0, 0,
+                     FailureClass::kTransient, 0.0,
+                     "failure spike (" +
+                         std::to_string(transition.failures_in_window) +
+                         " in window): backoff x" +
+                         std::to_string(options_.breaker.backoff_multiplier) +
+                         ", width capped"});
+      } else if (transition.to == BreakerState::kClosed) {
+        ++report_.breaker_closes;
+        emit_locked({SupervisionEvent::Kind::kBreakerClose, 0, 0,
+                     FailureClass::kTransient, 0.0,
+                     "quiet period: full width restored"});
+      }
+    }
+  }
+
+  // Re-arms the effective per-attempt deadline from the estimator.  The
+  // armed value drifts with every accepted sample, so kDeadlineAdapt events
+  // fire only on the confidence-gate edge or a >10% move -- a journal line
+  // per sample would be noise, not explanation.
+  void rearm_deadline_locked() {
+    if (!options_.deadline_auto || options_.estimator == nullptr) {
+      return;
+    }
+    const bool confident = options_.estimator->confident();
+    const std::chrono::milliseconds next =
+        confident ? options_.estimator->deadline(options_.deadline)
+                  : options_.deadline;
+    if (confident) {
+      report_.learned_deadline_ms = static_cast<double>(next.count());
+    }
+    const double previous = static_cast<double>(armed_deadline_.count());
+    const double current = static_cast<double>(next.count());
+    const bool edge = confident != armed_learned_;
+    const bool moved = confident && !edge && previous > 0.0 &&
+                       std::abs(current - previous) > 0.10 * previous;
+    if (confident && (edge || moved)) {
+      ++report_.deadline_adapts;
+      const EstimatorSnapshot snap = options_.estimator->stats();
+      emit_locked({SupervisionEvent::Kind::kDeadlineAdapt, 0, 0,
+                   FailureClass::kTransient, current,
+                   "adaptive deadline now " + std::to_string(next.count()) +
+                       "ms (q" +
+                       std::to_string(options_.estimator->options().quantile) +
+                       " x safety " +
+                       std::to_string(
+                           options_.estimator->options().safety_factor) +
+                       ", " + std::to_string(snap.samples) + " samples)"});
+    }
+    armed_deadline_ = next;
+    armed_learned_ = confident;
+  }
+
   // Drops every queued item; fresh items whose slot never started become
   // terminal kUnfinished (a resume re-runs them from their true seeds).
   void drop_queued_locked() {
@@ -374,11 +450,27 @@ class SupervisorRun {
       quarantine_locked(state, failure, std::move(message));
       return;
     }
+    // Transient/resource failures are load signals; a deterministic bug is
+    // not, so it never feeds the breaker.
+    if (breaker_.has_value()) {
+      publish_breaker_locked(breaker_->record_failure(Clock::now()));
+    }
     if (state.next_attempt - state.base_attempt <
         std::max(1u, options_.max_attempts)) {
       const unsigned next = state.next_attempt++;
-      const std::chrono::milliseconds delay =
+      std::chrono::milliseconds delay =
           backoff_delay(options_, state.id, next);
+      if (breaker_.has_value() && breaker_->backoff_multiplier() > 1.0) {
+        // Global widening while the breaker is open; the cap still rules.
+        double widened =
+            static_cast<double>(delay.count()) * breaker_->backoff_multiplier();
+        if (options_.backoff_cap.count() > 0) {
+          widened = std::min(
+              widened, static_cast<double>(options_.backoff_cap.count()));
+        }
+        delay = std::chrono::milliseconds(
+            static_cast<std::int64_t>(std::llround(widened)));
+      }
       ++report_.retries;
       report_.backoff_wait_ms += static_cast<double>(delay.count());
       if (options_.progress != nullptr) {
@@ -415,6 +507,12 @@ class SupervisorRun {
       state.phase = Phase::kDone;
       ++terminal_;
       insert_duration_locked(seconds);
+      if (options_.estimator != nullptr) {
+        options_.estimator->observe(seconds);
+      }
+      if (breaker_.has_value()) {
+        publish_breaker_locked(breaker_->record_success(Clock::now()));
+      }
       if (speculative) {
         ++report_.speculative_wins;
         emit_locked({SupervisionEvent::Kind::kSpeculativeWin, state.id,
@@ -435,9 +533,9 @@ class SupervisorRun {
 
     // nullopt: the attempt drained on its token (or declined on its own).
     if (reason == CancelReason::kDeadline) {
-      std::string detail = "wall-clock deadline of " +
-                           std::to_string(options_.deadline.count()) +
-                           "ms exceeded";
+      std::string detail =
+          (armed_learned_ ? "learned deadline of " : "wall-clock deadline of ") +
+          std::to_string(armed_deadline_.count()) + "ms exceeded";
       ++report_.deadline_kills;
       emit_locked({SupervisionEvent::Kind::kDeadlineKill, state.id, attempt,
                    FailureClass::kTransient, 0.0, detail});
@@ -632,20 +730,42 @@ class SupervisorRun {
         }
         work_cv_.notify_all();
       }
-      if (options_.deadline.count() > 0) {
+      if (breaker_.has_value()) {
+        publish_breaker_locked(breaker_->tick(now));
+      }
+      rearm_deadline_locked();
+      if (armed_deadline_.count() > 0) {
         for (Execution& execution : live_) {
           if (!execution.token.requested() &&
-              now - execution.started >= options_.deadline) {
+              now - execution.started >= armed_deadline_) {
             execution.token.request(CancelReason::kDeadline);
           }
         }
       }
-      if (options_.straggler_factor > 0.0 &&
-          durations_.size() >=
+      if (options_.straggler_factor > 0.0) {
+        // Predictive speculation once the estimator is confident: an attempt
+        // already past the learned quantile is in the worst (1-P) tail, so
+        // its projected finish exceeds what the distribution promises --
+        // speculate NOW instead of waiting for factor x median of this run's
+        // own (possibly sparse) durations.  Reactive median is the fallback.
+        double threshold = 0.0;
+        bool predictive = false;
+        if (options_.estimator != nullptr && options_.estimator->confident()) {
+          threshold = options_.estimator->quantile_seconds();
+          predictive = threshold > 0.0;
+        }
+        if (!predictive) {
+          if (durations_.size() <
               std::max<std::size_t>(1, options_.straggler_warmup)) {
-        const double threshold =
-            options_.straggler_factor * median_duration_locked();
+            threshold = 0.0;
+          } else {
+            threshold = options_.straggler_factor * median_duration_locked();
+          }
+        }
         for (Execution& execution : live_) {
+          if (threshold <= 0.0) {
+            break;
+          }
           ReplicaState& state = states_[execution.slot];
           if (execution.speculative || state.twin_launched ||
               state.phase != Phase::kRunning ||
@@ -658,11 +778,17 @@ class SupervisorRun {
           if (elapsed > threshold) {
             state.twin_launched = true;
             ++report_.speculative_launches;
-            emit_locked({SupervisionEvent::Kind::kSpeculativeLaunch, state.id,
-                         execution.attempt, FailureClass::kTransient, 0.0,
-                         "elapsed exceeds " +
-                             std::to_string(options_.straggler_factor) +
-                             "x median"});
+            emit_locked(
+                {SupervisionEvent::Kind::kSpeculativeLaunch, state.id,
+                 execution.attempt, FailureClass::kTransient, 0.0,
+                 predictive
+                     ? "projected finish past learned q" +
+                           std::to_string(
+                               options_.estimator->options().quantile) +
+                           " (" + std::to_string(threshold) + "s)"
+                     : "elapsed exceeds " +
+                           std::to_string(options_.straggler_factor) +
+                           "x median"});
             queue_.push({now, execution.slot, execution.attempt, true});
             work_cv_.notify_all();
           }
@@ -702,6 +828,11 @@ class SupervisorRun {
   std::vector<double> durations_;  // successful attempt durations, sorted
   std::size_t terminal_ = 0;       // slots in kDone/kQuarantined/kUnfinished
   bool cancel_seen_ = false;
+  // Effective per-attempt deadline: options_.deadline until the estimator's
+  // confidence gate opens, the learned quantile x safety after.
+  std::chrono::milliseconds armed_deadline_{0};
+  bool armed_learned_ = false;
+  std::optional<CircuitBreaker> breaker_;
   Counter* counters_[SupervisionEvent::kNumKinds] = {};
   Counter* batch_groups_counter_ = nullptr;
   Counter* batched_attempts_counter_ = nullptr;

@@ -46,6 +46,8 @@
 #include <vector>
 
 #include "core/cancel.hpp"
+#include "engine/adaptive/breaker.hpp"
+#include "engine/adaptive/estimator.hpp"
 #include "obs/heartbeat.hpp"
 #include "obs/metrics.hpp"
 #include "rng/rng.hpp"
@@ -115,8 +117,14 @@ struct SupervisionEvent {
     kWorkerAlive,    // first beat, or a beat recovered a Suspect worker
     kWorkerSuspect,  // suspect_after elapsed without a beat
     kWorkerDead,     // dead_after elapsed, or the process exited
+    // Adaptive control plane (engine/adaptive).  backoff_ms carries the
+    // armed deadline for kDeadlineAdapt; replica/attempt are meaningless
+    // for all three.
+    kDeadlineAdapt,  // the learned per-attempt deadline changed
+    kBreakerOpen,    // failure spike: width capped, backoff widened
+    kBreakerClose,   // quiet period: full width restored
   };
-  static constexpr std::size_t kNumKinds = 10;
+  static constexpr std::size_t kNumKinds = 13;
   Kind kind = Kind::kRetry;
   std::size_t replica = 0;
   unsigned attempt = 0;  // seed index the event refers to
@@ -233,6 +241,28 @@ struct SupervisorOptions {
   // Defaults (1 lane / empty task) leave behavior untouched.
   unsigned batch_lanes = 1;
   SupervisedBatchTask batch_task;
+  // Adaptive control plane (engine/adaptive).  When `estimator` is set,
+  // every successful attempt feeds its wall time in, and -- once the
+  // estimator's confidence gate opens -- straggler speculation switches
+  // from reactive (factor x running median) to predictive (elapsed beyond
+  // the learned quantile).  With deadline_auto additionally set, the
+  // per-attempt deadline becomes the estimator's quantile x safety_factor;
+  // `deadline` above is the fallback until confidence (0 keeps attempts
+  // un-deadlined during warmup).  Caller-owned and thread-safe: one
+  // instance is typically shared across a whole campaign, including
+  // resumes (see engine/adaptive/calibration.*).  Deadline changes and
+  // breaker trips are reported as SupervisionEvents, so journal consumers
+  // can explain every kill.
+  CompletionEstimator* estimator = nullptr;
+  bool deadline_auto = false;
+  // Fleet backpressure: when enabled, transient/resource failures and
+  // worker deaths feed a circuit breaker; while it is Open, retry backoff
+  // is widened by breaker.backoff_multiplier and (under process isolation)
+  // the fleet respawns at most breaker.width_fraction of its worker
+  // target.  Disabled by default -- supervision semantics are unchanged
+  // unless a caller opts in.
+  bool breaker_enabled = false;
+  BreakerOptions breaker;
 };
 
 // One attempt of one replica.  `rng` is seeded from (master_seed, replica,
@@ -263,6 +293,12 @@ struct SupervisorReport {
   // mean lane occupancy.
   std::uint64_t batch_groups = 0;     // lock-step groups dispatched
   std::uint64_t batched_attempts = 0; // attempt instances run inside groups
+  // Adaptive control plane accounting (zero when no estimator / breaker).
+  std::uint64_t deadline_adapts = 0;  // learned-deadline changes published
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  // Last armed adaptive deadline; 0 when the confidence gate never opened.
+  double learned_deadline_ms = 0.0;
   double backoff_wait_ms = 0.0;  // total scheduled (not wall) backoff
   bool cancelled = false;        // options.cancel had fired by the drain
 

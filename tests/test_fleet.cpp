@@ -150,6 +150,33 @@ TEST(FleetTest, HealthyFleetMatchesThreadIsolationBitForBit) {
   }
 }
 
+// Regression: a heartbeat cadence at/above suspect_after used to flap every
+// healthy worker through Suspect on each beat gap.  The fleet now clamps the
+// cadence inside the suspect window (with a stderr warning), so a healthy
+// run under a flappy configuration sees ZERO suspect transitions.
+TEST(FleetTest, FlappyHeartbeatCadenceIsClampedNotTrusted) {
+  constexpr std::uint64_t kMaster = 20260808;
+  const std::size_t n = 8;
+  SupervisorOptions options = fleet_options(kMaster, 2);
+  options.fleet.heartbeat_interval = 600ms;  // >= suspect_after: would flap
+  options.fleet.suspect_after = 400ms;
+  options.fleet.dead_after = 1500ms;
+  EventLog log;
+  options.on_event = log.sink();
+  Collector got(n);
+  const SupervisorReport report =
+      run_supervised_set(iota_ids(n), healthy_task(), got.sink(), options);
+  EXPECT_EQ(report.succeeded, n);
+  EXPECT_EQ(report.worker_suspects, 0u);
+  EXPECT_EQ(report.worker_deaths, 0u);
+  EXPECT_EQ(log.count(SupervisionEvent::Kind::kWorkerSuspect), 0u);
+  for (std::size_t replica = 0; replica < n; ++replica) {
+    ASSERT_TRUE(got.payloads[replica].has_value()) << "replica " << replica;
+    EXPECT_EQ(*got.payloads[replica], expected_payload(kMaster, replica))
+        << "replica " << replica;
+  }
+}
+
 TEST(FleetTest, SpawnAndAliveSurfaceAsEventsAndCounters) {
   constexpr std::uint64_t kMaster = 99;
   SupervisorOptions options = fleet_options(kMaster, 2);

@@ -312,5 +312,65 @@ TEST(LivenessPropertyTest, BeatsAtEveryStepKeepTheWorkerAliveForever) {
   }
 }
 
+// Regression: a heartbeat cadence at or above suspect_after flapped every
+// healthy worker Unknown/Alive -> Suspect on each beat gap (and at
+// dead_after got it killed mid-work).  The cadence validator must push such
+// configurations strictly inside the suspect window.
+TEST(LivenessTest, HeartbeatCadenceInsideSuspectWindowIsUntouched) {
+  bool clamped = true;
+  EXPECT_EQ(clamp_heartbeat_cadence(50ms, 400ms, &clamped), 50ms);
+  EXPECT_FALSE(clamped);
+  EXPECT_EQ(clamp_heartbeat_cadence(399ms, 400ms, nullptr), 399ms);
+}
+
+TEST(LivenessTest, HeartbeatCadenceAtOrAboveSuspectAfterClamps) {
+  bool clamped = false;
+  // Equal to the threshold already flaps: the beat lands exactly when the
+  // timer fires, and any scheduling delay tips it over.
+  EXPECT_EQ(clamp_heartbeat_cadence(400ms, 400ms, &clamped), 200ms);
+  EXPECT_TRUE(clamped);
+  clamped = false;
+  EXPECT_EQ(clamp_heartbeat_cadence(1000ms, 400ms, &clamped), 200ms);
+  EXPECT_TRUE(clamped);
+}
+
+TEST(LivenessTest, HeartbeatCadenceNonPositiveClamps) {
+  bool clamped = false;
+  EXPECT_EQ(clamp_heartbeat_cadence(0ms, 400ms, &clamped), 200ms);
+  EXPECT_TRUE(clamped);
+  clamped = false;
+  EXPECT_EQ(clamp_heartbeat_cadence(-5ms, 400ms, &clamped), 200ms);
+  EXPECT_TRUE(clamped);
+}
+
+TEST(LivenessTest, HeartbeatCadenceClampMirrorsTrackerFloors) {
+  // The tracker floors suspect_after at 1ms; the validator must compare
+  // against the same effective threshold and never return a zero cadence.
+  bool clamped = false;
+  EXPECT_EQ(clamp_heartbeat_cadence(10ms, 0ms, &clamped), 1ms);
+  EXPECT_TRUE(clamped);
+  clamped = false;
+  EXPECT_EQ(clamp_heartbeat_cadence(1ms, 1ms, &clamped), 1ms);
+  EXPECT_TRUE(clamped);
+}
+
+// The clamped cadence keeps a healthy beat-every-interval worker Alive
+// forever -- the property the clamp exists to restore.
+TEST(LivenessTest, ClampedCadenceNeverFlapsAHealthyWorker) {
+  for (const auto requested : {400ms, 800ms, 0ms}) {
+    const auto cadence = clamp_heartbeat_cadence(requested, 400ms, nullptr);
+    LivenessTracker tracker(opts(400ms, 1500ms), kT0);
+    Clock::time_point now = kT0;
+    tracker.beat(now);
+    for (int i = 0; i < 100; ++i) {
+      now += cadence;
+      tracker.tick(now);
+      tracker.beat(now);
+      ASSERT_EQ(tracker.state(), WorkerLiveness::kAlive)
+          << "requested " << requested.count() << "ms, step " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace divlib

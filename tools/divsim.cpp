@@ -5,7 +5,11 @@
 //                   [--trace N] [--stop consensus|two-adjacent] [--max-steps M]
 //                   [--fault drop=0.3,crash=0.05@[0,1e6],byzantine=0.02]
 //                   [--retries N] [--threads N] [--batch-lanes N]
-//                   [--deadline-ms N] [--retry-backoff MS]
+//                   [--deadline-ms N|auto] [--retry-backoff MS]
+//                   [--deadline-fallback-ms N] [--deadline-quantile P]
+//                   [--deadline-safety F] [--deadline-min-samples N]
+//                   [--breaker-failures N] [--breaker-window-ms N]
+//                   [--breaker-cooldown-ms N]
 //                   [--straggler-factor F] [--min-success F] [--supervise]
 //                   [--isolation thread|process] [--workers N]
 //                   [--suspect-after-ms N] [--dead-after-ms N]
@@ -44,6 +48,7 @@
 //   130  cancelled by SIGINT/SIGTERM (resume hint printed)
 #include <chrono>
 #include <csignal>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -62,6 +67,7 @@
 #include "core/mean_field.hpp"
 #include "core/theory.hpp"
 #include "exact/div_chain.hpp"
+#include "engine/adaptive/calibration.hpp"
 #include "engine/batch_engine.hpp"
 #include "engine/campaign.hpp"
 #include "engine/count_trace.hpp"
@@ -72,6 +78,7 @@
 #include "graph/analysis.hpp"
 #include "graph/graph_io.hpp"
 #include "io/atomic_file.hpp"
+#include "io/crc32.hpp"
 #include "io/journal.hpp"
 #include "io/table.hpp"
 #include "obs/heartbeat.hpp"
@@ -121,14 +128,31 @@ int usage() {
       "               crashed run still parses.  --progress adds a live\n"
       "               stderr ticker\n"
       "supervision:   --deadline-ms N kills attempts past a wall-clock budget\n"
-      "               and retries them; --retry-backoff MS sets the jittered\n"
-      "               exponential backoff base between retries;\n"
-      "               --straggler-factor F speculatively re-runs attempts\n"
-      "               slower than F x the median; --min-success F completes\n"
-      "               a campaign as 'degraded' once that fraction succeeded\n"
-      "               even if poison replicas were quarantined; --supervise\n"
-      "               forces the supervised driver with defaults.  Any of\n"
-      "               these flags switches `run` to the supervisor.\n"
+      "               and retries them; --deadline-ms auto learns the budget\n"
+      "               online instead (per-attempt deadline = completion-time\n"
+      "               quantile --deadline-quantile (default 0.95) x\n"
+      "               --deadline-safety (default 3), armed once\n"
+      "               --deadline-min-samples (default 8) attempts finished;\n"
+      "               until then --deadline-fallback-ms (default 0 = none)\n"
+      "               applies, and with --checkpoint-dir the learned samples\n"
+      "               persist in calibration.journal so resumes start warm);\n"
+      "               --retry-backoff MS sets the jittered exponential\n"
+      "               backoff base between retries; --straggler-factor F\n"
+      "               speculatively re-runs attempts slower than F x the\n"
+      "               median (past the learned quantile once the estimator\n"
+      "               is confident); --min-success F completes a campaign as\n"
+      "               'degraded' once that fraction succeeded even if poison\n"
+      "               replicas were quarantined; --supervise forces the\n"
+      "               supervised driver with defaults.  Any of these flags\n"
+      "               switches `run` to the supervisor.\n"
+      "backpressure:  supervised runs trip a circuit breaker after\n"
+      "               --breaker-failures transient failures (default 4;\n"
+      "               0 disables) inside --breaker-window-ms (default 2000):\n"
+      "               retry backoff widens 4x and the process fleet stops\n"
+      "               replacing dead workers past half width until a\n"
+      "               --breaker-cooldown-ms (default 3000) quiet period\n"
+      "               passes a probe.  Trips are journaled and land in\n"
+      "               `journal --json` as supervision events.\n"
       "isolation:     --isolation process forks one worker process per pool\n"
       "               slot (default thread), so a crashing replica (SIGSEGV,\n"
       "               abort, unhandled bad_alloc) costs one attempt, not the\n"
@@ -254,13 +278,50 @@ int cmd_run(const Args& args) {
   }
   const std::string metrics_path = args.get("metrics-out", "");
   const bool progress_ticker = args.flag("progress");
+  // --heartbeat-ms doubles as the fleet worker beat cadence when given
+  // explicitly under --isolation process, so the telemetry and liveness
+  // clocks agree; the default 1000 stays telemetry-only (the fleet's own
+  // 50ms default is tuned against the liveness thresholds).
+  const bool heartbeat_given = !args.get("heartbeat-ms", "").empty();
   const std::uint64_t heartbeat_ms = args.get_u64("heartbeat-ms", 1000);
 
   // Supervision knobs.  Passing ANY of them (or --supervise) routes the run
   // through the supervised driver; otherwise the plain isolated driver runs,
   // so existing invocations keep their exact behavior and performance.
   const bool backoff_given = !args.get("retry-backoff", "").empty();
-  const std::uint64_t deadline_ms = args.get_u64("deadline-ms", 0);
+  // --deadline-ms takes a count OR the literal "auto".  Auto runs with the
+  // adaptive estimator armed: attempts are budgeted at the learned
+  // completion-time quantile x safety once the confidence gate opens, and
+  // --deadline-fallback-ms (default 0 = no deadline) covers the cold start.
+  const std::string deadline_text = args.get("deadline-ms", "0");
+  const bool deadline_auto = deadline_text == "auto";
+  const std::uint64_t deadline_ms = deadline_auto
+                                        ? args.get_u64("deadline-fallback-ms", 0)
+                                        : args.get_u64("deadline-ms", 0);
+  const double deadline_quantile = args.get_double("deadline-quantile", 0.95);
+  const double deadline_safety = args.get_double("deadline-safety", 3.0);
+  const std::uint64_t deadline_min_samples =
+      args.get_u64("deadline-min-samples", 8);
+  if (deadline_quantile <= 0.0 || deadline_quantile > 1.0) {
+    throw std::invalid_argument("--deadline-quantile must be in (0, 1]");
+  }
+  if (deadline_safety <= 0.0) {
+    throw std::invalid_argument("--deadline-safety must be > 0");
+  }
+  if (deadline_min_samples == 0) {
+    throw std::invalid_argument("--deadline-min-samples must be >= 1");
+  }
+  // Fleet backpressure: the breaker defaults ON for supervised runs (it only
+  // changes retry pacing and replacement-fork width, never results), and
+  // passing any breaker knob explicitly opts the run into supervision.
+  const bool breaker_given = !args.get("breaker-failures", "").empty() ||
+                             !args.get("breaker-window-ms", "").empty() ||
+                             !args.get("breaker-cooldown-ms", "").empty();
+  const std::uint64_t breaker_failures = args.get_u64("breaker-failures", 4);
+  const std::uint64_t breaker_window_ms =
+      args.get_u64("breaker-window-ms", 2000);
+  const std::uint64_t breaker_cooldown_ms =
+      args.get_u64("breaker-cooldown-ms", 3000);
   const std::uint64_t backoff_ms = args.get_u64("retry-backoff", 100);
   const double straggler_factor = args.get_double("straggler-factor", 0.0);
   const double min_success = args.get_double("min-success", 1.0);
@@ -289,6 +350,7 @@ int cmd_run(const Args& args) {
         "replicas a previous session quarantined)");
   }
   const bool supervise = args.flag("supervise") || deadline_ms > 0 ||
+                         deadline_auto || breaker_given ||
                          straggler_factor > 0.0 || min_success < 1.0 ||
                          backoff_given || retry_quarantined ||
                          isolation == Isolation::kProcess;
@@ -533,6 +595,27 @@ int cmd_run(const Args& args) {
   sup.fleet.workers = fleet_workers;
   sup.fleet.suspect_after = std::chrono::milliseconds(suspect_after_ms);
   sup.fleet.dead_after = std::chrono::milliseconds(dead_after_ms);
+  if (heartbeat_given && heartbeat_ms > 0 && isolation == Isolation::kProcess) {
+    // The fleet clamps a cadence that would flap the failure detector and
+    // warns on stderr (see clamp_heartbeat_cadence).
+    sup.fleet.heartbeat_interval = std::chrono::milliseconds(heartbeat_ms);
+  }
+  // The estimator is armed for every supervised run: with --deadline-ms auto
+  // it drives the per-attempt deadline; either way it upgrades straggler
+  // speculation from reactive (median of this run) to predictive (learned
+  // quantile) once confident.
+  EstimatorOptions est_options;
+  est_options.quantile = deadline_quantile;
+  est_options.safety_factor = deadline_safety;
+  est_options.min_samples = deadline_min_samples;
+  CompletionEstimator estimator(est_options);
+  std::unique_ptr<CalibrationLog> calibration;
+  sup.estimator = &estimator;
+  sup.deadline_auto = deadline_auto;
+  sup.breaker_enabled = breaker_failures > 0;
+  sup.breaker.failure_threshold = breaker_failures;
+  sup.breaker.window = std::chrono::milliseconds(breaker_window_ms);
+  sup.breaker.cooldown = std::chrono::milliseconds(breaker_cooldown_ms);
   if (metrics_out) {
     sup.on_event = [&](const SupervisionEvent& event) {
       JsonObject line;
@@ -688,6 +771,30 @@ int cmd_run(const Args& args) {
     campaign.heartbeat = heartbeat.get();
     campaign.retry_quarantined = retry_quarantined;
     if (supervise) {
+      // Persist completion-time calibration next to the journal, keyed to
+      // this exact configuration by the meta fingerprint, so a resumed
+      // campaign re-arms its learned deadline before the first replica runs
+      // instead of re-learning from scratch.  Skipped when the stored meta
+      // conflicts: the campaign layer is about to refuse the directory, and
+      // a mis-invoked resume must not cost the real campaign its learned
+      // samples (CalibrationLog restarts a mismatched log).
+      std::filesystem::create_directories(checkpoint_dir);
+      const std::string meta_path = checkpoint_dir + "/campaign.meta";
+      const bool meta_conflict = std::filesystem::exists(meta_path) &&
+                                 read_file(meta_path) != campaign.meta;
+      if (!meta_conflict) {
+        calibration = std::make_unique<CalibrationLog>(
+            checkpoint_dir, crc32_of(campaign.meta));
+        const std::size_t warmed = calibration->warm(estimator);
+        CalibrationLog* const calib = calibration.get();
+        estimator.set_observer(
+            [calib](double wall_seconds) { calib->append(wall_seconds); });
+        if (warmed > 0) {
+          std::cout << "calibration: " << warmed
+                    << " completion sample(s) recovered from "
+                    << calibration->path() << "\n";
+        }
+      }
       const SupervisedCampaignResult outcome =
           run_supervised_campaign(replicas, supervised_task, campaign, sup);
       for (std::size_t replica = 0; replica < replicas; ++replica) {
@@ -754,6 +861,10 @@ int cmd_run(const Args& args) {
           .field("deadline_kills", sup_report.deadline_kills)
           .field("speculative_launches", sup_report.speculative_launches)
           .field("speculative_wins", sup_report.speculative_wins)
+          .field("deadline_adapts", sup_report.deadline_adapts)
+          .field("learned_deadline_ms", sup_report.learned_deadline_ms)
+          .field("breaker_opens", sup_report.breaker_opens)
+          .field("breaker_closes", sup_report.breaker_closes)
           .field("isolation", to_string(isolation))
           .field("worker_spawns", sup_report.worker_spawns)
           .field("worker_suspects", sup_report.worker_suspects)
@@ -850,6 +961,36 @@ int cmd_run(const Args& args) {
               << sup_report.speculative_launches << " speculative launches ("
               << sup_report.speculative_wins << " won), "
               << quarantined.size() << " quarantined\n";
+    if (deadline_auto) {
+      const EstimatorSnapshot snap = estimator.stats();
+      std::cout << "adaptive deadline: ";
+      if (snap.confident) {
+        // Ask the estimator, not the session report: a resume that ran zero
+        // replicas still warmed a confident estimator worth reporting.
+        const auto armed =
+            estimator.deadline(std::chrono::milliseconds(deadline_ms));
+        std::cout << "learned " << armed.count() << "ms (q"
+                  << format_double(deadline_quantile, 2) << " = "
+                  << format_double(snap.quantile_seconds, 3) << "s x safety "
+                  << format_double(deadline_safety, 1) << ", " << snap.samples
+                  << " samples, " << sup_report.deadline_adapts
+                  << " adapt event(s))\n";
+      } else {
+        std::cout << "confidence gate closed (" << snap.samples << "/"
+                  << deadline_min_samples << " samples); fallback ";
+        if (deadline_ms > 0) {
+          std::cout << deadline_ms << "ms";
+        } else {
+          std::cout << "none";
+        }
+        std::cout << " held\n";
+      }
+    }
+    if (sup_report.breaker_opens > 0) {
+      std::cout << "backpressure: breaker opened " << sup_report.breaker_opens
+                << " time(s), closed " << sup_report.breaker_closes
+                << " time(s)\n";
+    }
     if (isolation == Isolation::kProcess) {
       std::cout << "fleet: " << sup_report.worker_spawns << " worker(s) forked, "
                 << sup_report.worker_suspects << " suspect transition(s), "
@@ -935,10 +1076,18 @@ int cmd_journal(const Args& args) {
   const JournalRecovery recovery = read_journal(dir + "/results.journal");
   std::map<std::size_t, std::string> by_replica;
   std::map<std::size_t, QuarantineRecord> quarantines;
+  std::vector<std::string> supervision_events;  // event JSON, journal order
   for (const std::string& record : recovery.records) {
     if (is_quarantine_record(record)) {
       QuarantineRecord entry = decode_quarantine_record(record);
       quarantines[entry.replica] = std::move(entry);
+      continue;
+    }
+    if (is_supervision_record(record)) {
+      // Deadline kills, adaptive-deadline moves, and breaker trips journaled
+      // by a supervised campaign; kept in journal order so the decision
+      // sequence that shaped the results reads top to bottom.
+      supervision_events.emplace_back(decode_supervision_record(record));
       continue;
     }
     const auto [replica, payload] = decode_campaign_record(record);
@@ -977,6 +1126,16 @@ int cmd_journal(const Args& args) {
       quarantines_json += item.str();
     }
     quarantines_json.push_back(']');
+    // Supervision events are stored as the event's own JSON, embedded
+    // verbatim -- no re-encoding round trip to drift through.
+    std::string supervision_json = "[";
+    first = true;
+    for (const std::string& event : supervision_events) {
+      if (!first) supervision_json.push_back(',');
+      first = false;
+      supervision_json += event;
+    }
+    supervision_json.push_back(']');
     JsonObject object;
     object.field("meta", meta)
         .field("records", static_cast<std::uint64_t>(recovery.records.size()))
@@ -985,8 +1144,11 @@ int cmd_journal(const Args& args) {
         .field("torn", recovery.torn())
         .field("finished", static_cast<std::uint64_t>(by_replica.size()))
         .field("quarantined", static_cast<std::uint64_t>(quarantines.size()))
+        .field("supervision_events",
+               static_cast<std::uint64_t>(supervision_events.size()))
         .raw_field("replicas", replicas_json)
-        .raw_field("quarantines", quarantines_json);
+        .raw_field("quarantines", quarantines_json)
+        .raw_field("supervision", supervision_json);
     std::cout << object.str() << "\n";
     return recovery.torn() ? 4 : 0;
   }
@@ -1006,6 +1168,13 @@ int cmd_journal(const Args& args) {
   if (!quarantines.empty()) {
     std::cout << "quarantined: " << quarantines.size()
               << " replica(s) excluded from resume\n";
+  }
+  if (!supervision_events.empty()) {
+    std::cout << "supervision events (" << supervision_events.size()
+              << ", journal order):\n";
+    for (const std::string& event : supervision_events) {
+      std::cout << "  " << event << "\n";
+    }
   }
   return recovery.torn() ? 4 : 0;
 }
