@@ -332,6 +332,69 @@ BENCHMARK(BM_DivBatchRun)
     ->ArgsProduct({{1 << 10, 1 << 14, 1 << 17}, {1, 4, 16}})
     ->Unit(benchmark::kMillisecond);
 
+// Batched jump-chain engine: B lanes through one run_batch_jump sweep vs B
+// sequential scalar run_jump calls, on the run_batch_lanes protocol (same
+// fixed 4n budget, same retry_seed(0xba7c, r, 0) streams, init with the
+// clock paused).  Both sides execute the identical per-lane schedule -- the
+// hybrid state machine is bit-identical lane for lane -- so items/sec
+// (replica-steps per second) isolates the execution strategy: lock-step
+// lanes batch the naive stretches through the deferred-histogram kernels
+// and share the clock across lazy skips, vs one lane at a time.
+void run_batch_jump_lanes(benchmark::State& state, bool batched) {
+  const auto n = static_cast<VertexId>(state.range(0));
+  const auto lanes = static_cast<unsigned>(state.range(1));
+  const Graph& g = shared_regular_graph(n);
+  RunOptions options;
+  options.max_steps = static_cast<std::uint64_t>(n) * 4;
+  std::uint64_t scheduled = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Rng> rngs;
+    rngs.reserve(lanes);
+    for (unsigned r = 0; r < lanes; ++r) {
+      rngs.emplace_back(Rng::retry_seed(0xba7c, r, 0));
+    }
+    if (batched) {
+      OpinionPlane plane(g, lanes);
+      for (unsigned r = 0; r < lanes; ++r) {
+        plane.assign_lane(r, uniform_random_opinions(n, 1, 8, rngs[r]));
+      }
+      state.ResumeTiming();
+      for (const JumpRunResult& result : run_batch_jump(
+               g, SelectionScheme::kVertex, plane, std::span<Rng>(rngs),
+               options)) {
+        scheduled += result.steps;
+      }
+    } else {
+      std::vector<OpinionState> states;
+      states.reserve(lanes);
+      for (unsigned r = 0; r < lanes; ++r) {
+        states.emplace_back(g, uniform_random_opinions(n, 1, 8, rngs[r]));
+      }
+      DivProcess process(g, SelectionScheme::kVertex);
+      state.ResumeTiming();
+      for (unsigned r = 0; r < lanes; ++r) {
+        scheduled += run_jump(process, states[r], rngs[r], options).steps;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(scheduled));
+}
+
+void BM_DivBatchJumpNaiveRun(benchmark::State& state) {
+  run_batch_jump_lanes(state, /*batched=*/false);
+}
+BENCHMARK(BM_DivBatchJumpNaiveRun)
+    ->ArgsProduct({{1 << 10, 1 << 14, 1 << 17}, {1, 4, 16}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DivBatchJumpRun(benchmark::State& state) {
+  run_batch_jump_lanes(state, /*batched=*/true);
+}
+BENCHMARK(BM_DivBatchJumpRun)
+    ->ArgsProduct({{1 << 10, 1 << 14, 1 << 17}, {1, 4, 16}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PullVertexStep(benchmark::State& state) {
   run_steps(state, static_cast<VertexId>(state.range(0)), [](const Graph& g) {
     return std::make_unique<PullVoting>(g, SelectionScheme::kVertex);

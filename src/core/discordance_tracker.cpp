@@ -1,369 +1,9 @@
 #include "core/discordance_tracker.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-
 namespace divlib {
 
-DiscordanceTracker::DiscordanceTracker(const OpinionState& state,
-                                       SelectionScheme scheme)
-    : state_(&state), scheme_(scheme) {
-  const Graph& graph = state.graph();
-  validate_for_selection(graph, scheme);
-  const VertexId n = graph.num_vertices();
-  if (scheme_ == SelectionScheme::kVertex) {
-    disc_.assign(n, 0);
-    rebuild_counts();
-    rebuilds_ = 0;  // the constructor's initial build is not a resync
-    return;
-  }
-
-  // Edge scheme: index every adjacency slot with its edge id so apply_move
-  // can flip an edge's membership in O(1) while scanning v's row.  These
-  // arrays depend only on the topology; the state-dependent parts live in
-  // rebuild_counts() so the hybrid engine can resynchronize a stale tracker
-  // without paying this O(m log d) build again.
-  const auto edges = graph.edges();
-  offsets_.assign(n + 1, 0);
-  for (VertexId v = 0; v < n; ++v) {
-    offsets_[v + 1] = offsets_[v] + graph.degree(v);
-  }
-  slot_edge_.assign(graph.total_degree(), 0);
-  edge_pos_.assign(edges.size(), kNotDiscordant);
-  for (std::uint32_t e = 0; e < edges.size(); ++e) {
-    for (const auto& [from, to] :
-         {std::pair{edges[e].u, edges[e].v}, std::pair{edges[e].v, edges[e].u}}) {
-      const auto row = graph.neighbors(from);
-      const auto it = std::lower_bound(row.begin(), row.end(), to);
-      slot_edge_[offsets_[from] +
-                 static_cast<std::uint64_t>(it - row.begin())] = e;
-    }
-  }
-  discordant_.reserve(edges.size());
-  discordant_uv_.reserve(edges.size());
-  if (static_cast<std::int64_t>(state.range_hi()) - state.range_lo() <
-      INT16_MAX) {
-    mirror_.resize(n);
-  }
-  rebuild_counts();
-  rebuilds_ = 0;  // the constructor's initial build is not a resync
-}
-
-void DiscordanceTracker::rebuild_counts() {
-  ++rebuilds_;
-  alias_fresh_ = false;  // the frozen weights no longer match
-  const Graph& graph = state_->graph();
-  const VertexId n = graph.num_vertices();
-  if (scheme_ == SelectionScheme::kVertex) {
-    total_pairs_ = 0;
-    std::vector<double> weights(n, 0.0);
-    for (VertexId v = 0; v < n; ++v) {
-      const Opinion own = state_->opinion(v);
-      std::uint32_t count = 0;
-      for (const VertexId w : graph.neighbors(v)) {
-        count += state_->opinion(w) != own;
-      }
-      disc_[v] = count;
-      total_pairs_ += count;
-      weights[v] = weight_of(v);
-    }
-    sampler_ = DynamicWeightedSampler(weights);
-    return;
-  }
-  // Clearing through the stale membership list keeps this pass
-  // O(|discordant|) instead of touching every edge_pos_ slot.
-  for (const std::uint32_t e : discordant_) {
-    edge_pos_[e] = kNotDiscordant;
-  }
-  discordant_.clear();
-  discordant_uv_.clear();
-  if (!mirror_.empty()) {
-    for (VertexId v = 0; v < n; ++v) {
-      mirror_[v] =
-          static_cast<std::int16_t>(state_->opinion(v) - state_->range_lo());
-    }
-  }
-  const auto edges = graph.edges();
-  for (std::uint32_t e = 0; e < edges.size(); ++e) {
-    if (state_->opinion(edges[e].u) != state_->opinion(edges[e].v)) {
-      add_discordant_edge(e, edges[e].u, edges[e].v);
-    }
-  }
-  total_pairs_ = 2 * static_cast<std::uint64_t>(discordant_.size());
-}
-
-std::uint32_t DiscordanceTracker::discordance(VertexId v) const {
-  if (scheme_ == SelectionScheme::kVertex) {
-    return disc_[v];
-  }
-  const Opinion own = state_->opinion(v);
-  std::uint32_t count = 0;
-  for (const VertexId w : state_->graph().neighbors(v)) {
-    count += state_->opinion(w) != own;
-  }
-  return count;
-}
-
-double DiscordanceTracker::weight_of(VertexId v) const {
-  if (scheme_ == SelectionScheme::kVertex) {
-    return static_cast<double>(disc_[v]) /
-           static_cast<double>(state_->graph().degree(v));
-  }
-  return static_cast<double>(disc_[v]);
-}
-
-void DiscordanceTracker::add_discordant_edge(std::uint32_t edge_id, VertexId u,
-                                             VertexId w) {
-  edge_pos_[edge_id] = static_cast<std::uint32_t>(discordant_.size());
-  discordant_.push_back(edge_id);
-  discordant_uv_.push_back(Edge{u, w});
-}
-
-void DiscordanceTracker::remove_discordant_edge(std::uint32_t edge_id) {
-  const std::uint32_t position = edge_pos_[edge_id];
-  const std::uint32_t last = discordant_.back();
-  discordant_[position] = last;
-  discordant_uv_[position] = discordant_uv_.back();
-  edge_pos_[last] = position;
-  discordant_.pop_back();
-  discordant_uv_.pop_back();
-  edge_pos_[edge_id] = kNotDiscordant;
-}
-
-double DiscordanceTracker::active_probability() const {
-  if (scheme_ == SelectionScheme::kVertex) {
-    // (1/n) sum_v disc(v)/d(v)
-    return sampler_.total_weight() /
-           static_cast<double>(state_->num_vertices());
-  }
-  // Each of the 2m ordered pairs is equally likely per scheduled step.
-  return static_cast<double>(total_pairs_) /
-         static_cast<double>(state_->graph().total_degree());
-}
-
-SelectedPair DiscordanceTracker::sample_discordant_pair(Rng& rng) const {
-  if (frozen()) {
-    throw std::logic_error(
-        "DiscordanceTracker: no discordant pairs to sample");
-  }
-  SelectedPair pair;
-  if (scheme_ == SelectionScheme::kEdge) {
-    // Uniform over the 2|discordant_| ordered discordant pairs: one draw
-    // picks the edge (high bits) and the direction (low bit).
-    const std::uint64_t draw =
-        rng.uniform_below(2 * static_cast<std::uint64_t>(discordant_.size()));
-    const Edge& edge = discordant_uv_[draw >> 1];
-    pair.updater = (draw & 1) ? edge.v : edge.u;
-    pair.observed = (draw & 1) ? edge.u : edge.v;
-    return pair;
-  }
-  if (alias_fresh_) {
-    // O(1) frozen-weight path: one uniform column plus one uniform01 instead
-    // of the Fenwick descent.  Same law over updaters, different rng
-    // consumption (see freeze_alias in the header).
-    pair.updater = static_cast<VertexId>(alias_.sample(rng));
-    if (disc_[pair.updater] == 0) {
-      // Numerically impossible unless the table outlived a weight change the
-      // invalidation hooks somehow missed; fail loudly rather than draw
-      // uniform_below(0) below.
-      throw std::logic_error(
-          "DiscordanceTracker: alias table sampled a concordant vertex");
-    }
-  } else {
-    pair.updater = static_cast<VertexId>(sampler_.sample(rng));
-  }
-  const Opinion own = state_->opinion(pair.updater);
-  // Uniform among the disc(v) discordant neighbors: pick a rank, then scan.
-  std::uint32_t rank =
-      static_cast<std::uint32_t>(rng.uniform_below(disc_[pair.updater]));
-  for (const VertexId w : state_->graph().neighbors(pair.updater)) {
-    if (state_->opinion(w) != own) {
-      if (rank == 0) {
-        pair.observed = w;
-        return pair;
-      }
-      --rank;
-    }
-  }
-  throw std::logic_error("DiscordanceTracker: counts are stale");
-}
-
-void DiscordanceTracker::sample_discordant_pairs(
-    std::span<Rng* const> rngs, std::span<SelectedPair> out) const {
-  if (rngs.size() != out.size()) {
-    throw std::invalid_argument(
-        "DiscordanceTracker::sample_discordant_pairs: rngs/out size mismatch");
-  }
-  if (frozen()) {
-    throw std::logic_error(
-        "DiscordanceTracker: no discordant pairs to sample");
-  }
-  if (scheme_ == SelectionScheme::kEdge) {
-    // One draw per lane against the shared compact pair array; hoisting the
-    // bound and base pointer out of the loop is the whole batch win here --
-    // the per-lane work is already O(1).
-    const std::uint64_t bound =
-        2 * static_cast<std::uint64_t>(discordant_.size());
-    const Edge* pairs = discordant_uv_.data();
-    for (std::size_t i = 0; i < out.size(); ++i) {
-      const std::uint64_t draw = rngs[i]->uniform_below(bound);
-      const Edge& edge = pairs[draw >> 1];
-      out[i].updater = (draw & 1) ? edge.v : edge.u;
-      out[i].observed = (draw & 1) ? edge.u : edge.v;
-    }
-    return;
-  }
-  // Vertex scheme, two passes.  Each lane's own stream still sees (updater
-  // draw, then rank draw) in that order -- the streams are private, so
-  // issuing every lane's first draw before any lane's second is
-  // bit-identical to interleaving them -- but splitting lets the neighbor
-  // rows the rank scans will walk get prefetched while other lanes' updater
-  // draws are still in flight.
-  const Graph& graph = state_->graph();
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    if (alias_fresh_) {
-      out[i].updater = static_cast<VertexId>(alias_.sample(*rngs[i]));
-      if (disc_[out[i].updater] == 0) {
-        throw std::logic_error(
-            "DiscordanceTracker: alias table sampled a concordant vertex");
-      }
-    } else {
-      out[i].updater = static_cast<VertexId>(sampler_.sample(*rngs[i]));
-    }
-    __builtin_prefetch(graph.neighbors(out[i].updater).data(), 0);
-  }
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const VertexId updater = out[i].updater;
-    const Opinion own = state_->opinion(updater);
-    std::uint32_t rank =
-        static_cast<std::uint32_t>(rngs[i]->uniform_below(disc_[updater]));
-    bool resolved = false;
-    for (const VertexId w : graph.neighbors(updater)) {
-      if (state_->opinion(w) != own) {
-        if (rank == 0) {
-          out[i].observed = w;
-          resolved = true;
-          break;
-        }
-        --rank;
-      }
-    }
-    if (!resolved) {
-      throw std::logic_error("DiscordanceTracker: counts are stale");
-    }
-  }
-}
-
-void DiscordanceTracker::freeze_alias() {
-  if (scheme_ != SelectionScheme::kVertex) {
-    return;  // edge-scheme sampling is already O(1); nothing to freeze
-  }
-  if (frozen()) {
-    throw std::logic_error(
-        "DiscordanceTracker::freeze_alias: no discordant pairs (all weights "
-        "zero)");
-  }
-  const VertexId n = state_->num_vertices();
-  std::vector<double> weights(n, 0.0);
-  for (VertexId v = 0; v < n; ++v) {
-    weights[v] = weight_of(v);
-  }
-  alias_ = AliasTable(weights);
-  alias_fresh_ = true;
-}
-
-void DiscordanceTracker::apply_move(VertexId v, Opinion before) {
-  const Opinion after = state_->opinion(v);
-  if (after == before) {
-    return;
-  }
-  alias_fresh_ = false;  // the frozen weights no longer match
-  const Graph& graph = state_->graph();
-  if (scheme_ == SelectionScheme::kEdge) {
-    const auto row = graph.neighbors(v);
-    const std::uint64_t base = offsets_[v];
-    if (!mirror_.empty()) {
-      const auto before_rel =
-          static_cast<std::int16_t>(before - state_->range_lo());
-      const auto after_rel =
-          static_cast<std::int16_t>(after - state_->range_lo());
-      mirror_[v] = after_rel;
-      // First pass: issue the (random) edge_pos_ accesses for every flipping
-      // edge up front so they overlap instead of serializing behind the
-      // swap-remove bookkeeping -- in a two-opinion phase all d(v) edges
-      // flip, and these misses dominate the per-move cost.  The second pass
-      // re-reads mirror_/slot_edge_ from now-hot lines.
-      for (std::size_t i = 0; i < row.size(); ++i) {
-        const std::int16_t other = mirror_[row[i]];
-        if ((other != before_rel) != (other != after_rel)) {
-          __builtin_prefetch(&edge_pos_[slot_edge_[base + i]], 1);
-        }
-      }
-      for (std::size_t i = 0; i < row.size(); ++i) {
-        const std::int16_t other = mirror_[row[i]];
-        // The edge flips membership only when the neighbor sits exactly on
-        // the old or the new opinion.
-        if ((other != before_rel) == (other != after_rel)) {
-          continue;
-        }
-        const std::uint32_t edge_id = slot_edge_[base + i];
-        if (other != after_rel) {
-          add_discordant_edge(edge_id, v, row[i]);
-        } else {
-          remove_discordant_edge(edge_id);
-        }
-      }
-    } else {
-      for (std::size_t i = 0; i < row.size(); ++i) {
-        const Opinion other = state_->opinion(row[i]);
-        if ((other != before) == (other != after)) {
-          continue;
-        }
-        const std::uint32_t edge_id = slot_edge_[base + i];
-        if (other != after) {
-          add_discordant_edge(edge_id, v, row[i]);
-        } else {
-          remove_discordant_edge(edge_id);
-        }
-      }
-    }
-    total_pairs_ = 2 * static_cast<std::uint64_t>(discordant_.size());
-    return;
-  }
-  std::uint32_t own_count = 0;
-  for (const VertexId u : graph.neighbors(v)) {
-    const Opinion other = state_->opinion(u);
-    own_count += other != after;
-    const bool was = other != before;
-    const bool now = other != after;
-    if (was == now) {
-      continue;
-    }
-    if (now) {
-      ++disc_[u];
-      ++total_pairs_;
-    } else {
-      --disc_[u];
-      --total_pairs_;
-    }
-    sampler_.set_weight(u, weight_of(u));
-  }
-  total_pairs_ += own_count;
-  total_pairs_ -= disc_[v];
-  disc_[v] = own_count;
-  sampler_.set_weight(v, weight_of(v));
-}
-
-std::vector<std::uint32_t> DiscordanceTracker::recomputed_counts() const {
-  const Graph& graph = state_->graph();
-  std::vector<std::uint32_t> fresh(graph.num_vertices(), 0);
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    const Opinion own = state_->opinion(v);
-    for (const VertexId w : graph.neighbors(v)) {
-      fresh[v] += state_->opinion(w) != own;
-    }
-  }
-  return fresh;
-}
+// The scalar OpinionState instantiation lives here; the batched engine's
+// PlaneLaneView instantiation is implicit in batch_engine.cpp.
+template class BasicDiscordanceTracker<OpinionState>;
 
 }  // namespace divlib

@@ -45,6 +45,7 @@
 // trackers at rebuild_counts() resync points.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -169,6 +170,72 @@ class OpinionPlane {
     }
     return apply_block_<std::uint8_t>(values8_.data() + off, state, 0, upd,
                                       obs, count, stop_delta);
+  }
+
+  // Counted variant of apply_steps_toward with a DEFERRED histogram: the
+  // result additionally reports how many of the applied steps CHANGED the
+  // updater's opinion (the jump chain's window_effective currency).  The
+  // kernel runs in two passes per sub-block: pass 1 is the bare cell chain
+  // (read old/seen, branchless +-1, store) with the old/new cells logged to
+  // a pair of stack arrays, pass 2 merges the logs into the histogram and
+  // tallies changed steps.  Splitting the passes breaks the loop-carried
+  // dependence between the cell store and the histogram read-modify-write
+  // that apply_block_ serializes on (the RMW chain PR 7 documented as the
+  // batch engine's bottleneck), and the merge pass is a straight-line
+  // gather the compiler can vectorize.  The deferred histogram cannot
+  // detect a mid-block stop, so the kernel leans on a monotonicity
+  // invariant of step_toward: every write lands inside the current active
+  // range, hence min_active is nondecreasing, max_active is nonincreasing,
+  // and the spread is nonincreasing -- the end-of-block spread dips to
+  // stop_delta if and only if some step inside the block crossed it.  When
+  // that (rare, at most once per lane per run) probe fires, the sub-block
+  // is reverted from the logs and replayed through the exact apply_block_
+  // kernel to land on the precise stopping step.  Observable behavior is
+  // bit-identical to apply_steps_toward.
+  struct AppliedSteps {
+    std::uint64_t applied = 0;  // steps executed (== count unless stopped)
+    std::uint64_t changed = 0;  // applied steps where the opinion moved
+  };
+  AppliedSteps apply_steps_toward_counted(unsigned lane,
+                                          const VertexId* __restrict upd,
+                                          const VertexId* __restrict obs,
+                                          std::uint64_t count,
+                                          Opinion stop_delta) {
+    const std::size_t off = static_cast<std::size_t>(lane) * n_;
+    Lane& state = lanes_[lane];
+    if (wide_) {
+      return apply_block_deferred_<Opinion>(values32_.data() + off, state,
+                                            state.range_lo, upd, obs, count,
+                                            stop_delta);
+    }
+    return apply_block_deferred_<std::uint8_t>(values8_.data() + off, state,
+                                               0, upd, obs, count, stop_delta);
+  }
+
+  // Two-lane counted variant: interleaves the two lanes' pass-1 cell chains
+  // (two independent store-to-load chains overlap in the core) and merges
+  // each lane's histogram separately.  When one lane stops mid-block the
+  // other's remaining steps run through the single-lane counted kernel; the
+  // observable effect is exactly two independent apply_steps_toward_counted
+  // calls.  Requires lane_a != lane_b.
+  std::pair<AppliedSteps, AppliedSteps> apply_steps_toward_pair_counted(
+      unsigned lane_a, const VertexId* __restrict upd_a,
+      const VertexId* __restrict obs_a, unsigned lane_b,
+      const VertexId* __restrict upd_b, const VertexId* __restrict obs_b,
+      std::uint64_t count, Opinion stop_delta) {
+    const std::size_t off_a = static_cast<std::size_t>(lane_a) * n_;
+    const std::size_t off_b = static_cast<std::size_t>(lane_b) * n_;
+    Lane& state_a = lanes_[lane_a];
+    Lane& state_b = lanes_[lane_b];
+    if (wide_) {
+      return apply_block_pair_deferred_<Opinion>(
+          values32_.data() + off_a, state_a, state_a.range_lo, upd_a, obs_a,
+          values32_.data() + off_b, state_b, state_b.range_lo, upd_b, obs_b,
+          count, stop_delta);
+    }
+    return apply_block_pair_deferred_<std::uint8_t>(
+        values8_.data() + off_a, state_a, 0, upd_a, obs_a,
+        values8_.data() + off_b, state_b, 0, upd_b, obs_b, count, stop_delta);
   }
 
   // Two-lane variant of apply_steps_toward: interleaves one step of lane A
@@ -475,6 +542,216 @@ class OpinionPlane {
     return {count, count};
   }
 
+  // Sub-block size for the deferred kernels: the old/new logs live on the
+  // stack, and the stop probe runs once per sub-block, so the size trades
+  // merge-pass batching against post-stop overshoot (work done past the
+  // stopping step is reverted and replayed).  32 matches the batch
+  // engine's draw-block size.
+  static constexpr std::uint64_t kDeferredBlock = 32;
+
+  // Deferred-histogram block kernel behind apply_steps_toward_counted.
+  // See the public comment for the invariant that makes the end-of-block
+  // stop probe exact.
+  template <typename Cell>
+  AppliedSteps apply_block_deferred_(Cell* __restrict vals, Lane& state,
+                                     Opinion off,
+                                     const VertexId* __restrict upd,
+                                     const VertexId* __restrict obs,
+                                     std::uint64_t count, Opinion stop_delta) {
+    std::int64_t* const counts = state.counts.data();
+    const Opinion shift = state.range_lo - off;
+    state.derived_fresh = false;
+    AppliedSteps out;
+    while (out.applied < count) {
+      const std::uint64_t block =
+          std::min<std::uint64_t>(kDeferredBlock, count - out.applied);
+      const VertexId* const bu = upd + out.applied;
+      const VertexId* const bo = obs + out.applied;
+      Cell old_log[kDeferredBlock];
+      Cell new_log[kDeferredBlock];
+      // Pass 1: the bare cell chain.  No histogram traffic, so the only
+      // loop-carried dependence is the (unavoidable) possibility that step
+      // s+1 reads the cell step s wrote.
+      for (std::uint64_t s = 0; s < block; ++s) {
+        const VertexId v = bu[s];
+        const auto old = static_cast<Opinion>(vals[v]);
+        const auto seen = static_cast<Opinion>(vals[bo[s]]);
+        const Opinion value = old + static_cast<Opinion>(old < seen) -
+                              static_cast<Opinion>(old > seen);
+        vals[v] = static_cast<Cell>(value);
+        old_log[s] = static_cast<Cell>(old);
+        new_log[s] = static_cast<Cell>(value);
+      }
+      // Pass 2: merge the logs into the histogram and count moved steps.
+      std::uint64_t changed = 0;
+      for (std::uint64_t s = 0; s < block; ++s) {
+        --counts[static_cast<std::size_t>(
+            static_cast<Opinion>(old_log[s]) - off)];
+        ++counts[static_cast<std::size_t>(
+            static_cast<Opinion>(new_log[s]) - off)];
+        changed += old_log[s] != new_log[s];
+      }
+      // Exact end-of-block extremes: the active range only ever shrinks
+      // under step_toward, so probing inward from the pre-block extremes
+      // lands on the true post-block extremes.
+      Opinion min_cell = state.min_active - shift;
+      Opinion max_cell = state.max_active - shift;
+      while (counts[static_cast<std::size_t>(min_cell - off)] == 0) {
+        ++min_cell;
+      }
+      while (counts[static_cast<std::size_t>(max_cell - off)] == 0) {
+        --max_cell;
+      }
+      if (max_cell - min_cell <= stop_delta) [[unlikely]] {
+        // Some step inside this sub-block crossed the stop rule.  Revert
+        // the whole sub-block from the logs (reverse order handles repeated
+        // updaters; the extremes were never committed) and replay it
+        // through the exact kernel to find the precise stopping step.
+        for (std::uint64_t s = block; s-- > 0;) {
+          vals[bu[s]] = old_log[s];
+        }
+        for (std::uint64_t s = 0; s < block; ++s) {
+          ++counts[static_cast<std::size_t>(
+              static_cast<Opinion>(old_log[s]) - off)];
+          --counts[static_cast<std::size_t>(
+              static_cast<Opinion>(new_log[s]) - off)];
+        }
+        const std::uint64_t applied =
+            apply_block_<Cell>(vals, state, off, bu, bo, block, stop_delta);
+        // The replay recomputes the same values, so the logs still describe
+        // the applied prefix.
+        for (std::uint64_t s = 0; s < applied; ++s) {
+          out.changed += old_log[s] != new_log[s];
+        }
+        out.applied += applied;
+        return out;
+      }
+      state.min_active = min_cell + shift;
+      state.max_active = max_cell + shift;
+      out.applied += block;
+      out.changed += changed;
+    }
+    return out;
+  }
+
+  template <typename Cell>
+  std::pair<AppliedSteps, AppliedSteps> apply_block_pair_deferred_(
+      Cell* __restrict vals_a, Lane& state_a, Opinion off_a,
+      const VertexId* __restrict upd_a, const VertexId* __restrict obs_a,
+      Cell* __restrict vals_b, Lane& state_b, Opinion off_b,
+      const VertexId* __restrict upd_b, const VertexId* __restrict obs_b,
+      std::uint64_t count, Opinion stop_delta) {
+    AppliedSteps out_a;
+    AppliedSteps out_b;
+    std::uint64_t done = 0;
+    while (done < count) {
+      const std::uint64_t block =
+          std::min<std::uint64_t>(kDeferredBlock, count - done);
+      const VertexId* const bu_a = upd_a + done;
+      const VertexId* const bo_a = obs_a + done;
+      const VertexId* const bu_b = upd_b + done;
+      const VertexId* const bo_b = obs_b + done;
+      Cell old_a[kDeferredBlock];
+      Cell new_a[kDeferredBlock];
+      Cell old_b[kDeferredBlock];
+      Cell new_b[kDeferredBlock];
+      // Interleaved pass 1: two independent cell chains overlap in the
+      // core where one alone serializes on store-to-load forwarding.
+      for (std::uint64_t s = 0; s < block; ++s) {
+        const VertexId va = bu_a[s];
+        const VertexId vb = bu_b[s];
+        const auto oa = static_cast<Opinion>(vals_a[va]);
+        const auto ob = static_cast<Opinion>(vals_b[vb]);
+        const auto sa = static_cast<Opinion>(vals_a[bo_a[s]]);
+        const auto sb = static_cast<Opinion>(vals_b[bo_b[s]]);
+        const Opinion na = oa + static_cast<Opinion>(oa < sa) -
+                           static_cast<Opinion>(oa > sa);
+        const Opinion nb = ob + static_cast<Opinion>(ob < sb) -
+                           static_cast<Opinion>(ob > sb);
+        vals_a[va] = static_cast<Cell>(na);
+        vals_b[vb] = static_cast<Cell>(nb);
+        old_a[s] = static_cast<Cell>(oa);
+        new_a[s] = static_cast<Cell>(na);
+        old_b[s] = static_cast<Cell>(ob);
+        new_b[s] = static_cast<Cell>(nb);
+      }
+      // Per-lane merge + stop probe, each lane independent: a lane that
+      // stopped reverts and replays exactly as the single-lane kernel, and
+      // its partner finishes its remaining steps through that kernel.
+      const auto settle_lane =
+          [&](Cell* __restrict vals, Lane& state, Opinion off,
+              const Cell* old_log, const Cell* new_log,
+              const VertexId* __restrict bu, const VertexId* __restrict bo,
+              AppliedSteps& out) -> bool {
+        std::int64_t* const counts = state.counts.data();
+        const Opinion shift = state.range_lo - off;
+        state.derived_fresh = false;
+        std::uint64_t changed = 0;
+        for (std::uint64_t s = 0; s < block; ++s) {
+          --counts[static_cast<std::size_t>(
+              static_cast<Opinion>(old_log[s]) - off)];
+          ++counts[static_cast<std::size_t>(
+              static_cast<Opinion>(new_log[s]) - off)];
+          changed += old_log[s] != new_log[s];
+        }
+        Opinion min_cell = state.min_active - shift;
+        Opinion max_cell = state.max_active - shift;
+        while (counts[static_cast<std::size_t>(min_cell - off)] == 0) {
+          ++min_cell;
+        }
+        while (counts[static_cast<std::size_t>(max_cell - off)] == 0) {
+          --max_cell;
+        }
+        if (max_cell - min_cell <= stop_delta) [[unlikely]] {
+          for (std::uint64_t s = block; s-- > 0;) {
+            vals[bu[s]] = old_log[s];
+          }
+          for (std::uint64_t s = 0; s < block; ++s) {
+            ++counts[static_cast<std::size_t>(
+                static_cast<Opinion>(old_log[s]) - off)];
+            --counts[static_cast<std::size_t>(
+                static_cast<Opinion>(new_log[s]) - off)];
+          }
+          const std::uint64_t applied =
+              apply_block_<Cell>(vals, state, off, bu, bo, block, stop_delta);
+          for (std::uint64_t s = 0; s < applied; ++s) {
+            out.changed += old_log[s] != new_log[s];
+          }
+          out.applied += applied;
+          return true;  // stopped
+        }
+        state.min_active = min_cell + shift;
+        state.max_active = max_cell + shift;
+        out.applied += block;
+        out.changed += changed;
+        return false;
+      };
+      const bool stop_a = settle_lane(vals_a, state_a, off_a, old_a, new_a,
+                                      bu_a, bo_a, out_a);
+      const bool stop_b = settle_lane(vals_b, state_b, off_b, old_b, new_b,
+                                      bu_b, bo_b, out_b);
+      done += block;
+      if (stop_a || stop_b) [[unlikely]] {
+        if (!stop_a && done < count) {
+          const AppliedSteps tail = apply_block_deferred_<Cell>(
+              vals_a, state_a, off_a, upd_a + done, obs_a + done,
+              count - done, stop_delta);
+          out_a.applied += tail.applied;
+          out_a.changed += tail.changed;
+        }
+        if (!stop_b && done < count) {
+          const AppliedSteps tail = apply_block_deferred_<Cell>(
+              vals_b, state_b, off_b, upd_b + done, obs_b + done,
+              count - done, stop_delta);
+          out_b.applied += tail.applied;
+          out_b.changed += tail.changed;
+        }
+        return {out_a, out_b};
+      }
+    }
+    return {out_a, out_b};
+  }
+
   // Recomputes the deferred aggregates for one lane: num_active and sum
   // from the counts histogram (O(k)), the degree-weighted family from one
   // walk over the lane's cells (O(n)).  Called from the derived accessors;
@@ -497,6 +774,30 @@ class OpinionPlane {
   std::vector<std::uint32_t> disc_;
   std::vector<std::uint64_t> disc_pairs_;  // per lane
   bool discordance_built_ = false;
+};
+
+// A single lane of an OpinionPlane presented through the read-only state
+// surface BasicDiscordanceTracker consumes: graph topology, the lane's
+// current opinions, and its fixed range.  The view is a pointer-sized
+// adapter, not a copy -- tracker reads always see the lane's live cells, so
+// a per-lane tracker over a view stays exactly as coherent with its state
+// as a scalar tracker over an OpinionState (provided every move is mirrored
+// via apply_move, the same contract the scalar tracker imposes).
+class PlaneLaneView {
+ public:
+  PlaneLaneView(const OpinionPlane& plane, unsigned lane)
+      : plane_(&plane), lane_(lane) {}
+
+  const Graph& graph() const { return plane_->graph(); }
+  VertexId num_vertices() const { return plane_->num_vertices(); }
+  Opinion opinion(VertexId v) const { return plane_->opinion(lane_, v); }
+  Opinion range_lo() const { return plane_->range_lo(lane_); }
+  Opinion range_hi() const { return plane_->range_hi(lane_); }
+  unsigned lane() const { return lane_; }
+
+ private:
+  const OpinionPlane* plane_;
+  unsigned lane_;
 };
 
 }  // namespace divlib

@@ -4,12 +4,16 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <exception>
 #include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "core/discordance_tracker.hpp"
+#include "core/div_process.hpp"
 #include "engine/stop_condition.hpp"
 
 namespace divlib {
@@ -308,17 +312,20 @@ std::vector<RunResult> run_batch(
     };
     std::size_t i = 0;
     for (; i + 1 < live; i += 2) {
-      const auto [applied_a, applied_b] = plane.apply_steps_toward_pair(
+      const auto [applied_a, applied_b] = plane.apply_steps_toward_pair_counted(
           active[i], &upd[i * kBlockSteps], &obs[i * kBlockSteps],
           active[i + 1], &upd[(i + 1) * kBlockSteps],
           &obs[(i + 1) * kBlockSteps], block, stop_delta);
-      settle(i, applied_a);
-      settle(i + 1, applied_b);
+      settle(i, applied_a.applied);
+      settle(i + 1, applied_b.applied);
     }
     if (i < live) {
-      settle(i, plane.apply_steps_toward(active[i], &upd[i * kBlockSteps],
-                                         &obs[i * kBlockSteps], block,
-                                         stop_delta));
+      settle(i, plane
+                    .apply_steps_toward_counted(active[i],
+                                                &upd[i * kBlockSteps],
+                                                &obs[i * kBlockSteps], block,
+                                                stop_delta)
+                    .applied);
     }
     if (any_retired) {
       std::size_t w = 0;
@@ -349,16 +356,483 @@ std::vector<RunResult> run_batch(
   return results;
 }
 
-IsolatedBatch<RunResult> run_div_replicas_batched(
-    const Graph& graph, SelectionScheme scheme, std::size_t replicas,
-    const BatchInit& init, const RunOptions& run_options,
-    const MonteCarloOptions& options) {
-  if (!init) {
+namespace {
+
+// Per-live-lane jump-chain context.  The tracker holds a pointer to the
+// sibling `view` member, so contexts must never move once constructed --
+// they live in a std::deque and the engine's live list holds pointers.
+struct JumpLaneCtx {
+  unsigned lane;
+  PlaneLaneView view;
+  BasicDiscordanceTracker<PlaneLaneView> tracker;
+  Rng* rng;
+  const CancelToken* token;
+  bool jump_mode = true;   // the scalar loop also starts in jump mode
+  bool armed = false;      // jump mode only: next effective time drawn
+  std::uint64_t due = 0;   // scheduled clock of the next effective step
+  std::uint64_t window_steps = 0;      // naive mode: steps in this window
+  std::uint64_t window_effective = 0;  // naive mode: changed steps in window
+  std::uint64_t effective_steps = 0;
+  std::uint64_t mode_switches = 0;
+  bool done = false;
+
+  JumpLaneCtx(const OpinionPlane& plane, unsigned lane_id,
+              SelectionScheme scheme, Rng* rng_in, const CancelToken* token_in)
+      : lane(lane_id),
+        view(plane, lane_id),
+        tracker(view, scheme),
+        rng(rng_in),
+        token(token_in) {}
+};
+
+}  // namespace
+
+std::vector<JumpRunResult> run_batch_jump(
+    const Graph& graph, SelectionScheme scheme, OpinionPlane& plane,
+    std::span<Rng> rngs, const RunOptions& options,
+    std::span<const CancelToken* const> lane_cancels) {
+  const unsigned lanes = plane.num_lanes();
+  if (rngs.size() != lanes) {
     throw std::invalid_argument(
-        "run_div_replicas_batched: an init callback is required");
+        "run_batch_jump: one rng per lane is required");
+  }
+  if (!lane_cancels.empty() && lane_cancels.size() != lanes) {
+    throw std::invalid_argument(
+        "run_batch_jump: lane_cancels must be empty or one token slot per "
+        "lane");
+  }
+  if (options.trace_stride != 0) {
+    throw std::invalid_argument(
+        "run_batch_jump records no traces; use the scalar engines for "
+        "tracing");
   }
   validate_for_selection(graph, scheme);
-  IsolatedBatch<RunResult> batch;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const VertexId n = graph.num_vertices();
+  const std::span<const Edge> edges = graph.edges();
+  const std::uint64_t num_edges = edges.size();
+  const Opinion stop_delta = options.stop == StopKind::kConsensus ? 0 : 1;
+  const std::uint64_t max_steps = options.max_steps;
+
+  std::vector<JumpRunResult> results(lanes);
+  std::uint64_t total_steps = 0;
+  std::uint64_t total_effective = 0;
+  std::uint64_t total_rebuilds = 0;
+
+  const auto token_for = [&](unsigned lane) -> const CancelToken* {
+    if (!lane_cancels.empty() && lane_cancels[lane] != nullptr) {
+      return lane_cancels[lane];
+    }
+    return options.cancel;
+  };
+  const auto finalize_slot = [&](unsigned lane, RunStatus status,
+                                 std::uint64_t steps, std::uint64_t effective,
+                                 std::uint64_t switches) {
+    JumpRunResult& result = results[lane];
+    result.status = status;
+    result.completed = status == RunStatus::kCompleted;
+    result.steps = steps;
+    result.effective_steps = effective;
+    result.mode_switches = switches;
+    result.min_active = plane.min_active(lane);
+    result.max_active = plane.max_active(lane);
+    result.num_active = plane.num_active(lane);
+    result.final_sum = plane.sum(lane);
+    result.final_z = plane.z_total(lane);
+    if (plane.is_consensus(lane)) {
+      result.winner = plane.min_active(lane);
+    }
+    total_steps += steps;
+    total_effective += effective;
+  };
+  const auto finalize_ctx = [&](JumpLaneCtx& ctx, RunStatus status,
+                                std::uint64_t steps) {
+    finalize_slot(ctx.lane, status, steps, ctx.effective_steps,
+                  ctx.mode_switches);
+    total_rebuilds += ctx.tracker.rebuilds();
+    ctx.done = true;
+  };
+
+  // Lane contexts need stable addresses (the tracker points at the sibling
+  // view member), hence the deque; `live` swap-compacts pointers only.
+  std::deque<JumpLaneCtx> ctx_store;
+  std::vector<JumpLaneCtx*> live;
+  live.reserve(lanes);
+  // Scalar ordering: a lane satisfied before its first step completes with
+  // zero steps; an unsatisfied lane under a zero budget is capped at zero.
+  // (The scalar loop builds its tracker before checking, but an unconsulted
+  // tracker is unobservable, so satisfied lanes skip construction here.)
+  for (unsigned lane = 0; lane < lanes; ++lane) {
+    if (plane.spread(lane) <= stop_delta) {
+      finalize_slot(lane, RunStatus::kCompleted, 0, 0, 0);
+    } else if (max_steps == 0) {
+      finalize_slot(lane, RunStatus::kCapped, 0, 0, 0);
+    } else {
+      ctx_store.emplace_back(plane, lane, scheme, &rngs[lane],
+                             token_for(lane));
+      live.push_back(&ctx_store.back());
+    }
+  }
+  const auto prune = [&] {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < live.size(); ++r) {
+      if (!live[r]->done) {
+        live[w++] = live[r];
+      }
+    }
+    live.resize(w);
+  };
+
+  // Naive-mode lanes reuse run_batch's block machinery: pre-drawn lane-major
+  // (updater, observed) stripes, block-start rng snapshots for mid-block
+  // rewinds, and the deferred-histogram counted apply kernels (the changed
+  // tally is exactly the window_effective currency of the hysteresis rule).
+  constexpr std::uint64_t kBlockSteps = 32;
+  const std::size_t cell = plane.cell_bytes();
+  std::vector<VertexId> upd(static_cast<std::size_t>(lanes) * kBlockSteps);
+  std::vector<VertexId> obs(static_cast<std::size_t>(lanes) * kBlockSteps);
+  std::vector<std::array<std::uint64_t, 4>> block_start(lanes);
+  std::vector<JumpLaneCtx*> naive;
+  std::vector<const char*> naive_vals;
+  naive.reserve(lanes);
+  naive_vals.reserve(lanes);
+
+  // Restores a naive lane's stream to exactly `consumed` completed steps
+  // past its block-start snapshot (see run_batch::rewind_to).
+  const auto rewind_to = [&](JumpLaneCtx& ctx,
+                             const std::array<std::uint64_t, 4>& snap,
+                             std::uint64_t consumed) {
+    Rng& rng = *ctx.rng;
+    rng.set_state(snap);
+    if (scheme == SelectionScheme::kVertex) {
+      for (std::uint64_t s = 0; s < consumed; ++s) {
+        const auto updater = static_cast<VertexId>(rng.uniform_below(n));
+        rng.uniform_below(graph.neighbors(updater).size());
+      }
+    } else {
+      for (std::uint64_t s = 0; s < consumed; ++s) {
+        rng.uniform_below(num_edges);
+        rng.next();
+      }
+    }
+  };
+
+  constexpr std::uint64_t kCancelBlocks = 8;
+  std::uint64_t iteration = 0;
+
+  // The lane-group SCHEDULED clock.  Every live lane agrees on it: jump-mode
+  // lanes sleep until their drawn due time, naive-mode lanes execute every
+  // scheduled step in between.  Each loop iteration advances the clock to
+  // the nearest event horizon and then settles the lanes whose event lands
+  // exactly there, so per lane the sequence of rng draws, mode switches, and
+  // state writes is the scalar run_jump loop's, merely re-ordered across
+  // lanes (which never observe each other).
+  std::uint64_t clock = 0;
+  while (!live.empty()) {
+    // Same drain point as the scalar loop: between scheduled iterations
+    // (polled coarsely, as in run_batch).
+    if (iteration++ % kCancelBlocks == 0) {
+      bool drained = false;
+      for (JumpLaneCtx* ctx : live) {
+        if (ctx->token != nullptr && ctx->token->requested()) {
+          finalize_ctx(*ctx, drained_status(*ctx->token), clock);
+          drained = true;
+        }
+      }
+      if (drained) {
+        prune();
+        if (live.empty()) {
+          break;
+        }
+      }
+    }
+
+    // Arm pass: every jump-mode lane whose next effective time is undrawn
+    // draws it now -- frozen check, then Geometric(p) skip, in the scalar
+    // order.  due == clock + skipped + 1 <= max_steps by the watchdog check.
+    {
+      bool capped = false;
+      for (JumpLaneCtx* ctx_ptr : live) {
+        JumpLaneCtx& ctx = *ctx_ptr;
+        if (!ctx.jump_mode || ctx.armed) {
+          continue;
+        }
+        if (ctx.tracker.frozen()) {
+          // Every pair agrees but the stop rule does not hold: the scalar
+          // loop idles to the cap.
+          finalize_ctx(ctx, RunStatus::kCapped, max_steps);
+          capped = true;
+          continue;
+        }
+        const std::uint64_t skipped =
+            ctx.rng->geometric(ctx.tracker.active_probability());
+        if (skipped >= max_steps - clock) {
+          // Watchdog: the next effective step falls beyond the budget.
+          finalize_ctx(ctx, RunStatus::kCapped, max_steps);
+          capped = true;
+          continue;
+        }
+        ctx.due = clock + skipped + 1;
+        ctx.armed = true;
+      }
+      if (capped) {
+        prune();
+        if (live.empty()) {
+          break;
+        }
+      }
+    }
+
+    // Horizon: the nearest scheduled time anything happens -- a jump lane's
+    // due time, a naive lane's window boundary, the draw-block granularity,
+    // or the step cap.  Always > clock: dues are >= clock + 1 and window
+    // boundaries are strictly ahead (window_steps < kNaiveWindow here).
+    std::uint64_t horizon = max_steps;
+    bool any_naive = false;
+    for (const JumpLaneCtx* ctx : live) {
+      if (ctx->jump_mode) {
+        horizon = std::min(horizon, ctx->due);
+      } else {
+        any_naive = true;
+        horizon =
+            std::min(horizon, clock + (kNaiveWindow - ctx->window_steps));
+      }
+    }
+    if (any_naive) {
+      horizon = std::min(horizon, clock + kBlockSteps);
+    }
+    const std::uint64_t block = horizon - clock;
+
+    // Naive advance: draw and apply `block` scheduled steps for every
+    // naive-mode lane (jump-mode lanes sleep through them).
+    if (any_naive) {
+      naive.clear();
+      naive_vals.clear();
+      for (JumpLaneCtx* ctx : live) {
+        if (!ctx->jump_mode) {
+          naive.push_back(ctx);
+          naive_vals.push_back(
+              static_cast<const char*>(plane.lane_raw(ctx->lane)));
+        }
+      }
+      const std::size_t nn = naive.size();
+      // Draw phase: run_batch's lane-major stripes (2-lane rng interleave
+      // for the vertex scheme, cell prefetch for the apply phase).
+      if (scheme == SelectionScheme::kVertex) {
+        std::size_t i = 0;
+        for (; i + 1 < nn; i += 2) {
+          Rng ra = *naive[i]->rng;
+          Rng rb = *naive[i + 1]->rng;
+          block_start[i] = ra.state();
+          block_start[i + 1] = rb.state();
+          const char* vals_a = naive_vals[i];
+          const char* vals_b = naive_vals[i + 1];
+          VertexId* __restrict upd_a_out = &upd[i * kBlockSteps];
+          VertexId* __restrict obs_a_out = &obs[i * kBlockSteps];
+          VertexId* __restrict upd_b_out = &upd[(i + 1) * kBlockSteps];
+          VertexId* __restrict obs_b_out = &obs[(i + 1) * kBlockSteps];
+          for (std::uint64_t s = 0; s < block; ++s) {
+            const auto upd_a = static_cast<VertexId>(ra.uniform_below(n));
+            const auto upd_b = static_cast<VertexId>(rb.uniform_below(n));
+            const auto row_a = graph.neighbors(upd_a);
+            const auto row_b = graph.neighbors(upd_b);
+            const VertexId obs_a = row_a[static_cast<std::size_t>(
+                ra.uniform_below(row_a.size()))];
+            const VertexId obs_b = row_b[static_cast<std::size_t>(
+                rb.uniform_below(row_b.size()))];
+            upd_a_out[s] = upd_a;
+            obs_a_out[s] = obs_a;
+            upd_b_out[s] = upd_b;
+            obs_b_out[s] = obs_b;
+            __builtin_prefetch(vals_a + upd_a * cell, 1);
+            __builtin_prefetch(vals_a + obs_a * cell, 0);
+            __builtin_prefetch(vals_b + upd_b * cell, 1);
+            __builtin_prefetch(vals_b + obs_b * cell, 0);
+          }
+          *naive[i]->rng = ra;
+          *naive[i + 1]->rng = rb;
+        }
+        for (; i < nn; ++i) {
+          Rng& rng = *naive[i]->rng;
+          block_start[i] = rng.state();
+          const char* vals = naive_vals[i];
+          const std::size_t base = i * kBlockSteps;
+          for (std::uint64_t s = 0; s < block; ++s) {
+            const auto updater = static_cast<VertexId>(rng.uniform_below(n));
+            const auto row = graph.neighbors(updater);
+            const VertexId observed = row[static_cast<std::size_t>(
+                rng.uniform_below(row.size()))];
+            upd[base + s] = updater;
+            obs[base + s] = observed;
+            __builtin_prefetch(vals + updater * cell, 1);
+            __builtin_prefetch(vals + observed * cell, 0);
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < nn; ++i) {
+          Rng& rng = *naive[i]->rng;
+          block_start[i] = rng.state();
+          const char* vals = naive_vals[i];
+          const std::size_t base = i * kBlockSteps;
+          for (std::uint64_t s = 0; s < block; ++s) {
+            const Edge& edge =
+                edges[static_cast<std::size_t>(rng.uniform_below(num_edges))];
+            const bool forward = (rng.next() & 1u) != 0;
+            const VertexId updater = forward ? edge.u : edge.v;
+            const VertexId observed = forward ? edge.v : edge.u;
+            upd[base + s] = updater;
+            obs[base + s] = observed;
+            __builtin_prefetch(vals + updater * cell, 1);
+            __builtin_prefetch(vals + observed * cell, 0);
+          }
+        }
+      }
+      // Apply phase through the counted kernels: `changed` is the scalar
+      // loop's per-step `next != own` tally, so the window bookkeeping is
+      // exact.  A lane that reaches the stop spread finishes at clock +
+      // applied, rewinding its stream if it stopped mid-block.
+      bool stopped_any = false;
+      const auto settle = [&](std::size_t i, OpinionPlane::AppliedSteps res) {
+        JumpLaneCtx& ctx = *naive[i];
+        ctx.window_steps += res.applied;
+        ctx.window_effective += res.changed;
+        ctx.effective_steps += res.changed;
+        if (plane.spread(ctx.lane) <= stop_delta) {
+          if (res.applied < block) {
+            rewind_to(ctx, block_start[i], res.applied);
+          }
+          finalize_ctx(ctx, RunStatus::kCompleted, clock + res.applied);
+          stopped_any = true;
+        }
+      };
+      std::size_t i = 0;
+      for (; i + 1 < nn; i += 2) {
+        const auto [res_a, res_b] = plane.apply_steps_toward_pair_counted(
+            naive[i]->lane, &upd[i * kBlockSteps], &obs[i * kBlockSteps],
+            naive[i + 1]->lane, &upd[(i + 1) * kBlockSteps],
+            &obs[(i + 1) * kBlockSteps], block, stop_delta);
+        settle(i, res_a);
+        settle(i + 1, res_b);
+      }
+      if (i < nn) {
+        settle(i, plane.apply_steps_toward_counted(
+                      naive[i]->lane, &upd[i * kBlockSteps],
+                      &obs[i * kBlockSteps], block, stop_delta));
+      }
+      if (stopped_any) {
+        prune();
+      }
+    }
+
+    clock = horizon;
+
+    // Event pass at the new clock: jump lanes whose due time arrived execute
+    // their effective step; naive lanes run their window-boundary hysteresis
+    // and the step-cap check, both of which land exactly here by the horizon
+    // construction.
+    bool retired_any = false;
+    for (JumpLaneCtx* ctx_ptr : live) {
+      JumpLaneCtx& ctx = *ctx_ptr;
+      if (ctx.done) {
+        continue;  // settled mid-advance before a prune-less exit above
+      }
+      if (ctx.jump_mode) {
+        if (!ctx.armed || ctx.due != clock) {
+          continue;
+        }
+        ctx.armed = false;
+        // The effective step, routed through the batched sampler primitive
+        // (a one-lane span): same draws, same conditional law as the scalar
+        // tracker.sample_discordant_pair(rng).
+        Rng* rng_ptr = ctx.rng;
+        SelectedPair pair;
+        ctx.tracker.sample_discordant_pairs(
+            std::span<Rng* const>(&rng_ptr, 1), std::span<SelectedPair>(&pair, 1));
+        const Opinion own = plane.opinion(ctx.lane, pair.updater);
+        plane.set(ctx.lane, pair.updater,
+                  DivProcess::updated_opinion(
+                      own, plane.opinion(ctx.lane, pair.observed)));
+        ctx.tracker.apply_move(pair.updater, own);
+        ++ctx.effective_steps;
+        const bool satisfied = plane.spread(ctx.lane) <= stop_delta;
+        if (satisfied) {
+          finalize_ctx(ctx, RunStatus::kCompleted, clock);
+          retired_any = true;
+          continue;
+        }
+        if (ctx.tracker.active_probability() > kJumpExitActiveProbability) {
+          // Dense phase: drop to naive scheduled steps, tracker left stale.
+          ctx.jump_mode = false;
+          ++ctx.mode_switches;
+          ctx.window_steps = 0;
+          ctx.window_effective = 0;
+        }
+        if (clock == max_steps) {
+          // The scalar loop condition fails before another draw; the mode
+          // switch above (if any) is still counted, exactly as there.
+          finalize_ctx(ctx, RunStatus::kCapped, clock);
+          retired_any = true;
+        }
+      } else {
+        if (ctx.window_steps == kNaiveWindow) {
+          // A lane reaching the boundary satisfied finalized in settle(), so
+          // the scalar's !satisfied guard holds implicitly here.
+          if (ctx.window_effective <= kJumpEnterEffectiveMax) {
+            ctx.tracker.rebuild_counts();
+            ctx.jump_mode = true;
+            ctx.armed = false;
+            ++ctx.mode_switches;
+          }
+          ctx.window_steps = 0;
+          ctx.window_effective = 0;
+        }
+        if (clock == max_steps) {
+          finalize_ctx(ctx, RunStatus::kCapped, clock);
+          retired_any = true;
+        }
+      }
+    }
+    if (retired_any) {
+      prune();
+    }
+  }
+
+  if (options.metrics != nullptr) {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+    // Group-level telemetry, as run_batch: per-lane mode trajectories are
+    // the scalar engine's job, so the whole wall clock lands in the jump
+    // bucket and the switch log records only the start mode.
+    options.metrics->record_mode_switch(0, /*jump_mode=*/true, 0.0, 0);
+    options.metrics->scheduled_steps = total_steps;
+    options.metrics->effective_steps = total_effective;
+    options.metrics->tracker_rebuilds = total_rebuilds;
+    options.metrics->batch_lanes = lanes;
+    options.metrics->wall_seconds_total = wall;
+    options.metrics->wall_seconds_jump = wall;
+  }
+  return results;
+}
+
+namespace {
+
+// Shared chunk-claiming driver behind both batched Monte-Carlo entry
+// points: groups of options.batch_lanes lanes, attempt-0 seeding per slot,
+// lowest-group error propagation.  `engine` runs one assigned plane to
+// terminal per-lane results (run_batch or run_batch_jump).
+template <typename Result, typename Engine>
+IsolatedBatch<Result> run_replicas_batched_impl(
+    const Graph& graph, SelectionScheme scheme, std::size_t replicas,
+    const BatchInit& init, const MonteCarloOptions& options,
+    const char* caller, Engine&& engine) {
+  if (!init) {
+    throw std::invalid_argument(std::string(caller) +
+                                ": an init callback is required");
+  }
+  validate_for_selection(graph, scheme);
+  IsolatedBatch<Result> batch;
   batch.results.resize(replicas);
   batch.report.replicas = replicas;
   if (replicas == 0) {
@@ -406,8 +880,7 @@ IsolatedBatch<RunResult> run_div_replicas_batched(
               Rng::retry_seed(options.master_seed, lo + lane, 0));
           plane.assign_lane(lane, init(lo + lane, rngs[lane]));
         }
-        std::vector<RunResult> results =
-            run_batch(graph, scheme, plane, rngs, run_options);
+        std::vector<Result> results = engine(plane, rngs);
         for (unsigned lane = 0; lane < width; ++lane) {
           batch.results[lo + lane] = std::move(results[lane]);
         }
@@ -450,6 +923,31 @@ IsolatedBatch<RunResult> run_div_replicas_batched(
   batch.report.cancelled =
       options.cancel != nullptr && options.cancel->requested();
   return batch;
+}
+
+}  // namespace
+
+IsolatedBatch<RunResult> run_div_replicas_batched(
+    const Graph& graph, SelectionScheme scheme, std::size_t replicas,
+    const BatchInit& init, const RunOptions& run_options,
+    const MonteCarloOptions& options) {
+  return run_replicas_batched_impl<RunResult>(
+      graph, scheme, replicas, init, options, "run_div_replicas_batched",
+      [&](OpinionPlane& plane, std::vector<Rng>& rngs) {
+        return run_batch(graph, scheme, plane, rngs, run_options);
+      });
+}
+
+IsolatedBatch<JumpRunResult> run_div_replicas_batched_jump(
+    const Graph& graph, SelectionScheme scheme, std::size_t replicas,
+    const BatchInit& init, const RunOptions& run_options,
+    const MonteCarloOptions& options) {
+  return run_replicas_batched_impl<JumpRunResult>(
+      graph, scheme, replicas, init, options,
+      "run_div_replicas_batched_jump",
+      [&](OpinionPlane& plane, std::vector<Rng>& rngs) {
+        return run_batch_jump(graph, scheme, plane, rngs, run_options);
+      });
 }
 
 }  // namespace divlib

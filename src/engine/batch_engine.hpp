@@ -44,6 +44,7 @@
 #include "core/opinion_plane.hpp"
 #include "core/selection.hpp"
 #include "engine/engine.hpp"
+#include "engine/jump_engine.hpp"
 #include "engine/montecarlo.hpp"
 #include "graph/graph.hpp"
 #include "rng/rng.hpp"
@@ -86,6 +87,36 @@ using BatchInit = std::function<std::vector<Opinion>(std::size_t replica,
 // (plain DIV does not throw -- faulty processes belong to the scalar
 // isolated driver).
 IsolatedBatch<RunResult> run_div_replicas_batched(
+    const Graph& graph, SelectionScheme scheme, std::size_t replicas,
+    const BatchInit& init, const RunOptions& run_options,
+    const MonteCarloOptions& options);
+
+// Lock-step multi-lane JUMP-CHAIN execution: every lane runs the scalar
+// hybrid run_jump() state machine -- geometric lazy-step skipping against a
+// per-lane BasicDiscordanceTracker<PlaneLaneView>, with the independent
+// [1/64, 1/16] hysteresis switches into and out of naive scheduled-step
+// mode -- over the shared SoA plane.  The lane group advances one SCHEDULED
+// clock: a jump-mode lane sleeps until the clock reaches its drawn
+// effective-step time while naive-mode lanes execute every scheduled step
+// through the batched draw/apply kernels, so mixed-mode groups batch the
+// dense lanes and skip for the lazy ones simultaneously.  Per lane the
+// draws, mode switches, step counts, effective_steps, and final state are
+// BIT-IDENTICAL to a scalar run_jump() with the same seed: the per-lane rng
+// consumes (geometric, pair draw) in jump mode and select_pair's draws in
+// naive mode in exactly the scalar order, and a lane that stops mid-block
+// rewinds its stream just as run_batch does.  Same restrictions as
+// run_batch: plain DIV only, no tracing; metrics are group-level
+// (effective_steps joins scheduled_steps/batch_lanes).
+std::vector<JumpRunResult> run_batch_jump(
+    const Graph& graph, SelectionScheme scheme, OpinionPlane& plane,
+    std::span<Rng> rngs, const RunOptions& options,
+    std::span<const CancelToken* const> lane_cancels = {});
+
+// Batched jump-chain Monte-Carlo driver: run_div_replicas_batched with
+// run_batch_jump doing the group work.  Slot r is bit-identical to a scalar
+// run_jump() seeded Rng(Rng::retry_seed(master_seed, r, 0)) after the same
+// init draw.
+IsolatedBatch<JumpRunResult> run_div_replicas_batched_jump(
     const Graph& graph, SelectionScheme scheme, std::size_t replicas,
     const BatchInit& init, const RunOptions& run_options,
     const MonteCarloOptions& options);

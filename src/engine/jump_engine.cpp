@@ -55,17 +55,6 @@ void record_frozen_tail(Trace& trace, std::uint64_t from,
   }
 }
 
-// Mode-switch thresholds, from measurements on a random 16-regular graph at
-// n = 2^17 (DESIGN.md, "Jump-chain engine"): a naive scheduled step costs
-// ~25 ns while a jump-mode effective step costs ~0.5 us (the geometric draw
-// plus O(d) tracker maintenance with cache-cold neighbor rows), so the jump
-// chain only wins when fewer than ~1 in 20 scheduled steps changes state.
-// The hysteresis band [1/64, 1/16] straddles that break-even so a trajectory
-// hovering near it does not thrash the O(n + m) rebuild_counts() resync.
-constexpr double kJumpExitActiveProbability = 1.0 / 16.0;
-constexpr std::uint64_t kNaiveWindow = 4096;
-constexpr std::uint64_t kJumpEnterEffectiveMax = kNaiveWindow / 64;
-
 void run_jump_loop(Process& process, OpinionState& state, Rng& rng,
                    const RunOptions& options, JumpRunResult& result) {
   auto* div = dynamic_cast<DivProcess*>(&process);

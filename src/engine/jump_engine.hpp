@@ -37,6 +37,19 @@
 
 namespace divlib {
 
+// Mode-switch thresholds, from measurements on a random 16-regular graph at
+// n = 2^17 (DESIGN.md, "Jump-chain engine"): a naive scheduled step costs
+// ~25 ns while a jump-mode effective step costs ~0.5 us (the geometric draw
+// plus O(d) tracker maintenance with cache-cold neighbor rows), so the jump
+// chain only wins when fewer than ~1 in 20 scheduled steps changes state.
+// The hysteresis band [1/64, 1/16] straddles that break-even so a trajectory
+// hovering near it does not thrash the O(n + m) rebuild_counts() resync.
+// Shared by the scalar hybrid loop and run_batch_jump, whose per-lane mode
+// machines must switch at exactly the same thresholds to stay bit-identical.
+inline constexpr double kJumpExitActiveProbability = 1.0 / 16.0;
+inline constexpr std::uint64_t kNaiveWindow = 4096;
+inline constexpr std::uint64_t kJumpEnterEffectiveMax = kNaiveWindow / 64;
+
 struct JumpRunResult : RunResult {
   // Effective (state-changing) interactions applied; steps - effective_steps
   // scheduled steps were either skipped as provably lazy (jump mode) or

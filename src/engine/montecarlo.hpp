@@ -58,6 +58,14 @@ struct MonteCarloOptions {
   unsigned batch_lanes = 1;
 };
 
+// Upper bound on batch_lanes accepted anywhere a lane count enters the
+// system (divsim's --batch-lanes, SupervisorOptions::batch_lanes).  A lane
+// costs O(n) plane cells plus per-lane scratch; beyond a few thousand lanes
+// the SoA plane stops fitting any cache level and a larger value is almost
+// certainly a typo'd or overflowed input, so it is refused loudly instead
+// of silently thrashing.
+inline constexpr unsigned kMaxBatchLanes = 4096;
+
 // Returns the worker count that `options` resolves to.
 unsigned resolve_thread_count(const MonteCarloOptions& options);
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/fleet.hpp"
+#include "engine/montecarlo.hpp"
 #include "obs/jsonl.hpp"
 
 namespace divlib {
@@ -845,6 +846,14 @@ SupervisorReport run_supervised_set(
     std::span<const std::size_t> replica_ids, const SupervisedTask& task,
     const std::function<void(std::size_t, std::string&&)>& on_success,
     const SupervisorOptions& options) {
+  // Same bound divsim enforces on --batch-lanes: a zero or absurd lane
+  // count is a caller bug, not a tunable.
+  if (options.batch_lanes == 0 || options.batch_lanes > kMaxBatchLanes) {
+    throw std::invalid_argument(
+        "run_supervised_set: batch_lanes must be in [1, " +
+        std::to_string(kMaxBatchLanes) + "], got " +
+        std::to_string(options.batch_lanes));
+  }
   if (options.isolation == Isolation::kProcess) {
     return run_fleet_set(replica_ids, task, on_success, options);
   }

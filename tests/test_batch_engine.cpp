@@ -717,5 +717,213 @@ TEST(SupervisorBatch, GroupThrowRetriesEveryLane) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched jump-chain engine (run_batch_jump) -- refusals, per-lane cancel,
+// distributional equivalence, and the batched driver's slot contract.  The
+// draw-for-draw bit-identity suite lives in test_jump_engine.cpp
+// (BatchJump.LanesBitIdenticalToScalarJump and friends).
+
+void expect_same_jump_result(const JumpRunResult& scalar,
+                             const JumpRunResult& lane,
+                             const std::string& where) {
+  expect_same_result(scalar, lane, where);
+  EXPECT_EQ(scalar.effective_steps, lane.effective_steps) << where;
+  EXPECT_EQ(scalar.mode_switches, lane.mode_switches) << where;
+}
+
+TEST(BatchJump, RejectsTracingAndMismatchedRngs) {
+  const Graph graph = make_cycle(6);
+  OpinionPlane plane(graph, 2);
+  std::vector<Rng> rngs;
+  for (unsigned lane = 0; lane < 2; ++lane) {
+    rngs.emplace_back(Rng::retry_seed(7, lane, 0));
+    plane.assign_lane(lane, uniform_random_opinions(6, 1, 3, rngs[lane]));
+  }
+  RunOptions traced;
+  traced.trace_stride = 1;
+  EXPECT_THROW(
+      run_batch_jump(graph, SelectionScheme::kEdge, plane, rngs, traced),
+      std::invalid_argument);
+
+  std::vector<Rng> short_rngs;
+  short_rngs.emplace_back(1);
+  EXPECT_THROW(
+      run_batch_jump(graph, SelectionScheme::kEdge, plane, short_rngs,
+                     RunOptions{}),
+      std::invalid_argument);
+
+  const CancelToken* one_cancel[1] = {nullptr};
+  EXPECT_THROW(
+      run_batch_jump(graph, SelectionScheme::kEdge, plane, rngs, RunOptions{},
+                     one_cancel),
+      std::invalid_argument);
+}
+
+// A fired per-lane token drains exactly that lane at a scheduled-clock poll;
+// its groupmates run to consensus untouched, and the drained lane's
+// aggregates still describe its configuration.
+TEST(BatchJump, PerLaneCancelDrainsOnlyThatLane) {
+  Rng graph_rng(0x78);
+  const Graph graph = make_connected_random_regular(32, 4, graph_rng);
+  constexpr unsigned kLanes = 3;
+  OpinionPlane plane(graph, kLanes);
+  std::vector<Rng> rngs;
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    rngs.emplace_back(Rng::retry_seed(0xc0df, lane, 0));
+    plane.assign_lane(lane, uniform_random_opinions(graph.num_vertices(), 1,
+                                                    5, rngs[lane]));
+  }
+  CancelToken mid_token;
+  mid_token.request(CancelReason::kUser);
+  const CancelToken* cancels[kLanes] = {nullptr, &mid_token, nullptr};
+  const std::vector<JumpRunResult> results = run_batch_jump(
+      graph, SelectionScheme::kEdge, plane, rngs, RunOptions{}, cancels);
+
+  EXPECT_EQ(results[0].status, RunStatus::kCompleted);
+  EXPECT_EQ(results[2].status, RunStatus::kCompleted);
+  EXPECT_EQ(results[1].status, RunStatus::kCancelled);
+  EXPECT_EQ(results[1].steps, 0u);  // pre-fired: drained before any step
+  EXPECT_EQ(results[1].effective_steps, 0u);
+  std::int64_t sum = 0;
+  for (const Opinion x : plane.lane_opinions(1)) sum += x;
+  EXPECT_EQ(sum, results[1].final_sum);
+}
+
+// Distributional equivalence on INDEPENDENT seed families (the bit-identity
+// suite pins same-seed equality; this pins the ensemble): winner categories
+// by chi-square homogeneity, completion times by Kolmogorov-Smirnov, and the
+// batched lanes must still actually skip scheduled work.
+TEST(BatchJump, WinnerDistributionMatchesScalarJumpEngine) {
+  Rng graph_rng(0x23b);
+  const Graph graph = make_connected_random_regular(32, 4, graph_rng);
+  constexpr int kReplicas = 400;
+  constexpr Opinion kLo = 1;
+  constexpr Opinion kHi = 3;
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    DivProcess process(graph, scheme);
+    std::vector<std::uint64_t> scalar_winners(kHi - kLo + 1, 0);
+    std::vector<double> scalar_steps;
+    for (int replica = 0; replica < kReplicas; ++replica) {
+      Rng rng(
+          Rng::substream_seed(0xbeef, static_cast<std::uint64_t>(replica)));
+      OpinionState state(
+          graph,
+          uniform_random_opinions(graph.num_vertices(), kLo, kHi, rng));
+      const JumpRunResult result =
+          run_jump(process, state, rng, RunOptions{});
+      ASSERT_EQ(result.status, RunStatus::kCompleted);
+      ++scalar_winners[static_cast<std::size_t>(*result.winner - kLo)];
+      scalar_steps.push_back(static_cast<double>(result.steps));
+    }
+
+    MonteCarloOptions mc;
+    mc.master_seed = 0xcafe;
+    mc.batch_lanes = 16;
+    mc.num_threads = 2;
+    const auto batch = run_div_replicas_batched_jump(
+        graph, scheme, kReplicas,
+        [&graph](std::size_t, Rng& rng) {
+          return uniform_random_opinions(graph.num_vertices(), kLo, kHi, rng);
+        },
+        RunOptions{}, mc);
+    ASSERT_TRUE(batch.report.ok());
+    std::vector<std::uint64_t> batch_winners(kHi - kLo + 1, 0);
+    std::vector<double> batch_steps;
+    double scheduled = 0.0;
+    double effective = 0.0;
+    for (const auto& result : batch.results) {
+      ASSERT_TRUE(result.has_value());
+      ASSERT_EQ(result->status, RunStatus::kCompleted);
+      ++batch_winners[static_cast<std::size_t>(*result->winner - kLo)];
+      batch_steps.push_back(static_cast<double>(result->steps));
+      scheduled += static_cast<double>(result->steps);
+      effective += static_cast<double>(result->effective_steps);
+    }
+    // The lanes must have spent lazy stretches asleep, not stepped naively
+    // throughout.
+    EXPECT_LT(effective, 0.8 * scheduled) << to_string(scheme);
+
+    const double chi_p =
+        two_sample_chi_square_p(scalar_winners, batch_winners);
+    EXPECT_GT(chi_p, 1e-3) << "winner distributions diverge, scheme "
+                           << to_string(scheme);
+    const double d = two_sample_ks_statistic(scalar_steps, batch_steps);
+    const double critical =
+        1.95 * std::sqrt(2.0 / static_cast<double>(kReplicas));
+    EXPECT_LT(d, critical) << "completion-time ECDFs diverge, scheme "
+                           << to_string(scheme);
+  }
+}
+
+// The batched jump driver fills every slot with the scalar run_jump
+// attempt-0 result, at a replica count deliberately unaligned to the lane
+// width, across a worker pool.
+TEST(BatchDriver, JumpSlotsMatchScalarAttemptZero) {
+  Rng graph_rng(0x32);
+  const Graph graph = make_connected_random_regular(24, 4, graph_rng);
+  constexpr std::size_t kReplicas = 10;  // deliberately not a lane multiple
+  constexpr std::uint64_t kMaster = 0xfeee;
+  RunOptions run_options;
+
+  DivProcess process(graph, SelectionScheme::kVertex);
+  std::vector<JumpRunResult> scalar(kReplicas);
+  for (std::size_t replica = 0; replica < kReplicas; ++replica) {
+    Rng rng(Rng::retry_seed(kMaster, replica, 0));
+    OpinionState state(
+        graph, uniform_random_opinions(graph.num_vertices(), 1, 4, rng));
+    scalar[replica] = run_jump(process, state, rng, run_options);
+  }
+
+  MonteCarloOptions mc;
+  mc.master_seed = kMaster;
+  mc.batch_lanes = 4;
+  mc.num_threads = 3;
+  const auto batch = run_div_replicas_batched_jump(
+      graph, SelectionScheme::kVertex, kReplicas,
+      [&graph](std::size_t, Rng& rng) {
+        return uniform_random_opinions(graph.num_vertices(), 1, 4, rng);
+      },
+      run_options, mc);
+
+  EXPECT_EQ(batch.report.replicas, kReplicas);
+  EXPECT_EQ(batch.report.attempted, kReplicas);
+  EXPECT_TRUE(batch.report.ok());
+  ASSERT_EQ(batch.results.size(), kReplicas);
+  for (std::size_t replica = 0; replica < kReplicas; ++replica) {
+    ASSERT_TRUE(batch.results[replica].has_value());
+    expect_same_jump_result(scalar[replica], *batch.results[replica],
+                            "replica " + std::to_string(replica));
+  }
+}
+
+// SupervisorOptions::batch_lanes gets the same loud range guard the CLI
+// applies to --batch-lanes: 0 and anything above kMaxBatchLanes refuse up
+// front instead of silently degenerating (0 used to disable batching, and
+// oversized widths allocated planes nothing could have asked for).
+TEST(SupervisorBatch, RejectsOutOfRangeLaneCounts) {
+  const std::vector<std::size_t> ids = {0, 1};
+  const auto task = [](std::size_t, Rng&, const CancelToken&) {
+    return std::optional<std::string>("ok");
+  };
+  const auto commit = [](std::size_t, std::string&&) {};
+
+  for (const unsigned lanes : {0u, kMaxBatchLanes + 1}) {
+    SupervisorOptions options;
+    options.num_threads = 1;
+    options.batch_lanes = lanes;
+    EXPECT_THROW(run_supervised_set(ids, task, commit, options),
+                 std::invalid_argument)
+        << "batch_lanes=" << lanes;
+  }
+
+  SupervisorOptions options;
+  options.num_threads = 1;
+  options.batch_lanes = kMaxBatchLanes;  // the boundary itself is legal
+  const SupervisorReport report =
+      run_supervised_set(ids, task, commit, options);
+  EXPECT_EQ(report.succeeded, ids.size());
+}
+
 }  // namespace
 }  // namespace divlib

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
 #include "cli/args.hpp"
+#include "cli/batch_lanes.hpp"
 #include "cli/graph_spec.hpp"
 #include "cli/process_spec.hpp"
 #include "graph/generators.hpp"
@@ -119,6 +124,53 @@ TEST(ProcessSpec, SchemeParsingAndErrors) {
   const Graph g = make_complete(4);
   EXPECT_THROW(make_process_from_spec("gossip", SelectionScheme::kEdge, g),
                std::invalid_argument);
+}
+
+TEST(BatchLanesCli, AcceptsTheFullLaneRange) {
+  EXPECT_EQ(validate_batch_lanes(1), 1u);
+  EXPECT_EQ(validate_batch_lanes(16), 16u);
+  EXPECT_EQ(validate_batch_lanes(kMaxBatchLanes), kMaxBatchLanes);
+}
+
+// Regression: the lane count used to be clamped with
+// max(1, static_cast<unsigned>(raw)), so an explicit 0 silently became one
+// lane and 2^32 + 1 silently WRAPPED to one lane.  Both must refuse loudly,
+// with the value the user actually typed in the message.
+TEST(BatchLanesCli, RefusesZeroOversizedAndWrappingLaneCounts) {
+  EXPECT_THROW(validate_batch_lanes(0), std::invalid_argument);
+  EXPECT_THROW(validate_batch_lanes(kMaxBatchLanes + 1ull),
+               std::invalid_argument);
+  try {
+    validate_batch_lanes((std::uint64_t{1} << 32) + 1);
+    FAIL() << "a wrapping lane count must not validate";
+  } catch (const std::invalid_argument& refusal) {
+    EXPECT_EQ(std::string(refusal.what()),
+              "--batch-lanes must be in [1, 4096], got 4294967297");
+  }
+  try {
+    validate_batch_lanes(0);
+    FAIL() << "zero lanes must not validate";
+  } catch (const std::invalid_argument& refusal) {
+    EXPECT_EQ(std::string(refusal.what()),
+              "--batch-lanes must be in [1, 4096], got 0");
+  }
+}
+
+// The refusal strings divsim prints for scalar-only feature combinations:
+// pinned verbatim so a reworded refusal is a conscious choice, and so the
+// text keeps naming the scalar fallback.  --engine jump is deliberately
+// absent: jump-chain campaigns batch through run_batch_jump.
+TEST(BatchLanesCli, RefusalTextNamesTheScalarFallback) {
+  EXPECT_STREQ(kBatchLanesProcessRefusal,
+               "--batch-lanes only supports --process div (the batch engine "
+               "inlines the DIV update rule; other processes use the scalar "
+               "engines)");
+  EXPECT_STREQ(kBatchLanesFaultRefusal,
+               "--batch-lanes cannot honor --fault: decorated processes need "
+               "the scalar engines' virtual dispatch");
+  EXPECT_STREQ(kBatchLanesTraceRefusal,
+               "--batch-lanes does not support --trace (per-step tracing is "
+               "a scalar-engine feature)");
 }
 
 }  // namespace

@@ -4,13 +4,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/div_process.hpp"
 #include "core/faulty_process.hpp"
+#include "core/opinion_plane.hpp"
 #include "core/pull_voting.hpp"
+#include "engine/batch_engine.hpp"
 #include "engine/initial_config.hpp"
 #include "exact/div_chain.hpp"
 #include "graph/generators.hpp"
@@ -292,6 +296,165 @@ TEST(JumpEngine, WinnerDistributionMatchesExactChainOnSmallGraphs) {
     EXPECT_GT(chi.p_value, 1e-3) << test_case.name;
     EXPECT_NEAR(steps.mean(), exact_time, 5.0 * steps.stderror())
         << test_case.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched jump-chain parity: lane L of run_batch_jump, seeded like a scalar
+// run_jump replica, must be BIT-identical to it -- the full JumpRunResult
+// (including effective_steps and mode_switches), the final opinion vector,
+// and the rng stream position (checked by comparing the next raw output).
+
+void expect_same_jump_result(const JumpRunResult& scalar,
+                             const JumpRunResult& lane,
+                             const std::string& where) {
+  EXPECT_EQ(scalar.status, lane.status) << where;
+  EXPECT_EQ(scalar.completed, lane.completed) << where;
+  EXPECT_EQ(scalar.steps, lane.steps) << where;
+  EXPECT_EQ(scalar.effective_steps, lane.effective_steps) << where;
+  EXPECT_EQ(scalar.mode_switches, lane.mode_switches) << where;
+  EXPECT_EQ(scalar.min_active, lane.min_active) << where;
+  EXPECT_EQ(scalar.max_active, lane.max_active) << where;
+  EXPECT_EQ(scalar.num_active, lane.num_active) << where;
+  EXPECT_EQ(scalar.final_sum, lane.final_sum) << where;
+  EXPECT_DOUBLE_EQ(scalar.final_z, lane.final_z) << where;
+  EXPECT_EQ(scalar.winner, lane.winner) << where;
+}
+
+// Runs kLanes scalar run_jump replicas (seed = retry_seed(master, lane, 0),
+// initial opinions drawn by `init` from the SAME stream the lane will use)
+// and the identical configuration through run_batch_jump, then asserts
+// per-lane bit-identity on results, final opinions, and stream positions.
+void expect_batch_jump_parity(
+    const Graph& graph, SelectionScheme scheme, unsigned lanes,
+    std::uint64_t master, const RunOptions& options,
+    const std::function<std::vector<Opinion>(unsigned, Rng&)>& init) {
+  DivProcess process(graph, scheme);
+  std::vector<JumpRunResult> scalar(lanes);
+  std::vector<std::vector<Opinion>> scalar_final(lanes);
+  std::vector<std::uint64_t> scalar_next(lanes);
+  for (unsigned lane = 0; lane < lanes; ++lane) {
+    Rng rng(Rng::retry_seed(master, lane, 0));
+    OpinionState state(graph, init(lane, rng));
+    scalar[lane] = run_jump(process, state, rng, options);
+    scalar_final[lane].assign(state.opinions().begin(),
+                              state.opinions().end());
+    scalar_next[lane] = rng.next();
+  }
+
+  OpinionPlane plane(graph, lanes);
+  std::vector<Rng> rngs;
+  rngs.reserve(lanes);
+  for (unsigned lane = 0; lane < lanes; ++lane) {
+    rngs.emplace_back(Rng::retry_seed(master, lane, 0));
+    plane.assign_lane(lane, init(lane, rngs[lane]));
+  }
+  const std::vector<JumpRunResult> batch =
+      run_batch_jump(graph, scheme, plane, rngs, options);
+
+  ASSERT_EQ(batch.size(), lanes);
+  for (unsigned lane = 0; lane < lanes; ++lane) {
+    const std::string where =
+        std::string(to_string(scheme)) + " lane " + std::to_string(lane);
+    expect_same_jump_result(scalar[lane], batch[lane], where);
+    const auto lane_view = plane.lane_opinions(lane);
+    ASSERT_EQ(lane_view.size(), scalar_final[lane].size()) << where;
+    EXPECT_TRUE(std::equal(lane_view.begin(), lane_view.end(),
+                           scalar_final[lane].begin()))
+        << where;
+    EXPECT_EQ(rngs[lane].next(), scalar_next[lane]) << where;
+  }
+}
+
+TEST(BatchJump, LanesBitIdenticalToScalarJump) {
+  Rng graph_rng(0x6a7d);
+  const Graph graph = make_connected_random_regular(48, 4, graph_rng);
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    expect_batch_jump_parity(
+        graph, scheme, /*lanes=*/8, /*master=*/0xabce, RunOptions{},
+        [&graph](unsigned, Rng& rng) {
+          return uniform_random_opinions(graph.num_vertices(), 1, 4, rng);
+        });
+  }
+}
+
+// Wide opinion ranges force the plane onto full-width cells; the batched
+// jump lanes must survive the promotion (including lanes assigned narrow
+// before the promoting wide lane) bit-identically.
+TEST(BatchJump, WidePlaneLanesMatchScalarJump) {
+  Rng graph_rng(0x77df);
+  const Graph graph = make_connected_random_regular(40, 4, graph_rng);
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    expect_batch_jump_parity(
+        graph, scheme, /*lanes=*/6, /*master=*/0x51df, RunOptions{},
+        [&graph](unsigned lane, Rng& rng) {
+          const Opinion hi = (lane % 2 == 0) ? 4 : 300;
+          return uniform_random_opinions(graph.num_vertices(), 1, hi, rng);
+        });
+  }
+}
+
+// Mixed-mode groups: dense lanes (wide uniform start -> hysteresis drops
+// them to naive scheduled stepping) share the clock with near-consensus
+// lanes that stay lazy in jump mode.  Each lane's independent mode history
+// must match its scalar run exactly -- the shared horizon re-orders work
+// across lanes but never changes any lane's own sequence.
+TEST(BatchJump, MixedModeLanesStayIndependent) {
+  Rng graph_rng(0x3a2e);
+  const Graph graph = make_connected_random_regular(64, 4, graph_rng);
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    expect_batch_jump_parity(
+        graph, scheme, /*lanes=*/8, /*master=*/0x8a8a, RunOptions{},
+        [&graph](unsigned lane, Rng& rng) {
+          if (lane % 2 == 0) {
+            // Dense: wide spread, almost every pair discordant.
+            return uniform_random_opinions(graph.num_vertices(), 1, 8, rng);
+          }
+          // Lazy: unanimity except one vertex one level up.
+          std::vector<Opinion> opinions(graph.num_vertices(), 2);
+          opinions[lane] = 3;
+          return opinions;
+        });
+  }
+}
+
+// Frozen lanes (discordance hits zero without the stop rule holding, only
+// possible on disconnected graphs) idle straight to the cap, and lanes whose
+// components disagree forever cap too -- in both cases bit-identically to
+// the scalar watchdog, without consuming stray draws.
+TEST(BatchJump, FrozenAndCappedLanesMatchScalarJump) {
+  const Graph graph(4, {{0, 1}, {2, 3}});
+  RunOptions options;
+  options.max_steps = 100000;
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    expect_batch_jump_parity(
+        graph, scheme, /*lanes=*/4, /*master=*/0xf02e, options,
+        [](unsigned lane, Rng&) {
+          return lane % 2 == 0 ? std::vector<Opinion>{1, 1, 2, 2}
+                               : std::vector<Opinion>{1, 2, 2, 1};
+        });
+  }
+}
+
+// A step budget that straddles several naive windows (4096) and draw blocks
+// (32) at an odd offset: capped lanes must stop at exactly max_steps with
+// the scalar effective_steps/mode_switches tallies.
+TEST(BatchJump, StepCapParity) {
+  Rng graph_rng(0x9b2);
+  const Graph graph = make_connected_random_regular(48, 4, graph_rng);
+  RunOptions options;
+  options.max_steps = 3 * kNaiveWindow + 17;
+  for (const SelectionScheme scheme :
+       {SelectionScheme::kVertex, SelectionScheme::kEdge}) {
+    expect_batch_jump_parity(
+        graph, scheme, /*lanes=*/6, /*master=*/0x5eee, options,
+        [&graph](unsigned, Rng& rng) {
+          return uniform_random_opinions(graph.num_vertices(), 1, 6, rng);
+        });
   }
 }
 

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "cli/args.hpp"
+#include "cli/batch_lanes.hpp"
 #include "cli/fault_spec.hpp"
 #include "cli/graph_spec.hpp"
 #include "cli/process_spec.hpp"
@@ -114,6 +115,11 @@ int usage() {
       "               (run only; add --retries N for per-replica retry)\n"
       "engines:       --engine step|jump (run only; jump skips lazy steps\n"
       "               via the embedded jump chain -- plain DIV, no faults)\n"
+      "batching:      --batch-lanes N (1..4096) runs N replicas per worker\n"
+      "               claim in lock-step over one SoA plane -- either\n"
+      "               engine, plain DIV only (--process div, no --fault or\n"
+      "               --trace); per-replica results stay bit-identical to\n"
+      "               the scalar engines\n"
       "durability:    --checkpoint-dir D journals each finished replica\n"
       "               (CRC-framed, fsync'd every --checkpoint-every records);\n"
       "               SIGINT/SIGTERM drain gracefully; --resume skips\n"
@@ -356,34 +362,24 @@ int cmd_run(const Args& args) {
                          isolation == Isolation::kProcess;
 
   // Lock-step batching: run N replicas per worker claim through the batch
-  // engine (one SoA OpinionPlane per group).  Per-replica results stay
+  // engines (one SoA OpinionPlane per group; run_batch for --engine step,
+  // run_batch_jump for --engine jump).  Per-replica results stay
   // bit-identical to the scalar drivers' attempt 0 -- this is purely a
-  // throughput knob -- but it only exists for plain DIV on the step-
-  // equivalent scheduled chain, so the incompatible modes are refused
-  // loudly rather than silently falling back.
-  const auto batch_lanes =
-      std::max<unsigned>(1, static_cast<unsigned>(args.get_u64("batch-lanes", 1)));
+  // throughput knob -- but it only exists for plain DIV, so the
+  // incompatible modes are refused loudly rather than silently falling
+  // back.  The raw u64 is validated BEFORE narrowing: 0 and values past
+  // kMaxBatchLanes used to be silently clamped/wrapped.
+  const unsigned batch_lanes =
+      validate_batch_lanes(args.get_u64("batch-lanes", 1));
   if (batch_lanes > 1) {
     if (process_name != "div") {
-      throw std::invalid_argument(
-          "--batch-lanes only supports --process div (the batch engine "
-          "inlines the DIV update rule; other processes use the scalar "
-          "engines)");
-    }
-    if (jump) {
-      throw std::invalid_argument(
-          "--batch-lanes uses the lock-step scheduled engine; combine it "
-          "with --engine step (jump-chain runs are scalar)");
+      throw std::invalid_argument(kBatchLanesProcessRefusal);
     }
     if (fault_spec.any()) {
-      throw std::invalid_argument(
-          "--batch-lanes cannot honor --fault: decorated processes need the "
-          "scalar engines' virtual dispatch");
+      throw std::invalid_argument(kBatchLanesFaultRefusal);
     }
     if (trace_stride > 0) {
-      throw std::invalid_argument(
-          "--batch-lanes does not support --trace (per-step tracing is a "
-          "scalar-engine feature)");
+      throw std::invalid_argument(kBatchLanesTraceRefusal);
     }
   }
 
@@ -551,6 +547,7 @@ int cmd_run(const Args& args) {
   // record carries the lane width so readers can tell batched runs apart.
   const auto account_batch_lane = [&](std::size_t replica,
                                       const RunResult& result,
+                                      std::uint64_t effective_steps,
                                       unsigned lanes) {
     if (telemetry) {
       switch (result.status) {
@@ -568,7 +565,7 @@ int cmd_run(const Args& args) {
           .field("replica", static_cast<std::uint64_t>(replica))
           .field("status", to_string(result.status))
           .field("steps", result.steps)
-          .field("effective_steps", std::uint64_t{0})
+          .field("effective_steps", effective_steps)
           .field("batch_lanes", static_cast<std::uint64_t>(lanes));
       metrics_out->emit(line.str());
     }
@@ -645,17 +642,30 @@ int cmd_run(const Args& args) {
                                                   rngs[lane]));
         cancels.push_back(lanes[lane].cancel);
       }
-      const std::vector<RunResult> lane_results =
-          run_batch(graph, scheme, plane, rngs, options, cancels);
+      std::vector<RunResult> lane_results;
+      std::vector<std::uint64_t> lane_effective(width, 0);
+      if (jump) {
+        std::vector<JumpRunResult> jump_results =
+            run_batch_jump(graph, scheme, plane, rngs, options, cancels);
+        lane_results.reserve(width);
+        for (unsigned lane = 0; lane < width; ++lane) {
+          lane_effective[lane] = jump_results[lane].effective_steps;
+          lane_results.push_back(std::move(jump_results[lane]));
+        }
+      } else {
+        lane_results = run_batch(graph, scheme, plane, rngs, options, cancels);
+      }
       std::vector<std::optional<std::string>> verdicts(width);
       for (unsigned lane = 0; lane < width; ++lane) {
-        account_batch_lane(lanes[lane].replica, lane_results[lane], width);
+        account_batch_lane(lanes[lane].replica, lane_results[lane],
+                           lane_effective[lane], width);
         if (lane_results[lane].status == RunStatus::kCancelled ||
             lane_results[lane].status == RunStatus::kDeadline) {
           continue;  // nullopt: the supervisor reads the lease token's reason
         }
         ReplicaRun out;
         out.result = lane_results[lane];
+        out.effective_steps = lane_effective[lane];
         verdicts[lane] = encode_replica_run(out);
       }
       return verdicts;
@@ -691,29 +701,48 @@ int cmd_run(const Args& args) {
     // attempt 0.  Throughput is reported amortized across lanes.
     MonteCarloOptions batch_mc = mc;
     batch_mc.batch_lanes = batch_lanes;
+    const BatchInit batch_init = [&](std::size_t, Rng& rng) {
+      return uniform_random_opinions(graph.num_vertices(), 1, k, rng);
+    };
     const auto batch_start = std::chrono::steady_clock::now();
-    auto batch = run_div_replicas_batched(
-        graph, scheme, replicas,
-        [&](std::size_t, Rng& rng) {
-          return uniform_random_opinions(graph.num_vertices(), 1, k, rng);
-        },
-        options, batch_mc);
+    std::uint64_t batch_steps = 0;
+    std::uint64_t batch_effective = 0;
+    if (jump) {
+      auto batch = run_div_replicas_batched_jump(graph, scheme, replicas,
+                                                 batch_init, options, batch_mc);
+      for (std::size_t replica = 0; replica < replicas; ++replica) {
+        if (!batch.results[replica]) {
+          continue;
+        }
+        JumpRunResult& lane = *batch.results[replica];
+        account_batch_lane(replica, lane, lane.effective_steps, batch_lanes);
+        batch_steps += lane.steps;
+        batch_effective += lane.effective_steps;
+        ReplicaRun out;
+        out.effective_steps = lane.effective_steps;
+        out.result = std::move(lane);
+        results[replica] = std::move(out);
+      }
+      report = std::move(batch.report);
+    } else {
+      auto batch = run_div_replicas_batched(graph, scheme, replicas,
+                                            batch_init, options, batch_mc);
+      for (std::size_t replica = 0; replica < replicas; ++replica) {
+        if (!batch.results[replica]) {
+          continue;
+        }
+        account_batch_lane(replica, *batch.results[replica], 0, batch_lanes);
+        batch_steps += batch.results[replica]->steps;
+        ReplicaRun out;
+        out.result = std::move(*batch.results[replica]);
+        results[replica] = std::move(out);
+      }
+      report = std::move(batch.report);
+    }
     const double batch_wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       batch_start)
             .count();
-    std::uint64_t batch_steps = 0;
-    for (std::size_t replica = 0; replica < replicas; ++replica) {
-      if (!batch.results[replica]) {
-        continue;
-      }
-      account_batch_lane(replica, *batch.results[replica], batch_lanes);
-      batch_steps += batch.results[replica]->steps;
-      ReplicaRun out;
-      out.result = std::move(*batch.results[replica]);
-      results[replica] = std::move(out);
-    }
-    report = std::move(batch.report);
     const std::size_t groups = (replicas + batch_lanes - 1) / batch_lanes;
     std::cout << "batch engine: " << batch_lanes << " lanes/group, " << groups
               << " group(s), " << batch_steps << " scheduled steps in "
@@ -724,6 +753,10 @@ int cmd_run(const Args& args) {
                                    : 0.0,
                                0)
               << " steps/s amortized across lanes)\n";
+    if (jump) {
+      std::cout << "batched jump engine: " << batch_effective
+                << " effective steps simulated across claimed lanes\n";
+    }
   } else if (checkpoint_dir.empty() && !supervise) {
     auto batch = run_replicas_isolated<ReplicaRun>(
         replicas,

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Nightly verification driver: configure the Release perf tree, build it,
+# and run the `nightly` CTest preset (sanitize + sanitize-thread +
+# durability + fleet + perf-gate labels).  The perf-gate selections compare
+# freshly measured benchmark times against the committed BENCH_*.json
+# baselines and fail the run on regression, so a red nightly means either a
+# broken code path or a real throughput loss -- both block merging.
+#
+# Usage: tools/nightly.sh [extra ctest args...]
+#   e.g. tools/nightly.sh --verbose
+#
+# Exit status: non-zero if configure, build, or any selected test (label
+# regression included) fails.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+echo "== nightly: configure (perf preset) =="
+cmake --preset perf
+
+echo "== nightly: build =="
+cmake --build --preset perf -j "$(nproc)"
+
+echo "== nightly: ctest (nightly preset) =="
+ctest --preset nightly "$@"
