@@ -357,10 +357,12 @@ SupervisedCampaignResult run_supervised_campaign(
     } else if (event.kind == SupervisionEvent::Kind::kDeadlineKill ||
                event.kind == SupervisionEvent::Kind::kDeadlineAdapt ||
                event.kind == SupervisionEvent::Kind::kBreakerOpen ||
-               event.kind == SupervisionEvent::Kind::kBreakerClose) {
+               event.kind == SupervisionEvent::Kind::kBreakerClose ||
+               event.kind == SupervisionEvent::Kind::kWorkerDismiss) {
       // Control-plane decisions go to the same journal so `divsim journal
       // --json` explains every kill.  Rare by construction (adapt events
-      // carry a >10% hysteresis), so the immediate flush is cheap.
+      // carry a >10% hysteresis, dismissals are bounded by the pool size),
+      // so the immediate flush is cheap.
       const std::lock_guard<std::mutex> lock(journal_mutex);
       writer.append(encode_supervision_record(event));
       writer.flush();

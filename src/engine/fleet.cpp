@@ -279,6 +279,8 @@ class FleetRun {
           &options_.metrics->counter("fleet_worker_suspects");
       counter_for_[kind_index(SupervisionEvent::Kind::kWorkerDead)] =
           &options_.metrics->counter("fleet_worker_deaths");
+      counter_for_[kind_index(SupervisionEvent::Kind::kWorkerDismiss)] =
+          &options_.metrics->counter("fleet_worker_dismissals");
       counter_for_[kind_index(SupervisionEvent::Kind::kDeadlineAdapt)] =
           &options_.metrics->counter("supervisor_deadline_adapts");
       counter_for_[kind_index(SupervisionEvent::Kind::kBreakerOpen)] =
@@ -460,6 +462,39 @@ class FleetRun {
     return live;
   }
 
+  // Live workers still part of the pool: a dismissed (quit_sent) worker is
+  // on its way out and counts for neither growing nor shrinking decisions.
+  std::size_t pool_size() const {
+    std::size_t size = 0;
+    for (const auto& worker : workers_) {
+      if (!worker->reaped && !worker->quit_sent &&
+          worker->liveness.state() != WorkerLiveness::kDead) {
+        ++size;
+      }
+    }
+    return size;
+  }
+
+  // Retires one idle worker gracefully: a "quit" frame plus a closed work
+  // pipe, the same drain path shutdown_fleet uses.  Never touches a busy
+  // worker -- in-flight attempts always finish or fail on their own merits.
+  void dismiss_worker(Worker& worker) {
+    if (worker.work_fd >= 0) {
+      wire_write_frame(worker.work_fd, "quit");
+      ::close(worker.work_fd);
+      worker.work_fd = -1;
+    }
+    worker.quit_sent = true;
+    ++report_.worker_dismissals;
+    SupervisionEvent event;
+    event.kind = SupervisionEvent::Kind::kWorkerDismiss;
+    event.worker = worker.id;
+    event.detail = "breaker open: pool shrunk to " +
+                   std::to_string(breaker_->cap(target_workers_)) + " of " +
+                   std::to_string(target_workers_) + " workers";
+    emit(event);
+  }
+
   void maintain_fleet(Clock::time_point now) {
     if (cancel_seen_) {
       return;  // draining: never grow the fleet during shutdown
@@ -467,12 +502,27 @@ class FleetRun {
     const std::size_t remaining = slots_.size() - terminal_;
     std::size_t wanted = std::min<std::size_t>(target_workers_, remaining);
     if (breaker_.has_value()) {
-      // Backpressure: while the breaker is open, respawn at a fraction of
-      // the configured width instead of feeding a fork storm.  Existing
-      // workers are never killed -- the cap only throttles replacements.
+      // Backpressure: while the breaker is open, the POOL ITSELF shrinks to
+      // the breaker's cap -- surplus idle workers are dismissed outright,
+      // not merely left unreplaced -- so a failure spike stops burning
+      // fork+memory on capacity the retry backoff cannot feed anyway.
+      // Busy workers are never dismissed; if every surplus worker is busy
+      // the shrink completes as their attempts drain.  When the breaker
+      // closes, `wanted` recovers and the pool regrows below.
       wanted = std::min(wanted, breaker_->cap(target_workers_));
+      if (breaker_->state() == BreakerState::kOpen) {
+        for (const auto& worker : workers_) {
+          if (pool_size() <= wanted) {
+            break;
+          }
+          if (!worker->reaped && !worker->quit_sent && !worker->busy &&
+              worker->liveness.state() != WorkerLiveness::kDead) {
+            dismiss_worker(*worker);
+          }
+        }
+      }
     }
-    while (live_worker_count() < wanted) {
+    while (pool_size() < wanted) {
       spawn_worker(now);
     }
   }
@@ -488,13 +538,17 @@ class FleetRun {
                   std::to_string(transition.failures_in_window) +
                   " in window): backoff x" +
                   std::to_string(options_.breaker.backoff_multiplier) +
-                  ", fleet width capped to " +
-                  std::to_string(breaker_->cap(target_workers_))});
+                  ", fleet pool shrinking from " +
+                  std::to_string(pool_size()) + " to " +
+                  std::to_string(breaker_->cap(target_workers_)) +
+                  " workers"});
       } else if (transition.to == BreakerState::kClosed) {
         ++report_.breaker_closes;
         emit({SupervisionEvent::Kind::kBreakerClose, 0, 0,
               FailureClass::kTransient, 0.0,
-              "quiet period: full fleet width restored"});
+              "quiet period: fleet pool regrowing from " +
+                  std::to_string(pool_size()) + " toward " +
+                  std::to_string(target_workers_) + " workers"});
       }
     }
   }

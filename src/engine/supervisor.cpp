@@ -114,6 +114,8 @@ const char* to_string(SupervisionEvent::Kind kind) {
       return "worker-suspect";
     case SupervisionEvent::Kind::kWorkerDead:
       return "worker-dead";
+    case SupervisionEvent::Kind::kWorkerDismiss:
+      return "worker-dismiss";
     case SupervisionEvent::Kind::kDeadlineAdapt:
       return "deadline-adapt";
     case SupervisionEvent::Kind::kBreakerOpen:

@@ -117,14 +117,15 @@ struct SupervisionEvent {
     kWorkerAlive,    // first beat, or a beat recovered a Suspect worker
     kWorkerSuspect,  // suspect_after elapsed without a beat
     kWorkerDead,     // dead_after elapsed, or the process exited
+    kWorkerDismiss,  // idle worker retired: an Open breaker shrank the pool
     // Adaptive control plane (engine/adaptive).  backoff_ms carries the
     // armed deadline for kDeadlineAdapt; replica/attempt are meaningless
     // for all three.
     kDeadlineAdapt,  // the learned per-attempt deadline changed
-    kBreakerOpen,    // failure spike: width capped, backoff widened
-    kBreakerClose,   // quiet period: full width restored
+    kBreakerOpen,    // failure spike: pool shrunk, backoff widened
+    kBreakerClose,   // quiet period: full pool size restored
   };
-  static constexpr std::size_t kNumKinds = 13;
+  static constexpr std::size_t kNumKinds = 14;
   Kind kind = Kind::kRetry;
   std::size_t replica = 0;
   unsigned attempt = 0;  // seed index the event refers to
@@ -288,6 +289,7 @@ struct SupervisorReport {
   std::uint64_t worker_spawns = 0;    // forks, including replacements
   std::uint64_t worker_suspects = 0;  // Alive/Unknown -> Suspect transitions
   std::uint64_t worker_deaths = 0;    // Suspect -> Dead transitions
+  std::uint64_t worker_dismissals = 0;  // idle workers retired by the breaker
   // Thread-mode lock-step batching accounting (zero when batching is off or
   // no group ever formed).  batched_attempts / batch_groups is the achieved
   // mean lane occupancy.

@@ -6,10 +6,37 @@
 #include <stdexcept>
 
 #ifndef _WIN32
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
+#include "io/failpoint.hpp"
+
 namespace divlib {
+
+void fsync_directory_of(const std::string& path) {
+#ifndef _WIN32
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY
+#ifdef O_DIRECTORY
+                                         | O_DIRECTORY
+#endif
+  );
+  if (fd < 0) {
+    throw std::runtime_error("fsync_directory_of: cannot open '" + dir + "'");
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    throw std::runtime_error("fsync_directory_of: fsync of '" + dir +
+                             "' failed");
+  }
+#else
+  (void)path;  // Windows: directory entries are durable with the rename
+#endif
+}
 
 void atomic_write_file(const std::string& path, std::string_view content) {
   // The temporary lives in the same directory as the destination so the
@@ -20,14 +47,19 @@ void atomic_write_file(const std::string& path, std::string_view content) {
   if (file == nullptr) {
     throw std::runtime_error("atomic_write_file: cannot create '" + tmp + "'");
   }
-  const bool wrote =
-      content.empty() ||
-      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  // An armed "atomic_file" failpoint chops the content at its byte budget:
+  // the truncated temporary takes the normal failure path below, proving the
+  // destination survives a crash at any offset of the new file's bytes.
+  std::size_t admitted = content.size();
+  if (io_failpoint_armed("atomic_file")) {
+    admitted = io_failpoint_admit("atomic_file", content.size());
+  }
+  bool wrote = admitted == 0 ||
+               std::fwrite(content.data(), 1, admitted, file) == admitted;
+  wrote = wrote && admitted == content.size();
   bool flushed = wrote && std::fflush(file) == 0;
 #ifndef _WIN32
   // fflush only moves bytes into the kernel; fsync makes them power-safe.
-  // (A fully paranoid writer would also fsync the directory after rename;
-  // the journal's CRC framing already makes a lost rename detectable.)
   flushed = flushed && fsync(fileno(file)) == 0;
 #endif
   const bool closed = std::fclose(file) == 0;
@@ -41,6 +73,10 @@ void atomic_write_file(const std::string& path, std::string_view content) {
     throw std::runtime_error("atomic_write_file: rename to '" + path +
                              "' failed");
   }
+  // The rename is only durable once the directory entry itself is synced; a
+  // power cut after rename but before this point could otherwise resurrect
+  // the old file -- or drop a brand-new one entirely.
+  fsync_directory_of(path);
 }
 
 std::string read_file(const std::string& path) {

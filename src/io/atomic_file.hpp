@@ -10,10 +10,16 @@
 
 namespace divlib {
 
-// Writes `content` to `path` atomically (tmp -> fflush -> fsync -> rename).
-// Throws std::runtime_error on any I/O failure; on failure the destination
-// is left untouched (the temporary is unlinked best-effort).
+// Writes `content` to `path` atomically (tmp -> fflush -> fsync -> rename ->
+// directory fsync).  Throws std::runtime_error on any I/O failure; on
+// failure the destination is left untouched (the temporary is unlinked
+// best-effort).
 void atomic_write_file(const std::string& path, std::string_view content);
+
+// fsyncs the directory containing `path`, making a rename or file creation
+// inside it power-safe.  Throws std::runtime_error when the directory cannot
+// be opened or synced.  No-op on Windows.
+void fsync_directory_of(const std::string& path);
 
 // Reads a whole file into a string.  Throws std::runtime_error when the file
 // cannot be opened or read.

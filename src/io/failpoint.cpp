@@ -1,0 +1,82 @@
+#include "io/failpoint.hpp"
+
+#include <cstdlib>
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace divlib {
+namespace {
+
+// Fast path: writers check `armed` (one relaxed load) before touching the
+// mutex-guarded slow state, so production runs pay nothing measurable.
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+std::string g_site;          // guarded by g_mutex
+std::size_t g_budget = 0;    // guarded by g_mutex
+
+// DIVLIB_IO_FAILPOINT=<site>:<offset> is loaded exactly once, lazily, so
+// arming via the environment needs no code change in the target process
+// (the chaos drill sets it on a child divsim).
+std::once_flag g_env_once;
+
+void load_env_failpoint() {
+  const char* spec = std::getenv("DIVLIB_IO_FAILPOINT");
+  if (spec == nullptr || *spec == '\0') {
+    return;
+  }
+  const std::string text(spec);
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    return;  // malformed spec: ignore rather than fail an unrelated run
+  }
+  char* end = nullptr;
+  const unsigned long long offset =
+      std::strtoull(text.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return;
+  }
+  arm_io_failpoint(text.substr(0, colon),
+                   static_cast<std::size_t>(offset));
+}
+
+}  // namespace
+
+void arm_io_failpoint(std::string_view site, std::size_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_site.assign(site.data(), site.size());
+  g_budget = budget_bytes;
+  g_armed.store(true, std::memory_order_release);
+}
+
+void disarm_io_failpoint() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_site.clear();
+  g_budget = 0;
+  g_armed.store(false, std::memory_order_release);
+}
+
+bool io_failpoint_armed(std::string_view site) {
+  std::call_once(g_env_once, load_env_failpoint);
+  if (!g_armed.load(std::memory_order_acquire)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_site == site;
+}
+
+std::size_t io_failpoint_admit(std::string_view site, std::size_t want) {
+  std::call_once(g_env_once, load_env_failpoint);
+  if (!g_armed.load(std::memory_order_acquire)) {
+    return want;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_site != site) {
+    return want;
+  }
+  const std::size_t admitted = want < g_budget ? want : g_budget;
+  g_budget -= admitted;
+  return admitted;
+}
+
+}  // namespace divlib

@@ -1,0 +1,51 @@
+// Crash-point fault injection for the io layer.
+//
+// Durability claims ("a torn tail recovers", "atomic_write_file never leaves
+// a half file") are only as good as the crash points they were tested at.
+// This hook lets tests -- and operators, via an environment variable --
+// chop a write stream at an exact byte offset inside the three durable
+// channels:
+//
+//   "journal"      JournalWriter magic + frame bytes (io/journal.cpp)
+//   "atomic_file"  atomic_write_file content bytes   (io/atomic_file.cpp)
+//   "wire"         wire_write_frame header + payload (io/wire.cpp)
+//
+// Arm a site with a byte budget; once the site has admitted that many bytes,
+// the next write is truncated at the boundary and fails loudly (journal and
+// atomic_file throw, wire returns false), exactly as if the process had been
+// SIGKILLed or the device had died mid-write.  The site keeps refusing
+// bytes until disarmed, modelling a dead device rather than a transient
+// hiccup.  The unarmed fast path is one relaxed atomic load.
+//
+// Environment form (picked up once, at the first admit query):
+//   DIVLIB_IO_FAILPOINT=<site>:<byte-offset>   e.g. journal:17
+//
+// Not a general fault framework: one site armed at a time, byte-granular,
+// io-layer only.  That is deliberate -- the point is exhaustive offset
+// sweeps (every cut point of a frame), which a richer API would only blur.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace divlib {
+
+// Arms `site` to admit exactly `budget_bytes` more bytes, replacing any
+// previously armed site.  Unknown site names are legal (they simply never
+// match a writer) so tests can exercise the plumbing itself.
+void arm_io_failpoint(std::string_view site, std::size_t budget_bytes);
+
+// Disarms whatever is armed; writes flow normally again.
+void disarm_io_failpoint();
+
+// True when `site` is the armed site.  Writers use this to keep their
+// unarmed hot path free of bookkeeping.
+bool io_failpoint_armed(std::string_view site);
+
+// Returns how many of `want` bytes `site` may write, consuming that much of
+// the armed budget.  Unarmed (or a different site armed): `want`.  A return
+// short of `want` means the writer must persist exactly the admitted prefix
+// and then fail its caller.
+std::size_t io_failpoint_admit(std::string_view site, std::size_t want);
+
+}  // namespace divlib

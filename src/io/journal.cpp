@@ -6,6 +6,7 @@
 
 #include "io/atomic_file.hpp"
 #include "io/crc32.hpp"
+#include "io/failpoint.hpp"
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -89,31 +90,97 @@ JournalWriter::JournalWriter(const std::string& path) : path_(path) {
   if (file_ == nullptr) {
     throw std::runtime_error("JournalWriter: cannot open '" + path + "'");
   }
-  if (fresh && std::fwrite(kMagic, 1, kMagicSize, file_) != kMagicSize) {
-    std::fclose(file_);
-    file_ = nullptr;
-    throw std::runtime_error("JournalWriter: cannot write magic to '" + path +
-                             "'");
+  if (fresh) {
+    // An armed "journal" failpoint can tear the magic itself -- the torn
+    // creation case read_journal() classifies as an empty valid prefix.
+    std::size_t admitted = kMagicSize;
+    if (io_failpoint_armed("journal")) {
+      admitted = io_failpoint_admit("journal", kMagicSize);
+    }
+    const bool wrote =
+        std::fwrite(kMagic, 1, admitted, file_) == admitted &&
+        admitted == kMagicSize;
+    if (!wrote) {
+      std::fflush(file_);
+      std::fclose(file_);
+      file_ = nullptr;
+      throw std::runtime_error("JournalWriter: cannot write magic to '" +
+                               path + "'");
+    }
+    // A brand-new journal is only findable after a crash once its directory
+    // entry is durable: flush the magic, then fsync the parent directory,
+    // mirroring atomic_write_file's rename discipline.
+    flush();
+    fsync_directory_of(path);
   }
 }
 
 JournalWriter::~JournalWriter() {
-  if (file_ != nullptr) {
-    std::fflush(file_);
+  if (file_ == nullptr) {
+    return;
+  }
+  // Destructors must not throw, but a failed final sync must not masquerade
+  // as durability either: evaluate every step (no short-circuit skipping
+  // fclose) and surface the failure on stderr.  Callers who need a hard
+  // guarantee use close(), which throws like flush() does.
+  bool durable = std::fflush(file_) == 0;
 #ifndef _WIN32
-    fsync(fileno(file_));
+  if (fsync(fileno(file_)) != 0) {
+    durable = false;
+  }
 #endif
-    std::fclose(file_);
+  if (std::fclose(file_) != 0) {
+    durable = false;
+  }
+  file_ = nullptr;
+  if (!durable) {
+    std::fprintf(stderr,
+                 "divlib: JournalWriter: final flush/fsync of '%s' failed; "
+                 "records since the last successful flush may not be "
+                 "durable\n",
+                 path_.c_str());
+  }
+}
+
+void JournalWriter::close() {
+  if (file_ == nullptr) {
+    return;
+  }
+  flush();  // throws on fflush/fsync failure, with the file still open
+  std::FILE* file = file_;
+  file_ = nullptr;
+  if (std::fclose(file) != 0) {
+    throw std::runtime_error("JournalWriter: close of '" + path_ + "' failed");
   }
 }
 
 void JournalWriter::append(std::string_view payload) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("JournalWriter: append to closed '" + path_ +
+                             "'");
+  }
   if (payload.size() > 0xFFFFFFFFull) {
     throw std::runtime_error("JournalWriter: payload exceeds the u32 frame");
   }
   char header[kFrameHeaderSize];
   put_u32_le(static_cast<std::uint32_t>(payload.size()), header);
   put_u32_le(crc32_of(payload), header + 4);
+  if (io_failpoint_armed("journal")) {
+    // Crash-point injection: persist exactly the admitted prefix of the
+    // frame (header + payload as one byte stream), then fail the append --
+    // the on-disk image is what a SIGKILL at that offset would leave.
+    std::string frame(header, kFrameHeaderSize);
+    frame.append(payload);
+    const std::size_t admitted = io_failpoint_admit("journal", frame.size());
+    if (admitted < frame.size()) {
+      if (admitted > 0) {
+        std::fwrite(frame.data(), 1, admitted, file_);
+      }
+      std::fflush(file_);
+      throw std::runtime_error("JournalWriter: failpoint tore append to '" +
+                               path_ + "'");
+    }
+  }
   if (std::fwrite(header, 1, kFrameHeaderSize, file_) != kFrameHeaderSize ||
       (!payload.empty() &&
        std::fwrite(payload.data(), 1, payload.size(), file_) !=
@@ -125,6 +192,10 @@ void JournalWriter::append(std::string_view payload) {
 }
 
 void JournalWriter::flush() {
+  if (file_ == nullptr) {
+    throw std::runtime_error("JournalWriter: flush of closed '" + path_ +
+                             "'");
+  }
   if (std::fflush(file_) != 0) {
     throw std::runtime_error("JournalWriter: flush of '" + path_ + "' failed");
   }

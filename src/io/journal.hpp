@@ -47,7 +47,10 @@ JournalRecovery recover_journal(const std::string& path);
 class JournalWriter {
  public:
   explicit JournalWriter(const std::string& path);
-  ~JournalWriter();  // flushes; errors are swallowed (destructors must not throw)
+  // Flushes + fsyncs + closes.  A failure cannot throw here, so it is
+  // reported loudly on stderr instead; call close() first when the caller
+  // must distinguish "durable" from "hopefully durable".
+  ~JournalWriter();
 
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
@@ -57,6 +60,10 @@ class JournalWriter {
 
   // fflush + fsync: everything appended so far survives a crash.
   void flush();
+
+  // flush() + fclose with every error surfaced as std::runtime_error.
+  // Idempotent; append()/flush() after close() throw.
+  void close();
 
   std::uint64_t records_written() const { return records_written_; }
 

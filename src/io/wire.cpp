@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include "io/crc32.hpp"
+#include "io/failpoint.hpp"
 
 namespace divlib {
 
@@ -62,6 +63,19 @@ bool wire_write_frame(int fd, std::string_view payload) {
   frame.reserve(kHeaderSize + payload.size());
   frame.append(header, kHeaderSize);
   frame.append(payload);
+  if (io_failpoint_armed("wire")) {
+    // Crash-point injection: emit the admitted prefix and report failure.
+    // The peer sees a torn frame -- EOF inside it, or a CRC mismatch once
+    // later bytes arrive -- which is exactly the mid-write death the frame
+    // CRC exists to catch.
+    const std::size_t admitted = io_failpoint_admit("wire", frame.size());
+    if (admitted < frame.size()) {
+      if (admitted > 0) {
+        write_all(fd, frame.data(), admitted);
+      }
+      return false;
+    }
+  }
   return write_all(fd, frame.data(), frame.size());
 }
 

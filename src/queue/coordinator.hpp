@@ -1,0 +1,65 @@
+// The queue coordinator: leases campaigns and drives them to a verdict.
+//
+// run_coordinator() is the dispatch loop behind `divsim queue run`.  It
+// leases the oldest Queued campaign, journals the Running transition,
+// starts a background lease-renewal heartbeat, and hands the campaign to a
+// caller-supplied runner (divsim's runner re-enters its own `run` command
+// with the stored config against the campaign's checkpoint directory, so
+// all the resumable-campaign machinery -- bit-identical replica seeding,
+// quarantine records, supervision events -- applies unchanged).
+//
+// Crash model: the coordinator holds no state the queue journal does not.
+// SIGKILL it at any instant and the lease simply stops renewing; once the
+// wall-clock deadline passes, the next coordinator's lease_next() requeues
+// the campaign and resumes it from its own checkpoint.  A coordinator that
+// survives but loses its lease anyway (stalled long past the deadline)
+// discovers that as StaleLease at finish() and counts the campaign as
+// lost rather than overwriting the new holder's verdict.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/cancel.hpp"
+#include "queue/queue_service.hpp"
+
+namespace divlib {
+
+// Runs one leased campaign against its checkpoint directory and returns the
+// terminal phase (kComplete/kDegraded/kFailed), or kCancelled when the
+// cancel token fired and resumable work remains.  Exceptions are treated as
+// kFailed with the exception text as detail.
+using CampaignRunner = std::function<CampaignPhase(
+    const CampaignEntry& campaign, const std::string& checkpoint_dir)>;
+
+struct CoordinatorOptions {
+  std::size_t max_campaigns = 0;  // 0 = keep going until the queue is idle
+  // When nothing is Queued but live leases exist elsewhere, poll at this
+  // cadence for their expiry instead of exiting with work outstanding.
+  std::int64_t poll_ms = 250;
+  // false: exit immediately when nothing is Queued, even if other
+  // coordinators still hold leases (status probes, drills).
+  bool wait_for_leases = true;
+  const CancelToken* cancel = nullptr;
+  // Progress lines ("leased campaign 3", ...); null = silent.
+  std::function<void(const std::string&)> on_note;
+};
+
+struct CoordinatorReport {
+  std::size_t leased = 0;
+  std::size_t completed = 0;
+  std::size_t degraded = 0;
+  std::size_t failed = 0;
+  std::size_t released = 0;  // requeued after an operator cancel
+  std::size_t lost = 0;      // lease went stale under us; verdict discarded
+  bool cancelled = false;    // the cancel token stopped the loop
+  std::size_t finished() const { return completed + degraded + failed; }
+};
+
+CoordinatorReport run_coordinator(CampaignQueue& queue,
+                                  const CampaignRunner& runner,
+                                  const CoordinatorOptions& options);
+
+}  // namespace divlib

@@ -17,6 +17,8 @@
 //                    [--retry-quarantined]]
 //                   [--metrics-out FILE] [--progress] [--heartbeat-ms N]
 //   divsim journal  --dir <checkpoint-dir> [--json]  (inspect a campaign)
+//   divsim queue    submit|run|status|drain --dir <queue-dir>
+//                   (durable multi-campaign queue; see `divsim help`)
 //   divsim spectral --graph <spec> [--seed 1] [--full]
 //   divsim graph    --graph <spec> [--seed 1] [--dot] [--analyze]
 //   divsim meanfield --k 5 [--tau 10] [--fractions a,b,c,...]
@@ -42,12 +44,14 @@
 //   1    error (bad spec, I/O failure, meta mismatch, ...)
 //   2    usage
 //   3    replica errors, or a supervised run below its success quorum
-//   4    torn journal tail detected by `divsim journal`
+//   4    torn journal tail detected by `divsim journal` / `queue status`
 //   5    degraded -- quarantines exist but the --min-success quorum holds;
 //        distinct from 3 so scripts can accept degraded-but-usable sweeps
+//   6    queue admission refused (bounded depth reached; try again later)
 //   130  cancelled by SIGINT/SIGTERM (resume hint printed)
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <map>
@@ -83,6 +87,8 @@
 #include "io/journal.hpp"
 #include "io/table.hpp"
 #include "obs/heartbeat.hpp"
+#include "queue/coordinator.hpp"
+#include "queue/queue_service.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_metrics.hpp"
@@ -101,6 +107,7 @@ int usage() {
       "commands:\n"
       "  run        simulate a voting process to consensus\n"
       "  journal    inspect a campaign checkpoint directory\n"
+      "  queue      durable multi-campaign queue (submit|run|status|drain)\n"
       "  spectral   compute lambda = max(|lambda_2|, |lambda_n|)\n"
       "  graph      generate/inspect a graph\n"
       "  meanfield  integrate the K_n mean-field ODE for DIV\n"
@@ -172,9 +179,23 @@ int usage() {
       "               quarantined replicas starting AFTER their consumed\n"
       "               attempts, dodging poison seeds.  `journal --json`\n"
       "               emits the checkpoint state as one JSON object.\n"
+      "queue:         `divsim queue submit --dir Q <run options...>` admits a\n"
+      "               campaign into a crash-safe WAL queue (dedup by config\n"
+      "               fingerprint; --max-depth, default 256, refuses with\n"
+      "               exit 6 when full).  `queue run --dir Q` coordinates:\n"
+      "               each campaign is leased (--lease-ms, default 30000,\n"
+      "               renewed at lease/3), run supervised against its own\n"
+      "               campaigns/<id> checkpoint, and journaled through\n"
+      "               Queued -> Leased -> Running -> Complete|Degraded|\n"
+      "               Failed|Cancelled.  SIGKILL the coordinator at any\n"
+      "               point: the lease expires, the next `queue run`\n"
+      "               requeues and resumes the campaign bit-identically.\n"
+      "               `queue status [--json] [--deep]` inspects; `queue\n"
+      "               drain` cancels everything still Queued.\n"
       "exit codes:    0 ok; 1 error; 2 usage; 3 replica errors or below the\n"
-      "               success quorum; 4 torn journal (journal command);\n"
+      "               success quorum; 4 torn journal (journal/status);\n"
       "               5 degraded (quorum met despite quarantines);\n"
+      "               6 queue admission refused (depth limit reached);\n"
       "               130 cancelled by SIGINT/SIGTERM (resume hint printed)\n";
   return 2;
 }
@@ -902,6 +923,7 @@ int cmd_run(const Args& args) {
           .field("worker_spawns", sup_report.worker_spawns)
           .field("worker_suspects", sup_report.worker_suspects)
           .field("worker_deaths", sup_report.worker_deaths)
+          .field("worker_dismissals", sup_report.worker_dismissals)
           .field("batch_groups", sup_report.batch_groups)
           .field("batched_attempts", sup_report.batched_attempts)
           .field("cancelled", sup_report.cancelled);
@@ -1027,7 +1049,9 @@ int cmd_run(const Args& args) {
     if (isolation == Isolation::kProcess) {
       std::cout << "fleet: " << sup_report.worker_spawns << " worker(s) forked, "
                 << sup_report.worker_suspects << " suspect transition(s), "
-                << sup_report.worker_deaths << " death(s)\n";
+                << sup_report.worker_deaths << " death(s), "
+                << sup_report.worker_dismissals
+                << " breaker dismissal(s)\n";
     }
     if (sup_report.batch_groups > 0) {
       std::cout << "lock-step batching: " << sup_report.batch_groups
@@ -1210,6 +1234,282 @@ int cmd_journal(const Args& args) {
     }
   }
   return recovery.torn() ? 4 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// divsim queue: the durable multi-campaign queue service (src/queue).
+//
+//   queue submit --dir Q <campaign options...>   admit one campaign
+//   queue run    --dir Q [--max-campaigns N]     coordinate: lease + run
+//   queue status --dir Q [--json] [--deep]       inspect (read-only)
+//   queue drain  --dir Q [--reason TEXT]         cancel everything Queued
+//
+// A submitted campaign is the full `divsim run` option set, canonicalized
+// (sorted, one token per option) and stored verbatim in queue.journal; the
+// coordinator re-enters cmd_run with those tokens plus a queue-owned
+// checkpoint directory, so every durability property of `run
+// --checkpoint-dir` -- bit-identical resume included -- carries over.
+
+// Serializes the campaign options left after the queue's own were consumed
+// into the canonical one-line config stored in the journal.
+std::string canonical_queue_config(const Args& args) {
+  std::string config;
+  for (const std::string& key : args.unused_keys()) {
+    if (key == "checkpoint-dir" || key == "resume" ||
+        key == "checkpoint-every") {
+      throw std::invalid_argument(
+          "queue submit: --" + key +
+          " is queue-owned (each campaign checkpoints under the queue's "
+          "campaigns/<id> directory)");
+    }
+    const std::string value = args.get(key, "");
+    if (value.find_first_of(" \t\n") != std::string::npos) {
+      throw std::invalid_argument("queue submit: value of --" + key +
+                                  " must not contain whitespace");
+    }
+    if (!config.empty()) {
+      config += ' ';
+    }
+    config += "--" + key;
+    if (!value.empty()) {
+      config += "=" + value;
+    }
+  }
+  if (config.empty()) {
+    throw std::invalid_argument(
+        "queue submit: no campaign options given (e.g. --graph=... "
+        "--replicas=...)");
+  }
+  return config;
+}
+
+std::vector<std::string> split_config_tokens(const std::string& config) {
+  std::vector<std::string> tokens;
+  std::istringstream in(config);
+  std::string token;
+  while (in >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+// Runs one leased campaign by re-entering cmd_run against the campaign's
+// own checkpoint directory, and maps the exit code back onto the queue's
+// terminal phases.  --supervise is forced so quarantines grade the campaign
+// instead of failing it outright.
+CampaignPhase run_queue_campaign(const CampaignEntry& campaign,
+                                 const std::string& checkpoint_dir) {
+  std::vector<std::string> tokens = split_config_tokens(campaign.config);
+  tokens.push_back("--checkpoint-dir=" + checkpoint_dir);
+  tokens.push_back("--supervise");
+  if (std::filesystem::exists(std::filesystem::path(checkpoint_dir) /
+                              "results.journal")) {
+    tokens.push_back("--resume");  // a prior lease already made progress
+  }
+  const Args run_args(tokens);
+  const int code = cmd_run(run_args);
+  switch (code) {
+    case 0:
+      return CampaignPhase::kComplete;
+    case 5:
+      return CampaignPhase::kDegraded;
+    case 130:
+      return CampaignPhase::kCancelled;
+    default:
+      throw std::runtime_error("campaign run exited " + std::to_string(code));
+  }
+}
+
+// Renders one campaign entry as a JSON object; --deep adds checkpoint
+// progress read from the campaign's own results.journal.
+std::string queue_campaign_json(const CampaignQueue& queue,
+                                const CampaignEntry& entry, bool deep) {
+  JsonObject object;
+  object.field("id", static_cast<std::uint64_t>(entry.id))
+      .field("phase", to_string(entry.phase))
+      .field("config", entry.config);
+  char fingerprint[9];
+  std::snprintf(fingerprint, sizeof(fingerprint), "%08x", entry.fingerprint);
+  object.field("fingerprint", fingerprint)
+      .field("requeues", entry.requeues);
+  if (entry.lease != 0) {
+    object.field("lease", entry.lease)
+        .field("lease_deadline_ms", entry.lease_deadline_ms);
+  }
+  if (!entry.note.empty()) {
+    object.field("note", entry.note);
+  }
+  if (deep) {
+    const std::string journal =
+        (std::filesystem::path(queue.campaign_directory(entry.id)) /
+         "results.journal")
+            .string();
+    if (std::filesystem::exists(journal)) {
+      const JournalRecovery recovery = read_journal(journal);
+      std::uint64_t finished = 0;
+      std::uint64_t quarantined = 0;
+      std::uint64_t breaker_opens = 0;
+      std::uint64_t breaker_closes = 0;
+      std::uint64_t worker_dismissals = 0;
+      for (const std::string& record : recovery.records) {
+        if (is_quarantine_record(record)) {
+          ++quarantined;
+        } else if (is_supervision_record(record)) {
+          const std::string_view event = decode_supervision_record(record);
+          if (event.find("\"kind\":\"breaker-open\"") != std::string::npos) {
+            ++breaker_opens;
+          } else if (event.find("\"kind\":\"breaker-close\"") !=
+                     std::string::npos) {
+            ++breaker_closes;
+          } else if (event.find("\"kind\":\"worker-dismiss\"") !=
+                     std::string::npos) {
+            ++worker_dismissals;
+          }
+        } else {
+          ++finished;
+        }
+      }
+      JsonObject checkpoint;
+      checkpoint.field("finished_replicas", finished)
+          .field("quarantined", quarantined)
+          .field("breaker_opens", breaker_opens)
+          .field("breaker_closes", breaker_closes)
+          .field("worker_dismissals", worker_dismissals)
+          .field("torn", recovery.torn());
+      object.raw_field("checkpoint", checkpoint.str());
+    }
+  }
+  return object.str();
+}
+
+int cmd_queue(const Args& args) {
+  // main() hands Args the tokens after the "queue" command word, so the
+  // subcommand verb is the first positional.
+  const std::vector<std::string>& positional = args.positional();
+  const std::string verb = positional.empty() ? "" : positional[0];
+  const std::string dir = args.get("dir", "");
+  if (dir.empty()) {
+    std::cerr << "queue: --dir is required\n";
+    return 2;
+  }
+  QueueOptions options;
+  options.directory = dir;
+  options.max_depth =
+      static_cast<std::size_t>(args.get_positive_u64("max-depth", 256));
+  options.lease_ms = args.get_int("lease-ms", 30'000);
+
+  if (verb == "submit") {
+    CampaignQueue queue(options);
+    const std::string config = canonical_queue_config(args);
+    try {
+      const SubmitOutcome outcome = queue.submit(config);
+      if (outcome.duplicate) {
+        std::cout << "duplicate of campaign " << outcome.campaign
+                  << " (identical config already queued)\n";
+      } else {
+        std::cout << "queued campaign " << outcome.campaign << ": " << config
+                  << "\n";
+      }
+      return 0;
+    } catch (const QueueRefusal& refused) {
+      std::cerr << "refused: " << refused.what() << "\n";
+      return 6;
+    }
+  }
+  if (verb == "run") {
+    CampaignQueue queue(options);
+    CoordinatorOptions coordinator;
+    coordinator.max_campaigns =
+        static_cast<std::size_t>(args.get_u64("max-campaigns", 0));
+    coordinator.wait_for_leases = !args.flag("no-wait");
+    coordinator.cancel = &CancelToken::global();
+    coordinator.on_note = [](const std::string& line) {
+      std::cout << "queue: " << line << "\n";
+    };
+    warn_unused(args);
+    const CoordinatorReport report =
+        run_coordinator(queue, run_queue_campaign, coordinator);
+    std::cout << "queue: " << report.leased << " lease(s): "
+              << report.completed << " complete, " << report.degraded
+              << " degraded, " << report.failed << " failed, "
+              << report.released << " released, " << report.lost
+              << " lost\n";
+    if (report.cancelled) {
+      std::cout << "queue: interrupted; re-run `divsim queue run --dir "
+                << dir << "` to resume\n";
+      return 130;
+    }
+    return report.failed == 0 && report.lost == 0 ? 0 : 3;
+  }
+  if (verb == "status") {
+    const bool as_json = args.flag("json");
+    const bool deep = args.flag("deep");
+    warn_unused(args);
+    CampaignQueue queue(options);
+    const QueueSnapshot snap = queue.snapshot();
+    if (as_json) {
+      std::string campaigns = "[";
+      for (std::size_t i = 0; i < snap.view.campaigns.size(); ++i) {
+        if (i > 0) {
+          campaigns += ",";
+        }
+        campaigns += queue_campaign_json(queue, snap.view.campaigns[i], deep);
+      }
+      campaigns += "]";
+      JsonObject status;
+      status.field("directory", dir)
+          .field("records", snap.records)
+          .field("torn", snap.torn)
+          .field("queued", static_cast<std::uint64_t>(
+                               snap.view.count(CampaignPhase::kQueued)))
+          .field("leased", static_cast<std::uint64_t>(
+                               snap.view.count(CampaignPhase::kLeased)))
+          .field("running", static_cast<std::uint64_t>(
+                                snap.view.count(CampaignPhase::kRunning)))
+          .field("complete", static_cast<std::uint64_t>(
+                                 snap.view.count(CampaignPhase::kComplete)))
+          .field("degraded", static_cast<std::uint64_t>(
+                                 snap.view.count(CampaignPhase::kDegraded)))
+          .field("failed", static_cast<std::uint64_t>(
+                               snap.view.count(CampaignPhase::kFailed)))
+          .field("cancelled", static_cast<std::uint64_t>(
+                                  snap.view.count(CampaignPhase::kCancelled)))
+          .raw_field("campaigns", campaigns);
+      std::cout << status.str() << "\n";
+    } else {
+      std::cout << "queue " << dir << ": " << snap.records << " record(s)"
+                << (snap.torn ? " (TORN TAIL: last append was interrupted)"
+                              : "")
+                << "\n";
+      for (const CampaignEntry& entry : snap.view.campaigns) {
+        std::cout << "  campaign " << entry.id << " [" << to_string(entry.phase)
+                  << "]";
+        if (entry.lease != 0) {
+          std::cout << " lease " << entry.lease << " until "
+                    << entry.lease_deadline_ms << "ms";
+        }
+        if (entry.requeues > 0) {
+          std::cout << " (" << entry.requeues << " requeue(s))";
+        }
+        std::cout << ": " << entry.config << "\n";
+        if (!entry.note.empty()) {
+          std::cout << "    note: " << entry.note << "\n";
+        }
+      }
+    }
+    return snap.torn ? 4 : 0;
+  }
+  if (verb == "drain") {
+    const std::string reason = args.get("reason", "operator drain");
+    warn_unused(args);
+    CampaignQueue queue(options);
+    const std::size_t cancelled = queue.drain(reason);
+    std::cout << "queue: cancelled " << cancelled << " queued campaign(s)\n";
+    return 0;
+  }
+  std::cerr << "queue: unknown subcommand '" << verb
+            << "' (expected submit|run|status|drain)\n";
+  return 2;
 }
 
 int cmd_spectral(const Args& args) {
@@ -1505,6 +1805,9 @@ int main(int argc, char** argv) {
     }
     if (command == "journal") {
       return cmd_journal(args);
+    }
+    if (command == "queue") {
+      return cmd_queue(args);
     }
     if (command == "spectral") {
       return cmd_spectral(args);

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Nightly verification driver: configure the Release perf tree, build it,
 # and run the `nightly` CTest preset (sanitize + sanitize-thread +
-# durability + fleet + perf-gate labels).  The perf-gate selections compare
+# durability + fleet + queue + perf-gate labels).  The perf-gate selections compare
 # freshly measured benchmark times against the committed BENCH_*.json
 # baselines and fail the run on regression, so a red nightly means either a
 # broken code path or a real throughput loss -- both block merging.
