@@ -4,18 +4,29 @@
 #
 #   cmake -DPERF_ENGINE=<perf_engine binary> -DBENCH_JSON=<build-tree json>
 #         -DARCHIVE_DIR=<source root> -DDIV_BUILD_TYPE=<config>
-#         [-DPERF_FILTER=<regex>] [-DPERF_REPETITIONS=<n>] -P perf_smoke.cmake
+#         -DDIV_HOST_TUNED=<ON/OFF> [-DPERF_FILTER=<regex>]
+#         [-DPERF_REPETITIONS=<n>] -P perf_smoke.cmake
 #
 # Honesty gate: benchmark numbers from anything but a Release library are
 # lies (an empty CMAKE_BUILD_TYPE compiles at -O0).  Every emitted JSON is
 # stamped with "library_build_type" so a number can always be traced to the
 # optimization level that produced it, and a non-Release run REFUSES to
 # archive into the source root -- the committed copies stay Release-only.
+# Two further refusals keep the committed copies comparable to what the
+# perf-gate re-times:
+#   * DIV_HOST_TUNED off (any tree but the perf preset's build-perf/): the
+#     gate runs on host-tuned codegen, so archiving untuned numbers as the
+#     baseline systematically loosens it.
+#   * load_avg above num_cpus at mint time: the archived minima would bake
+#     noisy-neighbor contention into the gate's reference point.
 if(NOT DEFINED PERF_FILTER)
   set(PERF_FILTER "BM_Div(Vertex|Edge)(Naive|Jump)Run/1024")
 endif()
 if(NOT DEFINED DIV_BUILD_TYPE)
   set(DIV_BUILD_TYPE "")
+endif()
+if(NOT DEFINED DIV_HOST_TUNED)
+  set(DIV_HOST_TUNED OFF)
 endif()
 if(DIV_BUILD_TYPE STREQUAL "Release")
   set(BUILD_TYPE_STAMP "Release")
@@ -32,6 +43,21 @@ else()
     "Release.  The numbers will be stamped library_build_type=UNGATED_DEBUG "
     "and will NOT be archived into the source root.  Use the 'perf' preset "
     "(cmake --preset perf) for numbers worth committing.")
+endif()
+if(DIV_HOST_TUNED)
+  set(CODEGEN_STAMP "host-tuned (-march=native)")
+else()
+  set(CODEGEN_STAMP "generic")
+  if(ARCHIVE_ALLOWED)
+    set(ARCHIVE_ALLOWED FALSE)
+    message(WARNING
+      "perf smoke is running against a library built WITHOUT host-tuned "
+      "codegen (DIV_MARCH_NATIVE=OFF -- not the perf preset's build-perf/ "
+      "tree).  The perf-gate re-times on host-tuned codegen, so these "
+      "numbers will NOT be archived into the source root.  Use the 'perf' "
+      "preset (cmake --preset perf && ctest --preset perf) to mint "
+      "committable baselines.")
+  endif()
 endif()
 
 if(NOT DEFINED PERF_MIN_TIME)
@@ -55,21 +81,51 @@ if(NOT PERF_RC EQUAL 0)
   message(FATAL_ERROR "perf_engine smoke run failed with status ${PERF_RC}")
 endif()
 
-# Stamp the build type as the first key of the benchmark "context" object.
-# Google Benchmark emits its own "library_build_type" context key (the
-# BENCHMARK library's build flavour, not ours); drop it first so the stamped
-# JSON has exactly one, strict-parser-safe occurrence of the key.
+# Stamp the build type and codegen flavour as the first keys of the
+# benchmark "context" object.  Google Benchmark emits its own
+# "library_build_type" context key (the BENCHMARK library's build flavour,
+# not ours); drop it first so the stamped JSON has exactly one,
+# strict-parser-safe occurrence of the key.
 file(READ "${BENCH_JSON}" BENCH_CONTENT)
 string(REGEX REPLACE ",[ \t\r\n]*\"library_build_type\": \"[^\"]*\"" ""
   BENCH_CONTENT "${BENCH_CONTENT}")
 string(REPLACE "\"context\": {"
-  "\"context\": {\n    \"library_build_type\": \"${BUILD_TYPE_STAMP}\","
+  "\"context\": {\n    \"library_build_type\": \"${BUILD_TYPE_STAMP}\",\n    \"library_codegen\": \"${CODEGEN_STAMP}\","
   BENCH_CONTENT "${BENCH_CONTENT}")
 file(WRITE "${BENCH_JSON}" "${BENCH_CONTENT}")
 
+# Host-load refusal: Google Benchmark records the 1-minute load average and
+# CPU count in the JSON context.  A load above one runnable thread per CPU
+# at mint time means the archived minima carry noisy-neighbor contention,
+# so they are kept in the build tree but refused as committed baselines.
+string(JSON NUM_CPUS ERROR_VARIABLE CTX_ERR GET "${BENCH_CONTENT}"
+  context num_cpus)
+string(JSON LOAD_AVG_1M ERROR_VARIABLE LOAD_ERR GET "${BENCH_CONTENT}"
+  context load_avg 0)
+if(ARCHIVE_ALLOWED AND CTX_ERR STREQUAL "NOTFOUND"
+   AND LOAD_ERR STREQUAL "NOTFOUND")
+  # Compare in milli-units: CMake math is integer-only and load_avg is a
+  # decimal like "2.92".
+  if(LOAD_AVG_1M MATCHES "^([0-9]+)(\\.([0-9]*))?$")
+    set(load_frac "${CMAKE_MATCH_3}000")
+    string(SUBSTRING "${load_frac}" 0 3 load_frac)
+    math(EXPR load_milli "${CMAKE_MATCH_1} * 1000 + ${load_frac}")
+    math(EXPR cpus_milli "${NUM_CPUS} * 1000")
+    if(load_milli GREATER cpus_milli)
+      set(ARCHIVE_ALLOWED FALSE)
+      message(WARNING
+        "perf smoke ran with load_avg ${LOAD_AVG_1M} on ${NUM_CPUS} CPU(s): "
+        "the minima include noisy-neighbor contention and will NOT be "
+        "archived into the source root.  Re-run on an idle host to mint "
+        "committable baselines.")
+    endif()
+  endif()
+endif()
+
 if(NOT ARCHIVE_ALLOWED)
   message(STATUS
-    "skipping archive of ${BENCH_JSON}: library_build_type=${BUILD_TYPE_STAMP}")
+    "skipping archive of ${BENCH_JSON}: library_build_type=${BUILD_TYPE_STAMP}"
+    ", library_codegen=${CODEGEN_STAMP}")
   return()
 endif()
 execute_process(

@@ -4,14 +4,20 @@
 #
 #   cmake -DPERF_ENGINE=<perf_engine binary> -DPERF_FILTER=<regex>
 #         -DCURRENT_JSON=<build-tree json> -DBASELINE_JSON=<committed json>
-#         -DDIV_BUILD_TYPE=<config> [-DPERF_REPETITIONS=<n>]
-#         [-DPERF_TOLERANCE=<pct>] -P bench_compare.cmake
+#         -DDIV_BUILD_TYPE=<config> -DDIV_HOST_TUNED=<ON/OFF>
+#         [-DPERF_REPETITIONS=<n>] [-DPERF_TOLERANCE=<pct>]
+#         -P bench_compare.cmake
 #
 # Policy:
 #   * Non-Release builds print [SKIP-PERF-GATE] and run nothing -- timing a
 #     debug library proves nothing about regressions, and the CTest
 #     SKIP_REGULAR_EXPRESSION property turns the marker into a skip, not a
 #     pass.
+#   * Builds without host-tuned codegen (DIV_MARCH_NATIVE=OFF, i.e. any
+#     tree but the perf preset's build-perf/) also skip: the committed
+#     baselines are minted host-tuned (perf_smoke.cmake refuses to archive
+#     anything else), so an untuned re-time would compare different codegen
+#     and report phantom regressions -- or mask real ones.
 #   * A missing baseline passes: the gate's job is to protect committed
 #     numbers, not to demand them before they exist.  Run the `perf` test
 #     preset to mint a baseline (it archives BENCH_*.json at the source
@@ -38,6 +44,16 @@ if(NOT DIV_BUILD_TYPE STREQUAL "Release")
   message(STATUS
     "[SKIP-PERF-GATE] perf gate needs a Release library build, got "
     "'${DIV_BUILD_TYPE}' -- use the perf preset (cmake --preset perf).")
+  return()
+endif()
+if(NOT DEFINED DIV_HOST_TUNED)
+  set(DIV_HOST_TUNED OFF)
+endif()
+if(NOT DIV_HOST_TUNED)
+  message(STATUS
+    "[SKIP-PERF-GATE] perf gate needs host-tuned codegen to match the "
+    "committed baselines (DIV_MARCH_NATIVE=ON) -- use the perf preset "
+    "(cmake --preset perf).")
   return()
 endif()
 if(NOT EXISTS "${BASELINE_JSON}")
